@@ -1,0 +1,82 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! Euclidean vs Mahalanobis distance (§IV-C tested both), smoothing-window
+//! sizes in the window extraction, and the 30-feature vs 10-feature
+//! categorization input.
+use criterion::{criterion_group, criterion_main, Criterion};
+use dds_cluster::{KMeans, KMeansConfig};
+use dds_core::degradation::{DegradationAnalyzer, DegradationConfig};
+use dds_core::features::FailureRecordSet;
+use dds_smartsim::{FleetConfig, FleetSimulator};
+use dds_stats::correlation::covariance_matrix;
+use dds_stats::{euclidean, MahalanobisMetric};
+use std::hint::black_box;
+
+fn bench_distance_choice(c: &mut Criterion) {
+    let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(19)).run();
+    let drive = dataset.failed_drives().next().unwrap();
+    let matrix: Vec<Vec<f64>> =
+        dataset.normalized_matrix(drive).iter().map(|r| r.to_vec()).collect();
+    let failure = matrix.last().unwrap().clone();
+    // Regularized covariance so Mahalanobis is well-posed.
+    let mut cov = covariance_matrix(&matrix).unwrap();
+    for i in 0..cov.rows() {
+        cov[(i, i)] += 1e-6;
+    }
+    let metric = MahalanobisMetric::new(&cov).unwrap();
+
+    let mut group = c.benchmark_group("ablation_distance");
+    group.bench_function("euclidean_curve", |b| {
+        b.iter(|| {
+            let curve: Vec<f64> =
+                matrix.iter().map(|r| euclidean(r, &failure).unwrap()).collect();
+            black_box(curve)
+        })
+    });
+    group.bench_function("mahalanobis_curve", |b| {
+        b.iter(|| {
+            let curve: Vec<f64> =
+                matrix.iter().map(|r| metric.distance(r, &failure).unwrap()).collect();
+            black_box(curve)
+        })
+    });
+    group.finish();
+}
+
+fn bench_smoothing_choice(c: &mut Criterion) {
+    let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(19)).run();
+    let drive = dataset
+        .failed_drives()
+        .max_by_key(|d| d.profile_hours())
+        .unwrap();
+    let mut group = c.benchmark_group("ablation_smoothing");
+    for window in [1usize, 3, 7] {
+        let config = DegradationConfig { smoothing_window: window, ..Default::default() };
+        let analyzer = DegradationAnalyzer::new(config);
+        group.bench_function(format!("smoothing_{window}"), |b| {
+            b.iter(|| black_box(analyzer.analyze_drive(&dataset, drive).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_feature_set(c: &mut Criterion) {
+    let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(19)).run();
+    let records = FailureRecordSet::extract(&dataset, 24).unwrap();
+    let full: Vec<Vec<f64>> = records.scaled_features().to_vec();
+    // Ablated input: failure-record values only (every third feature).
+    let values_only: Vec<Vec<f64>> =
+        full.iter().map(|f| f.iter().step_by(3).copied().collect()).collect();
+    let mut group = c.benchmark_group("ablation_features");
+    group.bench_function("kmeans_30_features", |b| {
+        b.iter(|| black_box(KMeans::new(KMeansConfig::new(3).with_seed(3)).fit(&full).unwrap()))
+    });
+    group.bench_function("kmeans_10_features", |b| {
+        b.iter(|| {
+            black_box(KMeans::new(KMeansConfig::new(3).with_seed(3)).fit(&values_only).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance_choice, bench_smoothing_choice, bench_feature_set);
+criterion_main!(benches);

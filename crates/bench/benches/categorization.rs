@@ -1,0 +1,45 @@
+//! Benchmarks of the §IV-B categorization path: feature extraction,
+//! K-means (the Fig. 3/4 workload) and the SVC cross-check.
+use criterion::{criterion_group, criterion_main, Criterion};
+use dds_cluster::hierarchical::{Dendrogram, Linkage};
+use dds_cluster::{KMeans, KMeansConfig, Svc, SvcConfig};
+use dds_core::categorize::{CategorizationConfig, Categorizer};
+use dds_core::features::FailureRecordSet;
+use dds_smartsim::{FleetConfig, FleetSimulator};
+use std::hint::black_box;
+
+fn bench_categorization(c: &mut Criterion) {
+    let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(5)).run();
+    let records = FailureRecordSet::extract(&dataset, 24).unwrap();
+    let points = records.scaled_features().to_vec();
+
+    let mut group = c.benchmark_group("categorization");
+    group.bench_function("feature_extraction_60_drives", |b| {
+        b.iter(|| black_box(FailureRecordSet::extract(&dataset, 24).unwrap()))
+    });
+    group.bench_function("kmeans_k3_60x30", |b| {
+        b.iter(|| {
+            black_box(KMeans::new(KMeansConfig::new(3).with_seed(7)).fit(&points).unwrap())
+        })
+    });
+    group.bench_function("svc_60x30", |b| {
+        b.iter(|| black_box(Svc::new(SvcConfig::new().with_seed(7)).fit(&points).unwrap()))
+    });
+    group.bench_function("hierarchical_60x30", |b| {
+        b.iter(|| {
+            let dendrogram = Dendrogram::fit(&points, Linkage::Average).unwrap();
+            black_box(dendrogram.cut(3).unwrap())
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("full_categorization_with_elbow", |b| {
+        let config = CategorizationConfig { run_svc: false, ..Default::default() };
+        b.iter(|| {
+            black_box(Categorizer::new(config.clone()).categorize(&dataset, &records).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_categorization);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Benchmark of the complete end-to-end analysis (all figures and tables)
+//! on a test-scale fleet.
+use criterion::{criterion_group, criterion_main, Criterion};
+use dds_core::{Analysis, AnalysisConfig};
+use dds_core::categorize::CategorizationConfig;
+use dds_smartsim::{FleetConfig, FleetSimulator};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(17)).run();
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("full_analysis_test_scale", |b| {
+        let config = AnalysisConfig {
+            categorization: CategorizationConfig { run_svc: false, ..Default::default() },
+            ..Default::default()
+        };
+        b.iter(|| black_box(Analysis::new(config.clone()).run(&dataset).unwrap()))
+    });
+    group.bench_function("full_analysis_with_svc", |b| {
+        b.iter(|| black_box(Analysis::new(AnalysisConfig::default()).run(&dataset).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

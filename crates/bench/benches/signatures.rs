@@ -1,0 +1,45 @@
+//! Benchmarks of the §IV-C signature path: distance curves, window
+//! extraction and model fitting, per drive and per group.
+use criterion::{criterion_group, criterion_main, Criterion};
+use dds_core::degradation::DegradationAnalyzer;
+use dds_smartsim::{FailureMode, FleetConfig, FleetSimulator};
+use dds_stats::{PolynomialFit, SignatureModel};
+use std::hint::black_box;
+
+fn bench_signatures(c: &mut Criterion) {
+    let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(9)).run();
+    let analyzer = DegradationAnalyzer::default();
+    let short = dataset
+        .failed_drives()
+        .find(|d| d.label().failure_mode() == Some(FailureMode::Logical))
+        .unwrap();
+    let long = dataset
+        .failed_drives()
+        .find(|d| {
+            d.label().failure_mode() == Some(FailureMode::BadSector) && d.profile_hours() > 400
+        })
+        .unwrap();
+
+    let mut group = c.benchmark_group("signatures");
+    group.bench_function("analyze_drive_short_window", |b| {
+        b.iter(|| black_box(analyzer.analyze_drive(&dataset, short).unwrap()))
+    });
+    group.bench_function("analyze_drive_long_window", |b| {
+        b.iter(|| black_box(analyzer.analyze_drive(&dataset, long).unwrap()))
+    });
+
+    // Fitting primitives on a realistic 380-point degradation curve.
+    let d = 380.0;
+    let times: Vec<f64> = (0..=380).map(f64::from).collect();
+    let curve: Vec<f64> = times.iter().map(|&t| t / d - 1.0).collect();
+    group.bench_function("signature_best_fit_380pts", |b| {
+        b.iter(|| black_box(SignatureModel::best_fit(d, &times, &curve).unwrap()))
+    });
+    group.bench_function("poly3_fit_380pts", |b| {
+        b.iter(|| black_box(PolynomialFit::fit(&times, &curve, 3).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_signatures);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Benchmarks of the SMART fleet simulator: per-drive stepping and
+//! whole-fleet generation throughput.
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dds_smartsim::drive::{AnomalyLevels, DriveState, HourlyStress};
+use dds_smartsim::io::{read_csv, write_csv};
+use dds_smartsim::{Environment, FleetConfig, FleetSimulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_drive_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("drive_step");
+    group.throughput(Throughput::Elements(1));
+    let env = Environment::new();
+    let stress = HourlyStress::baseline();
+    let anomalies = AnomalyLevels::default();
+    group.bench_function("healthy_hour", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut state = DriveState::new(&mut rng, 10_000.0, 4.0);
+        let mut hour = 0u32;
+        b.iter(|| {
+            hour = hour.wrapping_add(1);
+            black_box(state.step(&mut rng, &env, hour, &stress, &anomalies))
+        });
+    });
+    group.finish();
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_simulation");
+    group.sample_size(10);
+    for (label, config) in [
+        ("test_scale", FleetConfig::test_scale()),
+        ("good_1000", FleetConfig::test_scale().with_good_drives(1_000)),
+    ] {
+        let records = {
+            let ds = FleetSimulator::new(config.clone().with_seed(3)).run();
+            ds.num_records() as u64
+        };
+        group.throughput(Throughput::Elements(records));
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || FleetSimulator::new(config.clone().with_seed(3)),
+                |sim| black_box(sim.run()),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_csv(c: &mut Criterion) {
+    let dataset = FleetSimulator::new(
+        FleetConfig::test_scale().with_good_drives(40).with_failed_drives(10).with_seed(5),
+    )
+    .run();
+    let mut buffer = Vec::new();
+    write_csv(&dataset, &mut buffer).unwrap();
+    let mut group = c.benchmark_group("csv_io");
+    group.throughput(Throughput::Bytes(buffer.len() as u64));
+    group.bench_function("write", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buffer.len());
+            write_csv(&dataset, &mut out).unwrap();
+            black_box(out)
+        })
+    });
+    group.bench_function("read", |b| {
+        b.iter(|| black_box(read_csv(buffer.as_slice()).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_drive_step, bench_fleet, bench_csv);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! §II-C baselines — the conservative vendor threshold detector and the
+//! calibrated Wilcoxon rank-sum detector, compared on FDR/FAR.
+use dds_bench::{section, simulate, Scale};
+use dds_core::predict::{rank_sum_detector, threshold_detector, RankSumConfig, ThresholdPolicy};
+use dds_core::report::render_detector;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[dds] simulating fleet at {} ...", scale.label());
+    let dataset = simulate(scale);
+    section("Baseline whole-disk failure detectors (§II-C)");
+    let threshold = threshold_detector(&dataset, &ThresholdPolicy::vendor_conservative());
+    print!("{}", render_detector("vendor threshold detector", &threshold));
+    println!("  (paper: manufacturers obtain 3-10% FDR at ~0.1% FAR)");
+    let rank = rank_sum_detector(&dataset, &RankSumConfig::default())
+        .expect("simulated fleets have good drives");
+    print!("{}", render_detector("rank-sum detector (FAR-calibrated)", &rank));
+    println!("  (paper: Hughes et al. reach 60% FDR at 0.5% FAR)");
+    println!();
+    println!("The degradation-signature predictor (Table III) forecasts not just");
+    println!("failure but the degradation *stage*, per failure type — run");
+    println!("`table03_prediction_rmse` for its accuracy.");
+}

@@ -1,0 +1,53 @@
+//! Extension — operational lead-time evaluation: how early does the
+//! per-type degradation predictor raise the alarm for drives that really
+//! failed, and what do the calibrated baselines achieve across the FAR
+//! budget (ROC sweep)?
+use dds_bench::{run_standard, section, Scale};
+use dds_core::leadtime::{detector_roc, lead_times, LeadTimeConfig};
+
+fn main() {
+    let (dataset, report) = run_standard(Scale::from_args());
+    section("Extension — alarm lead times from the degradation predictor");
+    let leads = lead_times(
+        &dataset,
+        &report.categorization,
+        &report.prediction,
+        &LeadTimeConfig::default(),
+    )
+    .expect("lead-time replay");
+    println!(
+        "  {:<8} {:>10} {:>14} {:>14}",
+        "group", "detected", "median lead", "mean lead"
+    );
+    for g in &leads {
+        println!(
+            "  Group {} {:>9.1}% {:>12.0} h {:>12.0} h",
+            g.group_index + 1,
+            g.detection_fraction() * 100.0,
+            g.median_lead_hours().unwrap_or(f64::NAN),
+            g.mean_lead_hours().unwrap_or(f64::NAN),
+        );
+    }
+    println!();
+    println!("Reading: bad-sector failures give days-to-weeks of rescue time, head");
+    println!("failures hours-to-days, logical failures almost none — quantifying the");
+    println!("'available time for data rescue' the paper's signatures promise (§I).");
+
+    section("Baseline detector ROC (calibrated FAR sweep)");
+    let targets = [0.0005, 0.001, 0.005, 0.02, 0.05];
+    let roc = detector_roc(&dataset, &targets).expect("roc sweep");
+    println!(
+        "  {:<12} {:>14} {:>14} {:>16} {:>14}",
+        "target FAR", "rank-sum FDR", "achieved FAR", "mahalanobis FDR", "achieved FAR"
+    );
+    for p in &roc {
+        println!(
+            "  {:<12} {:>13.1}% {:>13.2}% {:>15.1}% {:>13.2}%",
+            format!("{:.2}%", p.target_far * 100.0),
+            p.rank_sum.detection_rate * 100.0,
+            p.rank_sum.false_alarm_rate * 100.0,
+            p.mahalanobis.detection_rate * 100.0,
+            p.mahalanobis.false_alarm_rate * 100.0,
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Extension — rack-level thermal attribution: recover, from telemetry and
+//! placement alone, that the hot racks breed the logical failures (§V-A's
+//! case for rack temperature knobs and thermal-aware scheduling).
+use dds_bench::{section, simulate, Scale};
+use dds_smartsim::{Attribute, FailureMode, RackId};
+use std::collections::BTreeMap;
+
+#[derive(Default)]
+struct RackStats {
+    drives: usize,
+    failed: [usize; 3],
+    tc_sum: f64,
+    tc_count: usize,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[dds] simulating fleet at {} ...", scale.label());
+    let dataset = simulate(scale);
+
+    let mut racks: BTreeMap<RackId, RackStats> = BTreeMap::new();
+    for drive in dataset.drives() {
+        let Some(rack) = drive.rack() else { continue };
+        let stats = racks.entry(rack).or_default();
+        stats.drives += 1;
+        if let Some(mode) = drive.label().failure_mode() {
+            let idx = FailureMode::ALL.iter().position(|&m| m == mode).unwrap();
+            stats.failed[idx] += 1;
+        }
+        for record in drive.records() {
+            stats.tc_sum += record.value(Attribute::TemperatureCelsius);
+            stats.tc_count += 1;
+        }
+    }
+
+    section("Extension — failure attribution by rack (hottest first)");
+    let mut rows: Vec<(RackId, RackStats)> = racks.into_iter().collect();
+    rows.sort_by(|a, b| {
+        let ta = a.1.tc_sum / a.1.tc_count.max(1) as f64;
+        let tb = b.1.tc_sum / b.1.tc_count.max(1) as f64;
+        ta.partial_cmp(&tb).expect("finite temperatures") // low TC health = hot
+    });
+    println!(
+        "  {:<10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "rack", "drives", "mean TC", "logical", "sector", "head", "fail rate"
+    );
+    for (rack, stats) in &rows {
+        let failed: usize = stats.failed.iter().sum();
+        println!(
+            "  {:<10} {:>7} {:>9.1} {:>9} {:>9} {:>9} {:>9.1}%",
+            rack.to_string(),
+            stats.drives,
+            stats.tc_sum / stats.tc_count.max(1) as f64,
+            stats.failed[0],
+            stats.failed[1],
+            stats.failed[2],
+            100.0 * failed as f64 / stats.drives.max(1) as f64,
+        );
+    }
+
+    // How concentrated are logical failures in the hottest racks?
+    let hottest: Vec<&(RackId, RackStats)> = rows.iter().take(3).collect();
+    let logical_in_hot: usize = hottest.iter().map(|(_, s)| s.failed[0]).sum();
+    let logical_total: usize = rows.iter().map(|(_, s)| s.failed[0]).sum();
+    println!();
+    println!(
+        "  {:.0}% of logical failures live in the 3 hottest racks — cooling those",
+        100.0 * logical_in_hot as f64 / logical_total.max(1) as f64
+    );
+    println!("  racks attacks the dominant failure category at its source (§V-A).");
+}

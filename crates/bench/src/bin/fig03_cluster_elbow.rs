@@ -1,0 +1,11 @@
+//! Fig. 3 — Mean within-cluster distance vs number of failure groups.
+use dds_bench::{compare, run_standard, section, Scale};
+use dds_core::report::render_elbow;
+
+fn main() {
+    let (_, report) = run_standard(Scale::from_args());
+    section("Fig. 3 — Comparison of different numbers of failure groups");
+    print!("{}", render_elbow(&report.categorization));
+    println!();
+    compare("chosen number of groups", report.categorization.chosen_k() as f64, 3.0, "");
+}

@@ -1,0 +1,16 @@
+//! Fig. 4 — Failure groups in the plane of the first two principal
+//! components.
+use dds_bench::{compare, run_standard, section, Scale};
+use dds_core::report::render_pca;
+
+fn main() {
+    let (_, report) = run_standard(Scale::from_args());
+    section("Fig. 4 — Groups of disk failures with distinctive manifestations");
+    print!("{}", render_pca(&report.categorization));
+    println!();
+    let sizes: Vec<usize> = report.categorization.groups().iter().map(|g| g.size()).collect();
+    let paper = [258.0, 33.0, 142.0];
+    for (i, &s) in sizes.iter().enumerate() {
+        compare(&format!("Group {} size", i + 1), s as f64, paper.get(i).copied().unwrap_or(0.0), "");
+    }
+}

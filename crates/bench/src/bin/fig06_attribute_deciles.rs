@@ -1,0 +1,20 @@
+//! Fig. 6 — Deciles of the most discriminating attributes, groups vs good.
+use dds_bench::{compare, run_standard, section, Scale};
+use dds_core::report::render_deciles;
+use dds_smartsim::Attribute;
+
+fn main() {
+    let (_, report) = run_standard(Scale::from_args());
+    section("Fig. 6 — Attribute deciles: failure groups vs good records");
+    print!("{}", render_deciles(&report.categorization));
+    println!();
+    let cat = &report.categorization;
+    // Paper: 90% of Group 2 failures have RUE below -0.46.
+    if let Some(d) = cat.groups()[1].attribute_deciles(Attribute::ReportedUncorrectable) {
+        compare("Group 2 RUE 90th-percentile ceiling", d[8], -0.46, "");
+    }
+    // Paper: Group 3 R-RSC all above 0.94.
+    if let Some(d) = cat.groups()[2].attribute_deciles(Attribute::RawReallocatedSectors) {
+        compare("Group 3 R-RSC 10th percentile", d[0], 0.94, "");
+    }
+}

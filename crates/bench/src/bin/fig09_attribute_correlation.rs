@@ -1,0 +1,29 @@
+//! Fig. 9 — Correlation of disk read/write attributes with failure
+//! degradation.
+use dds_bench::{run_standard, section, Scale};
+use dds_core::report::render_attribute_influence;
+use dds_smartsim::Attribute;
+
+fn main() {
+    let (_, report) = run_standard(Scale::from_args());
+    section("Fig. 9 — Correlation of R/W attributes with failure degradation");
+    print!("{}", render_attribute_influence(&report.attribute_influence));
+    println!();
+    println!("Paper's reading: RRER strongly correlates with degradation in Groups 1");
+    println!("and 3, while RUE and R-RSC are the top two attributes for Group 2.");
+    for influence in &report.attribute_influence {
+        if let Some((attr, c)) = influence.strongest() {
+            println!(
+                "  measured Group {} strongest: {} ({c:+.2})",
+                influence.group_index + 1,
+                attr.symbol()
+            );
+        }
+    }
+    let g2 = &report.attribute_influence[1];
+    println!(
+        "  measured Group 2: RUE {:+.2}, R-RSC {:+.2}",
+        g2.correlation_of(Attribute::ReportedUncorrectable).unwrap_or(f64::NAN),
+        g2.correlation_of(Attribute::RawReallocatedSectors).unwrap_or(f64::NAN)
+    );
+}

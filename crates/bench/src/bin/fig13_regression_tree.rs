@@ -1,0 +1,14 @@
+//! Fig. 13 — The regression-tree model for Group 1 degradation prediction.
+use dds_bench::{run_standard, section, Scale};
+use dds_core::report::render_regression_tree;
+
+fn main() {
+    let (_, report) = run_standard(Scale::from_args());
+    section("Fig. 13 — Regression tree for Group 1 degradation prediction");
+    print!("{}", render_regression_tree(&report.prediction, 0));
+    println!();
+    println!("Paper's tree splits on POH, TC, SUT, RUE and SER; the measured tree's");
+    println!("top splits should involve the same temperature/age/error attributes.");
+    println!("Group 3's degradation is described by R-RSC almost alone (paper §V-B):");
+    print!("{}", render_regression_tree(&report.prediction, 2));
+}

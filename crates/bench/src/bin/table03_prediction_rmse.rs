@@ -1,0 +1,26 @@
+//! Table III — Root-mean-square errors of disk degradation prediction.
+use dds_bench::{compare, run_standard, section, Scale};
+use dds_core::report::render_prediction_table;
+
+fn main() {
+    let (_, report) = run_standard(Scale::from_args());
+    section("Table III — Degradation-prediction accuracy");
+    print!("{}", render_prediction_table(&report.prediction));
+    println!();
+    let paper_rmse = [0.216, 0.114, 0.129];
+    let paper_rate = [10.8, 5.7, 6.4];
+    for g in &report.prediction.groups {
+        compare(
+            &format!("Group {} RMSE", g.group_index + 1),
+            g.rmse,
+            paper_rmse.get(g.group_index).copied().unwrap_or(f64::NAN),
+            "",
+        );
+        compare(
+            &format!("Group {} error rate", g.group_index + 1),
+            g.error_rate * 100.0,
+            paper_rate.get(g.group_index).copied().unwrap_or(f64::NAN),
+            "%",
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Diagnostic: per-mode degradation-window distributions and signature-form
+//! votes, for tuning the simulator/extraction against the paper's values
+//! (G1 d ≤ 12 quadratic, G2 d ≈ 377 linear, G3 d ∈ 10..24 cubic).
+
+use dds_core::degradation::{DegradationAnalyzer, DegradationConfig};
+use dds_smartsim::{FailureMode, FleetConfig, FleetSimulator};
+
+fn main() {
+    let ds = FleetSimulator::new(FleetConfig::test_scale().with_failed_drives(90).with_seed(7))
+        .run();
+    let analyzer = DegradationAnalyzer::new(DegradationConfig::default());
+    for mode in FailureMode::ALL {
+        let mut windows = Vec::new();
+        let mut votes = std::collections::BTreeMap::new();
+        for drive in ds.failed_drives() {
+            if drive.label().failure_mode() != Some(mode) {
+                continue;
+            }
+            let a = analyzer.analyze_drive(&ds, drive).expect("analyzable");
+            windows.push((a.window_hours, drive.profile_hours()));
+            *votes.entry(format!("{}", a.best_model.form())).or_insert(0usize) += 1;
+        }
+        windows.sort_unstable();
+        let ws: Vec<usize> = windows.iter().map(|w| w.0).collect();
+        let mean = ws.iter().sum::<usize>() as f64 / ws.len() as f64;
+        println!("{mode}: n={} windows min={} mean={mean:.1} max={}", ws.len(), ws[0], ws[ws.len()-1]);
+        println!("  windows: {ws:?}");
+        println!("  votes: {votes:?}");
+    }
+}

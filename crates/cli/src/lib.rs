@@ -1,0 +1,363 @@
+//! Implementation of the `dds` command-line tool.
+//!
+//! The binary wires the workspace into three operator workflows:
+//!
+//! ```text
+//! dds simulate --scale bench --seed 7 --out fleet.csv   # synthesize + export
+//! dds analyze fleet.csv [--full-report] [--k N]         # run the paper's analysis
+//! dds monitor --train fleet_a.csv --live fleet_b.csv    # train + stream alerts
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace carries no CLI
+//! dependency); every subcommand is a pure function from parsed options to
+//! an output string, which keeps the tool fully unit-testable.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use dds_core::categorize::CategorizationConfig;
+use dds_core::{report, Analysis, AnalysisConfig};
+use dds_monitor::{FleetMonitor, ModelBundle, MonitorConfig, Severity};
+use dds_smartsim::io::{read_csv, write_csv};
+use dds_smartsim::{Dataset, FleetConfig, FleetSimulator};
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::PathBuf;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for CliError {}
+
+impl CliError {
+    fn boxed(message: impl Into<String>) -> Box<dyn Error> {
+        Box::new(CliError(message.into()))
+    }
+}
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `dds simulate`: synthesize a fleet and export it as CSV.
+    Simulate {
+        /// Simulation scale (`test`, `bench`, `consumer` or `paper`).
+        scale: String,
+        /// RNG seed.
+        seed: u64,
+        /// Output CSV path.
+        out: PathBuf,
+    },
+    /// `dds analyze`: run the full paper analysis on a CSV dataset.
+    Analyze {
+        /// Input CSV path.
+        input: PathBuf,
+        /// Print every figure/table instead of the summary.
+        full_report: bool,
+        /// Force a cluster count instead of the elbow choice.
+        k: Option<usize>,
+    },
+    /// `dds monitor`: train on one CSV fleet, stream another through the
+    /// monitor.
+    Monitor {
+        /// Training CSV path.
+        train: PathBuf,
+        /// Live CSV path.
+        live: PathBuf,
+        /// Maximum alerts to print.
+        limit: usize,
+    },
+    /// `dds help` or `--help`.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+dds — disk degradation signatures (IISWC 2015 reproduction)
+
+USAGE:
+  dds simulate --out <fleet.csv> [--scale test|bench|consumer|paper] [--seed N]
+  dds analyze <fleet.csv> [--full-report] [--k N]
+  dds monitor --train <fleet.csv> --live <fleet.csv> [--limit N]
+  dds help
+";
+
+fn take_value(args: &mut std::vec::IntoIter<String>, flag: &str) -> Result<String, Box<dyn Error>> {
+    args.next().ok_or_else(|| CliError::boxed(format!("{flag} needs a value")))
+}
+
+/// Parses a raw argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the first problem found.
+pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
+    let mut iter = args.into_iter();
+    let Some(subcommand) = iter.next() else {
+        return Ok(Command::Help);
+    };
+    match subcommand.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "simulate" => {
+            let mut scale = "bench".to_string();
+            let mut seed = 0x2015_115Cu64;
+            let mut out: Option<PathBuf> = None;
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--scale" => scale = take_value(&mut iter, "--scale")?,
+                    "--seed" => {
+                        let raw = take_value(&mut iter, "--seed")?;
+                        seed = raw
+                            .parse()
+                            .map_err(|_| CliError(format!("invalid seed {raw:?}")))?;
+                    }
+                    "--out" => out = Some(PathBuf::from(take_value(&mut iter, "--out")?)),
+                    other => return Err(CliError::boxed(format!("unknown flag {other:?}"))),
+                }
+            }
+            let out = out.ok_or_else(|| CliError::boxed("simulate requires --out <path>"))?;
+            if !matches!(scale.as_str(), "test" | "bench" | "consumer" | "paper") {
+                return Err(CliError::boxed(format!(
+                    "unknown scale {scale:?} (expected test, bench, consumer or paper)"
+                )));
+            }
+            Ok(Command::Simulate { scale, seed, out })
+        }
+        "analyze" => {
+            let mut input: Option<PathBuf> = None;
+            let mut full_report = false;
+            let mut k = None;
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--full-report" => full_report = true,
+                    "--k" => {
+                        let raw = take_value(&mut iter, "--k")?;
+                        k = Some(
+                            raw.parse()
+                                .map_err(|_| CliError(format!("invalid cluster count {raw:?}")))?,
+                        );
+                    }
+                    other if !other.starts_with('-') && input.is_none() => {
+                        input = Some(PathBuf::from(other));
+                    }
+                    other => return Err(CliError::boxed(format!("unknown flag {other:?}"))),
+                }
+            }
+            let input =
+                input.ok_or_else(|| CliError::boxed("analyze requires an input CSV path"))?;
+            Ok(Command::Analyze { input, full_report, k })
+        }
+        "monitor" => {
+            let mut train: Option<PathBuf> = None;
+            let mut live: Option<PathBuf> = None;
+            let mut limit = 20usize;
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--train" => train = Some(PathBuf::from(take_value(&mut iter, "--train")?)),
+                    "--live" => live = Some(PathBuf::from(take_value(&mut iter, "--live")?)),
+                    "--limit" => {
+                        let raw = take_value(&mut iter, "--limit")?;
+                        limit = raw
+                            .parse()
+                            .map_err(|_| CliError(format!("invalid limit {raw:?}")))?;
+                    }
+                    other => return Err(CliError::boxed(format!("unknown flag {other:?}"))),
+                }
+            }
+            let train = train.ok_or_else(|| CliError::boxed("monitor requires --train <path>"))?;
+            let live = live.ok_or_else(|| CliError::boxed("monitor requires --live <path>"))?;
+            Ok(Command::Monitor { train, live, limit })
+        }
+        other => Err(CliError::boxed(format!("unknown subcommand {other:?}; try `dds help`"))),
+    }
+}
+
+fn fleet_config(scale: &str) -> FleetConfig {
+    match scale {
+        "test" => FleetConfig::test_scale(),
+        "consumer" => FleetConfig::consumer_scale(),
+        "paper" => FleetConfig::paper_scale(),
+        _ => FleetConfig::bench_scale(),
+    }
+}
+
+fn load(path: &PathBuf) -> Result<Dataset, Box<dyn Error>> {
+    let file = File::open(path)
+        .map_err(|e| CliError(format!("cannot open {}: {e}", path.display())))?;
+    Ok(read_csv(file)?)
+}
+
+fn analysis_config(k: Option<usize>) -> AnalysisConfig {
+    AnalysisConfig {
+        categorization: CategorizationConfig { fixed_k: k, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// Executes a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns an error for I/O problems, malformed CSV or analysis failures.
+pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Simulate { scale, seed, out } => {
+            let dataset =
+                FleetSimulator::new(fleet_config(&scale).with_seed(seed)).run();
+            let file = File::create(&out)
+                .map_err(|e| CliError(format!("cannot create {}: {e}", out.display())))?;
+            write_csv(&dataset, BufWriter::new(file))?;
+            Ok(format!(
+                "wrote {} drives / {} records ({} failed) to {}\n",
+                dataset.drives().len(),
+                dataset.num_records(),
+                dataset.failed_drives().count(),
+                out.display()
+            ))
+        }
+        Command::Analyze { input, full_report, k } => {
+            let dataset = load(&input)?;
+            let analysis = Analysis::new(analysis_config(k)).run(&dataset)?;
+            if full_report {
+                Ok(report::render_full_report(&analysis))
+            } else {
+                let mut out = String::new();
+                out.push_str(&report::render_failure_categories(&analysis.categorization));
+                for group in &analysis.degradation {
+                    out.push_str(&format!(
+                        "Group {}: {} over {:.0} h windows\n",
+                        group.group_index + 1,
+                        group.dominant_form.formula(),
+                        group.window_stats.1
+                    ));
+                }
+                out.push_str(&report::render_prediction_table(&analysis.prediction));
+                Ok(out)
+            }
+        }
+        Command::Monitor { train, live, limit } => {
+            let training = load(&train)?;
+            let analysis = Analysis::new(analysis_config(None)).run(&training)?;
+            let bundle = ModelBundle::from_analysis(&training, &analysis);
+            let live_fleet = load(&live)?;
+            let mut monitor = FleetMonitor::new(bundle, MonitorConfig::default());
+            let mut alerts = Vec::new();
+            for drive in live_fleet.drives() {
+                alerts.extend(monitor.replay(drive.id(), drive.records()));
+            }
+            alerts.sort_by_key(|a| a.hour);
+            let mut out = String::new();
+            out.push_str(&format!(
+                "{} alerts over {} drives ({} failed); showing up to {limit}:\n",
+                alerts.len(),
+                live_fleet.drives().len(),
+                live_fleet.failed_drives().count()
+            ));
+            for alert in alerts.iter().take(limit) {
+                out.push_str(&format!("  {alert}\n"));
+            }
+            let critical =
+                alerts.iter().filter(|a| a.severity == Severity::Critical).count();
+            out.push_str(&format!("{critical} critical alerts in total\n"));
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_help_variants() {
+        for args in [vec![], argv(&["help"]), argv(&["--help"]), argv(&["-h"])] {
+            assert_eq!(parse(args).unwrap(), Command::Help);
+        }
+        assert!(run(Command::Help).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn parses_simulate() {
+        let cmd = parse(argv(&[
+            "simulate", "--scale", "test", "--seed", "9", "--out", "/tmp/x.csv",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Simulate {
+                scale: "test".to_string(),
+                seed: 9,
+                out: PathBuf::from("/tmp/x.csv")
+            }
+        );
+    }
+
+    #[test]
+    fn simulate_validation() {
+        assert!(parse(argv(&["simulate"])).is_err()); // missing --out
+        assert!(parse(argv(&["simulate", "--out", "x", "--scale", "huge"])).is_err());
+        assert!(parse(argv(&["simulate", "--out", "x", "--seed", "NaN"])).is_err());
+        assert!(parse(argv(&["simulate", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_analyze() {
+        let cmd = parse(argv(&["analyze", "fleet.csv", "--full-report", "--k", "4"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Analyze {
+                input: PathBuf::from("fleet.csv"),
+                full_report: true,
+                k: Some(4)
+            }
+        );
+        assert!(parse(argv(&["analyze"])).is_err());
+        assert!(parse(argv(&["analyze", "a.csv", "--k", "three"])).is_err());
+    }
+
+    #[test]
+    fn parses_monitor() {
+        let cmd =
+            parse(argv(&["monitor", "--train", "a.csv", "--live", "b.csv", "--limit", "5"]))
+                .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Monitor {
+                train: PathBuf::from("a.csv"),
+                live: PathBuf::from("b.csv"),
+                limit: 5
+            }
+        );
+        assert!(parse(argv(&["monitor", "--train", "a.csv"])).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_is_an_error() {
+        let err = parse(argv(&["frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn analyze_missing_file_is_a_clean_error() {
+        let err = run(Command::Analyze {
+            input: PathBuf::from("/nonexistent/x.csv"),
+            full_report: false,
+            k: None,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot open"));
+    }
+}

@@ -1,0 +1,25 @@
+//! The `dds` binary: see [`dds_cli`] for the implementation.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match dds_cli::parse(args) {
+        Ok(command) => command,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", dds_cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match dds_cli::run(command) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end tests of the `dds` binary: simulate → analyze → monitor on
+//! real temporary files, via the compiled executable.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn dds() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dds"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("dds_cli_test_{}_{name}", std::process::id()));
+    path
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let output = dds().arg("help").output().expect("binary runs");
+    assert!(output.status.success());
+    assert!(String::from_utf8_lossy(&output.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let output = dds().arg("explode").output().expect("binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown subcommand"));
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn simulate_analyze_monitor_pipeline() {
+    let train = temp_path("train.csv");
+    let live = temp_path("live.csv");
+
+    // simulate two fleets
+    for (path, seed) in [(&train, "11"), (&live, "22")] {
+        let output = dds()
+            .args([
+                "simulate",
+                "--scale",
+                "test",
+                "--seed",
+                seed,
+                "--out",
+                path.to_str().unwrap(),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+        assert!(String::from_utf8_lossy(&output.stdout).contains("wrote"));
+        assert!(path.exists());
+    }
+
+    // analyze
+    let output = dds().args(["analyze", train.to_str().unwrap()]).output().expect("runs");
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("Table II"), "analyze output: {stdout}");
+    assert!(stdout.contains("Table III"));
+    assert!(stdout.contains("logical failures"));
+
+    // analyze with a forced k
+    let output = dds()
+        .args(["analyze", train.to_str().unwrap(), "--k", "2"])
+        .output()
+        .expect("runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("Group 2"));
+    assert!(!stdout.contains("Group 3"), "forced k=2 must not report a third group");
+
+    // monitor
+    let output = dds()
+        .args([
+            "monitor",
+            "--train",
+            train.to_str().unwrap(),
+            "--live",
+            live.to_str().unwrap(),
+            "--limit",
+            "5",
+        ])
+        .output()
+        .expect("runs");
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("critical alerts in total"), "monitor output: {stdout}");
+
+    let _ = std::fs::remove_file(&train);
+    let _ = std::fs::remove_file(&live);
+}
+
+#[test]
+fn analyze_rejects_garbage_csv() {
+    let path = temp_path("garbage.csv");
+    std::fs::write(&path, "this,is,not\na,valid,fleet\n").unwrap();
+    let output = dds().args(["analyze", path.to_str().unwrap()]).output().expect("runs");
+    assert!(!output.status.success());
+    let _ = std::fs::remove_file(&path);
+}

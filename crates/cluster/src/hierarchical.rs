@@ -1,0 +1,278 @@
+//! Agglomerative hierarchical clustering with the standard linkage
+//! criteria.
+//!
+//! A third clustering method beside K-means and SVC: §IV-B's claim that
+//! different algorithms "generate the same results" on the failure records
+//! is worth checking with a method from a different family. Average-link
+//! agglomeration over Euclidean distances, cut at a requested cluster
+//! count, is the classic choice.
+
+use dds_stats::{euclidean, StatsError};
+
+/// Linkage criterion: how the distance between two clusters is derived
+/// from point distances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Linkage {
+    /// Minimum pairwise distance (can chain).
+    Single,
+    /// Maximum pairwise distance (compact clusters).
+    Complete,
+    /// Mean pairwise distance (the usual default).
+    Average,
+}
+
+/// One merge step of the dendrogram: the two cluster ids merged (ids ≥ n
+/// refer to earlier merges, Lance–Williams style) and the linkage distance
+/// at which they merged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First merged cluster id.
+    pub left: usize,
+    /// Second merged cluster id.
+    pub right: usize,
+    /// Linkage distance of the merge.
+    pub distance: f64,
+    /// Size of the resulting cluster.
+    pub size: usize,
+}
+
+/// A fitted dendrogram over `n` points.
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    n: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Builds the dendrogram by greedy agglomeration (O(n³), adequate for
+    /// the 433 failure records of §IV-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for no points and
+    /// [`StatsError::DimensionMismatch`] for ragged rows.
+    pub fn fit(points: &[Vec<f64>], linkage: Linkage) -> Result<Self, StatsError> {
+        let n = points.len();
+        if n == 0 || points[0].is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        let dim = points[0].len();
+        for p in points {
+            if p.len() != dim {
+                return Err(StatsError::DimensionMismatch { expected: dim, actual: p.len() });
+            }
+        }
+        // Active clusters: (id, member indices).
+        let mut clusters: Vec<(usize, Vec<usize>)> =
+            (0..n).map(|i| (i, vec![i])).collect();
+        // Pairwise point distances, computed once.
+        let mut point_dist = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = euclidean(&points[i], &points[j])?;
+                point_dist[i][j] = d;
+                point_dist[j][i] = d;
+            }
+        }
+        let point_dist = &point_dist;
+        let cluster_distance = |a: &[usize], b: &[usize]| -> f64 {
+            let values = a
+                .iter()
+                .flat_map(|&i| b.iter().map(move |&j| point_dist[i][j]));
+            match linkage {
+                Linkage::Single => values.fold(f64::INFINITY, f64::min),
+                Linkage::Complete => values.fold(0.0, f64::max),
+                Linkage::Average => {
+                    values.sum::<f64>() / (a.len() * b.len()) as f64
+                }
+            }
+        };
+        let mut merges = Vec::with_capacity(n.saturating_sub(1));
+        let mut next_id = n;
+        while clusters.len() > 1 {
+            // Find the closest pair.
+            let mut best = (0usize, 1usize, f64::INFINITY);
+            for i in 0..clusters.len() {
+                for j in (i + 1)..clusters.len() {
+                    let d = cluster_distance(&clusters[i].1, &clusters[j].1);
+                    if d < best.2 {
+                        best = (i, j, d);
+                    }
+                }
+            }
+            let (i, j, distance) = best;
+            let (right_id, right_members) = clusters.swap_remove(j);
+            let (left_id, mut members) = clusters.swap_remove(if i == clusters.len() {
+                // swap_remove(j) may have moved index i.
+                j
+            } else {
+                i
+            });
+            members.extend(right_members);
+            merges.push(Merge { left: left_id, right: right_id, distance, size: members.len() });
+            clusters.push((next_id, members));
+            next_id += 1;
+        }
+        Ok(Dendrogram { n, merges })
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the dendrogram is over zero points (never after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The merge sequence, in agglomeration order.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cuts the dendrogram into `k` clusters, returning dense labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when `k` is 0 or exceeds
+    /// the point count.
+    pub fn cut(&self, k: usize) -> Result<Vec<usize>, StatsError> {
+        if k == 0 || k > self.n {
+            return Err(StatsError::InvalidParameter(format!(
+                "cannot cut {} points into {k} clusters",
+                self.n
+            )));
+        }
+        // Replay merges until k clusters remain; union-find over ids.
+        let total_ids = self.n + self.merges.len();
+        let mut parent: Vec<usize> = (0..total_ids).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let merges_to_apply = self.n - k;
+        for (step, merge) in self.merges.iter().take(merges_to_apply).enumerate() {
+            let new_id = self.n + step;
+            let l = find(&mut parent, merge.left);
+            let r = find(&mut parent, merge.right);
+            parent[l] = new_id;
+            parent[r] = new_id;
+        }
+        // Dense labels per point.
+        let mut labels = vec![usize::MAX; self.n];
+        let mut roots: Vec<usize> = Vec::new();
+        for (i, slot) in labels.iter_mut().enumerate() {
+            let root = find(&mut parent, i);
+            let label = match roots.iter().position(|&r| r == root) {
+                Some(pos) => pos,
+                None => {
+                    roots.push(root);
+                    roots.len() - 1
+                }
+            };
+            *slot = label;
+        }
+        Ok(labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validation::adjusted_rand_index;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut points = Vec::new();
+        let mut truth = Vec::new();
+        for (label, &(cx, cy)) in [(0.0, 0.0), (8.0, 0.0), (0.0, 8.0)].iter().enumerate() {
+            for i in 0..12 {
+                points.push(vec![cx + (i % 4) as f64 * 0.1, cy + (i / 4) as f64 * 0.1]);
+                truth.push(label);
+            }
+        }
+        (points, truth)
+    }
+
+    #[test]
+    fn recovers_blobs_with_every_linkage() {
+        let (points, truth) = blobs();
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let dendrogram = Dendrogram::fit(&points, linkage).unwrap();
+            let labels = dendrogram.cut(3).unwrap();
+            let ari = adjusted_rand_index(&truth, &labels).unwrap();
+            assert!((ari - 1.0).abs() < 1e-12, "{linkage:?}: ARI {ari}");
+        }
+    }
+
+    #[test]
+    fn merge_count_and_sizes() {
+        let (points, _) = blobs();
+        let dendrogram = Dendrogram::fit(&points, Linkage::Average).unwrap();
+        assert_eq!(dendrogram.merges().len(), points.len() - 1);
+        assert_eq!(dendrogram.merges().last().unwrap().size, points.len());
+        assert_eq!(dendrogram.len(), points.len());
+        assert!(!dendrogram.is_empty());
+    }
+
+    #[test]
+    fn average_linkage_merge_distances_rise_between_blobs() {
+        let (points, _) = blobs();
+        let dendrogram = Dendrogram::fit(&points, Linkage::Average).unwrap();
+        // The last two merges (joining the blobs) are much farther than the
+        // first (within-blob) merge.
+        let first = dendrogram.merges().first().unwrap().distance;
+        let last = dendrogram.merges().last().unwrap().distance;
+        assert!(last > 10.0 * first.max(1e-9));
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let (points, _) = blobs();
+        let dendrogram = Dendrogram::fit(&points, Linkage::Complete).unwrap();
+        let all_one = dendrogram.cut(1).unwrap();
+        assert!(all_one.iter().all(|&l| l == 0));
+        let singletons = dendrogram.cut(points.len()).unwrap();
+        let mut sorted = singletons.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), points.len());
+    }
+
+    #[test]
+    fn cut_validation() {
+        let (points, _) = blobs();
+        let dendrogram = Dendrogram::fit(&points, Linkage::Average).unwrap();
+        assert!(dendrogram.cut(0).is_err());
+        assert!(dendrogram.cut(points.len() + 1).is_err());
+    }
+
+    #[test]
+    fn fit_validation() {
+        assert!(Dendrogram::fit(&[], Linkage::Average).is_err());
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(Dendrogram::fit(&ragged, Linkage::Average).is_err());
+    }
+
+    #[test]
+    fn single_point_dendrogram() {
+        let dendrogram = Dendrogram::fit(&[vec![1.0, 2.0]], Linkage::Single).unwrap();
+        assert!(dendrogram.merges().is_empty());
+        assert_eq!(dendrogram.cut(1).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn single_linkage_chains_where_complete_does_not() {
+        // A chain of points: single-link keeps it together at k=2 against a
+        // far outlier; complete-link may split the chain.
+        let mut points: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 * 1.0]).collect();
+        points.push(vec![100.0]);
+        let single = Dendrogram::fit(&points, Linkage::Single).unwrap().cut(2).unwrap();
+        // The chain is one cluster, the outlier its own.
+        assert!(single[..8].windows(2).all(|w| w[0] == w[1]));
+        assert_ne!(single[0], single[8]);
+    }
+}

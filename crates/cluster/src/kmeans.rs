@@ -1,0 +1,453 @@
+//! K-means clustering with k-means++ seeding, Lloyd iterations and
+//! multi-restart selection.
+//!
+//! The paper clusters the 433 failure records for k = 1..10 and picks the
+//! elbow of the mean distance from records to their centroids (Fig. 3).
+//! [`KMeansResult::mean_within_cluster_distance`] is that statistic, and
+//! [`elbow_curve`] reproduces the sweep.
+
+use dds_stats::{euclidean, squared_euclidean, StatsError};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for a [`KMeans`] run.
+///
+/// # Example
+///
+/// ```
+/// use dds_cluster::KMeansConfig;
+///
+/// let config = KMeansConfig::new(3).with_seed(7).with_restarts(5);
+/// assert_eq!(config.k, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations per restart.
+    pub max_iterations: usize,
+    /// Number of independent k-means++ restarts; the lowest-inertia run
+    /// wins.
+    pub restarts: usize,
+    /// Convergence threshold on centroid movement (squared distance).
+    pub tolerance: f64,
+    /// RNG seed for seeding and restarts.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Creates a configuration with `k` clusters and sensible defaults
+    /// (100 iterations, 8 restarts, 1e-9 tolerance).
+    pub fn new(k: usize) -> Self {
+        KMeansConfig { k, max_iterations: 100, restarts: 8, tolerance: 1e-9, seed: 0xC1A5 }
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of restarts.
+    #[must_use]
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts.max(1);
+        self
+    }
+
+    /// Sets the iteration cap.
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations.max(1);
+        self
+    }
+}
+
+/// The K-means algorithm (Lloyd's, k-means++ init).
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    config: KMeansConfig,
+}
+
+impl KMeans {
+    /// Creates the algorithm with the given configuration.
+    pub fn new(config: KMeansConfig) -> Self {
+        KMeans { config }
+    }
+
+    /// Clusters `points` (rows of equal dimension).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for no points,
+    /// [`StatsError::DimensionMismatch`] for ragged rows, and
+    /// [`StatsError::InsufficientData`] when there are fewer points than
+    /// clusters.
+    pub fn fit(&self, points: &[Vec<f64>]) -> Result<KMeansResult, StatsError> {
+        if points.is_empty() || points[0].is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        let dim = points[0].len();
+        for p in points {
+            if p.len() != dim {
+                return Err(StatsError::DimensionMismatch { expected: dim, actual: p.len() });
+            }
+        }
+        if points.len() < self.config.k {
+            return Err(StatsError::InsufficientData {
+                needed: self.config.k,
+                got: points.len(),
+            });
+        }
+        if self.config.k == 0 {
+            return Err(StatsError::InvalidParameter("k must be positive".to_string()));
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut best: Option<KMeansResult> = None;
+        for _ in 0..self.config.restarts {
+            let result = self.fit_once(points, &mut rng)?;
+            if best.as_ref().is_none_or(|b| result.inertia() < b.inertia()) {
+                best = Some(result);
+            }
+        }
+        Ok(best.expect("at least one restart"))
+    }
+
+    fn fit_once(&self, points: &[Vec<f64>], rng: &mut StdRng) -> Result<KMeansResult, StatsError> {
+        let k = self.config.k;
+        let mut centroids = plus_plus_init(points, k, rng)?;
+        let mut assignments = vec![0usize; points.len()];
+        for _ in 0..self.config.max_iterations {
+            // Assignment step.
+            for (i, p) in points.iter().enumerate() {
+                assignments[i] = nearest_centroid(p, &centroids)?.0;
+            }
+            // Update step.
+            let mut new_centroids = vec![vec![0.0; points[0].len()]; k];
+            let mut counts = vec![0usize; k];
+            for (p, &a) in points.iter().zip(&assignments) {
+                counts[a] += 1;
+                for (c, v) in new_centroids[a].iter_mut().zip(p) {
+                    *c += v;
+                }
+            }
+            for (c, (centroid, count)) in new_centroids.iter_mut().zip(&counts).enumerate() {
+                if *count == 0 {
+                    // Re-seed an empty cluster at the point farthest from
+                    // its centroid.
+                    let far = farthest_point(points, &centroids)?;
+                    centroid.clone_from(&points[far]);
+                } else {
+                    for v in centroid.iter_mut() {
+                        *v /= *count as f64;
+                    }
+                }
+                let _ = c;
+            }
+            // Convergence check.
+            let moved: f64 = centroids
+                .iter()
+                .zip(&new_centroids)
+                .map(|(a, b)| squared_euclidean(a, b))
+                .sum::<Result<f64, _>>()?;
+            centroids = new_centroids;
+            if moved < self.config.tolerance {
+                break;
+            }
+        }
+        // Final assignment + statistics.
+        let mut inertia = 0.0;
+        let mut distance_sum = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let (a, d2) = nearest_centroid(p, &centroids)?;
+            assignments[i] = a;
+            inertia += d2;
+            distance_sum += d2.sqrt();
+        }
+        Ok(KMeansResult {
+            centroids,
+            assignments,
+            inertia,
+            mean_within_cluster_distance: distance_sum / points.len() as f64,
+        })
+    }
+}
+
+fn nearest_centroid(point: &[f64], centroids: &[Vec<f64>]) -> Result<(usize, f64), StatsError> {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d2 = squared_euclidean(point, c)?;
+        if d2 < best.1 {
+            best = (i, d2);
+        }
+    }
+    Ok(best)
+}
+
+fn farthest_point(points: &[Vec<f64>], centroids: &[Vec<f64>]) -> Result<usize, StatsError> {
+    let mut best = (0usize, -1.0);
+    for (i, p) in points.iter().enumerate() {
+        let (_, d2) = nearest_centroid(p, centroids)?;
+        if d2 > best.1 {
+            best = (i, d2);
+        }
+    }
+    Ok(best.0)
+}
+
+/// k-means++ initialization: first centroid uniform, then proportional to
+/// squared distance from the nearest chosen centroid.
+fn plus_plus_init(
+    points: &[Vec<f64>],
+    k: usize,
+    rng: &mut StdRng,
+) -> Result<Vec<Vec<f64>>, StatsError> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let mut weights = Vec::with_capacity(points.len());
+        let mut total = 0.0;
+        for p in points {
+            let (_, d2) = nearest_centroid(p, &centroids)?;
+            weights.push(d2);
+            total += d2;
+        }
+        let idx = if total <= 0.0 {
+            // All points coincide with existing centroids: pick uniformly.
+            rng.random_range(0..points.len())
+        } else {
+            let mut target = rng.random::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &w) in weights.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(points[idx].clone());
+    }
+    Ok(centroids)
+}
+
+/// Outcome of a K-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    centroids: Vec<Vec<f64>>,
+    assignments: Vec<usize>,
+    inertia: f64,
+    mean_within_cluster_distance: f64,
+}
+
+impl KMeansResult {
+    /// Final centroids (k rows).
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Cluster index per input point.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Sum of squared distances to assigned centroids.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Mean Euclidean distance from points to their centroid — the y-axis
+    /// of the paper's Fig. 3 elbow plot.
+    pub fn mean_within_cluster_distance(&self) -> f64 {
+        self.mean_within_cluster_distance
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Sizes of each cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
+    /// Index of the point closest to each centroid (the paper's "centroid
+    /// failure" representative drives of Fig. 5); `None` for clusters that
+    /// ended up empty (possible when many points coincide).
+    ///
+    /// # Errors
+    ///
+    /// Propagates distance shape errors if `points` differ in dimension
+    /// from the fit.
+    pub fn medoids(&self, points: &[Vec<f64>]) -> Result<Vec<Option<usize>>, StatsError> {
+        let mut best: Vec<(Option<usize>, f64)> = vec![(None, f64::INFINITY); self.k()];
+        for (i, p) in points.iter().enumerate() {
+            let a = self.assignments[i];
+            let d = euclidean(p, &self.centroids[a])?;
+            if d < best[a].1 {
+                best[a] = (Some(i), d);
+            }
+        }
+        Ok(best.into_iter().map(|(i, _)| i).collect())
+    }
+}
+
+/// Runs K-means for every `k` in `1..=k_max` and returns
+/// `(k, mean within-cluster distance)` pairs — the paper's Fig. 3 sweep.
+///
+/// # Errors
+///
+/// Propagates [`KMeans::fit`] errors (e.g. fewer points than `k_max`).
+pub fn elbow_curve(
+    points: &[Vec<f64>],
+    k_max: usize,
+    seed: u64,
+) -> Result<Vec<(usize, f64)>, StatsError> {
+    (1..=k_max)
+        .map(|k| {
+            let result = KMeans::new(KMeansConfig::new(k).with_seed(seed)).fit(points)?;
+            Ok((k, result.mean_within_cluster_distance()))
+        })
+        .collect()
+}
+
+/// Picks the elbow of a sweep: the `k` after which the marginal improvement
+/// drops below `flatness` times the first improvement. Falls back to the
+/// largest improvement ratio when the curve never flattens.
+pub fn pick_elbow(curve: &[(usize, f64)], flatness: f64) -> usize {
+    if curve.len() < 3 {
+        return curve.last().map_or(1, |&(k, _)| k);
+    }
+    let first_drop = (curve[0].1 - curve[1].1).max(1e-12);
+    for w in curve.windows(2).skip(1) {
+        let drop = w[0].1 - w[1].1;
+        if drop < flatness * first_drop {
+            return w[0].0;
+        }
+    }
+    curve.last().expect("non-empty curve").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        // Deterministic, well-separated blobs.
+        let mut points = Vec::new();
+        let mut truth = Vec::new();
+        let centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        for (label, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..20 {
+                let dx = (i % 5) as f64 * 0.1;
+                let dy = (i / 5) as f64 * 0.1;
+                points.push(vec![cx + dx, cy + dy]);
+                truth.push(label);
+            }
+        }
+        (points, truth)
+    }
+
+    #[test]
+    fn recovers_three_blobs() {
+        let (points, truth) = three_blobs();
+        let result = KMeans::new(KMeansConfig::new(3).with_seed(1)).fit(&points).unwrap();
+        assert_eq!(result.k(), 3);
+        let sizes = result.cluster_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 60);
+        assert!(sizes.iter().all(|&s| s == 20), "sizes {sizes:?}");
+        // Points sharing a truth label share a cluster.
+        for i in 0..points.len() {
+            for j in 0..points.len() {
+                if truth[i] == truth[j] {
+                    assert_eq!(result.assignments()[i], result.assignments()[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (points, _) = three_blobs();
+        let a = KMeans::new(KMeansConfig::new(3).with_seed(9)).fit(&points).unwrap();
+        let b = KMeans::new(KMeansConfig::new(3).with_seed(9)).fit(&points).unwrap();
+        assert_eq!(a.assignments(), b.assignments());
+        assert_eq!(a.inertia(), b.inertia());
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let points = vec![vec![0.0, 0.0], vec![2.0, 2.0], vec![4.0, 4.0]];
+        let result = KMeans::new(KMeansConfig::new(1).with_seed(2)).fit(&points).unwrap();
+        assert!((result.centroids()[0][0] - 2.0).abs() < 1e-9);
+        assert!((result.centroids()[0][1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let points = vec![vec![0.0], vec![5.0], vec![9.0]];
+        let result = KMeans::new(KMeansConfig::new(3).with_seed(3)).fit(&points).unwrap();
+        assert!(result.inertia() < 1e-18);
+        assert_eq!(result.mean_within_cluster_distance(), 0.0);
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        assert!(KMeans::new(KMeansConfig::new(2)).fit(&[]).is_err());
+        assert!(KMeans::new(KMeansConfig::new(5)).fit(&[vec![1.0], vec![2.0]]).is_err());
+        assert!(KMeans::new(KMeansConfig::new(1))
+            .fit(&[vec![1.0, 2.0], vec![1.0]])
+            .is_err());
+    }
+
+    #[test]
+    fn elbow_curve_is_monotone_decreasing() {
+        let (points, _) = three_blobs();
+        let curve = elbow_curve(&points, 6, 1).unwrap();
+        assert_eq!(curve.len(), 6);
+        for w in curve.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-6, "curve must not rise: {curve:?}");
+        }
+    }
+
+    #[test]
+    fn elbow_at_three_for_three_blobs() {
+        let (points, _) = three_blobs();
+        let curve = elbow_curve(&points, 8, 1).unwrap();
+        assert_eq!(pick_elbow(&curve, 0.05), 3, "curve: {curve:?}");
+    }
+
+    #[test]
+    fn pick_elbow_degenerate_curves() {
+        assert_eq!(pick_elbow(&[], 0.1), 1);
+        assert_eq!(pick_elbow(&[(1, 5.0)], 0.1), 1);
+        assert_eq!(pick_elbow(&[(1, 5.0), (2, 4.0)], 0.1), 2);
+    }
+
+    #[test]
+    fn medoids_are_members_of_their_cluster() {
+        let (points, _) = three_blobs();
+        let result = KMeans::new(KMeansConfig::new(3).with_seed(4)).fit(&points).unwrap();
+        let medoids = result.medoids(&points).unwrap();
+        assert_eq!(medoids.len(), 3);
+        for (cluster, m) in medoids.iter().enumerate() {
+            let m = m.expect("non-empty cluster has a medoid");
+            assert_eq!(result.assignments()[m], cluster);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_do_not_crash_init() {
+        let points = vec![vec![1.0, 1.0]; 10];
+        let result = KMeans::new(KMeansConfig::new(3).with_seed(5)).fit(&points).unwrap();
+        assert_eq!(result.assignments().len(), 10);
+        assert!(result.inertia() < 1e-18);
+    }
+}

@@ -1,0 +1,40 @@
+//! Clustering substrate: K-means, support vector clustering (SVC),
+//! principal component analysis and cluster-validation indices.
+//!
+//! §IV-B of the paper clusters the 433 thirty-feature failure records with
+//! *both* K-means and Support Vector Clustering ("which generate the same
+//! results"), picks the number of clusters from the elbow of the mean
+//! within-cluster distance (Fig. 3), and visualizes the groups in the first
+//! two principal components (Fig. 4). All three algorithms are implemented
+//! here from scratch on top of [`dds_stats`], plus the validation indices
+//! (silhouette, adjusted Rand index) used to check the unsupervised result
+//! against the simulator's ground truth.
+//!
+//! # Example
+//!
+//! ```
+//! use dds_cluster::{KMeans, KMeansConfig};
+//!
+//! let points = vec![
+//!     vec![0.0, 0.0], vec![0.1, 0.0], vec![0.0, 0.1],
+//!     vec![5.0, 5.0], vec![5.1, 5.0], vec![5.0, 5.1],
+//! ];
+//! let result = KMeans::new(KMeansConfig::new(2).with_seed(1)).fit(&points).unwrap();
+//! assert_eq!(result.assignments()[0], result.assignments()[1]);
+//! assert_ne!(result.assignments()[0], result.assignments()[3]);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod hierarchical;
+pub mod kmeans;
+pub mod pca;
+pub mod svc;
+pub mod validation;
+
+pub use hierarchical::{Dendrogram, Linkage};
+pub use kmeans::{KMeans, KMeansConfig, KMeansResult};
+pub use pca::PcaModel;
+pub use svc::{Svc, SvcConfig, SvcResult};
+pub use validation::{adjusted_rand_index, silhouette_score};

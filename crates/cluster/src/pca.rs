@@ -1,0 +1,191 @@
+//! Principal component analysis via the covariance matrix and Jacobi
+//! eigendecomposition.
+//!
+//! Fig. 4 of the paper shows the three failure groups in the plane of the
+//! first two principal components of the 30-feature failure records.
+//! [`PcaModel::fit`] + [`PcaModel::project`] regenerate that projection.
+
+use dds_stats::correlation::covariance_matrix;
+use dds_stats::{Matrix, StatsError};
+
+/// A fitted PCA model: column means and the leading eigenvectors of the
+/// covariance matrix.
+///
+/// # Example
+///
+/// ```
+/// use dds_cluster::PcaModel;
+///
+/// // Points along the diagonal: the first component captures ~everything.
+/// let points: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, i as f64 * 2.0]).collect();
+/// let pca = PcaModel::fit(&points, 2).unwrap();
+/// assert!(pca.explained_variance_ratio()[0] > 0.999);
+/// let projected = pca.project(&points).unwrap();
+/// assert_eq!(projected[0].len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PcaModel {
+    means: Vec<f64>,
+    /// Components as rows (each a unit vector in input space).
+    components: Vec<Vec<f64>>,
+    eigenvalues: Vec<f64>,
+    total_variance: f64,
+}
+
+impl PcaModel {
+    /// Fits a PCA with `n_components` components on row-observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] / [`StatsError::DimensionMismatch`]
+    /// for invalid shapes and [`StatsError::InvalidParameter`] when
+    /// `n_components` is zero or exceeds the input dimension.
+    pub fn fit(points: &[Vec<f64>], n_components: usize) -> Result<Self, StatsError> {
+        if points.is_empty() || points[0].is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        let dim = points[0].len();
+        if n_components == 0 || n_components > dim {
+            return Err(StatsError::InvalidParameter(format!(
+                "n_components {n_components} must be in 1..={dim}"
+            )));
+        }
+        let cov: Matrix = covariance_matrix(points)?;
+        let eig = cov.symmetric_eigen()?;
+        let mut means = vec![0.0; dim];
+        for p in points {
+            for (m, v) in means.iter_mut().zip(p) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= points.len() as f64;
+        }
+        let total_variance: f64 = eig.eigenvalues.iter().map(|&l| l.max(0.0)).sum();
+        let components: Vec<Vec<f64>> =
+            (0..n_components).map(|c| eig.eigenvectors.column(c)).collect();
+        let eigenvalues = eig.eigenvalues[..n_components].to_vec();
+        Ok(PcaModel { means, components, eigenvalues, total_variance })
+    }
+
+    /// Number of retained components.
+    pub fn n_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Eigenvalues (variances) of the retained components, descending.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Fraction of total variance captured by each retained component.
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        if self.total_variance <= 0.0 {
+            return vec![0.0; self.components.len()];
+        }
+        self.eigenvalues.iter().map(|&l| l.max(0.0) / self.total_variance).collect()
+    }
+
+    /// Projects one point onto the retained components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] for a point of the wrong
+    /// dimension.
+    pub fn project_point(&self, point: &[f64]) -> Result<Vec<f64>, StatsError> {
+        if point.len() != self.means.len() {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.means.len(),
+                actual: point.len(),
+            });
+        }
+        Ok(self
+            .components
+            .iter()
+            .map(|comp| {
+                comp.iter()
+                    .zip(point.iter().zip(&self.means))
+                    .map(|(c, (v, m))| c * (v - m))
+                    .sum()
+            })
+            .collect())
+    }
+
+    /// Projects many points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`project_point`](Self::project_point) errors.
+    pub fn project(&self, points: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, StatsError> {
+        points.iter().map(|p| self.project_point(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_component_aligns_with_dominant_direction() {
+        // Variance along x is 100x the variance along y.
+        let points: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i as f64) * 1.0, ((i % 2) as f64) * 0.1])
+            .collect();
+        let pca = PcaModel::fit(&points, 2).unwrap();
+        let c0 = &pca.components[0];
+        assert!(c0[0].abs() > 0.99, "first component should be ~x axis: {c0:?}");
+        let ratios = pca.explained_variance_ratio();
+        assert!(ratios[0] > 0.99);
+        assert!((ratios.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_centers_data() {
+        let points: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 5.0]).collect();
+        let pca = PcaModel::fit(&points, 1).unwrap();
+        let projected = pca.project(&points).unwrap();
+        let mean: f64 = projected.iter().map(|p| p[0]).sum::<f64>() / 10.0;
+        assert!(mean.abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_preserves_pairwise_distance_in_full_rank() {
+        let points = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 6.0, 1.0],
+            vec![0.0, -1.0, 2.0],
+            vec![2.0, 2.0, 2.0],
+            vec![5.0, 0.0, 0.0],
+        ];
+        let pca = PcaModel::fit(&points, 3).unwrap();
+        let proj = pca.project(&points).unwrap();
+        for i in 0..points.len() {
+            for j in 0..points.len() {
+                let orig = dds_stats::euclidean(&points[i], &points[j]).unwrap();
+                let new = dds_stats::euclidean(&proj[i], &proj[j]).unwrap();
+                assert!((orig - new).abs() < 1e-8, "distance distorted: {orig} vs {new}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_data_has_zero_explained_variance() {
+        let points = vec![vec![3.0, 3.0]; 8];
+        let pca = PcaModel::fit(&points, 1).unwrap();
+        assert_eq!(pca.explained_variance_ratio(), vec![0.0]);
+        let proj = pca.project_point(&[3.0, 3.0]).unwrap();
+        assert!(proj[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(PcaModel::fit(&[], 1).is_err());
+        let points = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert!(PcaModel::fit(&points, 0).is_err());
+        assert!(PcaModel::fit(&points, 3).is_err());
+        let pca = PcaModel::fit(&points, 1).unwrap();
+        assert!(pca.project_point(&[1.0]).is_err());
+        assert_eq!(pca.n_components(), 1);
+        assert_eq!(pca.eigenvalues().len(), 1);
+    }
+}

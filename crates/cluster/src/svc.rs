@@ -1,0 +1,455 @@
+//! Support vector clustering (Ben-Hur, Horn, Siegelmann & Vapnik, 2001).
+//!
+//! §IV-B of the paper clusters the failure records with both K-means and
+//! SVC and reports that the two "generate the same results". SVC maps the
+//! data into an RBF feature space, finds the minimal enclosing sphere of
+//! the images (a quadratic program solved here with SMO-style pairwise
+//! coordinate descent), and labels clusters as the connected components of
+//! the graph in which two points are adjacent when the whole line segment
+//! between them stays inside the sphere's pre-image contour.
+
+use dds_stats::{squared_euclidean, StatsError};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for [`Svc`].
+///
+/// # Example
+///
+/// ```
+/// use dds_cluster::SvcConfig;
+///
+/// let config = SvcConfig::new().with_gamma(0.5).with_soft_margin(1.0);
+/// assert_eq!(config.gamma, Some(0.5));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvcConfig {
+    /// RBF kernel width `K(a, b) = exp(−gamma · ‖a − b‖²)`. `None` picks
+    /// `1 / median pairwise squared distance` from the data.
+    pub gamma: Option<f64>,
+    /// Upper bound `C` on the dual coefficients; `C ≥ 1` forbids bounded
+    /// support vectors (no outliers), smaller values allow them.
+    pub soft_margin: f64,
+    /// Number of interpolation samples per segment in the labeling step.
+    pub segment_samples: usize,
+    /// Maximum SMO sweeps.
+    pub max_sweeps: usize,
+    /// Convergence threshold on the duality-style objective change.
+    pub tolerance: f64,
+    /// RNG seed (pair selection order).
+    pub seed: u64,
+}
+
+impl SvcConfig {
+    /// Defaults: data-driven gamma, hard margin (`C = 1`), 12 segment
+    /// samples, 200 sweeps.
+    pub fn new() -> Self {
+        SvcConfig {
+            gamma: None,
+            soft_margin: 1.0,
+            segment_samples: 12,
+            max_sweeps: 200,
+            tolerance: 1e-10,
+            seed: 0x5FC,
+        }
+    }
+
+    /// Sets an explicit RBF width.
+    #[must_use]
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        self.gamma = Some(gamma);
+        self
+    }
+
+    /// Sets the soft-margin bound `C`.
+    #[must_use]
+    pub fn with_soft_margin(mut self, c: f64) -> Self {
+        self.soft_margin = c;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for SvcConfig {
+    fn default() -> Self {
+        SvcConfig::new()
+    }
+}
+
+/// The support vector clustering algorithm.
+#[derive(Debug, Clone)]
+pub struct Svc {
+    config: SvcConfig,
+}
+
+impl Svc {
+    /// Creates the algorithm with the given configuration.
+    pub fn new(config: SvcConfig) -> Self {
+        Svc { config }
+    }
+
+    /// Clusters `points`, returning per-point labels (0-based, dense).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for no points,
+    /// [`StatsError::DimensionMismatch`] for ragged rows, and
+    /// [`StatsError::InvalidParameter`] for a non-positive `gamma` or
+    /// `soft_margin < 1/n` (which makes the QP infeasible).
+    pub fn fit(&self, points: &[Vec<f64>]) -> Result<SvcResult, StatsError> {
+        if points.is_empty() || points[0].is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        let n = points.len();
+        let dim = points[0].len();
+        for p in points {
+            if p.len() != dim {
+                return Err(StatsError::DimensionMismatch { expected: dim, actual: p.len() });
+            }
+        }
+        let c = self.config.soft_margin;
+        if c <= 0.0 || c * (n as f64) < 1.0 {
+            return Err(StatsError::InvalidParameter(format!(
+                "soft margin C = {c} cannot satisfy the sum-to-one constraint for n = {n}"
+            )));
+        }
+        let gamma = match self.config.gamma {
+            Some(g) if g > 0.0 => g,
+            Some(g) => {
+                return Err(StatsError::InvalidParameter(format!("gamma must be positive, got {g}")))
+            }
+            None => default_gamma(points)?,
+        };
+
+        // Kernel matrix (RBF: diagonal is 1).
+        let mut kernel = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            kernel[i][i] = 1.0;
+            for j in (i + 1)..n {
+                let k = (-gamma * squared_euclidean(&points[i], &points[j])?).exp();
+                kernel[i][j] = k;
+                kernel[j][i] = k;
+            }
+        }
+
+        // --- SMO-style pairwise descent on beta' K beta ------------------
+        let mut beta = vec![1.0 / n as f64; n];
+        // g[i] = (K beta)_i
+        let mut g: Vec<f64> = (0..n)
+            .map(|i| kernel[i].iter().zip(&beta).map(|(k, b)| k * b).sum())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut objective: f64 = beta.iter().zip(&g).map(|(b, gi)| b * gi).sum();
+        for _ in 0..self.config.max_sweeps {
+            for i in 0..n {
+                let j = rng.random_range(0..n);
+                if i == j {
+                    continue;
+                }
+                let denom = kernel[i][i] + kernel[j][j] - 2.0 * kernel[i][j];
+                if denom <= 1e-15 {
+                    continue;
+                }
+                let s = beta[i] + beta[j];
+                let lo = (s - c).max(0.0);
+                let hi = s.min(c).max(lo);
+                let new_bi = (beta[i] + (g[j] - g[i]) / denom).clamp(lo, hi);
+                let delta = new_bi - beta[i];
+                if delta.abs() < 1e-15 {
+                    continue;
+                }
+                // Guard against floating-point drift below zero / above C.
+                beta[i] = new_bi.clamp(0.0, c);
+                beta[j] = (s - new_bi).clamp(0.0, c);
+                for k in 0..n {
+                    g[k] += delta * (kernel[i][k] - kernel[j][k]);
+                }
+            }
+            let new_objective: f64 = beta.iter().zip(&g).map(|(b, gi)| b * gi).sum();
+            if (objective - new_objective).abs() < self.config.tolerance {
+                objective = new_objective;
+                break;
+            }
+            objective = new_objective;
+        }
+
+        // Sphere radius²: evaluated at margin support vectors
+        // (0 < beta < C). R²(x) = 1 − 2 Σ β_i K(x_i, x) + β'Kβ.
+        let quad = objective;
+        let eps = 1e-7;
+        let sv: Vec<usize> = (0..n).filter(|&i| beta[i] > eps).collect();
+        let margin_sv: Vec<usize> =
+            sv.iter().copied().filter(|&i| beta[i] < c - eps).collect();
+        let radius_set = if margin_sv.is_empty() { &sv } else { &margin_sv };
+        let radius2 = radius_set
+            .iter()
+            .map(|&i| 1.0 - 2.0 * g[i] + quad)
+            .fold(0.0f64, f64::max)
+            .max(0.0);
+
+        // --- cluster labeling via segment sampling + union-find ----------
+        let r2 = |x: &[f64]| -> f64 {
+            let mut k_sum = 0.0;
+            for &i in &sv {
+                let d2: f64 =
+                    x.iter().zip(&points[i]).map(|(a, b)| (a - b) * (a - b)).sum();
+                k_sum += beta[i] * (-gamma * d2).exp();
+            }
+            1.0 - 2.0 * k_sum + quad
+        };
+        let tol = 1e-6 + radius2 * 1e-3;
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let samples = self.config.segment_samples.max(2);
+        let inside: Vec<bool> = (0..n).map(|i| 1.0 - 2.0 * g[i] + quad <= radius2 + tol).collect();
+        for i in 0..n {
+            if !inside[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !inside[j] {
+                    continue;
+                }
+                if find(&mut parent, i) == find(&mut parent, j) {
+                    continue;
+                }
+                let mut connected = true;
+                for step in 1..samples {
+                    let t = step as f64 / samples as f64;
+                    let mid: Vec<f64> = points[i]
+                        .iter()
+                        .zip(&points[j])
+                        .map(|(a, b)| a + t * (b - a))
+                        .collect();
+                    if r2(&mid) > radius2 + tol {
+                        connected = false;
+                        break;
+                    }
+                }
+                if connected {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    parent[ri] = rj;
+                }
+            }
+        }
+        // Bounded SVs / outliers: attach to the nearest inside point's
+        // component.
+        for i in 0..n {
+            if inside[i] {
+                continue;
+            }
+            let mut best = (usize::MAX, f64::INFINITY);
+            for j in 0..n {
+                if !inside[j] {
+                    continue;
+                }
+                let d = squared_euclidean(&points[i], &points[j])?;
+                if d < best.1 {
+                    best = (j, d);
+                }
+            }
+            if best.0 != usize::MAX {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, best.0));
+                parent[ri] = rj;
+            }
+        }
+        // Dense labels.
+        let mut labels = vec![usize::MAX; n];
+        let mut next = 0usize;
+        let mut roots: Vec<(usize, usize)> = Vec::new();
+        for (i, label_slot) in labels.iter_mut().enumerate() {
+            let r = find(&mut parent, i);
+            let label = match roots.iter().find(|&&(root, _)| root == r) {
+                Some(&(_, l)) => l,
+                None => {
+                    roots.push((r, next));
+                    next += 1;
+                    next - 1
+                }
+            };
+            *label_slot = label;
+        }
+        Ok(SvcResult { labels, num_clusters: next, gamma, radius2, support_vectors: sv })
+    }
+}
+
+/// Data-driven default RBF width: the reciprocal of the median pairwise
+/// squared distance (subsampled for large inputs).
+///
+/// SVC with this width often yields a single cluster on well-separated
+/// data; the classic procedure *increases* gamma until cluster structure
+/// appears (Ben-Hur et al. §4). [`suggest_gamma`] exposes the base value so
+/// callers can run that sweep.
+///
+/// # Errors
+///
+/// Propagates distance shape errors.
+pub fn suggest_gamma(points: &[Vec<f64>]) -> Result<f64, StatsError> {
+    default_gamma(points)
+}
+
+fn default_gamma(points: &[Vec<f64>]) -> Result<f64, StatsError> {
+    let n = points.len();
+    if n == 1 {
+        return Ok(1.0);
+    }
+    let stride = (n / 200).max(1);
+    let mut d2: Vec<f64> = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let mut j = i + stride;
+        while j < n {
+            d2.push(squared_euclidean(&points[i], &points[j])?);
+            j += stride;
+        }
+        i += stride;
+    }
+    if d2.is_empty() {
+        return Ok(1.0);
+    }
+    d2.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+    let median = d2[d2.len() / 2];
+    Ok(if median > 0.0 { 1.0 / median } else { 1.0 })
+}
+
+/// Outcome of an SVC run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvcResult {
+    labels: Vec<usize>,
+    num_clusters: usize,
+    gamma: f64,
+    radius2: f64,
+    support_vectors: Vec<usize>,
+}
+
+impl SvcResult {
+    /// Dense cluster label per input point.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of clusters found.
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters
+    }
+
+    /// The RBF width actually used.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Squared radius of the minimal enclosing sphere in feature space.
+    pub fn radius_squared(&self) -> f64 {
+        self.radius2
+    }
+
+    /// Indices of the support vectors (non-zero dual coefficients).
+    pub fn support_vectors(&self) -> &[usize] {
+        &self.support_vectors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(centers: &[(f64, f64)], per: usize) -> Vec<Vec<f64>> {
+        let mut points = Vec::new();
+        for &(cx, cy) in centers {
+            for i in 0..per {
+                let dx = (i % 4) as f64 * 0.08;
+                let dy = (i / 4) as f64 * 0.08;
+                points.push(vec![cx + dx, cy + dy]);
+            }
+        }
+        points
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let points = blobs(&[(0.0, 0.0), (6.0, 6.0)], 12);
+        let result = Svc::new(SvcConfig::new().with_gamma(1.5)).fit(&points).unwrap();
+        assert_eq!(result.num_clusters(), 2, "labels: {:?}", result.labels());
+        // Within-blob labels agree.
+        for w in result.labels()[..12].windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+        assert_ne!(result.labels()[0], result.labels()[12]);
+    }
+
+    #[test]
+    fn separates_three_blobs() {
+        let points = blobs(&[(0.0, 0.0), (7.0, 0.0), (0.0, 7.0)], 10);
+        let result = Svc::new(SvcConfig::new().with_gamma(1.5)).fit(&points).unwrap();
+        assert_eq!(result.num_clusters(), 3);
+    }
+
+    #[test]
+    fn tiny_gamma_merges_everything() {
+        let points = blobs(&[(0.0, 0.0), (4.0, 4.0)], 8);
+        let result = Svc::new(SvcConfig::new().with_gamma(1e-4)).fit(&points).unwrap();
+        assert_eq!(result.num_clusters(), 1);
+    }
+
+    #[test]
+    fn default_gamma_is_reasonable() {
+        let points = blobs(&[(0.0, 0.0), (5.0, 5.0)], 10);
+        let result = Svc::new(SvcConfig::new()).fit(&points).unwrap();
+        assert!(result.gamma() > 0.0);
+        assert!(result.num_clusters() >= 1);
+    }
+
+    #[test]
+    fn labels_are_dense_and_cover_all_points() {
+        let points = blobs(&[(0.0, 0.0), (8.0, 0.0)], 9);
+        let result = Svc::new(SvcConfig::new().with_gamma(2.0)).fit(&points).unwrap();
+        let max = *result.labels().iter().max().unwrap();
+        assert_eq!(max + 1, result.num_clusters());
+        assert_eq!(result.labels().len(), points.len());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let points = blobs(&[(0.0, 0.0), (6.0, 6.0)], 10);
+        let a = Svc::new(SvcConfig::new().with_seed(3)).fit(&points).unwrap();
+        let b = Svc::new(SvcConfig::new().with_seed(3)).fit(&points).unwrap();
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(Svc::new(SvcConfig::new()).fit(&[]).is_err());
+        let ragged = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(Svc::new(SvcConfig::new()).fit(&ragged).is_err());
+        let points = blobs(&[(0.0, 0.0)], 5);
+        assert!(Svc::new(SvcConfig::new().with_gamma(-1.0)).fit(&points).is_err());
+        assert!(Svc::new(SvcConfig::new().with_soft_margin(0.01)).fit(&points).is_err());
+    }
+
+    #[test]
+    fn single_point_is_one_cluster() {
+        let result = Svc::new(SvcConfig::new()).fit(&[vec![1.0, 2.0]]).unwrap();
+        assert_eq!(result.num_clusters(), 1);
+        assert_eq!(result.labels(), &[0]);
+    }
+
+    #[test]
+    fn support_vectors_are_reported() {
+        let points = blobs(&[(0.0, 0.0), (6.0, 6.0)], 10);
+        let result = Svc::new(SvcConfig::new().with_gamma(1.0)).fit(&points).unwrap();
+        assert!(!result.support_vectors().is_empty());
+        assert!(result.radius_squared() >= 0.0);
+    }
+}

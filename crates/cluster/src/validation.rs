@@ -1,0 +1,196 @@
+//! Cluster validation: silhouette score and adjusted Rand index.
+//!
+//! The paper could only sanity-check its failure groups qualitatively
+//! (Figs. 4–6) because real drives come without ground-truth failure types.
+//! The simulated fleet *has* ground truth, so the workspace uses the
+//! adjusted Rand index to quantify how faithfully the unsupervised
+//! categorization recovers the underlying failure modes, and the silhouette
+//! score as a label-free quality measure.
+
+use dds_stats::{euclidean, StatsError};
+
+/// Mean silhouette score of a labeled clustering, in `[-1, 1]`.
+///
+/// For each point: `s = (b − a) / max(a, b)` with `a` the mean distance to
+/// its own cluster and `b` the smallest mean distance to another cluster.
+/// Singleton clusters contribute `0`, and a clustering with a single
+/// cluster scores `0` by convention.
+///
+/// # Errors
+///
+/// Returns [`StatsError::DimensionMismatch`] when `points` and `labels`
+/// lengths differ and [`StatsError::EmptyInput`] for no points.
+///
+/// # Example
+///
+/// ```
+/// use dds_cluster::silhouette_score;
+///
+/// let points = vec![vec![0.0], vec![0.1], vec![10.0], vec![10.1]];
+/// let labels = vec![0, 0, 1, 1];
+/// let s = silhouette_score(&points, &labels).unwrap();
+/// assert!(s > 0.9);
+/// ```
+pub fn silhouette_score(points: &[Vec<f64>], labels: &[usize]) -> Result<f64, StatsError> {
+    if points.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if points.len() != labels.len() {
+        return Err(StatsError::DimensionMismatch {
+            expected: points.len(),
+            actual: labels.len(),
+        });
+    }
+    let k = labels.iter().copied().max().unwrap_or(0) + 1;
+    if k < 2 {
+        return Ok(0.0);
+    }
+    let mut total = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        // Mean distance to every cluster.
+        let mut sums = vec![0.0f64; k];
+        let mut counts = vec![0usize; k];
+        for (j, q) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            sums[labels[j]] += euclidean(p, q)?;
+            counts[labels[j]] += 1;
+        }
+        let own = labels[i];
+        if counts[own] == 0 {
+            // Singleton cluster: silhouette defined as 0.
+            continue;
+        }
+        let a = sums[own] / counts[own] as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b).max(1e-300);
+        }
+    }
+    Ok(total / points.len() as f64)
+}
+
+/// Adjusted Rand index between two labelings, `1.0` for identical
+/// partitions (up to renaming), `≈ 0` for independent ones.
+///
+/// # Errors
+///
+/// Returns [`StatsError::DimensionMismatch`] for unequal lengths and
+/// [`StatsError::EmptyInput`] for empty labelings.
+///
+/// # Example
+///
+/// ```
+/// use dds_cluster::adjusted_rand_index;
+///
+/// let truth = [0, 0, 1, 1, 2, 2];
+/// let found = [2, 2, 0, 0, 1, 1]; // same partition, renamed
+/// assert!((adjusted_rand_index(&truth, &found).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn adjusted_rand_index(a: &[usize], b: &[usize]) -> Result<f64, StatsError> {
+    if a.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if a.len() != b.len() {
+        return Err(StatsError::DimensionMismatch { expected: a.len(), actual: b.len() });
+    }
+    let ka = a.iter().copied().max().expect("non-empty") + 1;
+    let kb = b.iter().copied().max().expect("non-empty") + 1;
+    let mut table = vec![vec![0u64; kb]; ka];
+    for (&x, &y) in a.iter().zip(b) {
+        table[x][y] += 1;
+    }
+    let choose2 = |n: u64| -> f64 { (n as f64) * (n as f64 - 1.0) / 2.0 };
+    let sum_cells: f64 = table.iter().flatten().map(|&n| choose2(n)).sum();
+    let row_sums: Vec<u64> = table.iter().map(|r| r.iter().sum()).collect();
+    let col_sums: Vec<u64> = (0..kb).map(|c| table.iter().map(|r| r[c]).sum()).collect();
+    let sum_rows: f64 = row_sums.iter().map(|&n| choose2(n)).sum();
+    let sum_cols: f64 = col_sums.iter().map(|&n| choose2(n)).sum();
+    let total = choose2(a.len() as u64);
+    if total == 0.0 {
+        return Ok(1.0);
+    }
+    let expected = sum_rows * sum_cols / total;
+    let max_index = (sum_rows + sum_cols) / 2.0;
+    if (max_index - expected).abs() < 1e-300 {
+        // Both partitions are trivial (all-one-cluster or all-singletons in
+        // the same way); they agree perfectly.
+        return Ok(1.0);
+    }
+    Ok((sum_cells - expected) / (max_index - expected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silhouette_separated_vs_interleaved() {
+        let points = vec![vec![0.0], vec![0.2], vec![9.0], vec![9.2]];
+        let good = silhouette_score(&points, &[0, 0, 1, 1]).unwrap();
+        let bad = silhouette_score(&points, &[0, 1, 0, 1]).unwrap();
+        assert!(good > 0.9);
+        assert!(bad < 0.0);
+    }
+
+    #[test]
+    fn silhouette_single_cluster_is_zero() {
+        let points = vec![vec![0.0], vec![1.0]];
+        assert_eq!(silhouette_score(&points, &[0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn silhouette_handles_singletons() {
+        let points = vec![vec![0.0], vec![0.1], vec![50.0]];
+        let s = silhouette_score(&points, &[0, 0, 1]).unwrap();
+        assert!(s > 0.5); // two tight points + one singleton (contributes 0)
+    }
+
+    #[test]
+    fn silhouette_shape_errors() {
+        assert!(silhouette_score(&[], &[]).is_err());
+        assert!(silhouette_score(&[vec![1.0]], &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn ari_identical_and_renamed() {
+        let a = [0, 0, 1, 1, 2];
+        assert!((adjusted_rand_index(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+        let renamed = [1, 1, 2, 2, 0];
+        assert!((adjusted_rand_index(&a, &renamed).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_disagreement_is_low() {
+        let truth = [0, 0, 0, 1, 1, 1];
+        let noise = [0, 1, 0, 1, 0, 1];
+        let ari = adjusted_rand_index(&truth, &noise).unwrap();
+        assert!(ari < 0.2, "ari {ari}");
+    }
+
+    #[test]
+    fn ari_partial_agreement_between_zero_and_one() {
+        let truth = [0, 0, 0, 0, 1, 1, 1, 1];
+        let found = [0, 0, 0, 1, 1, 1, 1, 1];
+        let ari = adjusted_rand_index(&truth, &found).unwrap();
+        assert!(ari > 0.3 && ari < 1.0, "ari {ari}");
+    }
+
+    #[test]
+    fn ari_trivial_partitions() {
+        let ones = [0usize; 5];
+        assert_eq!(adjusted_rand_index(&ones, &ones).unwrap(), 1.0);
+        let singletons = [0, 1, 2, 3, 4];
+        assert_eq!(adjusted_rand_index(&singletons, &singletons).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn ari_shape_errors() {
+        assert!(adjusted_rand_index(&[], &[]).is_err());
+        assert!(adjusted_rand_index(&[0], &[0, 1]).is_err());
+    }
+}

@@ -1,0 +1,495 @@
+//! Degradation signatures (§IV-C): distance-to-failure curves, degradation
+//! window extraction, and automated signature-model selection.
+//!
+//! For every failed drive the similarity of each health record to the
+//! drive's failure record is computed (Euclidean distance — the paper tested
+//! Mahalanobis and rejected it); the final *monotone* stretch of the curve is
+//! the degradation window `d_i`; the windowed curve is normalized to
+//! `[-1, 0]` and fitted with both free polynomials (Fig. 8) and the fixed
+//! signature forms `t^k/d^k − 1`, selecting the lowest-RMSE model. This
+//! module is the "software tool \[that\] processes health records of each
+//! failed drive … and selects the one with the smallest RMSE as the failure
+//! degradation signature" described at the end of §IV-C.
+
+use crate::categorize::Categorization;
+use crate::error::AnalysisError;
+use crate::features::FailureRecordSet;
+use dds_smartsim::{Dataset, DriveId, DriveProfile};
+use dds_stats::timeseries::moving_average;
+use dds_stats::{euclidean, PolynomialFit, SignatureForm, SignatureModel};
+
+/// Configuration for [`DegradationAnalyzer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationConfig {
+    /// Moving-average window (hours) applied to the distance curve before
+    /// monotone-suffix extraction (1 = no smoothing).
+    pub smoothing_window: usize,
+    /// Fraction of the curve's maximum distance tolerated as a *cumulative*
+    /// drop below the running maximum before the window is cut.
+    pub tolerance_fraction: f64,
+    /// Absolute floor on the tolerance (normalized-distance units), so tiny
+    /// curves are not cut by sensor noise alone.
+    pub tolerance_floor: f64,
+    /// After the tolerant suffix extraction, leading samples whose distance
+    /// still sits within this fraction of the window maximum are trimmed:
+    /// a fluctuating plateau at the top of the curve belongs to the
+    /// pre-degradation phase, not the window.
+    pub trim_fraction: f64,
+    /// Highest free-polynomial order fitted for the Fig. 8 comparison.
+    pub max_poly_order: usize,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        DegradationConfig {
+            smoothing_window: 3,
+            tolerance_fraction: 0.05,
+            tolerance_floor: 0.035,
+            trim_fraction: 0.15,
+            max_poly_order: 3,
+        }
+    }
+}
+
+/// A free-polynomial fit summary for the Fig. 8 comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolyFitSummary {
+    /// Polynomial order.
+    pub order: usize,
+    /// Coefficients, ascending powers.
+    pub coefficients: Vec<f64>,
+    /// Goodness of fit R².
+    pub r_squared: f64,
+    /// Training RMSE.
+    pub rmse: f64,
+}
+
+/// The degradation analysis of one failed drive.
+#[derive(Debug, Clone)]
+pub struct DriveDegradation {
+    /// The analyzed drive.
+    pub drive_id: DriveId,
+    /// Chronological Euclidean distances of each record to the failure
+    /// record (last entry is 0) — the Fig. 7 curve.
+    pub distances: Vec<f64>,
+    /// Extracted degradation-window size `d_i` in hours (≥ 1).
+    pub window_hours: usize,
+    /// Hours-before-failure for each window record, descending `d..0`.
+    pub times: Vec<f64>,
+    /// Normalized degradation values in `[-1, 0]`, aligned with `times`
+    /// (the Fig. 8 curve).
+    pub degradation: Vec<f64>,
+    /// The lowest-RMSE fixed-form signature.
+    pub best_model: SignatureModel,
+    /// RMSE of `best_model`.
+    pub best_rmse: f64,
+    /// RMSE of every candidate fixed form (the §IV-C model comparison).
+    pub model_rmse: Vec<(SignatureForm, f64)>,
+    /// Free-polynomial fits of orders `1..=max_poly_order` (Fig. 8);
+    /// orders needing more points than the window provides are omitted.
+    pub poly_fits: Vec<PolyFitSummary>,
+}
+
+impl DriveDegradation {
+    /// Predicted remaining hours before failure when the degradation value
+    /// reaches `s` (inverts the best signature model).
+    pub fn remaining_hours_at(&self, s: f64) -> Option<f64> {
+        self.best_model.time_before_failure(s)
+    }
+}
+
+/// Per-group degradation summary.
+#[derive(Debug, Clone)]
+pub struct GroupDegradation {
+    /// Paper-order group index.
+    pub group_index: usize,
+    /// `(min, mean, max)` of the group's window sizes in hours.
+    pub window_stats: (usize, f64, usize),
+    /// The form chosen most often across the group's drives — the group's
+    /// degradation signature (Eqs. 3, 4, 6).
+    pub dominant_form: SignatureForm,
+    /// Vote counts per form.
+    pub form_votes: Vec<(SignatureForm, usize)>,
+    /// Mean RMSE per fixed form over the group.
+    pub mean_rmse_by_form: Vec<(SignatureForm, f64)>,
+    /// Full analysis of the group's centroid drive (Figs. 7–8).
+    pub centroid: DriveDegradation,
+    /// Per-drive window sizes (aligned with the group's drive order).
+    pub windows: Vec<usize>,
+}
+
+/// Computes distance curves, degradation windows and signature fits.
+#[derive(Debug, Clone, Default)]
+pub struct DegradationAnalyzer {
+    config: DegradationConfig,
+}
+
+impl DegradationAnalyzer {
+    /// Creates an analyzer with the given configuration.
+    pub fn new(config: DegradationConfig) -> Self {
+        DegradationAnalyzer { config }
+    }
+
+    /// Analyzes a single failed drive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::UnsuitableDataset`] for good drives or
+    /// profiles with fewer than 3 records, and propagates numerical errors.
+    pub fn analyze_drive(
+        &self,
+        dataset: &Dataset,
+        drive: &DriveProfile,
+    ) -> Result<DriveDegradation, AnalysisError> {
+        if !drive.label().is_failed() {
+            return Err(AnalysisError::UnsuitableDataset(format!(
+                "{} is not a failed drive",
+                drive.id()
+            )));
+        }
+        let normalized = dataset.normalized_matrix(drive);
+        let n = normalized.len();
+        if n < 3 {
+            return Err(AnalysisError::UnsuitableDataset(format!(
+                "{} has only {n} records; need at least 3",
+                drive.id()
+            )));
+        }
+        let failure = &normalized[n - 1];
+        let distances: Vec<f64> = normalized
+            .iter()
+            .map(|rec| euclidean(rec, failure))
+            .collect::<Result<_, _>>()?;
+
+        // --- monotone-suffix window extraction ----------------------------
+        // Walking backward from the failure the distance should keep
+        // rising; the window ends where it has dropped more than `tol`
+        // below its running maximum (a cumulative criterion, so slow
+        // multi-hour declines count as violations, not only single-step
+        // jumps).
+        let smoothed = moving_average(&distances, self.config.smoothing_window.max(1));
+        let max_dist = distances.iter().copied().fold(0.0, f64::max);
+        let tol =
+            (self.config.tolerance_fraction * max_dist).max(self.config.tolerance_floor);
+        let mut j = n - 1;
+        let mut running_max = smoothed[n - 1];
+        while j > 0 && smoothed[j - 1] >= running_max - tol {
+            running_max = running_max.max(smoothed[j - 1]);
+            j -= 1;
+        }
+        // Trim the fluctuating plateau at the top: the window starts where
+        // the curve leaves the plateau. The first pass always drops the
+        // samples at the top level; further passes run only while the
+        // remaining window still has a long flat head (more than a quarter
+        // of its length inside the trim band) — the signature of
+        // pre-degradation fluctuation rather than a genuine steep curve
+        // (even a pure linear ramp keeps its head under ~15%).
+        for pass in 0..5 {
+            if j + 4 >= n {
+                break;
+            }
+            let window_max_smoothed =
+                smoothed[j..].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let trim_level = (1.0 - self.config.trim_fraction) * window_max_smoothed;
+            let Some(offset) = smoothed[j..n - 1].iter().rposition(|&v| v >= trim_level)
+            else {
+                break;
+            };
+            let head_len = offset + 1;
+            let window_len = n - j;
+            if pass > 0 && head_len * 4 < window_len {
+                break;
+            }
+            j += head_len;
+        }
+        // Keep at least two pre-failure samples so fits are well-posed.
+        j = j.min(n.saturating_sub(3));
+        let window_hours = (n - 1) - j;
+
+        // --- normalization to [-1, 0] -------------------------------------
+        let window_slice = &distances[j..];
+        let window_max = window_slice.iter().copied().fold(0.0, f64::max);
+        let times: Vec<f64> = (0..window_slice.len())
+            .map(|k| (window_slice.len() - 1 - k) as f64)
+            .collect();
+        let degradation: Vec<f64> = if window_max > 0.0 {
+            window_slice.iter().map(|&d| d / window_max - 1.0).collect()
+        } else {
+            vec![-1.0; window_slice.len()]
+        };
+
+        // --- fixed-form model selection ------------------------------------
+        let d = window_hours as f64;
+        let mut model_rmse = Vec::with_capacity(SignatureForm::ALL.len());
+        for form in SignatureForm::ALL {
+            let model = SignatureModel::new(form, d)?;
+            model_rmse.push((form, model.rmse_against(&times, &degradation)?));
+        }
+        let (best_model, best_rmse) = SignatureModel::best_fit(d, &times, &degradation)?;
+
+        // --- free polynomial fits (Fig. 8) ---------------------------------
+        let mut poly_fits = Vec::new();
+        for order in 1..=self.config.max_poly_order {
+            if times.len() <= order {
+                break;
+            }
+            match PolynomialFit::fit(&times, &degradation, order) {
+                Ok(fit) => poly_fits.push(PolyFitSummary {
+                    order,
+                    coefficients: fit.coefficients().to_vec(),
+                    r_squared: fit.r_squared(),
+                    rmse: fit.rmse(),
+                }),
+                // Degenerate windows (e.g. all-equal times) just skip the
+                // order rather than failing the drive.
+                Err(_) => break,
+            }
+        }
+
+        Ok(DriveDegradation {
+            drive_id: drive.id(),
+            distances,
+            window_hours,
+            times,
+            degradation,
+            best_model,
+            best_rmse,
+            model_rmse,
+            poly_fits,
+        })
+    }
+
+    /// Analyzes every group of a categorization, producing per-group
+    /// signature summaries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-drive errors; groups whose centroid cannot be
+    /// analyzed fail the whole call (they indicate corrupt input).
+    pub fn analyze_groups(
+        &self,
+        dataset: &Dataset,
+        records: &FailureRecordSet,
+        categorization: &Categorization,
+    ) -> Result<Vec<GroupDegradation>, AnalysisError> {
+        let mut result = Vec::with_capacity(categorization.num_groups());
+        for group in categorization.groups() {
+            let mut windows = Vec::with_capacity(group.size());
+            let mut votes: Vec<(SignatureForm, usize)> =
+                SignatureForm::ALL.iter().map(|&f| (f, 0)).collect();
+            let mut rmse_sums: Vec<(SignatureForm, f64)> =
+                SignatureForm::ALL.iter().map(|&f| (f, 0.0)).collect();
+            let mut centroid: Option<DriveDegradation> = None;
+            let mut analyzed = 0usize;
+            for &id in &group.drive_ids {
+                let drive = dataset.drive(id).expect("group drives exist in dataset");
+                let analysis = self.analyze_drive(dataset, drive)?;
+                windows.push(analysis.window_hours);
+                analyzed += 1;
+                for (form, count) in &mut votes {
+                    if *form == analysis.best_model.form() {
+                        *count += 1;
+                    }
+                }
+                for ((_, sum), (_, rmse)) in rmse_sums.iter_mut().zip(&analysis.model_rmse) {
+                    *sum += rmse;
+                }
+                if id == group.centroid_drive {
+                    centroid = Some(analysis);
+                }
+            }
+            let centroid = centroid.ok_or_else(|| {
+                AnalysisError::UnsuitableDataset(format!(
+                    "group {} centroid drive missing from dataset",
+                    group.index + 1
+                ))
+            })?;
+            let mean_rmse_by_form: Vec<(SignatureForm, f64)> = rmse_sums
+                .into_iter()
+                .map(|(f, sum)| (f, sum / analyzed.max(1) as f64))
+                .collect();
+            let dominant_form = votes
+                .iter()
+                .max_by_key(|(_, count)| *count)
+                .map(|&(f, _)| f)
+                .expect("votes non-empty");
+            let min = windows.iter().copied().min().unwrap_or(0);
+            let max = windows.iter().copied().max().unwrap_or(0);
+            let mean = windows.iter().sum::<usize>() as f64 / windows.len().max(1) as f64;
+            result.push(GroupDegradation {
+                group_index: group.index,
+                window_stats: (min, mean, max),
+                dominant_form,
+                form_votes: votes,
+                mean_rmse_by_form,
+                centroid,
+                windows,
+            });
+        }
+        let _ = records;
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categorize::{CategorizationConfig, Categorizer};
+    use dds_smartsim::{FailureMode, FleetConfig, FleetSimulator};
+
+    fn dataset() -> Dataset {
+        FleetSimulator::new(FleetConfig::test_scale().with_seed(41)).run()
+    }
+
+    #[test]
+    fn distance_curve_ends_at_zero() {
+        let ds = dataset();
+        let analyzer = DegradationAnalyzer::default();
+        let drive = ds.failed_drives().next().unwrap();
+        let analysis = analyzer.analyze_drive(&ds, drive).unwrap();
+        assert_eq!(*analysis.distances.last().unwrap(), 0.0);
+        assert_eq!(analysis.distances.len(), drive.records().len());
+    }
+
+    #[test]
+    fn degradation_is_normalized_and_monotone_boundaries() {
+        let ds = dataset();
+        let analyzer = DegradationAnalyzer::default();
+        for drive in ds.failed_drives().take(10) {
+            let a = analyzer.analyze_drive(&ds, drive).unwrap();
+            // Last value is the failure itself: -1.
+            assert!((a.degradation.last().unwrap() + 1.0).abs() < 1e-12);
+            // All values in [-1, 0].
+            for &s in &a.degradation {
+                assert!((-1.0 - 1e-9..=1e-9).contains(&s), "degradation {s}");
+            }
+            // Times descend from window to 0.
+            assert_eq!(*a.times.last().unwrap(), 0.0);
+            assert_eq!(a.times[0] as usize, a.window_hours.min(a.times.len() - 1));
+        }
+    }
+
+    #[test]
+    fn bad_sector_windows_are_long_logical_short() {
+        let ds = dataset();
+        let analyzer = DegradationAnalyzer::default();
+        let mut sector_windows = Vec::new();
+        let mut logical_windows = Vec::new();
+        for drive in ds.failed_drives() {
+            let a = analyzer.analyze_drive(&ds, drive).unwrap();
+            match drive.label().failure_mode().unwrap() {
+                FailureMode::BadSector if drive.profile_hours() >= 400 => {
+                    sector_windows.push(a.window_hours)
+                }
+                FailureMode::Logical => logical_windows.push(a.window_hours),
+                _ => {}
+            }
+        }
+        let mean = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len().max(1) as f64;
+        assert!(
+            mean(&sector_windows) > 150.0,
+            "bad-sector windows too short: {sector_windows:?}"
+        );
+        assert!(
+            mean(&logical_windows) < 40.0,
+            "logical windows too long: {logical_windows:?}"
+        );
+    }
+
+    #[test]
+    fn signature_forms_match_generating_dynamics() {
+        let ds = dataset();
+        let records = FailureRecordSet::extract(&ds, 24).unwrap();
+        let cat = Categorizer::new(CategorizationConfig { run_svc: false, ..Default::default() })
+            .categorize(&ds, &records)
+            .unwrap();
+        let groups = DegradationAnalyzer::default()
+            .analyze_groups(&ds, &records, &cat)
+            .unwrap();
+        assert_eq!(groups.len(), 3);
+        // Group 2 must be dominated by the linear form (Eq. 4).
+        assert_eq!(groups[1].dominant_form, SignatureForm::Linear, "{:?}", groups[1].form_votes);
+        // Group 3's signature has a higher order than Group 2's.
+        assert!(
+            groups[2].dominant_form.order() >= 2,
+            "G3 votes: {:?}",
+            groups[2].form_votes
+        );
+    }
+
+    #[test]
+    fn group_window_stats_are_consistent() {
+        let ds = dataset();
+        let records = FailureRecordSet::extract(&ds, 24).unwrap();
+        let cat = Categorizer::new(CategorizationConfig { run_svc: false, ..Default::default() })
+            .categorize(&ds, &records)
+            .unwrap();
+        let groups = DegradationAnalyzer::default()
+            .analyze_groups(&ds, &records, &cat)
+            .unwrap();
+        for g in &groups {
+            let (min, mean, max) = g.window_stats;
+            assert!(min as f64 <= mean && mean <= max as f64);
+            assert_eq!(g.windows.len(), cat.groups()[g.group_index].size());
+            assert!(g.centroid.window_hours >= 1);
+        }
+        // Group 2 windows dwarf Group 1 windows on average.
+        assert!(groups[1].window_stats.1 > 3.0 * groups[0].window_stats.1);
+    }
+
+    #[test]
+    fn model_comparison_covers_all_forms() {
+        let ds = dataset();
+        let analyzer = DegradationAnalyzer::default();
+        let drive = ds.failed_drives().next().unwrap();
+        let a = analyzer.analyze_drive(&ds, drive).unwrap();
+        assert_eq!(a.model_rmse.len(), SignatureForm::ALL.len());
+        let best_listed = a
+            .model_rmse
+            .iter()
+            .map(|&(_, r)| r)
+            .fold(f64::INFINITY, f64::min);
+        assert!((best_listed - a.best_rmse).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poly_fits_improve_with_order() {
+        let ds = dataset();
+        let analyzer = DegradationAnalyzer::default();
+        // Pick a drive with a long window so all orders fit.
+        let drive = ds
+            .failed_drives()
+            .find(|d| d.label().failure_mode() == Some(FailureMode::BadSector)
+                && d.profile_hours() >= 400)
+            .expect("test fleet has long bad-sector profiles");
+        let a = analyzer.analyze_drive(&ds, drive).unwrap();
+        assert!(a.poly_fits.len() >= 2);
+        for w in a.poly_fits.windows(2) {
+            assert!(w[1].rmse <= w[0].rmse + 1e-9);
+            assert!(w[1].r_squared >= w[0].r_squared - 1e-9);
+        }
+    }
+
+    #[test]
+    fn remaining_time_prediction_is_monotone() {
+        let ds = dataset();
+        let analyzer = DegradationAnalyzer::default();
+        let drive = ds.failed_drives().next().unwrap();
+        let a = analyzer.analyze_drive(&ds, drive).unwrap();
+        let t_mid = a.remaining_hours_at(-0.5).unwrap();
+        let t_late = a.remaining_hours_at(-0.9).unwrap();
+        assert!(t_late < t_mid);
+        assert!((a.remaining_hours_at(-1.0).unwrap() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_good_drives() {
+        let ds = dataset();
+        let analyzer = DegradationAnalyzer::default();
+        let good = ds.good_drives().next().unwrap();
+        assert!(matches!(
+            analyzer.analyze_drive(&ds, good),
+            Err(AnalysisError::UnsuitableDataset(_))
+        ));
+    }
+}

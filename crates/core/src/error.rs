@@ -1,0 +1,71 @@
+//! Error type for the analysis pipeline.
+
+use dds_regtree::TreeError;
+use dds_stats::StatsError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the disk-failure analysis pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// A statistical computation failed.
+    Stats(StatsError),
+    /// Regression-tree training failed.
+    Tree(TreeError),
+    /// The dataset does not contain what the analysis step needs
+    /// (e.g. no failed drives, profiles too short).
+    UnsuitableDataset(String),
+    /// A configuration field is out of its valid domain.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Stats(e) => write!(f, "statistics error: {e}"),
+            AnalysisError::Tree(e) => write!(f, "regression tree error: {e}"),
+            AnalysisError::UnsuitableDataset(msg) => write!(f, "unsuitable dataset: {msg}"),
+            AnalysisError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalysisError::Stats(e) => Some(e),
+            AnalysisError::Tree(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for AnalysisError {
+    fn from(e: StatsError) -> Self {
+        AnalysisError::Stats(e)
+    }
+}
+
+impl From<TreeError> for AnalysisError {
+    fn from(e: TreeError) -> Self {
+        AnalysisError::Tree(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = AnalysisError::from(StatsError::EmptyInput);
+        assert!(e.to_string().contains("statistics error"));
+        assert!(e.source().is_some());
+        let e = AnalysisError::UnsuitableDataset("no failed drives".to_string());
+        assert!(e.to_string().contains("no failed drives"));
+        assert!(e.source().is_none());
+        let e = AnalysisError::from(TreeError::EmptyInput);
+        assert!(e.to_string().contains("regression tree"));
+    }
+}

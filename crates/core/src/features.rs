@@ -1,0 +1,198 @@
+//! Failure-record extraction and the 30-dimensional feature vectors of
+//! §IV-B.
+//!
+//! "For every failed drive, its failure record, i.e., the last recorded
+//! health state, is extracted. We use those attributes that are directly
+//! related to disk read and write actions […] For each attribute, we add two
+//! statistics, i.e., standard deviation of the values in the last 24 hours
+//! and change rate of the values. Thus, we create a set of 433 failure
+//! records with 30 features each."
+
+use crate::error::AnalysisError;
+use dds_smartsim::{Attribute, Dataset, DriveId, DriveProfile, NUM_ATTRIBUTES};
+use dds_stats::{descriptive, MinMaxScaler};
+
+/// Number of features per failure record: 10 R/W attributes × 3 statistics.
+pub const NUM_FEATURES: usize = 30;
+
+/// The failure records of every failed drive, with raw and
+/// clustering-ready (per-feature min–max scaled) feature vectors.
+#[derive(Debug, Clone)]
+pub struct FailureRecordSet {
+    drive_ids: Vec<DriveId>,
+    /// Normalized 12-attribute failure records (Eq. 1 scale).
+    failure_records: Vec<[f64; NUM_ATTRIBUTES]>,
+    /// Raw 30-feature vectors (value, 24-h stddev, change rate per R/W
+    /// attribute).
+    features: Vec<Vec<f64>>,
+    /// Features rescaled per column to `[-1, 1]` for distance-based
+    /// clustering.
+    scaled_features: Vec<Vec<f64>>,
+}
+
+impl FailureRecordSet {
+    /// Extracts failure records and features from every failed drive in the
+    /// dataset.
+    ///
+    /// `stat_window_hours` is the trailing window for the standard-deviation
+    /// feature (the paper uses 24).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::UnsuitableDataset`] when the dataset has no
+    /// failed drives or a profile is too short to compute a change rate
+    /// (fewer than 2 records).
+    pub fn extract(dataset: &Dataset, stat_window_hours: usize) -> Result<Self, AnalysisError> {
+        let mut drive_ids = Vec::new();
+        let mut failure_records = Vec::new();
+        let mut features = Vec::new();
+        for drive in dataset.failed_drives() {
+            if drive.records().len() < 2 {
+                return Err(AnalysisError::UnsuitableDataset(format!(
+                    "failed {} has fewer than 2 records",
+                    drive.id()
+                )));
+            }
+            drive_ids.push(drive.id());
+            let failure_record = drive.records().last().expect("non-empty profile");
+            failure_records.push(dataset.normalize_record(failure_record));
+            features.push(feature_vector(dataset, drive, stat_window_hours)?);
+        }
+        if drive_ids.is_empty() {
+            return Err(AnalysisError::UnsuitableDataset(
+                "dataset contains no failed drives".to_string(),
+            ));
+        }
+        let scaler = MinMaxScaler::fit(&features).map_err(AnalysisError::from)?;
+        let scaled_features = scaler.transform(&features).map_err(AnalysisError::from)?;
+        Ok(FailureRecordSet { drive_ids, failure_records, features, scaled_features })
+    }
+
+    /// Drive ids, in the same order as all other accessors.
+    pub fn drive_ids(&self) -> &[DriveId] {
+        &self.drive_ids
+    }
+
+    /// Number of failure records.
+    pub fn len(&self) -> usize {
+        self.drive_ids.len()
+    }
+
+    /// Whether the set is empty (never true for a successfully extracted
+    /// set).
+    pub fn is_empty(&self) -> bool {
+        self.drive_ids.is_empty()
+    }
+
+    /// Normalized 12-attribute failure records.
+    pub fn failure_records(&self) -> &[[f64; NUM_ATTRIBUTES]] {
+        &self.failure_records
+    }
+
+    /// Raw 30-feature vectors.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// Per-column scaled 30-feature vectors (clustering input).
+    pub fn scaled_features(&self) -> &[Vec<f64>] {
+        &self.scaled_features
+    }
+}
+
+/// Builds one 30-feature vector: for each of the ten R/W attributes, the
+/// normalized failure value, the stddev over the trailing window, and the
+/// change rate across the profile.
+fn feature_vector(
+    dataset: &Dataset,
+    drive: &DriveProfile,
+    stat_window_hours: usize,
+) -> Result<Vec<f64>, AnalysisError> {
+    let mut out = Vec::with_capacity(NUM_FEATURES);
+    for attr in Attribute::read_write() {
+        let series = dataset.normalized_series(drive, attr);
+        let value = *series.last().expect("non-empty profile");
+        let std = descriptive::trailing_std(&series, stat_window_hours.max(1))?;
+        let rate = descriptive::change_rate(&series)?;
+        out.push(value);
+        out.push(std);
+        out.push(rate);
+    }
+    debug_assert_eq!(out.len(), NUM_FEATURES);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_smartsim::{FleetConfig, FleetSimulator};
+
+    fn dataset() -> Dataset {
+        FleetSimulator::new(FleetConfig::test_scale().with_seed(21)).run()
+    }
+
+    #[test]
+    fn extracts_one_record_per_failed_drive() {
+        let ds = dataset();
+        let set = FailureRecordSet::extract(&ds, 24).unwrap();
+        assert_eq!(set.len(), ds.failed_drives().count());
+        assert!(!set.is_empty());
+        assert_eq!(set.features().len(), set.len());
+        assert_eq!(set.scaled_features().len(), set.len());
+        assert_eq!(set.failure_records().len(), set.len());
+    }
+
+    #[test]
+    fn feature_vectors_have_thirty_dimensions() {
+        let ds = dataset();
+        let set = FailureRecordSet::extract(&ds, 24).unwrap();
+        for f in set.features() {
+            assert_eq!(f.len(), NUM_FEATURES);
+            assert!(f.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn scaled_features_are_bounded() {
+        let ds = dataset();
+        let set = FailureRecordSet::extract(&ds, 24).unwrap();
+        for f in set.scaled_features() {
+            for &v in f {
+                assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v), "out of range: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn failure_value_feature_matches_failure_record() {
+        let ds = dataset();
+        let set = FailureRecordSet::extract(&ds, 24).unwrap();
+        // Feature 0 of each vector is the normalized RRER at failure, which
+        // must equal column 0 of the normalized failure record.
+        for (f, rec) in set.features().iter().zip(set.failure_records()) {
+            assert!((f[0] - rec[0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_dataset_without_failures() {
+        let ds = FleetSimulator::new(
+            FleetConfig::test_scale().with_failed_drives(0).with_seed(3),
+        )
+        .run();
+        assert!(matches!(
+            FailureRecordSet::extract(&ds, 24),
+            Err(AnalysisError::UnsuitableDataset(_))
+        ));
+    }
+
+    #[test]
+    fn drive_ids_are_unique() {
+        let ds = dataset();
+        let set = FailureRecordSet::extract(&ds, 24).unwrap();
+        let mut ids: Vec<u32> = set.drive_ids().iter().map(|d| d.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), set.len());
+    }
+}

@@ -1,0 +1,316 @@
+//! Attribute influence on failure degradation (§IV-D, Figs. 9–10).
+//!
+//! Fig. 9 correlates the non-constant read/write attributes with the
+//! degradation value inside the degradation window of each group's centroid
+//! drive. Fig. 10 correlates the environmental attributes (`POH`, `TC`)
+//! with the window's dominant R/W attributes over three horizons: the
+//! degradation window, the last 24 hours, and the full profile — showing
+//! that `POH` only tracks degradation *inside* the window (it is a clock,
+//! not a cause) and `TC` tracks it nowhere.
+//!
+//! The paper's `POH` preprocessing is reproduced: the recorded value steps
+//! down once per 876 hours and is otherwise constant, so "a very small
+//! constant" is added between consecutive samples to restore a usable
+//! time-like signal (§IV-D).
+
+use crate::degradation::DriveDegradation;
+use crate::error::AnalysisError;
+use dds_smartsim::{Attribute, Dataset, DriveProfile};
+use dds_stats::correlation::pearson;
+
+/// The small per-sample constant added to `POH` between samples (§IV-D).
+pub const POH_ADJUST_EPSILON: f64 = 0.001;
+
+/// The three correlation horizons of Fig. 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorrelationWindow {
+    /// The drive's extracted degradation window.
+    DegradationWindow,
+    /// The last 24 hours before failure.
+    Last24Hours,
+    /// The full recorded profile (up to 20 days).
+    FullProfile,
+}
+
+impl CorrelationWindow {
+    /// All horizons in the paper's column order.
+    pub const ALL: [CorrelationWindow; 3] = [
+        CorrelationWindow::DegradationWindow,
+        CorrelationWindow::Last24Hours,
+        CorrelationWindow::FullProfile,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CorrelationWindow::DegradationWindow => "degradation window",
+            CorrelationWindow::Last24Hours => "last 24 hours",
+            CorrelationWindow::FullProfile => "full profile",
+        }
+    }
+}
+
+/// Fig. 9 row: correlation of each R/W attribute with the degradation
+/// value inside the centroid's degradation window.
+#[derive(Debug, Clone)]
+pub struct AttributeInfluence {
+    /// Paper-order group index.
+    pub group_index: usize,
+    /// `(attribute, Pearson correlation with the degradation value)`.
+    pub correlations: Vec<(Attribute, f64)>,
+}
+
+impl AttributeInfluence {
+    /// The attribute most correlated (by magnitude) with degradation.
+    pub fn strongest(&self) -> Option<(Attribute, f64)> {
+        self.correlations
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).expect("finite correlations"))
+    }
+
+    /// Correlation of one attribute, if present.
+    pub fn correlation_of(&self, attr: Attribute) -> Option<f64> {
+        self.correlations.iter().find(|(a, _)| *a == attr).map(|&(_, c)| c)
+    }
+}
+
+/// One Fig. 10 table: environmental-attribute correlations with selected
+/// R/W attributes over one horizon.
+#[derive(Debug, Clone)]
+pub struct EnvWindowTable {
+    /// The horizon this table covers.
+    pub window: CorrelationWindow,
+    /// The R/W attributes correlated against (columns).
+    pub attributes: Vec<Attribute>,
+    /// `POH` row (adjusted per §IV-D), aligned with `attributes`.
+    pub poh: Vec<f64>,
+    /// `TC` row, aligned with `attributes`.
+    pub tc: Vec<f64>,
+}
+
+/// Fig. 10 for one group: the three horizon tables of its centroid drive.
+#[derive(Debug, Clone)]
+pub struct EnvInfluence {
+    /// Paper-order group index.
+    pub group_index: usize,
+    /// Tables in [`CorrelationWindow::ALL`] order.
+    pub tables: Vec<EnvWindowTable>,
+}
+
+impl EnvInfluence {
+    /// The table for one horizon.
+    pub fn table(&self, window: CorrelationWindow) -> Option<&EnvWindowTable> {
+        self.tables.iter().find(|t| t.window == window)
+    }
+}
+
+/// Reconstructs the paper's adjusted `POH` series: the recorded stepped
+/// values plus a small increasing per-sample constant (§IV-D).
+pub fn adjusted_poh_series(dataset: &Dataset, drive: &DriveProfile) -> Vec<f64> {
+    dataset
+        .normalized_series(drive, Attribute::PowerOnHours)
+        .iter()
+        .enumerate()
+        .map(|(i, v)| v + i as f64 * POH_ADJUST_EPSILON)
+        .collect()
+}
+
+/// Computes the Fig. 9 correlations for one group's centroid drive.
+///
+/// `analysis` must be the centroid's degradation analysis; `attrs` selects
+/// the R/W attributes to report (the paper shows `RRER`, `HER`, `RUE`,
+/// `R-RSC`).
+///
+/// # Errors
+///
+/// Propagates correlation shape errors (degenerate windows).
+pub fn attribute_influence(
+    dataset: &Dataset,
+    drive: &DriveProfile,
+    analysis: &DriveDegradation,
+    group_index: usize,
+    attrs: &[Attribute],
+) -> Result<AttributeInfluence, AnalysisError> {
+    let window_len = analysis.degradation.len();
+    let n = drive.records().len();
+    let start = n - window_len;
+    let mut correlations = Vec::with_capacity(attrs.len());
+    for &attr in attrs {
+        let series = dataset.normalized_series(drive, attr);
+        let windowed = &series[start..];
+        let corr = pearson(windowed, &analysis.degradation)?;
+        correlations.push((attr, corr));
+    }
+    Ok(AttributeInfluence { group_index, correlations })
+}
+
+/// Computes one Fig. 10 environmental-correlation table set for a centroid
+/// drive.
+///
+/// # Errors
+///
+/// Propagates correlation shape errors.
+pub fn env_influence(
+    dataset: &Dataset,
+    drive: &DriveProfile,
+    analysis: &DriveDegradation,
+    group_index: usize,
+    attrs: &[Attribute],
+) -> Result<EnvInfluence, AnalysisError> {
+    let n = drive.records().len();
+    let poh_adjusted = adjusted_poh_series(dataset, drive);
+    let tc = dataset.normalized_series(drive, Attribute::TemperatureCelsius);
+    let mut tables = Vec::with_capacity(CorrelationWindow::ALL.len());
+    for window in CorrelationWindow::ALL {
+        let len = match window {
+            CorrelationWindow::DegradationWindow => analysis.degradation.len(),
+            CorrelationWindow::Last24Hours => 24.min(n),
+            CorrelationWindow::FullProfile => n,
+        }
+        .max(2)
+        .min(n);
+        let start = n - len;
+        let mut poh_row = Vec::with_capacity(attrs.len());
+        let mut tc_row = Vec::with_capacity(attrs.len());
+        for &attr in attrs {
+            let series = dataset.normalized_series(drive, attr);
+            poh_row.push(pearson(&poh_adjusted[start..], &series[start..])?);
+            tc_row.push(pearson(&tc[start..], &series[start..])?);
+        }
+        tables.push(EnvWindowTable { window, attributes: attrs.to_vec(), poh: poh_row, tc: tc_row });
+    }
+    Ok(EnvInfluence { group_index, tables })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categorize::{CategorizationConfig, Categorizer};
+    use crate::degradation::DegradationAnalyzer;
+    use crate::features::FailureRecordSet;
+    use dds_smartsim::{FleetConfig, FleetSimulator};
+
+    const FIG9_ATTRS: [Attribute; 4] = [
+        Attribute::RawReadErrorRate,
+        Attribute::HardwareEccRecovered,
+        Attribute::ReportedUncorrectable,
+        Attribute::RawReallocatedSectors,
+    ];
+
+    fn setup() -> (Dataset, Vec<(usize, dds_smartsim::DriveId)>) {
+        let ds = FleetSimulator::new(FleetConfig::test_scale().with_seed(51)).run();
+        let records = FailureRecordSet::extract(&ds, 24).unwrap();
+        let cat = Categorizer::new(CategorizationConfig { run_svc: false, ..Default::default() })
+            .categorize(&ds, &records)
+            .unwrap();
+        let centroids = cat
+            .groups()
+            .iter()
+            .map(|g| (g.index, g.centroid_drive))
+            .collect();
+        (ds, centroids)
+    }
+
+    #[test]
+    fn poh_adjustment_is_strictly_increasing_between_steps() {
+        let ds = FleetSimulator::new(FleetConfig::test_scale().with_seed(51)).run();
+        let drive = ds.failed_drives().next().unwrap();
+        let adjusted = adjusted_poh_series(&ds, drive);
+        // Between vendor steps the adjusted series strictly increases; a
+        // step is a drop much larger than epsilon.
+        let mut increases = 0usize;
+        for w in adjusted.windows(2) {
+            if w[1] > w[0] {
+                increases += 1;
+            }
+        }
+        assert!(increases >= adjusted.len() - 2, "most steps must increase");
+    }
+
+    #[test]
+    fn group_centroid_correlations_match_paper_shape() {
+        let (ds, centroids) = setup();
+        let analyzer = DegradationAnalyzer::default();
+        for (group_index, id) in centroids {
+            let drive = ds.drive(id).unwrap();
+            let analysis = analyzer.analyze_drive(&ds, drive).unwrap();
+            let influence =
+                attribute_influence(&ds, drive, &analysis, group_index, &FIG9_ATTRS).unwrap();
+            assert_eq!(influence.correlations.len(), 4);
+            match group_index {
+                // Groups 1 & 3: RRER strongly correlates with degradation.
+                0 => {
+                    let rrer = influence.correlation_of(Attribute::RawReadErrorRate).unwrap();
+                    assert!(rrer > 0.5, "G1 RRER correlation {rrer}");
+                }
+                // Group 2: RUE and R-RSC are the top two attributes.
+                1 => {
+                    let rue =
+                        influence.correlation_of(Attribute::ReportedUncorrectable).unwrap();
+                    let rrsc =
+                        influence.correlation_of(Attribute::RawReallocatedSectors).unwrap();
+                    assert!(rue > 0.8, "G2 RUE correlation {rue}");
+                    assert!(rrsc < -0.5, "G2 R-RSC correlation {rrsc}");
+                }
+                2 => {
+                    let rrsc =
+                        influence.correlation_of(Attribute::RawReallocatedSectors).unwrap();
+                    assert!(rrsc.abs() > 0.5, "G3 R-RSC correlation {rrsc}");
+                }
+                _ => unreachable!("three groups"),
+            }
+        }
+    }
+
+    #[test]
+    fn poh_tracks_degradation_only_in_the_window() {
+        let (ds, centroids) = setup();
+        let analyzer = DegradationAnalyzer::default();
+        // Group 2's long window: POH correlates strongly with RUE inside it
+        // but TC never does.
+        let (_, id) = centroids.iter().find(|(g, _)| *g == 1).copied().unwrap();
+        let drive = ds.drive(id).unwrap();
+        let analysis = analyzer.analyze_drive(&ds, drive).unwrap();
+        let env = env_influence(
+            &ds,
+            drive,
+            &analysis,
+            1,
+            &[Attribute::ReportedUncorrectable, Attribute::RawReallocatedSectors],
+        )
+        .unwrap();
+        let window_table = env.table(CorrelationWindow::DegradationWindow).unwrap();
+        assert!(
+            window_table.poh[0].abs() > 0.7,
+            "G2 POH↔RUE in window: {}",
+            window_table.poh[0]
+        );
+        for table in &env.tables {
+            for &tc in &table.tc {
+                assert!(tc.abs() < 0.6, "TC should never track degradation: {tc}");
+            }
+        }
+    }
+
+    #[test]
+    fn influence_strongest_returns_max_magnitude() {
+        let influence = AttributeInfluence {
+            group_index: 0,
+            correlations: vec![
+                (Attribute::RawReadErrorRate, 0.4),
+                (Attribute::ReportedUncorrectable, -0.9),
+            ],
+        };
+        let (attr, c) = influence.strongest().unwrap();
+        assert_eq!(attr, Attribute::ReportedUncorrectable);
+        assert_eq!(c, -0.9);
+    }
+
+    #[test]
+    fn window_labels_are_distinct() {
+        let labels: Vec<&str> = CorrelationWindow::ALL.iter().map(|w| w.label()).collect();
+        assert_eq!(labels.len(), 3);
+        assert!(labels.contains(&"degradation window"));
+    }
+}

@@ -1,0 +1,194 @@
+//! k-nearest-neighbour degradation regression — the "more prediction
+//! methods" the paper's §VI leaves as future work.
+//!
+//! The regression tree of §V-B is interpretable but axis-aligned; a k-NN
+//! regressor predicts the degradation value of a health sample as the
+//! (inverse-distance-weighted) mean target of its nearest training
+//! samples, giving a non-parametric reference point for Table III. The
+//! experiment binary `ext_prediction_methods` compares the two.
+
+use crate::error::AnalysisError;
+use dds_stats::squared_euclidean;
+
+/// A brute-force k-NN regressor over `f64` feature rows.
+///
+/// Exact nearest neighbours, no index structure — the §V-B training sets
+/// (tens of thousands of 12-dimensional rows) stay comfortably within
+/// brute-force range, and exactness keeps the comparison with the tree
+/// honest.
+///
+/// # Example
+///
+/// ```
+/// use dds_core::knn::KnnRegressor;
+///
+/// let xs = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+/// let ys = vec![0.0, 1.0, 2.0, 3.0];
+/// let knn = KnnRegressor::fit(xs, ys, 2).unwrap();
+/// let y = knn.predict(&[1.4]).unwrap();
+/// assert!((0.9..=2.1).contains(&y));
+/// ```
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+    k: usize,
+}
+
+impl KnnRegressor {
+    /// Stores the training set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidConfig`] for `k == 0` and
+    /// [`AnalysisError::UnsuitableDataset`] for empty or mismatched
+    /// training data.
+    pub fn fit(xs: Vec<Vec<f64>>, ys: Vec<f64>, k: usize) -> Result<Self, AnalysisError> {
+        if k == 0 {
+            return Err(AnalysisError::InvalidConfig("k must be positive".to_string()));
+        }
+        if xs.is_empty() {
+            return Err(AnalysisError::UnsuitableDataset("empty training set".to_string()));
+        }
+        if xs.len() != ys.len() {
+            return Err(AnalysisError::UnsuitableDataset(format!(
+                "{} feature rows vs {} targets",
+                xs.len(),
+                ys.len()
+            )));
+        }
+        let dim = xs[0].len();
+        if xs.iter().any(|row| row.len() != dim) {
+            return Err(AnalysisError::UnsuitableDataset("ragged feature rows".to_string()));
+        }
+        Ok(KnnRegressor { xs, ys, k })
+    }
+
+    /// Number of training samples.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the training set is empty (never true after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The `k` in use (clamped to the training size at predict time).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Predicts the target for one row by inverse-distance-weighted
+    /// averaging over the `k` nearest training rows (an exact match
+    /// returns its target directly).
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error if `row` doesn't match the training
+    /// dimensionality.
+    pub fn predict(&self, row: &[f64]) -> Result<f64, AnalysisError> {
+        let k = self.k.min(self.xs.len());
+        // Collect (distance², target) and keep the k smallest via a simple
+        // bounded insertion (k is small).
+        let mut best: Vec<(f64, f64)> = Vec::with_capacity(k + 1);
+        for (x, &y) in self.xs.iter().zip(&self.ys) {
+            let d2 = squared_euclidean(row, x)?;
+            if best.len() < k || d2 < best.last().expect("non-empty").0 {
+                let pos = best.partition_point(|&(b, _)| b < d2);
+                best.insert(pos, (d2, y));
+                if best.len() > k {
+                    best.pop();
+                }
+            }
+        }
+        // Inverse-distance weights; exact matches dominate via the epsilon.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(d2, y) in &best {
+            let w = 1.0 / (d2.sqrt() + 1e-9);
+            num += w * y;
+            den += w;
+        }
+        Ok(num / den)
+    }
+
+    /// Predicts a batch of rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`predict`](Self::predict) errors.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>, AnalysisError> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 10.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn exact_match_returns_target() {
+        let (xs, ys) = grid();
+        let knn = KnnRegressor::fit(xs, ys, 3).unwrap();
+        let y = knn.predict(&[2.0]).unwrap();
+        assert!((y - 4.0).abs() < 0.05, "y = {y}");
+    }
+
+    #[test]
+    fn interpolates_between_neighbours() {
+        let (xs, ys) = grid();
+        let knn = KnnRegressor::fit(xs, ys, 2).unwrap();
+        let y = knn.predict(&[2.05]).unwrap();
+        assert!((y - 4.1).abs() < 0.15, "y = {y}");
+    }
+
+    #[test]
+    fn k_larger_than_training_set_degrades_to_global_mean() {
+        let xs = vec![vec![0.0], vec![10.0]];
+        let ys = vec![0.0, 10.0];
+        let knn = KnnRegressor::fit(xs, ys, 100).unwrap();
+        let y = knn.predict(&[5.0]).unwrap();
+        assert!((y - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn predictions_stay_in_target_hull() {
+        let (xs, ys) = grid();
+        let knn = KnnRegressor::fit(xs, ys, 5).unwrap();
+        for probe in [-100.0, 0.33, 7.7, 100.0] {
+            let y = knn.predict(&[probe]).unwrap();
+            assert!((0.0..=9.8 + 1e-9).contains(&y), "probe {probe} gave {y}");
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(KnnRegressor::fit(vec![], vec![], 3).is_err());
+        assert!(KnnRegressor::fit(vec![vec![1.0]], vec![1.0], 0).is_err());
+        assert!(KnnRegressor::fit(vec![vec![1.0]], vec![1.0, 2.0], 1).is_err());
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(KnnRegressor::fit(ragged, vec![1.0, 2.0], 1).is_err());
+        let knn = KnnRegressor::fit(vec![vec![1.0, 2.0]], vec![1.0], 1).unwrap();
+        assert!(knn.predict(&[1.0]).is_err());
+        assert_eq!(knn.len(), 1);
+        assert!(!knn.is_empty());
+        assert_eq!(knn.k(), 1);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let (xs, ys) = grid();
+        let knn = KnnRegressor::fit(xs, ys, 3).unwrap();
+        let rows = vec![vec![0.5], vec![3.3]];
+        let batch = knn.predict_batch(&rows).unwrap();
+        assert_eq!(batch[0], knn.predict(&rows[0]).unwrap());
+        assert_eq!(batch[1], knn.predict(&rows[1]).unwrap());
+    }
+}

@@ -1,0 +1,263 @@
+//! Lead-time evaluation: how early does each method raise the alarm?
+//!
+//! §V of the paper argues the degradation signatures let operators
+//! "accurately estimate the available time for data rescue". This module
+//! quantifies that: replay every failed drive's history through the
+//! trained per-group predictor, record when the predicted degradation
+//! first crosses an alarm threshold (and stays there), and report the
+//! distribution of lead times per failure group. A FAR-sweep helper
+//! produces ROC-style operating curves for the baseline detectors.
+
+use crate::categorize::Categorization;
+use crate::error::AnalysisError;
+use crate::predict::{
+    mahalanobis_detector, rank_sum_detector, DetectorOutcome, MahalanobisConfig, PredictionReport,
+    RankSumConfig,
+};
+use dds_smartsim::Dataset;
+use dds_stats::descriptive;
+
+/// Configuration of the lead-time replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeadTimeConfig {
+    /// Alarm threshold on the predicted degradation value (`1` = healthy,
+    /// `−1` = failing). The alarm fires when the prediction drops below it.
+    pub threshold: f64,
+    /// Consecutive sub-threshold hours required before the alarm latches
+    /// (debouncing).
+    pub min_consecutive: usize,
+}
+
+impl Default for LeadTimeConfig {
+    fn default() -> Self {
+        LeadTimeConfig { threshold: 0.0, min_consecutive: 2 }
+    }
+}
+
+/// Lead-time distribution for one failure group.
+#[derive(Debug, Clone)]
+pub struct GroupLeadTimes {
+    /// Paper-order group index.
+    pub group_index: usize,
+    /// Drives whose alarm fired before failure.
+    pub detected: usize,
+    /// Drives evaluated.
+    pub total: usize,
+    /// Hours between the (latched) alarm and the failure, one per detected
+    /// drive, unsorted.
+    pub lead_hours: Vec<usize>,
+}
+
+impl GroupLeadTimes {
+    /// Fraction of drives detected before failure.
+    pub fn detection_fraction(&self) -> f64 {
+        self.detected as f64 / self.total.max(1) as f64
+    }
+
+    /// Median lead time in hours (`None` when nothing was detected).
+    pub fn median_lead_hours(&self) -> Option<f64> {
+        if self.lead_hours.is_empty() {
+            return None;
+        }
+        let values: Vec<f64> = self.lead_hours.iter().map(|&h| h as f64).collect();
+        descriptive::median(&values).ok()
+    }
+
+    /// Mean lead time in hours (`None` when nothing was detected).
+    pub fn mean_lead_hours(&self) -> Option<f64> {
+        if self.lead_hours.is_empty() {
+            return None;
+        }
+        Some(self.lead_hours.iter().sum::<usize>() as f64 / self.lead_hours.len() as f64)
+    }
+}
+
+/// Replays every failed drive through its group's predictor and collects
+/// the alarm lead times.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::UnsuitableDataset`] when a group of the
+/// categorization has no matching predictor.
+pub fn lead_times(
+    dataset: &Dataset,
+    categorization: &Categorization,
+    prediction: &PredictionReport,
+    config: &LeadTimeConfig,
+) -> Result<Vec<GroupLeadTimes>, AnalysisError> {
+    let mut out = Vec::with_capacity(categorization.num_groups());
+    for group in categorization.groups() {
+        let predictor = prediction
+            .groups
+            .iter()
+            .find(|g| g.group_index == group.index)
+            .ok_or_else(|| {
+                AnalysisError::UnsuitableDataset(format!(
+                    "no predictor for group {}",
+                    group.index + 1
+                ))
+            })?;
+        let mut lead_hours = Vec::new();
+        for &id in &group.drive_ids {
+            let drive = dataset.drive(id).expect("group drives exist");
+            let n = drive.records().len();
+            let mut run = 0usize;
+            let mut latched: Option<usize> = None;
+            for (i, record) in drive.records().iter().enumerate() {
+                let normalized = dataset.normalize_record(record);
+                let predicted = predictor.predict(&normalized);
+                if predicted < config.threshold {
+                    run += 1;
+                    if run >= config.min_consecutive.max(1) {
+                        // The alarm latched at the first hour of the run.
+                        latched = Some(i + 1 - run);
+                        break;
+                    }
+                } else {
+                    run = 0;
+                }
+            }
+            if let Some(at) = latched {
+                lead_hours.push(n - 1 - at);
+            }
+        }
+        out.push(GroupLeadTimes {
+            group_index: group.index,
+            detected: lead_hours.len(),
+            total: group.size(),
+            lead_hours,
+        });
+    }
+    Ok(out)
+}
+
+/// One operating point of a detector FAR sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// The calibration target FAR.
+    pub target_far: f64,
+    /// Rank-sum detector outcome at that target.
+    pub rank_sum: DetectorOutcome,
+    /// Mahalanobis detector outcome at that target.
+    pub mahalanobis: DetectorOutcome,
+}
+
+/// Sweeps both calibrated baselines over a grid of target false-alarm
+/// rates, producing ROC-style operating curves.
+///
+/// # Errors
+///
+/// Propagates detector errors (e.g. no good drives).
+pub fn detector_roc(dataset: &Dataset, targets: &[f64]) -> Result<Vec<RocPoint>, AnalysisError> {
+    let mut out = Vec::with_capacity(targets.len());
+    for &target_far in targets {
+        let rank = rank_sum_detector(
+            dataset,
+            &RankSumConfig { target_far, ..RankSumConfig::default() },
+        )?;
+        let mahal = mahalanobis_detector(
+            dataset,
+            &MahalanobisConfig { target_far, ..MahalanobisConfig::default() },
+        )?;
+        out.push(RocPoint { target_far, rank_sum: rank, mahalanobis: mahal });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categorize::CategorizationConfig;
+    use crate::pipeline::{Analysis, AnalysisConfig, AnalysisReport};
+    use dds_smartsim::{FleetConfig, FleetSimulator};
+
+    fn setup() -> (Dataset, AnalysisReport) {
+        let config = AnalysisConfig {
+            categorization: CategorizationConfig { run_svc: false, ..Default::default() },
+            ..Default::default()
+        };
+        let ds = FleetSimulator::new(FleetConfig::test_scale().with_seed(3_003)).run();
+        let report = Analysis::new(config).run(&ds).unwrap();
+        (ds, report)
+    }
+
+    #[test]
+    fn slow_failures_give_long_lead_times() {
+        let (ds, report) = setup();
+        let leads = lead_times(
+            &ds,
+            &report.categorization,
+            &report.prediction,
+            &LeadTimeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(leads.len(), 3);
+        // Bad-sector failures degrade for weeks: long lead times, full
+        // detection.
+        let g2 = &leads[1];
+        assert!(g2.detection_fraction() > 0.9, "G2 detection {}", g2.detection_fraction());
+        assert!(
+            g2.median_lead_hours().unwrap() > 48.0,
+            "G2 median lead {:?}",
+            g2.median_lead_hours()
+        );
+        // Logical failures give little warning: strictly shorter leads.
+        let g1 = &leads[0];
+        if let (Some(l1), Some(l2)) = (g1.median_lead_hours(), g2.median_lead_hours()) {
+            assert!(l1 < l2, "G1 lead {l1} should be below G2 lead {l2}");
+        }
+    }
+
+    #[test]
+    fn lead_times_respect_debouncing() {
+        let (ds, report) = setup();
+        let strict = LeadTimeConfig { threshold: 0.0, min_consecutive: 12 };
+        let loose = LeadTimeConfig { threshold: 0.0, min_consecutive: 1 };
+        let strict_leads =
+            lead_times(&ds, &report.categorization, &report.prediction, &strict).unwrap();
+        let loose_leads =
+            lead_times(&ds, &report.categorization, &report.prediction, &loose).unwrap();
+        for (s, l) in strict_leads.iter().zip(&loose_leads) {
+            assert!(s.detected <= l.detected, "debouncing can only reduce detections");
+        }
+    }
+
+    #[test]
+    fn accessors_handle_empty_groups() {
+        let empty = GroupLeadTimes { group_index: 0, detected: 0, total: 5, lead_hours: vec![] };
+        assert_eq!(empty.detection_fraction(), 0.0);
+        assert_eq!(empty.median_lead_hours(), None);
+        assert_eq!(empty.mean_lead_hours(), None);
+        let some = GroupLeadTimes {
+            group_index: 0,
+            detected: 2,
+            total: 4,
+            lead_hours: vec![10, 30],
+        };
+        assert_eq!(some.detection_fraction(), 0.5);
+        assert_eq!(some.mean_lead_hours(), Some(20.0));
+        assert_eq!(some.median_lead_hours(), Some(20.0));
+    }
+
+    #[test]
+    fn roc_detection_rises_with_allowed_far() {
+        let (ds, _) = setup();
+        let roc = detector_roc(&ds, &[0.0, 0.05, 0.2]).unwrap();
+        assert_eq!(roc.len(), 3);
+        // Detection must be non-decreasing as the allowed FAR grows.
+        for w in roc.windows(2) {
+            assert!(
+                w[1].rank_sum.detection_rate >= w[0].rank_sum.detection_rate - 1e-9,
+                "rank-sum ROC must be monotone"
+            );
+            assert!(
+                w[1].mahalanobis.detection_rate >= w[0].mahalanobis.detection_rate - 1e-9,
+                "mahalanobis ROC must be monotone"
+            );
+        }
+        // Achieved FAR stays at or below the calibration target.
+        for point in &roc {
+            assert!(point.rank_sum.false_alarm_rate <= point.target_far + 0.05);
+        }
+    }
+}

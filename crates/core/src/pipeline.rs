@@ -1,0 +1,256 @@
+//! The end-to-end analysis pipeline: one call reproducing every figure and
+//! table of the paper on a [`Dataset`].
+//!
+//! ```
+//! use dds_core::{Analysis, AnalysisConfig};
+//! use dds_smartsim::{FleetConfig, FleetSimulator};
+//!
+//! let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(1)).run();
+//! let report = Analysis::new(AnalysisConfig::default()).run(&dataset).unwrap();
+//! assert_eq!(report.categorization.num_groups(), 3);
+//! assert_eq!(report.prediction.groups.len(), 3);
+//! ```
+
+use crate::categorize::{Categorization, CategorizationConfig, Categorizer};
+use crate::degradation::{DegradationAnalyzer, DegradationConfig, GroupDegradation};
+use crate::error::AnalysisError;
+use crate::features::FailureRecordSet;
+use crate::influence::{self, AttributeInfluence, EnvInfluence};
+use crate::predict::{DegradationPredictor, PredictionConfig, PredictionReport};
+use crate::zscore::{all_attribute_z_scores, TemporalZScores, ZScoreConfig};
+use dds_smartsim::{Attribute, Dataset};
+use dds_stats::{BoxplotSummary, Histogram};
+
+/// The R/W attributes shown in the Fig. 9 / Fig. 10 influence analyses.
+pub const INFLUENCE_ATTRIBUTES: [Attribute; 4] = [
+    Attribute::RawReadErrorRate,
+    Attribute::HardwareEccRecovered,
+    Attribute::ReportedUncorrectable,
+    Attribute::RawReallocatedSectors,
+];
+
+/// Configuration of the full analysis.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisConfig {
+    /// Trailing window (hours) for the stddev feature (§IV-B; paper: 24).
+    pub feature_window_hours: Option<usize>,
+    /// Failure categorization settings.
+    pub categorization: CategorizationConfig,
+    /// Degradation-signature settings.
+    pub degradation: DegradationConfig,
+    /// Temporal z-score settings.
+    pub zscore: ZScoreConfig,
+    /// Degradation-prediction settings.
+    pub prediction: PredictionConfig,
+}
+
+/// The Fig. 1 histogram of failed-drive profile durations plus the two
+/// headline fractions §IV-A quotes.
+#[derive(Debug, Clone)]
+pub struct ProfileDurations {
+    /// 48-hour-binned histogram over `[0, 480]` hours.
+    pub histogram: Histogram,
+    /// Fraction of failed drives with more than 10 days of history
+    /// (paper: 78.5%).
+    pub fraction_over_10_days: f64,
+    /// Fraction with the full 20-day history (paper: 51.3%).
+    pub fraction_full_20_days: f64,
+    /// Mean records per failed drive (paper: ≈361).
+    pub mean_records: f64,
+}
+
+/// Everything the paper reports, computed from one dataset.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Fig. 1: profile-duration distribution.
+    pub profile_durations: ProfileDurations,
+    /// Fig. 2: box statistics of the 12 attributes over failure records.
+    pub attribute_boxplots: Vec<(Attribute, BoxplotSummary)>,
+    /// §IV-B: the 30-feature failure records.
+    pub failure_records: FailureRecordSet,
+    /// Figs. 3–6, Table II: groups, elbow, PCA, deciles, types.
+    pub categorization: Categorization,
+    /// Figs. 7–8: per-group degradation signatures.
+    pub degradation: Vec<GroupDegradation>,
+    /// Fig. 9: attribute correlations with degradation (per group).
+    pub attribute_influence: Vec<AttributeInfluence>,
+    /// Fig. 10: environmental correlations (per group).
+    pub env_influence: Vec<EnvInfluence>,
+    /// Figs. 11–12: temporal z-scores for all 12 attributes.
+    pub z_scores: Vec<TemporalZScores>,
+    /// Fig. 13 + Table III: per-group degradation predictors.
+    pub prediction: PredictionReport,
+}
+
+impl AnalysisReport {
+    /// The z-score sweep of one attribute.
+    pub fn z_scores_of(&self, attr: Attribute) -> Option<&TemporalZScores> {
+        self.z_scores.iter().find(|z| z.attribute == attr)
+    }
+}
+
+/// The full §IV–§V analysis.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    config: AnalysisConfig,
+}
+
+impl Analysis {
+    /// Creates the analysis with the given configuration.
+    pub fn new(config: AnalysisConfig) -> Self {
+        Analysis { config }
+    }
+
+    /// Runs every stage of the paper on `dataset`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage errors; the most common is
+    /// [`AnalysisError::UnsuitableDataset`] for datasets without failed or
+    /// good drives.
+    pub fn run(&self, dataset: &Dataset) -> Result<AnalysisReport, AnalysisError> {
+        // --- Fig. 1 --------------------------------------------------------
+        let durations: Vec<f64> =
+            dataset.failed_drives().map(|d| d.profile_hours() as f64).collect();
+        if durations.is_empty() {
+            return Err(AnalysisError::UnsuitableDataset(
+                "analysis needs failed drives".to_string(),
+            ));
+        }
+        let histogram = Histogram::from_values(0.0, 480.0, 10, &durations)?;
+        let over_10 =
+            durations.iter().filter(|&&h| h > 240.0).count() as f64 / durations.len() as f64;
+        let full_20 =
+            durations.iter().filter(|&&h| h >= 480.0).count() as f64 / durations.len() as f64;
+        let mean_records = durations.iter().sum::<f64>() / durations.len() as f64;
+        let profile_durations = ProfileDurations {
+            histogram,
+            fraction_over_10_days: over_10,
+            fraction_full_20_days: full_20,
+            mean_records,
+        };
+
+        // --- §IV-B features + Fig. 2 ---------------------------------------
+        let feature_window = self.config.feature_window_hours.unwrap_or(24);
+        let failure_records = FailureRecordSet::extract(dataset, feature_window)?;
+        let mut attribute_boxplots = Vec::with_capacity(Attribute::ALL.len());
+        for attr in Attribute::ALL {
+            let values: Vec<f64> = failure_records
+                .failure_records()
+                .iter()
+                .map(|r| r[attr.index()])
+                .collect();
+            attribute_boxplots.push((attr, BoxplotSummary::from_values(&values)?));
+        }
+
+        // --- Figs. 3–6, Table II -------------------------------------------
+        let categorization = Categorizer::new(self.config.categorization.clone())
+            .categorize(dataset, &failure_records)?;
+
+        // --- Figs. 7–8 ------------------------------------------------------
+        let analyzer = DegradationAnalyzer::new(self.config.degradation.clone());
+        let degradation =
+            analyzer.analyze_groups(dataset, &failure_records, &categorization)?;
+
+        // --- Figs. 9–10 ------------------------------------------------------
+        let mut attribute_influence = Vec::with_capacity(degradation.len());
+        let mut env_influence = Vec::with_capacity(degradation.len());
+        for summary in &degradation {
+            let group = &categorization.groups()[summary.group_index];
+            let drive = dataset.drive(group.centroid_drive).expect("centroid exists");
+            attribute_influence.push(influence::attribute_influence(
+                dataset,
+                drive,
+                &summary.centroid,
+                summary.group_index,
+                &INFLUENCE_ATTRIBUTES,
+            )?);
+            env_influence.push(influence::env_influence(
+                dataset,
+                drive,
+                &summary.centroid,
+                summary.group_index,
+                &INFLUENCE_ATTRIBUTES,
+            )?);
+        }
+
+        // --- Figs. 11–12 ------------------------------------------------------
+        let z_scores = all_attribute_z_scores(
+            dataset,
+            &failure_records,
+            &categorization,
+            &self.config.zscore,
+        )?;
+
+        // --- Fig. 13, Table III ---------------------------------------------
+        let prediction = DegradationPredictor::new(self.config.prediction.clone()).train(
+            dataset,
+            &categorization,
+            &degradation,
+        )?;
+
+        Ok(AnalysisReport {
+            profile_durations,
+            attribute_boxplots,
+            failure_records,
+            categorization,
+            degradation,
+            attribute_influence,
+            env_influence,
+            z_scores,
+            prediction,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_smartsim::{FleetConfig, FleetSimulator};
+
+    fn report() -> AnalysisReport {
+        let config = AnalysisConfig {
+            categorization: CategorizationConfig { run_svc: false, ..Default::default() },
+            ..Default::default()
+        };
+        let ds = FleetSimulator::new(FleetConfig::test_scale().with_seed(81)).run();
+        Analysis::new(config).run(&ds).unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_produces_all_artifacts() {
+        let r = report();
+        assert_eq!(r.attribute_boxplots.len(), 12);
+        assert_eq!(r.categorization.num_groups(), 3);
+        assert_eq!(r.degradation.len(), 3);
+        assert_eq!(r.attribute_influence.len(), 3);
+        assert_eq!(r.env_influence.len(), 3);
+        assert_eq!(r.z_scores.len(), 12);
+        assert_eq!(r.prediction.groups.len(), 3);
+        assert!(r.profile_durations.mean_records > 100.0);
+        assert!(r.profile_durations.fraction_full_20_days > 0.2);
+        assert!(r.profile_durations.fraction_over_10_days > 0.5);
+    }
+
+    #[test]
+    fn report_accessors_work() {
+        let r = report();
+        assert!(r.z_scores_of(Attribute::TemperatureCelsius).is_some());
+        assert!(r.z_scores_of(Attribute::PowerOnHours).is_some());
+        let hist = &r.profile_durations.histogram;
+        assert_eq!(hist.counts().len(), 10);
+        assert_eq!(hist.total() as usize, r.failure_records.len());
+    }
+
+    #[test]
+    fn fails_cleanly_without_failed_drives() {
+        let ds = FleetSimulator::new(
+            FleetConfig::test_scale().with_failed_drives(0).with_seed(81),
+        )
+        .run();
+        assert!(matches!(
+            Analysis::default().run(&ds),
+            Err(AnalysisError::UnsuitableDataset(_))
+        ));
+    }
+}

@@ -1,0 +1,515 @@
+//! Text rendering of every figure and table for terminal output.
+//!
+//! Each `render_*` function turns one [`AnalysisReport`] component into a
+//! plain-text table or chart mirroring the corresponding figure/table of
+//! the paper; `render_full_report` concatenates them all.
+
+use crate::categorize::Categorization;
+use crate::degradation::GroupDegradation;
+use crate::influence::{AttributeInfluence, EnvInfluence};
+use crate::pipeline::{AnalysisReport, ProfileDurations};
+use crate::predict::{DetectorOutcome, PredictionReport};
+use crate::zscore::TemporalZScores;
+use dds_smartsim::Attribute;
+use dds_stats::BoxplotSummary;
+use std::fmt::Write as _;
+
+/// Renders Fig. 1: the histogram of failed-drive profile durations.
+pub fn render_profile_histogram(durations: &ProfileDurations) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 1 — Failed-drive health-profile durations");
+    let max = durations.histogram.counts().iter().copied().max().unwrap_or(1).max(1);
+    for (i, &count) in durations.histogram.counts().iter().enumerate() {
+        let (lo, hi) = durations.histogram.bin_edges(i);
+        let bar = "#".repeat((count * 40 / max) as usize);
+        let _ = writeln!(out, "  {lo:>3.0}-{hi:<3.0} h | {count:>5} {bar}");
+    }
+    let _ = writeln!(
+        out,
+        "  >10 days: {:.1}% (paper 78.5%)   full 20 days: {:.1}% (paper 51.3%)   mean records/drive: {:.0} (paper ~361)",
+        durations.fraction_over_10_days * 100.0,
+        durations.fraction_full_20_days * 100.0,
+        durations.mean_records
+    );
+    out
+}
+
+/// Renders Fig. 2: box statistics of the 12 attributes over failure
+/// records.
+pub fn render_attribute_boxplots(boxplots: &[(Attribute, BoxplotSummary)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 2 — Attribute distributions over failure records (normalized)");
+    let _ = writeln!(
+        out,
+        "  {:<7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9} {:>9}",
+        "attr", "min", "q1", "median", "q3", "max", "whiskers", "#outlier"
+    );
+    for (attr, b) in boxplots {
+        let _ = writeln!(
+            out,
+            "  {:<7} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>9.2} {:>9}",
+            attr.symbol(),
+            b.min,
+            b.q1,
+            b.median,
+            b.q3,
+            b.max,
+            b.whisker_span(),
+            b.outliers.len()
+        );
+    }
+    out
+}
+
+/// Renders Fig. 3: the elbow sweep.
+pub fn render_elbow(categorization: &Categorization) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 3 — Mean within-cluster distance vs number of groups");
+    let max = categorization
+        .elbow()
+        .iter()
+        .map(|&(_, d)| d)
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
+    for &(k, dist) in categorization.elbow() {
+        let bar = "#".repeat((dist / max * 40.0) as usize);
+        let marker = if k == categorization.chosen_k() { " <= chosen" } else { "" };
+        let _ = writeln!(out, "  k={k:<2} {dist:>8.4} {bar}{marker}");
+    }
+    out
+}
+
+/// Renders Fig. 4: the PCA projection as a coarse ASCII scatter plus
+/// cluster sizes.
+pub fn render_pca(categorization: &Categorization) -> String {
+    let proj = categorization.projection();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 4 — Failure groups in PC1/PC2 (explains {:.0}% + {:.0}% of variance)",
+        proj.explained[0] * 100.0,
+        proj.explained[1] * 100.0
+    );
+    // 21 x 60 ASCII grid.
+    const W: usize = 60;
+    const H: usize = 21;
+    let (mut min_x, mut max_x, mut min_y, mut max_y) =
+        (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y) in &proj.points {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    let span_x = (max_x - min_x).max(1e-9);
+    let span_y = (max_y - min_y).max(1e-9);
+    let mut grid = vec![vec![' '; W]; H];
+    let symbols = ['o', '^', 'x', '*', '+', '@'];
+    for (&(x, y), &g) in proj.points.iter().zip(&proj.groups) {
+        let col = (((x - min_x) / span_x) * (W - 1) as f64) as usize;
+        let row = H - 1 - (((y - min_y) / span_y) * (H - 1) as f64) as usize;
+        grid[row][col] = symbols[g % symbols.len()];
+    }
+    for row in grid {
+        let _ = writeln!(out, "  |{}|", row.into_iter().collect::<String>());
+    }
+    for group in categorization.groups() {
+        let _ = writeln!(
+            out,
+            "  {} = Group {} ({} drives, {:.1}%)",
+            symbols[group.index % symbols.len()],
+            group.index + 1,
+            group.size(),
+            group.population_fraction * 100.0
+        );
+    }
+    out
+}
+
+/// Renders Fig. 5: the centroid failure records of every group.
+pub fn render_centroids(categorization: &Categorization) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 5 — Centroid failure records (normalized values)");
+    let shown: Vec<Attribute> = Attribute::ALL
+        .into_iter()
+        // The paper omits RSC (a linear transform of R-RSC) and R-CPSC.
+        .filter(|a| !matches!(a, Attribute::ReallocatedSectors | Attribute::RawCurrentPendingSectors))
+        .collect();
+    let header: Vec<String> = shown.iter().map(|a| format!("{:>7}", a.symbol())).collect();
+    let _ = writeln!(out, "  {:<22} {}", "centroid", header.join(" "));
+    for group in categorization.groups() {
+        let values: Vec<String> = shown
+            .iter()
+            .map(|a| format!("{:>7.2}", group.centroid_record[a.index()]))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  Group {} ({:<12}) {}",
+            group.index + 1,
+            group.centroid_drive.to_string(),
+            values.join(" ")
+        );
+    }
+    out
+}
+
+/// Renders Fig. 6: deciles of the most discriminating attributes per group
+/// vs good records.
+pub fn render_deciles(categorization: &Categorization) -> String {
+    let mut out = String::new();
+    let attrs = [
+        Attribute::ReportedUncorrectable,
+        Attribute::RawReallocatedSectors,
+        Attribute::RawReadErrorRate,
+    ];
+    let _ = writeln!(out, "Fig. 6 — Deciles (10%..90%) of RUE / R-RSC / RRER, groups vs good");
+    for attr in attrs {
+        let _ = writeln!(out, "  {}:", attr.symbol());
+        for group in categorization.groups() {
+            if let Some(d) = group.attribute_deciles(attr) {
+                let row: Vec<String> = d.iter().map(|v| format!("{v:>6.2}")).collect();
+                let _ = writeln!(out, "    Group {} {}", group.index + 1, row.join(" "));
+            }
+        }
+        if let Some(d) = categorization.good_attribute_deciles(attr) {
+            let row: Vec<String> = d.iter().map(|v| format!("{v:>6.2}")).collect();
+            let _ = writeln!(out, "    Good    {}", row.join(" "));
+        }
+    }
+    out
+}
+
+/// Renders Table II: populations, distinctive properties and failure types.
+pub fn render_failure_categories(categorization: &Categorization) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table II — Properties and categories of disk failures");
+    for group in categorization.groups() {
+        let rue = group.mean_record[Attribute::ReportedUncorrectable.index()];
+        let rrsc = group.mean_record[Attribute::RawReallocatedSectors.index()];
+        let rrer = group.mean_record[Attribute::RawReadErrorRate.index()];
+        let hfw = group.mean_record[Attribute::HighFlyWrites.index()];
+        let _ = writeln!(
+            out,
+            "  Group {} | {:>5.1}% | mean RUE {:>5.2}, R-RSC {:>5.2}, RRER {:>5.2}, HFW {:>5.2} | {}",
+            group.index + 1,
+            group.population_fraction * 100.0,
+            rue,
+            rrsc,
+            rrer,
+            hfw,
+            group.failure_type
+        );
+    }
+    if let Some(svc) = categorization.svc_agreement() {
+        let _ = writeln!(
+            out,
+            "  SVC cross-check: {} clusters, ARI vs K-means {:.2}",
+            svc.svc_clusters, svc.rand_index
+        );
+    }
+    out
+}
+
+/// Renders Fig. 7: the distance-to-failure curve of one group centroid as a
+/// down-sampled sparkline table.
+pub fn render_distance_curve(group: &GroupDegradation) -> String {
+    let mut out = String::new();
+    let centroid = &group.centroid;
+    let _ = writeln!(
+        out,
+        "Fig. 7({}) — Distance to failure, Group {} centroid ({} records, window {} h)",
+        ["a", "b", "c"].get(group.group_index).unwrap_or(&"?"),
+        group.group_index + 1,
+        centroid.distances.len(),
+        centroid.window_hours
+    );
+    let n = centroid.distances.len();
+    let step = (n / 24).max(1);
+    let max = centroid.distances.iter().copied().fold(0.0, f64::max).max(1e-12);
+    for i in (0..n).step_by(step) {
+        let d = centroid.distances[i];
+        let bar = "#".repeat((d / max * 40.0) as usize);
+        let _ = writeln!(out, "  t-{:>3} h | {d:>7.3} {bar}", n - 1 - i);
+    }
+    out
+}
+
+/// Renders Fig. 8 + the §IV-C model comparison for one group.
+pub fn render_signature_fits(group: &GroupDegradation) -> String {
+    let mut out = String::new();
+    let centroid = &group.centroid;
+    let _ = writeln!(
+        out,
+        "Fig. 8({}) — Signature fits, Group {} (window d = {} h)",
+        ["a", "b", "c"].get(group.group_index).unwrap_or(&"?"),
+        group.group_index + 1,
+        centroid.window_hours
+    );
+    for fit in &centroid.poly_fits {
+        let _ = writeln!(
+            out,
+            "  order-{} polynomial: R² = {:.4}, RMSE = {:.4}",
+            fit.order, fit.r_squared, fit.rmse
+        );
+    }
+    for &(form, rmse) in &centroid.model_rmse {
+        let marker = if form == centroid.best_model.form() { "  <= selected" } else { "" };
+        let _ = writeln!(out, "  {:<28} RMSE = {rmse:.4}{marker}", form.formula());
+    }
+    let _ = writeln!(
+        out,
+        "  group dominant form: {} | windows min/mean/max = {}/{:.0}/{} h",
+        group.dominant_form.formula(),
+        group.window_stats.0,
+        group.window_stats.1,
+        group.window_stats.2
+    );
+    out
+}
+
+/// Renders Fig. 9: attribute correlations with degradation.
+pub fn render_attribute_influence(influences: &[AttributeInfluence]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 9 — Correlation of R/W attributes with failure degradation");
+    for influence in influences {
+        let cells: Vec<String> = influence
+            .correlations
+            .iter()
+            .map(|(a, c)| format!("{} {c:>5.2}", a.symbol()))
+            .collect();
+        let _ = writeln!(out, "  Group {} | {}", influence.group_index + 1, cells.join(" | "));
+    }
+    out
+}
+
+/// Renders Fig. 10: environmental correlations per horizon.
+pub fn render_env_influence(influences: &[EnvInfluence]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 10 — POH/TC correlation with window attributes");
+    for influence in influences {
+        let _ = writeln!(out, "  Group {}:", influence.group_index + 1);
+        for table in &influence.tables {
+            let header: Vec<String> =
+                table.attributes.iter().map(|a| format!("{:>7}", a.symbol())).collect();
+            let _ = writeln!(out, "    [{}] {}", table.window.label(), header.join(" "));
+            let poh: Vec<String> = table.poh.iter().map(|v| format!("{v:>7.2}")).collect();
+            let tc: Vec<String> = table.tc.iter().map(|v| format!("{v:>7.2}")).collect();
+            let _ = writeln!(out, "      POH{:>width$}", poh.join(" "), width = poh.len() * 8);
+            let _ = writeln!(out, "      TC {:>width$}", tc.join(" "), width = tc.len() * 8);
+        }
+    }
+    out
+}
+
+/// Renders Figs. 11/12: the temporal z-scores of one attribute.
+pub fn render_z_scores(z: &TemporalZScores) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Temporal z-scores of {} (failed groups vs good)", z.attribute.symbol());
+    let _ = write!(out, "  hours-before-failure:");
+    for &t in z.times.iter().step_by(6) {
+        let _ = write!(out, " {t:>6}");
+    }
+    let _ = writeln!(out);
+    for (g, series) in z.by_group.iter().enumerate() {
+        let _ = write!(out, "  Group {}             :", g + 1);
+        for v in series.iter().step_by(6) {
+            match v {
+                Some(z) => {
+                    let _ = write!(out, " {z:>6.1}");
+                }
+                None => {
+                    let _ = write!(out, " {:>6}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    if let Some(g) = z.most_separated_group() {
+        let _ = writeln!(out, "  most separated group: Group {}", g + 1);
+    }
+    out
+}
+
+/// Renders the §V-A discrimination table: mean z per attribute × group.
+pub fn render_discrimination_table(table: &crate::zscore::DiscriminationTable) -> String {
+    let mut out = String::new();
+    let groups = table.rows.first().map(|r| r.mean_z.len()).unwrap_or(0);
+    let _ = writeln!(out, "§V-A — Attribute discrimination (mean z-score vs good drives)");
+    let header: Vec<String> = (0..groups).map(|g| format!("Group {:>2}", g + 1)).collect();
+    let _ = writeln!(out, "  {:<8} {}  separates", "attr", header.join("  "));
+    for row in &table.rows {
+        let cells: Vec<String> = row
+            .mean_z
+            .iter()
+            .map(|z| match z {
+                Some(z) => format!("{z:>8.1}"),
+                None => format!("{:>8}", "-"),
+            })
+            .collect();
+        let separates = row
+            .most_separated
+            .map(|g| format!("Group {}", g + 1))
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(out, "  {:<8} {}  {}", row.attribute.symbol(), cells.join("  "), separates);
+    }
+    out
+}
+
+/// Renders Fig. 13: the Group 1 regression tree.
+pub fn render_regression_tree(prediction: &PredictionReport, group_index: usize) -> String {
+    let mut out = String::new();
+    if let Some(group) = prediction.groups.iter().find(|g| g.group_index == group_index) {
+        let _ = writeln!(
+            out,
+            "Fig. 13 — Regression tree, Group {} (signature {} with d = {:.0})",
+            group_index + 1,
+            group.signature.form(),
+            group.signature.window()
+        );
+        out.push_str(&group.render_tree());
+    }
+    out
+}
+
+/// Renders Table III: prediction RMSE and error rate per group.
+pub fn render_prediction_table(prediction: &PredictionReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table III — Degradation-prediction accuracy");
+    let _ = writeln!(out, "  {:<8} {:>8} {:>11} {:>9} {:>9}", "group", "RMSE", "error rate", "train", "test");
+    for g in &prediction.groups {
+        let _ = writeln!(
+            out,
+            "  Group {} {:>9.3} {:>10.1}% {:>9} {:>9}",
+            g.group_index + 1,
+            g.rmse,
+            g.error_rate * 100.0,
+            g.train_samples,
+            g.test_samples
+        );
+    }
+    out
+}
+
+/// Renders a baseline detector outcome.
+pub fn render_detector(name: &str, outcome: &DetectorOutcome) -> String {
+    format!(
+        "{name}: FDR {:.1}% ({} drives), FAR {:.2}% ({} drives)\n",
+        outcome.detection_rate * 100.0,
+        outcome.flagged_failed,
+        outcome.false_alarm_rate * 100.0,
+        outcome.flagged_good
+    )
+}
+
+/// Renders the complete report, all figures and tables in paper order.
+pub fn render_full_report(report: &AnalysisReport) -> String {
+    let mut out = String::new();
+    out.push_str(&render_profile_histogram(&report.profile_durations));
+    out.push('\n');
+    out.push_str(&render_attribute_boxplots(&report.attribute_boxplots));
+    out.push('\n');
+    out.push_str(&render_elbow(&report.categorization));
+    out.push('\n');
+    out.push_str(&render_pca(&report.categorization));
+    out.push('\n');
+    out.push_str(&render_centroids(&report.categorization));
+    out.push('\n');
+    out.push_str(&render_deciles(&report.categorization));
+    out.push('\n');
+    out.push_str(&render_failure_categories(&report.categorization));
+    out.push('\n');
+    for group in &report.degradation {
+        out.push_str(&render_distance_curve(group));
+        out.push_str(&render_signature_fits(group));
+        out.push('\n');
+    }
+    out.push_str(&render_attribute_influence(&report.attribute_influence));
+    out.push('\n');
+    out.push_str(&render_env_influence(&report.env_influence));
+    out.push('\n');
+    if let Some(z) = report.z_scores_of(Attribute::TemperatureCelsius) {
+        out.push_str("Fig. 11 — ");
+        out.push_str(&render_z_scores(z));
+        out.push('\n');
+    }
+    if let Some(z) = report.z_scores_of(Attribute::PowerOnHours) {
+        out.push_str("Fig. 12 — ");
+        out.push_str(&render_z_scores(z));
+        out.push('\n');
+    }
+    let table = crate::zscore::DiscriminationTable::from_sweeps(&report.z_scores);
+    out.push_str(&render_discrimination_table(&table));
+    out.push('\n');
+    out.push_str(&render_regression_tree(&report.prediction, 0));
+    out.push('\n');
+    out.push_str(&render_prediction_table(&report.prediction));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categorize::CategorizationConfig;
+    use crate::pipeline::{Analysis, AnalysisConfig};
+    use dds_smartsim::{FleetConfig, FleetSimulator};
+
+    fn report() -> AnalysisReport {
+        let config = AnalysisConfig {
+            categorization: CategorizationConfig { run_svc: false, ..Default::default() },
+            ..Default::default()
+        };
+        let ds = FleetSimulator::new(FleetConfig::test_scale().with_seed(91)).run();
+        Analysis::new(config).run(&ds).unwrap()
+    }
+
+    #[test]
+    fn every_figure_renders_nonempty() {
+        let r = report();
+        assert!(render_profile_histogram(&r.profile_durations).contains("Fig. 1"));
+        assert!(render_attribute_boxplots(&r.attribute_boxplots).contains("RRER"));
+        assert!(render_elbow(&r.categorization).contains("<= chosen"));
+        assert!(render_pca(&r.categorization).contains("Group 1"));
+        assert!(render_centroids(&r.categorization).contains("Fig. 5"));
+        assert!(render_deciles(&r.categorization).contains("R-RSC"));
+        assert!(render_failure_categories(&r.categorization).contains("logical failures"));
+        for group in &r.degradation {
+            assert!(render_distance_curve(group).contains("Fig. 7"));
+            assert!(render_signature_fits(group).contains("RMSE"));
+        }
+        assert!(render_attribute_influence(&r.attribute_influence).contains("Fig. 9"));
+        assert!(render_env_influence(&r.env_influence).contains("POH"));
+        let z = r.z_scores_of(Attribute::TemperatureCelsius).unwrap();
+        assert!(render_z_scores(z).contains("Group 1"));
+        assert!(render_regression_tree(&r.prediction, 0).contains("Fig. 13"));
+        assert!(render_prediction_table(&r.prediction).contains("Table III"));
+        let table = crate::zscore::DiscriminationTable::from_sweeps(&r.z_scores);
+        let text = render_discrimination_table(&table);
+        assert!(text.contains("TC"));
+        assert!(text.contains("separates"));
+    }
+
+    #[test]
+    fn full_report_contains_every_section() {
+        let r = report();
+        let text = render_full_report(&r);
+        for needle in [
+            "Fig. 1", "Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6", "Table II", "Fig. 7",
+            "Fig. 8", "Fig. 9", "Fig. 10", "Fig. 11", "Fig. 12", "Fig. 13", "Table III",
+        ] {
+            assert!(text.contains(needle), "missing section {needle}");
+        }
+    }
+
+    #[test]
+    fn detector_rendering_includes_rates() {
+        let outcome = DetectorOutcome {
+            detection_rate: 0.05,
+            false_alarm_rate: 0.001,
+            flagged_failed: 3,
+            flagged_good: 2,
+        };
+        let text = render_detector("threshold", &outcome);
+        assert!(text.contains("FDR 5.0%"));
+        assert!(text.contains("FAR 0.10%"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Alert types emitted by the monitor.
+
+use dds_core::FailureType;
+use dds_smartsim::DriveId;
+use std::fmt;
+
+/// Escalation level of an alert. Ordered: `Watch < Warning < Critical`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Early drift: predicted degradation below the watch level.
+    Watch,
+    /// Sustained degradation: schedule data rescue.
+    Warning,
+    /// Failure imminent: act now.
+    Critical,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Severity::Watch => "watch",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        };
+        f.write_str(name)
+    }
+}
+
+/// What triggered the alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlertKind {
+    /// The degradation predictor crossed a severity level.
+    DegradationPrediction,
+    /// A vendor health value dropped below its conservative threshold.
+    VendorThreshold,
+    /// The drive runs persistently hotter than the good population — the
+    /// §V-A precursor of logical failures.
+    ThermalRisk,
+}
+
+/// One monitoring alert.
+#[derive(Debug, Clone)]
+pub struct Alert {
+    /// The drive concerned.
+    pub drive: DriveId,
+    /// Collection hour of the triggering record.
+    pub hour: u32,
+    /// Escalation level.
+    pub severity: Severity,
+    /// What fired.
+    pub kind: AlertKind,
+    /// The failure type whose model scored the drive worst.
+    pub suspected_type: FailureType,
+    /// The predicted degradation value (`1` healthy … `−1` failing).
+    pub degradation: f64,
+    /// Estimated hours before failure from the suspected type's signature,
+    /// when the signature is invertible and the drive is degrading.
+    pub estimated_remaining_hours: Option<f64>,
+    /// Human-readable summary.
+    pub message: String,
+}
+
+impl fmt::Display for Alert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} @h{}: {} (degradation {:+.2}{})",
+            self.severity,
+            self.drive,
+            self.hour,
+            self.message,
+            self.degradation,
+            match self.estimated_remaining_hours {
+                Some(h) => format!(", ~{h:.0} h to failure"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering_drives_escalation() {
+        assert!(Severity::Watch < Severity::Warning);
+        assert!(Severity::Warning < Severity::Critical);
+        assert_eq!(Severity::Critical.to_string(), "critical");
+    }
+
+    #[test]
+    fn alert_display_is_complete() {
+        let alert = Alert {
+            drive: DriveId(7),
+            hour: 42,
+            severity: Severity::Warning,
+            kind: AlertKind::DegradationPrediction,
+            suspected_type: FailureType::BadSector,
+            degradation: -0.31,
+            estimated_remaining_hours: Some(120.0),
+            message: "bad sector failures suspected".to_string(),
+        };
+        let text = alert.to_string();
+        assert!(text.contains("warning"));
+        assert!(text.contains("drive#7"));
+        assert!(text.contains("~120 h"));
+        assert!(text.contains("-0.31"));
+    }
+}

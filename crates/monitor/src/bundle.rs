@@ -1,0 +1,198 @@
+//! The deployable model artifact: everything the monitor needs from a
+//! training run, detached from the training dataset.
+
+use dds_core::{AnalysisReport, FailureType};
+use dds_regtree::RegressionTree;
+use dds_smartsim::{Attribute, Dataset, HealthRecord, NUM_ATTRIBUTES};
+use dds_stats::{MinMaxScaler, SignatureModel};
+
+/// The vendor "rate" attributes whose healthy values differ unit-to-unit;
+/// the monitor re-centers them per drive (see
+/// [`FleetMonitor`](crate::FleetMonitor)). Temperature is deliberately
+/// excluded — an absolutely hot drive is the §V-A logical-failure signal.
+pub const BASELINE_ATTRIBUTES: [Attribute; 4] = [
+    Attribute::RawReadErrorRate,
+    Attribute::SeekErrorRate,
+    Attribute::HardwareEccRecovered,
+    Attribute::SpinUpTime,
+];
+
+/// One failure group's deployable model: type, degradation predictor and
+/// signature.
+#[derive(Debug, Clone)]
+pub struct GroupModel {
+    /// The failure type this model covers.
+    pub failure_type: FailureType,
+    /// The trained §V-B regression tree.
+    pub tree: RegressionTree,
+    /// The group's degradation signature (for remaining-time inversion).
+    pub signature: SignatureModel,
+}
+
+/// The deployable bundle: normalization bounds plus one [`GroupModel`] per
+/// failure type discovered in training.
+///
+/// Build it once per training fleet with [`ModelBundle::from_analysis`];
+/// it owns copies of everything, so the training dataset can be dropped.
+#[derive(Debug, Clone)]
+pub struct ModelBundle {
+    scaler: MinMaxScaler,
+    groups: Vec<GroupModel>,
+    /// Mean raw value of each attribute over the training fleet's good
+    /// records — the re-centering target for unit-to-unit baseline
+    /// correction.
+    population_means: [f64; NUM_ATTRIBUTES],
+    /// Standard deviation of the good population's `TC` health values —
+    /// the yardstick of the thermal-risk check.
+    tc_std: f64,
+}
+
+impl ModelBundle {
+    /// Extracts the bundle from a completed analysis of a training fleet.
+    pub fn from_analysis(dataset: &Dataset, report: &AnalysisReport) -> Self {
+        let groups = report
+            .prediction
+            .groups
+            .iter()
+            .map(|g| GroupModel {
+                failure_type: report.categorization.groups()[g.group_index].failure_type,
+                tree: g.tree.clone(),
+                signature: g.signature,
+            })
+            .collect();
+        let mut population_means = [0.0; NUM_ATTRIBUTES];
+        let mut count = 0u64;
+        for drive in dataset.good_drives() {
+            for record in drive.records() {
+                count += 1;
+                for (mean, v) in population_means.iter_mut().zip(&record.values) {
+                    *mean += v;
+                }
+            }
+        }
+        if count > 0 {
+            for mean in &mut population_means {
+                *mean /= count as f64;
+            }
+        }
+        let tc_idx = Attribute::TemperatureCelsius.index();
+        let mut tc_var = 0.0;
+        for drive in dataset.good_drives() {
+            for record in drive.records() {
+                let d = record.values[tc_idx] - population_means[tc_idx];
+                tc_var += d * d;
+            }
+        }
+        let tc_std = if count > 0 { (tc_var / count as f64).sqrt() } else { 0.0 };
+        ModelBundle { scaler: dataset.scaler().clone(), groups, population_means, tc_std }
+    }
+
+    /// Builds a bundle directly from parts (e.g. models trained elsewhere).
+    pub fn new(
+        scaler: MinMaxScaler,
+        groups: Vec<GroupModel>,
+        population_means: [f64; NUM_ATTRIBUTES],
+        tc_std: f64,
+    ) -> Self {
+        ModelBundle { scaler, groups, population_means, tc_std }
+    }
+
+    /// The training fleet's mean raw attribute values over good records.
+    pub fn population_means(&self) -> &[f64; NUM_ATTRIBUTES] {
+        &self.population_means
+    }
+
+    /// Standard deviation of good-population `TC` health values.
+    pub fn tc_std(&self) -> f64 {
+        self.tc_std
+    }
+
+    /// The per-type models.
+    pub fn groups(&self) -> &[GroupModel] {
+        &self.groups
+    }
+
+    /// The training fleet's Eq. (1) normalization bounds.
+    pub fn scaler(&self) -> &MinMaxScaler {
+        &self.scaler
+    }
+
+    /// Normalizes a live record with the *training* bounds (values outside
+    /// the training range extrapolate, which is exactly what a deployed
+    /// scaler must do).
+    pub fn normalize(&self, record: &HealthRecord) -> [f64; NUM_ATTRIBUTES] {
+        let mut out = [0.0; NUM_ATTRIBUTES];
+        for (c, slot) in out.iter_mut().enumerate() {
+            *slot = self.scaler.transform_value(c, record.values[c]);
+        }
+        out
+    }
+
+    /// Scores a normalized record with every group model and returns the
+    /// most pessimistic `(group index, predicted degradation)`.
+    pub fn worst_prediction(&self, normalized: &[f64]) -> Option<(usize, f64)> {
+        self.groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (i, g.tree.predict(normalized)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite predictions"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_core::{Analysis, AnalysisConfig, CategorizationConfig};
+    use dds_smartsim::{FleetConfig, FleetSimulator};
+
+    fn bundle() -> (Dataset, ModelBundle) {
+        let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(8_001)).run();
+        let config = AnalysisConfig {
+            categorization: CategorizationConfig { run_svc: false, ..Default::default() },
+            ..Default::default()
+        };
+        let report = Analysis::new(config).run(&dataset).unwrap();
+        let bundle = ModelBundle::from_analysis(&dataset, &report);
+        (dataset, bundle)
+    }
+
+    #[test]
+    fn bundle_covers_every_group() {
+        let (_, bundle) = bundle();
+        assert_eq!(bundle.groups().len(), 3);
+        let types: Vec<FailureType> =
+            bundle.groups().iter().map(|g| g.failure_type).collect();
+        assert!(types.contains(&FailureType::Logical));
+        assert!(types.contains(&FailureType::BadSector));
+        assert!(types.contains(&FailureType::HeadWear));
+    }
+
+    #[test]
+    fn normalization_matches_training_dataset() {
+        let (dataset, bundle) = bundle();
+        let drive = dataset.failed_drives().next().unwrap();
+        let record = drive.records().last().unwrap();
+        assert_eq!(bundle.normalize(record), dataset.normalize_record(record));
+    }
+
+    #[test]
+    fn worst_prediction_flags_failure_records() {
+        let (dataset, bundle) = bundle();
+        // A bad-sector failure record must score pessimistically under at
+        // least one model.
+        let drive = dataset
+            .failed_drives()
+            .find(|d| {
+                d.label().failure_mode() == Some(dds_smartsim::FailureMode::BadSector)
+            })
+            .unwrap();
+        let normalized = bundle.normalize(drive.records().last().unwrap());
+        let (_, degradation) = bundle.worst_prediction(&normalized).unwrap();
+        assert!(degradation < 0.0, "failure record scored {degradation}");
+        // A healthy record scores near 1 under every model.
+        let good = dataset.good_drives().next().unwrap();
+        let normalized = bundle.normalize(&good.records()[0]);
+        let (_, degradation) = bundle.worst_prediction(&normalized).unwrap();
+        assert!(degradation > 0.3, "good record scored {degradation}");
+    }
+}

@@ -1,0 +1,559 @@
+//! CART regression trees with SSE-minimizing splits.
+//!
+//! §V-B of the paper predicts the *degradation value* of a health sample
+//! (a continuous target: 1 for good drives, the signature value `s(t)` for
+//! failed ones) with a regression tree whose splits minimize the sum of
+//! squared errors within child nodes (Eq. 8), chosen for its
+//! "cost-effectiveness and ease of interpretation". This crate implements
+//! that model: binary axis-aligned splits, depth and minimum-samples
+//! controls, prediction, feature importances, and an ASCII rendering that
+//! reproduces the paper's Fig. 13 tree printout.
+//!
+//! # Example
+//!
+//! ```
+//! use dds_regtree::{RegressionTree, TreeConfig};
+//!
+//! // y = 1 if x > 0.5 else 0 — one split recovers it.
+//! let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| if x[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+//! let tree = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+//! assert!((tree.predict(&[0.9]) - 1.0).abs() < 1e-9);
+//! assert!(tree.predict(&[0.1]).abs() < 1e-9);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when fitting or querying a regression tree.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TreeError {
+    /// No training samples were provided.
+    EmptyInput,
+    /// Feature rows have inconsistent lengths, or targets don't match rows.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A configuration field is out of its valid domain.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::EmptyInput => write!(f, "training set is empty"),
+            TreeError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            TreeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for TreeError {}
+
+/// Hyper-parameters of a [`RegressionTree`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples a node needs to be considered for splitting.
+    pub min_samples_split: usize,
+    /// Minimum samples each child of a split must retain.
+    pub min_samples_leaf: usize,
+    /// Minimum SSE reduction a split must achieve to be accepted.
+    pub min_impurity_decrease: f64,
+}
+
+impl TreeConfig {
+    /// Creates the default configuration (depth ≤ 8, split ≥ 20 samples,
+    /// leaves ≥ 5 samples, any positive improvement).
+    pub fn new() -> Self {
+        TreeConfig {
+            max_depth: 8,
+            min_samples_split: 20,
+            min_samples_leaf: 5,
+            min_impurity_decrease: 1e-9,
+        }
+    }
+
+    /// Sets the maximum depth.
+    #[must_use]
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Sets the minimum node size for splitting.
+    #[must_use]
+    pub fn with_min_samples_split(mut self, n: usize) -> Self {
+        self.min_samples_split = n.max(2);
+        self
+    }
+
+    /// Sets the minimum leaf size.
+    #[must_use]
+    pub fn with_min_samples_leaf(mut self, n: usize) -> Self {
+        self.min_samples_leaf = n.max(1);
+        self
+    }
+
+    fn validate(&self) -> Result<(), TreeError> {
+        if self.min_samples_leaf == 0 {
+            return Err(TreeError::InvalidConfig("min_samples_leaf must be ≥ 1".to_string()));
+        }
+        if self.min_samples_split < 2 {
+            return Err(TreeError::InvalidConfig("min_samples_split must be ≥ 2".to_string()));
+        }
+        if self.min_impurity_decrease < 0.0 {
+            return Err(TreeError::InvalidConfig(
+                "min_impurity_decrease must be non-negative".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig::new()
+    }
+}
+
+/// A node of the fitted tree.
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        value: f64,
+        samples: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        value: f64,
+        samples: usize,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART regression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    num_features: usize,
+    importances: Vec<f64>,
+}
+
+impl RegressionTree {
+    /// Fits a tree on row-features `xs` and targets `ys`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::EmptyInput`] for no samples,
+    /// [`TreeError::DimensionMismatch`] for ragged rows or a target length
+    /// that differs from the row count, and [`TreeError::InvalidConfig`]
+    /// for out-of-domain hyper-parameters.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], config: &TreeConfig) -> Result<Self, TreeError> {
+        config.validate()?;
+        if xs.is_empty() || xs[0].is_empty() {
+            return Err(TreeError::EmptyInput);
+        }
+        if xs.len() != ys.len() {
+            return Err(TreeError::DimensionMismatch { expected: xs.len(), actual: ys.len() });
+        }
+        let num_features = xs[0].len();
+        for row in xs {
+            if row.len() != num_features {
+                return Err(TreeError::DimensionMismatch {
+                    expected: num_features,
+                    actual: row.len(),
+                });
+            }
+        }
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            num_features,
+            importances: vec![0.0; num_features],
+        };
+        let indices: Vec<usize> = (0..xs.len()).collect();
+        tree.build(xs, ys, indices, 0, config);
+        // Normalize importances.
+        let total: f64 = tree.importances.iter().sum();
+        if total > 0.0 {
+            for imp in &mut tree.importances {
+                *imp /= total;
+            }
+        }
+        Ok(tree)
+    }
+
+    /// Builds a subtree over `indices` and returns its node id.
+    fn build(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        indices: Vec<usize>,
+        depth: usize,
+        config: &TreeConfig,
+    ) -> usize {
+        let n = indices.len();
+        let mean = indices.iter().map(|&i| ys[i]).sum::<f64>() / n as f64;
+        let sse: f64 = indices.iter().map(|&i| (ys[i] - mean) * (ys[i] - mean)).sum();
+        let make_leaf = |this: &mut Self| {
+            this.nodes.push(Node::Leaf { value: mean, samples: n });
+            this.nodes.len() - 1
+        };
+        if depth >= config.max_depth || n < config.min_samples_split || sse <= 1e-12 {
+            return make_leaf(self);
+        }
+        let Some(best) = self.best_split(xs, ys, &indices, sse, config) else {
+            return make_leaf(self);
+        };
+        // Partition and recurse.
+        let (mut left_idx, mut right_idx) = (Vec::new(), Vec::new());
+        for &i in &indices {
+            if xs[i][best.feature] < best.threshold {
+                left_idx.push(i);
+            } else {
+                right_idx.push(i);
+            }
+        }
+        self.importances[best.feature] += best.improvement;
+        let node_id = self.nodes.len();
+        self.nodes.push(Node::Split {
+            feature: best.feature,
+            threshold: best.threshold,
+            value: mean,
+            samples: n,
+            left: 0,
+            right: 0,
+        });
+        let left = self.build(xs, ys, left_idx, depth + 1, config);
+        let right = self.build(xs, ys, right_idx, depth + 1, config);
+        if let Node::Split { left: l, right: r, .. } = &mut self.nodes[node_id] {
+            *l = left;
+            *r = right;
+        }
+        node_id
+    }
+
+    /// Finds the SSE-minimizing split (Eq. 8) over all features and
+    /// thresholds, or `None` if no admissible split improves enough.
+    #[allow(clippy::needless_range_loop)]
+    fn best_split(
+        &self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        indices: &[usize],
+        parent_sse: f64,
+        config: &TreeConfig,
+    ) -> Option<BestSplit> {
+        let n = indices.len();
+        let mut best: Option<BestSplit> = None;
+        for feature in 0..self.num_features {
+            // Sort node samples by this feature.
+            let mut order: Vec<usize> = indices.to_vec();
+            order.sort_by(|&a, &b| {
+                xs[a][feature].partial_cmp(&xs[b][feature]).expect("finite features")
+            });
+            // Prefix sums for O(1) SSE of each candidate partition:
+            // SSE = Σy² − (Σy)²/n for each side.
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            let total_sum: f64 = order.iter().map(|&i| ys[i]).sum();
+            let total_sq: f64 = order.iter().map(|&i| ys[i] * ys[i]).sum();
+            for split_at in 1..n {
+                let i = order[split_at - 1];
+                left_sum += ys[i];
+                left_sq += ys[i] * ys[i];
+                // Can't split between equal feature values.
+                let lo = xs[order[split_at - 1]][feature];
+                let hi = xs[order[split_at]][feature];
+                if hi <= lo {
+                    continue;
+                }
+                if split_at < config.min_samples_leaf || n - split_at < config.min_samples_leaf {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let left_sse = left_sq - left_sum * left_sum / split_at as f64;
+                let right_sse = right_sq - right_sum * right_sum / (n - split_at) as f64;
+                let improvement = parent_sse - left_sse - right_sse;
+                if improvement < config.min_impurity_decrease {
+                    continue;
+                }
+                if best.as_ref().is_none_or(|b| improvement > b.improvement) {
+                    best = Some(BestSplit {
+                        feature,
+                        threshold: (lo + hi) / 2.0,
+                        improvement,
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    /// Predicts the target for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has the wrong number of features.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.num_features, "feature count mismatch");
+        let mut id = 0usize;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { value, .. } => return *value,
+                Node::Split { feature, threshold, left, right, .. } => {
+                    id = if row[*feature] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Predicts a batch of rows.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Number of nodes in the tree.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaf nodes.
+    pub fn num_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+    }
+
+    /// Tree depth (root-only tree has depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], id: usize) -> usize {
+            match &nodes[id] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, 0)
+        }
+    }
+
+    /// Normalized feature importances (summing to 1 when any split exists):
+    /// each feature's share of the total SSE reduction.
+    pub fn feature_importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Renders the tree in the style of the paper's Fig. 13: each node shows
+    /// its mean target value and sample share, splits show
+    /// `feature < threshold`.
+    ///
+    /// `feature_names` must cover every feature index used by the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature_names` is shorter than the feature count.
+    pub fn render(&self, feature_names: &[&str]) -> String {
+        assert!(
+            feature_names.len() >= self.num_features,
+            "need a name for each of the {} features",
+            self.num_features
+        );
+        let total = match &self.nodes[0] {
+            Node::Leaf { samples, .. } | Node::Split { samples, .. } => *samples,
+        };
+        let mut out = String::new();
+        self.render_node(0, 0, feature_names, total, &mut out);
+        out
+    }
+
+    fn render_node(
+        &self,
+        id: usize,
+        indent: usize,
+        names: &[&str],
+        total: usize,
+        out: &mut String,
+    ) {
+        let pad = "  ".repeat(indent);
+        match &self.nodes[id] {
+            Node::Leaf { value, samples } => {
+                out.push_str(&format!(
+                    "{pad}leaf: {:.2} ({:.0}%)\n",
+                    value,
+                    100.0 * *samples as f64 / total as f64
+                ));
+            }
+            Node::Split { feature, threshold, value, samples, left, right } => {
+                out.push_str(&format!(
+                    "{pad}{:.2} ({:.0}%) {} < {:.2}?\n",
+                    value,
+                    100.0 * *samples as f64 / total as f64,
+                    names[*feature],
+                    threshold
+                ));
+                self.render_node(*left, indent + 1, names, total, out);
+                self.render_node(*right, indent + 1, names, total, out);
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    improvement: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 200.0, 0.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| if x[0] > 0.3 { 2.0 } else { -1.0 }).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let (xs, ys) = step_data();
+        let tree = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        assert!((tree.predict(&[0.9, 0.0]) - 2.0).abs() < 1e-9);
+        assert!((tree.predict(&[0.1, 0.0]) + 1.0).abs() < 1e-9);
+        // The informative feature gets all the importance.
+        let imp = tree.feature_importances();
+        assert!((imp[0] - 1.0).abs() < 1e-9);
+        assert_eq!(imp[1], 0.0);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let ys = vec![3.5; 50];
+        let tree = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.num_leaves(), 1);
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.predict(&[999.0]), 3.5);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let xs: Vec<Vec<f64>> = (0..256).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..256).map(|i| (i % 7) as f64).collect();
+        let config = TreeConfig::default()
+            .with_max_depth(2)
+            .with_min_samples_split(2)
+            .with_min_samples_leaf(1);
+        let tree = RegressionTree::fit(&xs, &ys, &config).unwrap();
+        assert!(tree.depth() <= 2);
+        assert!(tree.num_leaves() <= 4);
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let mut ys = vec![0.0; 20];
+        ys[19] = 100.0; // a lone outlier that a size-1 leaf would isolate
+        let config = TreeConfig::default().with_min_samples_split(2).with_min_samples_leaf(10);
+        let tree = RegressionTree::fit(&xs, &ys, &config).unwrap();
+        assert_eq!(tree.num_leaves(), 2);
+        // Each leaf must hold exactly 10 samples.
+        let left = tree.predict(&[0.0]);
+        let right = tree.predict(&[19.0]);
+        assert!((left - 0.0).abs() < 1e-9);
+        assert!((right - 10.0).abs() < 1e-9); // 100 averaged over 10 samples
+    }
+
+    #[test]
+    fn piecewise_linear_gets_close_with_depth() {
+        let xs: Vec<Vec<f64>> = (0..400).map(|i| vec![i as f64 / 400.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[0]).collect();
+        let config = TreeConfig::default()
+            .with_max_depth(8)
+            .with_min_samples_split(4)
+            .with_min_samples_leaf(2);
+        let tree = RegressionTree::fit(&xs, &ys, &config).unwrap();
+        let rmse = {
+            let pred = tree.predict_batch(&xs);
+            let mse = pred.iter().zip(&ys).map(|(p, y)| (p - y) * (p - y)).sum::<f64>()
+                / ys.len() as f64;
+            mse.sqrt()
+        };
+        assert!(rmse < 0.02, "rmse {rmse}");
+    }
+
+    #[test]
+    fn multi_feature_selects_informative_one() {
+        // Feature 2 carries the signal; 0 and 1 are constant / noise-free
+        // decoys.
+        let xs: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![1.0, (i % 3) as f64, i as f64])
+            .collect();
+        let ys: Vec<f64> = (0..100).map(|i| if i < 50 { 0.0 } else { 5.0 }).collect();
+        let tree = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        let imp = tree.feature_importances();
+        assert!(imp[2] > 0.9, "importances {imp:?}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let xs = vec![vec![1.0], vec![2.0]];
+        assert!(matches!(
+            RegressionTree::fit(&[], &[], &TreeConfig::default()),
+            Err(TreeError::EmptyInput)
+        ));
+        assert!(RegressionTree::fit(&xs, &[1.0], &TreeConfig::default()).is_err());
+        let ragged = vec![vec![1.0], vec![2.0, 3.0]];
+        assert!(RegressionTree::fit(&ragged, &[1.0, 2.0], &TreeConfig::default()).is_err());
+        let bad = TreeConfig { min_impurity_decrease: -1.0, ..TreeConfig::default() };
+        assert!(RegressionTree::fit(&xs, &[1.0, 2.0], &bad).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn predict_checks_width() {
+        let (xs, ys) = step_data();
+        let tree = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        let _ = tree.predict(&[1.0]);
+    }
+
+    #[test]
+    fn render_mentions_feature_names_and_percentages() {
+        let (xs, ys) = step_data();
+        let tree = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        let text = tree.render(&["POH", "TC"]);
+        assert!(text.contains("POH <"));
+        assert!(text.contains("(100%)"));
+        assert!(text.contains("leaf:"));
+    }
+
+    #[test]
+    fn duplicate_feature_values_never_split_between_equals() {
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![(i / 10) as f64]).collect();
+        let ys: Vec<f64> = (0..40).map(|i| (i / 10) as f64 * 2.0).collect();
+        let config = TreeConfig::default().with_min_samples_split(2).with_min_samples_leaf(1);
+        let tree = RegressionTree::fit(&xs, &ys, &config).unwrap();
+        // Perfect fit is achievable; every group predicts its own value.
+        for g in 0..4 {
+            assert!((tree.predict(&[g as f64]) - g as f64 * 2.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! The twelve SMART attributes of the paper's Table I.
+//!
+//! The paper starts from 23 SMART attributes, filters constant ones, and
+//! keeps ten normalized health values plus two raw counters whose normalized
+//! forms lose accuracy (`R-RSC`, `R-CPSC`). The first ten attributes are
+//! directly related to read/write operations; the last two (`POH`, `TC`)
+//! are environmental.
+
+use std::fmt;
+
+/// Number of attributes recorded per health sample.
+pub const NUM_ATTRIBUTES: usize = 12;
+
+/// Whether an attribute reflects read/write activity or the drive's
+/// operating environment (Table I's "Type" column, first half).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttributeKind {
+    /// Directly related to disk read/write operations; used for failure
+    /// categorization (§IV-B).
+    ReadWrite,
+    /// Environmental (power-on hours, temperature); excluded from
+    /// categorization but analyzed as degradation triggers (§IV-D, §V-A).
+    Environmental,
+}
+
+/// Whether the recorded value is the vendor's one-byte relative health value
+/// or the six-byte raw counter (Table I's "Type" column, second half).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueKind {
+    /// One-byte normalized health value (higher is healthier).
+    HealthValue,
+    /// Six-byte raw measurement/counter from the drive.
+    RawData,
+}
+
+/// One of the twelve selected SMART attributes (Table I).
+///
+/// The discriminant order matches the paper's table and is the column order
+/// of every [`HealthRecord`](crate::HealthRecord).
+///
+/// # Example
+///
+/// ```
+/// use dds_smartsim::{Attribute, AttributeKind};
+///
+/// assert_eq!(Attribute::ALL.len(), 12);
+/// assert_eq!(Attribute::read_write().count(), 10);
+/// assert_eq!(Attribute::TemperatureCelsius.kind(), AttributeKind::Environmental);
+/// assert_eq!(Attribute::RawReadErrorRate.symbol(), "RRER");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Attribute {
+    /// Raw Read Error Rate (health value). Media errors depress it.
+    RawReadErrorRate = 0,
+    /// Reallocated Sectors Count (health value).
+    ReallocatedSectors = 1,
+    /// Seek Error Rate (health value).
+    SeekErrorRate = 2,
+    /// Reported Uncorrectable Errors (health value).
+    ReportedUncorrectable = 3,
+    /// High Fly Writes (health value).
+    HighFlyWrites = 4,
+    /// Hardware ECC Recovered (health value).
+    HardwareEccRecovered = 5,
+    /// Current Pending Sector Count (health value).
+    CurrentPendingSectors = 6,
+    /// Spin Up Time (health value).
+    SpinUpTime = 7,
+    /// Reallocated Sectors Count (raw counter).
+    RawReallocatedSectors = 8,
+    /// Current Pending Sector Count (raw counter).
+    RawCurrentPendingSectors = 9,
+    /// Power On Hours (health value, with the 876-hour step quirk).
+    PowerOnHours = 10,
+    /// Temperature Celsius (health value; hotter drives score lower).
+    TemperatureCelsius = 11,
+}
+
+impl Attribute {
+    /// All twelve attributes in record-column order.
+    pub const ALL: [Attribute; NUM_ATTRIBUTES] = [
+        Attribute::RawReadErrorRate,
+        Attribute::ReallocatedSectors,
+        Attribute::SeekErrorRate,
+        Attribute::ReportedUncorrectable,
+        Attribute::HighFlyWrites,
+        Attribute::HardwareEccRecovered,
+        Attribute::CurrentPendingSectors,
+        Attribute::SpinUpTime,
+        Attribute::RawReallocatedSectors,
+        Attribute::RawCurrentPendingSectors,
+        Attribute::PowerOnHours,
+        Attribute::TemperatureCelsius,
+    ];
+
+    /// The column index of this attribute in a health record.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Looks an attribute up by its record-column index.
+    pub fn from_index(index: usize) -> Option<Attribute> {
+        Attribute::ALL.get(index).copied()
+    }
+
+    /// Read/write vs environmental classification (Table I).
+    pub fn kind(self) -> AttributeKind {
+        match self {
+            Attribute::PowerOnHours | Attribute::TemperatureCelsius => {
+                AttributeKind::Environmental
+            }
+            _ => AttributeKind::ReadWrite,
+        }
+    }
+
+    /// Health-value vs raw-counter classification (Table I).
+    pub fn value_kind(self) -> ValueKind {
+        match self {
+            Attribute::RawReallocatedSectors | Attribute::RawCurrentPendingSectors => {
+                ValueKind::RawData
+            }
+            _ => ValueKind::HealthValue,
+        }
+    }
+
+    /// The short symbol used throughout the paper (Table I).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Attribute::RawReadErrorRate => "RRER",
+            Attribute::ReallocatedSectors => "RSC",
+            Attribute::SeekErrorRate => "SER",
+            Attribute::ReportedUncorrectable => "RUE",
+            Attribute::HighFlyWrites => "HFW",
+            Attribute::HardwareEccRecovered => "HER",
+            Attribute::CurrentPendingSectors => "CPSC",
+            Attribute::SpinUpTime => "SUT",
+            Attribute::RawReallocatedSectors => "R-RSC",
+            Attribute::RawCurrentPendingSectors => "R-CPSC",
+            Attribute::PowerOnHours => "POH",
+            Attribute::TemperatureCelsius => "TC",
+        }
+    }
+
+    /// The full attribute name (Table I).
+    pub fn name(self) -> &'static str {
+        match self {
+            Attribute::RawReadErrorRate => "Raw Read Error Rate",
+            Attribute::ReallocatedSectors => "Reallocated Sectors Count",
+            Attribute::SeekErrorRate => "Seek Error Rate",
+            Attribute::ReportedUncorrectable => "Reported Uncorrectable Errors",
+            Attribute::HighFlyWrites => "High Fly Writes",
+            Attribute::HardwareEccRecovered => "Hardware ECC Recovered",
+            Attribute::CurrentPendingSectors => "Current Pending Sector Count",
+            Attribute::SpinUpTime => "Spin Up Time",
+            Attribute::RawReallocatedSectors => "Reallocated Sectors Count (raw)",
+            Attribute::RawCurrentPendingSectors => "Current Pending Sector Count (raw)",
+            Attribute::PowerOnHours => "Power On Hours",
+            Attribute::TemperatureCelsius => "Temperature Celsius",
+        }
+    }
+
+    /// Iterator over the ten read/write attributes, in column order.
+    ///
+    /// These are the features of the 30-dimensional failure records used by
+    /// the categorization step (§IV-B).
+    pub fn read_write() -> impl Iterator<Item = Attribute> {
+        Attribute::ALL.into_iter().filter(|a| a.kind() == AttributeKind::ReadWrite)
+    }
+
+    /// Iterator over the two environmental attributes.
+    pub fn environmental() -> impl Iterator<Item = Attribute> {
+        Attribute::ALL.into_iter().filter(|a| a.kind() == AttributeKind::Environmental)
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_roundtrip() {
+        for (i, attr) in Attribute::ALL.iter().enumerate() {
+            assert_eq!(attr.index(), i);
+            assert_eq!(Attribute::from_index(i), Some(*attr));
+        }
+        assert_eq!(Attribute::from_index(12), None);
+    }
+
+    #[test]
+    fn ten_read_write_two_environmental() {
+        assert_eq!(Attribute::read_write().count(), 10);
+        assert_eq!(Attribute::environmental().count(), 2);
+        assert_eq!(Attribute::read_write().count() + Attribute::environmental().count(), 12);
+    }
+
+    #[test]
+    fn raw_attributes_match_table_one() {
+        let raw: Vec<Attribute> =
+            Attribute::ALL.into_iter().filter(|a| a.value_kind() == ValueKind::RawData).collect();
+        assert_eq!(
+            raw,
+            vec![Attribute::RawReallocatedSectors, Attribute::RawCurrentPendingSectors]
+        );
+    }
+
+    #[test]
+    fn symbols_are_unique() {
+        let mut symbols: Vec<&str> = Attribute::ALL.iter().map(|a| a.symbol()).collect();
+        symbols.sort_unstable();
+        symbols.dedup();
+        assert_eq!(symbols.len(), 12);
+    }
+
+    #[test]
+    fn display_uses_symbol() {
+        assert_eq!(Attribute::PowerOnHours.to_string(), "POH");
+    }
+
+    #[test]
+    fn names_are_nonempty() {
+        for attr in Attribute::ALL {
+            assert!(!attr.name().is_empty());
+        }
+    }
+}

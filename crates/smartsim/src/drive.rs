@@ -1,0 +1,420 @@
+//! The per-drive state machine: sector pool, error processes and the hourly
+//! SMART sampling step.
+//!
+//! A drive is modeled at the component level described in §II-A of the
+//! paper: a pool of sectors with a spare area for reallocation, a background
+//! scan that detects unstable (pending) sectors and either recovers them via
+//! ECC or escalates them to uncorrectable errors, heads that produce read /
+//! seek / high-fly errors, and a spindle whose spin-up time drifts with
+//! wear. Failure processes (see [`crate::failure`]) do not write SMART
+//! values directly — they modulate the *physical* rates and targets here,
+//! and the vendor encoding in [`crate::smart`] turns physical state into
+//! the recorded attributes.
+
+use crate::attr::NUM_ATTRIBUTES;
+use crate::environment::Environment;
+use crate::randutil;
+use crate::smart;
+use rand::Rng;
+
+/// Per-hour stochastic stress applied to a drive: expected event counts for
+/// each error process, all scaled by the instantaneous workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HourlyStress {
+    /// Expected media (read) errors this hour at nominal load.
+    pub media_rate: f64,
+    /// Expected seek errors this hour at nominal load.
+    pub seek_rate: f64,
+    /// Expected ECC-recovered events this hour at nominal load.
+    pub ecc_rate: f64,
+    /// Probability that a new unstable (pending) sector event occurs this
+    /// hour.
+    pub pending_prob: f64,
+    /// Mean number of sectors per pending event (≥ 1).
+    pub pending_burst_size: f64,
+    /// Probability of a write-error reallocation burst this hour.
+    pub realloc_burst_prob: f64,
+    /// Mean size of a reallocation burst (sectors).
+    pub realloc_burst_size: f64,
+    /// Probability of a high-fly write event this hour.
+    pub high_fly_prob: f64,
+}
+
+impl HourlyStress {
+    /// The background stress of a healthy drive.
+    pub fn baseline() -> Self {
+        HourlyStress {
+            media_rate: 0.5,
+            seek_rate: 0.3,
+            ecc_rate: 1.0,
+            pending_prob: 0.002,
+            pending_burst_size: 1.0,
+            realloc_burst_prob: 0.003,
+            realloc_burst_size: 2.0,
+            high_fly_prob: 0.004,
+        }
+    }
+}
+
+/// Deterministic anomaly levels a failure process imposes on top of the
+/// stochastic stress. Depressions subtract health points from the recorded
+/// rate attributes; targets ratchet monotone counters up to an absolute
+/// level (counters never decrease, like real SMART counters).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AnomalyLevels {
+    /// Health points subtracted from the recorded `RRER`.
+    pub rrer_depression: f64,
+    /// Health points subtracted from the recorded `HER`.
+    pub her_depression: f64,
+    /// Health points subtracted from the recorded `SUT`.
+    pub sut_depression: f64,
+    /// Absolute reallocated-sector target (ratcheted, not assigned).
+    pub reallocated_target: Option<f64>,
+    /// Absolute uncorrectable-error target (ratcheted).
+    pub uncorrectable_target: Option<f64>,
+    /// Absolute pending-sector target (ratcheted; pending may still drain
+    /// below it via scan recovery in later hours).
+    pub pending_target: Option<f64>,
+}
+
+/// Mutable physical state of one simulated drive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriveState {
+    /// Cumulative power-on hours.
+    pub age_hours: f64,
+    /// Reallocated sectors (monotone counter).
+    pub reallocated: f64,
+    /// Currently pending (unstable, not yet resolved) sectors.
+    pub pending: f64,
+    /// Total reported uncorrectable errors (monotone counter).
+    pub uncorrectable: f64,
+    /// Total high-fly write events (monotone counter).
+    pub high_fly: f64,
+    /// Exponentially weighted recent media-error intensity.
+    pub media_ewma: f64,
+    /// Exponentially weighted recent seek-error intensity.
+    pub seek_ewma: f64,
+    /// Exponentially weighted recent ECC-recovery intensity.
+    pub ecc_ewma: f64,
+    /// Spin-up health before noise (drifts down with wear).
+    pub spin_health: f64,
+    /// Thermal offset over ambient for this drive (°C).
+    pub thermal_offset: f64,
+    /// Per-drive vendor baselines for the rate attributes (RRER, SER, HER):
+    /// real fleets show unit-to-unit spread in these health values even when
+    /// healthy, which keeps the dataset-wide normalization ranges realistic.
+    bases: [f64; 3],
+    /// Autocorrelated sensor-noise states for the five noisy attributes
+    /// (RRER, SER, HER, SUT, TC). Vendors derive the "rate" health values
+    /// from sliding windows, so consecutive readings drift rather than
+    /// jump — an AR(1) process models that.
+    noise: [f64; 5],
+}
+
+/// EWMA retention factor for windowed error intensities.
+const EWMA_DECAY: f64 = 0.95;
+/// AR(1) retention factor for the sensor-noise states.
+const NOISE_PHI: f64 = 0.97;
+/// Stationary standard deviations of the AR(1) sensor noise
+/// (RRER, SER, HER, SUT, TC order).
+const NOISE_SD: [f64; 5] = [0.5, 0.4, 0.5, 0.2, 0.4];
+
+impl DriveState {
+    /// Creates a healthy drive with the given starting age and thermal
+    /// offset. Counters start near zero with a small random history
+    /// proportional to age.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, age_hours: f64, thermal_offset: f64) -> Self {
+        let wear = (age_hours / 30_000.0).min(1.5);
+        DriveState {
+            age_hours,
+            reallocated: randutil::poisson(rng, 2.0 * wear) as f64,
+            pending: 0.0,
+            uncorrectable: 0.0,
+            high_fly: randutil::poisson(rng, 1.5 * wear) as f64,
+            media_ewma: 0.5,
+            seek_ewma: 0.3,
+            ecc_ewma: 1.0,
+            spin_health: 95.0 - 4.0 * wear + randutil::normal(rng, 0.0, 1.5),
+            thermal_offset,
+            bases: [
+                randutil::normal(rng, 82.0, 4.0),
+                randutil::normal(rng, 76.0, 4.0),
+                randutil::normal(rng, 72.0, 4.0),
+            ],
+            noise: {
+                let mut noise = [0.0; 5];
+                for (state, sd) in noise.iter_mut().zip(NOISE_SD) {
+                    *state = randutil::normal(rng, 0.0, sd);
+                }
+                noise
+            },
+        }
+    }
+
+    /// Advances every AR(1) sensor-noise state by one hour.
+    fn step_noise<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for (state, sd) in self.noise.iter_mut().zip(NOISE_SD) {
+            let innovation_sd = sd * (1.0 - NOISE_PHI * NOISE_PHI).sqrt();
+            *state = NOISE_PHI * *state + randutil::normal(rng, 0.0, innovation_sd);
+        }
+    }
+
+    /// Advances the drive by one hour under the given stress and anomaly
+    /// levels, returning the SMART record values for that hour (column order
+    /// of [`crate::Attribute::ALL`]).
+    pub fn step<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        env: &Environment,
+        hour: u32,
+        stress: &HourlyStress,
+        anomalies: &AnomalyLevels,
+    ) -> [f64; NUM_ATTRIBUTES] {
+        let load = env.load(hour);
+
+        // --- stochastic error processes, scaled by workload -------------
+        let media = randutil::poisson(rng, stress.media_rate * load) as f64;
+        let seek = randutil::poisson(rng, stress.seek_rate * load) as f64;
+        let ecc = randutil::poisson(rng, stress.ecc_rate * load) as f64;
+        self.media_ewma = EWMA_DECAY * self.media_ewma + (1.0 - EWMA_DECAY) * media;
+        self.seek_ewma = EWMA_DECAY * self.seek_ewma + (1.0 - EWMA_DECAY) * seek;
+        self.ecc_ewma = EWMA_DECAY * self.ecc_ewma + (1.0 - EWMA_DECAY) * ecc;
+
+        if randutil::bernoulli(rng, stress.pending_prob * load) {
+            self.pending += 1.0 + randutil::poisson(rng, (stress.pending_burst_size - 1.0).max(0.0)) as f64;
+        }
+        if randutil::bernoulli(rng, stress.realloc_burst_prob * load) {
+            self.reallocated += randutil::poisson(rng, stress.realloc_burst_size) as f64;
+        }
+        if randutil::bernoulli(rng, stress.high_fly_prob * load) {
+            self.high_fly += 1.0;
+        }
+
+        // --- background scan: resolve or escalate pending sectors -------
+        if self.pending > 0.0 {
+            let mut remaining = 0.0;
+            for _ in 0..self.pending.round() as u64 {
+                if randutil::bernoulli(rng, 0.15) {
+                    // ECC recovered the sector.
+                } else if randutil::bernoulli(rng, 0.004) {
+                    // Unrecoverable: becomes an uncorrectable error and the
+                    // sector is reallocated on the next write.
+                    self.uncorrectable += 1.0;
+                    self.reallocated += 1.0;
+                } else {
+                    remaining += 1.0;
+                }
+            }
+            self.pending = remaining;
+        }
+
+        // --- deterministic anomaly ratchets ------------------------------
+        if let Some(target) = anomalies.reallocated_target {
+            self.reallocated = self.reallocated.max(target);
+        }
+        if let Some(target) = anomalies.uncorrectable_target {
+            self.uncorrectable = self.uncorrectable.max(target);
+        }
+        if let Some(target) = anomalies.pending_target {
+            self.pending = self.pending.max(target);
+        }
+        self.reallocated = self.reallocated.min(smart::SPARE_SECTORS);
+
+        // --- ageing -------------------------------------------------------
+        self.age_hours += 1.0;
+        self.spin_health -= 4.0 / 30_000.0; // slow wear drift
+        self.step_noise(rng);
+
+        // --- temperature ---------------------------------------------------
+        let celsius = env.ambient_celsius(hour) + self.thermal_offset + self.noise[4];
+
+        // --- vendor encoding -----------------------------------------------
+        let rrer = smart::rate_health(self.bases[0], self.media_ewma, 4.0)
+            - anomalies.rrer_depression
+            + self.noise[0];
+        let ser = smart::rate_health(self.bases[1], self.seek_ewma, 3.0) + self.noise[1];
+        let her = smart::rate_health(self.bases[2], self.ecc_ewma, 2.5)
+            - anomalies.her_depression
+            + self.noise[2];
+        let sut = self.spin_health - anomalies.sut_depression + self.noise[3];
+
+        let mut values = [0.0; NUM_ATTRIBUTES];
+        values[0] = smart::clamp_health(rrer);
+        values[1] = smart::reallocated_health(self.reallocated);
+        values[2] = smart::clamp_health(ser);
+        values[3] = smart::uncorrectable_health(self.uncorrectable);
+        values[4] = smart::high_fly_health(self.high_fly);
+        values[5] = smart::clamp_health(her);
+        values[6] = smart::pending_health(self.pending);
+        values[7] = smart::clamp_health(sut);
+        values[8] = self.reallocated;
+        values[9] = self.pending;
+        values[10] = smart::poh_health(self.age_hours);
+        values[11] = smart::temperature_health(celsius);
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_hours(
+        state: &mut DriveState,
+        rng: &mut StdRng,
+        env: &Environment,
+        hours: u32,
+        stress: &HourlyStress,
+        anomalies: &AnomalyLevels,
+    ) -> Vec<[f64; NUM_ATTRIBUTES]> {
+        (0..hours).map(|h| state.step(rng, env, h, stress, anomalies)).collect()
+    }
+
+    #[test]
+    fn healthy_drive_stays_healthy_for_a_week() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let env = Environment::new();
+        let mut state = DriveState::new(&mut rng, 10_000.0, 4.0);
+        let records = run_hours(
+            &mut state,
+            &mut rng,
+            &env,
+            168,
+            &HourlyStress::baseline(),
+            &AnomalyLevels::default(),
+        );
+        let last = records.last().unwrap();
+        assert!(last[Attribute::ReportedUncorrectable.index()] > 95.0);
+        assert!(last[Attribute::ReallocatedSectors.index()] > 98.0);
+        assert!(last[Attribute::RawReadErrorRate.index()] > 70.0);
+        // All values in their vendor ranges.
+        for rec in &records {
+            for (i, &v) in rec.iter().enumerate() {
+                let attr = Attribute::from_index(i).unwrap();
+                if attr.value_kind() == crate::attr::ValueKind::HealthValue {
+                    assert!((1.0..=100.0).contains(&v), "{attr} out of range: {v}");
+                } else {
+                    assert!(v >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counters_are_monotone() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let env = Environment::new();
+        let mut state = DriveState::new(&mut rng, 20_000.0, 5.0);
+        let mut stress = HourlyStress::baseline();
+        stress.realloc_burst_prob = 0.2; // force activity
+        let records = run_hours(&mut state, &mut rng, &env, 200, &stress, &AnomalyLevels::default());
+        let realloc_idx = Attribute::RawReallocatedSectors.index();
+        for w in records.windows(2) {
+            assert!(w[1][realloc_idx] >= w[0][realloc_idx]);
+        }
+    }
+
+    #[test]
+    fn anomaly_targets_ratchet_counters() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let env = Environment::new();
+        let mut state = DriveState::new(&mut rng, 5_000.0, 4.0);
+        let anomalies = AnomalyLevels {
+            reallocated_target: Some(3000.0),
+            uncorrectable_target: Some(50.0),
+            ..AnomalyLevels::default()
+        };
+        let rec = state.step(&mut rng, &env, 0, &HourlyStress::baseline(), &anomalies);
+        assert!(rec[Attribute::RawReallocatedSectors.index()] >= 3000.0);
+        assert!(rec[Attribute::ReportedUncorrectable.index()] <= 100.0 - 0.5 * 50.0 + 1e-9);
+        // A lower later target must not decrease the counter.
+        let lower = AnomalyLevels {
+            reallocated_target: Some(100.0),
+            ..AnomalyLevels::default()
+        };
+        let rec2 = state.step(&mut rng, &env, 1, &HourlyStress::baseline(), &lower);
+        assert!(rec2[Attribute::RawReallocatedSectors.index()] >= 3000.0);
+    }
+
+    #[test]
+    fn depressions_lower_rate_attributes() {
+        let env = Environment::new();
+        let base_mean = {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut state = DriveState::new(&mut rng, 8_000.0, 4.0);
+            let recs = run_hours(
+                &mut state,
+                &mut rng,
+                &env,
+                100,
+                &HourlyStress::baseline(),
+                &AnomalyLevels::default(),
+            );
+            recs.iter().map(|r| r[0]).sum::<f64>() / 100.0
+        };
+        let depressed_mean = {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut state = DriveState::new(&mut rng, 8_000.0, 4.0);
+            let anomalies =
+                AnomalyLevels { rrer_depression: 10.0, ..AnomalyLevels::default() };
+            let recs =
+                run_hours(&mut state, &mut rng, &env, 100, &HourlyStress::baseline(), &anomalies);
+            recs.iter().map(|r| r[0]).sum::<f64>() / 100.0
+        };
+        assert!((base_mean - depressed_mean - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn reallocation_saturates_at_spare_pool() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let env = Environment::new();
+        let mut state = DriveState::new(&mut rng, 1_000.0, 4.0);
+        let anomalies = AnomalyLevels {
+            reallocated_target: Some(1e9),
+            ..AnomalyLevels::default()
+        };
+        let rec = state.step(&mut rng, &env, 0, &HourlyStress::baseline(), &anomalies);
+        assert_eq!(rec[Attribute::RawReallocatedSectors.index()], smart::SPARE_SECTORS);
+        assert_eq!(rec[Attribute::ReallocatedSectors.index()], smart::HEALTH_MIN);
+    }
+
+    #[test]
+    fn hot_drive_reports_lower_tc_health() {
+        let env = Environment::new();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut cool = DriveState::new(&mut rng, 10_000.0, 3.0);
+        let mut hot = DriveState::new(&mut rng, 10_000.0, 14.0);
+        let stress = HourlyStress::baseline();
+        let anomalies = AnomalyLevels::default();
+        let tc = Attribute::TemperatureCelsius.index();
+        let cool_mean: f64 = (0..100)
+            .map(|h| cool.step(&mut rng, &env, h, &stress, &anomalies)[tc])
+            .sum::<f64>()
+            / 100.0;
+        let hot_mean: f64 = (0..100)
+            .map(|h| hot.step(&mut rng, &env, h, &stress, &anomalies)[tc])
+            .sum::<f64>()
+            / 100.0;
+        assert!(cool_mean - hot_mean > 8.0);
+    }
+
+    #[test]
+    fn age_advances_and_poh_steps() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let env = Environment::new();
+        // Ages increment before sampling, so starting at 874 gives samples
+        // at ages 875 (POH 100) and 876 (POH 99).
+        let mut state = DriveState::new(&mut rng, 874.0, 4.0);
+        let stress = HourlyStress::baseline();
+        let anomalies = AnomalyLevels::default();
+        let r1 = state.step(&mut rng, &env, 0, &stress, &anomalies);
+        let r2 = state.step(&mut rng, &env, 1, &stress, &anomalies);
+        let poh = Attribute::PowerOnHours.index();
+        // Crossing the 876-hour boundary drops POH by exactly one point.
+        assert_eq!(r1[poh] - r2[poh], 1.0);
+        assert_eq!(state.age_hours, 876.0);
+    }
+}

@@ -1,0 +1,427 @@
+//! The three failure processes whose manifestations the paper categorizes
+//! (Table II), implemented as mechanistic modulations of the drive model.
+//!
+//! | Mode | Paper's group | Mechanism here |
+//! |------|---------------|----------------|
+//! | [`FailureMode::Logical`] | Group 1 (59.6%) | firmware / file-structure corruption on a *hot* drive; SMART looks near-good until a short final window (`d ≤ 12` h) where read errors ramp quadratically |
+//! | [`FailureMode::BadSector`] | Group 2 (7.6%) | pending sectors accumulate and escalate to uncorrectable errors monotonically over ~16 days (`d ≈ 380` h); media errors elevated; write-error reallocation varies per drive |
+//! | [`FailureMode::HeadWear`] | Group 3 (32.8%) | an old drive's head degrades: reallocated sectors grow all profile long and storm cubically in a final `d ∈ 10..24` h window to near spare-pool exhaustion; high-fly writes elevated |
+//!
+//! Each process owns the *shape* knowledge (`1 − (t/d)^k` anomaly ramps) that
+//! makes the Euclidean distance-to-failure curve follow the paper's
+//! signature forms `s(t) = t^k/d^k − 1` for `k = 2, 1, 3` respectively.
+
+use crate::drive::{AnomalyLevels, DriveState, HourlyStress};
+use crate::randutil;
+use rand::{Rng, RngExt};
+use std::fmt;
+
+/// Ground-truth failure mode of a simulated drive.
+///
+/// The paper had to *discover* these categories by clustering because "the
+/// information of failure categories is not available" for real drives
+/// (§IV-B); the simulator knows them, which lets the workspace validate the
+/// unsupervised categorization against truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FailureMode {
+    /// Logical/firmware failure (paper Group 1: "logical failures").
+    Logical,
+    /// Sector-degradation failure (paper Group 2: "bad sector failures").
+    BadSector,
+    /// Head-wear failure (paper Group 3: "read/write head failures").
+    HeadWear,
+}
+
+impl FailureMode {
+    /// All modes in the paper's group order.
+    pub const ALL: [FailureMode; 3] =
+        [FailureMode::Logical, FailureMode::BadSector, FailureMode::HeadWear];
+
+    /// Fraction of failures in this mode observed by the paper (Table II).
+    pub fn paper_fraction(self) -> f64 {
+        match self {
+            FailureMode::Logical => 0.596,
+            FailureMode::BadSector => 0.076,
+            FailureMode::HeadWear => 0.328,
+        }
+    }
+
+    /// The paper's name for this failure type (Table II).
+    pub fn type_name(self) -> &'static str {
+        match self {
+            FailureMode::Logical => "logical failures",
+            FailureMode::BadSector => "bad sector failures",
+            FailureMode::HeadWear => "read/write head failures",
+        }
+    }
+}
+
+impl fmt::Display for FailureMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.type_name())
+    }
+}
+
+/// A sampled failure trajectory: mode, degradation window, anomaly
+/// magnitudes and starting conditions, frozen at drive creation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureProcess {
+    mode: FailureMode,
+    /// Degradation-window size in hours (the paper's `d_i`).
+    window_hours: f64,
+    /// Starting power-on age of the drive (hours).
+    start_age_hours: f64,
+    /// Extra self-heating over the drive's rack offset (°C): failing
+    /// electronics run measurably hotter than their rack neighbours, which
+    /// is what lets the §V-A thermal diagnosis separate dying drives from
+    /// merely badly-placed ones.
+    internal_heat: f64,
+    /// Mode-specific anomaly magnitudes.
+    params: ModeParams,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ModeParams {
+    Logical {
+        /// Peak RRER depression at the failure instant (health points).
+        rrer_peak: f64,
+        /// Peak HER depression.
+        her_peak: f64,
+        /// Peak SUT depression.
+        sut_peak: f64,
+    },
+    BadSector {
+        /// Uncorrectable errors accumulated by the failure instant.
+        uncorrectable_final: f64,
+        /// Pending sectors outstanding at the failure instant.
+        pending_final: f64,
+        /// Write-error reallocations by the failure instant (varies widely
+        /// between drives — the paper's "varying write errors").
+        reallocated_final: f64,
+        /// Peak RRER health depression at the failure instant (the paper's
+        /// "more media errors" for Group 2, applied deterministically so the
+        /// long window stays monotone).
+        rrer_peak: f64,
+    },
+    HeadWear {
+        /// Reallocated sectors at the failure instant (near the spare pool).
+        reallocated_final: f64,
+        /// Reallocated sectors when the final window opens.
+        reallocated_at_window: f64,
+        /// Reallocated sectors at the start of the 20-day profile.
+        reallocated_start: f64,
+        /// Peak RRER depression inside the window (kept small: Group 3 has
+        /// "close-to-good RRER" at failure, Fig. 6c).
+        rrer_peak: f64,
+        /// Elevated high-fly probability across the whole profile.
+        high_fly_prob: f64,
+    },
+}
+
+impl FailureProcess {
+    /// Samples a failure trajectory for the given mode.
+    ///
+    /// `profile_hours` is the length of the recorded pre-failure history;
+    /// the degradation window is clamped to fit inside it.
+    pub fn sample<R: Rng + ?Sized>(mode: FailureMode, profile_hours: u32, rng: &mut R) -> Self {
+        let max_window = (profile_hours.saturating_sub(2)).max(1) as f64;
+        match mode {
+            FailureMode::Logical => FailureProcess {
+                mode,
+                // d <= 12 for Group 1 (§IV-C); the extraction overshoots a
+                // little through noise, so the generating windows sit at the
+                // low end of the paper's range.
+                window_hours: (rng.random_range(2..=8) as f64).min(max_window),
+                start_age_hours: randutil::normal(rng, 15_000.0, 4_000.0).max(500.0),
+                // Dying electronics self-heat: the paper's key Group 1
+                // finding (§V-A). These drives also live in hot racks —
+                // see the fleet simulator's placement policy.
+                internal_heat: randutil::normal(rng, 3.5, 1.0).max(1.5),
+                params: ModeParams::Logical {
+                    // Small anomalies: Group 1 failure records look close to
+                    // good states (Fig. 6), and the paper's Fig. 7a distance
+                    // curve fluctuates on the same scale it finally rises.
+                    rrer_peak: randutil::normal(rng, 8.0, 1.5).max(4.0),
+                    her_peak: randutil::normal(rng, 5.0, 1.0).max(2.5),
+                    sut_peak: randutil::normal(rng, 1.5, 0.4).max(0.6),
+                },
+            },
+            FailureMode::BadSector => FailureProcess {
+                mode,
+                // d ~ 380 hours (15.7 days) for Group 2 (§IV-C); censored
+                // profiles shrink the window to fit.
+                window_hours: randutil::normal(rng, 380.0, 40.0)
+                    .clamp(250.0_f64.min(max_window), max_window),
+                start_age_hours: randutil::normal(rng, 12_000.0, 3_000.0).max(500.0),
+                internal_heat: randutil::normal(rng, 0.8, 0.4).max(0.0),
+                params: ModeParams::BadSector {
+                    uncorrectable_final: randutil::normal(rng, 110.0, 15.0).max(70.0),
+                    pending_final: randutil::normal(rng, 35.0, 8.0).max(15.0),
+                    // Uniform spread: "diverse R-RSC (write errors)".
+                    reallocated_final: rng.random::<f64>() * 2_500.0,
+                    rrer_peak: randutil::normal(rng, 9.0, 2.0).max(4.0),
+                },
+            },
+            FailureMode::HeadWear => {
+                let reallocated_final = 3_900.0 + rng.random::<f64>() * 150.0;
+                // The final storm adds 900–1,200 sectors; earlier damage
+                // accumulated gradually, so the pre-failure profile shows a
+                // plateau before the terminal window.
+                let reallocated_at_window =
+                    reallocated_final - (900.0 + rng.random::<f64>() * 300.0);
+                let reallocated_start =
+                    reallocated_at_window - (100.0 + rng.random::<f64>() * 150.0);
+                FailureProcess {
+                    mode,
+                    // d in 10..=24 for Group 3 (§IV-C).
+                    window_hours: (rng.random_range(10..=24) as f64).min(max_window),
+                    // Old drives: Group 3 has the most negative POH z-score
+                    // (Fig. 12).
+                    start_age_hours: randutil::normal(rng, 26_000.0, 4_000.0).max(8_000.0),
+                    internal_heat: randutil::normal(rng, 1.2, 0.5).max(0.0),
+                    params: ModeParams::HeadWear {
+                        reallocated_final,
+                        reallocated_at_window,
+                        reallocated_start: reallocated_start.max(400.0),
+                        rrer_peak: randutil::normal(rng, 6.0, 1.5).max(2.0),
+                        high_fly_prob: 0.05 + rng.random::<f64>() * 0.04,
+                    },
+                }
+            }
+        }
+    }
+
+    /// The ground-truth mode.
+    pub fn mode(&self) -> FailureMode {
+        self.mode
+    }
+
+    /// The degradation-window size `d_i` in hours.
+    pub fn window_hours(&self) -> f64 {
+        self.window_hours
+    }
+
+    /// Creates the drive in the physical state this trajectory starts from;
+    /// `rack_offset` is the thermal offset of the drive's slot (see
+    /// [`Topology::drive_offset`](crate::topology::Topology::drive_offset)),
+    /// on top of which the process adds its own self-heating.
+    pub fn spawn_drive<R: Rng + ?Sized>(&self, rack_offset: f64, rng: &mut R) -> DriveState {
+        let mut state =
+            DriveState::new(rng, self.start_age_hours, rack_offset + self.internal_heat);
+        if let ModeParams::HeadWear { reallocated_start, .. } = self.params {
+            state.reallocated = state.reallocated.max(reallocated_start);
+        }
+        state
+    }
+
+    /// Stress and anomaly levels for the hour that is `hours_to_failure`
+    /// hours before the failure event, within a profile of
+    /// `profile_hours` total recorded hours.
+    pub fn stress_at(&self, hours_to_failure: f64, profile_hours: u32) -> (HourlyStress, AnomalyLevels) {
+        let mut stress = HourlyStress::baseline();
+        let mut anomalies = AnomalyLevels::default();
+        let d = self.window_hours;
+        let t = hours_to_failure.max(0.0);
+        // 1 at the failure instant, 0 at the window opening, <0 outside.
+        let in_window = t <= d;
+        match self.params {
+            ModeParams::Logical { rrer_peak, her_peak, sut_peak } => {
+                if in_window {
+                    // Quadratic saturating ramp: anomaly(t) = A (1 − (t/d)²)
+                    // makes the distance-to-failure curve follow t²/d² − 1.
+                    let ramp = 1.0 - (t / d) * (t / d);
+                    anomalies.rrer_depression = rrer_peak * ramp;
+                    anomalies.her_depression = her_peak * ramp;
+                    anomalies.sut_depression = sut_peak * ramp;
+                    stress.media_rate *= 1.0 + 0.5 * ramp;
+                }
+            }
+            ModeParams::BadSector {
+                uncorrectable_final,
+                pending_final,
+                reallocated_final,
+                rrer_peak,
+            } => {
+                if in_window {
+                    // Linear accumulation: anomaly(t) = A (1 − t/d) makes the
+                    // distance curve follow t/d − 1 (monotone, Fig. 7b).
+                    let ramp = 1.0 - t / d;
+                    anomalies.uncorrectable_target = Some(uncorrectable_final * ramp);
+                    anomalies.pending_target = Some(pending_final * ramp);
+                    anomalies.reallocated_target = Some(reallocated_final * ramp);
+                    anomalies.rrer_depression = rrer_peak * ramp;
+                } else {
+                    // Before the terminal decline, the drive churns through
+                    // transient unstable sectors that the background scan
+                    // keeps recovering — the pending count oscillates slowly
+                    // and keeps the distance curve non-monotone out there.
+                    stress.pending_prob = 0.12;
+                    stress.pending_burst_size = 4.0;
+                }
+            }
+            ModeParams::HeadWear {
+                reallocated_final,
+                reallocated_at_window,
+                reallocated_start,
+                rrer_peak,
+                high_fly_prob,
+            } => {
+                stress.high_fly_prob = high_fly_prob;
+                stress.realloc_burst_prob = 0.02;
+                stress.realloc_burst_size = 12.0;
+                if in_window {
+                    // The failing head reallocates on write errors directly;
+                    // the pending churn of the pre-window phase stops.
+                    stress.pending_prob = 0.001;
+                    // Cubic storm: anomaly(t) = A (1 − (t/d)³) gives the
+                    // t³/d³ − 1 signature of Group 3.
+                    let ramp = 1.0 - (t / d).powi(3);
+                    let target =
+                        reallocated_at_window + (reallocated_final - reallocated_at_window) * ramp;
+                    anomalies.reallocated_target = Some(target);
+                    anomalies.rrer_depression = rrer_peak * ramp;
+                } else {
+                    // Unstable sectors come and go while the head degrades;
+                    // the slowly oscillating pending count keeps the
+                    // pre-window distance curve fluctuating (Fig. 7c).
+                    stress.pending_prob = 0.1;
+                    stress.pending_burst_size = 5.0;
+                    // Pre-window growth from the start level to the
+                    // window-opening level, finished by 45% of the
+                    // pre-window span — the drive then plateaus until the
+                    // terminal storm, so the distance curve out there is
+                    // noise-dominated and non-monotone (Fig. 7c).
+                    let span = (profile_hours as f64 - d).max(1.0);
+                    let progress =
+                        (((profile_hours as f64 - t) / span) / 0.45).clamp(0.0, 1.0);
+                    let target = reallocated_start
+                        + (reallocated_at_window - reallocated_start) * progress;
+                    anomalies.reallocated_target = Some(target);
+                }
+            }
+        }
+        (stress, anomalies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xFA11)
+    }
+
+    #[test]
+    fn paper_fractions_sum_to_one() {
+        let total: f64 = FailureMode::ALL.iter().map(|m| m.paper_fraction()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_sizes_match_paper_ranges() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let logical = FailureProcess::sample(FailureMode::Logical, 480, &mut r);
+            assert!((2.0..=12.0).contains(&logical.window_hours()));
+            let sector = FailureProcess::sample(FailureMode::BadSector, 480, &mut r);
+            assert!((250.0..=478.0).contains(&sector.window_hours()));
+            let head = FailureProcess::sample(FailureMode::HeadWear, 480, &mut r);
+            assert!((10.0..=24.0).contains(&head.window_hours()));
+        }
+    }
+
+    #[test]
+    fn window_clamped_to_short_profiles() {
+        let mut r = rng();
+        for mode in FailureMode::ALL {
+            let p = FailureProcess::sample(mode, 30, &mut r);
+            assert!(p.window_hours() <= 28.0, "{mode}: {}", p.window_hours());
+        }
+    }
+
+    #[test]
+    fn logical_drives_self_heat_most() {
+        let mut r = rng();
+        let mean_heat: f64 = (0..200)
+            .map(|_| FailureProcess::sample(FailureMode::Logical, 480, &mut r).internal_heat)
+            .sum::<f64>()
+            / 200.0;
+        let sector_heat: f64 = (0..200)
+            .map(|_| FailureProcess::sample(FailureMode::BadSector, 480, &mut r).internal_heat)
+            .sum::<f64>()
+            / 200.0;
+        assert!(mean_heat - sector_heat > 1.5, "{mean_heat} vs {sector_heat}");
+    }
+
+    #[test]
+    fn head_wear_drives_are_old() {
+        let mut r = rng();
+        let head_age: f64 = (0..200)
+            .map(|_| FailureProcess::sample(FailureMode::HeadWear, 480, &mut r).start_age_hours)
+            .sum::<f64>()
+            / 200.0;
+        let logical_age: f64 = (0..200)
+            .map(|_| FailureProcess::sample(FailureMode::Logical, 480, &mut r).start_age_hours)
+            .sum::<f64>()
+            / 200.0;
+        assert!(head_age - logical_age > 5_000.0);
+    }
+
+    #[test]
+    fn logical_anomaly_ramp_is_quadratic() {
+        let mut r = rng();
+        let p = FailureProcess::sample(FailureMode::Logical, 480, &mut r);
+        let d = p.window_hours();
+        let (_, at_failure) = p.stress_at(0.0, 480);
+        let (_, at_half) = p.stress_at(d / 2.0, 480);
+        let (_, outside) = p.stress_at(d + 5.0, 480);
+        assert!(at_failure.rrer_depression > 0.0);
+        // anomaly(d/2) = A(1 - 1/4) = 0.75 A
+        assert!((at_half.rrer_depression / at_failure.rrer_depression - 0.75).abs() < 1e-9);
+        assert_eq!(outside.rrer_depression, 0.0);
+    }
+
+    #[test]
+    fn bad_sector_targets_grow_linearly_to_final() {
+        let mut r = rng();
+        let p = FailureProcess::sample(FailureMode::BadSector, 480, &mut r);
+        let d = p.window_hours();
+        let (_, at_failure) = p.stress_at(0.0, 480);
+        let (_, at_half) = p.stress_at(d / 2.0, 480);
+        let final_rue = at_failure.uncorrectable_target.unwrap();
+        let half_rue = at_half.uncorrectable_target.unwrap();
+        assert!((half_rue / final_rue - 0.5).abs() < 1e-9);
+        assert!(final_rue >= 70.0);
+    }
+
+    #[test]
+    fn head_wear_storm_reaches_near_spare_pool() {
+        let mut r = rng();
+        let p = FailureProcess::sample(FailureMode::HeadWear, 480, &mut r);
+        let (_, at_failure) = p.stress_at(0.0, 480);
+        let target = at_failure.reallocated_target.unwrap();
+        assert!((3_900.0..=4_096.0).contains(&target));
+        // Pre-window target grows with profile progress.
+        let (_, early) = p.stress_at(470.0, 480);
+        let (_, later) = p.stress_at(100.0, 480);
+        assert!(later.reallocated_target.unwrap() > early.reallocated_target.unwrap());
+    }
+
+    #[test]
+    fn spawned_head_wear_drive_starts_with_reallocations() {
+        let mut r = rng();
+        let p = FailureProcess::sample(FailureMode::HeadWear, 480, &mut r);
+        let drive = p.spawn_drive(4.0, &mut r);
+        assert!(drive.reallocated >= 400.0);
+    }
+
+    #[test]
+    fn display_names_match_table_two() {
+        assert_eq!(FailureMode::Logical.to_string(), "logical failures");
+        assert_eq!(FailureMode::BadSector.to_string(), "bad sector failures");
+        assert_eq!(FailureMode::HeadWear.to_string(), "read/write head failures");
+    }
+}

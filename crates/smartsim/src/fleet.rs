@@ -1,0 +1,503 @@
+//! Fleet configuration and the simulator that produces a [`Dataset`].
+//!
+//! The defaults follow §III of the paper: an eight-week (1,344-hour)
+//! collection period, 480-hour retention for failed drives, 168-hour
+//! retention for good drives, 433 failed / 22,962 good drives at paper
+//! scale, and the Fig. 1 censoring profile (51.3% of failed drives have the
+//! full 20-day history, 78.5% have more than 10 days).
+
+use crate::dataset::{Dataset, DriveId, DriveLabel, DriveProfile, HealthRecord};
+use crate::drive::{AnomalyLevels, DriveState, HourlyStress};
+use crate::environment::Environment;
+use crate::failure::{FailureMode, FailureProcess};
+use crate::randutil;
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Configuration of a simulated fleet.
+///
+/// Use one of the scale constructors and the `with_` builder methods:
+///
+/// ```
+/// use dds_smartsim::FleetConfig;
+///
+/// let config = FleetConfig::test_scale().with_seed(42).with_failed_drives(50);
+/// assert_eq!(config.failed_drives, 50);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Number of good drives to simulate.
+    pub good_drives: u32,
+    /// Number of failed drives to simulate.
+    pub failed_drives: u32,
+    /// Length of the collection period in hours (paper: 8 weeks = 1,344).
+    pub collection_hours: u32,
+    /// Maximum retained pre-failure history in hours (paper: 480).
+    pub failed_retention_hours: u32,
+    /// Maximum retained history for good drives in hours (paper: 168).
+    pub good_retention_hours: u32,
+    /// Fraction of failed drives with the full retention window
+    /// (paper Fig. 1: 51.3%).
+    pub full_profile_fraction: f64,
+    /// Fractions of failures per mode, in [`FailureMode::ALL`] order
+    /// (paper Table II: 59.6% / 7.6% / 32.8%).
+    pub mode_fractions: [f64; 3],
+    /// RNG seed; the same seed reproduces the same dataset exactly.
+    pub seed: u64,
+    /// Shared datacenter environment.
+    pub environment: Environment,
+    /// Number of racks in the topology.
+    pub racks: u16,
+    /// Number of hot-spot racks (heat-triggered logical failures arise
+    /// there preferentially, §V-A).
+    pub hot_racks: u16,
+}
+
+impl FleetConfig {
+    /// The paper's full scale: 22,962 good + 433 failed drives
+    /// (≈ 4.0 M records; takes a few minutes and ~0.5 GB).
+    pub fn paper_scale() -> Self {
+        FleetConfig { good_drives: 22_962, failed_drives: 433, ..FleetConfig::bench_scale() }
+    }
+
+    /// Benchmark scale: the full 433 failed drives (all failure-side
+    /// statistics match the paper) over a reduced good population of 4,000
+    /// drives (good-side aggregates keep their means; only `n_g` shrinks).
+    pub fn bench_scale() -> Self {
+        FleetConfig {
+            good_drives: 4_000,
+            failed_drives: 433,
+            collection_hours: 1_344,
+            failed_retention_hours: 480,
+            good_retention_hours: 168,
+            full_profile_fraction: 0.513,
+            mode_fractions: [
+                FailureMode::Logical.paper_fraction(),
+                FailureMode::BadSector.paper_fraction(),
+                FailureMode::HeadWear.paper_fraction(),
+            ],
+            seed: 0x1155_2015,
+            environment: Environment::new(),
+            racks: 24,
+            hot_racks: 3,
+        }
+    }
+
+    /// Tiny scale for unit tests: 150 good + 60 failed drives.
+    pub fn test_scale() -> Self {
+        FleetConfig { good_drives: 150, failed_drives: 60, ..FleetConfig::bench_scale() }
+    }
+
+    /// A consumer-grade fleet (the paper's §VI future work): a hotter,
+    /// less controlled environment, a higher replacement rate (~3%) and a
+    /// failure mix that tilts toward mechanical wear — consumer drives see
+    /// more power cycles and rougher handling than enterprise drives.
+    pub fn consumer_scale() -> Self {
+        let mut environment = Environment::new();
+        environment.base_celsius = 29.0;
+        environment.diurnal_celsius = 1.5;
+        FleetConfig {
+            good_drives: 2_900,
+            failed_drives: 90,
+            mode_fractions: [0.35, 0.25, 0.40],
+            environment,
+            ..FleetConfig::bench_scale()
+        }
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of good drives.
+    #[must_use]
+    pub fn with_good_drives(mut self, n: u32) -> Self {
+        self.good_drives = n;
+        self
+    }
+
+    /// Sets the number of failed drives.
+    #[must_use]
+    pub fn with_failed_drives(mut self, n: u32) -> Self {
+        self.failed_drives = n;
+        self
+    }
+
+    /// Sets the failure-mode mix (will be renormalized to sum to 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction is negative or all are zero.
+    #[must_use]
+    pub fn with_mode_fractions(mut self, fractions: [f64; 3]) -> Self {
+        let sum: f64 = fractions.iter().sum();
+        assert!(
+            fractions.iter().all(|&f| f >= 0.0) && sum > 0.0,
+            "mode fractions must be non-negative and not all zero"
+        );
+        self.mode_fractions = [fractions[0] / sum, fractions[1] / sum, fractions[2] / sum];
+        self
+    }
+
+    /// Deterministic per-mode failure counts (largest-remainder rounding so
+    /// the counts always sum to `failed_drives`).
+    pub fn mode_counts(&self) -> [u32; 3] {
+        let n = self.failed_drives as f64;
+        let ideal: Vec<f64> = self.mode_fractions.iter().map(|f| f * n).collect();
+        let mut counts: Vec<u32> = ideal.iter().map(|&x| x.floor() as u32).collect();
+        let mut leftover = self.failed_drives - counts.iter().sum::<u32>();
+        // Assign leftovers to the largest fractional remainders.
+        let mut order: Vec<usize> = (0..3).collect();
+        order.sort_by(|&a, &b| {
+            let ra = ideal[a] - ideal[a].floor();
+            let rb = ideal[b] - ideal[b].floor();
+            rb.partial_cmp(&ra).expect("finite remainders")
+        });
+        for &i in &order {
+            if leftover == 0 {
+                break;
+            }
+            counts[i] += 1;
+            leftover -= 1;
+        }
+        [counts[0], counts[1], counts[2]]
+    }
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig::bench_scale()
+    }
+}
+
+/// Simulates a fleet under a [`FleetConfig`] and produces a [`Dataset`].
+#[derive(Debug, Clone)]
+pub struct FleetSimulator {
+    config: FleetConfig,
+}
+
+struct Placement<'a> {
+    topology: &'a Topology,
+}
+
+impl Placement<'_> {
+    /// Picks a rack for a drive: heat-triggered logical failures arise in
+    /// hot racks, everything else is placed uniformly.
+    fn place<R: rand::RngExt + ?Sized>(
+        &self,
+        mode: Option<FailureMode>,
+        rng: &mut R,
+    ) -> (crate::topology::RackId, f64) {
+        let rack = match mode {
+            Some(FailureMode::Logical) => self.topology.hot_rack(rng),
+            _ => self.topology.any_rack(rng),
+        };
+        (rack.id, self.topology.drive_offset(rack, rng))
+    }
+}
+
+impl FleetSimulator {
+    /// Creates a simulator for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no drives at all or zero-length
+    /// retention windows.
+    pub fn new(config: FleetConfig) -> Self {
+        assert!(
+            config.good_drives + config.failed_drives > 0,
+            "fleet must contain at least one drive"
+        );
+        assert!(config.failed_retention_hours >= 8, "failed retention must be at least 8 hours");
+        assert!(config.good_retention_hours >= 8, "good retention must be at least 8 hours");
+        assert!(
+            config.collection_hours >= config.failed_retention_hours,
+            "collection period must cover the failed retention window"
+        );
+        FleetSimulator { config }
+    }
+
+    /// The configuration this simulator runs.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Runs the simulation, returning the assembled dataset.
+    ///
+    /// Deterministic for a fixed configuration (including seed).
+    pub fn run(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let topology =
+            Topology::generate(self.config.racks.max(1), self.config.hot_racks, &mut rng);
+        let placement = Placement { topology: &topology };
+        let mut drives =
+            Vec::with_capacity((self.config.good_drives + self.config.failed_drives) as usize);
+        let mut next_id = 0u32;
+
+        // --- failed drives, one block per mode ---------------------------
+        let counts = self.config.mode_counts();
+        for (mode, &count) in FailureMode::ALL.iter().zip(&counts) {
+            for _ in 0..count {
+                let profile =
+                    self.simulate_failed(*mode, DriveId(next_id), &placement, &mut rng);
+                drives.push(profile);
+                next_id += 1;
+            }
+        }
+
+        // --- good drives ---------------------------------------------------
+        for _ in 0..self.config.good_drives {
+            let profile = self.simulate_good(DriveId(next_id), &placement, &mut rng);
+            drives.push(profile);
+            next_id += 1;
+        }
+
+        Dataset::new(drives).expect("simulated fleet is non-empty")
+    }
+
+    /// Samples a censored profile length for a failed drive (Fig. 1).
+    fn sample_failed_profile_hours<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let max = self.config.failed_retention_hours;
+        if randutil::bernoulli(rng, self.config.full_profile_fraction) {
+            return max;
+        }
+        // Truncated drives: the drive failed before accumulating the full
+        // window since collection began. Mild skew toward longer profiles
+        // reproduces Fig. 1's 78.5% ≥ 10 days.
+        let u: f64 = rng.random::<f64>();
+        let span = (max - 24) as f64;
+        24 + (u.powf(0.8) * span) as u32
+    }
+
+    fn simulate_failed(
+        &self,
+        mode: FailureMode,
+        id: DriveId,
+        placement: &Placement<'_>,
+        rng: &mut StdRng,
+    ) -> DriveProfile {
+        let hours = self.sample_failed_profile_hours(rng);
+        let process = FailureProcess::sample(mode, hours, rng);
+        let (rack, rack_offset) = placement.place(Some(mode), rng);
+        let mut state = process.spawn_drive(rack_offset, rng);
+        // Place the failure somewhere in the collection period after the
+        // profile window.
+        let fail_hour =
+            rng.random_range(hours..=self.config.collection_hours.max(hours + 1));
+        let start_hour = fail_hour - hours;
+        let mut records = Vec::with_capacity(hours as usize);
+        for h in 0..hours {
+            let hours_to_failure = (hours - 1 - h) as f64;
+            let (stress, anomalies) = process.stress_at(hours_to_failure, hours);
+            let values =
+                state.step(rng, &self.config.environment, start_hour + h, &stress, &anomalies);
+            records.push(HealthRecord { hour: start_hour + h, values });
+        }
+        DriveProfile::new(id, DriveLabel::Failed(mode), records).with_rack(rack)
+    }
+
+    fn simulate_good(
+        &self,
+        id: DriveId,
+        placement: &Placement<'_>,
+        rng: &mut StdRng,
+    ) -> DriveProfile {
+        // A small share of good drives has shorter histories (added or
+        // decommissioned mid-collection).
+        let hours = if randutil::bernoulli(rng, 0.95) {
+            self.config.good_retention_hours
+        } else {
+            rng.random_range(24..=self.config.good_retention_hours)
+        };
+        let age = randutil::normal(rng, 10_000.0, 4_000.0).max(200.0);
+        let (rack, offset) = placement.place(None, rng);
+        let mut state = DriveState::new(rng, age, offset);
+        let start_hour = rng
+            .random_range(0..=(self.config.collection_hours.saturating_sub(hours)).max(1));
+        let stress = HourlyStress::baseline();
+        let anomalies = AnomalyLevels::default();
+        let mut records = Vec::with_capacity(hours as usize);
+        for h in 0..hours {
+            let values =
+                state.step(rng, &self.config.environment, start_hour + h, &stress, &anomalies);
+            records.push(HealthRecord { hour: start_hour + h, values });
+        }
+        DriveProfile::new(id, DriveLabel::Good, records).with_rack(rack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::Attribute;
+
+    fn small_dataset() -> Dataset {
+        FleetSimulator::new(FleetConfig::test_scale().with_seed(99)).run()
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let ds = small_dataset();
+        assert_eq!(ds.failed_drives().count(), 60);
+        assert_eq!(ds.good_drives().count(), 150);
+    }
+
+    #[test]
+    fn mode_counts_sum_and_follow_fractions() {
+        let config = FleetConfig::bench_scale();
+        let counts = config.mode_counts();
+        assert_eq!(counts.iter().sum::<u32>(), 433);
+        // Paper: 258 / 33 / 142.
+        assert_eq!(counts, [258, 33, 142]);
+    }
+
+    #[test]
+    fn mode_fractions_renormalize() {
+        let config = FleetConfig::test_scale().with_mode_fractions([2.0, 1.0, 1.0]);
+        let total: f64 = config.mode_fractions.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((config.mode_fractions[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_mode_fraction_panics() {
+        let _ = FleetConfig::test_scale().with_mode_fractions([-1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = FleetSimulator::new(FleetConfig::test_scale().with_seed(5)).run();
+        let b = FleetSimulator::new(FleetConfig::test_scale().with_seed(5)).run();
+        assert_eq!(a.num_records(), b.num_records());
+        let ra = &a.drives()[0].records()[10];
+        let rb = &b.drives()[0].records()[10];
+        assert_eq!(ra.values, rb.values);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FleetSimulator::new(FleetConfig::test_scale().with_seed(5)).run();
+        let b = FleetSimulator::new(FleetConfig::test_scale().with_seed(6)).run();
+        let ra = &a.drives()[0].records()[10];
+        let rb = &b.drives()[0].records()[10];
+        assert_ne!(ra.values, rb.values);
+    }
+
+    #[test]
+    fn failed_profiles_are_censored_within_bounds() {
+        let ds = small_dataset();
+        for drive in ds.failed_drives() {
+            let len = drive.profile_hours();
+            assert!(len >= 24, "profile too short: {len}");
+            assert!(len <= 480);
+        }
+        // At least some drives have the full window and some are censored.
+        let full = ds.failed_drives().filter(|d| d.profile_hours() == 480).count();
+        assert!(full > 10);
+        assert!(full < 60);
+    }
+
+    #[test]
+    fn good_profiles_capped_at_retention() {
+        let ds = small_dataset();
+        for drive in ds.good_drives() {
+            assert!(drive.profile_hours() <= 168);
+            assert!(drive.profile_hours() >= 24);
+        }
+    }
+
+    #[test]
+    fn head_wear_failures_end_with_high_reallocation() {
+        let ds = small_dataset();
+        for drive in ds.failed_drives() {
+            if drive.label().failure_mode() == Some(FailureMode::HeadWear) {
+                let last = drive.failure_record().unwrap();
+                assert!(
+                    last.value(Attribute::RawReallocatedSectors) >= 3_800.0,
+                    "head-wear failure should exhaust spares, got {}",
+                    last.value(Attribute::RawReallocatedSectors)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_sector_failures_end_with_low_rue_health() {
+        let ds = small_dataset();
+        let mut seen = 0;
+        for drive in ds.failed_drives() {
+            if drive.label().failure_mode() == Some(FailureMode::BadSector) {
+                seen += 1;
+                let last = drive.failure_record().unwrap();
+                assert!(
+                    last.value(Attribute::ReportedUncorrectable) < 55.0,
+                    "bad-sector failure should report many uncorrectables, got {}",
+                    last.value(Attribute::ReportedUncorrectable)
+                );
+            }
+        }
+        assert!(seen >= 3, "test fleet should contain bad-sector failures");
+    }
+
+    #[test]
+    fn logical_failures_look_near_good_but_hot() {
+        let ds = small_dataset();
+        // Good-drive averages for comparison.
+        let good_tc: f64 = {
+            let vals: Vec<f64> = ds
+                .good_drives()
+                .flat_map(|d| d.records().iter().map(|r| r.value(Attribute::TemperatureCelsius)))
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        for drive in ds.failed_drives() {
+            if drive.label().failure_mode() == Some(FailureMode::Logical) {
+                let last = drive.failure_record().unwrap();
+                // Counters look near-good.
+                assert!(last.value(Attribute::ReportedUncorrectable) > 90.0);
+                assert!(last.value(Attribute::RawReallocatedSectors) < 300.0);
+                // But the drive runs hotter than the good fleet on average.
+                let tc_mean = {
+                    let s = drive.series(Attribute::TemperatureCelsius);
+                    s.iter().sum::<f64>() / s.len() as f64
+                };
+                assert!(good_tc - tc_mean > 2.0, "logical drives must run hot");
+            }
+        }
+    }
+
+    #[test]
+    fn every_drive_has_a_rack_and_logical_failures_share_few() {
+        let ds = small_dataset();
+        assert!(ds.drives().iter().all(|d| d.rack().is_some()));
+        let logical_racks: std::collections::BTreeSet<_> = ds
+            .failed_drives()
+            .filter(|d| d.label().failure_mode() == Some(FailureMode::Logical))
+            .filter_map(|d| d.rack())
+            .collect();
+        // Heat-triggered failures concentrate in the hot racks.
+        assert!(
+            logical_racks.len() <= FleetConfig::test_scale().hot_racks as usize,
+            "logical failures spread over {logical_racks:?}"
+        );
+        // Other modes spread over many racks.
+        let head_racks: std::collections::BTreeSet<_> = ds
+            .failed_drives()
+            .filter(|d| d.label().failure_mode() == Some(FailureMode::HeadWear))
+            .filter_map(|d| d.rack())
+            .collect();
+        assert!(head_racks.len() > 5, "head failures in {head_racks:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one drive")]
+    fn empty_fleet_panics() {
+        let config = FleetConfig::test_scale().with_good_drives(0).with_failed_drives(0);
+        let _ = FleetSimulator::new(config);
+    }
+}

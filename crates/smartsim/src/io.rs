@@ -1,0 +1,313 @@
+//! CSV import/export of datasets.
+//!
+//! The analysis pipeline only needs the [`Dataset`] schema, so any real
+//! SMART corpus (e.g. a Backblaze-style dump) can be adapted by writing
+//! this simple CSV layout and loading it with [`read_csv`]:
+//!
+//! ```csv
+//! drive_id,label,hour,RRER,RSC,SER,RUE,HFW,HER,CPSC,SUT,R-RSC,R-CPSC,POH,TC
+//! 0,good,0,81.2,100,75.9,100,100,71.4,100,94.8,0,0,88,69.4
+//! 7,failed:bad sector failures,113,62.0,97.2,74.1,55.5,99.3,70.0,47.5,93.0,114,35,86,66.1
+//! ```
+//!
+//! * `label` is `good`, `failed` (unknown mode) or `failed:<type name>`
+//!   with the Table II type names;
+//! * rows may appear in any order; records are sorted per drive by `hour`;
+//! * the 12 value columns follow [`Attribute::ALL`] order.
+//!
+//! Export is lossless for everything the pipeline consumes (ground-truth
+//! modes included), so `write_csv` → `read_csv` round-trips a simulated
+//! fleet exactly. Rack placement is simulator metadata and is *not*
+//! serialized; imported drives have no rack.
+
+use crate::attr::{Attribute, NUM_ATTRIBUTES};
+use crate::dataset::{Dataset, DriveId, DriveLabel, DriveProfile, HealthRecord};
+use crate::failure::FailureMode;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors produced while reading or writing dataset CSV.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CsvError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The file contained no data rows.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            CsvError::Empty => write!(f, "csv contains no records"),
+        }
+    }
+}
+
+impl Error for CsvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+fn label_to_string(label: DriveLabel) -> String {
+    match label {
+        DriveLabel::Good => "good".to_string(),
+        DriveLabel::Failed(mode) => format!("failed:{}", mode.type_name()),
+    }
+}
+
+fn label_from_str(text: &str) -> Option<DriveLabel> {
+    if text == "good" {
+        return Some(DriveLabel::Good);
+    }
+    let rest = text.strip_prefix("failed")?;
+    let rest = rest.strip_prefix(':').unwrap_or("");
+    if rest.is_empty() {
+        // Unknown mode: default to the majority class so ground-truth-free
+        // corpora still load. The analysis never reads the mode except for
+        // validation.
+        return Some(DriveLabel::Failed(FailureMode::Logical));
+    }
+    FailureMode::ALL
+        .into_iter()
+        .find(|m| m.type_name() == rest)
+        .map(DriveLabel::Failed)
+}
+
+/// Writes a dataset as CSV (records of all drives, one row per hour).
+///
+/// # Errors
+///
+/// Returns [`CsvError::Io`] on write failures.
+pub fn write_csv<W: Write>(dataset: &Dataset, mut writer: W) -> Result<(), CsvError> {
+    let header: Vec<&str> = Attribute::ALL.iter().map(|a| a.symbol()).collect();
+    writeln!(writer, "drive_id,label,hour,{}", header.join(","))?;
+    for drive in dataset.drives() {
+        let label = label_to_string(drive.label());
+        for record in drive.records() {
+            write!(writer, "{},{},{}", drive.id().0, label, record.hour)?;
+            for value in &record.values {
+                write!(writer, ",{value}")?;
+            }
+            writeln!(writer)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a dataset from the CSV layout written by [`write_csv`].
+///
+/// # Errors
+///
+/// Returns [`CsvError::Parse`] for malformed rows, [`CsvError::Empty`] for
+/// a data-free file, and [`CsvError::Io`] on read failures. Drives with
+/// duplicate hours are rejected.
+pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, CsvError> {
+    let buffered = BufReader::new(reader);
+    let mut drives: BTreeMap<u32, (DriveLabel, BTreeMap<u32, [f64; NUM_ATTRIBUTES]>)> =
+        BTreeMap::new();
+    for (index, line) in buffered.lines().enumerate() {
+        let line_no = index + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || (line_no == 1 && trimmed.starts_with("drive_id")) {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() != 3 + NUM_ATTRIBUTES {
+            return Err(CsvError::Parse {
+                line: line_no,
+                message: format!(
+                    "expected {} fields, found {}",
+                    3 + NUM_ATTRIBUTES,
+                    fields.len()
+                ),
+            });
+        }
+        let id: u32 = fields[0].parse().map_err(|_| CsvError::Parse {
+            line: line_no,
+            message: format!("invalid drive id {:?}", fields[0]),
+        })?;
+        let label = label_from_str(fields[1]).ok_or_else(|| CsvError::Parse {
+            line: line_no,
+            message: format!("invalid label {:?}", fields[1]),
+        })?;
+        let hour: u32 = fields[2].parse().map_err(|_| CsvError::Parse {
+            line: line_no,
+            message: format!("invalid hour {:?}", fields[2]),
+        })?;
+        let mut values = [0.0; NUM_ATTRIBUTES];
+        for (slot, field) in values.iter_mut().zip(&fields[3..]) {
+            *slot = field.parse().map_err(|_| CsvError::Parse {
+                line: line_no,
+                message: format!("invalid value {field:?}"),
+            })?;
+        }
+        let entry = drives.entry(id).or_insert_with(|| (label, BTreeMap::new()));
+        if entry.0 != label {
+            return Err(CsvError::Parse {
+                line: line_no,
+                message: format!("drive {id} has conflicting labels"),
+            });
+        }
+        if entry.1.insert(hour, values).is_some() {
+            return Err(CsvError::Parse {
+                line: line_no,
+                message: format!("drive {id} has duplicate hour {hour}"),
+            });
+        }
+    }
+    if drives.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    let profiles: Vec<DriveProfile> = drives
+        .into_iter()
+        .map(|(id, (label, records))| {
+            let records: Vec<HealthRecord> = records
+                .into_iter()
+                .map(|(hour, values)| HealthRecord { hour, values })
+                .collect();
+            DriveProfile::new(DriveId(id), label, records)
+        })
+        .collect();
+    Dataset::new(profiles).map_err(|e| CsvError::Parse {
+        line: 0,
+        message: format!("dataset assembly failed: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{FleetConfig, FleetSimulator};
+
+    fn small_fleet() -> Dataset {
+        FleetSimulator::new(
+            FleetConfig::test_scale()
+                .with_good_drives(8)
+                .with_failed_drives(5)
+                .with_seed(777),
+        )
+        .run()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let original = small_fleet();
+        let mut buffer = Vec::new();
+        write_csv(&original, &mut buffer).unwrap();
+        let loaded = read_csv(buffer.as_slice()).unwrap();
+        assert_eq!(loaded.drives().len(), original.drives().len());
+        assert_eq!(loaded.num_records(), original.num_records());
+        for (a, b) in original.drives().iter().zip(loaded.drives()) {
+            assert_eq!(a.id(), b.id());
+            assert_eq!(a.label(), b.label());
+            assert_eq!(a.records().len(), b.records().len());
+            for (ra, rb) in a.records().iter().zip(b.records()) {
+                assert_eq!(ra.hour, rb.hour);
+                assert_eq!(ra.values, rb.values);
+            }
+        }
+    }
+
+    #[test]
+    fn header_uses_symbols() {
+        let mut buffer = Vec::new();
+        write_csv(&small_fleet(), &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        let header = text.lines().next().unwrap();
+        assert_eq!(header, "drive_id,label,hour,RRER,RSC,SER,RUE,HFW,HER,CPSC,SUT,R-RSC,R-CPSC,POH,TC");
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        for label in [
+            DriveLabel::Good,
+            DriveLabel::Failed(FailureMode::Logical),
+            DriveLabel::Failed(FailureMode::BadSector),
+            DriveLabel::Failed(FailureMode::HeadWear),
+        ] {
+            assert_eq!(label_from_str(&label_to_string(label)), Some(label));
+        }
+        // Unknown mode defaults to a failed label.
+        assert!(matches!(label_from_str("failed"), Some(DriveLabel::Failed(_))));
+        assert_eq!(label_from_str("bogus"), None);
+        assert_eq!(label_from_str("failed:bogus"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let bad_fields = "drive_id,label,hour,a\n0,good,0,1.0\n";
+        assert!(matches!(
+            read_csv(bad_fields.as_bytes()),
+            Err(CsvError::Parse { line: 2, .. })
+        ));
+        let bad_value = format!("0,good,0{}\n", ",x".repeat(NUM_ATTRIBUTES));
+        assert!(read_csv(bad_value.as_bytes()).is_err());
+        let bad_label = format!("0,sideways,0{}\n", ",1.0".repeat(NUM_ATTRIBUTES));
+        assert!(read_csv(bad_label.as_bytes()).is_err());
+        assert!(matches!(read_csv("".as_bytes()), Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn rejects_duplicate_hours_and_conflicting_labels() {
+        let values = ",1.0".repeat(NUM_ATTRIBUTES);
+        let duplicate = format!("0,good,5{values}\n0,good,5{values}\n");
+        assert!(read_csv(duplicate.as_bytes()).is_err());
+        let conflict = format!("0,good,1{values}\n0,failed:logical failures,2{values}\n");
+        assert!(read_csv(conflict.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rows_may_arrive_out_of_order() {
+        let values = ",1.0".repeat(NUM_ATTRIBUTES);
+        let csv = format!("0,good,7{values}\n0,good,3{values}\n0,good,5{values}\n");
+        let dataset = read_csv(csv.as_bytes()).unwrap();
+        let hours: Vec<u32> =
+            dataset.drives()[0].records().iter().map(|r| r.hour).collect();
+        assert_eq!(hours, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn loaded_dataset_is_analyzable() {
+        let original = small_fleet();
+        let mut buffer = Vec::new();
+        write_csv(&original, &mut buffer).unwrap();
+        let loaded = read_csv(buffer.as_slice()).unwrap();
+        // The normalization scaler must be refit identically.
+        let drive = loaded.failed_drives().next().unwrap();
+        let record = drive.records().last().unwrap();
+        let norm = loaded.normalize_record(record);
+        assert!(norm.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CsvError::Parse { line: 7, message: "boom".to_string() };
+        assert_eq!(e.to_string(), "line 7: boom");
+        assert!(CsvError::Empty.to_string().contains("no records"));
+        let io = CsvError::from(std::io::Error::other("x"));
+        assert!(io.source().is_some());
+    }
+}

@@ -1,0 +1,172 @@
+//! Rack topology: where a drive sits determines how hot it runs.
+//!
+//! §V-A of the paper recommends rack-level countermeasures (temperature
+//! control knobs, thermal-aware scheduling) because logical failures
+//! concentrate in hot drives. The simulator makes that causal: racks have
+//! thermal offsets, a few of them are *hot spots* (blocked airflow, failed
+//! CRAC zones), and heat-triggered logical failures arise preferentially
+//! in those racks. The `ext_thermal_zones` experiment then recovers the
+//! rack attribution from the telemetry alone.
+
+use crate::randutil;
+use rand::{Rng, RngExt};
+use std::fmt;
+
+/// Identifier of a rack within the datacenter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RackId(pub u16);
+
+impl fmt::Display for RackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rack#{}", self.0)
+    }
+}
+
+/// One rack's thermal character.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rack {
+    /// The rack id.
+    pub id: RackId,
+    /// Thermal offset over the cold-aisle ambient, in °C.
+    pub thermal_offset: f64,
+    /// Whether this rack is a designated hot spot.
+    pub hot: bool,
+}
+
+/// The datacenter's rack layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    racks: Vec<Rack>,
+}
+
+impl Topology {
+    /// Generates a topology with `racks` racks of which the first
+    /// `hot_racks` are hot spots: normal racks sit ~4 ± 1 °C over ambient,
+    /// hot racks an extra ~7 ± 1 °C.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `racks` is zero or `hot_racks > racks`.
+    pub fn generate<R: Rng + ?Sized>(racks: u16, hot_racks: u16, rng: &mut R) -> Self {
+        assert!(racks > 0, "topology needs at least one rack");
+        assert!(hot_racks <= racks, "cannot have more hot racks than racks");
+        let racks = (0..racks)
+            .map(|i| {
+                let hot = i < hot_racks;
+                let base = randutil::normal(rng, 4.0, 1.0).max(0.5);
+                let extra = if hot { randutil::normal(rng, 7.0, 1.0).max(4.0) } else { 0.0 };
+                Rack { id: RackId(i), thermal_offset: base + extra, hot }
+            })
+            .collect();
+        Topology { racks }
+    }
+
+    /// All racks.
+    pub fn racks(&self) -> &[Rack] {
+        &self.racks
+    }
+
+    /// Number of racks.
+    pub fn len(&self) -> usize {
+        self.racks.len()
+    }
+
+    /// Whether the topology has no racks (never after `generate`).
+    pub fn is_empty(&self) -> bool {
+        self.racks.is_empty()
+    }
+
+    /// Looks a rack up by id.
+    pub fn rack(&self, id: RackId) -> Option<&Rack> {
+        self.racks.get(id.0 as usize)
+    }
+
+    /// Samples a uniformly random rack.
+    pub fn any_rack<R: Rng + ?Sized>(&self, rng: &mut R) -> &Rack {
+        &self.racks[rng.random_range(0..self.racks.len())]
+    }
+
+    /// Samples a random *hot* rack, falling back to any rack when no hot
+    /// racks exist.
+    pub fn hot_rack<R: Rng + ?Sized>(&self, rng: &mut R) -> &Rack {
+        let hot: Vec<&Rack> = self.racks.iter().filter(|r| r.hot).collect();
+        if hot.is_empty() {
+            self.any_rack(rng)
+        } else {
+            hot[rng.random_range(0..hot.len())]
+        }
+    }
+
+    /// The per-drive thermal offset for a drive slotted into `rack`:
+    /// the rack offset plus slot-level jitter.
+    pub fn drive_offset<R: Rng + ?Sized>(&self, rack: &Rack, rng: &mut R) -> f64 {
+        (rack.thermal_offset + randutil::normal(rng, 0.0, 0.5)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x7074)
+    }
+
+    #[test]
+    fn hot_racks_run_hotter() {
+        let mut r = rng();
+        let topo = Topology::generate(24, 3, &mut r);
+        assert_eq!(topo.len(), 24);
+        let hot_mean: f64 = topo.racks().iter().filter(|k| k.hot).map(|k| k.thermal_offset).sum::<f64>() / 3.0;
+        let cool: Vec<f64> =
+            topo.racks().iter().filter(|k| !k.hot).map(|k| k.thermal_offset).collect();
+        let cool_mean: f64 = cool.iter().sum::<f64>() / cool.len() as f64;
+        assert!(hot_mean - cool_mean > 4.0, "hot {hot_mean} vs cool {cool_mean}");
+    }
+
+    #[test]
+    fn hot_rack_sampling_only_returns_hot() {
+        let mut r = rng();
+        let topo = Topology::generate(10, 2, &mut r);
+        for _ in 0..50 {
+            assert!(topo.hot_rack(&mut r).hot);
+        }
+    }
+
+    #[test]
+    fn hot_rack_fallback_without_hot_racks() {
+        let mut r = rng();
+        let topo = Topology::generate(5, 0, &mut r);
+        // Must not panic; returns some rack.
+        let rack = topo.hot_rack(&mut r);
+        assert!(!rack.hot);
+    }
+
+    #[test]
+    fn lookup_and_display() {
+        let mut r = rng();
+        let topo = Topology::generate(4, 1, &mut r);
+        assert!(topo.rack(RackId(3)).is_some());
+        assert!(topo.rack(RackId(4)).is_none());
+        assert_eq!(RackId(2).to_string(), "rack#2");
+        assert!(!topo.is_empty());
+    }
+
+    #[test]
+    fn drive_offsets_cluster_around_rack_offset() {
+        let mut r = rng();
+        let topo = Topology::generate(8, 0, &mut r);
+        let rack = topo.racks()[0];
+        let offsets: Vec<f64> = (0..200).map(|_| topo.drive_offset(&rack, &mut r)).collect();
+        let mean: f64 = offsets.iter().sum::<f64>() / offsets.len() as f64;
+        assert!((mean - rack.thermal_offset).abs() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rack")]
+    fn zero_racks_panics() {
+        let _ = Topology::generate(0, 0, &mut rng());
+    }
+}

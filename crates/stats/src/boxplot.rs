@@ -1,0 +1,166 @@
+//! Five-number box-plot summaries (Fig. 2 of the paper).
+//!
+//! Fig. 2 shows box charts of the 12 selected attributes over the 433
+//! failure records to identify which attributes vary enough to carry
+//! categorization signal. [`BoxplotSummary`] captures the same statistics:
+//! quartiles, Tukey whiskers, and outliers.
+
+use crate::descriptive::quantile;
+use crate::error::StatsError;
+
+/// Tukey box-plot summary of a sample.
+///
+/// Whiskers extend to the most extreme data points within 1.5 × IQR of the
+/// quartiles; everything beyond is collected in `outliers`.
+///
+/// # Example
+///
+/// ```
+/// use dds_stats::BoxplotSummary;
+///
+/// let mut values: Vec<f64> = (1..=20).map(f64::from).collect();
+/// values.push(1000.0); // outlier
+/// let summary = BoxplotSummary::from_values(&values).unwrap();
+/// assert_eq!(summary.outliers, vec![1000.0]);
+/// assert!(summary.median >= summary.q1 && summary.median <= summary.q3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxplotSummary {
+    /// Sample minimum (including outliers).
+    pub min: f64,
+    /// First quartile (25%).
+    pub q1: f64,
+    /// Median (50%).
+    pub median: f64,
+    /// Third quartile (75%).
+    pub q3: f64,
+    /// Sample maximum (including outliers).
+    pub max: f64,
+    /// Lower whisker: smallest observation ≥ `q1 − 1.5·IQR`.
+    pub lower_whisker: f64,
+    /// Upper whisker: largest observation ≤ `q3 + 1.5·IQR`.
+    pub upper_whisker: f64,
+    /// Observations outside the whiskers, ascending.
+    pub outliers: Vec<f64>,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl BoxplotSummary {
+    /// Computes the summary for a sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for an empty sample and
+    /// [`StatsError::NonFinite`] for NaN values.
+    pub fn from_values(values: &[f64]) -> Result<Self, StatsError> {
+        if values.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if values.iter().any(|v| v.is_nan()) {
+            return Err(StatsError::NonFinite);
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+        let q1 = quantile(&sorted, 0.25)?;
+        let median = quantile(&sorted, 0.5)?;
+        let q3 = quantile(&sorted, 0.75)?;
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let lower_whisker = sorted.iter().copied().find(|&v| v >= lo_fence).unwrap_or(sorted[0]);
+        let upper_whisker = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|&v| v <= hi_fence)
+            .unwrap_or(sorted[sorted.len() - 1]);
+        let outliers: Vec<f64> =
+            sorted.iter().copied().filter(|&v| v < lo_fence || v > hi_fence).collect();
+        Ok(BoxplotSummary {
+            min: sorted[0],
+            q1,
+            median,
+            q3,
+            max: sorted[sorted.len() - 1],
+            lower_whisker,
+            upper_whisker,
+            outliers,
+            count: sorted.len(),
+        })
+    }
+
+    /// Interquartile range `q3 − q1`.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// The "spread" the paper eyeballs in Fig. 2: whisker-to-whisker width.
+    ///
+    /// Attributes whose spread is small across failure records are common
+    /// properties of all failures; large-spread attributes hint at multiple
+    /// failure categories (§IV-A).
+    pub fn whisker_span(&self) -> f64 {
+        self.upper_whisker - self.lower_whisker
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartiles_ordered() {
+        let v: Vec<f64> = (0..101).map(f64::from).collect();
+        let s = BoxplotSummary::from_values(&v).unwrap();
+        assert!(s.min <= s.q1 && s.q1 <= s.median && s.median <= s.q3 && s.q3 <= s.max);
+        assert_eq!(s.count, 101);
+        assert_eq!(s.median, 50.0);
+        assert_eq!(s.iqr(), 50.0);
+    }
+
+    #[test]
+    fn no_outliers_in_uniform_data() {
+        let v: Vec<f64> = (0..50).map(f64::from).collect();
+        let s = BoxplotSummary::from_values(&v).unwrap();
+        assert!(s.outliers.is_empty());
+        assert_eq!(s.lower_whisker, 0.0);
+        assert_eq!(s.upper_whisker, 49.0);
+    }
+
+    #[test]
+    fn detects_both_side_outliers() {
+        let mut v: Vec<f64> = (40..60).map(f64::from).collect();
+        v.push(-500.0);
+        v.push(500.0);
+        let s = BoxplotSummary::from_values(&v).unwrap();
+        assert_eq!(s.outliers, vec![-500.0, 500.0]);
+        assert_eq!(s.min, -500.0);
+        assert_eq!(s.max, 500.0);
+        // Whiskers must ignore the outliers.
+        assert!(s.lower_whisker >= 40.0);
+        assert!(s.upper_whisker <= 59.0);
+    }
+
+    #[test]
+    fn constant_sample_degenerates_gracefully() {
+        let s = BoxplotSummary::from_values(&[3.0; 7]).unwrap();
+        assert_eq!(s.q1, 3.0);
+        assert_eq!(s.q3, 3.0);
+        assert_eq!(s.whisker_span(), 0.0);
+        assert!(s.outliers.is_empty());
+    }
+
+    #[test]
+    fn singleton_sample() {
+        let s = BoxplotSummary::from_values(&[42.0]).unwrap();
+        assert_eq!(s.median, 42.0);
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(BoxplotSummary::from_values(&[]).is_err());
+        assert!(BoxplotSummary::from_values(&[1.0, f64::NAN]).is_err());
+    }
+}

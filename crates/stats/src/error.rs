@@ -1,0 +1,89 @@
+//! Error type shared by all statistical routines in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the statistical routines in this crate.
+///
+/// All fallible functions in `dds-stats` return `Result<_, StatsError>`.
+/// The variants describe *why* a computation could not proceed so callers
+/// can distinguish user errors (empty input, shape mismatch) from numerical
+/// breakdowns (singular matrices, degenerate distributions).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// The input slice or matrix was empty where at least one element is
+    /// required.
+    EmptyInput,
+    /// Two inputs that must have identical lengths or shapes did not.
+    DimensionMismatch {
+        /// Length/shape of the first operand.
+        expected: usize,
+        /// Length/shape of the second operand.
+        actual: usize,
+    },
+    /// A matrix operation required a non-singular matrix but the input was
+    /// singular (or numerically indistinguishable from singular).
+    SingularMatrix,
+    /// A parameter was outside its valid domain (e.g. a quantile not in
+    /// `[0, 1]`, a polynomial degree of zero observations).
+    InvalidParameter(String),
+    /// Not enough observations for the requested computation (e.g. variance
+    /// of a single point, regression with fewer points than coefficients).
+    InsufficientData {
+        /// Observations required.
+        needed: usize,
+        /// Observations provided.
+        got: usize,
+    },
+    /// The computation encountered a non-finite intermediate value.
+    NonFinite,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput => write!(f, "input is empty"),
+            StatsError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            StatsError::SingularMatrix => write!(f, "matrix is singular"),
+            StatsError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            StatsError::InsufficientData { needed, got } => {
+                write!(f, "insufficient data: needed {needed} observations, got {got}")
+            }
+            StatsError::NonFinite => write!(f, "computation produced a non-finite value"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            StatsError::EmptyInput,
+            StatsError::DimensionMismatch { expected: 3, actual: 4 },
+            StatsError::SingularMatrix,
+            StatsError::InvalidParameter("q must be in [0, 1]".to_string()),
+            StatsError::InsufficientData { needed: 2, got: 1 },
+            StatsError::NonFinite,
+        ];
+        for err in errors {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+            assert!(!text.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_object_is_usable() {
+        let err: Box<dyn Error> = Box::new(StatsError::SingularMatrix);
+        assert_eq!(err.to_string(), "matrix is singular");
+    }
+}

@@ -1,0 +1,210 @@
+//! Hypothesis-testing primitives: the paper's z-score (Eq. 7) and the
+//! Wilcoxon rank-sum test used by the baseline failure detector (§II-C,
+//! Hughes et al. / Murray et al.).
+
+use crate::correlation::average_ranks;
+use crate::descriptive::{mean, variance};
+use crate::error::StatsError;
+
+/// Welch-style z-score between a "failed" and a "good" sample, Eq. (7):
+///
+/// ```text
+/// z = (m_f − m_g) / sqrt(σ²_f / n_f + σ²_g / n_g)
+/// ```
+///
+/// A large |z| means the attribute distinguishes failed drives from good
+/// ones; the sign tells which side is larger (negative means failed drives
+/// have *higher* attribute values when health values are inverted, matching
+/// the paper's Fig. 11–12 where failed groups plot below zero).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if either sample is empty and
+/// [`StatsError::InvalidParameter`] if both variances are zero (the score is
+/// undefined).
+///
+/// # Example
+///
+/// ```
+/// let failed = [10.0, 11.0, 12.0];
+/// let good = [0.0, 1.0, 2.0];
+/// let z = dds_stats::welch_z_score(&failed, &good).unwrap();
+/// assert!(z > 3.0);
+/// ```
+pub fn welch_z_score(failed: &[f64], good: &[f64]) -> Result<f64, StatsError> {
+    if failed.is_empty() || good.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let mf = mean(failed)?;
+    let mg = mean(good)?;
+    let vf = variance(failed)?;
+    let vg = variance(good)?;
+    let denom = (vf / failed.len() as f64 + vg / good.len() as f64).sqrt();
+    if denom == 0.0 {
+        return Err(StatsError::InvalidParameter(
+            "both samples have zero variance; z-score undefined".to_string(),
+        ));
+    }
+    Ok((mf - mg) / denom)
+}
+
+/// Standard normal cumulative distribution function Φ(x).
+///
+/// Uses the Abramowitz–Stegun 7.1.26 rational approximation of `erf`
+/// (absolute error < 1.5e-7), plenty for p-value thresholds.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Result of a Wilcoxon rank-sum (Mann–Whitney) test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankSumResult {
+    /// The rank-sum statistic of the first sample.
+    pub statistic: f64,
+    /// Normal-approximation z value of the statistic.
+    pub z: f64,
+    /// Two-sided p-value under the normal approximation.
+    pub p_value: f64,
+}
+
+/// Wilcoxon rank-sum test with normal approximation and tie correction.
+///
+/// The baseline detector of §II-C flags a drive when an attribute's recent
+/// sample ranks significantly differently from a reference population of
+/// good-drive samples.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if either sample is empty and
+/// [`StatsError::NonFinite`] if any value is NaN.
+///
+/// # Example
+///
+/// ```
+/// let a = [1.0, 2.0, 3.0, 4.0];
+/// let b = [10.0, 11.0, 12.0, 13.0];
+/// let r = dds_stats::rank_sum_test(&a, &b).unwrap();
+/// assert!(r.p_value < 0.05);
+/// ```
+pub fn rank_sum_test(sample_a: &[f64], sample_b: &[f64]) -> Result<RankSumResult, StatsError> {
+    if sample_a.is_empty() || sample_b.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if sample_a.iter().chain(sample_b).any(|v| v.is_nan()) {
+        return Err(StatsError::NonFinite);
+    }
+    let na = sample_a.len() as f64;
+    let nb = sample_b.len() as f64;
+    let mut pooled: Vec<f64> = Vec::with_capacity(sample_a.len() + sample_b.len());
+    pooled.extend_from_slice(sample_a);
+    pooled.extend_from_slice(sample_b);
+    let ranks = average_ranks(&pooled);
+    let w: f64 = ranks[..sample_a.len()].iter().sum();
+    let n = na + nb;
+    let mean_w = na * (n + 1.0) / 2.0;
+    // Tie correction for the variance.
+    let mut sorted = pooled.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t * t * t - t;
+        i = j + 1;
+    }
+    let var_w = na * nb / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    if var_w <= 0.0 {
+        // All values tied: no evidence of difference.
+        return Ok(RankSumResult { statistic: w, z: 0.0, p_value: 1.0 });
+    }
+    let z = (w - mean_w) / var_w.sqrt();
+    let p_value = 2.0 * (1.0 - normal_cdf(z.abs()));
+    Ok(RankSumResult { statistic: w, z, p_value: p_value.clamp(0.0, 1.0) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_score_sign_and_magnitude() {
+        let hot = [50.0, 51.0, 52.0, 49.0];
+        let cool = [30.0, 31.0, 29.0, 30.0];
+        let z = welch_z_score(&hot, &cool).unwrap();
+        assert!(z > 10.0);
+        let z_rev = welch_z_score(&cool, &hot).unwrap();
+        assert!((z + z_rev).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_score_identical_distributions_near_zero() {
+        let a: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let z = welch_z_score(&a, &a).unwrap();
+        assert!(z.abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_score_errors() {
+        assert!(welch_z_score(&[], &[1.0]).is_err());
+        assert!(welch_z_score(&[1.0, 1.0], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn normal_cdf_symmetry_and_tails() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(8.0) > 0.999_999);
+        assert!(normal_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn rank_sum_detects_shift() {
+        let a: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| i as f64 + 100.0).collect();
+        let r = rank_sum_test(&a, &b).unwrap();
+        assert!(r.p_value < 1e-6);
+        assert!(r.z < 0.0); // a ranks lower
+    }
+
+    #[test]
+    fn rank_sum_no_shift_high_p() {
+        let a: Vec<f64> = (0..50).map(|i| (i * 7 % 50) as f64).collect();
+        let r = rank_sum_test(&a, &a).unwrap();
+        assert!(r.p_value > 0.9);
+    }
+
+    #[test]
+    fn rank_sum_all_tied_is_inconclusive() {
+        let r = rank_sum_test(&[5.0, 5.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(r.p_value, 1.0);
+        assert_eq!(r.z, 0.0);
+    }
+
+    #[test]
+    fn rank_sum_rejects_nan_and_empty() {
+        assert!(rank_sum_test(&[f64::NAN], &[1.0]).is_err());
+        assert!(rank_sum_test(&[], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn rank_sum_statistic_hand_checked() {
+        // a = {1, 2}, b = {3}: ranks of a are 1 and 2 -> W = 3.
+        let r = rank_sum_test(&[1.0, 2.0], &[3.0]).unwrap();
+        assert_eq!(r.statistic, 3.0);
+    }
+}

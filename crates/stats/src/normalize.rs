@@ -1,0 +1,224 @@
+//! Min–max normalization to `[-1, 1]`, Eq. (1) of the paper:
+//!
+//! ```text
+//! x_norm = 2 * (x − x_min) / (x_max − x_min) − 1
+//! ```
+//!
+//! The scaler is fitted on the whole dataset (per attribute) and then applied
+//! to every record, exactly as §III describes ("xmax and xmin are the maximum
+//! and minimum values of the attribute in the dataset").
+
+use crate::error::StatsError;
+
+/// A fitted per-column min–max scaler mapping each column to `[-1, 1]`.
+///
+/// Columns that are constant in the fitting data map to `0.0` (the midpoint)
+/// rather than dividing by zero; the paper filters such attributes out before
+/// analysis, but the scaler stays total so pipelines never panic.
+///
+/// # Example
+///
+/// ```
+/// use dds_stats::MinMaxScaler;
+///
+/// let rows = vec![vec![0.0, 10.0], vec![50.0, 20.0], vec![100.0, 30.0]];
+/// let scaler = MinMaxScaler::fit(&rows).unwrap();
+/// let t = scaler.transform_row(&rows[1]).unwrap();
+/// assert_eq!(t, vec![0.0, 0.0]);
+/// assert_eq!(scaler.transform_row(&rows[0]).unwrap(), vec![-1.0, -1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fits the scaler on a set of rows (observations × columns).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for no rows or zero-width rows,
+    /// [`StatsError::DimensionMismatch`] for ragged rows, and
+    /// [`StatsError::NonFinite`] if any value is NaN.
+    pub fn fit(rows: &[Vec<f64>]) -> Result<Self, StatsError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        let cols = rows[0].len();
+        let mut mins = vec![f64::INFINITY; cols];
+        let mut maxs = vec![f64::NEG_INFINITY; cols];
+        for row in rows {
+            if row.len() != cols {
+                return Err(StatsError::DimensionMismatch { expected: cols, actual: row.len() });
+            }
+            for (c, &v) in row.iter().enumerate() {
+                if v.is_nan() {
+                    return Err(StatsError::NonFinite);
+                }
+                mins[c] = mins[c].min(v);
+                maxs[c] = maxs[c].max(v);
+            }
+        }
+        Ok(MinMaxScaler { mins, maxs })
+    }
+
+    /// Builds a scaler directly from known per-column bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if the two slices differ in
+    /// length, [`StatsError::EmptyInput`] if they are empty, and
+    /// [`StatsError::InvalidParameter`] if any `min > max`.
+    pub fn from_bounds(mins: &[f64], maxs: &[f64]) -> Result<Self, StatsError> {
+        if mins.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if mins.len() != maxs.len() {
+            return Err(StatsError::DimensionMismatch { expected: mins.len(), actual: maxs.len() });
+        }
+        for (lo, hi) in mins.iter().zip(maxs) {
+            if lo > hi {
+                return Err(StatsError::InvalidParameter(format!(
+                    "lower bound {lo} exceeds upper bound {hi}"
+                )));
+            }
+        }
+        Ok(MinMaxScaler { mins: mins.to_vec(), maxs: maxs.to_vec() })
+    }
+
+    /// Number of columns this scaler was fitted on.
+    pub fn num_columns(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Per-column minima observed during fitting.
+    pub fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// Per-column maxima observed during fitting.
+    pub fn maxs(&self) -> &[f64] {
+        &self.maxs
+    }
+
+    /// Transforms a single value in column `col` per Eq. (1).
+    ///
+    /// Values outside the fitted range extrapolate linearly (they can exceed
+    /// `[-1, 1]`); constant columns map to `0.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of bounds.
+    pub fn transform_value(&self, col: usize, x: f64) -> f64 {
+        let (lo, hi) = (self.mins[col], self.maxs[col]);
+        let range = hi - lo;
+        if range <= 0.0 {
+            return 0.0;
+        }
+        2.0 * (x - lo) / range - 1.0
+    }
+
+    /// Inverse of [`transform_value`](Self::transform_value): maps a
+    /// normalized value back to the original scale. Constant columns return
+    /// the constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of bounds.
+    pub fn inverse_value(&self, col: usize, x_norm: f64) -> f64 {
+        let (lo, hi) = (self.mins[col], self.maxs[col]);
+        let range = hi - lo;
+        if range <= 0.0 {
+            return lo;
+        }
+        (x_norm + 1.0) / 2.0 * range + lo
+    }
+
+    /// Transforms a full row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] if the row width differs
+    /// from the fitted width.
+    pub fn transform_row(&self, row: &[f64]) -> Result<Vec<f64>, StatsError> {
+        if row.len() != self.mins.len() {
+            return Err(StatsError::DimensionMismatch {
+                expected: self.mins.len(),
+                actual: row.len(),
+            });
+        }
+        Ok(row.iter().enumerate().map(|(c, &v)| self.transform_value(c, v)).collect())
+    }
+
+    /// Transforms many rows at once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`transform_row`](Self::transform_row) errors.
+    pub fn transform(&self, rows: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, StatsError> {
+        rows.iter().map(|r| self.transform_row(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_map_to_unit_interval() {
+        let rows = vec![vec![-4.0], vec![6.0]];
+        let s = MinMaxScaler::fit(&rows).unwrap();
+        assert_eq!(s.transform_value(0, -4.0), -1.0);
+        assert_eq!(s.transform_value(0, 6.0), 1.0);
+        assert_eq!(s.transform_value(0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let rows = vec![vec![7.0], vec![7.0]];
+        let s = MinMaxScaler::fit(&rows).unwrap();
+        assert_eq!(s.transform_value(0, 7.0), 0.0);
+        assert_eq!(s.inverse_value(0, 0.3), 7.0);
+    }
+
+    #[test]
+    fn roundtrip_inverse() {
+        let rows = vec![vec![2.0, -1.0], vec![10.0, 3.0], vec![6.0, 1.0]];
+        let s = MinMaxScaler::fit(&rows).unwrap();
+        for row in &rows {
+            let t = s.transform_row(row).unwrap();
+            for (c, &norm) in t.iter().enumerate() {
+                assert!((s.inverse_value(c, norm) - row[c]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_extrapolates() {
+        let s = MinMaxScaler::from_bounds(&[0.0], &[10.0]).unwrap();
+        assert_eq!(s.transform_value(0, 20.0), 3.0);
+        assert_eq!(s.transform_value(0, -10.0), -3.0);
+    }
+
+    #[test]
+    fn fit_rejects_ragged_and_nan() {
+        assert!(MinMaxScaler::fit(&[vec![1.0, 2.0], vec![3.0]]).is_err());
+        assert!(MinMaxScaler::fit(&[vec![f64::NAN]]).is_err());
+        assert!(MinMaxScaler::fit(&[]).is_err());
+    }
+
+    #[test]
+    fn from_bounds_validates_order() {
+        assert!(MinMaxScaler::from_bounds(&[1.0], &[0.0]).is_err());
+        assert!(MinMaxScaler::from_bounds(&[], &[]).is_err());
+        assert!(MinMaxScaler::from_bounds(&[0.0, 1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn transform_checks_width() {
+        let s = MinMaxScaler::from_bounds(&[0.0, 0.0], &[1.0, 1.0]).unwrap();
+        assert!(s.transform_row(&[0.5]).is_err());
+        assert_eq!(s.num_columns(), 2);
+    }
+}

@@ -1,0 +1,451 @@
+//! Polynomial least squares and the paper's fixed-form signature models.
+//!
+//! §IV-C fits the normalized degradation curve of each drive with polynomial
+//! regression models of order 1–3 (Fig. 8) and with simplified fixed forms
+//! `s(t) = t^k / d^k − 1`, selecting the model with the smallest RMSE. Both
+//! families live here: [`PolynomialFit`] for free-coefficient fits and
+//! [`SignatureModel`] for the constrained forms.
+
+use crate::error::StatsError;
+use crate::matrix::Matrix;
+
+/// Root-mean-square error between predictions and observations.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] / [`StatsError::DimensionMismatch`]
+/// for invalid shapes.
+pub fn rmse(predicted: &[f64], observed: &[f64]) -> Result<f64, StatsError> {
+    if predicted.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if predicted.len() != observed.len() {
+        return Err(StatsError::DimensionMismatch {
+            expected: predicted.len(),
+            actual: observed.len(),
+        });
+    }
+    let mse: f64 = predicted
+        .iter()
+        .zip(observed)
+        .map(|(p, o)| (p - o) * (p - o))
+        .sum::<f64>()
+        / predicted.len() as f64;
+    Ok(mse.sqrt())
+}
+
+/// Coefficient of determination R² (can be negative for terrible fits).
+///
+/// Constant observations yield `1.0` when reproduced exactly and `0.0`
+/// otherwise.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] / [`StatsError::DimensionMismatch`]
+/// for invalid shapes.
+pub fn r_squared(predicted: &[f64], observed: &[f64]) -> Result<f64, StatsError> {
+    if predicted.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if predicted.len() != observed.len() {
+        return Err(StatsError::DimensionMismatch {
+            expected: predicted.len(),
+            actual: observed.len(),
+        });
+    }
+    let mean = observed.iter().sum::<f64>() / observed.len() as f64;
+    let ss_tot: f64 = observed.iter().map(|o| (o - mean) * (o - mean)).sum();
+    let ss_res: f64 = predicted.iter().zip(observed).map(|(p, o)| (p - o) * (p - o)).sum();
+    if ss_tot == 0.0 {
+        return Ok(if ss_res == 0.0 { 1.0 } else { 0.0 });
+    }
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+/// A least-squares polynomial fit `y = c0 + c1·x + … + cd·x^d`.
+///
+/// Solved via the normal equations of the Vandermonde system with LU
+/// decomposition — adequate for the low orders (≤ 5) used in signature
+/// modeling.
+///
+/// # Example
+///
+/// ```
+/// use dds_stats::PolynomialFit;
+///
+/// let xs: Vec<f64> = (0..20).map(f64::from).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| 1.0 - 2.0 * x + 0.5 * x * x).collect();
+/// let fit = PolynomialFit::fit(&xs, &ys, 2).unwrap();
+/// assert!((fit.coefficients()[2] - 0.5).abs() < 1e-8);
+/// assert!(fit.r_squared() > 0.999_999);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolynomialFit {
+    coefficients: Vec<f64>,
+    rmse: f64,
+    r_squared: f64,
+}
+
+impl PolynomialFit {
+    /// Fits a polynomial of the given degree to `(xs, ys)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] for unequal input lengths,
+    /// [`StatsError::InsufficientData`] when there are fewer points than
+    /// coefficients, and [`StatsError::SingularMatrix`] when the design
+    /// matrix is rank-deficient (e.g. all `xs` identical).
+    pub fn fit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Self, StatsError> {
+        if xs.len() != ys.len() {
+            return Err(StatsError::DimensionMismatch { expected: xs.len(), actual: ys.len() });
+        }
+        let n_coeffs = degree + 1;
+        if xs.len() < n_coeffs {
+            return Err(StatsError::InsufficientData { needed: n_coeffs, got: xs.len() });
+        }
+        // Normal equations: (XᵀX) c = Xᵀy with X the Vandermonde matrix.
+        let mut xtx = Matrix::zeros(n_coeffs, n_coeffs)?;
+        let mut xty = vec![0.0; n_coeffs];
+        for (&x, &y) in xs.iter().zip(ys) {
+            let mut powers = vec![1.0; 2 * degree + 1];
+            for p in 1..powers.len() {
+                powers[p] = powers[p - 1] * x;
+            }
+            for i in 0..n_coeffs {
+                xty[i] += powers[i] * y;
+                for j in 0..n_coeffs {
+                    xtx[(i, j)] += powers[i + j];
+                }
+            }
+        }
+        let coefficients = xtx.solve(&xty)?;
+        let predicted: Vec<f64> = xs.iter().map(|&x| eval_poly(&coefficients, x)).collect();
+        let rmse = rmse(&predicted, ys)?;
+        let r2 = r_squared(&predicted, ys)?;
+        Ok(PolynomialFit { coefficients, rmse, r_squared: r2 })
+    }
+
+    /// Coefficients in ascending power order (`c0` first).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.coefficients.len() - 1
+    }
+
+    /// Training RMSE of the fit.
+    pub fn rmse(&self) -> f64 {
+        self.rmse
+    }
+
+    /// Training R² of the fit.
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Evaluates the fitted polynomial at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        eval_poly(&self.coefficients, x)
+    }
+}
+
+fn eval_poly(coefficients: &[f64], x: f64) -> f64 {
+    coefficients.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+/// The constrained signature forms of §IV-C.
+///
+/// Each form has a single structural parameter — the degradation-window size
+/// `d` — and maps time-to-failure `t ∈ [0, d]` to a degradation value in
+/// `[-1, 0]`, with `s(0) = −1` (the failure itself) and `s(d) = 0` (the start
+/// of the window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum SignatureForm {
+    /// `s(t) = t/d − 1` — the Group 2 (bad-sector) signature, Eq. (4).
+    Linear,
+    /// `s(t) = t²/d² − 1` — the revised Group 1 (logical) signature, Eq. (3).
+    Quadratic,
+    /// `s(t) = t³/d³ − 1` — the simplified Group 3 (head) signature, Eq. (6).
+    Cubic,
+    /// `s(t) = t²/d² − t/(3d) − 1` — the unrevised Group 1 form, Eq. (2),
+    /// kept so the model-comparison experiment can reproduce its worse RMSE.
+    QuadraticWithLinearTerm,
+}
+
+impl SignatureForm {
+    /// All forms, in the order the paper discusses them.
+    pub const ALL: [SignatureForm; 4] = [
+        SignatureForm::Linear,
+        SignatureForm::Quadratic,
+        SignatureForm::Cubic,
+        SignatureForm::QuadraticWithLinearTerm,
+    ];
+
+    /// The polynomial order of the form's leading term.
+    pub fn order(self) -> usize {
+        match self {
+            SignatureForm::Linear => 1,
+            SignatureForm::Quadratic | SignatureForm::QuadraticWithLinearTerm => 2,
+            SignatureForm::Cubic => 3,
+        }
+    }
+
+    /// Human-readable formula, for reports.
+    pub fn formula(self) -> &'static str {
+        match self {
+            SignatureForm::Linear => "s(t) = t/d - 1",
+            SignatureForm::Quadratic => "s(t) = t^2/d^2 - 1",
+            SignatureForm::Cubic => "s(t) = t^3/d^3 - 1",
+            SignatureForm::QuadraticWithLinearTerm => "s(t) = t^2/d^2 - t/(3d) - 1",
+        }
+    }
+}
+
+impl std::fmt::Display for SignatureForm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            SignatureForm::Linear => "linear",
+            SignatureForm::Quadratic => "quadratic",
+            SignatureForm::Cubic => "cubic",
+            SignatureForm::QuadraticWithLinearTerm => "quadratic+linear-term",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A fixed-form degradation signature `s(t)` with window size `d`.
+///
+/// # Example
+///
+/// ```
+/// use dds_stats::{SignatureForm, SignatureModel};
+///
+/// let s = SignatureModel::new(SignatureForm::Quadratic, 12.0).unwrap();
+/// assert_eq!(s.evaluate(0.0), -1.0);          // the failure event
+/// assert!(s.evaluate(12.0).abs() < 1e-12);    // start of the window
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignatureModel {
+    form: SignatureForm,
+    window: f64,
+}
+
+impl SignatureModel {
+    /// Creates a signature with the given form and window size `d` (hours).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when `d` is not a positive
+    /// finite number.
+    pub fn new(form: SignatureForm, window: f64) -> Result<Self, StatsError> {
+        if !window.is_finite() || window <= 0.0 {
+            return Err(StatsError::InvalidParameter(format!(
+                "degradation window must be positive and finite, got {window}"
+            )));
+        }
+        Ok(SignatureModel { form, window })
+    }
+
+    /// The structural form of this signature.
+    pub fn form(&self) -> SignatureForm {
+        self.form
+    }
+
+    /// The degradation-window size `d` in hours.
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+
+    /// Evaluates `s(t)` for `t` hours before the failure event.
+    ///
+    /// `t = 0` is the failure itself (`s = −1`); `t = d` is the start of the
+    /// window (`s = 0` for the revised forms). Values of `t` beyond `d`
+    /// extrapolate.
+    pub fn evaluate(&self, t: f64) -> f64 {
+        let d = self.window;
+        match self.form {
+            SignatureForm::Linear => t / d - 1.0,
+            SignatureForm::Quadratic => (t * t) / (d * d) - 1.0,
+            SignatureForm::Cubic => (t * t * t) / (d * d * d) - 1.0,
+            SignatureForm::QuadraticWithLinearTerm => (t * t) / (d * d) - t / (3.0 * d) - 1.0,
+        }
+    }
+
+    /// Inverts the signature: given a degradation value `s ∈ [-1, 0]`,
+    /// returns the time before failure `t` at which the model reaches it —
+    /// i.e. the predicted remaining useful time.
+    ///
+    /// Only the revised forms (`t^k/d^k − 1`) have a closed inverse; the
+    /// unrevised Eq. (2) form returns `None`. Values outside `[-1, 0]` clamp.
+    pub fn time_before_failure(&self, s: f64) -> Option<f64> {
+        let s = s.clamp(-1.0, 0.0);
+        let frac = s + 1.0;
+        let d = self.window;
+        match self.form {
+            SignatureForm::Linear => Some(frac * d),
+            SignatureForm::Quadratic => Some(frac.sqrt() * d),
+            SignatureForm::Cubic => Some(frac.cbrt() * d),
+            SignatureForm::QuadraticWithLinearTerm => None,
+        }
+    }
+
+    /// RMSE of this model against an observed degradation curve, where
+    /// `observed[i]` is the degradation value at `times[i]` hours before
+    /// failure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`rmse`] shape errors.
+    pub fn rmse_against(&self, times: &[f64], observed: &[f64]) -> Result<f64, StatsError> {
+        let predicted: Vec<f64> = times.iter().map(|&t| self.evaluate(t)).collect();
+        rmse(&predicted, observed)
+    }
+
+    /// Fits the best form for an observed degradation curve by minimal RMSE
+    /// over all four candidate forms (the automated tool of §IV-C).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors; returns [`StatsError::InvalidParameter`] for
+    /// a non-positive window.
+    pub fn best_fit(
+        window: f64,
+        times: &[f64],
+        observed: &[f64],
+    ) -> Result<(SignatureModel, f64), StatsError> {
+        let mut best: Option<(SignatureModel, f64)> = None;
+        for form in SignatureForm::ALL {
+            let model = SignatureModel::new(form, window)?;
+            let err = model.rmse_against(times, observed)?;
+            if best.as_ref().is_none_or(|(_, e)| err < *e) {
+                best = Some((model, err));
+            }
+        }
+        Ok(best.expect("at least one candidate form"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_of_perfect_prediction_is_zero() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        // errors 1 and -1 -> sqrt(1) = 1
+        assert_eq!(rmse(&[1.0, 1.0], &[0.0, 2.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean_predictor() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(r_squared(&y, &y).unwrap(), 1.0);
+        assert!(r_squared(&[2.0, 2.0, 2.0], &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let fit = PolynomialFit::fit(&xs, &ys, 1).unwrap();
+        assert!((fit.coefficients()[0] - 1.0).abs() < 1e-10);
+        assert!((fit.coefficients()[1] - 2.0).abs() < 1e-10);
+        assert!(fit.rmse() < 1e-10);
+        assert_eq!(fit.degree(), 1);
+    }
+
+    #[test]
+    fn cubic_fit_recovers_cubic() {
+        let xs: Vec<f64> = (0..12).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 + x - 0.5 * x.powi(3)).collect();
+        let fit = PolynomialFit::fit(&xs, &ys, 3).unwrap();
+        assert!((fit.coefficients()[3] + 0.5).abs() < 1e-6);
+        assert!((fit.predict(5.0) - (2.0 + 5.0 - 0.5 * 125.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_requires_enough_points() {
+        assert!(matches!(
+            PolynomialFit::fit(&[1.0, 2.0], &[1.0, 2.0], 2),
+            Err(StatsError::InsufficientData { needed: 3, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_xs() {
+        let err = PolynomialFit::fit(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0], 1).unwrap_err();
+        assert_eq!(err, StatsError::SingularMatrix);
+    }
+
+    #[test]
+    fn higher_order_never_fits_worse() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 0.7).sin()).collect();
+        let r1 = PolynomialFit::fit(&xs, &ys, 1).unwrap().rmse();
+        let r2 = PolynomialFit::fit(&xs, &ys, 2).unwrap().rmse();
+        let r3 = PolynomialFit::fit(&xs, &ys, 3).unwrap().rmse();
+        assert!(r2 <= r1 + 1e-12);
+        assert!(r3 <= r2 + 1e-12);
+    }
+
+    #[test]
+    fn signature_boundary_conditions() {
+        for form in SignatureForm::ALL {
+            let s = SignatureModel::new(form, 20.0).unwrap();
+            assert!((s.evaluate(0.0) + 1.0).abs() < 1e-12, "{form}: s(0) must be -1");
+        }
+        // Revised forms hit exactly 0 at t = d; Eq. (2) famously does not.
+        let revised = SignatureModel::new(SignatureForm::Quadratic, 3.0).unwrap();
+        assert!(revised.evaluate(3.0).abs() < 1e-12);
+        let eq2 = SignatureModel::new(SignatureForm::QuadraticWithLinearTerm, 3.0).unwrap();
+        assert!((eq2.evaluate(3.0) + 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signature_inverse_roundtrip() {
+        for form in [SignatureForm::Linear, SignatureForm::Quadratic, SignatureForm::Cubic] {
+            let s = SignatureModel::new(form, 50.0).unwrap();
+            for t in [0.0, 5.0, 25.0, 50.0] {
+                let v = s.evaluate(t);
+                let back = s.time_before_failure(v).unwrap();
+                assert!((back - t).abs() < 1e-9, "{form} t={t}");
+            }
+        }
+        let eq2 = SignatureModel::new(SignatureForm::QuadraticWithLinearTerm, 5.0).unwrap();
+        assert!(eq2.time_before_failure(-0.5).is_none());
+    }
+
+    #[test]
+    fn best_fit_selects_generating_form() {
+        let d = 30.0;
+        for form in [SignatureForm::Linear, SignatureForm::Quadratic, SignatureForm::Cubic] {
+            let gen = SignatureModel::new(form, d).unwrap();
+            let times: Vec<f64> = (0..=30).map(f64::from).collect();
+            let obs: Vec<f64> = times.iter().map(|&t| gen.evaluate(t)).collect();
+            let (best, err) = SignatureModel::best_fit(d, &times, &obs).unwrap();
+            assert_eq!(best.form(), form);
+            assert!(err < 1e-12);
+        }
+    }
+
+    #[test]
+    fn signature_rejects_bad_window() {
+        assert!(SignatureModel::new(SignatureForm::Linear, 0.0).is_err());
+        assert!(SignatureModel::new(SignatureForm::Linear, f64::NAN).is_err());
+        assert!(SignatureModel::new(SignatureForm::Linear, -3.0).is_err());
+    }
+
+    #[test]
+    fn form_metadata() {
+        assert_eq!(SignatureForm::Cubic.order(), 3);
+        assert_eq!(SignatureForm::Linear.to_string(), "linear");
+        assert!(SignatureForm::Quadratic.formula().contains("t^2"));
+    }
+}

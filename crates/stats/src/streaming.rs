@@ -1,0 +1,378 @@
+//! Streaming (single-pass, constant-memory) statistics: Welford
+//! mean/variance and the P² quantile estimator.
+//!
+//! The online monitoring middleware (§VI of the paper) ingests hourly
+//! SMART records indefinitely; these accumulators track per-attribute
+//! baselines without storing history.
+
+use crate::error::StatsError;
+
+/// Welford's online mean/variance accumulator.
+///
+/// # Example
+///
+/// ```
+/// use dds_stats::streaming::RunningMoments;
+///
+/// let mut m = RunningMoments::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     m.push(x);
+/// }
+/// assert_eq!(m.mean(), 5.0);
+/// assert!((m.population_variance().unwrap() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunningMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningMoments { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Smallest observation so far.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation so far.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Population variance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] before the first observation.
+    pub fn population_variance(&self) -> Result<f64, StatsError> {
+        if self.count == 0 {
+            return Err(StatsError::EmptyInput);
+        }
+        Ok(self.m2 / self.count as f64)
+    }
+
+    /// Sample variance (`n − 1` denominator).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InsufficientData`] before the second
+    /// observation.
+    pub fn sample_variance(&self) -> Result<f64, StatsError> {
+        if self.count < 2 {
+            return Err(StatsError::InsufficientData { needed: 2, got: self.count as usize });
+        }
+        Ok(self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Population standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`population_variance`](Self::population_variance).
+    pub fn std_dev(&self) -> Result<f64, StatsError> {
+        Ok(self.population_variance()?.sqrt())
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// The P² (Jain & Chlamtac) streaming quantile estimator: tracks one
+/// quantile with five markers and no history.
+///
+/// # Example
+///
+/// ```
+/// use dds_stats::streaming::P2Quantile;
+///
+/// let mut q = P2Quantile::new(0.5).unwrap();
+/// for i in 1..=1001 {
+///     q.push(i as f64);
+/// }
+/// let median = q.estimate().unwrap();
+/// assert!((median - 501.0).abs() < 15.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Increments of the desired positions.
+    increments: [f64; 5],
+    count: usize,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the quantile `q ∈ (0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] for `q` outside `(0, 1)`.
+    pub fn new(q: f64) -> Result<Self, StatsError> {
+        if !(0.0 < q && q < 1.0) {
+            return Err(StatsError::InvalidParameter(format!("quantile {q} not in (0, 1)")));
+        }
+        Ok(P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        })
+    }
+
+    /// The tracked quantile.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+            }
+            return;
+        }
+        self.count += 1;
+        // Find the cell of x and clamp the extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x < self.heights[1] {
+            0
+        } else if x < self.heights[2] {
+            1
+        } else if x < self.heights[3] {
+            2
+        } else if x <= self.heights[4] {
+            3
+        } else {
+            self.heights[4] = x;
+            3
+        };
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+        // Adjust the interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] = if self.heights[i - 1] < candidate
+                    && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current quantile estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] before the first observation.
+    pub fn estimate(&self) -> Result<f64, StatsError> {
+        match self.count {
+            0 => Err(StatsError::EmptyInput),
+            n if n < 5 => {
+                // Exact for tiny samples.
+                let mut v = self.heights[..n].to_vec();
+                v.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+                Ok(crate::descriptive::quantile(&v, self.q)?)
+            }
+            _ => Ok(self.heights[2]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn moments_match_batch_computation() {
+        let values = [3.1, -2.0, 5.5, 0.0, 7.25, 3.3];
+        let mut m = RunningMoments::new();
+        for &v in &values {
+            m.push(v);
+        }
+        let mean = crate::descriptive::mean(&values).unwrap();
+        let var = crate::descriptive::variance(&values).unwrap();
+        assert!((m.mean() - mean).abs() < 1e-12);
+        assert!((m.population_variance().unwrap() - var).abs() < 1e-12);
+        assert_eq!(m.min(), -2.0);
+        assert_eq!(m.max(), 7.25);
+        assert_eq!(m.count(), 6);
+    }
+
+    #[test]
+    fn moments_errors_on_empty() {
+        let m = RunningMoments::new();
+        assert!(m.population_variance().is_err());
+        assert!(m.std_dev().is_err());
+        let mut m = m;
+        m.push(1.0);
+        assert!(m.sample_variance().is_err());
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let all: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let mut whole = RunningMoments::new();
+        for &v in &all {
+            whole.push(v);
+        }
+        let mut left = RunningMoments::new();
+        let mut right = RunningMoments::new();
+        for &v in &all[..37] {
+            left.push(v);
+        }
+        for &v in &all[37..] {
+            right.push(v);
+        }
+        left.merge(&right);
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!(
+            (left.population_variance().unwrap() - whole.population_variance().unwrap()).abs()
+                < 1e-9
+        );
+        assert_eq!(left.count(), whole.count());
+        // Merging an empty accumulator is a no-op.
+        let snapshot = left;
+        left.merge(&RunningMoments::new());
+        assert_eq!(left, snapshot);
+    }
+
+    #[test]
+    fn p2_median_of_uniform_stream() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut q = P2Quantile::new(0.5).unwrap();
+        for _ in 0..20_000 {
+            q.push(rng.random::<f64>() * 100.0);
+        }
+        let est = q.estimate().unwrap();
+        assert!((est - 50.0).abs() < 3.0, "median estimate {est}");
+        assert_eq!(q.quantile(), 0.5);
+        assert_eq!(q.count(), 20_000);
+    }
+
+    #[test]
+    fn p2_tail_quantile() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let mut q = P2Quantile::new(0.95).unwrap();
+        for _ in 0..20_000 {
+            q.push(rng.random::<f64>());
+        }
+        let est = q.estimate().unwrap();
+        assert!((est - 0.95).abs() < 0.03, "p95 estimate {est}");
+    }
+
+    #[test]
+    fn p2_small_samples_are_exact() {
+        let mut q = P2Quantile::new(0.5).unwrap();
+        assert!(q.estimate().is_err());
+        q.push(10.0);
+        assert_eq!(q.estimate().unwrap(), 10.0);
+        q.push(20.0);
+        assert_eq!(q.estimate().unwrap(), 15.0);
+    }
+
+    #[test]
+    fn p2_rejects_degenerate_quantiles() {
+        assert!(P2Quantile::new(0.0).is_err());
+        assert!(P2Quantile::new(1.0).is_err());
+        assert!(P2Quantile::new(-0.2).is_err());
+    }
+
+    #[test]
+    fn p2_monotone_input() {
+        let mut q = P2Quantile::new(0.25).unwrap();
+        for i in 0..10_000 {
+            q.push(i as f64);
+        }
+        let est = q.estimate().unwrap();
+        assert!((est - 2_500.0).abs() < 150.0, "p25 estimate {est}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Early warning: use the trained per-group regression trees and the
+//! inverse degradation signatures to estimate, for drives that really
+//! failed, how much rescue time a monitoring system would have had at
+//! different stages (§V-B's application of the signatures).
+//!
+//! ```text
+//! cargo run --release --example early_warning
+//! ```
+
+use dds::prelude::*;
+use dds_core::degradation::DegradationAnalyzer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(7_771)).run();
+    let analysis = Analysis::new(AnalysisConfig::default()).run(&dataset)?;
+    let analyzer = DegradationAnalyzer::default();
+
+    println!("early-warning audit: predicted degradation at fixed lead times");
+    println!("================================================================");
+    println!(
+        "{:<12} {:<28} {:>9} {:>9} {:>9} {:>13}",
+        "drive", "group", "T-48h", "T-24h", "T-8h", "est. rescue"
+    );
+
+    for group in analysis.categorization.groups() {
+        let predictor = &analysis.prediction.groups[group.index];
+        // Audit up to three drives per group.
+        for &id in group.drive_ids.iter().take(3) {
+            let drive = dataset.drive(id).expect("group drive exists");
+            let n = drive.records().len();
+            let at = |hours_before: usize| -> f64 {
+                let idx = n.saturating_sub(hours_before + 1);
+                let record = dataset.normalize_record(&drive.records()[idx]);
+                predictor.predict(&record)
+            };
+            // Invert the drive's own signature at its last predicted
+            // degradation stage to estimate remaining rescue time.
+            let degradation = analyzer.analyze_drive(&dataset, drive)?;
+            let stage = at(8);
+            let rescue = degradation
+                .remaining_hours_at(stage.min(0.0))
+                .map(|h| format!("{h:.0} h"))
+                .unwrap_or_else(|| "n/a".to_string());
+            println!(
+                "{:<12} {:<28} {:>9.2} {:>9.2} {:>9.2} {:>13}",
+                drive.id().to_string(),
+                group.failure_type.to_string(),
+                at(48),
+                at(24),
+                at(8),
+                rescue
+            );
+        }
+    }
+    println!();
+    println!("reading: +1.00 = healthy, -1.00 = failure imminent. Bad-sector and");
+    println!("head failures drift negative days in advance; logical failures stay");
+    println!("near-healthy until hours before the event — exactly the degradation-");
+    println!("window asymmetry the signatures quantify.");
+    Ok(())
+}

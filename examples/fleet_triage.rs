@@ -1,0 +1,77 @@
+//! Fleet triage: the §V-A workflow — categorize a fleet's failures,
+//! find the dominant failure type, and derive the operational actions the
+//! paper recommends (thermal management for logical failures, scrubbing and
+//! early replacement for sector/head failures, extra backups for the age
+//! cohorts that fail).
+//!
+//! ```text
+//! cargo run --release --example fleet_triage
+//! ```
+
+use dds::prelude::*;
+use dds_core::zscore::{temporal_z_scores, ZScoreConfig};
+use dds_core::FailureType;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(2024)).run();
+    let analysis = Analysis::new(AnalysisConfig::default()).run(&dataset)?;
+    let categorization = &analysis.categorization;
+
+    println!("fleet triage report");
+    println!("===================");
+    println!(
+        "{} drives monitored, {} replaced ({:.2}% — paper observed 1.85%)\n",
+        dataset.drives().len(),
+        dataset.failed_drives().count(),
+        100.0 * dataset.failed_drives().count() as f64 / dataset.drives().len() as f64
+    );
+
+    // Break failures down by discovered type and attach the action plan.
+    for group in categorization.groups() {
+        println!(
+            "Group {} — {} ({} drives, {:.1}% of failures)",
+            group.index + 1,
+            group.failure_type,
+            group.size(),
+            group.population_fraction * 100.0
+        );
+        let action = match group.failure_type {
+            FailureType::Logical => {
+                "deploy thermal controls (drive caddies, rack temperature knobs, \
+                 thermal-aware scheduling); these drives run hot and fail with \
+                 little SMART warning"
+            }
+            FailureType::BadSector => {
+                "increase background-scrub frequency and schedule replacement as \
+                 soon as uncorrectable errors start accumulating; degradation is \
+                 slow and monotone, leaving ~2 weeks for data rescue"
+            }
+            FailureType::HeadWear => {
+                "budget replacements for the oldest cohort and watch reallocated \
+                 sectors; the final reallocation storm leaves under a day"
+            }
+            _ => "inspect manually; no rule matched",
+        };
+        println!("  action: {action}\n");
+    }
+
+    // The paper's root-cause check: which attribute singles out the
+    // dominant group? (§V-A: temperature for logical failures.)
+    let tc = temporal_z_scores(
+        &dataset,
+        &analysis.failure_records,
+        categorization,
+        Attribute::TemperatureCelsius,
+        &ZScoreConfig::default(),
+    )?;
+    if let Some(group) = tc.most_separated_group() {
+        let z = tc.mean_z(group).unwrap_or(0.0);
+        println!(
+            "temperature diagnosis: Group {} runs hottest (mean TC z-score {z:+.1});",
+            group + 1
+        );
+        println!("cooling that cohort attacks {:.1}% of all failures at the source.",
+            categorization.groups()[group].population_fraction * 100.0);
+    }
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Quickstart: simulate a small SMART fleet, run the paper's complete
+//! analysis, and print the headline results.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dds::prelude::*;
+use dds_core::report;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Simulate a datacenter fleet. `test_scale` keeps this example fast;
+    //    use `FleetConfig::bench_scale()` for the paper's 433 failed drives.
+    let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(42)).run();
+    println!(
+        "simulated {} drives / {} hourly SMART records ({} failed drives)",
+        dataset.drives().len(),
+        dataset.num_records(),
+        dataset.failed_drives().count()
+    );
+
+    // 2. Run every stage of the paper in one call.
+    let analysis = Analysis::new(AnalysisConfig::default()).run(&dataset)?;
+
+    // 3. What failure types exist, and how common are they? (Table II)
+    print!("{}", report::render_failure_categories(&analysis.categorization));
+
+    // 4. How does each type degrade? (Eqs. 3/4/6)
+    for group in &analysis.degradation {
+        println!(
+            "Group {} degrades as {} over a {:.0}-hour window",
+            group.group_index + 1,
+            group.dominant_form.formula(),
+            group.window_stats.1
+        );
+    }
+
+    // 5. How accurately can degradation be predicted? (Table III)
+    print!("{}", report::render_prediction_table(&analysis.prediction));
+    Ok(())
+}

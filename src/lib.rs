@@ -1,0 +1,51 @@
+//! # dds — Disk Degradation Signatures
+//!
+//! A full Rust reproduction of *"Characterizing Disk Failures with
+//! Quantified Disk Degradation Signatures: An Early Experience"*
+//! (Huang, Fu, Zhang, Shi — IISWC 2015): categorize disk failures from
+//! SMART telemetry, derive per-category degradation signatures, quantify
+//! attribute influence, and predict degradation — plus every substrate the
+//! paper depends on (a SMART fleet simulator standing in for the
+//! proprietary dataset, statistics, clustering, and regression trees).
+//!
+//! This façade crate re-exports the workspace:
+//!
+//! * [`stats`] — statistics & linear algebra ([`dds_stats`])
+//! * [`smartsim`] — the SMART fleet simulator ([`dds_smartsim`])
+//! * [`cluster`] — K-means / SVC / PCA ([`dds_cluster`])
+//! * [`regtree`] — CART regression trees ([`dds_regtree`])
+//! * [`core`] — the paper's analysis pipeline ([`dds_core`])
+//! * [`monitor`] — online monitoring middleware ([`dds_monitor`], the §VI
+//!   future-work system)
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dds::prelude::*;
+//!
+//! // Simulate a small fleet and run the complete analysis of the paper.
+//! let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(1)).run();
+//! let analysis = Analysis::new(AnalysisConfig::default()).run(&dataset).unwrap();
+//! assert_eq!(analysis.categorization.num_groups(), 3);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use dds_cluster as cluster;
+pub use dds_core as core;
+pub use dds_monitor as monitor;
+pub use dds_regtree as regtree;
+pub use dds_smartsim as smartsim;
+pub use dds_stats as stats;
+
+/// Convenient glob-import surface covering the common entry points.
+pub mod prelude {
+    pub use dds_core::{Analysis, AnalysisConfig};
+    pub use dds_monitor::{FleetMonitor, ModelBundle, MonitorConfig};
+    pub use dds_smartsim::{
+        Attribute, Dataset, DriveLabel, DriveProfile, FailureMode, FleetConfig, FleetSimulator,
+        HealthRecord,
+    };
+    pub use dds_stats::{SignatureForm, SignatureModel};
+}

@@ -1,0 +1,141 @@
+//! End-to-end integration: the full pipeline on a simulated fleet must
+//! reproduce the paper's qualitative results — group structure, signature
+//! forms, environmental diagnoses and prediction quality.
+
+use dds::prelude::*;
+use dds_core::FailureType;
+use dds_stats::SignatureForm;
+
+fn analyzed() -> (Dataset, dds_core::AnalysisReport) {
+    let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(1_001)).run();
+    let report = Analysis::new(AnalysisConfig::default()).run(&dataset).unwrap();
+    (dataset, report)
+}
+
+#[test]
+fn pipeline_reproduces_three_failure_groups() {
+    let (_, report) = analyzed();
+    let cat = &report.categorization;
+    assert_eq!(cat.num_groups(), 3);
+    // Population shape: logical > head >> bad sector (Table II).
+    let fractions: Vec<f64> =
+        cat.groups().iter().map(|g| g.population_fraction).collect();
+    assert!(fractions[0] > fractions[2], "G1 {fractions:?}");
+    assert!(fractions[2] > fractions[1], "G3 > G2 {fractions:?}");
+    assert_eq!(cat.groups()[0].failure_type, FailureType::Logical);
+    assert_eq!(cat.groups()[1].failure_type, FailureType::BadSector);
+    assert_eq!(cat.groups()[2].failure_type, FailureType::HeadWear);
+}
+
+#[test]
+fn unsupervised_grouping_matches_ground_truth() {
+    let (dataset, report) = analyzed();
+    let ari = report
+        .categorization
+        .ground_truth_agreement(&dataset, &report.failure_records)
+        .unwrap();
+    assert!(ari > 0.9, "ARI {ari}");
+}
+
+#[test]
+fn signature_forms_match_equations_3_4_6() {
+    let (_, report) = analyzed();
+    assert_eq!(report.degradation[0].dominant_form, SignatureForm::Quadratic);
+    assert_eq!(report.degradation[1].dominant_form, SignatureForm::Linear);
+    assert_eq!(report.degradation[2].dominant_form, SignatureForm::Cubic);
+}
+
+#[test]
+fn degradation_windows_are_ordered_like_the_paper() {
+    let (_, report) = analyzed();
+    let g1 = report.degradation[0].window_stats.1;
+    let g2 = report.degradation[1].window_stats.1;
+    let g3 = report.degradation[2].window_stats.1;
+    // Paper: d ≤ 12 for G1, d ≈ 377 for G2, d ∈ 10..24 for G3.
+    assert!(g1 < 20.0, "G1 mean window {g1}");
+    assert!(g2 > 100.0, "G2 mean window {g2}");
+    assert!(g3 > g1 && g3 < g2, "G3 mean window {g3}");
+}
+
+#[test]
+fn environmental_diagnoses_hold() {
+    let (_, report) = analyzed();
+    let tc = report.z_scores_of(Attribute::TemperatureCelsius).unwrap();
+    let poh = report.z_scores_of(Attribute::PowerOnHours).unwrap();
+    // Fig. 11: TC singles out Group 1 (hot logical failures).
+    assert_eq!(tc.most_separated_group(), Some(0));
+    // Fig. 12: POH singles out Group 3 (old head-failure drives).
+    assert_eq!(poh.most_separated_group(), Some(2));
+    // All groups hotter than good (negative TC z).
+    for g in 0..3 {
+        assert!(tc.mean_z(g).unwrap() < 0.0);
+    }
+}
+
+#[test]
+fn prediction_error_rates_beat_the_paper_bounds() {
+    let (_, report) = analyzed();
+    for g in &report.prediction.groups {
+        // Table III's worst row is 10.8%; synthetic data is cleaner, so
+        // anything under that bound reproduces the claim.
+        assert!(
+            g.error_rate <= 0.108 + 1e-9,
+            "group {} error rate {:.3}",
+            g.group_index + 1,
+            g.error_rate
+        );
+    }
+}
+
+#[test]
+fn centroid_degradation_has_valid_normalization() {
+    let (_, report) = analyzed();
+    for group in &report.degradation {
+        let centroid = &group.centroid;
+        assert_eq!(*centroid.degradation.last().unwrap(), -1.0);
+        assert!(centroid.degradation.iter().all(|&s| (-1.0..=1e-9).contains(&s)));
+        assert_eq!(centroid.times.len(), centroid.degradation.len());
+    }
+}
+
+#[test]
+fn influence_analysis_matches_figure_nine() {
+    let (_, report) = analyzed();
+    // Group 2's strongest correlations are RUE (positive) and R-RSC
+    // (negative).
+    let g2 = &report.attribute_influence[1];
+    let rue = g2.correlation_of(Attribute::ReportedUncorrectable).unwrap();
+    let rrsc = g2.correlation_of(Attribute::RawReallocatedSectors).unwrap();
+    assert!(rue > 0.8, "G2 RUE {rue}");
+    assert!(rrsc < -0.8, "G2 R-RSC {rrsc}");
+    // Groups 1 and 3: RRER strongly correlates.
+    for idx in [0usize, 2] {
+        let rrer = report.attribute_influence[idx]
+            .correlation_of(Attribute::RawReadErrorRate)
+            .unwrap();
+        assert!(rrer > 0.5, "G{} RRER {rrer}", idx + 1);
+    }
+}
+
+#[test]
+fn profile_censoring_matches_figure_one() {
+    let (_, report) = analyzed();
+    let d = &report.profile_durations;
+    assert!(d.fraction_over_10_days > 0.6, "{}", d.fraction_over_10_days);
+    assert!(
+        d.fraction_full_20_days > 0.35 && d.fraction_full_20_days < 0.7,
+        "{}",
+        d.fraction_full_20_days
+    );
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The `dds` façade must expose every crate.
+    let _ = dds::stats::SignatureForm::Linear;
+    let _ = dds::smartsim::Attribute::TemperatureCelsius;
+    let config = dds::cluster::KMeansConfig::new(2);
+    assert_eq!(config.k, 2);
+    let _ = dds::regtree::TreeConfig::default();
+    let _ = dds::core::AnalysisConfig::default();
+}

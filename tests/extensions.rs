@@ -1,0 +1,117 @@
+//! Integration tests for the extension surface: CSV I/O, lead-time
+//! evaluation, alternative clustering and prediction methods, and the
+//! consumer-fleet transfer check.
+
+use dds::prelude::*;
+use dds_cluster::hierarchical::{Dendrogram, Linkage};
+use dds_cluster::adjusted_rand_index;
+use dds_core::knn::KnnRegressor;
+use dds_core::leadtime::{detector_roc, lead_times, LeadTimeConfig};
+use dds_core::CategorizationConfig;
+use dds_smartsim::io::{read_csv, write_csv};
+
+fn config_without_svc() -> AnalysisConfig {
+    AnalysisConfig {
+        categorization: CategorizationConfig { run_svc: false, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn csv_roundtrip_preserves_analysis_results() {
+    let original = FleetSimulator::new(FleetConfig::test_scale().with_seed(5_005)).run();
+    let mut buffer = Vec::new();
+    write_csv(&original, &mut buffer).unwrap();
+    let loaded = read_csv(buffer.as_slice()).unwrap();
+
+    let a = Analysis::new(config_without_svc()).run(&original).unwrap();
+    let b = Analysis::new(config_without_svc()).run(&loaded).unwrap();
+    assert_eq!(a.categorization.num_groups(), b.categorization.num_groups());
+    assert_eq!(a.categorization.assignments(), b.categorization.assignments());
+    for (ga, gb) in a.degradation.iter().zip(&b.degradation) {
+        assert_eq!(ga.windows, gb.windows);
+        assert_eq!(ga.dominant_form, gb.dominant_form);
+    }
+}
+
+#[test]
+fn lead_times_track_degradation_windows() {
+    let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(5_006)).run();
+    let report = Analysis::new(config_without_svc()).run(&dataset).unwrap();
+    let leads = lead_times(
+        &dataset,
+        &report.categorization,
+        &report.prediction,
+        &LeadTimeConfig::default(),
+    )
+    .unwrap();
+    // Lead times per group are ordered like the degradation windows:
+    // G2 >> G3 > G1.
+    let lead = |g: usize| leads[g].median_lead_hours().unwrap_or(0.0);
+    assert!(lead(1) > lead(2), "G2 {} vs G3 {}", lead(1), lead(2));
+    assert!(lead(2) >= lead(0), "G3 {} vs G1 {}", lead(2), lead(0));
+}
+
+#[test]
+fn detector_roc_is_usable_from_facade() {
+    let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(5_007)).run();
+    let roc = detector_roc(&dataset, &[0.01, 0.1]).unwrap();
+    assert_eq!(roc.len(), 2);
+    assert!(roc[1].rank_sum.detection_rate >= roc[0].rank_sum.detection_rate);
+}
+
+#[test]
+fn hierarchical_clustering_agrees_with_kmeans_grouping() {
+    let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(5_008)).run();
+    let report = Analysis::new(config_without_svc()).run(&dataset).unwrap();
+    let points = report.failure_records.scaled_features().to_vec();
+    let dendrogram = Dendrogram::fit(&points, Linkage::Average).unwrap();
+    let labels = dendrogram.cut(3).unwrap();
+    let ari = adjusted_rand_index(report.categorization.assignments(), &labels).unwrap();
+    assert!(ari > 0.9, "hierarchical vs kmeans ARI {ari}");
+}
+
+#[test]
+fn knn_predicts_degradation_comparably_to_the_tree() {
+    let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(5_009)).run();
+    let report = Analysis::new(config_without_svc()).run(&dataset).unwrap();
+    // Label a few Group 2 records with the signature and check k-NN ranks
+    // them correctly (monotone in time-to-failure).
+    let group = &report.categorization.groups()[1];
+    let drive = dataset.drive(group.centroid_drive).unwrap();
+    let n = drive.records().len();
+    let xs: Vec<Vec<f64>> = drive
+        .records()
+        .iter()
+        .map(|r| dataset.normalize_record(r).to_vec())
+        .collect();
+    let signature = report.prediction.groups[1].signature;
+    let ys: Vec<f64> = (0..n)
+        .map(|i| signature.evaluate((n - 1 - i) as f64).clamp(-1.0, 1.0))
+        .collect();
+    let knn = KnnRegressor::fit(xs.clone(), ys, 5).unwrap();
+    let early = knn.predict(&xs[5]).unwrap();
+    let late = knn.predict(&xs[n - 5]).unwrap();
+    assert!(late < early, "late-life prediction {late} must be below early {early}");
+}
+
+#[test]
+fn consumer_fleet_transfers_without_retuning() {
+    let dataset =
+        FleetSimulator::new(FleetConfig::consumer_scale().with_seed(5_010)).run();
+    let report = Analysis::new(config_without_svc()).run(&dataset).unwrap();
+    assert_eq!(report.categorization.num_groups(), 3);
+    let ari = report
+        .categorization
+        .ground_truth_agreement(&dataset, &report.failure_records)
+        .unwrap();
+    assert!(ari > 0.9, "consumer-fleet ARI {ari}");
+    // The shifted mix is recovered: head failures are the plurality.
+    let fractions: Vec<f64> = report
+        .categorization
+        .groups()
+        .iter()
+        .map(|g| g.population_fraction)
+        .collect();
+    assert!((fractions[2] - 0.40).abs() < 0.1, "fractions {fractions:?}");
+}

@@ -1,0 +1,164 @@
+//! Property-based tests on the core invariants: Eq. (1) normalization,
+//! signature models, window extraction, clustering and tree behavior under
+//! arbitrary inputs.
+
+use dds_cluster::{KMeans, KMeansConfig};
+use dds_regtree::{RegressionTree, TreeConfig};
+use dds_stats::{
+    deciles, euclidean, quantile, BoxplotSummary, Histogram, MinMaxScaler, SignatureForm,
+    SignatureModel,
+};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6..1e6f64, len)
+}
+
+proptest! {
+    #[test]
+    fn normalization_roundtrips(rows in prop::collection::vec(finite_vec(4), 2..20)) {
+        let scaler = MinMaxScaler::fit(&rows).unwrap();
+        for row in &rows {
+            let t = scaler.transform_row(row).unwrap();
+            for (c, &norm) in t.iter().enumerate() {
+                // Values stay in [-1, 1] and invert back.
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&norm));
+                let back = scaler.inverse_value(c, norm);
+                let range = scaler.maxs()[c] - scaler.mins()[c];
+                if range > 0.0 {
+                    prop_assert!((back - row[c]).abs() < 1e-6 * range.max(1.0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(values in prop::collection::vec(-1e6..1e6f64, 1..64)) {
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = quantile(&values, i as f64 / 10.0).unwrap();
+            prop_assert!(q >= prev - 1e-9);
+            prev = q;
+        }
+        let d = deciles(&values).unwrap();
+        for w in d.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn euclidean_is_a_metric(
+        a in finite_vec(6),
+        b in finite_vec(6),
+        c in finite_vec(6),
+    ) {
+        let ab = euclidean(&a, &b).unwrap();
+        let ba = euclidean(&b, &a).unwrap();
+        let ac = euclidean(&a, &c).unwrap();
+        let cb = euclidean(&c, &b).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab >= 0.0);
+        prop_assert!(ab <= ac + cb + 1e-6 * (1.0 + ab));
+        prop_assert_eq!(euclidean(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn signature_models_are_monotone_and_bounded(
+        window in 1.0..500.0f64,
+        steps in 2usize..50,
+    ) {
+        for form in [SignatureForm::Linear, SignatureForm::Quadratic, SignatureForm::Cubic] {
+            let model = SignatureModel::new(form, window).unwrap();
+            let mut prev = model.evaluate(0.0);
+            prop_assert!((prev + 1.0).abs() < 1e-12);
+            for i in 1..=steps {
+                let t = window * i as f64 / steps as f64;
+                let s = model.evaluate(t);
+                prop_assert!(s >= prev - 1e-12, "{form}: s must rise with t");
+                prop_assert!((-1.0..=1e-9).contains(&s));
+                prev = s;
+                // Inverse agrees.
+                let back = model.time_before_failure(s).unwrap();
+                prop_assert!((back - t).abs() < 1e-6 * window);
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_assignments_are_nearest_centroid(
+        points in prop::collection::vec(finite_vec(3), 6..40),
+        k in 1usize..5,
+    ) {
+        prop_assume!(points.len() >= k);
+        let result = KMeans::new(KMeansConfig::new(k).with_seed(9)).fit(&points).unwrap();
+        for (p, &a) in points.iter().zip(result.assignments()) {
+            let own = euclidean(p, &result.centroids()[a]).unwrap();
+            for centroid in result.centroids() {
+                let other = euclidean(p, centroid).unwrap();
+                prop_assert!(own <= other + 1e-9);
+            }
+        }
+        prop_assert_eq!(result.cluster_sizes().iter().sum::<usize>(), points.len());
+    }
+
+    #[test]
+    fn regression_tree_predictions_stay_in_target_hull(
+        ys in prop::collection::vec(-100.0..100.0f64, 10..80),
+    ) {
+        let xs: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+        let config = TreeConfig::default().with_min_samples_split(2).with_min_samples_leaf(1);
+        let tree = RegressionTree::fit(&xs, &ys, &config).unwrap();
+        let lo = ys.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for x in &xs {
+            let p = tree.predict(x);
+            prop_assert!((lo - 1e-9..=hi + 1e-9).contains(&p));
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_counts(values in prop::collection::vec(-10.0..110.0f64, 0..200)) {
+        let h = Histogram::from_values(0.0, 100.0, 10, &values).unwrap();
+        let binned: u64 = h.counts().iter().sum();
+        prop_assert_eq!(binned + h.out_of_range(), h.total());
+        prop_assert_eq!(h.total() as usize, values.len());
+    }
+
+    #[test]
+    fn boxplot_invariants(values in prop::collection::vec(-1e4..1e4f64, 1..128)) {
+        let b = BoxplotSummary::from_values(&values).unwrap();
+        prop_assert!(b.min <= b.q1 && b.q1 <= b.median);
+        prop_assert!(b.median <= b.q3 && b.q3 <= b.max);
+        prop_assert!(b.lower_whisker >= b.min && b.upper_whisker <= b.max);
+        prop_assert!(b.iqr() >= 0.0);
+        prop_assert_eq!(b.count, values.len());
+        // Outliers are genuinely outside the whiskers.
+        for &o in &b.outliers {
+            prop_assert!(o < b.lower_whisker || o > b.upper_whisker);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn window_extraction_is_bounded_and_normalized(seed in 0u64..500) {
+        use dds_core::degradation::DegradationAnalyzer;
+        use dds_smartsim::{FleetConfig, FleetSimulator};
+        let config = FleetConfig::test_scale()
+            .with_good_drives(10)
+            .with_failed_drives(6)
+            .with_seed(seed);
+        let dataset = FleetSimulator::new(config).run();
+        let analyzer = DegradationAnalyzer::default();
+        for drive in dataset.failed_drives() {
+            let a = analyzer.analyze_drive(&dataset, drive).unwrap();
+            prop_assert!(a.window_hours >= 1);
+            prop_assert!(a.window_hours < drive.records().len());
+            prop_assert_eq!(*a.degradation.last().unwrap(), -1.0);
+            prop_assert!(a.degradation.iter().all(|&s| (-1.0..=1e-9).contains(&s)));
+            prop_assert!(a.best_rmse.is_finite());
+        }
+    }
+}
