@@ -27,8 +27,7 @@ fn bench_distance_choice(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_distance");
     group.bench_function("euclidean_curve", |b| {
         b.iter(|| {
-            let curve: Vec<f64> =
-                matrix.iter().map(|r| euclidean(r, &failure).unwrap()).collect();
+            let curve: Vec<f64> = matrix.iter().map(|r| euclidean(r, &failure).unwrap()).collect();
             black_box(curve)
         })
     });
@@ -44,10 +43,7 @@ fn bench_distance_choice(c: &mut Criterion) {
 
 fn bench_smoothing_choice(c: &mut Criterion) {
     let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(19)).run();
-    let drive = dataset
-        .failed_drives()
-        .max_by_key(|d| d.profile_hours())
-        .unwrap();
+    let drive = dataset.failed_drives().max_by_key(|d| d.profile_hours()).unwrap();
     let mut group = c.benchmark_group("ablation_smoothing");
     for window in [1usize, 3, 7] {
         let config = DegradationConfig { smoothing_window: window, ..Default::default() };

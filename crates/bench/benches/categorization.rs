@@ -6,6 +6,7 @@ use dds_cluster::{KMeans, KMeansConfig, Svc, SvcConfig};
 use dds_core::categorize::{CategorizationConfig, Categorizer};
 use dds_core::features::FailureRecordSet;
 use dds_smartsim::{FleetConfig, FleetSimulator};
+use dds_stats::Parallelism;
 use std::hint::black_box;
 
 fn bench_categorization(c: &mut Criterion) {
@@ -17,11 +18,19 @@ fn bench_categorization(c: &mut Criterion) {
     group.bench_function("feature_extraction_60_drives", |b| {
         b.iter(|| black_box(FailureRecordSet::extract(&dataset, 24).unwrap()))
     });
-    group.bench_function("kmeans_k3_60x30", |b| {
-        b.iter(|| {
-            black_box(KMeans::new(KMeansConfig::new(3).with_seed(7)).fit(&points).unwrap())
-        })
-    });
+    // Identical clustering in every mode (fixed-order reductions); the
+    // variants expose restart-level parallelism.
+    for (mode_label, mode) in [("seq", Parallelism::Sequential), ("par", Parallelism::Auto)] {
+        group.bench_function(&format!("kmeans_k3_60x30/{mode_label}"), |b| {
+            b.iter(|| {
+                black_box(
+                    KMeans::new(KMeansConfig::new(3).with_seed(7).with_parallelism(mode))
+                        .fit(&points)
+                        .unwrap(),
+                )
+            })
+        });
+    }
     group.bench_function("svc_60x30", |b| {
         b.iter(|| black_box(Svc::new(SvcConfig::new().with_seed(7)).fit(&points).unwrap()))
     });

@@ -1,22 +1,28 @@
 //! Benchmark of the complete end-to-end analysis (all figures and tables)
 //! on a test-scale fleet.
 use criterion::{criterion_group, criterion_main, Criterion};
-use dds_core::{Analysis, AnalysisConfig};
 use dds_core::categorize::CategorizationConfig;
+use dds_core::{Analysis, AnalysisConfig};
 use dds_smartsim::{FleetConfig, FleetSimulator};
+use dds_stats::Parallelism;
 use std::hint::black_box;
 
 fn bench_pipeline(c: &mut Criterion) {
     let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(17)).run();
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10);
-    group.bench_function("full_analysis_test_scale", |b| {
-        let config = AnalysisConfig {
-            categorization: CategorizationConfig { run_svc: false, ..Default::default() },
-            ..Default::default()
-        };
-        b.iter(|| black_box(Analysis::new(config.clone()).run(&dataset).unwrap()))
-    });
+    // The analysis report is identical in every mode; the variants measure
+    // the stage-level fan-out of `Analysis::run`.
+    for (mode_label, mode) in [("seq", Parallelism::Sequential), ("par", Parallelism::Auto)] {
+        group.bench_function(&format!("full_analysis_test_scale/{mode_label}"), |b| {
+            let config = AnalysisConfig {
+                categorization: CategorizationConfig { run_svc: false, ..Default::default() },
+                ..Default::default()
+            }
+            .with_parallelism(mode);
+            b.iter(|| black_box(Analysis::new(config.clone()).run(&dataset).unwrap()))
+        });
+    }
     group.bench_function("full_analysis_with_svc", |b| {
         b.iter(|| black_box(Analysis::new(AnalysisConfig::default()).run(&dataset).unwrap()))
     });

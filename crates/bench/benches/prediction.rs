@@ -10,6 +10,7 @@ use dds_core::predict::{
     MahalanobisConfig, RankSumConfig, ThresholdPolicy,
 };
 use dds_smartsim::{FleetConfig, FleetSimulator};
+use dds_stats::Parallelism;
 use std::hint::black_box;
 
 fn bench_prediction(c: &mut Criterion) {
@@ -23,13 +24,21 @@ fn bench_prediction(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("prediction");
     group.sample_size(10);
-    group.bench_function("train_three_group_trees", |b| {
-        b.iter(|| {
-            black_box(
-                DegradationPredictor::default().train(&dataset, &cat, &degradation).unwrap(),
-            )
-        })
-    });
+    // Tree training is deterministic across modes (index-ordered split
+    // folds); the variants expose the parallel split search.
+    for (mode_label, mode) in [("seq", Parallelism::Sequential), ("par", Parallelism::Auto)] {
+        group.bench_function(&format!("train_three_group_trees/{mode_label}"), |b| {
+            let mut config = dds_core::predict::PredictionConfig::default();
+            config.tree.parallelism = mode;
+            b.iter(|| {
+                black_box(
+                    DegradationPredictor::new(config.clone())
+                        .train(&dataset, &cat, &degradation)
+                        .unwrap(),
+                )
+            })
+        });
+    }
     let report = DegradationPredictor::default().train(&dataset, &cat, &degradation).unwrap();
     let record = dataset
         .normalize_record(dataset.failed_drives().next().unwrap().records().last().unwrap())
@@ -37,6 +46,18 @@ fn bench_prediction(c: &mut Criterion) {
     group.bench_function("tree_inference", |b| {
         b.iter(|| black_box(report.groups[0].predict(&record)))
     });
+    // Batch inference over every failed-drive record; the tree carries the
+    // parallelism mode it was trained with.
+    let batch: Vec<&[f64]> = vec![record.as_slice(); 8_192];
+    for (mode_label, mode) in [("seq", Parallelism::Sequential), ("par", Parallelism::Auto)] {
+        let mut config = dds_core::predict::PredictionConfig::default();
+        config.tree.parallelism = mode;
+        let trained =
+            DegradationPredictor::new(config).train(&dataset, &cat, &degradation).unwrap();
+        group.bench_function(&format!("tree_batch_inference_8k/{mode_label}"), |b| {
+            b.iter(|| black_box(trained.groups[0].tree.predict_batch_ref(&batch)))
+        });
+    }
     group.bench_function("threshold_detector_fleet", |b| {
         b.iter(|| black_box(threshold_detector(&dataset, &ThresholdPolicy::vendor_conservative())))
     });
@@ -44,9 +65,7 @@ fn bench_prediction(c: &mut Criterion) {
         b.iter(|| black_box(rank_sum_detector(&dataset, &RankSumConfig::default()).unwrap()))
     });
     group.bench_function("mahalanobis_detector_fleet", |b| {
-        b.iter(|| {
-            black_box(mahalanobis_detector(&dataset, &MahalanobisConfig::default()).unwrap())
-        })
+        b.iter(|| black_box(mahalanobis_detector(&dataset, &MahalanobisConfig::default()).unwrap()))
     });
     // k-NN inference on a realistic training-set size.
     let train_x: Vec<Vec<f64>> = dataset

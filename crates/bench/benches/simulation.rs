@@ -4,6 +4,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 use dds_smartsim::drive::{AnomalyLevels, DriveState, HourlyStress};
 use dds_smartsim::io::{read_csv, write_csv};
 use dds_smartsim::{Environment, FleetConfig, FleetSimulator};
+use dds_stats::Parallelism;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -38,13 +39,18 @@ fn bench_fleet(c: &mut Criterion) {
             ds.num_records() as u64
         };
         group.throughput(Throughput::Elements(records));
-        group.bench_function(label, |b| {
-            b.iter_batched(
-                || FleetSimulator::new(config.clone().with_seed(3)),
-                |sim| black_box(sim.run()),
-                BatchSize::LargeInput,
-            );
-        });
+        // Sequential vs parallel generation produce identical datasets
+        // (per-drive RNG streams), so the variants measure pure execution
+        // overhead/speedup.
+        for (mode_label, mode) in [("seq", Parallelism::Sequential), ("par", Parallelism::Auto)] {
+            group.bench_function(&format!("{label}/{mode_label}"), |b| {
+                b.iter_batched(
+                    || FleetSimulator::new(config.clone().with_seed(3).with_parallelism(mode)),
+                    |sim| black_box(sim.run()),
+                    BatchSize::LargeInput,
+                );
+            });
+        }
     }
     group.finish();
 }
@@ -65,9 +71,7 @@ fn bench_csv(c: &mut Criterion) {
             black_box(out)
         })
     });
-    group.bench_function("read", |b| {
-        b.iter(|| black_box(read_csv(buffer.as_slice()).unwrap()))
-    });
+    group.bench_function("read", |b| b.iter(|| black_box(read_csv(buffer.as_slice()).unwrap())));
     group.finish();
 }
 

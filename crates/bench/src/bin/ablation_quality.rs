@@ -9,7 +9,7 @@ use dds_bench::{section, simulate, Scale};
 use dds_cluster::{adjusted_rand_index, KMeans, KMeansConfig};
 use dds_core::degradation::{DegradationAnalyzer, DegradationConfig};
 use dds_core::features::FailureRecordSet;
-use dds_smartsim::{FailureMode,dataset::Dataset};
+use dds_smartsim::{dataset::Dataset, FailureMode};
 use dds_stats::correlation::covariance_matrix;
 use dds_stats::MahalanobisMetric;
 
@@ -70,8 +70,7 @@ fn main() {
     let metric = MahalanobisMetric::new(&cov).unwrap();
     let euclid: Vec<f64> =
         matrix.iter().map(|r| dds_stats::euclidean(r, &failure).unwrap()).collect();
-    let mahal: Vec<f64> =
-        matrix.iter().map(|r| metric.distance(r, &failure).unwrap()).collect();
+    let mahal: Vec<f64> = matrix.iter().map(|r| metric.distance(r, &failure).unwrap()).collect();
     // In the low-distance regime (the final quarter before failure) a
     // usable metric must still *shrink monotonically*: measure the rank
     // correlation between hours-to-failure and distance there.
@@ -87,10 +86,7 @@ fn main() {
     println!("   lower Mahalanobis distances are all the same')");
 
     section("Ablation 3 — window-extraction smoothing / trim sensitivity");
-    println!(
-        "  {:<26} {:>10} {:>10} {:>10}",
-        "setting", "G1 mean d", "G2 mean d", "G3 mean d"
-    );
+    println!("  {:<26} {:>10} {:>10} {:>10}", "setting", "G1 mean d", "G2 mean d", "G3 mean d");
     let variants: Vec<(String, DegradationConfig)> = vec![
         ("no smoothing".into(), DegradationConfig { smoothing_window: 1, ..Default::default() }),
         ("smoothing 3 (default)".into(), DegradationConfig::default()),
@@ -113,10 +109,7 @@ fn main() {
         for (m, c) in means.iter_mut().zip(counts) {
             *m /= c.max(1) as f64;
         }
-        println!(
-            "  {label:<26} {:>10.1} {:>10.1} {:>10.1}",
-            means[0], means[1], means[2]
-        );
+        println!("  {label:<26} {:>10.1} {:>10.1} {:>10.1}", means[0], means[1], means[2]);
     }
     println!("  (paper: G1 ≤ 12 h, G2 ≈ 377 h, G3 ∈ 10..24 h)");
 }

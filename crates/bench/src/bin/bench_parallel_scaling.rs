@@ -1,0 +1,116 @@
+//! Parallel-scaling measurement: times the parallelizable stages under a
+//! sweep of thread counts and emits a machine-readable
+//! `BENCH_parallel.json` so the perf trajectory can be tracked across PRs.
+//!
+//! Usage: `cargo run --release -p dds-bench --bin bench_parallel_scaling
+//! [--test-scale | --paper-scale] [--out PATH]`
+//!
+//! Every stage produces identical results in every mode (see
+//! `dds_stats::par`), so the rows measure pure execution time. The JSON
+//! records the host's core count — wall-clock ratios are only meaningful
+//! relative to it.
+
+use dds_bench::{Scale, EXPERIMENT_SEED};
+use dds_core::categorize::{CategorizationConfig, Categorizer};
+use dds_core::features::FailureRecordSet;
+use dds_core::{Analysis, AnalysisConfig};
+use dds_smartsim::FleetSimulator;
+use dds_stats::Parallelism;
+use std::time::Instant;
+
+struct Row {
+    stage: &'static str,
+    threads: usize,
+    wall_ms: f64,
+}
+
+fn time_ms(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1_000.0
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_parallel.json".to_string())
+    };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut thread_counts = vec![1usize, 2, 4];
+    if !thread_counts.contains(&cores) {
+        thread_counts.push(cores);
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &threads in &thread_counts {
+        // 1 maps to Sequential — the no-thread-pool reference path.
+        let par = Parallelism::from_thread_count(threads);
+        eprintln!("[bench_parallel_scaling] threads = {threads} ({par:?})");
+
+        let config = scale.fleet_config().with_seed(EXPERIMENT_SEED).with_parallelism(par);
+        let mut dataset = None;
+        rows.push(Row {
+            stage: "fleet_generation",
+            threads,
+            wall_ms: time_ms(|| dataset = Some(FleetSimulator::new(config).run())),
+        });
+        let dataset = dataset.expect("simulated");
+
+        let records = FailureRecordSet::extract(&dataset, 24).expect("features");
+        let mut cat_config = CategorizationConfig { run_svc: false, ..Default::default() };
+        cat_config.parallelism = par;
+        rows.push(Row {
+            stage: "categorization",
+            threads,
+            wall_ms: time_ms(|| {
+                Categorizer::new(cat_config.clone())
+                    .categorize(&dataset, &records)
+                    .expect("categorize");
+            }),
+        });
+
+        let analysis_config = AnalysisConfig {
+            categorization: CategorizationConfig { run_svc: false, ..Default::default() },
+            ..Default::default()
+        }
+        .with_parallelism(par);
+        rows.push(Row {
+            stage: "full_analysis",
+            threads,
+            wall_ms: time_ms(|| {
+                Analysis::new(analysis_config).run(&dataset).expect("analysis");
+            }),
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"scale\": \"{}\",\n  \"seed\": {},\n  \"cores\": {},\n  \"stages\": [\n",
+        match scale {
+            Scale::Test => "test",
+            Scale::Bench => "bench",
+            Scale::Paper => "paper",
+        },
+        EXPERIMENT_SEED,
+        cores
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"stage\": \"{}\", \"threads\": {}, \"wall_ms\": {:.1}}}{}\n",
+            row.stage,
+            row.threads,
+            row.wall_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_parallel.json");
+    eprintln!("[bench_parallel_scaling] wrote {out_path}");
+    print!("{json}");
+}

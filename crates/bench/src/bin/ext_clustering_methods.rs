@@ -40,10 +40,7 @@ fn main() {
     let dendrogram = Dendrogram::fit(&points, Linkage::Average).expect("dendrogram");
     let hier_labels = dendrogram.cut(3).expect("cut");
 
-    println!(
-        "  {:<28} {:>12} {:>12} {:>12}",
-        "method", "ARI truth", "ARI kmeans", "silhouette"
-    );
+    println!("  {:<28} {:>12} {:>12} {:>12}", "method", "ARI truth", "ARI kmeans", "silhouette");
     for (name, labels) in [
         ("k-means++ (paper)", &km_labels),
         ("support vector clustering", &svc_labels),

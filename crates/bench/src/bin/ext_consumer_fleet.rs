@@ -3,8 +3,8 @@
 //! mix — to check that the techniques are "generic and applicable to other
 //! storage systems".
 use dds_bench::{section, EXPERIMENT_SEED};
-use dds_core::{Analysis, AnalysisConfig};
 use dds_core::report;
+use dds_core::{Analysis, AnalysisConfig};
 use dds_smartsim::{FleetConfig, FleetSimulator};
 
 fn main() {

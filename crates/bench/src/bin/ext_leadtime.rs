@@ -15,10 +15,7 @@ fn main() {
         &LeadTimeConfig::default(),
     )
     .expect("lead-time replay");
-    println!(
-        "  {:<8} {:>10} {:>14} {:>14}",
-        "group", "detected", "median lead", "mean lead"
-    );
+    println!("  {:<8} {:>10} {:>14} {:>14}", "group", "detected", "median lead", "mean lead");
     for g in &leads {
         println!(
             "  Group {} {:>9.1}% {:>12.0} h {:>12.0} h",

@@ -10,16 +10,13 @@ use dds_smartsim::{FailureMode, FleetSimulator};
 fn main() {
     let scale = Scale::from_args();
     eprintln!("[dds] training on {} ...", scale.label());
-    let training =
-        FleetSimulator::new(scale.fleet_config().with_seed(EXPERIMENT_SEED)).run();
-    let report = Analysis::new(AnalysisConfig::default())
-        .run(&training)
-        .expect("training analysis");
+    let training = FleetSimulator::new(scale.fleet_config().with_seed(EXPERIMENT_SEED)).run();
+    let report =
+        Analysis::new(AnalysisConfig::default()).run(&training).expect("training analysis");
     let bundle = ModelBundle::from_analysis(&training, &report);
 
     eprintln!("[dds] monitoring a fresh fleet ...");
-    let live =
-        FleetSimulator::new(scale.fleet_config().with_seed(EXPERIMENT_SEED ^ 0xFF)).run();
+    let live = FleetSimulator::new(scale.fleet_config().with_seed(EXPERIMENT_SEED ^ 0xFF)).run();
     let mut monitor = FleetMonitor::new(bundle, MonitorConfig::default());
 
     section("Extension — streaming monitor, cross-fleet evaluation");

@@ -23,9 +23,8 @@ fn main() {
     for group in report.categorization.groups() {
         let summary = &report.degradation[group.index];
         let signature = report.prediction.groups[group.index].signature;
-        let (xs, ys) = predictor
-            .assemble_samples(&dataset, group, &signature, &mut rng)
-            .expect("samples");
+        let (xs, ys) =
+            predictor.assemble_samples(&dataset, group, &signature, &mut rng).expect("samples");
         let _ = summary;
         // Same 70/30 split for every method.
         let mut order: Vec<usize> = (0..xs.len()).collect();

@@ -23,7 +23,9 @@ fn main() {
     for attr in [Attribute::CurrentPendingSectors, Attribute::SeekErrorRate] {
         println!("  small-variation example  {:<6} {:.3}", attr.symbol(), spread(attr));
     }
-    for attr in [Attribute::RawReallocatedSectors, Attribute::PowerOnHours, Attribute::TemperatureCelsius] {
+    for attr in
+        [Attribute::RawReallocatedSectors, Attribute::PowerOnHours, Attribute::TemperatureCelsius]
+    {
         println!("  large-variation example  {:<6} {:.3}", attr.symbol(), spread(attr));
     }
 }

@@ -11,6 +11,11 @@ fn main() {
     let sizes: Vec<usize> = report.categorization.groups().iter().map(|g| g.size()).collect();
     let paper = [258.0, 33.0, 142.0];
     for (i, &s) in sizes.iter().enumerate() {
-        compare(&format!("Group {} size", i + 1), s as f64, paper.get(i).copied().unwrap_or(0.0), "");
+        compare(
+            &format!("Group {} size", i + 1),
+            s as f64,
+            paper.get(i).copied().unwrap_or(0.0),
+            "",
+        );
     }
 }

@@ -12,8 +12,7 @@ fn main() {
         println!();
     }
     println!("Paper-vs-measured signature selection:");
-    let paper_forms =
-        [SignatureForm::Quadratic, SignatureForm::Linear, SignatureForm::Cubic];
+    let paper_forms = [SignatureForm::Quadratic, SignatureForm::Linear, SignatureForm::Cubic];
     let paper_windows = [3.0, 377.0, 12.0];
     for group in &report.degradation {
         let i = group.group_index;
@@ -32,7 +31,12 @@ fn main() {
         g1.mean_rmse_by_form.iter().find(|(f, _)| *f == form).map(|&(_, r)| r).unwrap_or(f64::NAN)
     };
     println!("\nGroup 1 model comparison (group mean RMSE):");
-    compare("Eq. (2)  t^2/d^2 - t/(3d) - 1", rmse_of(SignatureForm::QuadraticWithLinearTerm), 0.24, "");
+    compare(
+        "Eq. (2)  t^2/d^2 - t/(3d) - 1",
+        rmse_of(SignatureForm::QuadraticWithLinearTerm),
+        0.24,
+        "",
+    );
     compare("first-order  t/d - 1", rmse_of(SignatureForm::Linear), 0.14, "");
     compare("revised  t^2/d^2 - 1", rmse_of(SignatureForm::Quadratic), 0.06, "");
 }

@@ -3,18 +3,25 @@ use dds_core::degradation::DegradationAnalyzer;
 use dds_smartsim::{FailureMode, FleetConfig, FleetSimulator};
 
 fn main() {
-    let ds = FleetSimulator::new(FleetConfig::test_scale().with_failed_drives(90).with_seed(7)).run();
+    let ds =
+        FleetSimulator::new(FleetConfig::test_scale().with_failed_drives(90).with_seed(7)).run();
     let analyzer = DegradationAnalyzer::default();
     for mode in [FailureMode::Logical, FailureMode::HeadWear] {
         let mut shown = 0;
         for drive in ds.failed_drives() {
-            if drive.label().failure_mode() != Some(mode) || shown >= 3 { continue; }
+            if drive.label().failure_mode() != Some(mode) || shown >= 3 {
+                continue;
+            }
             let a = analyzer.analyze_drive(&ds, drive).unwrap();
             shown += 1;
-            println!("--- {mode} {} d={} rmse={:?}", drive.id(), a.window_hours,
-                a.model_rmse.iter().map(|(f,r)| format!("{f}:{r:.3}")).collect::<Vec<_>>());
-            let vals: Vec<String> = a.times.iter().zip(&a.degradation)
-                .map(|(t,s)| format!("{t:.0}:{s:.2}")).collect();
+            println!(
+                "--- {mode} {} d={} rmse={:?}",
+                drive.id(),
+                a.window_hours,
+                a.model_rmse.iter().map(|(f, r)| format!("{f}:{r:.3}")).collect::<Vec<_>>()
+            );
+            let vals: Vec<String> =
+                a.times.iter().zip(&a.degradation).map(|(t, s)| format!("{t:.0}:{s:.2}")).collect();
             println!("    curve {}", vals.join(" "));
         }
     }

@@ -6,8 +6,8 @@ use dds_core::degradation::{DegradationAnalyzer, DegradationConfig};
 use dds_smartsim::{FailureMode, FleetConfig, FleetSimulator};
 
 fn main() {
-    let ds = FleetSimulator::new(FleetConfig::test_scale().with_failed_drives(90).with_seed(7))
-        .run();
+    let ds =
+        FleetSimulator::new(FleetConfig::test_scale().with_failed_drives(90).with_seed(7)).run();
     let analyzer = DegradationAnalyzer::new(DegradationConfig::default());
     for mode in FailureMode::ALL {
         let mut windows = Vec::new();
@@ -23,7 +23,12 @@ fn main() {
         windows.sort_unstable();
         let ws: Vec<usize> = windows.iter().map(|w| w.0).collect();
         let mean = ws.iter().sum::<usize>() as f64 / ws.len() as f64;
-        println!("{mode}: n={} windows min={} mean={mean:.1} max={}", ws.len(), ws[0], ws[ws.len()-1]);
+        println!(
+            "{mode}: n={} windows min={} mean={mean:.1} max={}",
+            ws.len(),
+            ws[0],
+            ws[ws.len() - 1]
+        );
         println!("  windows: {ws:?}");
         println!("  votes: {votes:?}");
     }

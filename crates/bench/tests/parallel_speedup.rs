@@ -1,0 +1,39 @@
+//! End-to-end speedup assertion, ignored by default: wall-clock work, so
+//! it only runs when asked for explicitly (`cargo test -p dds-bench --
+//! --ignored`) and only asserts on multi-core hosts.
+
+use dds_bench::EXPERIMENT_SEED;
+use dds_smartsim::{FleetConfig, FleetSimulator};
+use dds_stats::Parallelism;
+use std::time::Instant;
+
+fn fleet_wall(parallelism: Parallelism) -> f64 {
+    let config =
+        FleetConfig::bench_scale().with_seed(EXPERIMENT_SEED).with_parallelism(parallelism);
+    let start = Instant::now();
+    let dataset = FleetSimulator::new(config).run();
+    let wall = start.elapsed().as_secs_f64();
+    assert!(dataset.num_records() > 0);
+    wall
+}
+
+#[test]
+#[ignore = "wall-clock benchmark; run with --ignored on a multi-core host"]
+fn parallel_fleet_generation_is_not_slower_at_bench_scale() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores < 2 {
+        eprintln!("skipping speedup assertion: {cores} core(s) available");
+        return;
+    }
+    // Warm-up run so allocator/page-cache effects hit both variants evenly.
+    fleet_wall(Parallelism::Sequential);
+    let sequential = fleet_wall(Parallelism::Sequential);
+    let parallel = fleet_wall(Parallelism::Threads(cores.min(4)));
+    eprintln!("sequential {sequential:.2}s, parallel {parallel:.2}s ({cores} cores)");
+    // With ≥2 cores the drive-level fan-out must at least break even; the
+    // 5% allowance absorbs timer noise on loaded CI hosts.
+    assert!(
+        parallel <= sequential * 1.05,
+        "parallel generation slower than sequential: {parallel:.2}s vs {sequential:.2}s"
+    );
+}

@@ -20,6 +20,7 @@ use dds_core::{report, Analysis, AnalysisConfig};
 use dds_monitor::{FleetMonitor, ModelBundle, MonitorConfig, Severity};
 use dds_smartsim::io::{read_csv, write_csv};
 use dds_smartsim::{Dataset, FleetConfig, FleetSimulator};
+use dds_stats::par::Parallelism;
 use std::error::Error;
 use std::fmt;
 use std::fs::File;
@@ -55,6 +56,8 @@ pub enum Command {
         seed: u64,
         /// Output CSV path.
         out: PathBuf,
+        /// Worker threads (0 = all cores, 1 = sequential).
+        threads: usize,
     },
     /// `dds analyze`: run the full paper analysis on a CSV dataset.
     Analyze {
@@ -64,6 +67,8 @@ pub enum Command {
         full_report: bool,
         /// Force a cluster count instead of the elbow choice.
         k: Option<usize>,
+        /// Worker threads (0 = all cores, 1 = sequential).
+        threads: usize,
     },
     /// `dds monitor`: train on one CSV fleet, stream another through the
     /// monitor.
@@ -74,6 +79,8 @@ pub enum Command {
         live: PathBuf,
         /// Maximum alerts to print.
         limit: usize,
+        /// Worker threads (0 = all cores, 1 = sequential).
+        threads: usize,
     },
     /// `dds help` or `--help`.
     Help,
@@ -84,11 +91,18 @@ pub const USAGE: &str = "\
 dds — disk degradation signatures (IISWC 2015 reproduction)
 
 USAGE:
-  dds simulate --out <fleet.csv> [--scale test|bench|consumer|paper] [--seed N]
-  dds analyze <fleet.csv> [--full-report] [--k N]
-  dds monitor --train <fleet.csv> --live <fleet.csv> [--limit N]
+  dds simulate --out <fleet.csv> [--scale test|bench|consumer|paper] [--seed N] [--threads N]
+  dds analyze <fleet.csv> [--full-report] [--k N] [--threads N]
+  dds monitor --train <fleet.csv> --live <fleet.csv> [--limit N] [--threads N]
   dds help
+
+Every subcommand accepts --threads N: 0 (the default) uses all cores,
+1 forces sequential execution; results are identical either way.
 ";
+
+fn parse_threads(raw: &str) -> Result<usize, Box<dyn Error>> {
+    raw.parse().map_err(|_| CliError::boxed(format!("invalid thread count {raw:?}")))
+}
 
 fn take_value(args: &mut std::vec::IntoIter<String>, flag: &str) -> Result<String, Box<dyn Error>> {
     args.next().ok_or_else(|| CliError::boxed(format!("{flag} needs a value")))
@@ -110,16 +124,17 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
             let mut scale = "bench".to_string();
             let mut seed = 0x2015_115Cu64;
             let mut out: Option<PathBuf> = None;
+            let mut threads = 0usize;
             while let Some(arg) = iter.next() {
                 match arg.as_str() {
                     "--scale" => scale = take_value(&mut iter, "--scale")?,
                     "--seed" => {
                         let raw = take_value(&mut iter, "--seed")?;
-                        seed = raw
-                            .parse()
-                            .map_err(|_| CliError(format!("invalid seed {raw:?}")))?;
+                        seed =
+                            raw.parse().map_err(|_| CliError(format!("invalid seed {raw:?}")))?;
                     }
                     "--out" => out = Some(PathBuf::from(take_value(&mut iter, "--out")?)),
+                    "--threads" => threads = parse_threads(&take_value(&mut iter, "--threads")?)?,
                     other => return Err(CliError::boxed(format!("unknown flag {other:?}"))),
                 }
             }
@@ -129,12 +144,13 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
                     "unknown scale {scale:?} (expected test, bench, consumer or paper)"
                 )));
             }
-            Ok(Command::Simulate { scale, seed, out })
+            Ok(Command::Simulate { scale, seed, out, threads })
         }
         "analyze" => {
             let mut input: Option<PathBuf> = None;
             let mut full_report = false;
             let mut k = None;
+            let mut threads = 0usize;
             while let Some(arg) = iter.next() {
                 match arg.as_str() {
                     "--full-report" => full_report = true,
@@ -145,6 +161,7 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
                                 .map_err(|_| CliError(format!("invalid cluster count {raw:?}")))?,
                         );
                     }
+                    "--threads" => threads = parse_threads(&take_value(&mut iter, "--threads")?)?,
                     other if !other.starts_with('-') && input.is_none() => {
                         input = Some(PathBuf::from(other));
                     }
@@ -153,28 +170,29 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
             }
             let input =
                 input.ok_or_else(|| CliError::boxed("analyze requires an input CSV path"))?;
-            Ok(Command::Analyze { input, full_report, k })
+            Ok(Command::Analyze { input, full_report, k, threads })
         }
         "monitor" => {
             let mut train: Option<PathBuf> = None;
             let mut live: Option<PathBuf> = None;
             let mut limit = 20usize;
+            let mut threads = 0usize;
             while let Some(arg) = iter.next() {
                 match arg.as_str() {
                     "--train" => train = Some(PathBuf::from(take_value(&mut iter, "--train")?)),
                     "--live" => live = Some(PathBuf::from(take_value(&mut iter, "--live")?)),
                     "--limit" => {
                         let raw = take_value(&mut iter, "--limit")?;
-                        limit = raw
-                            .parse()
-                            .map_err(|_| CliError(format!("invalid limit {raw:?}")))?;
+                        limit =
+                            raw.parse().map_err(|_| CliError(format!("invalid limit {raw:?}")))?;
                     }
+                    "--threads" => threads = parse_threads(&take_value(&mut iter, "--threads")?)?,
                     other => return Err(CliError::boxed(format!("unknown flag {other:?}"))),
                 }
             }
             let train = train.ok_or_else(|| CliError::boxed("monitor requires --train <path>"))?;
             let live = live.ok_or_else(|| CliError::boxed("monitor requires --live <path>"))?;
-            Ok(Command::Monitor { train, live, limit })
+            Ok(Command::Monitor { train, live, limit, threads })
         }
         other => Err(CliError::boxed(format!("unknown subcommand {other:?}; try `dds help`"))),
     }
@@ -190,14 +208,15 @@ fn fleet_config(scale: &str) -> FleetConfig {
 }
 
 fn load(path: &PathBuf) -> Result<Dataset, Box<dyn Error>> {
-    let file = File::open(path)
-        .map_err(|e| CliError(format!("cannot open {}: {e}", path.display())))?;
+    let file =
+        File::open(path).map_err(|e| CliError(format!("cannot open {}: {e}", path.display())))?;
     Ok(read_csv(file)?)
 }
 
-fn analysis_config(k: Option<usize>) -> AnalysisConfig {
+fn analysis_config(k: Option<usize>, threads: usize) -> AnalysisConfig {
     AnalysisConfig {
         categorization: CategorizationConfig { fixed_k: k, ..Default::default() },
+        parallelism: Parallelism::from_thread_count(threads),
         ..Default::default()
     }
 }
@@ -210,9 +229,11 @@ fn analysis_config(k: Option<usize>) -> AnalysisConfig {
 pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
     match command {
         Command::Help => Ok(USAGE.to_string()),
-        Command::Simulate { scale, seed, out } => {
-            let dataset =
-                FleetSimulator::new(fleet_config(&scale).with_seed(seed)).run();
+        Command::Simulate { scale, seed, out, threads } => {
+            let config = fleet_config(&scale)
+                .with_seed(seed)
+                .with_parallelism(Parallelism::from_thread_count(threads));
+            let dataset = FleetSimulator::new(config).run();
             let file = File::create(&out)
                 .map_err(|e| CliError(format!("cannot create {}: {e}", out.display())))?;
             write_csv(&dataset, BufWriter::new(file))?;
@@ -224,9 +245,9 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 out.display()
             ))
         }
-        Command::Analyze { input, full_report, k } => {
+        Command::Analyze { input, full_report, k, threads } => {
             let dataset = load(&input)?;
-            let analysis = Analysis::new(analysis_config(k)).run(&dataset)?;
+            let analysis = Analysis::new(analysis_config(k, threads)).run(&dataset)?;
             if full_report {
                 Ok(report::render_full_report(&analysis))
             } else {
@@ -244,9 +265,9 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 Ok(out)
             }
         }
-        Command::Monitor { train, live, limit } => {
+        Command::Monitor { train, live, limit, threads } => {
             let training = load(&train)?;
-            let analysis = Analysis::new(analysis_config(None)).run(&training)?;
+            let analysis = Analysis::new(analysis_config(None, threads)).run(&training)?;
             let bundle = ModelBundle::from_analysis(&training, &analysis);
             let live_fleet = load(&live)?;
             let mut monitor = FleetMonitor::new(bundle, MonitorConfig::default());
@@ -265,8 +286,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             for alert in alerts.iter().take(limit) {
                 out.push_str(&format!("  {alert}\n"));
             }
-            let critical =
-                alerts.iter().filter(|a| a.severity == Severity::Critical).count();
+            let critical = alerts.iter().filter(|a| a.severity == Severity::Critical).count();
             out.push_str(&format!("{critical} critical alerts in total\n"));
             Ok(out)
         }
@@ -291,18 +311,30 @@ mod tests {
 
     #[test]
     fn parses_simulate() {
-        let cmd = parse(argv(&[
-            "simulate", "--scale", "test", "--seed", "9", "--out", "/tmp/x.csv",
-        ]))
-        .unwrap();
+        let cmd =
+            parse(argv(&["simulate", "--scale", "test", "--seed", "9", "--out", "/tmp/x.csv"]))
+                .unwrap();
         assert_eq!(
             cmd,
             Command::Simulate {
                 scale: "test".to_string(),
                 seed: 9,
-                out: PathBuf::from("/tmp/x.csv")
+                out: PathBuf::from("/tmp/x.csv"),
+                threads: 0
             }
         );
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        let cmd = parse(argv(&["simulate", "--out", "x.csv", "--threads", "4"])).unwrap();
+        assert!(matches!(cmd, Command::Simulate { threads: 4, .. }));
+        let cmd = parse(argv(&["analyze", "a.csv", "--threads", "1"])).unwrap();
+        assert!(matches!(cmd, Command::Analyze { threads: 1, .. }));
+        let cmd =
+            parse(argv(&["monitor", "--train", "a", "--live", "b", "--threads", "2"])).unwrap();
+        assert!(matches!(cmd, Command::Monitor { threads: 2, .. }));
+        assert!(parse(argv(&["analyze", "a.csv", "--threads", "lots"])).is_err());
     }
 
     #[test]
@@ -321,7 +353,8 @@ mod tests {
             Command::Analyze {
                 input: PathBuf::from("fleet.csv"),
                 full_report: true,
-                k: Some(4)
+                k: Some(4),
+                threads: 0
             }
         );
         assert!(parse(argv(&["analyze"])).is_err());
@@ -330,15 +363,15 @@ mod tests {
 
     #[test]
     fn parses_monitor() {
-        let cmd =
-            parse(argv(&["monitor", "--train", "a.csv", "--live", "b.csv", "--limit", "5"]))
-                .unwrap();
+        let cmd = parse(argv(&["monitor", "--train", "a.csv", "--live", "b.csv", "--limit", "5"]))
+            .unwrap();
         assert_eq!(
             cmd,
             Command::Monitor {
                 train: PathBuf::from("a.csv"),
                 live: PathBuf::from("b.csv"),
-                limit: 5
+                limit: 5,
+                threads: 0
             }
         );
         assert!(parse(argv(&["monitor", "--train", "a.csv"])).is_err());
@@ -356,6 +389,7 @@ mod tests {
             input: PathBuf::from("/nonexistent/x.csv"),
             full_report: false,
             k: None,
+            threads: 0,
         })
         .unwrap_err();
         assert!(err.to_string().contains("cannot open"));

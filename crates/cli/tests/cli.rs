@@ -38,15 +38,7 @@ fn simulate_analyze_monitor_pipeline() {
     // simulate two fleets
     for (path, seed) in [(&train, "11"), (&live, "22")] {
         let output = dds()
-            .args([
-                "simulate",
-                "--scale",
-                "test",
-                "--seed",
-                seed,
-                "--out",
-                path.to_str().unwrap(),
-            ])
+            .args(["simulate", "--scale", "test", "--seed", seed, "--out", path.to_str().unwrap()])
             .output()
             .expect("binary runs");
         assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
@@ -63,10 +55,8 @@ fn simulate_analyze_monitor_pipeline() {
     assert!(stdout.contains("logical failures"));
 
     // analyze with a forced k
-    let output = dds()
-        .args(["analyze", train.to_str().unwrap(), "--k", "2"])
-        .output()
-        .expect("runs");
+    let output =
+        dds().args(["analyze", train.to_str().unwrap(), "--k", "2"]).output().expect("runs");
     assert!(output.status.success());
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("Group 2"));

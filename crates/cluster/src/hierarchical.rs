@@ -63,8 +63,7 @@ impl Dendrogram {
             }
         }
         // Active clusters: (id, member indices).
-        let mut clusters: Vec<(usize, Vec<usize>)> =
-            (0..n).map(|i| (i, vec![i])).collect();
+        let mut clusters: Vec<(usize, Vec<usize>)> = (0..n).map(|i| (i, vec![i])).collect();
         // Pairwise point distances, computed once.
         let mut point_dist = vec![vec![0.0f64; n]; n];
         for i in 0..n {
@@ -76,15 +75,11 @@ impl Dendrogram {
         }
         let point_dist = &point_dist;
         let cluster_distance = |a: &[usize], b: &[usize]| -> f64 {
-            let values = a
-                .iter()
-                .flat_map(|&i| b.iter().map(move |&j| point_dist[i][j]));
+            let values = a.iter().flat_map(|&i| b.iter().map(move |&j| point_dist[i][j]));
             match linkage {
                 Linkage::Single => values.fold(f64::INFINITY, f64::min),
                 Linkage::Complete => values.fold(0.0, f64::max),
-                Linkage::Average => {
-                    values.sum::<f64>() / (a.len() * b.len()) as f64
-                }
+                Linkage::Average => values.sum::<f64>() / (a.len() * b.len()) as f64,
             }
         };
         let mut merges = Vec::with_capacity(n.saturating_sub(1));

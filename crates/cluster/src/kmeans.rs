@@ -6,9 +6,15 @@
 //! [`KMeansResult::mean_within_cluster_distance`] is that statistic, and
 //! [`elbow_curve`] reproduces the sweep.
 
+use dds_stats::par::{par_chunks_reduce, par_generate, par_map_indexed, stream_seed, Parallelism};
 use dds_stats::{euclidean, squared_euclidean, StatsError};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+
+/// Fixed accumulation chunk for the centroid-update reduction. A constant
+/// (never derived from the thread count) so floating-point sums associate
+/// identically in sequential and parallel runs.
+const UPDATE_CHUNK: usize = 512;
 
 /// Configuration for a [`KMeans`] run.
 ///
@@ -33,19 +39,37 @@ pub struct KMeansConfig {
     pub tolerance: f64,
     /// RNG seed for seeding and restarts.
     pub seed: u64,
+    /// Parallelism across restarts and, within a restart, across points.
+    /// Never affects the fitted result: every restart draws from its own
+    /// seed-derived stream and reductions run in fixed chunk order.
+    pub parallelism: Parallelism,
 }
 
 impl KMeansConfig {
     /// Creates a configuration with `k` clusters and sensible defaults
     /// (100 iterations, 8 restarts, 1e-9 tolerance).
     pub fn new(k: usize) -> Self {
-        KMeansConfig { k, max_iterations: 100, restarts: 8, tolerance: 1e-9, seed: 0xC1A5 }
+        KMeansConfig {
+            k,
+            max_iterations: 100,
+            restarts: 8,
+            tolerance: 1e-9,
+            seed: 0xC1A5,
+            parallelism: Parallelism::Auto,
+        }
     }
 
     /// Sets the RNG seed.
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the parallelism mode.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 
@@ -95,18 +119,27 @@ impl KMeans {
             }
         }
         if points.len() < self.config.k {
-            return Err(StatsError::InsufficientData {
-                needed: self.config.k,
-                got: points.len(),
-            });
+            return Err(StatsError::InsufficientData { needed: self.config.k, got: points.len() });
         }
         if self.config.k == 0 {
             return Err(StatsError::InvalidParameter("k must be positive".to_string()));
         }
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        // Every restart draws from its own seed-derived stream, so restarts
+        // can run in any order — or concurrently — and reproduce the
+        // sequential result exactly. When restarts run in parallel, each
+        // restart's inner loops stay sequential (no nested thread fan-out);
+        // with a single restart the inner loops get the whole budget.
+        let restarts = self.config.restarts;
+        let inner = if restarts > 1 { Parallelism::Sequential } else { self.config.parallelism };
+        let runs = par_generate(self.config.parallelism, restarts, |r| {
+            let mut rng = StdRng::seed_from_u64(stream_seed(self.config.seed, r as u64));
+            self.fit_once(points, &mut rng, inner)
+        });
+        // Lowest inertia wins; ties break to the lowest restart index
+        // (the order a sequential scan would keep).
         let mut best: Option<KMeansResult> = None;
-        for _ in 0..self.config.restarts {
-            let result = self.fit_once(points, &mut rng)?;
+        for run in runs {
+            let result = run?;
             if best.as_ref().is_none_or(|b| result.inertia() < b.inertia()) {
                 best = Some(result);
             }
@@ -114,25 +147,54 @@ impl KMeans {
         Ok(best.expect("at least one restart"))
     }
 
-    fn fit_once(&self, points: &[Vec<f64>], rng: &mut StdRng) -> Result<KMeansResult, StatsError> {
+    fn fit_once(
+        &self,
+        points: &[Vec<f64>],
+        rng: &mut StdRng,
+        par: Parallelism,
+    ) -> Result<KMeansResult, StatsError> {
         let k = self.config.k;
+        let dim = points[0].len();
         let mut centroids = plus_plus_init(points, k, rng)?;
         let mut assignments = vec![0usize; points.len()];
         for _ in 0..self.config.max_iterations {
-            // Assignment step.
-            for (i, p) in points.iter().enumerate() {
-                assignments[i] = nearest_centroid(p, &centroids)?.0;
+            // Assignment step: each point independently finds its nearest
+            // centroid.
+            let assigned = par_map_indexed(par, points, |_, p| nearest_centroid(p, &centroids));
+            for (slot, a) in assignments.iter_mut().zip(assigned) {
+                *slot = a?.0;
             }
-            // Update step.
-            let mut new_centroids = vec![vec![0.0; points[0].len()]; k];
-            let mut counts = vec![0usize; k];
-            for (p, &a) in points.iter().zip(&assignments) {
-                counts[a] += 1;
-                for (c, v) in new_centroids[a].iter_mut().zip(p) {
-                    *c += v;
-                }
-            }
-            for (c, (centroid, count)) in new_centroids.iter_mut().zip(&counts).enumerate() {
+            // Update step: accumulate per-cluster sums over fixed-size
+            // chunks, merged in chunk order so the floating-point result is
+            // identical for every thread count.
+            let (mut new_centroids, counts) = par_chunks_reduce(
+                par,
+                points,
+                UPDATE_CHUNK,
+                || (vec![vec![0.0; dim]; k], vec![0usize; k]),
+                |(mut sums, mut counts), base, chunk| {
+                    for (offset, p) in chunk.iter().enumerate() {
+                        let a = assignments[base + offset];
+                        counts[a] += 1;
+                        for (c, v) in sums[a].iter_mut().zip(p) {
+                            *c += v;
+                        }
+                    }
+                    (sums, counts)
+                },
+                |(mut sums, mut counts), (other_sums, other_counts)| {
+                    for (sum, other) in sums.iter_mut().zip(other_sums) {
+                        for (c, v) in sum.iter_mut().zip(other) {
+                            *c += v;
+                        }
+                    }
+                    for (count, other) in counts.iter_mut().zip(other_counts) {
+                        *count += other;
+                    }
+                    (sums, counts)
+                },
+            );
+            for (centroid, count) in new_centroids.iter_mut().zip(&counts) {
                 if *count == 0 {
                     // Re-seed an empty cluster at the point farthest from
                     // its centroid.
@@ -143,7 +205,6 @@ impl KMeans {
                         *v /= *count as f64;
                     }
                 }
-                let _ = c;
             }
             // Convergence check.
             let moved: f64 = centroids
@@ -156,12 +217,14 @@ impl KMeans {
                 break;
             }
         }
-        // Final assignment + statistics.
+        // Final assignment + statistics; the scalar sums accumulate in
+        // point order regardless of how the distances were computed.
         let mut inertia = 0.0;
         let mut distance_sum = 0.0;
-        for (i, p) in points.iter().enumerate() {
-            let (a, d2) = nearest_centroid(p, &centroids)?;
-            assignments[i] = a;
+        let finals = par_map_indexed(par, points, |_, p| nearest_centroid(p, &centroids));
+        for (slot, f) in assignments.iter_mut().zip(finals) {
+            let (a, d2) = f?;
+            *slot = a;
             inertia += d2;
             distance_sum += d2.sqrt();
         }
@@ -310,9 +373,21 @@ pub fn elbow_curve(
     k_max: usize,
     seed: u64,
 ) -> Result<Vec<(usize, f64)>, StatsError> {
+    elbow_curve_with(points, k_max, seed, Parallelism::Auto)
+}
+
+/// [`elbow_curve`] with an explicit [`Parallelism`] mode. The sweep values
+/// are identical in every mode; each `k` runs its restarts under `par`.
+pub fn elbow_curve_with(
+    points: &[Vec<f64>],
+    k_max: usize,
+    seed: u64,
+    par: Parallelism,
+) -> Result<Vec<(usize, f64)>, StatsError> {
     (1..=k_max)
         .map(|k| {
-            let result = KMeans::new(KMeansConfig::new(k).with_seed(seed)).fit(points)?;
+            let config = KMeansConfig::new(k).with_seed(seed).with_parallelism(par);
+            let result = KMeans::new(config).fit(points)?;
             Ok((k, result.mean_within_cluster_distance()))
         })
         .collect()
@@ -402,9 +477,7 @@ mod tests {
     fn rejects_invalid_input() {
         assert!(KMeans::new(KMeansConfig::new(2)).fit(&[]).is_err());
         assert!(KMeans::new(KMeansConfig::new(5)).fit(&[vec![1.0], vec![2.0]]).is_err());
-        assert!(KMeans::new(KMeansConfig::new(1))
-            .fit(&[vec![1.0, 2.0], vec![1.0]])
-            .is_err());
+        assert!(KMeans::new(KMeansConfig::new(1)).fit(&[vec![1.0, 2.0], vec![1.0]]).is_err());
     }
 
     #[test]

@@ -103,10 +103,7 @@ impl PcaModel {
             .components
             .iter()
             .map(|comp| {
-                comp.iter()
-                    .zip(point.iter().zip(&self.means))
-                    .map(|(c, (v, m))| c * (v - m))
-                    .sum()
+                comp.iter().zip(point.iter().zip(&self.means)).map(|(c, (v, m))| c * (v - m)).sum()
             })
             .collect())
     }
@@ -128,9 +125,8 @@ mod tests {
     #[test]
     fn first_component_aligns_with_dominant_direction() {
         // Variance along x is 100x the variance along y.
-        let points: Vec<Vec<f64>> = (0..40)
-            .map(|i| vec![(i as f64) * 1.0, ((i % 2) as f64) * 0.1])
-            .collect();
+        let points: Vec<Vec<f64>> =
+            (0..40).map(|i| vec![(i as f64) * 1.0, ((i % 2) as f64) * 0.1]).collect();
         let pca = PcaModel::fit(&points, 2).unwrap();
         let c0 = &pca.components[0];
         assert!(c0[0].abs() > 0.99, "first component should be ~x axis: {c0:?}");

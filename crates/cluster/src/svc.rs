@@ -122,7 +122,9 @@ impl Svc {
         let gamma = match self.config.gamma {
             Some(g) if g > 0.0 => g,
             Some(g) => {
-                return Err(StatsError::InvalidParameter(format!("gamma must be positive, got {g}")))
+                return Err(StatsError::InvalidParameter(format!(
+                    "gamma must be positive, got {g}"
+                )))
             }
             None => default_gamma(points)?,
         };
@@ -141,9 +143,8 @@ impl Svc {
         // --- SMO-style pairwise descent on beta' K beta ------------------
         let mut beta = vec![1.0 / n as f64; n];
         // g[i] = (K beta)_i
-        let mut g: Vec<f64> = (0..n)
-            .map(|i| kernel[i].iter().zip(&beta).map(|(k, b)| k * b).sum())
-            .collect();
+        let mut g: Vec<f64> =
+            (0..n).map(|i| kernel[i].iter().zip(&beta).map(|(k, b)| k * b).sum()).collect();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut objective: f64 = beta.iter().zip(&g).map(|(b, gi)| b * gi).sum();
         for _ in 0..self.config.max_sweeps {
@@ -184,21 +185,16 @@ impl Svc {
         let quad = objective;
         let eps = 1e-7;
         let sv: Vec<usize> = (0..n).filter(|&i| beta[i] > eps).collect();
-        let margin_sv: Vec<usize> =
-            sv.iter().copied().filter(|&i| beta[i] < c - eps).collect();
+        let margin_sv: Vec<usize> = sv.iter().copied().filter(|&i| beta[i] < c - eps).collect();
         let radius_set = if margin_sv.is_empty() { &sv } else { &margin_sv };
-        let radius2 = radius_set
-            .iter()
-            .map(|&i| 1.0 - 2.0 * g[i] + quad)
-            .fold(0.0f64, f64::max)
-            .max(0.0);
+        let radius2 =
+            radius_set.iter().map(|&i| 1.0 - 2.0 * g[i] + quad).fold(0.0f64, f64::max).max(0.0);
 
         // --- cluster labeling via segment sampling + union-find ----------
         let r2 = |x: &[f64]| -> f64 {
             let mut k_sum = 0.0;
             for &i in &sv {
-                let d2: f64 =
-                    x.iter().zip(&points[i]).map(|(a, b)| (a - b) * (a - b)).sum();
+                let d2: f64 = x.iter().zip(&points[i]).map(|(a, b)| (a - b) * (a - b)).sum();
                 k_sum += beta[i] * (-gamma * d2).exp();
             }
             1.0 - 2.0 * k_sum + quad
@@ -228,11 +224,8 @@ impl Svc {
                 let mut connected = true;
                 for step in 1..samples {
                     let t = step as f64 / samples as f64;
-                    let mid: Vec<f64> = points[i]
-                        .iter()
-                        .zip(&points[j])
-                        .map(|(a, b)| a + t * (b - a))
-                        .collect();
+                    let mid: Vec<f64> =
+                        points[i].iter().zip(&points[j]).map(|(a, b)| a + t * (b - a)).collect();
                     if r2(&mid) > radius2 + tol {
                         connected = false;
                         break;

@@ -36,10 +36,7 @@ pub fn silhouette_score(points: &[Vec<f64>], labels: &[usize]) -> Result<f64, St
         return Err(StatsError::EmptyInput);
     }
     if points.len() != labels.len() {
-        return Err(StatsError::DimensionMismatch {
-            expected: points.len(),
-            actual: labels.len(),
-        });
+        return Err(StatsError::DimensionMismatch { expected: points.len(), actual: labels.len() });
     }
     let k = labels.iter().copied().max().unwrap_or(0) + 1;
     if k < 2 {

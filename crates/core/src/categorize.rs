@@ -4,10 +4,11 @@
 
 use crate::error::AnalysisError;
 use crate::features::FailureRecordSet;
-use dds_cluster::kmeans::{elbow_curve, pick_elbow, KMeans, KMeansConfig};
+use dds_cluster::kmeans::{elbow_curve_with, pick_elbow, KMeans, KMeansConfig};
 use dds_cluster::{adjusted_rand_index, PcaModel, Svc, SvcConfig};
 use dds_smartsim::{Attribute, Dataset, DriveId, FailureMode, NUM_ATTRIBUTES};
 use dds_stats::descriptive;
+use dds_stats::par::Parallelism;
 use std::fmt;
 
 /// Failure type derived from a group's manifestations (Table II).
@@ -121,6 +122,9 @@ pub struct CategorizationConfig {
     pub run_svc: bool,
     /// RNG seed for clustering.
     pub seed: u64,
+    /// Parallelism of the elbow sweep and the final clustering; never
+    /// affects the chosen groups.
+    pub parallelism: Parallelism,
 }
 
 impl Default for CategorizationConfig {
@@ -131,6 +135,7 @@ impl Default for CategorizationConfig {
             elbow_flatness: 0.12,
             run_svc: true,
             seed: 0xD15C,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -164,23 +169,25 @@ impl Categorizer {
         }
         let points = records.scaled_features();
         let k_max = self.config.k_max.min(points.len());
-        let elbow = elbow_curve(points, k_max, self.config.seed)?;
+        let elbow = elbow_curve_with(points, k_max, self.config.seed, self.config.parallelism)?;
         let chosen_k = self
             .config
             .fixed_k
             .unwrap_or_else(|| pick_elbow(&elbow, self.config.elbow_flatness))
             .clamp(1, points.len());
-        let result =
-            KMeans::new(KMeansConfig::new(chosen_k).with_seed(self.config.seed)).fit(points)?;
+        let result = KMeans::new(
+            KMeansConfig::new(chosen_k)
+                .with_seed(self.config.seed)
+                .with_parallelism(self.config.parallelism),
+        )
+        .fit(points)?;
 
         // Collect member lists, dropping clusters that ended up empty
         // (possible on degenerate data where many records coincide), then
         // map the remainder to paper order.
         let mut member_lists: Vec<Vec<usize>> = (0..chosen_k)
             .map(|cluster| {
-                (0..points.len())
-                    .filter(|&i| result.assignments()[i] == cluster)
-                    .collect()
+                (0..points.len()).filter(|&i| result.assignments()[i] == cluster).collect()
             })
             .collect();
         member_lists.retain(|members| !members.is_empty());
@@ -204,9 +211,7 @@ impl Categorizer {
                 .copied()
                 .flatten()
                 .filter(|i| member_indices.contains(i))
-                .unwrap_or_else(|| {
-                    closest_to_mean(records, member_indices, &mean_record)
-                });
+                .unwrap_or_else(|| closest_to_mean(records, member_indices, &mean_record));
             let deciles = group_deciles(records, member_indices)?;
             groups.push(FailureGroup {
                 index: paper_idx,
@@ -243,10 +248,7 @@ impl Categorizer {
                 .fit(points)?;
                 let ari = adjusted_rand_index(&assignments, svc.labels())?;
                 if best.as_ref().is_none_or(|b| ari > b.rand_index) {
-                    best = Some(SvcAgreement {
-                        svc_clusters: svc.num_clusters(),
-                        rand_index: ari,
-                    });
+                    best = Some(SvcAgreement { svc_clusters: svc.num_clusters(), rand_index: ari });
                 }
             }
             best
@@ -262,10 +264,7 @@ impl Categorizer {
             [r.first().copied().unwrap_or(0.0), r.get(1).copied().unwrap_or(0.0)]
         };
         let projection = PcaProjection {
-            points: projected
-                .iter()
-                .map(|p| (p[0], p.get(1).copied().unwrap_or(0.0)))
-                .collect(),
+            points: projected.iter().map(|p| (p[0], p.get(1).copied().unwrap_or(0.0))).collect(),
             groups: assignments.clone(),
             explained,
         };
@@ -292,16 +291,10 @@ fn closest_to_mean(
         .iter()
         .copied()
         .min_by(|&a, &b| {
-            let da: f64 = records.failure_records()[a]
-                .iter()
-                .zip(mean)
-                .map(|(x, m)| (x - m) * (x - m))
-                .sum();
-            let db: f64 = records.failure_records()[b]
-                .iter()
-                .zip(mean)
-                .map(|(x, m)| (x - m) * (x - m))
-                .sum();
+            let da: f64 =
+                records.failure_records()[a].iter().zip(mean).map(|(x, m)| (x - m) * (x - m)).sum();
+            let db: f64 =
+                records.failure_records()[b].iter().zip(mean).map(|(x, m)| (x - m) * (x - m)).sum();
             da.partial_cmp(&db).expect("finite records")
         })
         .expect("non-empty member list")
@@ -313,10 +306,8 @@ fn closest_to_mean(
 /// `k != 3`, clusters are ordered by descending size.
 fn paper_order(member_lists: &[Vec<usize>], records: &FailureRecordSet) -> Vec<usize> {
     let k = member_lists.len();
-    let means: Vec<[f64; NUM_ATTRIBUTES]> = member_lists
-        .iter()
-        .map(|members| mean_failure_record(records, members))
-        .collect();
+    let means: Vec<[f64; NUM_ATTRIBUTES]> =
+        member_lists.iter().map(|members| mean_failure_record(records, members)).collect();
     if k != 3 {
         let mut order: Vec<usize> = (0..k).collect();
         order.sort_by(|&a, &b| member_lists[b].len().cmp(&member_lists[a].len()));
@@ -500,9 +491,8 @@ mod tests {
     fn setup() -> (Dataset, FailureRecordSet, Categorization) {
         let ds = FleetSimulator::new(FleetConfig::test_scale().with_seed(31)).run();
         let records = FailureRecordSet::extract(&ds, 24).unwrap();
-        let cat = Categorizer::new(CategorizationConfig::default())
-            .categorize(&ds, &records)
-            .unwrap();
+        let cat =
+            Categorizer::new(CategorizationConfig::default()).categorize(&ds, &records).unwrap();
         (ds, records, cat)
     }
 
@@ -600,7 +590,8 @@ mod tests {
     fn fixed_k_overrides_elbow() {
         let ds = FleetSimulator::new(FleetConfig::test_scale().with_seed(31)).run();
         let records = FailureRecordSet::extract(&ds, 24).unwrap();
-        let config = CategorizationConfig { fixed_k: Some(5), run_svc: false, ..Default::default() };
+        let config =
+            CategorizationConfig { fixed_k: Some(5), run_svc: false, ..Default::default() };
         let cat = Categorizer::new(config).categorize(&ds, &records).unwrap();
         assert_eq!(cat.num_groups(), 5);
         assert!(cat.svc_agreement().is_none());

@@ -156,10 +156,8 @@ impl DegradationAnalyzer {
             )));
         }
         let failure = &normalized[n - 1];
-        let distances: Vec<f64> = normalized
-            .iter()
-            .map(|rec| euclidean(rec, failure))
-            .collect::<Result<_, _>>()?;
+        let distances: Vec<f64> =
+            normalized.iter().map(|rec| euclidean(rec, failure)).collect::<Result<_, _>>()?;
 
         // --- monotone-suffix window extraction ----------------------------
         // Walking backward from the failure the distance should keep
@@ -169,8 +167,7 @@ impl DegradationAnalyzer {
         // jumps).
         let smoothed = moving_average(&distances, self.config.smoothing_window.max(1));
         let max_dist = distances.iter().copied().fold(0.0, f64::max);
-        let tol =
-            (self.config.tolerance_fraction * max_dist).max(self.config.tolerance_floor);
+        let tol = (self.config.tolerance_fraction * max_dist).max(self.config.tolerance_floor);
         let mut j = n - 1;
         let mut running_max = smoothed[n - 1];
         while j > 0 && smoothed[j - 1] >= running_max - tol {
@@ -191,8 +188,7 @@ impl DegradationAnalyzer {
             let window_max_smoothed =
                 smoothed[j..].iter().copied().fold(f64::NEG_INFINITY, f64::max);
             let trim_level = (1.0 - self.config.trim_fraction) * window_max_smoothed;
-            let Some(offset) = smoothed[j..n - 1].iter().rposition(|&v| v >= trim_level)
-            else {
+            let Some(offset) = smoothed[j..n - 1].iter().rposition(|&v| v >= trim_level) else {
                 break;
             };
             let head_len = offset + 1;
@@ -209,9 +205,8 @@ impl DegradationAnalyzer {
         // --- normalization to [-1, 0] -------------------------------------
         let window_slice = &distances[j..];
         let window_max = window_slice.iter().copied().fold(0.0, f64::max);
-        let times: Vec<f64> = (0..window_slice.len())
-            .map(|k| (window_slice.len() - 1 - k) as f64)
-            .collect();
+        let times: Vec<f64> =
+            (0..window_slice.len()).map(|k| (window_slice.len() - 1 - k) as f64).collect();
         let degradation: Vec<f64> = if window_max > 0.0 {
             window_slice.iter().map(|&d| d / window_max - 1.0).collect()
         } else {
@@ -304,10 +299,8 @@ impl DegradationAnalyzer {
                     group.index + 1
                 ))
             })?;
-            let mean_rmse_by_form: Vec<(SignatureForm, f64)> = rmse_sums
-                .into_iter()
-                .map(|(f, sum)| (f, sum / analyzed.max(1) as f64))
-                .collect();
+            let mean_rmse_by_form: Vec<(SignatureForm, f64)> =
+                rmse_sums.into_iter().map(|(f, sum)| (f, sum / analyzed.max(1) as f64)).collect();
             let dominant_form = votes
                 .iter()
                 .max_by_key(|(_, count)| *count)
@@ -386,14 +379,8 @@ mod tests {
             }
         }
         let mean = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len().max(1) as f64;
-        assert!(
-            mean(&sector_windows) > 150.0,
-            "bad-sector windows too short: {sector_windows:?}"
-        );
-        assert!(
-            mean(&logical_windows) < 40.0,
-            "logical windows too long: {logical_windows:?}"
-        );
+        assert!(mean(&sector_windows) > 150.0, "bad-sector windows too short: {sector_windows:?}");
+        assert!(mean(&logical_windows) < 40.0, "logical windows too long: {logical_windows:?}");
     }
 
     #[test]
@@ -403,18 +390,12 @@ mod tests {
         let cat = Categorizer::new(CategorizationConfig { run_svc: false, ..Default::default() })
             .categorize(&ds, &records)
             .unwrap();
-        let groups = DegradationAnalyzer::default()
-            .analyze_groups(&ds, &records, &cat)
-            .unwrap();
+        let groups = DegradationAnalyzer::default().analyze_groups(&ds, &records, &cat).unwrap();
         assert_eq!(groups.len(), 3);
         // Group 2 must be dominated by the linear form (Eq. 4).
         assert_eq!(groups[1].dominant_form, SignatureForm::Linear, "{:?}", groups[1].form_votes);
         // Group 3's signature has a higher order than Group 2's.
-        assert!(
-            groups[2].dominant_form.order() >= 2,
-            "G3 votes: {:?}",
-            groups[2].form_votes
-        );
+        assert!(groups[2].dominant_form.order() >= 2, "G3 votes: {:?}", groups[2].form_votes);
     }
 
     #[test]
@@ -424,9 +405,7 @@ mod tests {
         let cat = Categorizer::new(CategorizationConfig { run_svc: false, ..Default::default() })
             .categorize(&ds, &records)
             .unwrap();
-        let groups = DegradationAnalyzer::default()
-            .analyze_groups(&ds, &records, &cat)
-            .unwrap();
+        let groups = DegradationAnalyzer::default().analyze_groups(&ds, &records, &cat).unwrap();
         for g in &groups {
             let (min, mean, max) = g.window_stats;
             assert!(min as f64 <= mean && mean <= max as f64);
@@ -444,11 +423,7 @@ mod tests {
         let drive = ds.failed_drives().next().unwrap();
         let a = analyzer.analyze_drive(&ds, drive).unwrap();
         assert_eq!(a.model_rmse.len(), SignatureForm::ALL.len());
-        let best_listed = a
-            .model_rmse
-            .iter()
-            .map(|&(_, r)| r)
-            .fold(f64::INFINITY, f64::min);
+        let best_listed = a.model_rmse.iter().map(|&(_, r)| r).fold(f64::INFINITY, f64::min);
         assert!((best_listed - a.best_rmse).abs() < 1e-12);
     }
 
@@ -459,8 +434,9 @@ mod tests {
         // Pick a drive with a long window so all orders fit.
         let drive = ds
             .failed_drives()
-            .find(|d| d.label().failure_mode() == Some(FailureMode::BadSector)
-                && d.profile_hours() >= 400)
+            .find(|d| {
+                d.label().failure_mode() == Some(FailureMode::BadSector) && d.profile_hours() >= 400
+            })
             .expect("test fleet has long bad-sector profiles");
         let a = analyzer.analyze_drive(&ds, drive).unwrap();
         assert!(a.poly_fits.len() >= 2);

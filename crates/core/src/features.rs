@@ -176,10 +176,8 @@ mod tests {
 
     #[test]
     fn rejects_dataset_without_failures() {
-        let ds = FleetSimulator::new(
-            FleetConfig::test_scale().with_failed_drives(0).with_seed(3),
-        )
-        .run();
+        let ds =
+            FleetSimulator::new(FleetConfig::test_scale().with_failed_drives(0).with_seed(3)).run();
         assert!(matches!(
             FailureRecordSet::extract(&ds, 24),
             Err(AnalysisError::UnsuitableDataset(_))

@@ -87,11 +87,8 @@ pub fn lead_times(
 ) -> Result<Vec<GroupLeadTimes>, AnalysisError> {
     let mut out = Vec::with_capacity(categorization.num_groups());
     for group in categorization.groups() {
-        let predictor = prediction
-            .groups
-            .iter()
-            .find(|g| g.group_index == group.index)
-            .ok_or_else(|| {
+        let predictor =
+            prediction.groups.iter().find(|g| g.group_index == group.index).ok_or_else(|| {
                 AnalysisError::UnsuitableDataset(format!(
                     "no predictor for group {}",
                     group.index + 1
@@ -151,10 +148,8 @@ pub struct RocPoint {
 pub fn detector_roc(dataset: &Dataset, targets: &[f64]) -> Result<Vec<RocPoint>, AnalysisError> {
     let mut out = Vec::with_capacity(targets.len());
     for &target_far in targets {
-        let rank = rank_sum_detector(
-            dataset,
-            &RankSumConfig { target_far, ..RankSumConfig::default() },
-        )?;
+        let rank =
+            rank_sum_detector(dataset, &RankSumConfig { target_far, ..RankSumConfig::default() })?;
         let mahal = mahalanobis_detector(
             dataset,
             &MahalanobisConfig { target_far, ..MahalanobisConfig::default() },
@@ -184,13 +179,9 @@ mod tests {
     #[test]
     fn slow_failures_give_long_lead_times() {
         let (ds, report) = setup();
-        let leads = lead_times(
-            &ds,
-            &report.categorization,
-            &report.prediction,
-            &LeadTimeConfig::default(),
-        )
-        .unwrap();
+        let leads =
+            lead_times(&ds, &report.categorization, &report.prediction, &LeadTimeConfig::default())
+                .unwrap();
         assert_eq!(leads.len(), 3);
         // Bad-sector failures degrade for weeks: long lead times, full
         // detection.
@@ -228,12 +219,8 @@ mod tests {
         assert_eq!(empty.detection_fraction(), 0.0);
         assert_eq!(empty.median_lead_hours(), None);
         assert_eq!(empty.mean_lead_hours(), None);
-        let some = GroupLeadTimes {
-            group_index: 0,
-            detected: 2,
-            total: 4,
-            lead_hours: vec![10, 30],
-        };
+        let some =
+            GroupLeadTimes { group_index: 0, detected: 2, total: 4, lead_hours: vec![10, 30] };
         assert_eq!(some.detection_fraction(), 0.5);
         assert_eq!(some.mean_lead_hours(), Some(20.0));
         assert_eq!(some.median_lead_hours(), Some(20.0));

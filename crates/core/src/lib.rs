@@ -51,7 +51,9 @@ pub mod predict;
 pub mod report;
 pub mod zscore;
 
-pub use categorize::{Categorization, CategorizationConfig, Categorizer, FailureGroup, FailureType};
+pub use categorize::{
+    Categorization, CategorizationConfig, Categorizer, FailureGroup, FailureType,
+};
 pub use degradation::{DegradationAnalyzer, DegradationConfig, DriveDegradation, GroupDegradation};
 pub use error::AnalysisError;
 pub use features::{FailureRecordSet, NUM_FEATURES};

@@ -17,8 +17,9 @@ use crate::error::AnalysisError;
 use crate::features::FailureRecordSet;
 use crate::influence::{self, AttributeInfluence, EnvInfluence};
 use crate::predict::{DegradationPredictor, PredictionConfig, PredictionReport};
-use crate::zscore::{all_attribute_z_scores, TemporalZScores, ZScoreConfig};
+use crate::zscore::{all_attribute_z_scores_with, TemporalZScores, ZScoreConfig};
 use dds_smartsim::{Attribute, Dataset};
+use dds_stats::par::{par_join, par_map_indexed, Parallelism};
 use dds_stats::{BoxplotSummary, Histogram};
 
 /// The R/W attributes shown in the Fig. 9 / Fig. 10 influence analyses.
@@ -42,6 +43,20 @@ pub struct AnalysisConfig {
     pub zscore: ZScoreConfig,
     /// Degradation-prediction settings.
     pub prediction: PredictionConfig,
+    /// Analysis-wide parallelism. [`Analysis::run`] applies this mode to
+    /// every stage (clustering, split search, batch prediction, the
+    /// per-attribute and per-group loops), overriding whatever the
+    /// sub-configurations carry. Results are identical in every mode.
+    pub parallelism: Parallelism,
+}
+
+impl AnalysisConfig {
+    /// Sets the analysis-wide parallelism mode.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
 }
 
 /// The Fig. 1 histogram of failed-drive profile durations plus the two
@@ -131,59 +146,75 @@ impl Analysis {
         };
 
         // --- §IV-B features + Fig. 2 ---------------------------------------
+        let par = self.config.parallelism;
         let feature_window = self.config.feature_window_hours.unwrap_or(24);
         let failure_records = FailureRecordSet::extract(dataset, feature_window)?;
-        let mut attribute_boxplots = Vec::with_capacity(Attribute::ALL.len());
-        for attr in Attribute::ALL {
-            let values: Vec<f64> = failure_records
-                .failure_records()
-                .iter()
-                .map(|r| r[attr.index()])
-                .collect();
-            attribute_boxplots.push((attr, BoxplotSummary::from_values(&values)?));
-        }
+        // Each attribute's box statistics are independent of the others.
+        let attribute_boxplots: Vec<(Attribute, BoxplotSummary)> =
+            par_map_indexed(par, &Attribute::ALL, |_, &attr| {
+                let values: Vec<f64> =
+                    failure_records.failure_records().iter().map(|r| r[attr.index()]).collect();
+                Ok((attr, BoxplotSummary::from_values(&values)?))
+            })
+            .into_iter()
+            .collect::<Result<_, AnalysisError>>()?;
 
         // --- Figs. 3–6, Table II -------------------------------------------
-        let categorization = Categorizer::new(self.config.categorization.clone())
-            .categorize(dataset, &failure_records)?;
+        let mut categorization_config = self.config.categorization.clone();
+        categorization_config.parallelism = par;
+        let categorization =
+            Categorizer::new(categorization_config).categorize(dataset, &failure_records)?;
 
         // --- Figs. 7–8 ------------------------------------------------------
         let analyzer = DegradationAnalyzer::new(self.config.degradation.clone());
-        let degradation =
-            analyzer.analyze_groups(dataset, &failure_records, &categorization)?;
+        let degradation = analyzer.analyze_groups(dataset, &failure_records, &categorization)?;
 
-        // --- Figs. 9–10 ------------------------------------------------------
-        let mut attribute_influence = Vec::with_capacity(degradation.len());
-        let mut env_influence = Vec::with_capacity(degradation.len());
-        for summary in &degradation {
-            let group = &categorization.groups()[summary.group_index];
-            let drive = dataset.drive(group.centroid_drive).expect("centroid exists");
-            attribute_influence.push(influence::attribute_influence(
-                dataset,
-                drive,
-                &summary.centroid,
-                summary.group_index,
-                &INFLUENCE_ATTRIBUTES,
-            )?);
-            env_influence.push(influence::env_influence(
-                dataset,
-                drive,
-                &summary.centroid,
-                summary.group_index,
-                &INFLUENCE_ATTRIBUTES,
-            )?);
-        }
-
-        // --- Figs. 11–12 ------------------------------------------------------
-        let z_scores = all_attribute_z_scores(
-            dataset,
-            &failure_records,
-            &categorization,
-            &self.config.zscore,
-        )?;
+        // --- Figs. 9–12: the per-group influence analyses and the z-score
+        // sweep read only upstream results, so the two stages run
+        // concurrently (and the groups within the influence stage fan out
+        // again).
+        let (influences, z_scores) = par_join(
+            par,
+            || -> Result<Vec<_>, AnalysisError> {
+                par_map_indexed(par, &degradation, |_, summary| {
+                    let group = &categorization.groups()[summary.group_index];
+                    let drive = dataset.drive(group.centroid_drive).expect("centroid exists");
+                    let attribute = influence::attribute_influence(
+                        dataset,
+                        drive,
+                        &summary.centroid,
+                        summary.group_index,
+                        &INFLUENCE_ATTRIBUTES,
+                    )?;
+                    let env = influence::env_influence(
+                        dataset,
+                        drive,
+                        &summary.centroid,
+                        summary.group_index,
+                        &INFLUENCE_ATTRIBUTES,
+                    )?;
+                    Ok((attribute, env))
+                })
+                .into_iter()
+                .collect()
+            },
+            || {
+                all_attribute_z_scores_with(
+                    dataset,
+                    &failure_records,
+                    &categorization,
+                    &self.config.zscore,
+                    par,
+                )
+            },
+        );
+        let (attribute_influence, env_influence) = influences?.into_iter().unzip();
+        let z_scores = z_scores?;
 
         // --- Fig. 13, Table III ---------------------------------------------
-        let prediction = DegradationPredictor::new(self.config.prediction.clone()).train(
+        let mut prediction_config = self.config.prediction.clone();
+        prediction_config.tree.parallelism = par;
+        let prediction = DegradationPredictor::new(prediction_config).train(
             dataset,
             &categorization,
             &degradation,
@@ -244,13 +275,8 @@ mod tests {
 
     #[test]
     fn fails_cleanly_without_failed_drives() {
-        let ds = FleetSimulator::new(
-            FleetConfig::test_scale().with_failed_drives(0).with_seed(81),
-        )
-        .run();
-        assert!(matches!(
-            Analysis::default().run(&ds),
-            Err(AnalysisError::UnsuitableDataset(_))
-        ));
+        let ds = FleetSimulator::new(FleetConfig::test_scale().with_failed_drives(0).with_seed(81))
+            .run();
+        assert!(matches!(Analysis::default().run(&ds), Err(AnalysisError::UnsuitableDataset(_))));
     }
 }

@@ -19,6 +19,7 @@ use crate::error::AnalysisError;
 use dds_regtree::{RegressionTree, TreeConfig};
 use dds_smartsim::{Attribute, Dataset, NUM_ATTRIBUTES};
 use dds_stats::hypothesis::rank_sum_test;
+use dds_stats::par::par_map_indexed;
 use dds_stats::{rmse, SignatureModel};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -138,12 +139,23 @@ impl DegradationPredictor {
         }
         let mut rng = StdRng::seed_from_u64(self.config.seed);
 
+        // The good-record pool is group-independent, and at paper scale it
+        // dwarfs every failed group — build it once (fanning the per-drive
+        // normalization out across threads; drive and record order are
+        // preserved) instead of rescanning the good population per group.
+        let good_drives: Vec<&dds_smartsim::DriveProfile> = dataset.good_drives().collect();
+        let good_pool: Vec<[f64; NUM_ATTRIBUTES]> =
+            par_map_indexed(self.config.tree.parallelism, &good_drives, |_, drive| {
+                drive.records().iter().map(|r| dataset.normalize_record(r)).collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+
         let mut groups = Vec::with_capacity(categorization.num_groups());
         for group in categorization.groups() {
-            let summary = degradation
-                .iter()
-                .find(|g| g.group_index == group.index)
-                .ok_or_else(|| {
+            let summary =
+                degradation.iter().find(|g| g.group_index == group.index).ok_or_else(|| {
                     AnalysisError::UnsuitableDataset(format!(
                         "missing degradation summary for group {}",
                         group.index + 1
@@ -159,7 +171,8 @@ impl DegradationPredictor {
                 None => median_window(&summary.windows),
             };
             let signature = SignatureModel::new(summary.dominant_form, window.max(1.0))?;
-            let (xs, ys) = self.assemble_samples(dataset, group, &signature, &mut rng)?;
+            let (xs, ys) =
+                self.assemble_samples_with_pool(dataset, group, &signature, &good_pool, &mut rng)?;
 
             // Shuffled 70/30 split.
             let mut order: Vec<usize> = (0..xs.len()).collect();
@@ -169,11 +182,13 @@ impl DegradationPredictor {
             let (train_idx, test_idx) = order.split_at(cut);
             let train_x: Vec<Vec<f64>> = train_idx.iter().map(|&i| xs[i].clone()).collect();
             let train_y: Vec<f64> = train_idx.iter().map(|&i| ys[i]).collect();
-            let test_x: Vec<Vec<f64>> = test_idx.iter().map(|&i| xs[i].clone()).collect();
+            // Test rows are only read once for scoring — borrow them
+            // instead of cloning the whole held-out set.
+            let test_x: Vec<&[f64]> = test_idx.iter().map(|&i| xs[i].as_slice()).collect();
             let test_y: Vec<f64> = test_idx.iter().map(|&i| ys[i]).collect();
 
             let tree = RegressionTree::fit(&train_x, &train_y, &self.config.tree)?;
-            let predictions = tree.predict_batch(&test_x);
+            let predictions = tree.predict_batch_ref(&test_x);
             let test_rmse = rmse(&predictions, &test_y)?;
             groups.push(GroupPrediction {
                 group_index: group.index,
@@ -211,6 +226,21 @@ impl DegradationPredictor {
             .good_drives()
             .flat_map(|d| d.records().iter().map(|r| dataset.normalize_record(r)))
             .collect();
+        self.assemble_samples_with_pool(dataset, group, signature, &good_pool, rng)
+    }
+
+    /// [`assemble_samples`](Self::assemble_samples) against a pre-built
+    /// good-record pool, so [`train`](Self::train) pays the population scan
+    /// once rather than once per group. Pool construction draws no random
+    /// numbers, so the sampling sequence is unchanged.
+    fn assemble_samples_with_pool<R: rand::Rng + ?Sized>(
+        &self,
+        dataset: &Dataset,
+        group: &crate::categorize::FailureGroup,
+        signature: &SignatureModel,
+        good_pool: &[[f64; NUM_ATTRIBUTES]],
+        rng: &mut R,
+    ) -> Result<(Vec<Vec<f64>>, Vec<f64>), AnalysisError> {
         let mut xs: Vec<Vec<f64>> = Vec::new();
         let mut ys: Vec<f64> = Vec::new();
         for &id in &group.drive_ids {
@@ -295,9 +325,10 @@ impl ThresholdPolicy {
 /// Runs the threshold detector over every drive.
 pub fn threshold_detector(dataset: &Dataset, policy: &ThresholdPolicy) -> DetectorOutcome {
     let flag = |drive: &dds_smartsim::DriveProfile| -> bool {
-        drive.records().iter().any(|r| {
-            policy.thresholds.iter().any(|&(attr, min)| r.value(attr) < min)
-        })
+        drive
+            .records()
+            .iter()
+            .any(|r| policy.thresholds.iter().any(|&(attr, min)| r.value(attr) < min))
     };
     let flagged_failed = dataset.failed_drives().filter(|d| flag(d)).count();
     let flagged_good = dataset.good_drives().filter(|d| flag(d)).count();
@@ -396,10 +427,8 @@ pub fn rank_sum_detector(
     good_scores.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
     let far = config.target_far.clamp(0.0, 1.0);
     let rank = ((good_scores.len() as f64) * (1.0 - far)).ceil() as usize;
-    let critical = good_scores
-        .get(rank.min(good_scores.len() - 1))
-        .copied()
-        .unwrap_or(f64::INFINITY);
+    let critical =
+        good_scores.get(rank.min(good_scores.len() - 1)).copied().unwrap_or(f64::INFINITY);
 
     let flagged_failed = dataset.failed_drives().filter(|d| score(d) > critical).count();
     let flagged_good = good_scores.iter().filter(|&&s| s > critical).count();
@@ -491,10 +520,8 @@ pub fn mahalanobis_detector(
     good_scores.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
     let far = config.target_far.clamp(0.0, 1.0);
     let rank = ((good_scores.len() as f64) * (1.0 - far)).ceil() as usize;
-    let critical = good_scores
-        .get(rank.min(good_scores.len() - 1))
-        .copied()
-        .unwrap_or(f64::INFINITY);
+    let critical =
+        good_scores.get(rank.min(good_scores.len() - 1)).copied().unwrap_or(f64::INFINITY);
 
     let flagged_failed = dataset.failed_drives().filter(|d| score(d) > critical).count();
     let flagged_good = good_scores.iter().filter(|&&s| s > critical).count();
@@ -544,10 +571,8 @@ mod tests {
     #[test]
     fn paper_windows_override_is_used() {
         let (ds, cat, deg) = setup();
-        let config = PredictionConfig {
-            fixed_windows: Some(vec![12.0, 380.0, 24.0]),
-            ..Default::default()
-        };
+        let config =
+            PredictionConfig { fixed_windows: Some(vec![12.0, 380.0, 24.0]), ..Default::default() };
         let report = DegradationPredictor::new(config).train(&ds, &cat, &deg).unwrap();
         assert_eq!(report.groups[0].signature.window(), 12.0);
         assert_eq!(report.groups[1].signature.window(), 380.0);
@@ -561,8 +586,7 @@ mod tests {
         let text = report.groups[0].render_tree();
         assert!(text.contains('%'));
         // At least one SMART symbol appears in a split.
-        let has_symbol =
-            Attribute::ALL.iter().any(|a| text.contains(&format!("{} <", a.symbol())));
+        let has_symbol = Attribute::ALL.iter().any(|a| text.contains(&format!("{} <", a.symbol())));
         assert!(has_symbol, "tree: {text}");
     }
 
@@ -575,8 +599,7 @@ mod tests {
         let g2 = &report.groups[1];
         let group = &cat.groups()[1];
         let failed_drive = ds.drive(group.centroid_drive).unwrap();
-        let failure_record =
-            ds.normalize_record(failed_drive.records().last().unwrap()).to_vec();
+        let failure_record = ds.normalize_record(failed_drive.records().last().unwrap()).to_vec();
         let good_drive = ds.good_drives().next().unwrap();
         let good_record = ds.normalize_record(&good_drive.records()[0]).to_vec();
         assert!(g2.predict(&failure_record) < 0.0);
@@ -620,10 +643,8 @@ mod tests {
 
     #[test]
     fn rank_sum_needs_good_drives() {
-        let ds = FleetSimulator::new(
-            FleetConfig::test_scale().with_good_drives(0).with_seed(71),
-        )
-        .run();
+        let ds =
+            FleetSimulator::new(FleetConfig::test_scale().with_good_drives(0).with_seed(71)).run();
         assert!(rank_sum_detector(&ds, &RankSumConfig::default()).is_err());
     }
 
@@ -638,10 +659,8 @@ mod tests {
 
     #[test]
     fn mahalanobis_detector_needs_good_drives() {
-        let ds = FleetSimulator::new(
-            FleetConfig::test_scale().with_good_drives(0).with_seed(71),
-        )
-        .run();
+        let ds =
+            FleetSimulator::new(FleetConfig::test_scale().with_good_drives(0).with_seed(71)).run();
         assert!(mahalanobis_detector(&ds, &MahalanobisConfig::default()).is_err());
     }
 }

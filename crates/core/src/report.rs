@@ -65,12 +65,7 @@ pub fn render_attribute_boxplots(boxplots: &[(Attribute, BoxplotSummary)]) -> St
 pub fn render_elbow(categorization: &Categorization) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Fig. 3 — Mean within-cluster distance vs number of groups");
-    let max = categorization
-        .elbow()
-        .iter()
-        .map(|&(_, d)| d)
-        .fold(f64::MIN, f64::max)
-        .max(1e-12);
+    let max = categorization.elbow().iter().map(|&(_, d)| d).fold(f64::MIN, f64::max).max(1e-12);
     for &(k, dist) in categorization.elbow() {
         let bar = "#".repeat((dist / max * 40.0) as usize);
         let marker = if k == categorization.chosen_k() { " <= chosen" } else { "" };
@@ -93,8 +88,7 @@ pub fn render_pca(categorization: &Categorization) -> String {
     // 21 x 60 ASCII grid.
     const W: usize = 60;
     const H: usize = 21;
-    let (mut min_x, mut max_x, mut min_y, mut max_y) =
-        (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
     for &(x, y) in &proj.points {
         min_x = min_x.min(x);
         max_x = max_x.max(x);
@@ -133,15 +127,15 @@ pub fn render_centroids(categorization: &Categorization) -> String {
     let shown: Vec<Attribute> = Attribute::ALL
         .into_iter()
         // The paper omits RSC (a linear transform of R-RSC) and R-CPSC.
-        .filter(|a| !matches!(a, Attribute::ReallocatedSectors | Attribute::RawCurrentPendingSectors))
+        .filter(|a| {
+            !matches!(a, Attribute::ReallocatedSectors | Attribute::RawCurrentPendingSectors)
+        })
         .collect();
     let header: Vec<String> = shown.iter().map(|a| format!("{:>7}", a.symbol())).collect();
     let _ = writeln!(out, "  {:<22} {}", "centroid", header.join(" "));
     for group in categorization.groups() {
-        let values: Vec<String> = shown
-            .iter()
-            .map(|a| format!("{:>7.2}", group.centroid_record[a.index()]))
-            .collect();
+        let values: Vec<String> =
+            shown.iter().map(|a| format!("{:>7.2}", group.centroid_record[a.index()])).collect();
         let _ = writeln!(
             out,
             "  Group {} ({:<12}) {}",
@@ -350,7 +344,8 @@ pub fn render_discrimination_table(table: &crate::zscore::DiscriminationTable) -
             .most_separated
             .map(|g| format!("Group {}", g + 1))
             .unwrap_or_else(|| "-".to_string());
-        let _ = writeln!(out, "  {:<8} {}  {}", row.attribute.symbol(), cells.join("  "), separates);
+        let _ =
+            writeln!(out, "  {:<8} {}  {}", row.attribute.symbol(), cells.join("  "), separates);
     }
     out
 }
@@ -375,7 +370,11 @@ pub fn render_regression_tree(prediction: &PredictionReport, group_index: usize)
 pub fn render_prediction_table(prediction: &PredictionReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table III — Degradation-prediction accuracy");
-    let _ = writeln!(out, "  {:<8} {:>8} {:>11} {:>9} {:>9}", "group", "RMSE", "error rate", "train", "test");
+    let _ = writeln!(
+        out,
+        "  {:<8} {:>8} {:>11} {:>9} {:>9}",
+        "group", "RMSE", "error rate", "train", "test"
+    );
     for g in &prediction.groups {
         let _ = writeln!(
             out,
@@ -493,8 +492,21 @@ mod tests {
         let r = report();
         let text = render_full_report(&r);
         for needle in [
-            "Fig. 1", "Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6", "Table II", "Fig. 7",
-            "Fig. 8", "Fig. 9", "Fig. 10", "Fig. 11", "Fig. 12", "Fig. 13", "Table III",
+            "Fig. 1",
+            "Fig. 2",
+            "Fig. 3",
+            "Fig. 4",
+            "Fig. 5",
+            "Fig. 6",
+            "Table II",
+            "Fig. 7",
+            "Fig. 8",
+            "Fig. 9",
+            "Fig. 10",
+            "Fig. 11",
+            "Fig. 12",
+            "Fig. 13",
+            "Table III",
         ] {
             assert!(text.contains(needle), "missing section {needle}");
         }

@@ -13,6 +13,7 @@ use crate::error::AnalysisError;
 use crate::features::FailureRecordSet;
 use dds_smartsim::{Attribute, Dataset};
 use dds_stats::hypothesis::welch_z_score;
+use dds_stats::par::{par_map_indexed, Parallelism};
 
 /// Configuration for the temporal z-score sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,8 +91,7 @@ pub fn temporal_z_scores(
         ));
     }
 
-    let times: Vec<usize> =
-        (0..=config.max_hours).step_by(config.stride_hours.max(1)).collect();
+    let times: Vec<usize> = (0..=config.max_hours).step_by(config.stride_hours.max(1)).collect();
     let num_groups = categorization.num_groups();
 
     // Pre-index failed drives by group.
@@ -138,10 +138,30 @@ pub fn all_attribute_z_scores(
     categorization: &Categorization,
     config: &ZScoreConfig,
 ) -> Result<Vec<TemporalZScores>, AnalysisError> {
-    Attribute::ALL
-        .into_iter()
-        .map(|attr| temporal_z_scores(dataset, records, categorization, attr, config))
-        .collect()
+    all_attribute_z_scores_with(dataset, records, categorization, config, Parallelism::Sequential)
+}
+
+/// [`all_attribute_z_scores`] with an explicit parallelism mode. Each
+/// attribute's sweep is independent of the others (its own good-reference
+/// vector, its own per-group series), so the 12 sweeps fan out across
+/// threads; output order follows [`Attribute::ALL`] and a failure
+/// surfaces for the lowest attribute index in every mode.
+///
+/// # Errors
+///
+/// Propagates [`temporal_z_scores`] errors.
+pub fn all_attribute_z_scores_with(
+    dataset: &Dataset,
+    records: &FailureRecordSet,
+    categorization: &Categorization,
+    config: &ZScoreConfig,
+    parallelism: Parallelism,
+) -> Result<Vec<TemporalZScores>, AnalysisError> {
+    par_map_indexed(parallelism, &Attribute::ALL, |_, &attr| {
+        temporal_z_scores(dataset, records, categorization, attr, config)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// The §V-A diagnosis table: mean z-score magnitude of every attribute for
@@ -294,8 +314,7 @@ mod tests {
     fn sparse_groups_yield_none_at_long_horizons() {
         let (ds, records, cat) = setup();
         let config = ZScoreConfig { stride_hours: 8, max_hours: 480, min_samples: 50 };
-        let z = temporal_z_scores(&ds, &records, &cat, Attribute::SeekErrorRate, &config)
-            .unwrap();
+        let z = temporal_z_scores(&ds, &records, &cat, Attribute::SeekErrorRate, &config).unwrap();
         // The tiny Group 2 (≈4 drives at test scale) can never reach 50
         // samples.
         assert!(z.by_group[1].iter().all(|v| v.is_none()));
@@ -304,8 +323,7 @@ mod tests {
     #[test]
     fn all_attributes_sweep_covers_twelve() {
         let (ds, records, cat) = setup();
-        let all =
-            all_attribute_z_scores(&ds, &records, &cat, &ZScoreConfig::default()).unwrap();
+        let all = all_attribute_z_scores(&ds, &records, &cat, &ZScoreConfig::default()).unwrap();
         assert_eq!(all.len(), 12);
         // TC and POH are the two diagnostic attributes; they must single
         // out different groups (G1 vs G3).
@@ -316,10 +334,8 @@ mod tests {
 
     #[test]
     fn needs_good_drives() {
-        let ds = FleetSimulator::new(
-            FleetConfig::test_scale().with_good_drives(0).with_seed(61),
-        )
-        .run();
+        let ds =
+            FleetSimulator::new(FleetConfig::test_scale().with_good_drives(0).with_seed(61)).run();
         let records = FailureRecordSet::extract(&ds, 24).unwrap();
         let cat = Categorizer::new(CategorizationConfig { run_svc: false, ..Default::default() })
             .categorize(&ds, &records)
@@ -339,8 +355,7 @@ mod tests {
     #[test]
     fn discrimination_table_names_tc_for_group1_and_poh_for_group3() {
         let (ds, records, cat) = setup();
-        let sweeps =
-            all_attribute_z_scores(&ds, &records, &cat, &ZScoreConfig::default()).unwrap();
+        let sweeps = all_attribute_z_scores(&ds, &records, &cat, &ZScoreConfig::default()).unwrap();
         let table = DiscriminationTable::from_sweeps(&sweeps);
         assert_eq!(table.rows.len(), 12);
         assert_eq!(

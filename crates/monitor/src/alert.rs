@@ -36,6 +36,12 @@ pub enum AlertKind {
     /// The drive runs persistently hotter than the good population — the
     /// §V-A precursor of logical failures.
     ThermalRisk,
+    /// A drive with a latched severity now matches a *different* failure
+    /// type's Table II profile than previously announced. Each type has its
+    /// own degradation signature (§IV-C), so the remaining-time horizon can
+    /// change by orders of magnitude — the operator must see the revised
+    /// diagnosis even though the severity ladder has already topped out.
+    TypeReclassification,
 }
 
 /// One monitoring alert.

@@ -160,8 +160,7 @@ mod tests {
     fn bundle_covers_every_group() {
         let (_, bundle) = bundle();
         assert_eq!(bundle.groups().len(), 3);
-        let types: Vec<FailureType> =
-            bundle.groups().iter().map(|g| g.failure_type).collect();
+        let types: Vec<FailureType> = bundle.groups().iter().map(|g| g.failure_type).collect();
         assert!(types.contains(&FailureType::Logical));
         assert!(types.contains(&FailureType::BadSector));
         assert!(types.contains(&FailureType::HeadWear));
@@ -182,9 +181,7 @@ mod tests {
         // least one model.
         let drive = dataset
             .failed_drives()
-            .find(|d| {
-                d.label().failure_mode() == Some(dds_smartsim::FailureMode::BadSector)
-            })
+            .find(|d| d.label().failure_mode() == Some(dds_smartsim::FailureMode::BadSector))
             .unwrap();
         let normalized = bundle.normalize(drive.records().last().unwrap());
         let (_, degradation) = bundle.worst_prediction(&normalized).unwrap();

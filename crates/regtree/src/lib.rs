@@ -25,8 +25,18 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+use dds_stats::par::{par_map_indexed, Parallelism};
 use std::error::Error;
 use std::fmt;
+
+/// Minimum `samples × features` in a node before split search fans out to
+/// threads; below this the scan is cheaper than a thread hand-off. Depends
+/// only on the data, never on the machine, so tree shape is identical in
+/// every [`Parallelism`] mode.
+const PAR_SPLIT_MIN_CELLS: usize = 4_096;
+
+/// Minimum batch size before predictions fan out to threads.
+const PAR_PREDICT_MIN_ROWS: usize = 2_048;
 
 /// Errors produced when fitting or querying a regression tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +80,11 @@ pub struct TreeConfig {
     pub min_samples_leaf: usize,
     /// Minimum SSE reduction a split must achieve to be accepted.
     pub min_impurity_decrease: f64,
+    /// Parallelism of split search during fitting and of batch prediction.
+    /// Never affects the fitted tree or its predictions — candidate
+    /// features are folded in index order with the same tie-breaking the
+    /// sequential scan uses.
+    pub parallelism: Parallelism,
 }
 
 impl TreeConfig {
@@ -81,7 +96,15 @@ impl TreeConfig {
             min_samples_split: 20,
             min_samples_leaf: 5,
             min_impurity_decrease: 1e-9,
+            parallelism: Parallelism::Auto,
         }
+    }
+
+    /// Sets the parallelism mode.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Sets the maximum depth.
@@ -130,26 +153,27 @@ impl Default for TreeConfig {
 /// A node of the fitted tree.
 #[derive(Debug, Clone, PartialEq)]
 enum Node {
-    Leaf {
-        value: f64,
-        samples: usize,
-    },
-    Split {
-        feature: usize,
-        threshold: f64,
-        value: f64,
-        samples: usize,
-        left: usize,
-        right: usize,
-    },
+    Leaf { value: f64, samples: usize },
+    Split { feature: usize, threshold: f64, value: f64, samples: usize, left: usize, right: usize },
 }
 
 /// A fitted CART regression tree.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RegressionTree {
     nodes: Vec<Node>,
     num_features: usize,
     importances: Vec<f64>,
+    parallelism: Parallelism,
+}
+
+/// Equality compares the fitted model only; the [`Parallelism`] mode a
+/// tree was fitted with is an execution detail, not part of the model.
+impl PartialEq for RegressionTree {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes
+            && self.num_features == other.num_features
+            && self.importances == other.importances
+    }
 }
 
 impl RegressionTree {
@@ -182,6 +206,7 @@ impl RegressionTree {
             nodes: Vec::new(),
             num_features,
             importances: vec![0.0; num_features],
+            parallelism: config.parallelism,
         };
         let indices: Vec<usize> = (0..xs.len()).collect();
         tree.build(xs, ys, indices, 0, config);
@@ -247,7 +272,11 @@ impl RegressionTree {
 
     /// Finds the SSE-minimizing split (Eq. 8) over all features and
     /// thresholds, or `None` if no admissible split improves enough.
-    #[allow(clippy::needless_range_loop)]
+    ///
+    /// Candidate features are evaluated independently (in parallel for
+    /// large nodes) and folded in feature order with a strictly-greater
+    /// comparison, so ties keep the lowest feature index — exactly what a
+    /// sequential scan over `0..num_features` produces.
     fn best_split(
         &self,
         xs: &[Vec<f64>],
@@ -256,48 +285,19 @@ impl RegressionTree {
         parent_sse: f64,
         config: &TreeConfig,
     ) -> Option<BestSplit> {
-        let n = indices.len();
+        let par = if indices.len() * self.num_features >= PAR_SPLIT_MIN_CELLS {
+            config.parallelism
+        } else {
+            Parallelism::Sequential
+        };
+        let features: Vec<usize> = (0..self.num_features).collect();
+        let per_feature = par_map_indexed(par, &features, |_, &feature| {
+            best_split_for_feature(xs, ys, indices, parent_sse, config, feature)
+        });
         let mut best: Option<BestSplit> = None;
-        for feature in 0..self.num_features {
-            // Sort node samples by this feature.
-            let mut order: Vec<usize> = indices.to_vec();
-            order.sort_by(|&a, &b| {
-                xs[a][feature].partial_cmp(&xs[b][feature]).expect("finite features")
-            });
-            // Prefix sums for O(1) SSE of each candidate partition:
-            // SSE = Σy² − (Σy)²/n for each side.
-            let mut left_sum = 0.0;
-            let mut left_sq = 0.0;
-            let total_sum: f64 = order.iter().map(|&i| ys[i]).sum();
-            let total_sq: f64 = order.iter().map(|&i| ys[i] * ys[i]).sum();
-            for split_at in 1..n {
-                let i = order[split_at - 1];
-                left_sum += ys[i];
-                left_sq += ys[i] * ys[i];
-                // Can't split between equal feature values.
-                let lo = xs[order[split_at - 1]][feature];
-                let hi = xs[order[split_at]][feature];
-                if hi <= lo {
-                    continue;
-                }
-                if split_at < config.min_samples_leaf || n - split_at < config.min_samples_leaf {
-                    continue;
-                }
-                let right_sum = total_sum - left_sum;
-                let right_sq = total_sq - left_sq;
-                let left_sse = left_sq - left_sum * left_sum / split_at as f64;
-                let right_sse = right_sq - right_sum * right_sum / (n - split_at) as f64;
-                let improvement = parent_sse - left_sse - right_sse;
-                if improvement < config.min_impurity_decrease {
-                    continue;
-                }
-                if best.as_ref().is_none_or(|b| improvement > b.improvement) {
-                    best = Some(BestSplit {
-                        feature,
-                        threshold: (lo + hi) / 2.0,
-                        improvement,
-                    });
-                }
+        for candidate in per_feature.into_iter().flatten() {
+            if best.as_ref().is_none_or(|b| candidate.improvement > b.improvement) {
+                best = Some(candidate);
             }
         }
         best
@@ -321,9 +321,28 @@ impl RegressionTree {
         }
     }
 
-    /// Predicts a batch of rows.
+    /// Predicts a batch of rows. Large batches fan out across threads
+    /// (per the [`Parallelism`] the tree was fitted with); output order
+    /// always matches input order.
     pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
-        rows.iter().map(|r| self.predict(r)).collect()
+        par_map_indexed(self.batch_parallelism(rows.len()), rows, |_, r| self.predict(r))
+    }
+
+    /// Predicts a batch of borrowed rows — the zero-copy counterpart of
+    /// [`predict_batch`](Self::predict_batch) for callers that already hold
+    /// their samples elsewhere and would otherwise clone every row.
+    pub fn predict_batch_ref(&self, rows: &[&[f64]]) -> Vec<f64> {
+        par_map_indexed(self.batch_parallelism(rows.len()), rows, |_, r| self.predict(r))
+    }
+
+    /// Parallelism for a batch of `rows` predictions: single predictions
+    /// are so cheap that small batches stay on the calling thread.
+    fn batch_parallelism(&self, rows: usize) -> Parallelism {
+        if rows >= PAR_PREDICT_MIN_ROWS {
+            self.parallelism
+        } else {
+            Parallelism::Sequential
+        }
     }
 
     /// Number of nodes in the tree.
@@ -421,6 +440,54 @@ struct BestSplit {
     improvement: f64,
 }
 
+/// The best admissible split on one feature: sort the node's samples by
+/// the feature, then scan candidate partitions with prefix sums for O(1)
+/// SSE of each side (SSE = Σy² − (Σy)²/n). Ties keep the earliest
+/// candidate position (strictly-greater comparison).
+fn best_split_for_feature(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    indices: &[usize],
+    parent_sse: f64,
+    config: &TreeConfig,
+    feature: usize,
+) -> Option<BestSplit> {
+    let n = indices.len();
+    let mut order: Vec<usize> = indices.to_vec();
+    order.sort_by(|&a, &b| xs[a][feature].partial_cmp(&xs[b][feature]).expect("finite features"));
+    let mut left_sum = 0.0;
+    let mut left_sq = 0.0;
+    let total_sum: f64 = order.iter().map(|&i| ys[i]).sum();
+    let total_sq: f64 = order.iter().map(|&i| ys[i] * ys[i]).sum();
+    let mut best: Option<BestSplit> = None;
+    for split_at in 1..n {
+        let i = order[split_at - 1];
+        left_sum += ys[i];
+        left_sq += ys[i] * ys[i];
+        // Can't split between equal feature values.
+        let lo = xs[order[split_at - 1]][feature];
+        let hi = xs[order[split_at]][feature];
+        if hi <= lo {
+            continue;
+        }
+        if split_at < config.min_samples_leaf || n - split_at < config.min_samples_leaf {
+            continue;
+        }
+        let right_sum = total_sum - left_sum;
+        let right_sq = total_sq - left_sq;
+        let left_sse = left_sq - left_sum * left_sum / split_at as f64;
+        let right_sse = right_sq - right_sum * right_sum / (n - split_at) as f64;
+        let improvement = parent_sse - left_sse - right_sse;
+        if improvement < config.min_impurity_decrease {
+            continue;
+        }
+        if best.as_ref().is_none_or(|b| improvement > b.improvement) {
+            best = Some(BestSplit { feature, threshold: (lo + hi) / 2.0, improvement });
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -493,8 +560,8 @@ mod tests {
         let tree = RegressionTree::fit(&xs, &ys, &config).unwrap();
         let rmse = {
             let pred = tree.predict_batch(&xs);
-            let mse = pred.iter().zip(&ys).map(|(p, y)| (p - y) * (p - y)).sum::<f64>()
-                / ys.len() as f64;
+            let mse =
+                pred.iter().zip(&ys).map(|(p, y)| (p - y) * (p - y)).sum::<f64>() / ys.len() as f64;
             mse.sqrt()
         };
         assert!(rmse < 0.02, "rmse {rmse}");
@@ -504,9 +571,7 @@ mod tests {
     fn multi_feature_selects_informative_one() {
         // Feature 2 carries the signal; 0 and 1 are constant / noise-free
         // decoys.
-        let xs: Vec<Vec<f64>> = (0..100)
-            .map(|i| vec![1.0, (i % 3) as f64, i as f64])
-            .collect();
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![1.0, (i % 3) as f64, i as f64]).collect();
         let ys: Vec<f64> = (0..100).map(|i| if i < 50 { 0.0 } else { 5.0 }).collect();
         let tree = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
         let imp = tree.feature_importances();
@@ -543,6 +608,37 @@ mod tests {
         assert!(text.contains("POH <"));
         assert!(text.contains("(100%)"));
         assert!(text.contains("leaf:"));
+    }
+
+    #[test]
+    fn predict_batch_ref_matches_owned_batch() {
+        let (xs, ys) = step_data();
+        let tree = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        let owned = tree.predict_batch(&xs);
+        let borrowed: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        assert_eq!(tree.predict_batch_ref(&borrowed), owned);
+    }
+
+    #[test]
+    fn fit_is_identical_for_every_parallelism_mode() {
+        // Noisy multi-feature data with plenty of tie opportunities.
+        let xs: Vec<Vec<f64>> = (0..600)
+            .map(|i| vec![(i % 13) as f64, (i % 7) as f64, (i * 37 % 101) as f64])
+            .collect();
+        let ys: Vec<f64> = (0..600).map(|i| ((i * 29) % 17) as f64).collect();
+        let config = TreeConfig::default().with_min_samples_split(4).with_min_samples_leaf(2);
+        let sequential = RegressionTree::fit(
+            &xs,
+            &ys,
+            &config.clone().with_parallelism(Parallelism::Sequential),
+        )
+        .unwrap();
+        for mode in [Parallelism::Auto, Parallelism::Threads(4)] {
+            let parallel =
+                RegressionTree::fit(&xs, &ys, &config.clone().with_parallelism(mode)).unwrap();
+            assert_eq!(parallel, sequential, "{mode:?}");
+            assert_eq!(parallel.predict_batch(&xs), sequential.predict_batch(&xs), "{mode:?}");
+        }
     }
 
     #[test]

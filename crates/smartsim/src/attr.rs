@@ -107,9 +107,7 @@ impl Attribute {
     /// Read/write vs environmental classification (Table I).
     pub fn kind(self) -> AttributeKind {
         match self {
-            Attribute::PowerOnHours | Attribute::TemperatureCelsius => {
-                AttributeKind::Environmental
-            }
+            Attribute::PowerOnHours | Attribute::TemperatureCelsius => AttributeKind::Environmental,
             _ => AttributeKind::ReadWrite,
         }
     }

@@ -156,10 +156,8 @@ impl Dataset {
     ///
     /// Returns [`StatsError::EmptyInput`] when no drive has any record.
     pub fn new(drives: Vec<DriveProfile>) -> Result<Self, StatsError> {
-        let rows: Vec<Vec<f64>> = drives
-            .iter()
-            .flat_map(|d| d.records().iter().map(|r| r.values.to_vec()))
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            drives.iter().flat_map(|d| d.records().iter().map(|r| r.values.to_vec())).collect();
         let scaler = MinMaxScaler::fit(&rows)?;
         Ok(Dataset { drives, scaler })
     }
@@ -237,11 +235,8 @@ mod tests {
     }
 
     fn two_drive_dataset() -> Dataset {
-        let good = DriveProfile::new(
-            DriveId(0),
-            DriveLabel::Good,
-            vec![record(0, 10.0), record(1, 20.0)],
-        );
+        let good =
+            DriveProfile::new(DriveId(0), DriveLabel::Good, vec![record(0, 10.0), record(1, 20.0)]);
         let failed = DriveProfile::new(
             DriveId(1),
             DriveLabel::Failed(FailureMode::Logical),
@@ -303,11 +298,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly chronological")]
     fn unsorted_records_panic() {
-        DriveProfile::new(
-            DriveId(0),
-            DriveLabel::Good,
-            vec![record(5, 1.0), record(3, 1.0)],
-        );
+        DriveProfile::new(DriveId(0), DriveLabel::Good, vec![record(5, 1.0), record(3, 1.0)]);
     }
 
     #[test]

@@ -181,7 +181,8 @@ impl DriveState {
         self.ecc_ewma = EWMA_DECAY * self.ecc_ewma + (1.0 - EWMA_DECAY) * ecc;
 
         if randutil::bernoulli(rng, stress.pending_prob * load) {
-            self.pending += 1.0 + randutil::poisson(rng, (stress.pending_burst_size - 1.0).max(0.0)) as f64;
+            self.pending +=
+                1.0 + randutil::poisson(rng, (stress.pending_burst_size - 1.0).max(0.0)) as f64;
         }
         if randutil::bernoulli(rng, stress.realloc_burst_prob * load) {
             self.reallocated += randutil::poisson(rng, stress.realloc_burst_size) as f64;
@@ -233,8 +234,7 @@ impl DriveState {
             - anomalies.rrer_depression
             + self.noise[0];
         let ser = smart::rate_health(self.bases[1], self.seek_ewma, 3.0) + self.noise[1];
-        let her = smart::rate_health(self.bases[2], self.ecc_ewma, 2.5)
-            - anomalies.her_depression
+        let her = smart::rate_health(self.bases[2], self.ecc_ewma, 2.5) - anomalies.her_depression
             + self.noise[2];
         let sut = self.spin_health - anomalies.sut_depression + self.noise[3];
 
@@ -310,7 +310,8 @@ mod tests {
         let mut state = DriveState::new(&mut rng, 20_000.0, 5.0);
         let mut stress = HourlyStress::baseline();
         stress.realloc_burst_prob = 0.2; // force activity
-        let records = run_hours(&mut state, &mut rng, &env, 200, &stress, &AnomalyLevels::default());
+        let records =
+            run_hours(&mut state, &mut rng, &env, 200, &stress, &AnomalyLevels::default());
         let realloc_idx = Attribute::RawReallocatedSectors.index();
         for w in records.windows(2) {
             assert!(w[1][realloc_idx] >= w[0][realloc_idx]);
@@ -331,10 +332,7 @@ mod tests {
         assert!(rec[Attribute::RawReallocatedSectors.index()] >= 3000.0);
         assert!(rec[Attribute::ReportedUncorrectable.index()] <= 100.0 - 0.5 * 50.0 + 1e-9);
         // A lower later target must not decrease the counter.
-        let lower = AnomalyLevels {
-            reallocated_target: Some(100.0),
-            ..AnomalyLevels::default()
-        };
+        let lower = AnomalyLevels { reallocated_target: Some(100.0), ..AnomalyLevels::default() };
         let rec2 = state.step(&mut rng, &env, 1, &HourlyStress::baseline(), &lower);
         assert!(rec2[Attribute::RawReallocatedSectors.index()] >= 3000.0);
     }
@@ -358,8 +356,7 @@ mod tests {
         let depressed_mean = {
             let mut rng = StdRng::seed_from_u64(9);
             let mut state = DriveState::new(&mut rng, 8_000.0, 4.0);
-            let anomalies =
-                AnomalyLevels { rrer_depression: 10.0, ..AnomalyLevels::default() };
+            let anomalies = AnomalyLevels { rrer_depression: 10.0, ..AnomalyLevels::default() };
             let recs =
                 run_hours(&mut state, &mut rng, &env, 100, &HourlyStress::baseline(), &anomalies);
             recs.iter().map(|r| r[0]).sum::<f64>() / 100.0
@@ -372,10 +369,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let env = Environment::new();
         let mut state = DriveState::new(&mut rng, 1_000.0, 4.0);
-        let anomalies = AnomalyLevels {
-            reallocated_target: Some(1e9),
-            ..AnomalyLevels::default()
-        };
+        let anomalies = AnomalyLevels { reallocated_target: Some(1e9), ..AnomalyLevels::default() };
         let rec = state.step(&mut rng, &env, 0, &HourlyStress::baseline(), &anomalies);
         assert_eq!(rec[Attribute::RawReallocatedSectors.index()], smart::SPARE_SECTORS);
         assert_eq!(rec[Attribute::ReallocatedSectors.index()], smart::HEALTH_MIN);
@@ -390,14 +384,12 @@ mod tests {
         let stress = HourlyStress::baseline();
         let anomalies = AnomalyLevels::default();
         let tc = Attribute::TemperatureCelsius.index();
-        let cool_mean: f64 = (0..100)
-            .map(|h| cool.step(&mut rng, &env, h, &stress, &anomalies)[tc])
-            .sum::<f64>()
-            / 100.0;
-        let hot_mean: f64 = (0..100)
-            .map(|h| hot.step(&mut rng, &env, h, &stress, &anomalies)[tc])
-            .sum::<f64>()
-            / 100.0;
+        let cool_mean: f64 =
+            (0..100).map(|h| cool.step(&mut rng, &env, h, &stress, &anomalies)[tc]).sum::<f64>()
+                / 100.0;
+        let hot_mean: f64 =
+            (0..100).map(|h| hot.step(&mut rng, &env, h, &stress, &anomalies)[tc]).sum::<f64>()
+                / 100.0;
         assert!(cool_mean - hot_mean > 8.0);
     }
 

@@ -41,8 +41,7 @@ impl LoadModel {
         let raw = match self {
             LoadModel::Constant(level) => *level,
             LoadModel::Diurnal { base, amplitude } => {
-                let phase =
-                    2.0 * std::f64::consts::PI * ((hour % 24) as f64 - 15.0) / 24.0;
+                let phase = 2.0 * std::f64::consts::PI * ((hour % 24) as f64 - 15.0) / 24.0;
                 base + amplitude * phase.sin()
             }
             LoadModel::Trace(samples) => {
@@ -175,13 +174,20 @@ mod tests {
     #[test]
     fn trace_driven_fleet_still_simulates() {
         use crate::fleet::{FleetConfig, FleetSimulator};
-        let mut config = FleetConfig::test_scale()
-            .with_good_drives(10)
-            .with_failed_drives(5)
-            .with_seed(55);
+        let mut config =
+            FleetConfig::test_scale().with_good_drives(10).with_failed_drives(5).with_seed(55);
         // A bursty weekly pattern: quiet nights, heavy weekend scrubs.
-        let trace: Vec<f64> =
-            (0..168).map(|h| if h % 24 < 8 { 0.3 } else if h > 120 { 2.0 } else { 1.0 }).collect();
+        let trace: Vec<f64> = (0..168)
+            .map(|h| {
+                if h % 24 < 8 {
+                    0.3
+                } else if h > 120 {
+                    2.0
+                } else {
+                    1.0
+                }
+            })
+            .collect();
         config.environment.load_model = LoadModel::Trace(trace);
         let dataset = FleetSimulator::new(config).run();
         assert_eq!(dataset.failed_drives().count(), 5);

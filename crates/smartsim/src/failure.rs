@@ -153,9 +153,17 @@ impl FailureProcess {
                 window_hours: randutil::normal(rng, 380.0, 40.0)
                     .clamp(250.0_f64.min(max_window), max_window),
                 start_age_hours: randutil::normal(rng, 12_000.0, 3_000.0).max(500.0),
-                internal_heat: randutil::normal(rng, 0.8, 0.4).max(0.0),
+                // Every failed group runs measurably hotter than the good
+                // fleet (Fig. 11), so keep a positive floor: media damage
+                // means retries and recovery passes, which dissipate heat
+                // even in an otherwise healthy chassis.
+                internal_heat: randutil::normal(rng, 1.0, 0.4).max(0.3),
                 params: ModeParams::BadSector {
-                    uncorrectable_final: randutil::normal(rng, 110.0, 15.0).max(70.0),
+                    // Floor at 95: a drive that failed *from* bad sectors
+                    // has by definition accumulated enough uncorrectables
+                    // to push RUE health clearly below good drives
+                    // (Fig. 6, Group 2), i.e. under 100 − 0.5·95 = 52.5.
+                    uncorrectable_final: randutil::normal(rng, 110.0, 15.0).max(95.0),
                     pending_final: randutil::normal(rng, 35.0, 8.0).max(15.0),
                     // Uniform spread: "diverse R-RSC (write errors)".
                     reallocated_final: rng.random::<f64>() * 2_500.0,
@@ -217,7 +225,11 @@ impl FailureProcess {
     /// Stress and anomaly levels for the hour that is `hours_to_failure`
     /// hours before the failure event, within a profile of
     /// `profile_hours` total recorded hours.
-    pub fn stress_at(&self, hours_to_failure: f64, profile_hours: u32) -> (HourlyStress, AnomalyLevels) {
+    pub fn stress_at(
+        &self,
+        hours_to_failure: f64,
+        profile_hours: u32,
+    ) -> (HourlyStress, AnomalyLevels) {
         let mut stress = HourlyStress::baseline();
         let mut anomalies = AnomalyLevels::default();
         let d = self.window_hours;
@@ -292,10 +304,9 @@ impl FailureProcess {
                     // terminal storm, so the distance curve out there is
                     // noise-dominated and non-monotone (Fig. 7c).
                     let span = (profile_hours as f64 - d).max(1.0);
-                    let progress =
-                        (((profile_hours as f64 - t) / span) / 0.45).clamp(0.0, 1.0);
-                    let target = reallocated_start
-                        + (reallocated_at_window - reallocated_start) * progress;
+                    let progress = (((profile_hours as f64 - t) / span) / 0.45).clamp(0.0, 1.0);
+                    let target =
+                        reallocated_start + (reallocated_at_window - reallocated_start) * progress;
                     anomalies.reallocated_target = Some(target);
                 }
             }

@@ -12,6 +12,7 @@ use crate::environment::Environment;
 use crate::failure::{FailureMode, FailureProcess};
 use crate::randutil;
 use crate::topology::Topology;
+use dds_stats::par::{par_generate, stream_seed, Parallelism};
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
 
@@ -52,6 +53,9 @@ pub struct FleetConfig {
     /// Number of hot-spot racks (heat-triggered logical failures arise
     /// there preferentially, §V-A).
     pub hot_racks: u16,
+    /// Parallelism of fleet generation. Every drive draws from its own
+    /// seed-derived RNG stream, so the dataset is identical in every mode.
+    pub parallelism: Parallelism,
 }
 
 impl FleetConfig {
@@ -81,6 +85,7 @@ impl FleetConfig {
             environment: Environment::new(),
             racks: 24,
             hot_racks: 3,
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -124,6 +129,13 @@ impl FleetConfig {
     #[must_use]
     pub fn with_failed_drives(mut self, n: u32) -> Self {
         self.failed_drives = n;
+        self
+    }
+
+    /// Sets the parallelism mode for fleet generation.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 
@@ -228,33 +240,40 @@ impl FleetSimulator {
 
     /// Runs the simulation, returning the assembled dataset.
     ///
-    /// Deterministic for a fixed configuration (including seed).
+    /// Deterministic for a fixed configuration (including seed), and
+    /// independent of [`FleetConfig::parallelism`]: the master seed feeds
+    /// only topology generation, while every drive draws from its own
+    /// [`stream_seed`]-derived generator, so drives can be simulated in
+    /// any order — or concurrently — without changing a single record.
     pub fn run(&self) -> Dataset {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let topology =
             Topology::generate(self.config.racks.max(1), self.config.hot_racks, &mut rng);
         let placement = Placement { topology: &topology };
-        let mut drives =
-            Vec::with_capacity((self.config.good_drives + self.config.failed_drives) as usize);
-        let mut next_id = 0u32;
 
-        // --- failed drives, one block per mode ---------------------------
+        // Drive index blocks: one block per failure mode, then good drives;
+        // drive `i` gets `DriveId(i)` so IDs match the sequential layout.
         let counts = self.config.mode_counts();
-        for (mode, &count) in FailureMode::ALL.iter().zip(&counts) {
-            for _ in 0..count {
-                let profile =
-                    self.simulate_failed(*mode, DriveId(next_id), &placement, &mut rng);
-                drives.push(profile);
-                next_id += 1;
+        let total = (self.config.good_drives + self.config.failed_drives) as usize;
+        let mode_of = |i: usize| -> Option<FailureMode> {
+            let mut cursor = 0usize;
+            for (mode, &count) in FailureMode::ALL.iter().zip(&counts) {
+                cursor += count as usize;
+                if i < cursor {
+                    return Some(*mode);
+                }
             }
-        }
+            None
+        };
 
-        // --- good drives ---------------------------------------------------
-        for _ in 0..self.config.good_drives {
-            let profile = self.simulate_good(DriveId(next_id), &placement, &mut rng);
-            drives.push(profile);
-            next_id += 1;
-        }
+        let drives = par_generate(self.config.parallelism, total, |i| {
+            let mut rng = StdRng::seed_from_u64(stream_seed(self.config.seed, i as u64));
+            let id = DriveId(i as u32);
+            match mode_of(i) {
+                Some(mode) => self.simulate_failed(mode, id, &placement, &mut rng),
+                None => self.simulate_good(id, &placement, &mut rng),
+            }
+        });
 
         Dataset::new(drives).expect("simulated fleet is non-empty")
     }
@@ -286,8 +305,7 @@ impl FleetSimulator {
         let mut state = process.spawn_drive(rack_offset, rng);
         // Place the failure somewhere in the collection period after the
         // profile window.
-        let fail_hour =
-            rng.random_range(hours..=self.config.collection_hours.max(hours + 1));
+        let fail_hour = rng.random_range(hours..=self.config.collection_hours.max(hours + 1));
         let start_hour = fail_hour - hours;
         let mut records = Vec::with_capacity(hours as usize);
         for h in 0..hours {
@@ -316,8 +334,8 @@ impl FleetSimulator {
         let age = randutil::normal(rng, 10_000.0, 4_000.0).max(200.0);
         let (rack, offset) = placement.place(None, rng);
         let mut state = DriveState::new(rng, age, offset);
-        let start_hour = rng
-            .random_range(0..=(self.config.collection_hours.saturating_sub(hours)).max(1));
+        let start_hour =
+            rng.random_range(0..=(self.config.collection_hours.saturating_sub(hours)).max(1));
         let stress = HourlyStress::baseline();
         let anomalies = AnomalyLevels::default();
         let mut records = Vec::with_capacity(hours as usize);

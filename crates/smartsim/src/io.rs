@@ -89,10 +89,7 @@ fn label_from_str(text: &str) -> Option<DriveLabel> {
         // validation.
         return Some(DriveLabel::Failed(FailureMode::Logical));
     }
-    FailureMode::ALL
-        .into_iter()
-        .find(|m| m.type_name() == rest)
-        .map(DriveLabel::Failed)
+    FailureMode::ALL.into_iter().find(|m| m.type_name() == rest).map(DriveLabel::Failed)
 }
 
 /// Writes a dataset as CSV (records of all drives, one row per hour).
@@ -138,11 +135,7 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, CsvError> {
         if fields.len() != 3 + NUM_ATTRIBUTES {
             return Err(CsvError::Parse {
                 line: line_no,
-                message: format!(
-                    "expected {} fields, found {}",
-                    3 + NUM_ATTRIBUTES,
-                    fields.len()
-                ),
+                message: format!("expected {} fields, found {}", 3 + NUM_ATTRIBUTES, fields.len()),
             });
         }
         let id: u32 = fields[0].parse().map_err(|_| CsvError::Parse {
@@ -184,17 +177,13 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, CsvError> {
     let profiles: Vec<DriveProfile> = drives
         .into_iter()
         .map(|(id, (label, records))| {
-            let records: Vec<HealthRecord> = records
-                .into_iter()
-                .map(|(hour, values)| HealthRecord { hour, values })
-                .collect();
+            let records: Vec<HealthRecord> =
+                records.into_iter().map(|(hour, values)| HealthRecord { hour, values }).collect();
             DriveProfile::new(DriveId(id), label, records)
         })
         .collect();
-    Dataset::new(profiles).map_err(|e| CsvError::Parse {
-        line: 0,
-        message: format!("dataset assembly failed: {e}"),
-    })
+    Dataset::new(profiles)
+        .map_err(|e| CsvError::Parse { line: 0, message: format!("dataset assembly failed: {e}") })
 }
 
 #[cfg(test)]
@@ -204,10 +193,7 @@ mod tests {
 
     fn small_fleet() -> Dataset {
         FleetSimulator::new(
-            FleetConfig::test_scale()
-                .with_good_drives(8)
-                .with_failed_drives(5)
-                .with_seed(777),
+            FleetConfig::test_scale().with_good_drives(8).with_failed_drives(5).with_seed(777),
         )
         .run()
     }
@@ -237,7 +223,10 @@ mod tests {
         write_csv(&small_fleet(), &mut buffer).unwrap();
         let text = String::from_utf8(buffer).unwrap();
         let header = text.lines().next().unwrap();
-        assert_eq!(header, "drive_id,label,hour,RRER,RSC,SER,RUE,HFW,HER,CPSC,SUT,R-RSC,R-CPSC,POH,TC");
+        assert_eq!(
+            header,
+            "drive_id,label,hour,RRER,RSC,SER,RUE,HFW,HER,CPSC,SUT,R-RSC,R-CPSC,POH,TC"
+        );
     }
 
     #[test]
@@ -259,10 +248,7 @@ mod tests {
     #[test]
     fn rejects_malformed_rows() {
         let bad_fields = "drive_id,label,hour,a\n0,good,0,1.0\n";
-        assert!(matches!(
-            read_csv(bad_fields.as_bytes()),
-            Err(CsvError::Parse { line: 2, .. })
-        ));
+        assert!(matches!(read_csv(bad_fields.as_bytes()), Err(CsvError::Parse { line: 2, .. })));
         let bad_value = format!("0,good,0{}\n", ",x".repeat(NUM_ATTRIBUTES));
         assert!(read_csv(bad_value.as_bytes()).is_err());
         let bad_label = format!("0,sideways,0{}\n", ",1.0".repeat(NUM_ATTRIBUTES));
@@ -284,8 +270,7 @@ mod tests {
         let values = ",1.0".repeat(NUM_ATTRIBUTES);
         let csv = format!("0,good,7{values}\n0,good,3{values}\n0,good,5{values}\n");
         let dataset = read_csv(csv.as_bytes()).unwrap();
-        let hours: Vec<u32> =
-            dataset.drives()[0].records().iter().map(|r| r.hour).collect();
+        let hours: Vec<u32> = dataset.drives()[0].records().iter().map(|r| r.hour).collect();
         assert_eq!(hours, vec![3, 5, 7]);
     }
 

@@ -119,7 +119,8 @@ mod tests {
         let mut r = rng();
         let topo = Topology::generate(24, 3, &mut r);
         assert_eq!(topo.len(), 24);
-        let hot_mean: f64 = topo.racks().iter().filter(|k| k.hot).map(|k| k.thermal_offset).sum::<f64>() / 3.0;
+        let hot_mean: f64 =
+            topo.racks().iter().filter(|k| k.hot).map(|k| k.thermal_offset).sum::<f64>() / 3.0;
         let cool: Vec<f64> =
             topo.racks().iter().filter(|k| !k.hot).map(|k| k.thermal_offset).collect();
         let cool_mean: f64 = cool.iter().sum::<f64>() / cool.len() as f64;

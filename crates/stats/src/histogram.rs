@@ -41,7 +41,10 @@ impl Histogram {
         if bins == 0 {
             return Err(StatsError::InvalidParameter("bin count must be positive".to_string()));
         }
-        if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) || !lo.is_finite() || !hi.is_finite() {
+        if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater)
+            || !lo.is_finite()
+            || !hi.is_finite()
+        {
             return Err(StatsError::InvalidParameter(format!(
                 "invalid histogram range [{lo}, {hi}]"
             )));

@@ -36,6 +36,7 @@ pub mod histogram;
 pub mod hypothesis;
 pub mod matrix;
 pub mod normalize;
+pub mod par;
 pub mod regression;
 pub mod streaming;
 pub mod timeseries;
@@ -49,4 +50,7 @@ pub use histogram::Histogram;
 pub use hypothesis::{rank_sum_test, welch_z_score, RankSumResult};
 pub use matrix::Matrix;
 pub use normalize::MinMaxScaler;
+pub use par::{
+    par_chunks_reduce, par_generate, par_join, par_map_indexed, stream_seed, Parallelism,
+};
 pub use regression::{r_squared, rmse, PolynomialFit, SignatureForm, SignatureModel};

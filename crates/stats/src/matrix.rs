@@ -153,9 +153,7 @@ impl Matrix {
         if v.len() != self.cols {
             return Err(StatsError::DimensionMismatch { expected: self.cols, actual: v.len() });
         }
-        Ok((0..self.rows)
-            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect())
+        Ok((0..self.rows).map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum()).collect())
     }
 
     /// Solves `self * x = b` with partial-pivot LU decomposition.
@@ -369,8 +367,7 @@ impl Matrix {
                 }
             }
         }
-        let mut pairs: Vec<(f64, Vec<f64>)> =
-            (0..n).map(|i| (a[(i, i)], v.column(i))).collect();
+        let mut pairs: Vec<(f64, Vec<f64>)> = (0..n).map(|i| (a[(i, i)], v.column(i))).collect();
         if pairs.iter().any(|(l, _)| !l.is_finite()) {
             return Err(StatsError::NonFinite);
         }
@@ -474,12 +471,9 @@ mod tests {
 
     #[test]
     fn solve_recovers_known_solution() {
-        let a = Matrix::from_rows(&[
-            vec![2.0, 1.0, -1.0],
-            vec![-3.0, -1.0, 2.0],
-            vec![-2.0, 1.0, 2.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[vec![2.0, 1.0, -1.0], vec![-3.0, -1.0, 2.0], vec![-2.0, 1.0, 2.0]])
+                .unwrap();
         let b = [8.0, -11.0, -3.0];
         let x = a.solve(&b).unwrap();
         assert!(approx(x[0], 2.0, 1e-10));
@@ -544,12 +538,9 @@ mod tests {
 
     #[test]
     fn symmetric_eigen_reconstructs_matrix() {
-        let a = Matrix::from_rows(&[
-            vec![4.0, 1.0, 0.5],
-            vec![1.0, 3.0, -0.25],
-            vec![0.5, -0.25, 2.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[vec![4.0, 1.0, 0.5], vec![1.0, 3.0, -0.25], vec![0.5, -0.25, 2.0]])
+                .unwrap();
         let eig = a.symmetric_eigen().unwrap();
         // A == V * diag(L) * V^T
         let n = 3;
@@ -557,12 +548,8 @@ mod tests {
         for i in 0..n {
             l[(i, i)] = eig.eigenvalues[i];
         }
-        let recon = eig
-            .eigenvectors
-            .matmul(&l)
-            .unwrap()
-            .matmul(&eig.eigenvectors.transpose())
-            .unwrap();
+        let recon =
+            eig.eigenvectors.matmul(&l).unwrap().matmul(&eig.eigenvectors.transpose()).unwrap();
         for r in 0..n {
             for c in 0..n {
                 assert!(approx(recon[(r, c)], a[(r, c)], 1e-8));

@@ -25,11 +25,7 @@ pub fn rmse(predicted: &[f64], observed: &[f64]) -> Result<f64, StatsError> {
             actual: observed.len(),
         });
     }
-    let mse: f64 = predicted
-        .iter()
-        .zip(observed)
-        .map(|(p, o)| (p - o) * (p - o))
-        .sum::<f64>()
+    let mse: f64 = predicted.iter().zip(observed).map(|(p, o)| (p - o) * (p - o)).sum::<f64>()
         / predicted.len() as f64;
     Ok(mse.sqrt())
 }

@@ -78,10 +78,7 @@ pub fn autocorrelation(values: &[f64], lag: usize) -> Result<f64, StatsError> {
             "autocorrelation undefined for a constant series".to_string(),
         ));
     }
-    let num: f64 = values
-        .windows(lag + 1)
-        .map(|w| (w[0] - mean) * (w[lag] - mean))
-        .sum();
+    let num: f64 = values.windows(lag + 1).map(|w| (w[0] - mean) * (w[lag] - mean)).sum();
     Ok(num / denom)
 }
 
@@ -107,11 +104,8 @@ pub fn detrend(values: &[f64]) -> Result<(Vec<f64>, f64, f64), StatsError> {
     }
     let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
     let intercept = mean_y - slope * mean_x;
-    let residuals = values
-        .iter()
-        .enumerate()
-        .map(|(i, &y)| y - (intercept + slope * i as f64))
-        .collect();
+    let residuals =
+        values.iter().enumerate().map(|(i, &y)| y - (intercept + slope * i as f64)).collect();
     Ok((residuals, slope, intercept))
 }
 

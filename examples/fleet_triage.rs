@@ -70,8 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "temperature diagnosis: Group {} runs hottest (mean TC z-score {z:+.1});",
             group + 1
         );
-        println!("cooling that cohort attacks {:.1}% of all failures at the source.",
-            categorization.groups()[group].population_fraction * 100.0);
+        println!(
+            "cooling that cohort attacks {:.1}% of all failures at the source.",
+            categorization.groups()[group].population_fraction * 100.0
+        );
     }
     Ok(())
 }

@@ -1,0 +1,257 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of the criterion 0.5 API its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`Throughput`],
+//! [`BatchSize`] and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Behavior follows the real harness's two modes:
+//!
+//! - **`cargo bench`** (cargo passes `--bench`): each benchmark is warmed
+//!   up and timed over enough iterations to fill a small measurement
+//!   window; mean wall time per iteration (and derived throughput) is
+//!   printed to stdout.
+//! - **`cargo test`** (no `--bench` argument): each benchmark body runs
+//!   exactly once as a smoke test, so test runs stay fast.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group, used to derive
+/// elements/sec or bytes/sec from the measured time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output `iter_batched` keeps in flight; the shim times
+/// identically for every variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup call per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Default for Criterion {
+    /// Reads the process arguments the way cargo invokes bench targets:
+    /// `--bench` selects measurement mode, anything else (e.g. a bare
+    /// `cargo test` run) selects single-pass smoke mode.
+    fn default() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { measure }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size: 10 }
+    }
+
+    /// Registers a stand-alone benchmark (a group of one).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group(name.to_string());
+        group.bench_function("run", f);
+        group.finish();
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput and sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples (the shim uses it to bound
+    /// total measurement time).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            measure: self.criterion.measure,
+            samples: self.sample_size,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id);
+        if bencher.iterations == 0 {
+            println!("bench {label}: no iterations recorded");
+        } else if self.criterion.measure {
+            let per_iter = bencher.elapsed.as_secs_f64() / bencher.iterations as f64;
+            let rate = match self.throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!(", {:.0} elem/s", n as f64 / per_iter)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!(", {:.1} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+                }
+                None => String::new(),
+            };
+            println!(
+                "bench {label}: {:.3} ms/iter ({} iters{rate})",
+                per_iter * 1e3,
+                bencher.iterations
+            );
+        } else {
+            println!("bench {label}: smoke-tested (pass --bench to measure)");
+        }
+        self
+    }
+
+    /// Ends the group (parity with the real API; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    measure: bool,
+    samples: usize,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+/// Measurement window per benchmark in measurement mode.
+const TARGET_WINDOW: Duration = Duration::from_millis(300);
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records total wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.measure {
+            std::hint::black_box(routine());
+            self.iterations += 1;
+            return;
+        }
+        // Warm-up (also primes caches/allocator).
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < TARGET_WINDOW && iters < self.samples as u64 * 1_000 {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += iters;
+    }
+
+    /// Runs `routine` on fresh inputs from `setup`, timing only `routine`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if !self.measure {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            self.iterations += 1;
+            return;
+        }
+        let deadline = Instant::now() + TARGET_WINDOW;
+        let mut iters = 0u64;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+            iters += 1;
+            if Instant::now() >= deadline || iters >= self.samples as u64 * 1_000 {
+                break;
+            }
+        }
+        self.iterations += iters;
+    }
+}
+
+/// Re-export for code that imports `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a single callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { measure: false };
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0;
+        group.bench_function("once", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_runs_many_and_records_time() {
+        let mut c = Criterion { measure: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut runs = 0u64;
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("fast", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 1, "measurement mode must iterate (ran {runs})");
+    }
+
+    #[test]
+    fn iter_batched_feeds_fresh_inputs() {
+        let mut c = Criterion { measure: false };
+        let mut group = c.benchmark_group("g");
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,431 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of the proptest 1.x API its tests use: the
+//! [`proptest!`] macro, [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_assume!`], range and string strategies, and the
+//! `prop::collection::vec` / `prop::sample::select` constructors.
+//!
+//! Differences from upstream: inputs are generated from a fixed
+//! per-test deterministic seed (derived from the test name), and there
+//! is no shrinking — a failing case reports the assertion message and
+//! the case number, which is reproducible because generation is
+//! deterministic.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generation strategies.
+pub mod strategy {
+    use super::*;
+
+    /// A source of generated values for property tests.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// String patterns act as strategies, as in upstream proptest. The
+    /// shim understands the `.{lo,hi}` form (arbitrary printable-ish
+    /// unicode of bounded length); any other pattern falls back to a
+    /// random string of length 0..=64.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let (lo, hi) = parse_dot_repetition(self).unwrap_or((0, 64));
+            let len = rng.random_range(lo..=hi.max(lo));
+            (0..len)
+                .map(|_| {
+                    // Mix ASCII (mostly) with some multi-byte scalars to
+                    // exercise UTF-8 handling.
+                    if rng.random_bool(0.9) {
+                        char::from(rng.random_range(0x20u32..0x7F) as u8)
+                    } else {
+                        char::from_u32(rng.random_range(0xA0u32..0x2FFF)).unwrap_or('\u{FFFD}')
+                    }
+                })
+                .collect()
+        }
+    }
+
+    /// Parses `.{lo,hi}` patterns; returns `None` for anything else.
+    fn parse_dot_repetition(pattern: &str) -> Option<(usize, usize)> {
+        let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+        let (lo, hi) = body.split_once(',')?;
+        Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+    }
+
+    /// Generates `Vec`s from an element strategy and a size specifier.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.min..=self.max.max(self.min));
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Sizes accepted by [`vec`]: an exact length or a range of lengths.
+    pub trait IntoSizeRange {
+        /// Converts to inclusive `(min, max)` bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end.saturating_sub(1).max(self.start))
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    /// Picks uniformly from a fixed set of options.
+    pub struct SelectStrategy<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for SelectStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.options[rng.random_range(0..self.options.len())].clone()
+        }
+    }
+
+    /// Builds a [`SelectStrategy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> SelectStrategy<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        SelectStrategy { options }
+    }
+}
+
+/// The case runner.
+pub mod test_runner {
+    use super::*;
+
+    /// Outcome of a single generated case.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// An assertion failed; the property is violated.
+        Fail(String),
+        /// The inputs were rejected by `prop_assume!`; try another case.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// Creates a rejection.
+        pub fn reject() -> Self {
+            TestCaseError::Reject
+        }
+    }
+
+    /// Runner configuration.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the property to pass.
+        pub cases: u32,
+        /// Cap on `prop_assume!` rejections before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases, ..ProptestConfig::default() }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    /// FNV-1a, used to derive a deterministic per-test seed from its name.
+    fn fnv1a(data: &str) -> u64 {
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for byte in data.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
+    /// Runs `case` until `config.cases` successes, panicking on the first
+    /// failure. Deterministic: case `i` of test `name` always sees the
+    /// same inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a case fails or the reject budget is exhausted.
+    pub fn run<F>(config: ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        let seed = fnv1a(name);
+        let mut successes = 0u32;
+        let mut rejects = 0u32;
+        let mut index = 0u64;
+        while successes < config.cases {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(index));
+            match case(&mut rng) {
+                Ok(()) => successes += 1,
+                Err(TestCaseError::Reject) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= config.max_global_rejects,
+                        "{name}: too many prop_assume! rejections ({rejects})"
+                    );
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    panic!(
+                        "{name}: property failed at case {index} \
+                         (deterministic; rerun reproduces it): {message}"
+                    );
+                }
+            }
+            index += 1;
+        }
+    }
+}
+
+/// The strategy constructors namespace (`prop::collection::vec`, …).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// process) so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Discards the current case when its inputs don't satisfy a
+/// precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+/// Declares property tests: each `fn` becomes a `#[test]` that runs the
+/// body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $(
+        #[test]
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            $crate::test_runner::run(config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __rng);)+
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u32..10, y in -5..5, z in -1.0..1.0f64) {
+            prop_assert!(x < 10);
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((-1.0..1.0).contains(&z));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(v in prop::collection::vec(0.0..1.0f64, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()), "len {}", v.len());
+            for x in &v {
+                prop_assert!((0.0..1.0).contains(x));
+            }
+        }
+
+        #[test]
+        fn select_picks_members(s in prop::sample::select(vec!["a", "b", "c"])) {
+            prop_assert!(["a", "b", "c"].contains(&s));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn string_pattern_bounds_length(s in ".{0,40}") {
+            prop_assert!(s.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let strat = crate::strategy::vec(0.0..1.0f64, 3usize);
+        let a = strat.generate(&mut StdRng::seed_from_u64(5));
+        let b = strat.generate(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_panic_with_case_number() {
+        crate::test_runner::run(
+            crate::test_runner::ProptestConfig::with_cases(4),
+            "always_fails",
+            |_| Err(crate::test_runner::TestCaseError::fail("boom")),
+        );
+    }
+}

@@ -3,8 +3,8 @@
 //! consumer-fleet transfer check.
 
 use dds::prelude::*;
-use dds_cluster::hierarchical::{Dendrogram, Linkage};
 use dds_cluster::adjusted_rand_index;
+use dds_cluster::hierarchical::{Dendrogram, Linkage};
 use dds_core::knn::KnnRegressor;
 use dds_core::leadtime::{detector_roc, lead_times, LeadTimeConfig};
 use dds_core::CategorizationConfig;
@@ -80,15 +80,11 @@ fn knn_predicts_degradation_comparably_to_the_tree() {
     let group = &report.categorization.groups()[1];
     let drive = dataset.drive(group.centroid_drive).unwrap();
     let n = drive.records().len();
-    let xs: Vec<Vec<f64>> = drive
-        .records()
-        .iter()
-        .map(|r| dataset.normalize_record(r).to_vec())
-        .collect();
+    let xs: Vec<Vec<f64>> =
+        drive.records().iter().map(|r| dataset.normalize_record(r).to_vec()).collect();
     let signature = report.prediction.groups[1].signature;
-    let ys: Vec<f64> = (0..n)
-        .map(|i| signature.evaluate((n - 1 - i) as f64).clamp(-1.0, 1.0))
-        .collect();
+    let ys: Vec<f64> =
+        (0..n).map(|i| signature.evaluate((n - 1 - i) as f64).clamp(-1.0, 1.0)).collect();
     let knn = KnnRegressor::fit(xs.clone(), ys, 5).unwrap();
     let early = knn.predict(&xs[5]).unwrap();
     let late = knn.predict(&xs[n - 5]).unwrap();
@@ -97,21 +93,14 @@ fn knn_predicts_degradation_comparably_to_the_tree() {
 
 #[test]
 fn consumer_fleet_transfers_without_retuning() {
-    let dataset =
-        FleetSimulator::new(FleetConfig::consumer_scale().with_seed(5_010)).run();
+    let dataset = FleetSimulator::new(FleetConfig::consumer_scale().with_seed(5_010)).run();
     let report = Analysis::new(config_without_svc()).run(&dataset).unwrap();
     assert_eq!(report.categorization.num_groups(), 3);
-    let ari = report
-        .categorization
-        .ground_truth_agreement(&dataset, &report.failure_records)
-        .unwrap();
+    let ari =
+        report.categorization.ground_truth_agreement(&dataset, &report.failure_records).unwrap();
     assert!(ari > 0.9, "consumer-fleet ARI {ari}");
     // The shifted mix is recovered: head failures are the plurality.
-    let fractions: Vec<f64> = report
-        .categorization
-        .groups()
-        .iter()
-        .map(|g| g.population_fraction)
-        .collect();
+    let fractions: Vec<f64> =
+        report.categorization.groups().iter().map(|g| g.population_fraction).collect();
     assert!((fractions[2] - 0.40).abs() < 0.1, "fractions {fractions:?}");
 }

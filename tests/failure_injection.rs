@@ -21,11 +21,8 @@ fn config_without_svc() -> AnalysisConfig {
 
 #[test]
 fn nan_telemetry_is_rejected_at_assembly() {
-    let drive = DriveProfile::new(
-        DriveId(0),
-        DriveLabel::Good,
-        vec![record(0, 1.0), record(1, f64::NAN)],
-    );
+    let drive =
+        DriveProfile::new(DriveId(0), DriveLabel::Good, vec![record(0, 1.0), record(1, f64::NAN)]);
     assert!(Dataset::new(vec![drive]).is_err());
 }
 
@@ -50,11 +47,8 @@ fn constant_telemetry_survives_the_pipeline_or_errors_cleanly() {
     // long as it is not a panic.
     let drives: Vec<DriveProfile> = (0..30)
         .map(|i| {
-            let label = if i < 10 {
-                DriveLabel::Failed(FailureMode::Logical)
-            } else {
-                DriveLabel::Good
-            };
+            let label =
+                if i < 10 { DriveLabel::Failed(FailureMode::Logical) } else { DriveLabel::Good };
             let records = (0..50).map(|h| record(h, 5.0)).collect();
             DriveProfile::new(DriveId(i), label, records)
         })
@@ -95,9 +89,8 @@ fn monitor_survives_hostile_streams() {
     let bundle = ModelBundle::from_analysis(&training, &analysis);
     let mut monitor = FleetMonitor::new(bundle, MonitorConfig::default());
     // Out-of-range values, zeros, huge spikes, duplicated hours.
-    for (i, fill) in [(0u32, -1e9), (1, 1e9), (2, 0.0), (2, 0.0), (3, f64::MAX / 2.0)]
-        .into_iter()
-        .enumerate()
+    for (i, fill) in
+        [(0u32, -1e9), (1, 1e9), (2, 0.0), (2, 0.0), (3, f64::MAX / 2.0)].into_iter().enumerate()
     {
         let _ = monitor.ingest(DriveId(1), &record(fill.0, fill.1));
         let _ = i;

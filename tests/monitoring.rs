@@ -58,10 +58,7 @@ fn alerts_name_the_right_failure_type_for_mechanical_failures() {
         }
     }
     assert!(total > 10, "need critical alerts to grade ({total})");
-    assert!(
-        correct as f64 / total as f64 > 0.8,
-        "type attribution {correct}/{total}"
-    );
+    assert!(correct as f64 / total as f64 > 0.8, "type attribution {correct}/{total}");
 }
 
 #[test]

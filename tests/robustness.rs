@@ -34,10 +34,8 @@ fn single_mode_fleet_still_analyzes() {
 
 #[test]
 fn tiny_fleet_analyzes() {
-    let config = FleetConfig::test_scale()
-        .with_good_drives(40)
-        .with_failed_drives(12)
-        .with_seed(405);
+    let config =
+        FleetConfig::test_scale().with_good_drives(40).with_failed_drives(12).with_seed(405);
     let dataset = FleetSimulator::new(config).run();
     let report = Analysis::new(config_without_svc()).run(&dataset).unwrap();
     assert_eq!(report.failure_records.len(), 12);
@@ -59,10 +57,8 @@ fn forced_k_changes_group_count_only() {
 
 #[test]
 fn no_failed_drives_is_a_clean_error() {
-    let dataset = FleetSimulator::new(
-        FleetConfig::test_scale().with_failed_drives(0).with_seed(407),
-    )
-    .run();
+    let dataset =
+        FleetSimulator::new(FleetConfig::test_scale().with_failed_drives(0).with_seed(407)).run();
     match Analysis::new(config_without_svc()).run(&dataset) {
         Err(AnalysisError::UnsuitableDataset(msg)) => {
             assert!(msg.contains("failed"), "message: {msg}")
@@ -107,14 +103,10 @@ fn skewed_mix_recovers_proportions() {
 fn larger_fleet_improves_nothing_structurally() {
     // Doubling the good population must not change the categorization of
     // the same failed drives' structure (fractions, types).
-    let small = FleetSimulator::new(
-        FleetConfig::test_scale().with_good_drives(100).with_seed(410),
-    )
-    .run();
-    let large = FleetSimulator::new(
-        FleetConfig::test_scale().with_good_drives(300).with_seed(410),
-    )
-    .run();
+    let small =
+        FleetSimulator::new(FleetConfig::test_scale().with_good_drives(100).with_seed(410)).run();
+    let large =
+        FleetSimulator::new(FleetConfig::test_scale().with_good_drives(300).with_seed(410)).run();
     let rs = Analysis::new(config_without_svc()).run(&small).unwrap();
     let rl = Analysis::new(config_without_svc()).run(&large).unwrap();
     assert_eq!(rs.categorization.num_groups(), rl.categorization.num_groups());
