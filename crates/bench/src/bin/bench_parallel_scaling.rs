@@ -9,13 +9,20 @@
 //! `dds_stats::par`), so the rows measure pure execution time. The JSON
 //! records the host's core count — wall-clock ratios are only meaningful
 //! relative to it.
+//!
+//! Per-stage breakdowns come from the `dds_obs` stage profiler attached
+//! around the full analysis (the same spans `--trace-json` records), not
+//! from hand-rolled timers: the `pipeline.*` rows are each stage's total
+//! wall time as observed by its span.
 
 use dds_bench::{Scale, EXPERIMENT_SEED};
-use dds_core::categorize::{CategorizationConfig, Categorizer};
-use dds_core::features::FailureRecordSet;
+use dds_core::categorize::CategorizationConfig;
 use dds_core::{Analysis, AnalysisConfig};
+use dds_obs::profile::StageProfiler;
+use dds_obs::trace::{self, Level};
 use dds_smartsim::FleetSimulator;
 use dds_stats::Parallelism;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Row {
@@ -61,24 +68,15 @@ fn main() {
         });
         let dataset = dataset.expect("simulated");
 
-        let records = FailureRecordSet::extract(&dataset, 24).expect("features");
-        let mut cat_config = CategorizationConfig { run_svc: false, ..Default::default() };
-        cat_config.parallelism = par;
-        rows.push(Row {
-            stage: "categorization",
-            threads,
-            wall_ms: time_ms(|| {
-                Categorizer::new(cat_config.clone())
-                    .categorize(&dataset, &records)
-                    .expect("categorize");
-            }),
-        });
-
         let analysis_config = AnalysisConfig {
             categorization: CategorizationConfig { run_svc: false, ..Default::default() },
             ..Default::default()
         }
         .with_parallelism(par);
+        // The stage profiler listens to the pipeline's spans and yields
+        // every per-stage breakdown from a single analysis run.
+        let profiler = Arc::new(StageProfiler::new(Level::Info));
+        trace::install(profiler.clone());
         rows.push(Row {
             stage: "full_analysis",
             threads,
@@ -86,6 +84,13 @@ fn main() {
                 Analysis::new(analysis_config).run(&dataset).expect("analysis");
             }),
         });
+        trace::reset();
+        for (name, stats) in profiler.stats() {
+            if name == "pipeline.run" {
+                continue; // already covered by the full_analysis row
+            }
+            rows.push(Row { stage: name, threads, wall_ms: stats.total.as_secs_f64() * 1_000.0 });
+        }
     }
 
     let mut json = String::new();

@@ -1,16 +1,22 @@
 //! Implementation of the `dds` command-line tool.
 //!
-//! The binary wires the workspace into three operator workflows:
+//! The binary wires the workspace into four operator workflows:
 //!
 //! ```text
 //! dds simulate --scale bench --seed 7 --out fleet.csv   # synthesize + export
 //! dds analyze fleet.csv [--full-report] [--k N]         # run the paper's analysis
 //! dds monitor --train fleet_a.csv --live fleet_b.csv    # train + stream alerts
+//! dds pipeline --scale test --seed 7                    # simulate → analyze → monitor
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace carries no CLI
 //! dependency); every subcommand is a pure function from parsed options to
 //! an output string, which keeps the tool fully unit-testable.
+//!
+//! Every subcommand also accepts the observability flags
+//! `--trace-level <level>` (pretty spans on stderr), `--trace-json <path>`
+//! (JSON-lines span/event log) and `--metrics <path>` (JSON metrics
+//! snapshot written after the run); see `docs/OPERATIONS.md`.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -18,6 +24,9 @@
 use dds_core::categorize::CategorizationConfig;
 use dds_core::{report, Analysis, AnalysisConfig};
 use dds_monitor::{FleetMonitor, ModelBundle, MonitorConfig, Severity};
+use dds_obs::profile::StageProfiler;
+use dds_obs::subscribers::{JsonLinesSubscriber, StderrSubscriber, TeeSubscriber};
+use dds_obs::trace::{self, Level, Subscriber};
 use dds_smartsim::io::{read_csv, write_csv};
 use dds_smartsim::{Dataset, FleetConfig, FleetSimulator};
 use dds_stats::par::Parallelism;
@@ -26,6 +35,103 @@ use std::fmt;
 use std::fs::File;
 use std::io::BufWriter;
 use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Observability options shared by every subcommand.
+///
+/// All three are off by default, leaving the tracing facade in its null
+/// state (one atomic load per instrumentation site) so observability never
+/// perturbs results.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObsOptions {
+    /// Pretty-print spans/events at this level and above to stderr
+    /// (`--trace-level`).
+    pub trace_level: Option<Level>,
+    /// Write every span/event as one JSON object per line (`--trace-json`).
+    pub trace_json: Option<PathBuf>,
+    /// Write a JSON metrics snapshot after the run (`--metrics`).
+    pub metrics: Option<PathBuf>,
+}
+
+impl ObsOptions {
+    /// Whether any observability output was requested.
+    pub fn active(&self) -> bool {
+        self.trace_level.is_some() || self.trace_json.is_some() || self.metrics.is_some()
+    }
+
+    /// Consumes one observability flag if `arg` is one, reading its value
+    /// from `iter`. Returns whether the flag was recognized.
+    fn consume(
+        &mut self,
+        arg: &str,
+        iter: &mut std::vec::IntoIter<String>,
+    ) -> Result<bool, Box<dyn Error>> {
+        match arg {
+            "--trace-level" => {
+                let raw = take_value(iter, "--trace-level")?;
+                self.trace_level = Some(raw.parse().map_err(|e| CliError(format!("{e}")))?);
+                Ok(true)
+            }
+            "--trace-json" => {
+                self.trace_json = Some(PathBuf::from(take_value(iter, "--trace-json")?));
+                Ok(true)
+            }
+            "--metrics" => {
+                self.metrics = Some(PathBuf::from(take_value(iter, "--metrics")?));
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+}
+
+/// A live observability session: subscribers installed at start, trace
+/// reset + metrics/stage-table emission at finish.
+struct ObsSession {
+    profiler: Option<Arc<StageProfiler>>,
+    metrics_path: Option<PathBuf>,
+}
+
+impl ObsSession {
+    /// Installs the subscribers `obs` asks for. With no flags set this is
+    /// a no-op and the facade stays in its null state.
+    fn start(obs: &ObsOptions) -> Result<Self, Box<dyn Error>> {
+        if !obs.active() {
+            return Ok(ObsSession { profiler: None, metrics_path: None });
+        }
+        let mut children: Vec<Arc<dyn Subscriber>> = Vec::new();
+        if let Some(level) = obs.trace_level {
+            children.push(Arc::new(StderrSubscriber::new(level)));
+        }
+        if let Some(path) = &obs.trace_json {
+            let writer = JsonLinesSubscriber::create(path)
+                .map_err(|e| CliError(format!("cannot create {}: {e}", path.display())))?;
+            children.push(Arc::new(writer));
+        }
+        // Any observability request also aggregates the per-stage table.
+        let profiler = Arc::new(StageProfiler::new(Level::Trace));
+        children.push(profiler.clone());
+        trace::install(Arc::new(TeeSubscriber::new(children)));
+        Ok(ObsSession { profiler: Some(profiler), metrics_path: obs.metrics.clone() })
+    }
+
+    /// Uninstalls the subscribers and appends the metrics snapshot and the
+    /// stage-profile table to the command output.
+    fn finish(self, out: &mut String) -> Result<(), Box<dyn Error>> {
+        trace::reset();
+        if let Some(path) = &self.metrics_path {
+            let snapshot = dds_obs::metrics::global().snapshot();
+            std::fs::write(path, snapshot.to_json())
+                .map_err(|e| CliError(format!("cannot write {}: {e}", path.display())))?;
+            out.push_str(&format!("metrics snapshot written to {}\n", path.display()));
+        }
+        if let Some(profiler) = &self.profiler {
+            out.push_str("\nstage profile:\n");
+            out.push_str(&profiler.render_table());
+        }
+        Ok(())
+    }
+}
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -58,6 +164,8 @@ pub enum Command {
         out: PathBuf,
         /// Worker threads (0 = all cores, 1 = sequential).
         threads: usize,
+        /// Observability flags.
+        obs: ObsOptions,
     },
     /// `dds analyze`: run the full paper analysis on a CSV dataset.
     Analyze {
@@ -69,6 +177,8 @@ pub enum Command {
         k: Option<usize>,
         /// Worker threads (0 = all cores, 1 = sequential).
         threads: usize,
+        /// Observability flags.
+        obs: ObsOptions,
     },
     /// `dds monitor`: train on one CSV fleet, stream another through the
     /// monitor.
@@ -81,6 +191,21 @@ pub enum Command {
         limit: usize,
         /// Worker threads (0 = all cores, 1 = sequential).
         threads: usize,
+        /// Observability flags.
+        obs: ObsOptions,
+    },
+    /// `dds pipeline`: simulate a training fleet, analyze it, then stream
+    /// a second simulated fleet through the monitor — the whole system in
+    /// one in-memory run, the natural target for `--trace-json`/`--metrics`.
+    Pipeline {
+        /// Simulation scale (`test`, `bench`, `consumer` or `paper`).
+        scale: String,
+        /// RNG seed; the live fleet derives its own seed from it.
+        seed: u64,
+        /// Worker threads (0 = all cores, 1 = sequential).
+        threads: usize,
+        /// Observability flags.
+        obs: ObsOptions,
     },
     /// `dds help` or `--help`.
     Help,
@@ -94,10 +219,18 @@ USAGE:
   dds simulate --out <fleet.csv> [--scale test|bench|consumer|paper] [--seed N] [--threads N]
   dds analyze <fleet.csv> [--full-report] [--k N] [--threads N]
   dds monitor --train <fleet.csv> --live <fleet.csv> [--limit N] [--threads N]
+  dds pipeline [--scale test|bench|consumer|paper] [--seed N] [--threads N]
   dds help
 
 Every subcommand accepts --threads N: 0 (the default) uses all cores,
 1 forces sequential execution; results are identical either way.
+
+Observability (any subcommand; see docs/OPERATIONS.md):
+  --trace-level trace|debug|info|warn|error   pretty-print spans to stderr
+  --trace-json <path>                         write spans/events as JSON lines
+  --metrics <path>                            write a JSON metrics snapshot
+Any of these also appends a per-stage wall-time/allocation table to the
+output. All are off by default and never change computed results.
 ";
 
 fn parse_threads(raw: &str) -> Result<usize, Box<dyn Error>> {
@@ -125,7 +258,11 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
             let mut seed = 0x2015_115Cu64;
             let mut out: Option<PathBuf> = None;
             let mut threads = 0usize;
+            let mut obs = ObsOptions::default();
             while let Some(arg) = iter.next() {
+                if obs.consume(&arg, &mut iter)? {
+                    continue;
+                }
                 match arg.as_str() {
                     "--scale" => scale = take_value(&mut iter, "--scale")?,
                     "--seed" => {
@@ -139,19 +276,19 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
                 }
             }
             let out = out.ok_or_else(|| CliError::boxed("simulate requires --out <path>"))?;
-            if !matches!(scale.as_str(), "test" | "bench" | "consumer" | "paper") {
-                return Err(CliError::boxed(format!(
-                    "unknown scale {scale:?} (expected test, bench, consumer or paper)"
-                )));
-            }
-            Ok(Command::Simulate { scale, seed, out, threads })
+            validate_scale(&scale)?;
+            Ok(Command::Simulate { scale, seed, out, threads, obs })
         }
         "analyze" => {
             let mut input: Option<PathBuf> = None;
             let mut full_report = false;
             let mut k = None;
             let mut threads = 0usize;
+            let mut obs = ObsOptions::default();
             while let Some(arg) = iter.next() {
+                if obs.consume(&arg, &mut iter)? {
+                    continue;
+                }
                 match arg.as_str() {
                     "--full-report" => full_report = true,
                     "--k" => {
@@ -170,14 +307,18 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
             }
             let input =
                 input.ok_or_else(|| CliError::boxed("analyze requires an input CSV path"))?;
-            Ok(Command::Analyze { input, full_report, k, threads })
+            Ok(Command::Analyze { input, full_report, k, threads, obs })
         }
         "monitor" => {
             let mut train: Option<PathBuf> = None;
             let mut live: Option<PathBuf> = None;
             let mut limit = 20usize;
             let mut threads = 0usize;
+            let mut obs = ObsOptions::default();
             while let Some(arg) = iter.next() {
+                if obs.consume(&arg, &mut iter)? {
+                    continue;
+                }
                 match arg.as_str() {
                     "--train" => train = Some(PathBuf::from(take_value(&mut iter, "--train")?)),
                     "--live" => live = Some(PathBuf::from(take_value(&mut iter, "--live")?)),
@@ -192,9 +333,42 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
             }
             let train = train.ok_or_else(|| CliError::boxed("monitor requires --train <path>"))?;
             let live = live.ok_or_else(|| CliError::boxed("monitor requires --live <path>"))?;
-            Ok(Command::Monitor { train, live, limit, threads })
+            Ok(Command::Monitor { train, live, limit, threads, obs })
+        }
+        "pipeline" => {
+            let mut scale = "test".to_string();
+            let mut seed = 0x2015_115Cu64;
+            let mut threads = 0usize;
+            let mut obs = ObsOptions::default();
+            while let Some(arg) = iter.next() {
+                if obs.consume(&arg, &mut iter)? {
+                    continue;
+                }
+                match arg.as_str() {
+                    "--scale" => scale = take_value(&mut iter, "--scale")?,
+                    "--seed" => {
+                        let raw = take_value(&mut iter, "--seed")?;
+                        seed =
+                            raw.parse().map_err(|_| CliError(format!("invalid seed {raw:?}")))?;
+                    }
+                    "--threads" => threads = parse_threads(&take_value(&mut iter, "--threads")?)?,
+                    other => return Err(CliError::boxed(format!("unknown flag {other:?}"))),
+                }
+            }
+            validate_scale(&scale)?;
+            Ok(Command::Pipeline { scale, seed, threads, obs })
         }
         other => Err(CliError::boxed(format!("unknown subcommand {other:?}; try `dds help`"))),
+    }
+}
+
+fn validate_scale(scale: &str) -> Result<(), Box<dyn Error>> {
+    if matches!(scale, "test" | "bench" | "consumer" | "paper") {
+        Ok(())
+    } else {
+        Err(CliError::boxed(format!(
+            "unknown scale {scale:?} (expected test, bench, consumer or paper)"
+        )))
     }
 }
 
@@ -223,13 +397,39 @@ fn analysis_config(k: Option<usize>, threads: usize) -> AnalysisConfig {
 
 /// Executes a parsed command, returning the text to print.
 ///
+/// When the command carries active [`ObsOptions`], the requested
+/// subscribers are installed for the duration of the run and removed
+/// afterwards (also on error), the metrics snapshot is written, and the
+/// per-stage profile table is appended to the output.
+///
 /// # Errors
 ///
 /// Returns an error for I/O problems, malformed CSV or analysis failures.
 pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
+    let obs = match &command {
+        Command::Simulate { obs, .. }
+        | Command::Analyze { obs, .. }
+        | Command::Monitor { obs, .. }
+        | Command::Pipeline { obs, .. } => obs.clone(),
+        Command::Help => ObsOptions::default(),
+    };
+    let session = ObsSession::start(&obs)?;
+    match run_inner(command) {
+        Ok(mut out) => {
+            session.finish(&mut out)?;
+            Ok(out)
+        }
+        Err(e) => {
+            trace::reset();
+            Err(e)
+        }
+    }
+}
+
+fn run_inner(command: Command) -> Result<String, Box<dyn Error>> {
     match command {
         Command::Help => Ok(USAGE.to_string()),
-        Command::Simulate { scale, seed, out, threads } => {
+        Command::Simulate { scale, seed, out, threads, obs: _ } => {
             let config = fleet_config(&scale)
                 .with_seed(seed)
                 .with_parallelism(Parallelism::from_thread_count(threads));
@@ -245,7 +445,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 out.display()
             ))
         }
-        Command::Analyze { input, full_report, k, threads } => {
+        Command::Analyze { input, full_report, k, threads, obs: _ } => {
             let dataset = load(&input)?;
             let analysis = Analysis::new(analysis_config(k, threads)).run(&dataset)?;
             if full_report {
@@ -265,7 +465,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 Ok(out)
             }
         }
-        Command::Monitor { train, live, limit, threads } => {
+        Command::Monitor { train, live, limit, threads, obs: _ } => {
             let training = load(&train)?;
             let analysis = Analysis::new(analysis_config(None, threads)).run(&training)?;
             let bundle = ModelBundle::from_analysis(&training, &analysis);
@@ -289,6 +489,34 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             let critical = alerts.iter().filter(|a| a.severity == Severity::Critical).count();
             out.push_str(&format!("{critical} critical alerts in total\n"));
             Ok(out)
+        }
+        Command::Pipeline { scale, seed, threads, obs: _ } => {
+            let par = Parallelism::from_thread_count(threads);
+            let training =
+                FleetSimulator::new(fleet_config(&scale).with_seed(seed).with_parallelism(par))
+                    .run();
+            let analysis = Analysis::new(analysis_config(None, threads)).run(&training)?;
+            let bundle = ModelBundle::from_analysis(&training, &analysis);
+            // An independent live fleet: same scale, derived seed.
+            let live_seed = seed.wrapping_add(1);
+            let live_fleet = FleetSimulator::new(
+                fleet_config(&scale).with_seed(live_seed).with_parallelism(par),
+            )
+            .run();
+            let mut monitor = FleetMonitor::new(bundle, MonitorConfig::default());
+            let mut alerts = Vec::new();
+            for drive in live_fleet.drives() {
+                alerts.extend(monitor.replay(drive.id(), drive.records()));
+            }
+            let critical = alerts.iter().filter(|a| a.severity == Severity::Critical).count();
+            Ok(format!(
+                "trained on {} drives (seed {seed}): {} failure groups\n\
+                 monitored {} drives (seed {live_seed}): {} alerts, {critical} critical\n",
+                training.drives().len(),
+                analysis.categorization.num_groups(),
+                live_fleet.drives().len(),
+                alerts.len(),
+            ))
         }
     }
 }
@@ -320,7 +548,8 @@ mod tests {
                 scale: "test".to_string(),
                 seed: 9,
                 out: PathBuf::from("/tmp/x.csv"),
-                threads: 0
+                threads: 0,
+                obs: ObsOptions::default(),
             }
         );
     }
@@ -354,7 +583,8 @@ mod tests {
                 input: PathBuf::from("fleet.csv"),
                 full_report: true,
                 k: Some(4),
-                threads: 0
+                threads: 0,
+                obs: ObsOptions::default(),
             }
         );
         assert!(parse(argv(&["analyze"])).is_err());
@@ -371,7 +601,8 @@ mod tests {
                 train: PathBuf::from("a.csv"),
                 live: PathBuf::from("b.csv"),
                 limit: 5,
-                threads: 0
+                threads: 0,
+                obs: ObsOptions::default(),
             }
         );
         assert!(parse(argv(&["monitor", "--train", "a.csv"])).is_err());
@@ -390,8 +621,62 @@ mod tests {
             full_report: false,
             k: None,
             threads: 0,
+            obs: ObsOptions::default(),
         })
         .unwrap_err();
         assert!(err.to_string().contains("cannot open"));
+    }
+
+    #[test]
+    fn parses_pipeline() {
+        let cmd = parse(argv(&["pipeline", "--scale", "test", "--seed", "3"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Pipeline {
+                scale: "test".to_string(),
+                seed: 3,
+                threads: 0,
+                obs: ObsOptions::default(),
+            }
+        );
+        assert!(parse(argv(&["pipeline", "--scale", "galactic"])).is_err());
+    }
+
+    #[test]
+    fn parses_obs_flags_on_every_subcommand() {
+        let cmd = parse(argv(&[
+            "pipeline",
+            "--trace-level",
+            "debug",
+            "--trace-json",
+            "trace.jsonl",
+            "--metrics",
+            "metrics.json",
+        ]))
+        .unwrap();
+        let Command::Pipeline { obs, .. } = cmd else { panic!("expected pipeline") };
+        assert_eq!(obs.trace_level, Some(Level::Debug));
+        assert_eq!(obs.trace_json, Some(PathBuf::from("trace.jsonl")));
+        assert_eq!(obs.metrics, Some(PathBuf::from("metrics.json")));
+        assert!(obs.active());
+
+        for args in [
+            argv(&["simulate", "--out", "x.csv", "--trace-level", "info"]),
+            argv(&["analyze", "a.csv", "--metrics", "m.json"]),
+            argv(&["monitor", "--train", "a", "--live", "b", "--trace-json", "t.jsonl"]),
+        ] {
+            let cmd = parse(args).unwrap();
+            let (Command::Simulate { obs, .. }
+            | Command::Analyze { obs, .. }
+            | Command::Monitor { obs, .. }
+            | Command::Pipeline { obs, .. }) = cmd
+            else {
+                panic!("expected a subcommand")
+            };
+            assert!(obs.active());
+        }
+
+        assert!(parse(argv(&["analyze", "a.csv", "--trace-level", "loud"])).is_err());
+        assert!(parse(argv(&["analyze", "a.csv", "--trace-json"])).is_err());
     }
 }

@@ -2,6 +2,12 @@
 
 use std::process::ExitCode;
 
+/// Count heap allocations so span timings (`--trace-level`, `--trace-json`,
+/// `--metrics`) can report per-stage allocation deltas. One relaxed atomic
+/// add per allocation — negligible next to the allocation itself.
+#[global_allocator]
+static ALLOC: dds_obs::CountingAllocator = dds_obs::CountingAllocator;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = match dds_cli::parse(args) {

@@ -84,6 +84,44 @@ fn simulate_analyze_monitor_pipeline() {
 }
 
 #[test]
+fn pipeline_subcommand_emits_trace_and_metrics() {
+    let trace = temp_path("trace.jsonl");
+    let metrics = temp_path("metrics.json");
+    let output = dds()
+        .args([
+            "pipeline",
+            "--scale",
+            "test",
+            "--seed",
+            "7",
+            "--trace-json",
+            trace.to_str().unwrap(),
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("failure groups"), "pipeline output: {stdout}");
+    assert!(stdout.contains("stage profile:"), "profile table appended: {stdout}");
+    assert!(stdout.contains("pipeline.categorize"), "stages listed: {stdout}");
+
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    assert!(trace_text.lines().any(|l| l.contains("\"name\": \"pipeline.run\"")));
+    let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(metrics_text.contains("dds_monitor_alerts_total"));
+    // The dds binary installs the counting allocator, so stage timings
+    // carry nonzero allocation deltas.
+    assert!(trace_text
+        .lines()
+        .any(|l| l.contains("\"allocations\": ") && !l.contains("\"allocations\": 0}")));
+
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&metrics);
+}
+
+#[test]
 fn analyze_rejects_garbage_csv() {
     let path = temp_path("garbage.csv");
     std::fs::write(&path, "this,is,not\na,valid,fleet\n").unwrap();

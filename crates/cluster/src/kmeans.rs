@@ -129,9 +129,22 @@ impl KMeans {
         // sequential result exactly. When restarts run in parallel, each
         // restart's inner loops stay sequential (no nested thread fan-out);
         // with a single restart the inner loops get the whole budget.
+        let _span = dds_obs::span!(
+            dds_obs::Level::Debug,
+            "kmeans.fit",
+            k = self.config.k,
+            points = points.len(),
+            restarts = self.config.restarts,
+        );
+        let metrics = dds_obs::metrics::global();
+        metrics.counter("dds_kmeans_fits_total").inc();
+        metrics.counter("dds_kmeans_restarts_total").add(self.config.restarts as u64);
         let restarts = self.config.restarts;
         let inner = if restarts > 1 { Parallelism::Sequential } else { self.config.parallelism };
         let runs = par_generate(self.config.parallelism, restarts, |r| {
+            // On parallel worker threads this event has no parent span —
+            // span nesting is per-thread by design.
+            dds_obs::event!(dds_obs::Level::Trace, "kmeans.restart", restart = r);
             let mut rng = StdRng::seed_from_u64(stream_seed(self.config.seed, r as u64));
             self.fit_once(points, &mut rng, inner)
         });
@@ -144,7 +157,9 @@ impl KMeans {
                 best = Some(result);
             }
         }
-        Ok(best.expect("at least one restart"))
+        let best = best.expect("at least one restart");
+        dds_obs::event!(dds_obs::Level::Trace, "kmeans.converged", inertia = best.inertia());
+        Ok(best)
     }
 
     fn fit_once(

@@ -169,12 +169,21 @@ impl Categorizer {
         }
         let points = records.scaled_features();
         let k_max = self.config.k_max.min(points.len());
-        let elbow = elbow_curve_with(points, k_max, self.config.seed, self.config.parallelism)?;
+        let elbow = {
+            let _span = dds_obs::span!(
+                dds_obs::Level::Debug,
+                "categorize.elbow",
+                k_max = k_max,
+                points = points.len(),
+            );
+            elbow_curve_with(points, k_max, self.config.seed, self.config.parallelism)?
+        };
         let chosen_k = self
             .config
             .fixed_k
             .unwrap_or_else(|| pick_elbow(&elbow, self.config.elbow_flatness))
             .clamp(1, points.len());
+        dds_obs::event!(dds_obs::Level::Debug, "categorize.k_chosen", k = chosen_k);
         let result = KMeans::new(
             KMeansConfig::new(chosen_k)
                 .with_seed(self.config.seed)
@@ -239,6 +248,7 @@ impl Categorizer {
         // agrees best with the K-means grouping — the honest measure of
         // §IV-B's "generate the same results" claim.
         let svc_agreement = if self.config.run_svc && points.len() >= 2 {
+            let _span = dds_obs::span!(dds_obs::Level::Debug, "categorize.svc");
             let base = dds_cluster::svc::suggest_gamma(points)?;
             let mut best: Option<SvcAgreement> = None;
             for factor in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {

@@ -18,9 +18,22 @@ use crate::features::FailureRecordSet;
 use crate::influence::{self, AttributeInfluence, EnvInfluence};
 use crate::predict::{DegradationPredictor, PredictionConfig, PredictionReport};
 use crate::zscore::{all_attribute_z_scores_with, TemporalZScores, ZScoreConfig};
+use dds_obs::trace::Level;
 use dds_smartsim::{Attribute, Dataset};
 use dds_stats::par::{par_join, par_map_indexed, Parallelism};
 use dds_stats::{BoxplotSummary, Histogram};
+
+/// Runs one pipeline stage inside an info-level span and records its wall
+/// time into the stage histogram `metric` (always, even with tracing
+/// disabled — metric updates are a few relaxed atomics and never change
+/// results).
+fn stage<T>(name: &'static str, metric: &'static str, f: impl FnOnce() -> T) -> T {
+    let _span = dds_obs::span!(Level::Info, name);
+    let start = std::time::Instant::now();
+    let result = f();
+    dds_obs::metrics::global().histogram(metric).observe(start.elapsed().as_secs_f64());
+    result
+}
 
 /// The R/W attributes shown in the Fig. 9 / Fig. 10 influence analyses.
 pub const INFLUENCE_ATTRIBUTES: [Attribute; 4] = [
@@ -124,101 +137,128 @@ impl Analysis {
     /// [`AnalysisError::UnsuitableDataset`] for datasets without failed or
     /// good drives.
     pub fn run(&self, dataset: &Dataset) -> Result<AnalysisReport, AnalysisError> {
+        let _run_span = dds_obs::span!(
+            Level::Info,
+            "pipeline.run",
+            drives = dataset.drives().len(),
+            failed_drives = dataset.failed_drives().count(),
+        );
+        dds_obs::metrics::global().counter("dds_pipeline_runs_total").inc();
+
         // --- Fig. 1 --------------------------------------------------------
-        let durations: Vec<f64> =
-            dataset.failed_drives().map(|d| d.profile_hours() as f64).collect();
-        if durations.is_empty() {
-            return Err(AnalysisError::UnsuitableDataset(
-                "analysis needs failed drives".to_string(),
-            ));
-        }
-        let histogram = Histogram::from_values(0.0, 480.0, 10, &durations)?;
-        let over_10 =
-            durations.iter().filter(|&&h| h > 240.0).count() as f64 / durations.len() as f64;
-        let full_20 =
-            durations.iter().filter(|&&h| h >= 480.0).count() as f64 / durations.len() as f64;
-        let mean_records = durations.iter().sum::<f64>() / durations.len() as f64;
-        let profile_durations = ProfileDurations {
-            histogram,
-            fraction_over_10_days: over_10,
-            fraction_full_20_days: full_20,
-            mean_records,
-        };
+        let profile_durations =
+            stage("pipeline.profile_durations", "dds_pipeline_profile_durations_seconds", || {
+                let durations: Vec<f64> =
+                    dataset.failed_drives().map(|d| d.profile_hours() as f64).collect();
+                if durations.is_empty() {
+                    return Err(AnalysisError::UnsuitableDataset(
+                        "analysis needs failed drives".to_string(),
+                    ));
+                }
+                let histogram = Histogram::from_values(0.0, 480.0, 10, &durations)?;
+                let over_10 = durations.iter().filter(|&&h| h > 240.0).count() as f64
+                    / durations.len() as f64;
+                let full_20 = durations.iter().filter(|&&h| h >= 480.0).count() as f64
+                    / durations.len() as f64;
+                let mean_records = durations.iter().sum::<f64>() / durations.len() as f64;
+                Ok(ProfileDurations {
+                    histogram,
+                    fraction_over_10_days: over_10,
+                    fraction_full_20_days: full_20,
+                    mean_records,
+                })
+            })?;
 
         // --- §IV-B features + Fig. 2 ---------------------------------------
         let par = self.config.parallelism;
         let feature_window = self.config.feature_window_hours.unwrap_or(24);
-        let failure_records = FailureRecordSet::extract(dataset, feature_window)?;
+        let failure_records = stage("pipeline.features", "dds_pipeline_features_seconds", || {
+            FailureRecordSet::extract(dataset, feature_window)
+        })?;
         // Each attribute's box statistics are independent of the others.
         let attribute_boxplots: Vec<(Attribute, BoxplotSummary)> =
-            par_map_indexed(par, &Attribute::ALL, |_, &attr| {
-                let values: Vec<f64> =
-                    failure_records.failure_records().iter().map(|r| r[attr.index()]).collect();
-                Ok((attr, BoxplotSummary::from_values(&values)?))
-            })
-            .into_iter()
-            .collect::<Result<_, AnalysisError>>()?;
+            stage("pipeline.boxplots", "dds_pipeline_boxplots_seconds", || {
+                par_map_indexed(par, &Attribute::ALL, |_, &attr| {
+                    let values: Vec<f64> =
+                        failure_records.failure_records().iter().map(|r| r[attr.index()]).collect();
+                    Ok((attr, BoxplotSummary::from_values(&values)?))
+                })
+                .into_iter()
+                .collect::<Result<_, AnalysisError>>()
+            })?;
 
         // --- Figs. 3–6, Table II -------------------------------------------
         let mut categorization_config = self.config.categorization.clone();
         categorization_config.parallelism = par;
         let categorization =
-            Categorizer::new(categorization_config).categorize(dataset, &failure_records)?;
+            stage("pipeline.categorize", "dds_pipeline_categorize_seconds", || {
+                Categorizer::new(categorization_config).categorize(dataset, &failure_records)
+            })?;
 
         // --- Figs. 7–8 ------------------------------------------------------
-        let analyzer = DegradationAnalyzer::new(self.config.degradation.clone());
-        let degradation = analyzer.analyze_groups(dataset, &failure_records, &categorization)?;
+        let degradation =
+            stage("pipeline.degradation", "dds_pipeline_degradation_seconds", || {
+                let analyzer = DegradationAnalyzer::new(self.config.degradation.clone());
+                analyzer.analyze_groups(dataset, &failure_records, &categorization)
+            })?;
 
         // --- Figs. 9–12: the per-group influence analyses and the z-score
         // sweep read only upstream results, so the two stages run
         // concurrently (and the groups within the influence stage fan out
-        // again).
-        let (influences, z_scores) = par_join(
-            par,
-            || -> Result<Vec<_>, AnalysisError> {
-                par_map_indexed(par, &degradation, |_, summary| {
-                    let group = &categorization.groups()[summary.group_index];
-                    let drive = dataset.drive(group.centroid_drive).expect("centroid exists");
-                    let attribute = influence::attribute_influence(
-                        dataset,
-                        drive,
-                        &summary.centroid,
-                        summary.group_index,
-                        &INFLUENCE_ATTRIBUTES,
-                    )?;
-                    let env = influence::env_influence(
-                        dataset,
-                        drive,
-                        &summary.centroid,
-                        summary.group_index,
-                        &INFLUENCE_ATTRIBUTES,
-                    )?;
-                    Ok((attribute, env))
-                })
-                .into_iter()
-                .collect()
-            },
-            || {
-                all_attribute_z_scores_with(
-                    dataset,
-                    &failure_records,
-                    &categorization,
-                    &self.config.zscore,
+        // again). NOTE: the closures may run on `par` worker threads, where
+        // the enclosing span is not visible (span nesting is per-thread).
+        let (influences, z_scores) =
+            stage("pipeline.influence_zscore", "dds_pipeline_influence_zscore_seconds", || {
+                par_join(
                     par,
+                    || -> Result<Vec<_>, AnalysisError> {
+                        par_map_indexed(par, &degradation, |_, summary| {
+                            let group = &categorization.groups()[summary.group_index];
+                            let drive =
+                                dataset.drive(group.centroid_drive).expect("centroid exists");
+                            let attribute = influence::attribute_influence(
+                                dataset,
+                                drive,
+                                &summary.centroid,
+                                summary.group_index,
+                                &INFLUENCE_ATTRIBUTES,
+                            )?;
+                            let env = influence::env_influence(
+                                dataset,
+                                drive,
+                                &summary.centroid,
+                                summary.group_index,
+                                &INFLUENCE_ATTRIBUTES,
+                            )?;
+                            Ok((attribute, env))
+                        })
+                        .into_iter()
+                        .collect()
+                    },
+                    || {
+                        all_attribute_z_scores_with(
+                            dataset,
+                            &failure_records,
+                            &categorization,
+                            &self.config.zscore,
+                            par,
+                        )
+                    },
                 )
-            },
-        );
+            });
         let (attribute_influence, env_influence) = influences?.into_iter().unzip();
         let z_scores = z_scores?;
 
         // --- Fig. 13, Table III ---------------------------------------------
         let mut prediction_config = self.config.prediction.clone();
         prediction_config.tree.parallelism = par;
-        let prediction = DegradationPredictor::new(prediction_config).train(
-            dataset,
-            &categorization,
-            &degradation,
-        )?;
+        let prediction = stage("pipeline.predict", "dds_pipeline_predict_seconds", || {
+            DegradationPredictor::new(prediction_config).train(
+                dataset,
+                &categorization,
+                &degradation,
+            )
+        })?;
 
         Ok(AnalysisReport {
             profile_durations,

@@ -137,6 +137,12 @@ impl DegradationPredictor {
                 "good sample ratio must be non-negative".to_string(),
             ));
         }
+        let _span = dds_obs::span!(
+            dds_obs::Level::Debug,
+            "predict.train",
+            groups = categorization.num_groups(),
+            train_fraction = self.config.train_fraction,
+        );
         let mut rng = StdRng::seed_from_u64(self.config.seed);
 
         // The good-record pool is group-independent, and at paper scale it

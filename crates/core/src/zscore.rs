@@ -157,6 +157,12 @@ pub fn all_attribute_z_scores_with(
     config: &ZScoreConfig,
     parallelism: Parallelism,
 ) -> Result<Vec<TemporalZScores>, AnalysisError> {
+    let _span = dds_obs::span!(
+        dds_obs::Level::Debug,
+        "zscore.sweep",
+        attributes = Attribute::ALL.len(),
+        max_hours = config.max_hours,
+    );
     par_map_indexed(parallelism, &Attribute::ALL, |_, &attr| {
         temporal_z_scores(dataset, records, categorization, attr, config)
     })

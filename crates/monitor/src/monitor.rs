@@ -3,9 +3,82 @@
 use crate::alert::{Alert, AlertKind, Severity};
 use crate::bundle::{ModelBundle, BASELINE_ATTRIBUTES};
 use dds_core::predict::ThresholdPolicy;
+use dds_obs::metrics::{Counter, Gauge};
 use dds_smartsim::{DriveId, HealthRecord};
 use dds_stats::streaming::RunningMoments;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cached handles into the global metrics registry for the monitor's
+/// counters and gauges, resolved once per [`FleetMonitor`] so the ingest
+/// hot path pays only relaxed atomic updates.
+///
+/// Metric names follow the workspace scheme (`DESIGN.md`):
+/// `dds_monitor_records_ingested_total`, `dds_monitor_alerts_total`,
+/// per-kind and per-severity alert counters, and gauges for tracked and
+/// latched drives. The gauges describe the most recently active monitor —
+/// concurrent monitors in one process overwrite each other's gauge values.
+#[derive(Debug, Clone)]
+struct MonitorMetrics {
+    records: Arc<Counter>,
+    alerts: Arc<Counter>,
+    by_kind: [Arc<Counter>; 4],
+    by_severity: [Arc<Counter>; 3],
+    drives_tracked: Arc<Gauge>,
+    latched: [Arc<Gauge>; 3],
+}
+
+const KIND_ORDER: [AlertKind; 4] = [
+    AlertKind::DegradationPrediction,
+    AlertKind::VendorThreshold,
+    AlertKind::ThermalRisk,
+    AlertKind::TypeReclassification,
+];
+
+const SEVERITY_ORDER: [Severity; 3] = [Severity::Watch, Severity::Warning, Severity::Critical];
+
+fn kind_index(kind: AlertKind) -> usize {
+    KIND_ORDER.iter().position(|&k| k == kind).expect("all kinds listed")
+}
+
+fn severity_index(severity: Severity) -> usize {
+    SEVERITY_ORDER.iter().position(|&s| s == severity).expect("all severities listed")
+}
+
+impl MonitorMetrics {
+    fn new() -> Self {
+        let registry = dds_obs::metrics::global();
+        MonitorMetrics {
+            records: registry.counter("dds_monitor_records_ingested_total"),
+            alerts: registry.counter("dds_monitor_alerts_total"),
+            by_kind: [
+                registry.counter("dds_monitor_alerts_degradation_prediction_total"),
+                registry.counter("dds_monitor_alerts_vendor_threshold_total"),
+                registry.counter("dds_monitor_alerts_thermal_risk_total"),
+                registry.counter("dds_monitor_alerts_type_reclassification_total"),
+            ],
+            by_severity: [
+                registry.counter("dds_monitor_alerts_watch_total"),
+                registry.counter("dds_monitor_alerts_warning_total"),
+                registry.counter("dds_monitor_alerts_critical_total"),
+            ],
+            drives_tracked: registry.gauge("dds_monitor_drives_tracked"),
+            latched: [
+                registry.gauge("dds_monitor_drives_latched_watch"),
+                registry.gauge("dds_monitor_drives_latched_warning"),
+                registry.gauge("dds_monitor_drives_latched_critical"),
+            ],
+        }
+    }
+
+    fn count_alerts(&self, alerts: &[Alert]) {
+        for alert in alerts {
+            self.alerts.inc();
+            self.by_kind[kind_index(alert.kind)].inc();
+            self.by_severity[severity_index(alert.severity)].inc();
+        }
+    }
+}
 
 /// Configuration of the escalation ladder.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,12 +169,13 @@ pub struct FleetMonitor {
     bundle: ModelBundle,
     config: MonitorConfig,
     drives: HashMap<DriveId, DriveState>,
+    metrics: MonitorMetrics,
 }
 
 impl FleetMonitor {
     /// Creates a monitor from a deployable bundle.
     pub fn new(bundle: ModelBundle, config: MonitorConfig) -> Self {
-        FleetMonitor { bundle, config, drives: HashMap::new() }
+        FleetMonitor { bundle, config, drives: HashMap::new(), metrics: MonitorMetrics::new() }
     }
 
     /// Number of drives with monitoring state.
@@ -122,7 +196,53 @@ impl FleetMonitor {
     /// training population's means before scoring, so a drive whose healthy
     /// RRER sits high does not hide a depression from the models. Absolute
     /// attributes (temperature, counters, age) are never corrected.
+    ///
+    /// # Example
+    ///
+    /// Train on one fleet, then stream another fleet's failing drives
+    /// record by record:
+    ///
+    /// ```
+    /// use dds_core::{Analysis, AnalysisConfig};
+    /// use dds_monitor::{FleetMonitor, ModelBundle, MonitorConfig};
+    /// use dds_smartsim::{FleetConfig, FleetSimulator};
+    ///
+    /// let training = FleetSimulator::new(FleetConfig::test_scale().with_seed(1)).run();
+    /// let report = Analysis::new(AnalysisConfig::default()).run(&training)?;
+    /// let bundle = ModelBundle::from_analysis(&training, &report);
+    /// let mut monitor = FleetMonitor::new(bundle, MonitorConfig::default());
+    ///
+    /// let live = FleetSimulator::new(FleetConfig::test_scale().with_seed(2)).run();
+    /// let mut alerts = Vec::new();
+    /// for drive in live.failed_drives() {
+    ///     for record in drive.records() {
+    ///         alerts.extend(monitor.ingest(drive.id(), record));
+    ///     }
+    /// }
+    /// assert!(!alerts.is_empty(), "failing drives raise alerts before their end");
+    /// # Ok::<(), dds_core::AnalysisError>(())
+    /// ```
     pub fn ingest(&mut self, drive: DriveId, record: &HealthRecord) -> Vec<Alert> {
+        let _span = dds_obs::span!(dds_obs::Level::Trace, "monitor.ingest", hour = record.hour);
+        let latched_before = self.latched_severity(drive);
+        let alerts = self.ingest_inner(drive, record);
+        let latched_after = self.latched_severity(drive);
+
+        self.metrics.records.inc();
+        self.metrics.count_alerts(&alerts);
+        self.metrics.drives_tracked.set(self.drives.len() as f64);
+        if latched_before != latched_after {
+            if let Some(old) = latched_before {
+                self.metrics.latched[severity_index(old)].add(-1.0);
+            }
+            if let Some(new) = latched_after {
+                self.metrics.latched[severity_index(new)].add(1.0);
+            }
+        }
+        alerts
+    }
+
+    fn ingest_inner(&mut self, drive: DriveId, record: &HealthRecord) -> Vec<Alert> {
         let mut alerts = Vec::new();
         let state = self.drives.entry(drive).or_default();
 
@@ -280,7 +400,18 @@ impl FleetMonitor {
     /// Replays a whole profile, returning every alert in order — a
     /// convenience for offline evaluation.
     pub fn replay(&mut self, drive: DriveId, records: &[HealthRecord]) -> Vec<Alert> {
-        records.iter().flat_map(|r| self.ingest(drive, r)).collect()
+        let _span =
+            dds_obs::span!(dds_obs::Level::Debug, "monitor.replay", records = records.len());
+        let alerts: Vec<Alert> = records.iter().flat_map(|r| self.ingest(drive, r)).collect();
+        if !alerts.is_empty() {
+            dds_obs::event!(
+                dds_obs::Level::Debug,
+                "monitor.replay_alerts",
+                alerts = alerts.len(),
+                worst = alerts.iter().map(|a| a.severity).max().expect("non-empty").to_string(),
+            );
+        }
+        alerts
     }
 }
 

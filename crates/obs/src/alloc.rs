@@ -1,0 +1,74 @@
+//! Opt-in heap-allocation counting for span alloc-count deltas.
+//!
+//! The workspace is zero-dependency, so allocation profiling is built on a
+//! [`GlobalAlloc`] wrapper around the [`System`] allocator that bumps one
+//! relaxed atomic per allocation. It is **opt-in per binary**: a binary
+//! that wants allocation counts in its span timings installs
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: dds_obs::CountingAllocator = dds_obs::CountingAllocator;
+//! ```
+//!
+//! (the `dds` CLI does). Libraries never install it; in binaries without
+//! it, [`allocation_count`] stays at `0` and span timings report zero
+//! allocations. The counter is process-wide, so a span's delta includes
+//! allocations from concurrently running threads — interpret alloc counts
+//! on parallel stages accordingly.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATION_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Total heap allocations made since process start, when
+/// [`CountingAllocator`] is installed as the global allocator; `0`
+/// otherwise.
+pub fn allocation_count() -> u64 {
+    ALLOCATION_COUNT.load(Ordering::Relaxed)
+}
+
+/// A [`System`]-backed global allocator that counts allocations.
+///
+/// Counting is one relaxed `fetch_add` per allocation — cheap enough to
+/// leave on in release binaries. Deallocations are not counted; the
+/// number reported by [`allocation_count`] is the cumulative allocation
+/// count, which is what span deltas need.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAllocator;
+
+#[allow(unsafe_code)] // the one unavoidable unsafe surface: GlobalAlloc
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_is_monotone() {
+        // The test binary does not install the allocator, so the count is
+        // stable (usually 0) — the API contract is monotonicity.
+        let before = allocation_count();
+        let _v: Vec<u8> = Vec::with_capacity(128);
+        assert!(allocation_count() >= before);
+    }
+}

@@ -1,0 +1,276 @@
+//! Minimal JSON helpers: string escaping for the writers and a
+//! recursive-descent validator used by the test suites to check that
+//! emitted trace/metric documents are well-formed.
+//!
+//! This is *not* a JSON library — there is no DOM and no deserialization.
+//! The workspace only ever writes JSON, so all it needs is correct
+//! escaping plus a cheap way to assert validity in tests.
+//!
+//! # Example
+//!
+//! ```
+//! assert_eq!(dds_obs::json::escape("a\"b"), "a\\\"b");
+//! assert!(dds_obs::json::validate(r#"{"ok": [1, 2.5, null, "x"]}"#).is_ok());
+//! assert!(dds_obs::json::validate("{broken").is_err());
+//! ```
+
+/// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+/// quotes added).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    write_escaped(&mut out, s);
+    out
+}
+
+/// Appends the JSON-escaped form of `s` to `out` (no surrounding quotes).
+pub fn write_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders an `f64` as a JSON value: finite numbers as-is, non-finite
+/// values as `null` (JSON has no `NaN`/`Infinity`).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` keeps a decimal point or exponent so the token re-parses
+        // as a float, and round-trips the value exactly.
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Validates that `text` is exactly one well-formed JSON value.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax problem, with
+/// its byte offset.
+pub fn validate(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    match bytes.get(*pos) {
+        None => Err(format!("unexpected end of input at byte {pos}", pos = *pos)),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, "true"),
+        Some(b'f') => parse_literal(bytes, pos, "false"),
+        Some(b'n') => parse_literal(bytes, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        parse_string(bytes, pos).map_err(|e| format!("object key: {e}"))?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        for i in 1..=4 {
+                            if !bytes.get(*pos + i).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!(
+                                    "bad \\u escape at byte {pos}",
+                                    pos = *pos - 1
+                                ));
+                            }
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos - 1)),
+                }
+            }
+            c if c < 0x20 => {
+                return Err(format!("raw control byte in string at {pos}", pos = *pos));
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, literal: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_from = *pos;
+    while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+    }
+    if *pos == digits_from {
+        return Err(format!("expected digits at byte {pos}", pos = *pos));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_from = *pos;
+        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        if *pos == frac_from {
+            return Err(format!("expected fraction digits at byte {pos}", pos = *pos));
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_from = *pos;
+        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        if *pos == exp_from {
+            return Err(format!("expected exponent digits at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        // Escaped text embeds into a valid document.
+        let doc = format!("{{\"k\": \"{}\"}}", escape("x\n\"y\"\\z"));
+        validate(&doc).unwrap();
+    }
+
+    #[test]
+    fn numbers_render_parseable() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        validate(&number(1e-9)).unwrap();
+        validate(&number(3.0)).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_valid_documents() {
+        for doc in [
+            "null",
+            "true",
+            "-12.5e3",
+            "\"str\"",
+            "[]",
+            "{}",
+            r#"{"a": [1, {"b": null}], "c": "d\n"}"#,
+            "  { \"x\" : [ 1 , 2 ] }  ",
+        ] {
+            validate(doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_invalid_documents() {
+        for doc in
+            ["", "{", "[1,]", "{\"a\":}", "{'a': 1}", "1 2", "nul", "\"unterminated", "01a", "1."]
+        {
+            assert!(validate(doc).is_err(), "{doc:?} should be invalid");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Zero-dependency observability for the `dds` workspace: structured
+//! tracing, a lock-light metrics registry, and stage profiling.
+//!
+//! The workspace builds without crates.io access, so this crate provides
+//! the pieces that `tracing` + `metrics` + a profiler would normally
+//! supply, scoped to what the disk-degradation pipeline actually needs:
+//!
+//! - [`trace`] — a span/event facade ([`span!`]/[`event!`] macros with
+//!   levels and key-value fields) dispatching to one pluggable global
+//!   [`Subscriber`](trace::Subscriber). With no subscriber installed (the
+//!   null state), every instrumentation site costs a single relaxed
+//!   atomic load and evaluates no field expressions — which is what lets
+//!   the bit-for-bit determinism suites run with instrumentation
+//!   compiled in.
+//! - [`subscribers`] — the stderr pretty-printer, the JSON-lines writer
+//!   behind `--trace-json`, an in-memory capturer for tests, and a tee.
+//! - [`metrics`] — counters, gauges and log-scale histograms registered
+//!   by name in a process-global [`Registry`](metrics::Registry);
+//!   snapshots export as JSON or Prometheus-style text.
+//! - [`profile`] — a [`StageProfiler`](profile::StageProfiler)
+//!   subscriber aggregating per-stage wall time and allocation counts.
+//! - [`alloc`] — the opt-in [`CountingAllocator`] feeding span
+//!   allocation deltas.
+//! - [`json`] — escaping/validation helpers shared by the writers.
+//!
+//! # Quick start
+//!
+//! ```
+//! use dds_obs::metrics;
+//! use dds_obs::subscribers::CapturingSubscriber;
+//! use dds_obs::trace::{self, Level};
+//! use std::sync::Arc;
+//!
+//! // 1. Tracing: install a subscriber, open spans, fire events.
+//! let capture = Arc::new(CapturingSubscriber::new(Level::Info));
+//! trace::install(capture.clone());
+//! {
+//!     let _span = dds_obs::span!(Level::Info, "job.run", items = 10usize);
+//!     dds_obs::event!(Level::Info, "job.progress", done = 10usize);
+//! }
+//! trace::reset();
+//! assert_eq!(capture.span_names(), vec!["job.run"]);
+//!
+//! // 2. Metrics: cheap atomic handles, JSON/Prometheus export.
+//! let registry = metrics::Registry::new();
+//! registry.counter("dds_job_items_total").add(10);
+//! assert!(registry.snapshot().to_prometheus().contains("dds_job_items_total 10"));
+//! ```
+//!
+//! # Conventions
+//!
+//! Span names are dotted and static (`"pipeline.categorize"`,
+//! `"kmeans.fit"`); metric names follow `dds_<area>_<what>_<unit>`
+//! (see `DESIGN.md` in the repository root for the full scheme and the
+//! overhead budget).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod alloc;
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod subscribers;
+pub mod trace;
+
+pub use alloc::CountingAllocator;
+pub use trace::{Field, Level, Span, Value};
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! The trace subscriber and its level filter are process globals, so
+    //! unit tests that install subscribers serialize on one mutex.
+    use std::sync::{Mutex, MutexGuard};
+
+    pub fn obs_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}

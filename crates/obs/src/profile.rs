@@ -1,0 +1,164 @@
+//! Stage profiling: a subscriber that aggregates per-span wall time and
+//! allocation counts into a per-stage breakdown table.
+//!
+//! [`StageProfiler`] listens to span ends and accumulates, per span
+//! *name*, the call count, total wall time and total allocation delta.
+//! Attached around an [`Analysis::run`] or a `FleetMonitor::replay`, it
+//! yields the per-stage breakdown that previously required ad-hoc
+//! `Instant` plumbing in the benchmark binaries.
+//!
+//! [`Analysis::run`]: ../../dds_core/pipeline/struct.Analysis.html
+//!
+//! # Example
+//!
+//! ```
+//! use dds_obs::profile::StageProfiler;
+//! use dds_obs::trace::{self, Level};
+//! use std::sync::Arc;
+//!
+//! let profiler = Arc::new(StageProfiler::new(Level::Trace));
+//! trace::install(profiler.clone());
+//! {
+//!     let _stage = dds_obs::span!(Level::Info, "demo.compute");
+//! }
+//! trace::reset();
+//! let stats = profiler.stats();
+//! assert_eq!(stats["demo.compute"].calls, 1);
+//! println!("{}", profiler.render_table());
+//! ```
+
+use crate::trace::{EventInfo, Level, SpanInfo, SpanTiming, Subscriber};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Accumulated cost of one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// How many spans with this name closed.
+    pub calls: u64,
+    /// Total wall time across those spans.
+    pub total: Duration,
+    /// Total heap-allocation delta across those spans (`0` unless the
+    /// binary installs [`CountingAllocator`](crate::CountingAllocator)).
+    pub allocations: u64,
+}
+
+impl StageStats {
+    /// Mean wall time per call, if any calls were recorded.
+    pub fn mean(&self) -> Option<Duration> {
+        (self.calls > 0).then(|| self.total / u32::try_from(self.calls).unwrap_or(u32::MAX))
+    }
+}
+
+/// A subscriber that aggregates span timings by span name.
+///
+/// Stats are keyed by the spans' `&'static str` names and sorted
+/// alphabetically in [`render_table`](StageProfiler::render_table);
+/// dotted names (`pipeline.categorize`) therefore group naturally.
+#[derive(Debug)]
+pub struct StageProfiler {
+    min_level: Level,
+    stats: Mutex<BTreeMap<&'static str, StageStats>>,
+}
+
+impl StageProfiler {
+    /// Creates a profiler aggregating spans at `min_level` and above.
+    pub fn new(min_level: Level) -> Self {
+        StageProfiler { min_level, stats: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// A copy of the per-stage stats accumulated so far.
+    pub fn stats(&self) -> BTreeMap<&'static str, StageStats> {
+        self.stats.lock().map(|s| s.clone()).unwrap_or_default()
+    }
+
+    /// Renders the stats as an aligned text table (stage, calls, total
+    /// wall time, mean, allocations), one row per span name.
+    pub fn render_table(&self) -> String {
+        let stats = self.stats();
+        let name_width =
+            stats.keys().map(|name| name.len()).chain(std::iter::once("stage".len())).max();
+        let name_width = name_width.unwrap_or(5);
+        let mut out = format!(
+            "{:<name_width$}  {:>7}  {:>12}  {:>12}  {:>12}\n",
+            "stage", "calls", "total", "mean", "allocs"
+        );
+        for (name, stat) in &stats {
+            let mean = stat.mean().map_or_else(|| "-".to_string(), |m| format!("{m:.1?}"));
+            out.push_str(&format!(
+                "{name:<name_width$}  {:>7}  {:>12}  {mean:>12}  {:>12}\n",
+                stat.calls,
+                format!("{:.1?}", stat.total),
+                stat.allocations,
+            ));
+        }
+        out
+    }
+}
+
+impl Subscriber for StageProfiler {
+    fn min_level(&self) -> Level {
+        self.min_level
+    }
+
+    fn on_span_start(&self, _span: &SpanInfo<'_>) {}
+
+    fn on_span_end(&self, span: &SpanInfo<'_>, timing: &SpanTiming) {
+        if let Ok(mut stats) = self.stats.lock() {
+            let entry = stats.entry(span.name).or_default();
+            entry.calls += 1;
+            entry.total += timing.elapsed;
+            entry.allocations += timing.allocations;
+        }
+    }
+
+    fn on_event(&self, _event: &EventInfo<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::obs_lock;
+    use crate::trace;
+    use std::sync::Arc;
+
+    #[test]
+    fn aggregates_by_span_name() {
+        let _guard = obs_lock();
+        let profiler = Arc::new(StageProfiler::new(Level::Trace));
+        trace::install(profiler.clone());
+        for _ in 0..3 {
+            let _span = crate::span!(Level::Info, "p.repeat");
+        }
+        {
+            let _span = crate::span!(Level::Debug, "p.once");
+        }
+        trace::reset();
+
+        let stats = profiler.stats();
+        assert_eq!(stats["p.repeat"].calls, 3);
+        assert_eq!(stats["p.once"].calls, 1);
+        assert!(stats["p.once"].mean().is_some());
+
+        let table = profiler.render_table();
+        assert!(table.starts_with("stage"));
+        assert!(table.contains("p.repeat"));
+        assert!(table.contains("p.once"));
+    }
+
+    #[test]
+    fn respects_min_level() {
+        let _guard = obs_lock();
+        let profiler = Arc::new(StageProfiler::new(Level::Info));
+        trace::install(profiler.clone());
+        {
+            let _quiet = crate::span!(Level::Debug, "p.quiet");
+            let _loud = crate::span!(Level::Info, "p.loud");
+        }
+        trace::reset();
+        let stats = profiler.stats();
+        assert!(!stats.contains_key("p.quiet"));
+        assert_eq!(stats["p.loud"].calls, 1);
+    }
+}

@@ -1,0 +1,566 @@
+//! The structured-tracing facade: levels, key-value fields, spans, events
+//! and the global subscriber dispatch.
+//!
+//! The hot path is built for the *disabled* case: when no subscriber is
+//! installed (the default — the "null subscriber"), [`enabled`] is a single
+//! relaxed atomic load and the [`span!`](crate::span!) / [`event!`](crate::event!)
+//! macros evaluate **none** of their field expressions. Instrumented code
+//! therefore costs one branch per site, which is what lets the determinism
+//! suites run with instrumentation compiled in.
+//!
+//! Spans nest per thread: a span entered while another span is open on the
+//! same thread records that span as its parent. Work handed to other
+//! threads (e.g. the `dds_stats::par` workers) starts a fresh stack there,
+//! so spans and events emitted from workers carry no parent — a deliberate
+//! trade that keeps the facade free of cross-thread context passing.
+//!
+//! # Example
+//!
+//! ```
+//! use dds_obs::subscribers::CapturingSubscriber;
+//! use dds_obs::trace::{self, Level};
+//! use std::sync::Arc;
+//!
+//! let capture = Arc::new(CapturingSubscriber::new(Level::Trace));
+//! trace::install(capture.clone());
+//! {
+//!     let _stage = dds_obs::span!(Level::Info, "demo.stage", items = 3usize);
+//!     dds_obs::event!(Level::Debug, "demo.tick", step = 1u64);
+//! }
+//! trace::reset();
+//! assert_eq!(capture.span_names(), vec!["demo.stage"]);
+//! ```
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+/// Verbosity/severity of a span or event. Ordered from least to most
+/// severe: `Trace < Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// Finest-grained detail (e.g. one K-means restart).
+    Trace = 0,
+    /// Diagnostic detail (e.g. one model fit).
+    Debug = 1,
+    /// Stage-level progress; the default operator verbosity.
+    Info = 2,
+    /// Something unexpected but recoverable.
+    Warn = 3,
+    /// A failure worth operator attention.
+    Error = 4,
+}
+
+impl Level {
+    /// Every level, least severe first.
+    pub const ALL: [Level; 5] =
+        [Level::Trace, Level::Debug, Level::Info, Level::Warn, Level::Error];
+
+    /// The lowercase name (`"info"`, …), as accepted by [`Level::from_str`].
+    ///
+    /// [`Level::from_str`]: std::str::FromStr::from_str
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `pad` honors width/alignment so printers can column-align levels.
+        f.pad(self.as_str())
+    }
+}
+
+/// Error returned when parsing an unknown level name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLevelError(String);
+
+impl fmt::Display for ParseLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown trace level {:?} (expected trace, debug, info, warn or error)", self.0)
+    }
+}
+
+impl std::error::Error for ParseLevelError {}
+
+impl std::str::FromStr for Level {
+    type Err = ParseLevelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "trace" => Ok(Level::Trace),
+            "debug" => Ok(Level::Debug),
+            "info" => Ok(Level::Info),
+            "warn" | "warning" => Ok(Level::Warn),
+            "error" => Ok(Level::Error),
+            other => Err(ParseLevelError(other.to_string())),
+        }
+    }
+}
+
+/// A field value. Constructed through `From` impls by the
+/// [`span!`](crate::span!) / [`event!`](crate::event!) macros.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (also `usize`).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Owned string.
+    Str(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I64(v) => write!(f, "{v}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(v.into())
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v.into())
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One key-value field attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Field name (the identifier written at the instrumentation site).
+    pub key: &'static str,
+    /// Field value.
+    pub value: Value,
+}
+
+impl Field {
+    /// Builds a field from a key and anything convertible to a [`Value`].
+    pub fn new(key: &'static str, value: impl Into<Value>) -> Self {
+        Field { key, value: value.into() }
+    }
+}
+
+/// Borrowed view of a span handed to [`Subscriber`] callbacks.
+#[derive(Debug)]
+pub struct SpanInfo<'a> {
+    /// Process-unique span id (monotonically assigned).
+    pub id: u64,
+    /// Id of the span open on the same thread when this one started.
+    pub parent: Option<u64>,
+    /// Static span name (dotted convention, e.g. `"pipeline.categorize"`).
+    pub name: &'static str,
+    /// Severity level.
+    pub level: Level,
+    /// Key-value fields captured at entry.
+    pub fields: &'a [Field],
+}
+
+/// Timing observed between a span's entry and exit.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTiming {
+    /// Wall-clock duration of the span.
+    pub elapsed: Duration,
+    /// Heap allocations made while the span was open (process-wide delta;
+    /// `0` unless [`CountingAllocator`](crate::CountingAllocator) is the
+    /// global allocator).
+    pub allocations: u64,
+}
+
+/// Borrowed view of an event handed to [`Subscriber::on_event`].
+#[derive(Debug)]
+pub struct EventInfo<'a> {
+    /// Id of the span open on the emitting thread, if any.
+    pub span: Option<u64>,
+    /// Static event name.
+    pub name: &'static str,
+    /// Severity level.
+    pub level: Level,
+    /// Key-value fields.
+    pub fields: &'a [Field],
+}
+
+/// Receives spans and events. Implementations must be cheap and
+/// thread-safe: callbacks can arrive concurrently from worker threads.
+pub trait Subscriber: Send + Sync {
+    /// The least severe level this subscriber wants to receive; anything
+    /// below it is filtered out before any allocation happens. Defaults to
+    /// [`Level::Trace`] (receive everything).
+    fn min_level(&self) -> Level {
+        Level::Trace
+    }
+
+    /// A span was entered.
+    fn on_span_start(&self, span: &SpanInfo<'_>);
+
+    /// A span was exited (guard dropped).
+    fn on_span_end(&self, span: &SpanInfo<'_>, timing: &SpanTiming);
+
+    /// An event fired.
+    fn on_event(&self, event: &EventInfo<'_>);
+}
+
+/// Sentinel meaning "no subscriber": no level passes the filter.
+const LEVEL_OFF: u8 = u8::MAX;
+
+static MIN_LEVEL: AtomicU8 = AtomicU8::new(LEVEL_OFF);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+fn subscriber_slot() -> &'static RwLock<Option<Arc<dyn Subscriber>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<dyn Subscriber>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Installs `subscriber` as the process-global subscriber, replacing any
+/// previous one. Spans already open keep reporting to whatever is
+/// installed when they close.
+pub fn install(subscriber: Arc<dyn Subscriber>) {
+    let min = subscriber.min_level() as u8;
+    *subscriber_slot().write().expect("subscriber lock poisoned") = Some(subscriber);
+    MIN_LEVEL.store(min, Ordering::SeqCst);
+}
+
+/// Removes the installed subscriber, returning to the null (disabled)
+/// state in which instrumentation costs one atomic load per site.
+pub fn reset() {
+    MIN_LEVEL.store(LEVEL_OFF, Ordering::SeqCst);
+    *subscriber_slot().write().expect("subscriber lock poisoned") = None;
+}
+
+/// Whether anything at `level` would currently be recorded. One relaxed
+/// atomic load; `false` whenever no subscriber is installed.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as u8 >= MIN_LEVEL.load(Ordering::Relaxed)
+}
+
+fn with_subscriber(f: impl FnOnce(&Arc<dyn Subscriber>)) {
+    if let Ok(guard) = subscriber_slot().read() {
+        if let Some(subscriber) = guard.as_ref() {
+            f(subscriber);
+        }
+    }
+}
+
+/// The id of the span currently open on this thread, if any.
+pub fn current_span() -> Option<u64> {
+    SPAN_STACK.with(|stack| stack.borrow().last().copied())
+}
+
+/// How many spans are open on this thread (pretty-printer indentation).
+pub fn current_depth() -> usize {
+    SPAN_STACK.with(|stack| stack.borrow().len())
+}
+
+/// An RAII guard for an open span; the span closes when it drops.
+///
+/// Construct through the [`span!`](crate::span!) macro, which skips all
+/// field evaluation when the level is filtered out.
+#[must_use = "a span closes when its guard drops; bind it to a variable"]
+#[derive(Debug)]
+pub struct Span {
+    data: Option<SpanData>,
+}
+
+#[derive(Debug)]
+struct SpanData {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    level: Level,
+    fields: Vec<Field>,
+    start: Instant,
+    start_allocations: u64,
+}
+
+impl Span {
+    /// Enters a span, dispatching `on_span_start` if `level` is enabled.
+    /// Prefer the [`span!`](crate::span!) macro, which also skips field
+    /// construction when disabled.
+    pub fn enter(level: Level, name: &'static str, fields: Vec<Field>) -> Span {
+        if !enabled(level) {
+            return Span { data: None };
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = current_span();
+        SPAN_STACK.with(|stack| stack.borrow_mut().push(id));
+        let info = SpanInfo { id, parent, name, level, fields: &fields };
+        with_subscriber(|s| s.on_span_start(&info));
+        Span {
+            data: Some(SpanData {
+                id,
+                parent,
+                name,
+                level,
+                fields,
+                start: Instant::now(),
+                start_allocations: crate::alloc::allocation_count(),
+            }),
+        }
+    }
+
+    /// An inert guard that records nothing (what [`span!`](crate::span!)
+    /// returns when the level is filtered out).
+    pub fn disabled() -> Span {
+        Span { data: None }
+    }
+
+    /// Whether this guard refers to a live, recorded span.
+    pub fn is_recording(&self) -> bool {
+        self.data.is_some()
+    }
+
+    /// The span id, when recording.
+    pub fn id(&self) -> Option<u64> {
+        self.data.as_ref().map(|d| d.id)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(data) = self.data.take() else {
+            return;
+        };
+        let allocations = crate::alloc::allocation_count().saturating_sub(data.start_allocations);
+        let elapsed = data.start.elapsed();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&id| id == data.id) {
+                stack.remove(pos);
+            }
+        });
+        let info = SpanInfo {
+            id: data.id,
+            parent: data.parent,
+            name: data.name,
+            level: data.level,
+            fields: &data.fields,
+        };
+        with_subscriber(|s| s.on_span_end(&info, &SpanTiming { elapsed, allocations }));
+    }
+}
+
+/// Dispatches an event if `level` is enabled. Prefer the
+/// [`event!`](crate::event!) macro, which also skips field construction
+/// when disabled.
+pub fn emit_event(level: Level, name: &'static str, fields: Vec<Field>) {
+    if !enabled(level) {
+        return;
+    }
+    let info = EventInfo { span: current_span(), name, level, fields: &fields };
+    with_subscriber(|s| s.on_event(&info));
+}
+
+/// Opens a span and returns its guard.
+///
+/// `span!(level, name, key = value, ...)` — `name` must be a `&'static
+/// str`; each `value` is anything with a `From` impl on
+/// [`Value`](crate::trace::Value). When the level is filtered out, the
+/// field expressions are **not evaluated**.
+///
+/// ```
+/// use dds_obs::trace::Level;
+///
+/// let guard = dds_obs::span!(Level::Info, "example.work", items = 42usize);
+/// drop(guard); // span closes here
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($level:expr, $name:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        if $crate::trace::enabled($level) {
+            $crate::trace::Span::enter(
+                $level,
+                $name,
+                ::std::vec![$($crate::trace::Field::new(stringify!($key), $value)),*],
+            )
+        } else {
+            $crate::trace::Span::disabled()
+        }
+    }};
+}
+
+/// Fires a point-in-time event.
+///
+/// `event!(level, name, key = value, ...)` — same field syntax as
+/// [`span!`](crate::span!); field expressions are not evaluated when the
+/// level is filtered out.
+///
+/// ```
+/// use dds_obs::trace::Level;
+///
+/// dds_obs::event!(Level::Debug, "example.tick", step = 3u64);
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $name:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        if $crate::trace::enabled($level) {
+            $crate::trace::emit_event(
+                $level,
+                $name,
+                ::std::vec![$($crate::trace::Field::new(stringify!($key), $value)),*],
+            );
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subscribers::{CapturingSubscriber, TraceRecord};
+    use crate::test_support::obs_lock;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Trace < Level::Debug && Level::Debug < Level::Error);
+        for level in Level::ALL {
+            assert_eq!(level.as_str().parse::<Level>().unwrap(), level);
+        }
+        assert_eq!("warning".parse::<Level>().unwrap(), Level::Warn);
+        assert!("loud".parse::<Level>().is_err());
+    }
+
+    #[test]
+    fn disabled_by_default_and_fields_not_evaluated() {
+        let _guard = obs_lock();
+        reset();
+        assert!(!enabled(Level::Error));
+        let mut evaluated = false;
+        let span = span!(
+            Level::Info,
+            "t.skip",
+            x = {
+                evaluated = true;
+                1u64
+            }
+        );
+        assert!(!span.is_recording());
+        assert!(!evaluated, "field expressions must not run when disabled");
+    }
+
+    #[test]
+    fn spans_nest_per_thread_and_report_fields() {
+        let _guard = obs_lock();
+        let capture = Arc::new(CapturingSubscriber::new(Level::Trace));
+        install(capture.clone());
+        {
+            let outer = span!(Level::Info, "t.outer", k = 3usize);
+            let outer_id = outer.id().unwrap();
+            {
+                let inner = span!(Level::Debug, "t.inner");
+                assert_eq!(current_depth(), 2);
+                assert!(inner.is_recording());
+            }
+            event!(Level::Info, "t.event", ok = true);
+            assert_eq!(current_span(), Some(outer_id));
+        }
+        reset();
+        let records = capture.records();
+        let inner_start = records
+            .iter()
+            .find_map(|r| match r {
+                TraceRecord::SpanStart { name: "t.inner", parent, .. } => Some(*parent),
+                _ => None,
+            })
+            .expect("inner span recorded");
+        let outer_id = records
+            .iter()
+            .find_map(|r| match r {
+                TraceRecord::SpanStart { name: "t.outer", id, fields, .. } => {
+                    assert_eq!(fields, &vec![Field::new("k", 3usize)]);
+                    Some(*id)
+                }
+                _ => None,
+            })
+            .expect("outer span recorded");
+        assert_eq!(inner_start, Some(outer_id), "inner's parent is outer");
+        assert!(records.iter().any(|r| matches!(
+            r,
+            TraceRecord::Event { name: "t.event", span: Some(id), .. } if *id == outer_id
+        )));
+        // Both spans closed, inner first.
+        let ends: Vec<&'static str> = records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::SpanEnd { name, .. } => Some(*name),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ends, vec!["t.inner", "t.outer"]);
+    }
+
+    #[test]
+    fn min_level_filters_spans_and_events() {
+        let _guard = obs_lock();
+        let capture = Arc::new(CapturingSubscriber::new(Level::Warn));
+        install(capture.clone());
+        {
+            let quiet = span!(Level::Info, "t.quiet");
+            assert!(!quiet.is_recording());
+            event!(Level::Debug, "t.quiet_event");
+            let loud = span!(Level::Error, "t.loud");
+            assert!(loud.is_recording());
+        }
+        reset();
+        assert_eq!(capture.span_names(), vec!["t.loud"]);
+    }
+}

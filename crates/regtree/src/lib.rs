@@ -38,6 +38,15 @@ const PAR_SPLIT_MIN_CELLS: usize = 4_096;
 /// Minimum batch size before predictions fan out to threads.
 const PAR_PREDICT_MIN_ROWS: usize = 2_048;
 
+/// Cached handle to the prediction counter: [`RegressionTree::predict`] is
+/// hot (every row of every batch), so the registry lookup happens once per
+/// process and each prediction pays one relaxed atomic add.
+fn predictions_counter() -> &'static std::sync::Arc<dds_obs::metrics::Counter> {
+    static COUNTER: std::sync::OnceLock<std::sync::Arc<dds_obs::metrics::Counter>> =
+        std::sync::OnceLock::new();
+    COUNTER.get_or_init(|| dds_obs::metrics::global().counter("dds_regtree_predictions_total"))
+}
+
 /// Errors produced when fitting or querying a regression tree.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -202,6 +211,14 @@ impl RegressionTree {
                 });
             }
         }
+        let _span = dds_obs::span!(
+            dds_obs::Level::Debug,
+            "regtree.fit",
+            rows = xs.len(),
+            features = num_features,
+            max_depth = config.max_depth,
+        );
+        dds_obs::metrics::global().counter("dds_regtree_fits_total").inc();
         let mut tree = RegressionTree {
             nodes: Vec::new(),
             num_features,
@@ -217,6 +234,7 @@ impl RegressionTree {
                 *imp /= total;
             }
         }
+        dds_obs::event!(dds_obs::Level::Trace, "regtree.built", nodes = tree.nodes.len());
         Ok(tree)
     }
 
@@ -310,6 +328,7 @@ impl RegressionTree {
     /// Panics if the row has the wrong number of features.
     pub fn predict(&self, row: &[f64]) -> f64 {
         assert_eq!(row.len(), self.num_features, "feature count mismatch");
+        predictions_counter().inc();
         let mut id = 0usize;
         loop {
             match &self.nodes[id] {
@@ -325,6 +344,8 @@ impl RegressionTree {
     /// (per the [`Parallelism`] the tree was fitted with); output order
     /// always matches input order.
     pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        let _span =
+            dds_obs::span!(dds_obs::Level::Debug, "regtree.predict_batch", rows = rows.len());
         par_map_indexed(self.batch_parallelism(rows.len()), rows, |_, r| self.predict(r))
     }
 
@@ -332,6 +353,8 @@ impl RegressionTree {
     /// [`predict_batch`](Self::predict_batch) for callers that already hold
     /// their samples elsewhere and would otherwise clone every row.
     pub fn predict_batch_ref(&self, rows: &[&[f64]]) -> Vec<f64> {
+        let _span =
+            dds_obs::span!(dds_obs::Level::Debug, "regtree.predict_batch", rows = rows.len());
         par_map_indexed(self.batch_parallelism(rows.len()), rows, |_, r| self.predict(r))
     }
 

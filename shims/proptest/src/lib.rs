@@ -102,7 +102,7 @@ pub mod strategy {
         }
     }
 
-    /// Sizes accepted by [`vec`]: an exact length or a range of lengths.
+    /// Sizes accepted by [`vec()`]: an exact length or a range of lengths.
     pub trait IntoSizeRange {
         /// Converts to inclusive `(min, max)` bounds.
         fn bounds(self) -> (usize, usize);

@@ -11,6 +11,8 @@
 //! This façade crate re-exports the workspace:
 //!
 //! * [`stats`] — statistics & linear algebra ([`dds_stats`])
+//! * [`obs`] — zero-dependency observability: tracing, metrics, stage
+//!   profiling ([`dds_obs`])
 //! * [`smartsim`] — the SMART fleet simulator ([`dds_smartsim`])
 //! * [`cluster`] — K-means / SVC / PCA ([`dds_cluster`])
 //! * [`regtree`] — CART regression trees ([`dds_regtree`])
@@ -35,6 +37,7 @@
 pub use dds_cluster as cluster;
 pub use dds_core as core;
 pub use dds_monitor as monitor;
+pub use dds_obs as obs;
 pub use dds_regtree as regtree;
 pub use dds_smartsim as smartsim;
 pub use dds_stats as stats;
