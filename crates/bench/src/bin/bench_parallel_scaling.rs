@@ -29,6 +29,10 @@ struct Row {
     stage: &'static str,
     threads: usize,
     wall_ms: f64,
+    calls: u64,
+    /// Bucket-estimated per-call latency quantiles (p50, p95, p99) in ms,
+    /// absent for the hand-timed rows that aren't span-aggregated.
+    quantiles_ms: Option<[f64; 3]>,
 }
 
 fn time_ms(f: impl FnOnce()) -> f64 {
@@ -65,6 +69,8 @@ fn main() {
             stage: "fleet_generation",
             threads,
             wall_ms: time_ms(|| dataset = Some(FleetSimulator::new(config).run())),
+            calls: 1,
+            quantiles_ms: None,
         });
         let dataset = dataset.expect("simulated");
 
@@ -83,13 +89,26 @@ fn main() {
             wall_ms: time_ms(|| {
                 Analysis::new(analysis_config).run(&dataset).expect("analysis");
             }),
+            calls: 1,
+            quantiles_ms: None,
         });
         trace::reset();
         for (name, stats) in profiler.stats() {
             if name == "pipeline.run" {
                 continue; // already covered by the full_analysis row
             }
-            rows.push(Row { stage: name, threads, wall_ms: stats.total.as_secs_f64() * 1_000.0 });
+            let q_ms = |q: f64| stats.quantile(q).map(|d| d.as_secs_f64() * 1_000.0);
+            let quantiles_ms = match (q_ms(0.50), q_ms(0.95), q_ms(0.99)) {
+                (Some(p50), Some(p95), Some(p99)) => Some([p50, p95, p99]),
+                _ => None,
+            };
+            rows.push(Row {
+                stage: name,
+                threads,
+                wall_ms: stats.total.as_secs_f64() * 1_000.0,
+                calls: stats.calls,
+                quantiles_ms,
+            });
         }
     }
 
@@ -106,11 +125,21 @@ fn main() {
         cores
     ));
     for (i, row) in rows.iter().enumerate() {
+        // Existing keys (stage/threads/wall_ms) stay untouched so older
+        // trajectory tooling keeps parsing; calls + quantiles are additive.
+        let quantiles = match row.quantiles_ms {
+            Some([p50, p95, p99]) => {
+                format!("\"p50_ms\": {p50:.3}, \"p95_ms\": {p95:.3}, \"p99_ms\": {p99:.3}")
+            }
+            None => "\"p50_ms\": null, \"p95_ms\": null, \"p99_ms\": null".to_string(),
+        };
         json.push_str(&format!(
-            "    {{\"stage\": \"{}\", \"threads\": {}, \"wall_ms\": {:.1}}}{}\n",
+            "    {{\"stage\": \"{}\", \"threads\": {}, \"wall_ms\": {:.1}, \"calls\": {}, {}}}{}\n",
             row.stage,
             row.threads,
             row.wall_ms,
+            row.calls,
+            quantiles,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

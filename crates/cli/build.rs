@@ -1,0 +1,19 @@
+//! Embeds the git commit into the binary so `dds_build_info` scrapes are
+//! attributable to a build. Falls back to "unknown" outside a git
+//! checkout; reruns when HEAD moves.
+
+use std::process::Command;
+
+fn main() {
+    let sha = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=DDS_GIT_SHA={sha}");
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

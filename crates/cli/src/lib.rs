@@ -7,6 +7,7 @@
 //! dds analyze fleet.csv [--full-report] [--k N]         # run the paper's analysis
 //! dds monitor --train fleet_a.csv --live fleet_b.csv    # train + stream alerts
 //! dds pipeline --scale test --seed 7                    # simulate → analyze → monitor
+//! dds serve --scale test --listen 127.0.0.1:9150        # continuous ingest + scraping
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace carries no CLI
@@ -16,20 +17,31 @@
 //! Every subcommand also accepts the observability flags
 //! `--trace-level <level>` (pretty spans on stderr), `--trace-json <path>`
 //! (JSON-lines span/event log) and `--metrics <path>` (JSON metrics
-//! snapshot written after the run); see `docs/OPERATIONS.md`.
+//! snapshot written after the run); see `docs/OPERATIONS.md`. `dds serve`
+//! runs the monitor as a long-lived service with live scrape endpoints
+//! ([`serve`]), and `dds monitor`/`dds pipeline` expose the same endpoints
+//! during batch runs via `--listen ADDR`.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod serve;
+pub mod signal;
+
 use dds_core::categorize::CategorizationConfig;
 use dds_core::{report, Analysis, AnalysisConfig};
-use dds_monitor::{FleetMonitor, ModelBundle, MonitorConfig, Severity};
+use dds_monitor::{
+    AlertHistory, FleetMonitor, ModelBundle, MonitorConfig, MonitorService, Severity,
+};
+use dds_obs::http::HttpServer;
 use dds_obs::profile::StageProfiler;
 use dds_obs::subscribers::{JsonLinesSubscriber, StderrSubscriber, TeeSubscriber};
 use dds_obs::trace::{self, Level, Subscriber};
+use dds_obs::watchdog::HealthState;
 use dds_smartsim::io::{read_csv, write_csv};
 use dds_smartsim::{Dataset, FleetConfig, FleetSimulator};
 use dds_stats::par::Parallelism;
+use serve::{register_build_info, ServeOptions};
 use std::error::Error;
 use std::fmt;
 use std::fs::File;
@@ -94,9 +106,11 @@ struct ObsSession {
 
 impl ObsSession {
     /// Installs the subscribers `obs` asks for. With no flags set this is
-    /// a no-op and the facade stays in its null state.
-    fn start(obs: &ObsOptions) -> Result<Self, Box<dyn Error>> {
-        if !obs.active() {
+    /// a no-op and the facade stays in its null state — unless
+    /// `force_profiler` is set (serving mode: the `/profile` endpoint
+    /// needs a live stage profiler regardless of flags).
+    fn start(obs: &ObsOptions, force_profiler: bool) -> Result<Self, Box<dyn Error>> {
+        if !obs.active() && !force_profiler {
             return Ok(ObsSession { profiler: None, metrics_path: None });
         }
         let mut children: Vec<Arc<dyn Subscriber>> = Vec::new();
@@ -191,6 +205,8 @@ pub enum Command {
         limit: usize,
         /// Worker threads (0 = all cores, 1 = sequential).
         threads: usize,
+        /// Expose the scrape endpoints on this address during the run.
+        listen: Option<String>,
         /// Observability flags.
         obs: ObsOptions,
     },
@@ -204,9 +220,14 @@ pub enum Command {
         seed: u64,
         /// Worker threads (0 = all cores, 1 = sequential).
         threads: usize,
+        /// Expose the scrape endpoints on this address during the run.
+        listen: Option<String>,
         /// Observability flags.
         obs: ObsOptions,
     },
+    /// `dds serve`: long-lived serving mode — continuous simulated ingest
+    /// with live scrape endpoints, SLO watchdog and clean Ctrl-C shutdown.
+    Serve(ServeOptions),
     /// `dds help` or `--help`.
     Help,
 }
@@ -218,12 +239,23 @@ dds — disk degradation signatures (IISWC 2015 reproduction)
 USAGE:
   dds simulate --out <fleet.csv> [--scale test|bench|consumer|paper] [--seed N] [--threads N]
   dds analyze <fleet.csv> [--full-report] [--k N] [--threads N]
-  dds monitor --train <fleet.csv> --live <fleet.csv> [--limit N] [--threads N]
-  dds pipeline [--scale test|bench|consumer|paper] [--seed N] [--threads N]
+  dds monitor --train <fleet.csv> --live <fleet.csv> [--limit N] [--threads N] [--listen ADDR]
+  dds pipeline [--scale test|bench|consumer|paper] [--seed N] [--threads N] [--listen ADDR]
+  dds serve [--scale S] [--seed N] [--threads N] [--listen ADDR] [--epochs N] [--tick-ms N]
   dds help
 
 Every subcommand accepts --threads N: 0 (the default) uses all cores,
 1 forces sequential execution; results are identical either way.
+
+Serving (see docs/OPERATIONS.md \"Serving & scraping\"):
+  dds serve trains a model bundle, then ingests simulated fleet epochs
+  forever (or for --epochs N), pacing each fleet-hour by --tick-ms
+  (default 50). The scrape server (default 127.0.0.1:9150) answers
+  /metrics, /metrics.json, /healthz, /readyz, /alerts?n=K and /profile
+  throughout; an SLO watchdog degrades /healthz on latency, alert-spike
+  or error-budget violations. Ctrl-C (SIGINT/SIGTERM) shuts down cleanly
+  and prints the final summary. --listen on monitor/pipeline exposes the
+  same endpoints during a batch run.
 
 Observability (any subcommand; see docs/OPERATIONS.md):
   --trace-level trace|debug|info|warn|error   pretty-print spans to stderr
@@ -314,6 +346,7 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
             let mut live: Option<PathBuf> = None;
             let mut limit = 20usize;
             let mut threads = 0usize;
+            let mut listen = None;
             let mut obs = ObsOptions::default();
             while let Some(arg) = iter.next() {
                 if obs.consume(&arg, &mut iter)? {
@@ -328,17 +361,19 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
                             raw.parse().map_err(|_| CliError(format!("invalid limit {raw:?}")))?;
                     }
                     "--threads" => threads = parse_threads(&take_value(&mut iter, "--threads")?)?,
+                    "--listen" => listen = Some(take_value(&mut iter, "--listen")?),
                     other => return Err(CliError::boxed(format!("unknown flag {other:?}"))),
                 }
             }
             let train = train.ok_or_else(|| CliError::boxed("monitor requires --train <path>"))?;
             let live = live.ok_or_else(|| CliError::boxed("monitor requires --live <path>"))?;
-            Ok(Command::Monitor { train, live, limit, threads, obs })
+            Ok(Command::Monitor { train, live, limit, threads, listen, obs })
         }
         "pipeline" => {
             let mut scale = "test".to_string();
             let mut seed = 0x2015_115Cu64;
             let mut threads = 0usize;
+            let mut listen = None;
             let mut obs = ObsOptions::default();
             while let Some(arg) = iter.next() {
                 if obs.consume(&arg, &mut iter)? {
@@ -352,11 +387,46 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
                             raw.parse().map_err(|_| CliError(format!("invalid seed {raw:?}")))?;
                     }
                     "--threads" => threads = parse_threads(&take_value(&mut iter, "--threads")?)?,
+                    "--listen" => listen = Some(take_value(&mut iter, "--listen")?),
                     other => return Err(CliError::boxed(format!("unknown flag {other:?}"))),
                 }
             }
             validate_scale(&scale)?;
-            Ok(Command::Pipeline { scale, seed, threads, obs })
+            Ok(Command::Pipeline { scale, seed, threads, listen, obs })
+        }
+        "serve" => {
+            let mut options = ServeOptions::default();
+            while let Some(arg) = iter.next() {
+                if options.obs.consume(&arg, &mut iter)? {
+                    continue;
+                }
+                match arg.as_str() {
+                    "--scale" => options.scale = take_value(&mut iter, "--scale")?,
+                    "--seed" => {
+                        let raw = take_value(&mut iter, "--seed")?;
+                        options.seed =
+                            raw.parse().map_err(|_| CliError(format!("invalid seed {raw:?}")))?;
+                    }
+                    "--threads" => {
+                        options.threads = parse_threads(&take_value(&mut iter, "--threads")?)?;
+                    }
+                    "--listen" => options.listen = take_value(&mut iter, "--listen")?,
+                    "--epochs" => {
+                        let raw = take_value(&mut iter, "--epochs")?;
+                        options.epochs = raw
+                            .parse()
+                            .map_err(|_| CliError(format!("invalid epoch count {raw:?}")))?;
+                    }
+                    "--tick-ms" => {
+                        let raw = take_value(&mut iter, "--tick-ms")?;
+                        options.tick_ms =
+                            raw.parse().map_err(|_| CliError(format!("invalid tick {raw:?}")))?;
+                    }
+                    other => return Err(CliError::boxed(format!("unknown flag {other:?}"))),
+                }
+            }
+            validate_scale(&options.scale)?;
+            Ok(Command::Serve(options))
         }
         other => Err(CliError::boxed(format!("unknown subcommand {other:?}; try `dds help`"))),
     }
@@ -411,10 +481,14 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
         | Command::Analyze { obs, .. }
         | Command::Monitor { obs, .. }
         | Command::Pipeline { obs, .. } => obs.clone(),
+        Command::Serve(options) => options.obs.clone(),
         Command::Help => ObsOptions::default(),
     };
-    let session = ObsSession::start(&obs)?;
-    match run_inner(command) {
+    // Serving mode always aggregates stage profiles — `/profile` serves
+    // them live.
+    let force_profiler = matches!(command, Command::Serve(_));
+    let session = ObsSession::start(&obs, force_profiler)?;
+    match run_inner(command, session.profiler.clone()) {
         Ok(mut out) => {
             session.finish(&mut out)?;
             Ok(out)
@@ -426,7 +500,27 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
     }
 }
 
-fn run_inner(command: Command) -> Result<String, Box<dyn Error>> {
+/// Binds the batch-mode scrape server (`--listen` on monitor/pipeline),
+/// serving the shared history/health while the batch run proceeds.
+fn batch_server(
+    listen: &str,
+    history: Arc<AlertHistory>,
+    health: Arc<HealthState>,
+    profiler: Option<Arc<StageProfiler>>,
+) -> Result<HttpServer, Box<dyn Error>> {
+    register_build_info(dds_obs::metrics::global());
+    let mut service = MonitorService::new(history, health);
+    if let Some(profiler) = profiler {
+        service = service.with_profiler(profiler);
+    }
+    HttpServer::bind(listen, 2, Arc::new(service))
+        .map_err(|e| CliError::boxed(format!("cannot listen on {listen}: {e}")))
+}
+
+fn run_inner(
+    command: Command,
+    profiler: Option<Arc<StageProfiler>>,
+) -> Result<String, Box<dyn Error>> {
     match command {
         Command::Help => Ok(USAGE.to_string()),
         Command::Simulate { scale, seed, out, threads, obs: _ } => {
@@ -465,12 +559,20 @@ fn run_inner(command: Command) -> Result<String, Box<dyn Error>> {
                 Ok(out)
             }
         }
-        Command::Monitor { train, live, limit, threads, obs: _ } => {
+        Command::Monitor { train, live, limit, threads, listen, obs: _ } => {
             let training = load(&train)?;
             let analysis = Analysis::new(analysis_config(None, threads)).run(&training)?;
             let bundle = ModelBundle::from_analysis(&training, &analysis);
             let live_fleet = load(&live)?;
-            let mut monitor = FleetMonitor::new(bundle, MonitorConfig::default());
+            let history = Arc::new(AlertHistory::default());
+            let health = HealthState::new();
+            let server = listen
+                .as_deref()
+                .map(|addr| batch_server(addr, Arc::clone(&history), Arc::clone(&health), profiler))
+                .transpose()?;
+            let mut monitor = FleetMonitor::new(bundle, MonitorConfig::default())
+                .with_history(Arc::clone(&history));
+            health.set_ready(true);
             let mut alerts = Vec::new();
             for drive in live_fleet.drives() {
                 alerts.extend(monitor.replay(drive.id(), drive.records()));
@@ -488,27 +590,41 @@ fn run_inner(command: Command) -> Result<String, Box<dyn Error>> {
             }
             let critical = alerts.iter().filter(|a| a.severity == Severity::Critical).count();
             out.push_str(&format!("{critical} critical alerts in total\n"));
+            if let Some(server) = server {
+                server.shutdown();
+            }
             Ok(out)
         }
-        Command::Pipeline { scale, seed, threads, obs: _ } => {
+        Command::Pipeline { scale, seed, threads, listen, obs: _ } => {
             let par = Parallelism::from_thread_count(threads);
             let training =
                 FleetSimulator::new(fleet_config(&scale).with_seed(seed).with_parallelism(par))
                     .run();
             let analysis = Analysis::new(analysis_config(None, threads)).run(&training)?;
             let bundle = ModelBundle::from_analysis(&training, &analysis);
+            let history = Arc::new(AlertHistory::default());
+            let health = HealthState::new();
+            let server = listen
+                .as_deref()
+                .map(|addr| batch_server(addr, Arc::clone(&history), Arc::clone(&health), profiler))
+                .transpose()?;
             // An independent live fleet: same scale, derived seed.
             let live_seed = seed.wrapping_add(1);
             let live_fleet = FleetSimulator::new(
                 fleet_config(&scale).with_seed(live_seed).with_parallelism(par),
             )
             .run();
-            let mut monitor = FleetMonitor::new(bundle, MonitorConfig::default());
+            let mut monitor = FleetMonitor::new(bundle, MonitorConfig::default())
+                .with_history(Arc::clone(&history));
+            health.set_ready(true);
             let mut alerts = Vec::new();
             for drive in live_fleet.drives() {
                 alerts.extend(monitor.replay(drive.id(), drive.records()));
             }
             let critical = alerts.iter().filter(|a| a.severity == Severity::Critical).count();
+            if let Some(server) = server {
+                server.shutdown();
+            }
             Ok(format!(
                 "trained on {} drives (seed {seed}): {} failure groups\n\
                  monitored {} drives (seed {live_seed}): {} alerts, {critical} critical\n",
@@ -517,6 +633,13 @@ fn run_inner(command: Command) -> Result<String, Box<dyn Error>> {
                 live_fleet.drives().len(),
                 alerts.len(),
             ))
+        }
+        Command::Serve(options) => {
+            let stop = signal::install();
+            stop.store(false, std::sync::atomic::Ordering::SeqCst);
+            serve::serve(&options, stop, profiler, |addr| {
+                eprintln!("dds serve listening on {addr}");
+            })
         }
     }
 }
@@ -602,10 +725,58 @@ mod tests {
                 live: PathBuf::from("b.csv"),
                 limit: 5,
                 threads: 0,
+                listen: None,
                 obs: ObsOptions::default(),
             }
         );
         assert!(parse(argv(&["monitor", "--train", "a.csv"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_and_listen_flags() {
+        let cmd = parse(argv(&[
+            "serve",
+            "--scale",
+            "test",
+            "--seed",
+            "4",
+            "--listen",
+            "127.0.0.1:0",
+            "--epochs",
+            "2",
+            "--tick-ms",
+            "0",
+            "--threads",
+            "1",
+        ]))
+        .unwrap();
+        let Command::Serve(options) = cmd else { panic!("expected serve") };
+        assert_eq!(options.scale, "test");
+        assert_eq!(options.seed, 4);
+        assert_eq!(options.listen, "127.0.0.1:0");
+        assert_eq!(options.epochs, 2);
+        assert_eq!(options.tick_ms, 0);
+        assert_eq!(options.threads, 1);
+
+        // Defaults.
+        let Command::Serve(defaults) = parse(argv(&["serve"])).unwrap() else {
+            panic!("expected serve")
+        };
+        assert_eq!(defaults, ServeOptions::default());
+        assert!(parse(argv(&["serve", "--scale", "galactic"])).is_err());
+        assert!(parse(argv(&["serve", "--epochs", "many"])).is_err());
+
+        // --listen on the batch subcommands.
+        let cmd =
+            parse(argv(&["monitor", "--train", "a", "--live", "b", "--listen", "127.0.0.1:9200"]))
+                .unwrap();
+        assert!(
+            matches!(cmd, Command::Monitor { listen: Some(ref l), .. } if l == "127.0.0.1:9200")
+        );
+        let cmd = parse(argv(&["pipeline", "--listen", "127.0.0.1:9201"])).unwrap();
+        assert!(
+            matches!(cmd, Command::Pipeline { listen: Some(ref l), .. } if l == "127.0.0.1:9201")
+        );
     }
 
     #[test]
@@ -636,6 +807,7 @@ mod tests {
                 scale: "test".to_string(),
                 seed: 3,
                 threads: 0,
+                listen: None,
                 obs: ObsOptions::default(),
             }
         );

@@ -1,0 +1,189 @@
+//! The `dds serve` loop: continuous simulated ingest with the scrape
+//! server attached.
+//!
+//! Serving composes the pieces the other subcommands use once into a
+//! long-lived process: train a [`ModelBundle`] (readiness flips only
+//! after), then stream endless [`StreamingFleet`] epochs through a
+//! [`FleetMonitor`] in hour order. After every ingested hour the loop
+//! samples the metrics registry into a [`TimeSeriesStore`], evaluates the
+//! [`Watchdog`]'s standard SLO rules, and sleeps the configured tick.
+//! The [`MonitorService`] endpoints (`/metrics`, `/healthz`, `/alerts`, …)
+//! answer from shared state on the server's worker threads throughout, so
+//! scrapes never block ingest. SIGINT/SIGTERM (or a test-driven stop
+//! flag) ends the loop cleanly: the server drains, readiness drops, and a
+//! final summary (plus `--metrics` snapshot) is emitted.
+
+use crate::{analysis_config, fleet_config, CliError, ObsOptions};
+use dds_core::Analysis;
+use dds_monitor::{AlertHistory, FleetMonitor, ModelBundle, MonitorConfig, MonitorService};
+use dds_obs::http::HttpServer;
+use dds_obs::metrics::Registry;
+use dds_obs::profile::StageProfiler;
+use dds_obs::timeseries::TimeSeriesStore;
+use dds_obs::watchdog::Watchdog;
+use dds_smartsim::stream::hour_ordered;
+use dds_smartsim::{FleetSimulator, StreamingFleet};
+use dds_stats::par::Parallelism;
+use std::error::Error;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Options of the `dds serve` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Simulation scale (`test`, `bench`, `consumer` or `paper`).
+    pub scale: String,
+    /// Training seed; ingest epochs derive their seeds from it.
+    pub seed: u64,
+    /// Worker threads for simulation/analysis (0 = all cores).
+    pub threads: usize,
+    /// Listen address for the scrape server.
+    pub listen: String,
+    /// Stop after this many ingest epochs (0 = run until interrupted).
+    pub epochs: u64,
+    /// Pause between ingested fleet-hours, pacing the stream.
+    pub tick_ms: u64,
+    /// Observability flags.
+    pub obs: ObsOptions,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            scale: "test".to_string(),
+            seed: 0x2015_115C,
+            threads: 0,
+            listen: "127.0.0.1:9150".to_string(),
+            epochs: 0,
+            tick_ms: 50,
+            obs: ObsOptions::default(),
+        }
+    }
+}
+
+/// Registers the build-attribution metrics (`dds_build_info`,
+/// `dds_uptime_seconds`) on `registry`; called by every entry point that
+/// exports metrics.
+pub fn register_build_info(registry: &Registry) {
+    registry.info("dds_build_info").set(&[
+        ("version", env!("CARGO_PKG_VERSION")),
+        ("git_sha", option_env!("DDS_GIT_SHA").unwrap_or("unknown")),
+    ]);
+    registry.gauge("dds_uptime_seconds").set(0.0);
+}
+
+/// Sleeps `tick` in small slices so a stop request interrupts the pause
+/// promptly.
+fn interruptible_sleep(tick: Duration, stop: &AtomicBool) {
+    let mut remaining = tick;
+    while !remaining.is_zero() && !stop.load(Ordering::SeqCst) {
+        let slice = remaining.min(Duration::from_millis(25));
+        std::thread::sleep(slice);
+        remaining -= slice;
+    }
+}
+
+/// Runs the serving loop until `stop` is set or the epoch budget is
+/// exhausted, returning the final summary text. `on_bound` receives the
+/// server's actual address once it listens (the way tests learn an
+/// ephemeral port).
+///
+/// # Errors
+///
+/// Returns an error if the listen address cannot be bound or training
+/// fails; ingest itself cannot fail.
+pub fn serve(
+    options: &ServeOptions,
+    stop: &AtomicBool,
+    profiler: Option<Arc<StageProfiler>>,
+    on_bound: impl FnOnce(SocketAddr),
+) -> Result<String, Box<dyn Error>> {
+    let registry = dds_obs::metrics::global();
+    register_build_info(registry);
+    // Pre-register the serve error counter so the watchdog's error-budget
+    // rule sees it from the first sample.
+    let ingest_errors = registry.counter("dds_serve_ingest_errors_total");
+
+    let history = Arc::new(AlertHistory::default());
+    let watchdog = Watchdog::new(Watchdog::standard_rules());
+    let health = watchdog.health();
+    let mut service = MonitorService::new(Arc::clone(&history), Arc::clone(&health));
+    if let Some(profiler) = profiler {
+        service = service.with_profiler(profiler);
+    }
+    let server = HttpServer::bind(options.listen.as_str(), 4, Arc::new(service))
+        .map_err(|e| CliError::boxed(format!("cannot listen on {}: {e}", options.listen)))?;
+    let addr = server.local_addr();
+    on_bound(addr);
+
+    // Train; /readyz answers 503 until the bundle is loaded.
+    let par = Parallelism::from_thread_count(options.threads);
+    let training = FleetSimulator::new(
+        fleet_config(&options.scale).with_seed(options.seed).with_parallelism(par),
+    )
+    .run();
+    let analysis = Analysis::new(analysis_config(None, options.threads)).run(&training)?;
+    let bundle = ModelBundle::from_analysis(&training, &analysis);
+    let mut monitor =
+        FleetMonitor::new(bundle, MonitorConfig::default()).with_history(Arc::clone(&history));
+    health.set_ready(true);
+
+    let store = TimeSeriesStore::new(512);
+    store.sample(registry);
+    let mut stream = StreamingFleet::new(
+        fleet_config(&options.scale).with_seed(options.seed.wrapping_add(1)).with_parallelism(par),
+    );
+    let tick = Duration::from_millis(options.tick_ms);
+    let mut records_ingested = 0u64;
+
+    'serve: while !stop.load(Ordering::SeqCst) {
+        let epoch = stream.next_epoch();
+        let records = hour_ordered(&epoch);
+        let mut current_hour = None;
+        for (drive, record) in &records {
+            if stop.load(Ordering::SeqCst) {
+                break 'serve;
+            }
+            if current_hour.is_some() && current_hour != Some(record.hour) {
+                // One fleet-hour fully ingested: sample the registry,
+                // judge the SLOs, pace the stream.
+                store.sample(registry);
+                watchdog.evaluate(&store);
+                interruptible_sleep(tick, stop);
+            }
+            current_hour = Some(record.hour);
+            monitor.ingest(*drive, record);
+            records_ingested += 1;
+        }
+        store.sample(registry);
+        watchdog.evaluate(&store);
+        if options.epochs > 0 && stream.epochs_generated() >= options.epochs {
+            break;
+        }
+    }
+
+    health.set_ready(false);
+    server.shutdown();
+
+    let status = monitor.health_status();
+    let mut out = format!(
+        "served on {addr}: {} epochs, {records_ingested} records ingested\n\
+         alerts emitted: {} ({} drives latched watch, {} warning, {} critical)\n\
+         ingest errors: {}\n\
+         final health: {}\n",
+        stream.epochs_generated(),
+        status.alerts_emitted,
+        status.latched[0],
+        status.latched[1],
+        status.latched[2],
+        ingest_errors.get(),
+        match health.degraded_reason() {
+            Some(reason) => format!("degraded ({reason})"),
+            None => "ok".to_string(),
+        },
+    );
+    out.push_str(&format!("status: {}\n", status.to_json()));
+    Ok(out)
+}

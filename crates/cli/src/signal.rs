@@ -1,0 +1,55 @@
+//! SIGINT/SIGTERM handling for the long-lived `dds serve` loop.
+//!
+//! The workspace carries no `libc` crate, but std already links the
+//! platform C library, so the handler registers through a direct
+//! `signal(2)` declaration — the only `unsafe` in the workspace, confined
+//! to this module. The handler merely stores to a static `AtomicBool`
+//! (async-signal-safe); the serving loop polls the flag between ingest
+//! batches and shuts down cleanly.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+#[allow(unsafe_code)]
+mod imp {
+    use super::*;
+
+    pub(super) static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: std::os::raw::c_int) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        // `signal(2)` from the C library std already links.
+        fn signal(signum: std::os::raw::c_int, handler: usize) -> usize;
+    }
+
+    const SIGINT: std::os::raw::c_int = 2;
+    const SIGTERM: std::os::raw::c_int = 15;
+
+    pub(super) fn install() {
+        let handler = on_signal as extern "C" fn(std::os::raw::c_int);
+        unsafe {
+            signal(SIGINT, handler as usize);
+            signal(SIGTERM, handler as usize);
+        }
+    }
+}
+
+/// Installs the SIGINT/SIGTERM handler (idempotent) and returns the flag
+/// it sets.
+pub fn install() -> &'static AtomicBool {
+    imp::install();
+    interrupted_flag()
+}
+
+/// The shutdown flag, without installing any handler — what tests use to
+/// stop an in-process serve loop.
+pub fn interrupted_flag() -> &'static AtomicBool {
+    &imp::INTERRUPTED
+}
+
+/// Whether a shutdown signal has arrived.
+pub fn interrupted() -> bool {
+    interrupted_flag().load(Ordering::SeqCst)
+}

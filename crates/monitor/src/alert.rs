@@ -44,6 +44,18 @@ pub enum AlertKind {
     TypeReclassification,
 }
 
+impl fmt::Display for AlertKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AlertKind::DegradationPrediction => "degradation_prediction",
+            AlertKind::VendorThreshold => "vendor_threshold",
+            AlertKind::ThermalRisk => "thermal_risk",
+            AlertKind::TypeReclassification => "type_reclassification",
+        };
+        f.write_str(name)
+    }
+}
+
 /// One monitoring alert.
 #[derive(Debug, Clone)]
 pub struct Alert {
@@ -64,6 +76,28 @@ pub struct Alert {
     pub estimated_remaining_hours: Option<f64>,
     /// Human-readable summary.
     pub message: String,
+}
+
+impl Alert {
+    /// Serializes the alert as one JSON object — the `/alerts` endpoint's
+    /// row format. Non-finite degradations (threshold and thermal alerts
+    /// carry `NaN`) render as `null`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"drive\": \"{}\", \"hour\": {}, \"severity\": \"{}\", \"kind\": \"{}\", \
+             \"suspected_type\": \"{}\", \"degradation\": {}, \
+             \"estimated_remaining_hours\": {}, \"message\": \"{}\"}}",
+            dds_obs::json::escape(&self.drive.to_string()),
+            self.hour,
+            self.severity,
+            self.kind,
+            dds_obs::json::escape(&self.suspected_type.to_string()),
+            dds_obs::json::number(self.degradation),
+            self.estimated_remaining_hours
+                .map_or_else(|| "null".to_string(), dds_obs::json::number),
+            dds_obs::json::escape(&self.message),
+        )
+    }
 }
 
 impl fmt::Display for Alert {

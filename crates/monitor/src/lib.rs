@@ -14,6 +14,11 @@
 //!   obtained by inverting that type's degradation signature — the
 //!   "available time for data rescue" of §I.
 //!
+//! For long-lived serving, [`AlertHistory`] retains recent alerts,
+//! [`HealthStatus`] summarizes the escalation map, and [`MonitorService`]
+//! exposes both (plus the metrics registry and stage profiles) through
+//! the zero-dependency scrape server in `dds_obs::http`.
+//!
 //! # Example
 //!
 //! ```
@@ -43,8 +48,12 @@
 
 mod alert;
 mod bundle;
+mod history;
 mod monitor;
+mod service;
 
 pub use alert::{Alert, AlertKind, Severity};
 pub use bundle::{GroupModel, ModelBundle};
-pub use monitor::{FleetMonitor, MonitorConfig};
+pub use history::{AlertHistory, DEFAULT_HISTORY_CAPACITY};
+pub use monitor::{FleetMonitor, HealthStatus, MonitorConfig};
+pub use service::MonitorService;

@@ -2,12 +2,14 @@
 
 use crate::alert::{Alert, AlertKind, Severity};
 use crate::bundle::{ModelBundle, BASELINE_ATTRIBUTES};
+use crate::history::AlertHistory;
 use dds_core::predict::ThresholdPolicy;
-use dds_obs::metrics::{Counter, Gauge};
+use dds_obs::metrics::{Counter, Gauge, Histogram};
 use dds_smartsim::{DriveId, HealthRecord};
 use dds_stats::streaming::RunningMoments;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Cached handles into the global metrics registry for the monitor's
 /// counters and gauges, resolved once per [`FleetMonitor`] so the ingest
@@ -26,6 +28,7 @@ struct MonitorMetrics {
     by_severity: [Arc<Counter>; 3],
     drives_tracked: Arc<Gauge>,
     latched: [Arc<Gauge>; 3],
+    ingest_seconds: Arc<Histogram>,
 }
 
 const KIND_ORDER: [AlertKind; 4] = [
@@ -68,6 +71,7 @@ impl MonitorMetrics {
                 registry.gauge("dds_monitor_drives_latched_warning"),
                 registry.gauge("dds_monitor_drives_latched_critical"),
             ],
+            ingest_seconds: registry.histogram("dds_monitor_ingest_seconds"),
         }
     }
 
@@ -170,12 +174,55 @@ pub struct FleetMonitor {
     config: MonitorConfig,
     drives: HashMap<DriveId, DriveState>,
     metrics: MonitorMetrics,
+    history: Option<Arc<AlertHistory>>,
+}
+
+/// A point-in-time summary of the monitor's serving state, derived from
+/// the per-drive escalation map (not from global metrics, so concurrent
+/// monitors in one process do not bleed into each other's summaries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthStatus {
+    /// Number of drives with monitoring state.
+    pub drives_tracked: usize,
+    /// Drives currently latched at each severity (watch, warning,
+    /// critical).
+    pub latched: [usize; 3],
+    /// Lifetime alerts recorded in the attached history (0 without one).
+    pub alerts_emitted: u64,
+}
+
+impl HealthStatus {
+    /// Serializes the summary as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"drives_tracked\": {}, \"latched_watch\": {}, \"latched_warning\": {}, \
+             \"latched_critical\": {}, \"alerts_emitted\": {}}}",
+            self.drives_tracked,
+            self.latched[0],
+            self.latched[1],
+            self.latched[2],
+            self.alerts_emitted,
+        )
+    }
 }
 
 impl FleetMonitor {
     /// Creates a monitor from a deployable bundle.
     pub fn new(bundle: ModelBundle, config: MonitorConfig) -> Self {
-        FleetMonitor { bundle, config, drives: HashMap::new(), metrics: MonitorMetrics::new() }
+        FleetMonitor {
+            bundle,
+            config,
+            drives: HashMap::new(),
+            metrics: MonitorMetrics::new(),
+            history: None,
+        }
+    }
+
+    /// Attaches a shared alert history; every subsequently emitted alert
+    /// is recorded into it (serving mode's `/alerts` backing store).
+    pub fn with_history(mut self, history: Arc<AlertHistory>) -> Self {
+        self.history = Some(history);
+        self
     }
 
     /// Number of drives with monitoring state.
@@ -186,6 +233,21 @@ impl FleetMonitor {
     /// The highest severity already alerted for a drive.
     pub fn latched_severity(&self, drive: DriveId) -> Option<Severity> {
         self.drives.get(&drive).and_then(|s| s.latched)
+    }
+
+    /// The current serving-state summary.
+    pub fn health_status(&self) -> HealthStatus {
+        let mut latched = [0usize; 3];
+        for state in self.drives.values() {
+            if let Some(severity) = state.latched {
+                latched[severity_index(severity)] += 1;
+            }
+        }
+        HealthStatus {
+            drives_tracked: self.drives.len(),
+            latched,
+            alerts_emitted: self.history.as_ref().map_or(0, |h| h.total()),
+        }
     }
 
     /// Ingests one hourly record, returning any alerts it triggers
@@ -224,12 +286,19 @@ impl FleetMonitor {
     /// ```
     pub fn ingest(&mut self, drive: DriveId, record: &HealthRecord) -> Vec<Alert> {
         let _span = dds_obs::span!(dds_obs::Level::Trace, "monitor.ingest", hour = record.hour);
+        let started = Instant::now();
         let latched_before = self.latched_severity(drive);
         let alerts = self.ingest_inner(drive, record);
         let latched_after = self.latched_severity(drive);
+        self.metrics.ingest_seconds.observe(started.elapsed().as_secs_f64());
 
         self.metrics.records.inc();
         self.metrics.count_alerts(&alerts);
+        if let Some(history) = &self.history {
+            for alert in &alerts {
+                history.record(alert);
+            }
+        }
         self.metrics.drives_tracked.set(self.drives.len() as f64);
         if latched_before != latched_after {
             if let Some(old) = latched_before {

@@ -1,0 +1,202 @@
+//! The scrape-endpoint handler: routes the observability HTTP server's
+//! requests to the metrics registry, alert history, health state and
+//! stage profiler.
+//!
+//! [`MonitorService`] implements [`Handler`] and is shared across the
+//! server's worker threads; every endpoint reads shared state, so scrapes
+//! never block ingest. The endpoints (all `GET`/`HEAD`):
+//!
+//! | Path            | Payload |
+//! |-----------------|---------|
+//! | `/metrics`      | Prometheus text exposition of the global registry |
+//! | `/metrics.json` | The same snapshot as JSON |
+//! | `/healthz`      | `200 {"status": "ok"}` or `503 {"status": "degraded", …}` |
+//! | `/readyz`       | `200` once the model bundle is loaded, `503` before |
+//! | `/alerts?n=K`   | The most recent `K` alerts (default 20), newest first |
+//! | `/profile`      | Per-stage wall time, counts and p50/p95/p99 as JSON |
+//!
+//! Both metrics endpoints refresh `dds_uptime_seconds` and the derived
+//! `_p50`/`_p95`/`_p99` gauges before snapshotting, so every scrape sees
+//! current quantiles without a background publisher thread.
+
+use crate::history::AlertHistory;
+use dds_obs::http::{Handler, Request, Response};
+use dds_obs::metrics;
+use dds_obs::profile::StageProfiler;
+use dds_obs::watchdog::HealthState;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default number of alerts returned by `/alerts` without a `n=` query.
+const DEFAULT_ALERTS: usize = 20;
+
+/// The shared request handler behind every scrape endpoint.
+#[derive(Debug)]
+pub struct MonitorService {
+    history: Arc<AlertHistory>,
+    health: Arc<HealthState>,
+    profiler: Option<Arc<StageProfiler>>,
+    started: Instant,
+}
+
+impl MonitorService {
+    /// Creates a service over a shared alert history and health state.
+    pub fn new(history: Arc<AlertHistory>, health: Arc<HealthState>) -> Self {
+        MonitorService { history, health, profiler: None, started: Instant::now() }
+    }
+
+    /// Attaches a stage profiler backing the `/profile` endpoint (without
+    /// one the endpoint answers an empty object).
+    pub fn with_profiler(mut self, profiler: Arc<StageProfiler>) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// Refreshes scrape-time derived metrics, then snapshots the registry.
+    fn fresh_snapshot(&self) -> metrics::MetricsSnapshot {
+        let registry = metrics::global();
+        registry.gauge("dds_uptime_seconds").set(self.started.elapsed().as_secs_f64());
+        metrics::publish_quantile_gauges(registry);
+        registry.snapshot()
+    }
+
+    fn healthz(&self) -> Response {
+        if self.health.is_degraded() {
+            let reason = self.health.degraded_reason().unwrap_or_default();
+            let body = format!(
+                "{{\"status\": \"degraded\", \"reason\": \"{}\"}}",
+                dds_obs::json::escape(&reason)
+            );
+            Response { status: 503, content_type: "application/json", body }
+        } else {
+            Response::ok_json("{\"status\": \"ok\"}")
+        }
+    }
+
+    fn readyz(&self) -> Response {
+        if self.health.is_ready() {
+            Response::ok_json("{\"status\": \"ready\"}")
+        } else {
+            Response {
+                status: 503,
+                content_type: "application/json",
+                body: "{\"status\": \"starting\"}".to_string(),
+            }
+        }
+    }
+
+    fn alerts(&self, request: &Request) -> Response {
+        let n = match request.query_param("n") {
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => return Response::bad_request(),
+            },
+            None => DEFAULT_ALERTS,
+        };
+        Response::ok_json(self.history.to_json(n))
+    }
+
+    fn index(&self) -> Response {
+        Response::ok_text(
+            "dds monitor observability endpoints:\n\
+             /metrics /metrics.json /healthz /readyz /alerts?n=K /profile\n",
+        )
+    }
+}
+
+impl Handler for MonitorService {
+    fn handle(&self, request: &Request) -> Response {
+        match request.path.as_str() {
+            "/" => self.index(),
+            "/metrics" => {
+                let body = self.fresh_snapshot().to_prometheus();
+                Response { status: 200, content_type: "text/plain; version=0.0.4", body }
+            }
+            "/metrics.json" => Response::ok_json(self.fresh_snapshot().to_json()),
+            "/healthz" => self.healthz(),
+            "/readyz" => self.readyz(),
+            "/alerts" => self.alerts(request),
+            "/profile" => Response::ok_json(
+                self.profiler.as_ref().map_or_else(|| "{}".to_string(), |p| p.to_json()),
+            ),
+            _ => Response::not_found(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::{Alert, AlertKind, Severity};
+
+    fn request(path: &str, query: Option<&str>) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            query: query.map(String::from),
+        }
+    }
+
+    fn service() -> MonitorService {
+        MonitorService::new(Arc::new(AlertHistory::new(16)), HealthState::new())
+    }
+
+    #[test]
+    fn health_and_ready_follow_the_shared_state() {
+        let service = service();
+        assert_eq!(service.handle(&request("/readyz", None)).status, 503);
+        service.health.set_ready(true);
+        assert_eq!(service.handle(&request("/readyz", None)).status, 200);
+
+        assert_eq!(service.handle(&request("/healthz", None)).status, 200);
+        service.health.degrade("p99 over ceiling");
+        let degraded = service.handle(&request("/healthz", None));
+        assert_eq!(degraded.status, 503);
+        assert!(degraded.body.contains("p99 over ceiling"));
+        service.health.clear_degraded();
+        assert_eq!(service.handle(&request("/healthz", None)).status, 200);
+    }
+
+    #[test]
+    fn alerts_endpoint_respects_n_and_rejects_garbage() {
+        let service = service();
+        for hour in 0..5 {
+            service.history.record(&Alert {
+                drive: dds_smartsim::DriveId(2),
+                hour,
+                severity: Severity::Critical,
+                kind: AlertKind::VendorThreshold,
+                suspected_type: dds_core::FailureType::Unknown,
+                degradation: f64::NAN,
+                estimated_remaining_hours: None,
+                message: "threshold".to_string(),
+            });
+        }
+        let two = service.handle(&request("/alerts", Some("n=2")));
+        assert_eq!(two.status, 200);
+        assert!(two.body.contains("\"returned\": 2"));
+        dds_obs::json::validate(&two.body).expect("alerts JSON");
+        assert_eq!(service.handle(&request("/alerts", Some("n=banana"))).status, 400);
+        assert_eq!(service.handle(&request("/nope", None)).status, 404);
+    }
+
+    #[test]
+    fn metrics_endpoints_refresh_uptime_and_quantiles() {
+        let service = service();
+        metrics::global().histogram("dds_service_test_seconds").observe(3e-5);
+        let text = service.handle(&request("/metrics", None));
+        assert_eq!(text.status, 200);
+        assert!(text.body.contains("dds_uptime_seconds"));
+        assert!(text.body.contains("dds_service_test_seconds_p99"));
+        let json = service.handle(&request("/metrics.json", None));
+        dds_obs::json::validate(&json.body).expect("metrics JSON");
+    }
+
+    #[test]
+    fn profile_endpoint_defaults_to_empty_object() {
+        let service = service();
+        let reply = service.handle(&request("/profile", None));
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.body, "{}");
+    }
+}

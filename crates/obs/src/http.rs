@@ -1,0 +1,452 @@
+//! A zero-dependency HTTP/1.1 scrape server: `std::net::TcpListener`, a
+//! small worker pool, and a pluggable [`Handler`] — the same no-crates.io
+//! constraint that produced `shims/`, applied to serving `/metrics`.
+//!
+//! Scope is deliberately narrow: `GET`/`HEAD` only, no keep-alive
+//! (`Connection: close` on every response), no request bodies, an 8 KiB
+//! request-head cap and a per-connection read timeout. That is exactly
+//! what a Prometheus scraper, `curl`, or a load balancer's health check
+//! needs, and nothing a public-facing server would require. Malformed
+//! requests get `400`, unsupported methods `405`, and no request can take
+//! a worker down — handler panics are caught and answered with `500`.
+//!
+//! # Example
+//!
+//! ```
+//! use dds_obs::http::{HttpServer, Request, Response};
+//! use std::io::{Read, Write};
+//! use std::sync::Arc;
+//!
+//! let server = HttpServer::bind("127.0.0.1:0", 2, Arc::new(|req: &Request| {
+//!     match req.path.as_str() {
+//!         "/ping" => Response::ok_text("pong"),
+//!         _ => Response::not_found(),
+//!     }
+//! }))
+//! .unwrap();
+//!
+//! let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+//! write!(stream, "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+//! let mut reply = String::new();
+//! stream.read_to_string(&mut reply).unwrap();
+//! assert!(reply.starts_with("HTTP/1.1 200 OK"));
+//! assert!(reply.ends_with("pong"));
+//! server.shutdown();
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Maximum accepted size of a request head (request line + headers).
+const MAX_REQUEST_HEAD: usize = 8 * 1024;
+
+/// Per-connection read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A parsed request line. Headers are consumed but not exposed — no
+/// endpoint needs them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method (`GET`, `HEAD`, …).
+    pub method: String,
+    /// Decoded path without the query string (`/alerts`).
+    pub path: String,
+    /// The raw query string after `?`, if any (`n=10`).
+    pub query: Option<String>,
+}
+
+impl Request {
+    /// The value of query parameter `key`, if present (`k=v` pairs split
+    /// on `&`; no percent-decoding — scrape URLs don't need it).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .as_deref()?
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// A response: status code, content type and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body (empty for `HEAD` on the wire, but kept here so
+    /// `Content-Length` stays truthful).
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` plain-text response.
+    pub fn ok_text(body: impl Into<String>) -> Response {
+        Response { status: 200, content_type: "text/plain; charset=utf-8", body: body.into() }
+    }
+
+    /// A `200 OK` JSON response.
+    pub fn ok_json(body: impl Into<String>) -> Response {
+        Response { status: 200, content_type: "application/json", body: body.into() }
+    }
+
+    /// A plain-text response with an explicit status (e.g. `503`).
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response { status, content_type: "text/plain; charset=utf-8", body: body.into() }
+    }
+
+    /// The standard `404 Not Found` response.
+    pub fn not_found() -> Response {
+        Response::text(404, "not found\n")
+    }
+
+    /// The standard `400 Bad Request` response.
+    pub fn bad_request() -> Response {
+        Response::text(400, "bad request\n")
+    }
+
+    fn status_text(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream, include_body: bool) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            Response::status_text(self.status),
+            self.content_type,
+            self.body.len(),
+        );
+        stream.write_all(head.as_bytes())?;
+        if include_body {
+            stream.write_all(self.body.as_bytes())?;
+        }
+        stream.flush()
+    }
+}
+
+/// Routes a request to a response. Implemented for plain closures.
+/// Handlers run on worker threads and must be thread-safe; a panicking
+/// handler answers `500` and the worker keeps serving.
+pub trait Handler: Send + Sync + 'static {
+    /// Produces the response for one request.
+    fn handle(&self, request: &Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, request: &Request) -> Response {
+        self(request)
+    }
+}
+
+/// Cached handles for the server's own metrics (workspace scheme:
+/// `dds_http_*`). Response classes let tests assert "zero 5xx".
+#[derive(Clone)]
+struct ServerMetrics {
+    requests: Arc<crate::metrics::Counter>,
+    by_class: [Arc<crate::metrics::Counter>; 3],
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        let registry = crate::metrics::global();
+        ServerMetrics {
+            requests: registry.counter("dds_http_requests_total"),
+            by_class: [
+                registry.counter("dds_http_responses_2xx_total"),
+                registry.counter("dds_http_responses_4xx_total"),
+                registry.counter("dds_http_responses_5xx_total"),
+            ],
+        }
+    }
+
+    fn count(&self, status: u16) {
+        self.requests.inc();
+        match status {
+            200..=299 => self.by_class[0].inc(),
+            400..=499 => self.by_class[1].inc(),
+            500..=599 => self.by_class[2].inc(),
+            _ => {}
+        }
+    }
+}
+
+/// The scrape server: an accept thread feeding a fixed worker pool.
+///
+/// Dropping the server shuts it down; prefer calling
+/// [`shutdown`](HttpServer::shutdown) explicitly so the join happens at a
+/// chosen point.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9090"`, port `0` for ephemeral) and
+    /// starts `workers` handler threads (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error (address in use, permission denied, …).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        workers: usize,
+        handler: Arc<dyn Handler>,
+    ) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let metrics = ServerMetrics::new();
+
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let handler = Arc::clone(&handler);
+                let metrics = metrics.clone();
+                std::thread::Builder::new()
+                    .name(format!("dds-http-{i}"))
+                    .spawn(move || loop {
+                        let stream = match rx.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => return,
+                        };
+                        match stream {
+                            Ok(stream) => serve_connection(stream, handler.as_ref(), &metrics),
+                            // Channel closed: the server is shutting down.
+                            Err(_) => return,
+                        }
+                    })
+                    .expect("spawn http worker")
+            })
+            .collect();
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("dds-http-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                // tx drops here, draining the workers.
+            })
+            .expect("spawn http acceptor");
+
+        Ok(HttpServer { addr, stop, accept_thread: Some(accept_thread), workers: worker_handles })
+    }
+
+    /// The bound address (the actual port when bound with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the workers and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // `accept` blocks until a connection arrives; poke one through so
+        // the accept loop observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Reads one request head, dispatches it and writes the response.
+fn serve_connection(mut stream: TcpStream, handler: &dyn Handler, metrics: &ServerMetrics) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let Some(head) = read_request_head(&mut stream) else {
+        metrics.count(400);
+        let _ = Response::bad_request().write_to(&mut stream, true);
+        return;
+    };
+    let (response, include_body) = match parse_request(&head) {
+        Ok(request) if request.method == "GET" || request.method == "HEAD" => {
+            let is_head = request.method == "HEAD";
+            let response =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(&request)))
+                    .unwrap_or_else(|_| Response::text(500, "internal error\n"));
+            (response, !is_head)
+        }
+        Ok(_) => (Response::text(405, "only GET and HEAD are supported\n"), true),
+        Err(()) => (Response::bad_request(), true),
+    };
+    metrics.count(response.status);
+    let _ = response.write_to(&mut stream, include_body);
+}
+
+/// Reads until the `\r\n\r\n` terminator, the size cap, EOF or timeout.
+/// Returns `None` when no complete head arrived.
+fn read_request_head(stream: &mut TcpStream) -> Option<String> {
+    let mut buffer = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while !buffer.windows(4).any(|w| w == b"\r\n\r\n") {
+        if buffer.len() > MAX_REQUEST_HEAD {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => buffer.extend_from_slice(&chunk[..n]),
+        }
+    }
+    String::from_utf8(buffer).ok()
+}
+
+/// Parses the request line of a head. Header lines are ignored.
+fn parse_request(head: &str) -> Result<Request, ()> {
+    let line = head.lines().next().ok_or(())?;
+    let mut parts = line.split(' ');
+    let (method, target, version) =
+        (parts.next().ok_or(())?, parts.next().ok_or(())?, parts.next().ok_or(())?);
+    if parts.next().is_some()
+        || method.is_empty()
+        || !method.chars().all(|c| c.is_ascii_uppercase())
+        || !version.starts_with("HTTP/1.")
+        || !target.starts_with('/')
+    {
+        return Err(());
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), Some(query.to_string())),
+        None => (target.to_string(), None),
+    };
+    Ok(Request { method: method.to_string(), path, query })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router(request: &Request) -> Response {
+        match request.path.as_str() {
+            "/ok" => Response::ok_text("fine"),
+            "/json" => Response::ok_json("{\"a\": 1}"),
+            "/boom" => panic!("handler exploded"),
+            _ => Response::not_found(),
+        }
+    }
+
+    fn raw_request(addr: SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut reply = String::new();
+        let _ = stream.read_to_string(&mut reply);
+        reply
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        raw_request(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    }
+
+    #[test]
+    fn serves_routes_and_survives_abuse() {
+        let server = HttpServer::bind("127.0.0.1:0", 2, Arc::new(router)).unwrap();
+        let addr = server.local_addr();
+
+        let ok = get(addr, "/ok");
+        assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+        assert!(ok.contains("Content-Length: 4"));
+        assert!(ok.ends_with("fine"));
+        assert!(get(addr, "/json").contains("application/json"));
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+
+        // Abuse: garbage request line, unsupported method, panicking
+        // handler, premature close — then the server still answers.
+        assert!(raw_request(addr, "BLARG\r\n\r\n").starts_with("HTTP/1.1 400"));
+        assert!(raw_request(addr, "POST /ok HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405"));
+        assert!(raw_request(addr, "GET /boom HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 500"));
+        drop(TcpStream::connect(addr).unwrap());
+        assert!(get(addr, "/ok").starts_with("HTTP/1.1 200"), "server survived abuse");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn head_omits_the_body_but_keeps_content_length() {
+        let server = HttpServer::bind("127.0.0.1:0", 1, Arc::new(router)).unwrap();
+        let reply = raw_request(server.local_addr(), "HEAD /ok HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200"));
+        assert!(reply.contains("Content-Length: 4"));
+        assert!(reply.ends_with("\r\n\r\n"), "no body after the head: {reply:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_params_parse() {
+        let request = parse_request("GET /alerts?n=5&kind=critical HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(request.path, "/alerts");
+        assert_eq!(request.query_param("n"), Some("5"));
+        assert_eq!(request.query_param("kind"), Some("critical"));
+        assert_eq!(request.query_param("missing"), None);
+        assert!(parse_request("GET\r\n").is_err());
+        assert!(parse_request("GET /x SPDY/3\r\n").is_err());
+        assert!(parse_request("GET relative HTTP/1.1\r\n").is_err());
+    }
+
+    #[test]
+    fn concurrent_requests_all_answer() {
+        let server = HttpServer::bind("127.0.0.1:0", 4, Arc::new(router)).unwrap();
+        let addr = server.local_addr();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        assert!(get(addr, "/ok").starts_with("HTTP/1.1 200"));
+                    }
+                });
+            }
+        });
+        server.shutdown();
+    }
+}

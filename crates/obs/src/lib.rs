@@ -18,10 +18,19 @@
 //!   by name in a process-global [`Registry`](metrics::Registry);
 //!   snapshots export as JSON or Prometheus-style text.
 //! - [`profile`] — a [`StageProfiler`](profile::StageProfiler)
-//!   subscriber aggregating per-stage wall time and allocation counts.
+//!   subscriber aggregating per-stage wall time, call counts, latency
+//!   quantiles and allocation counts.
 //! - [`alloc`] — the opt-in [`CountingAllocator`] feeding span
 //!   allocation deltas.
 //! - [`json`] — escaping/validation helpers shared by the writers.
+//! - [`http`] — a zero-dependency HTTP/1.1 scrape server
+//!   ([`HttpServer`](http::HttpServer)) for `/metrics`-style endpoints.
+//! - [`timeseries`] — a ring buffer of registry snapshots
+//!   ([`TimeSeriesStore`](timeseries::TimeSeriesStore)) answering
+//!   sliding-window rate and quantile queries.
+//! - [`watchdog`] — an SLO rule engine ([`Watchdog`](watchdog::Watchdog))
+//!   evaluating window predicates and flipping a shared
+//!   [`HealthState`](watchdog::HealthState) to degraded.
 //!
 //! # Quick start
 //!
@@ -58,11 +67,14 @@
 #![deny(unsafe_code)]
 
 pub mod alloc;
+pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod subscribers;
+pub mod timeseries;
 pub mod trace;
+pub mod watchdog;
 
 pub use alloc::CountingAllocator;
 pub use trace::{Field, Level, Span, Value};

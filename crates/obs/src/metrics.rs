@@ -7,10 +7,27 @@
 //! op per update. [`Registry::reset`] zeroes values but keeps
 //! registrations, so cached handles stay valid across test runs.
 //!
-//! Naming scheme (documented in `DESIGN.md`): `dds_<area>_<what>_<unit>`,
-//! e.g. `dds_monitor_alerts_critical_total` (counter),
-//! `dds_monitor_drives_tracked` (gauge), `dds_pipeline_predict_seconds`
-//! (histogram). Names are Prometheus-compatible (`[a-z0-9_]`).
+//! # Naming convention
+//!
+//! Every workspace metric follows `dds_<area>_<what>_<unit>` (also
+//! documented in `DESIGN.md`). Names are Prometheus-compatible
+//! (`[a-z0-9_]`), and the suffix encodes the metric class:
+//!
+//! - **Counters** end in `_total` and only ever increase:
+//!   `dds_monitor_alerts_critical_total`,
+//!   `dds_monitor_records_ingested_total`.
+//! - **Gauges** carry a bare unit (or none for dimensionless values):
+//!   `dds_monitor_drives_tracked`, `dds_uptime_seconds`.
+//! - **Histograms** end in their unit, conventionally `_seconds` for
+//!   durations: `dds_pipeline_predict_seconds`. Derived quantile gauges
+//!   published by [`publish_quantile_gauges`] append `_p50`/`_p95`/`_p99`
+//!   to the histogram name (`dds_pipeline_predict_seconds_p99`).
+//! - **Info metrics** ([`Registry::info`]) end in `_info`, always export
+//!   the value `1`, and carry their payload as labels — the Prometheus
+//!   idiom for build attribution: `dds_build_info{version="0.1.0",
+//!   git_sha="abc123"} 1`. `dds_build_info` and `dds_uptime_seconds` are
+//!   registered by every `dds` binary entry point so any scrape can be
+//!   attributed to a build and a process start.
 //!
 //! # Example
 //!
@@ -92,6 +109,27 @@ impl Gauge {
     }
 }
 
+/// An info-style metric: a constant `1` whose payload lives in its labels
+/// (the Prometheus idiom for build/version attribution). Labels are set
+/// once at startup and survive [`Registry::reset`].
+#[derive(Debug, Default)]
+pub struct Info {
+    labels: Mutex<Vec<(String, String)>>,
+}
+
+impl Info {
+    /// Replaces the label set.
+    pub fn set(&self, labels: &[(&str, &str)]) {
+        let mut slot = self.labels.lock().expect("info labels poisoned");
+        *slot = labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
+    }
+
+    /// A copy of the current labels.
+    pub fn labels(&self) -> Vec<(String, String)> {
+        self.labels.lock().map(|l| l.clone()).unwrap_or_default()
+    }
+}
+
 /// Number of histogram buckets (the last one is the `+Inf` overflow).
 pub const HISTOGRAM_BUCKETS: usize = 32;
 
@@ -131,7 +169,7 @@ impl Histogram {
         }
     }
 
-    fn bucket_index(value: f64) -> usize {
+    pub(crate) fn bucket_index(value: f64) -> usize {
         if value.is_nan() || value <= HISTOGRAM_BASE {
             // Covers tiny, zero, negative and NaN observations.
             return 0;
@@ -190,11 +228,46 @@ impl Histogram {
     }
 }
 
+/// Estimates the `q`-quantile (`0 ≤ q ≤ 1`) of the observations summarized
+/// by per-bucket counts aligned with [`Histogram::bucket_upper_bound`].
+///
+/// The rank convention matches `sorted[ceil(q·n) − 1]`: the estimate lands
+/// in the same bucket as the true order statistic and interpolates
+/// linearly inside it, so the error is bounded by the bucket width (a
+/// factor of 2 on the log-scale layout). The overflow bucket has no upper
+/// bound, so ranks falling there return its lower bound. Returns `None`
+/// when no observations were recorded.
+pub fn quantile_from_buckets(buckets: &[u64], q: f64) -> Option<f64> {
+    let count: u64 = buckets.iter().sum();
+    if count == 0 || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cumulative = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if cumulative + n >= rank {
+            let lo = if i == 0 { 0.0 } else { Histogram::bucket_upper_bound(i - 1) };
+            let hi = Histogram::bucket_upper_bound(i);
+            if !hi.is_finite() {
+                return Some(lo);
+            }
+            let fraction = (rank - cumulative) as f64 / n as f64;
+            return Some(lo + fraction * (hi - lo));
+        }
+        cumulative += n;
+    }
+    None
+}
+
 #[derive(Debug, Clone)]
 enum Entry {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
+    Info(Arc<Info>),
 }
 
 impl Entry {
@@ -203,6 +276,7 @@ impl Entry {
             Entry::Counter(_) => "counter",
             Entry::Gauge(_) => "gauge",
             Entry::Histogram(_) => "histogram",
+            Entry::Info(_) => "info",
         }
     }
 }
@@ -264,6 +338,18 @@ impl Registry {
         }
     }
 
+    /// Returns (registering on first use) the info metric called `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn info(&self, name: &str) -> Arc<Info> {
+        match self.entry(name, || Entry::Info(Arc::new(Info::default()))) {
+            Entry::Info(i) => i,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
     /// Zeroes every metric's value while keeping all registrations, so
     /// handles cached by instrumented code remain live. Intended for test
     /// isolation around a shared [`global`] registry.
@@ -274,6 +360,8 @@ impl Registry {
                 Entry::Counter(c) => c.reset(),
                 Entry::Gauge(g) => g.reset(),
                 Entry::Histogram(h) => h.reset(),
+                // Info labels describe the build/process, not a run.
+                Entry::Info(_) => {}
             }
         }
     }
@@ -293,9 +381,27 @@ impl Registry {
                 Entry::Histogram(h) => {
                     snapshot.histograms.insert(name.clone(), h.snapshot());
                 }
+                Entry::Info(i) => {
+                    snapshot.infos.insert(name.clone(), i.labels());
+                }
             }
         }
         snapshot
+    }
+}
+
+/// Computes p50/p95/p99 for every histogram in `registry` that has
+/// observations and publishes them as `<histogram>_p50` / `_p95` / `_p99`
+/// gauges in the same registry, so plain gauge scrapes carry latency
+/// quantiles without the scraper having to integrate buckets itself.
+pub fn publish_quantile_gauges(registry: &Registry) {
+    let snapshot = registry.snapshot();
+    for (name, hist) in &snapshot.histograms {
+        for (q, suffix) in [(0.5, "p50"), (0.95, "p95"), (0.99, "p99")] {
+            if let Some(value) = quantile_from_buckets(&hist.buckets, q) {
+                registry.gauge(&format!("{name}_{suffix}")).set(value);
+            }
+        }
     }
 }
 
@@ -326,6 +432,12 @@ impl HistogramSnapshot {
             Some(self.sum / self.count as f64)
         }
     }
+
+    /// Estimated `q`-quantile from the bucket counts (see
+    /// [`quantile_from_buckets`] for the error bound).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_from_buckets(&self.buckets, q)
+    }
 }
 
 /// Point-in-time copy of a [`Registry`], exportable as JSON or
@@ -338,6 +450,8 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Info-metric labels by name.
+    pub infos: BTreeMap<String, Vec<(String, String)>>,
 }
 
 impl MetricsSnapshot {
@@ -409,6 +523,24 @@ impl MetricsSnapshot {
             }
             out.push_str("]}");
         }
+        out.push_str("\n  },\n  \"infos\": {");
+        first = true;
+        for (name, labels) in &self.infos {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{}\": {{", json::escape(name)));
+            let mut first_label = true;
+            for (key, value) in labels {
+                if !first_label {
+                    out.push_str(", ");
+                }
+                first_label = false;
+                out.push_str(&format!("\"{}\": \"{}\"", json::escape(key), json::escape(value)));
+            }
+            out.push('}');
+        }
         out.push_str("\n  }\n}\n");
         out
     }
@@ -423,6 +555,19 @@ impl MetricsSnapshot {
         }
         for (name, value) in &self.gauges {
             out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+        }
+        for (name, labels) in &self.infos {
+            // Info metrics render as a constant-1 gauge carrying its
+            // payload in labels (label values get JSON-style escaping,
+            // which matches the Prometheus text format's rules).
+            out.push_str(&format!("# TYPE {name} gauge\n{name}{{"));
+            for (i, (key, value)) in labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{key}=\"{}\"", json::escape(value)));
+            }
+            out.push_str("} 1\n");
         }
         for (name, hist) in &self.histograms {
             out.push_str(&format!("# TYPE {name} histogram\n"));
@@ -523,6 +668,67 @@ mod tests {
         assert!(prom.contains("t_depth 1.25"));
         assert!(prom.contains("le=\"+Inf\"} 2"));
         assert!(prom.contains("t_seconds_count 2"));
+    }
+
+    #[test]
+    fn info_metric_exports_labels() {
+        let registry = Registry::new();
+        registry.info("t_build_info").set(&[("version", "0.1.0"), ("git_sha", "abc123")]);
+        registry.counter("t_info_events_total").inc();
+        let snap = registry.snapshot();
+
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE t_build_info gauge"));
+        assert!(prom.contains("t_build_info{version=\"0.1.0\",git_sha=\"abc123\"} 1"));
+
+        let jsonned = snap.to_json();
+        crate::json::validate(&jsonned).unwrap();
+        assert!(jsonned.contains("\"t_build_info\": {\"version\": \"0.1.0\""));
+
+        // Reset keeps the labels: they describe the build, not a run.
+        registry.reset();
+        assert_eq!(registry.info("t_build_info").labels().len(), 2);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        assert_eq!(quantile_from_buckets(&[0; HISTOGRAM_BUCKETS], 0.5), None);
+        let h = Histogram::default();
+        // 90 fast observations in (2 µs, 4 µs], 10 slow in (1 ms, 2 ms].
+        for _ in 0..90 {
+            h.observe(3e-6);
+        }
+        for _ in 0..10 {
+            h.observe(1.5e-3);
+        }
+        let snap = h.snapshot();
+        let p50 = snap.quantile(0.5).unwrap();
+        assert!((2e-6..=4e-6).contains(&p50), "p50 {p50}");
+        let p95 = snap.quantile(0.95).unwrap();
+        assert!((1e-3..=2e-3).contains(&p95), "p95 {p95}");
+        // Quantiles are monotone in q.
+        assert!(snap.quantile(0.99).unwrap() >= p95);
+        // The overflow bucket returns its lower bound.
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        buckets[HISTOGRAM_BUCKETS - 1] = 4;
+        let p = quantile_from_buckets(&buckets, 0.5).unwrap();
+        assert_eq!(p, Histogram::bucket_upper_bound(HISTOGRAM_BUCKETS - 2));
+    }
+
+    #[test]
+    fn publish_quantile_gauges_adds_pxx_gauges() {
+        let registry = Registry::new();
+        let h = registry.histogram("t_q_seconds");
+        for _ in 0..100 {
+            h.observe(3e-6);
+        }
+        publish_quantile_gauges(&registry);
+        let snap = registry.snapshot();
+        for suffix in ["p50", "p95", "p99"] {
+            let v = snap.gauge_value(&format!("t_q_seconds_{suffix}")).unwrap();
+            assert!((2e-6..=4e-6).contains(&v), "{suffix} = {v}");
+        }
+        assert!(snap.to_prometheus().contains("# TYPE t_q_seconds_p99 gauge"));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! println!("{}", profiler.render_table());
 //! ```
 
+use crate::metrics::{quantile_from_buckets, Histogram, HISTOGRAM_BUCKETS};
 use crate::trace::{EventInfo, Level, SpanInfo, SpanTiming, Subscriber};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -42,12 +43,21 @@ pub struct StageStats {
     /// Total heap-allocation delta across those spans (`0` unless the
     /// binary installs [`CountingAllocator`](crate::CountingAllocator)).
     pub allocations: u64,
+    /// Per-span duration distribution on the metrics crate's log-scale
+    /// bucket grid (seconds), feeding the quantile columns.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
 }
 
 impl StageStats {
     /// Mean wall time per call, if any calls were recorded.
     pub fn mean(&self) -> Option<Duration> {
         (self.calls > 0).then(|| self.total / u32::try_from(self.calls).unwrap_or(u32::MAX))
+    }
+
+    /// Estimated `q`-quantile of the per-span duration, from the bucket
+    /// distribution (so accurate to bucket resolution — a factor of two).
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        quantile_from_buckets(&self.buckets, q).map(Duration::from_secs_f64)
     }
 }
 
@@ -74,25 +84,68 @@ impl StageProfiler {
     }
 
     /// Renders the stats as an aligned text table (stage, calls, total
-    /// wall time, mean, allocations), one row per span name.
+    /// wall time, mean, bucket-estimated p50/p95/p99, allocations), one
+    /// row per span name.
     pub fn render_table(&self) -> String {
         let stats = self.stats();
         let name_width =
             stats.keys().map(|name| name.len()).chain(std::iter::once("stage".len())).max();
         let name_width = name_width.unwrap_or(5);
         let mut out = format!(
-            "{:<name_width$}  {:>7}  {:>12}  {:>12}  {:>12}\n",
-            "stage", "calls", "total", "mean", "allocs"
+            "{:<name_width$}  {:>7}  {:>12}  {:>12}  {:>10}  {:>10}  {:>10}  {:>12}\n",
+            "stage", "calls", "total", "mean", "p50", "p95", "p99", "allocs"
         );
+        let fmt_q = |stat: &StageStats, q: f64| {
+            stat.quantile(q).map_or_else(|| "-".to_string(), |d| format!("{d:.1?}"))
+        };
         for (name, stat) in &stats {
             let mean = stat.mean().map_or_else(|| "-".to_string(), |m| format!("{m:.1?}"));
             out.push_str(&format!(
-                "{name:<name_width$}  {:>7}  {:>12}  {mean:>12}  {:>12}\n",
+                "{name:<name_width$}  {:>7}  {:>12}  {mean:>12}  {:>10}  {:>10}  {:>10}  {:>12}\n",
                 stat.calls,
                 format!("{:.1?}", stat.total),
+                fmt_q(stat, 0.50),
+                fmt_q(stat, 0.95),
+                fmt_q(stat, 0.99),
                 stat.allocations,
             ));
         }
+        out
+    }
+
+    /// Serializes the stats as a JSON object keyed by stage name, each
+    /// value carrying `calls`, `total_ms`, `mean_ms`, `p50_ms`, `p95_ms`,
+    /// `p99_ms` and `allocations` — the `/profile` endpoint's payload.
+    pub fn to_json(&self) -> String {
+        let stats = self.stats();
+        let mut out = String::from("{");
+        for (i, (name, stat)) in stats.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let quantile_ms = |q: f64| {
+                stat.quantile(q).map_or_else(
+                    || "null".to_string(),
+                    |d| crate::json::number(d.as_secs_f64() * 1e3),
+                )
+            };
+            out.push_str(&format!(
+                "\"{}\": {{\"calls\": {}, \"total_ms\": {}, \"mean_ms\": {}, \
+                 \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \"allocations\": {}}}",
+                crate::json::escape(name),
+                stat.calls,
+                crate::json::number(stat.total.as_secs_f64() * 1e3),
+                stat.mean().map_or_else(
+                    || "null".to_string(),
+                    |m| crate::json::number(m.as_secs_f64() * 1e3)
+                ),
+                quantile_ms(0.50),
+                quantile_ms(0.95),
+                quantile_ms(0.99),
+                stat.allocations,
+            ));
+        }
+        out.push('}');
         out
     }
 }
@@ -110,6 +163,7 @@ impl Subscriber for StageProfiler {
             entry.calls += 1;
             entry.total += timing.elapsed;
             entry.allocations += timing.allocations;
+            entry.buckets[Histogram::bucket_index(timing.elapsed.as_secs_f64())] += 1;
         }
     }
 
@@ -145,6 +199,32 @@ mod tests {
         assert!(table.starts_with("stage"));
         assert!(table.contains("p.repeat"));
         assert!(table.contains("p.once"));
+    }
+
+    #[test]
+    fn quantiles_and_json_come_from_duration_buckets() {
+        let _guard = obs_lock();
+        let profiler = Arc::new(StageProfiler::new(Level::Trace));
+        trace::install(profiler.clone());
+        for _ in 0..4 {
+            let _span = crate::span!(Level::Info, "p.q");
+        }
+        trace::reset();
+
+        let stats = profiler.stats();
+        let stat = &stats["p.q"];
+        assert_eq!(stat.buckets.iter().sum::<u64>(), 4, "one bucket entry per span");
+        let p50 = stat.quantile(0.50).expect("p50");
+        let p99 = stat.quantile(0.99).expect("p99");
+        assert!(p50 <= p99);
+
+        let table = profiler.render_table();
+        assert!(table.contains("p50") && table.contains("p95") && table.contains("p99"));
+
+        let json = profiler.to_json();
+        crate::json::validate(&json).expect("profile JSON is well-formed");
+        assert!(json.contains("\"p.q\""));
+        assert!(json.contains("\"p99_ms\""));
     }
 
     #[test]

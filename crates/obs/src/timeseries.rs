@@ -1,0 +1,239 @@
+//! Sliding-window time series over the metrics registry: a ring buffer of
+//! periodic [`MetricsSnapshot`]s exposing window rates (alerts/min,
+//! ingests/sec) and windowed latency quantiles.
+//!
+//! The raw registry only ever accumulates: counters and histogram buckets
+//! are lifetime totals, which is the right exchange format for Prometheus
+//! (it differentiates server-side) but useless for a watchdog that must
+//! ask "what happened in the last minute?". [`TimeSeriesStore`] fills that
+//! gap: a sampler calls [`sample`](TimeSeriesStore::sample) on a fixed
+//! tick, the store keeps the last `capacity` snapshots, and window
+//! queries subtract the snapshot at the window's left edge from the
+//! newest one — counters become rates, cumulative histogram buckets
+//! become a windowed histogram whose quantiles describe only recent
+//! observations.
+//!
+//! # Example
+//!
+//! ```
+//! use dds_obs::metrics::Registry;
+//! use dds_obs::timeseries::TimeSeriesStore;
+//! use std::time::Duration;
+//!
+//! let registry = Registry::new();
+//! let store = TimeSeriesStore::new(8);
+//! registry.counter("dds_demo_events_total").add(10);
+//! store.push(Duration::from_secs(0), registry.snapshot());
+//! registry.counter("dds_demo_events_total").add(30);
+//! store.push(Duration::from_secs(10), registry.snapshot());
+//!
+//! let rate = store.rate_per_sec("dds_demo_events_total", Duration::from_secs(60)).unwrap();
+//! assert!((rate - 3.0).abs() < 1e-9); // 30 events over 10 s
+//! ```
+
+use crate::metrics::{quantile_from_buckets, MetricsSnapshot, Registry};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One retained sample: the registry state at `elapsed` since the store
+/// was created.
+#[derive(Debug, Clone)]
+pub struct TimePoint {
+    /// Time since the store's creation when the sample was taken.
+    pub elapsed: Duration,
+    /// The registry state at that instant.
+    pub snapshot: MetricsSnapshot,
+}
+
+/// A bounded ring buffer of registry snapshots with window queries.
+///
+/// All methods take `&self`; the store is safe to share between a sampler
+/// thread, the watchdog and HTTP scrape handlers.
+#[derive(Debug)]
+pub struct TimeSeriesStore {
+    capacity: usize,
+    start: Instant,
+    points: Mutex<VecDeque<TimePoint>>,
+}
+
+impl TimeSeriesStore {
+    /// Creates a store retaining the most recent `capacity` samples
+    /// (minimum 2 — a window needs two edges).
+    pub fn new(capacity: usize) -> Self {
+        TimeSeriesStore {
+            capacity: capacity.max(2),
+            start: Instant::now(),
+            points: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Samples `registry` now. Call on a fixed tick.
+    pub fn sample(&self, registry: &Registry) {
+        self.push(self.start.elapsed(), registry.snapshot());
+    }
+
+    /// Appends a snapshot with an explicit timestamp (what
+    /// [`sample`](TimeSeriesStore::sample) does with the wall clock;
+    /// exposed so tests can drive deterministic timelines). Samples must
+    /// be pushed in non-decreasing `elapsed` order.
+    pub fn push(&self, elapsed: Duration, snapshot: MetricsSnapshot) {
+        let mut points = self.points.lock().expect("timeseries poisoned");
+        if points.len() == self.capacity {
+            points.pop_front();
+        }
+        points.push_back(TimePoint { elapsed, snapshot });
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.points.lock().map(|p| p.len()).unwrap_or(0)
+    }
+
+    /// Whether no samples have been taken yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The most recent sample, if any.
+    pub fn latest(&self) -> Option<TimePoint> {
+        self.points.lock().ok()?.back().cloned()
+    }
+
+    /// The newest sample and the oldest retained sample no older than
+    /// `window` before it. `None` until two samples span a nonzero
+    /// interval.
+    fn window_edges(&self, window: Duration) -> Option<(TimePoint, TimePoint)> {
+        let points = self.points.lock().ok()?;
+        let newest = points.back()?.clone();
+        let left_edge = newest.elapsed.saturating_sub(window);
+        let oldest = points.iter().find(|p| p.elapsed >= left_edge)?.clone();
+        (newest.elapsed > oldest.elapsed).then_some((oldest, newest))
+    }
+
+    /// The increase of counter `name` over the trailing `window`, divided
+    /// by the actually-covered interval, in events per second. A counter
+    /// absent from the window's left edge was zero then (counters are
+    /// born at zero); `None` until the newest sample covers the counter.
+    pub fn rate_per_sec(&self, name: &str, window: Duration) -> Option<f64> {
+        let (oldest, newest) = self.window_edges(window)?;
+        let new = newest.snapshot.counter_value(name)?;
+        let old = oldest.snapshot.counter_value(name).unwrap_or(0);
+        let dt = (newest.elapsed - oldest.elapsed).as_secs_f64();
+        (dt > 0.0).then(|| new.saturating_sub(old) as f64 / dt)
+    }
+
+    /// [`rate_per_sec`](TimeSeriesStore::rate_per_sec) scaled to events
+    /// per minute — the natural unit for alert rates.
+    pub fn rate_per_min(&self, name: &str, window: Duration) -> Option<f64> {
+        self.rate_per_sec(name, window).map(|r| r * 60.0)
+    }
+
+    /// The number of observations histogram `name` received over the
+    /// trailing `window`. A histogram absent from the window's left edge
+    /// had zero observations then.
+    pub fn window_count(&self, name: &str, window: Duration) -> Option<u64> {
+        let (oldest, newest) = self.window_edges(window)?;
+        let new = newest.snapshot.histogram(name)?;
+        let old = oldest.snapshot.histogram(name).map(|h| h.count).unwrap_or(0);
+        Some(new.count.saturating_sub(old))
+    }
+
+    /// The estimated `q`-quantile of histogram `name` over the trailing
+    /// `window`: bucket counts at the window's left edge are subtracted
+    /// from the newest ones, so old observations stop dragging the
+    /// estimate. A histogram absent from the left edge had empty buckets
+    /// then. `None` when the window saw no observations.
+    pub fn window_quantile(&self, name: &str, window: Duration, q: f64) -> Option<f64> {
+        let (oldest, newest) = self.window_edges(window)?;
+        let new = newest.snapshot.histogram(name)?;
+        let old = oldest.snapshot.histogram(name);
+        let buckets: Vec<u64> = new
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| n.saturating_sub(old.map(|h| h.buckets[i]).unwrap_or(0)))
+            .collect();
+        quantile_from_buckets(&buckets, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot_with_counter(name: &str, value: u64) -> MetricsSnapshot {
+        let registry = Registry::new();
+        registry.counter(name).add(value);
+        registry.snapshot()
+    }
+
+    #[test]
+    fn rates_use_the_covered_interval() {
+        let store = TimeSeriesStore::new(16);
+        for (t, v) in [(0u64, 0u64), (5, 10), (10, 40)] {
+            store.push(Duration::from_secs(t), snapshot_with_counter("c_total", v));
+        }
+        // Full window: 40 events over 10 s.
+        let r = store.rate_per_sec("c_total", Duration::from_secs(60)).unwrap();
+        assert!((r - 4.0).abs() < 1e-12);
+        // 5 s window: 30 events over the last 5 s.
+        let r = store.rate_per_sec("c_total", Duration::from_secs(5)).unwrap();
+        assert!((r - 6.0).abs() < 1e-12);
+        assert!(
+            (store.rate_per_min("c_total", Duration::from_secs(5)).unwrap() - 360.0).abs() < 1e-9
+        );
+        // Unknown counters and single-sample stores yield None.
+        assert_eq!(store.rate_per_sec("missing_total", Duration::from_secs(5)), None);
+        let single = TimeSeriesStore::new(4);
+        single.push(Duration::ZERO, snapshot_with_counter("c_total", 1));
+        assert_eq!(single.rate_per_sec("c_total", Duration::from_secs(5)), None);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let store = TimeSeriesStore::new(3);
+        for t in 0..10u64 {
+            store.push(Duration::from_secs(t), snapshot_with_counter("c_total", t * 10));
+        }
+        assert_eq!(store.len(), 3);
+        // Only samples at t = 7, 8, 9 remain; a huge window clamps to them.
+        let r = store.rate_per_sec("c_total", Duration::from_secs(3600)).unwrap();
+        assert!((r - 10.0).abs() < 1e-12);
+        assert_eq!(store.latest().unwrap().elapsed, Duration::from_secs(9));
+    }
+
+    #[test]
+    fn window_quantiles_ignore_old_observations() {
+        let registry = Registry::new();
+        let h = registry.histogram("h_seconds");
+        // Epoch 1: slow observations.
+        for _ in 0..100 {
+            h.observe(1.5e-3);
+        }
+        let store = TimeSeriesStore::new(8);
+        store.push(Duration::from_secs(0), registry.snapshot());
+        // Epoch 2: fast observations only.
+        for _ in 0..100 {
+            h.observe(3e-6);
+        }
+        store.push(Duration::from_secs(10), registry.snapshot());
+
+        // Lifetime p99 is slow; the 10 s window's p99 is fast.
+        let lifetime = registry.snapshot().histogram("h_seconds").unwrap().quantile(0.99).unwrap();
+        assert!(lifetime > 1e-3);
+        let windowed = store.window_quantile("h_seconds", Duration::from_secs(10), 0.99).unwrap();
+        assert!(windowed <= 4e-6, "windowed p99 {windowed}");
+        assert_eq!(store.window_count("h_seconds", Duration::from_secs(10)), Some(100));
+    }
+
+    #[test]
+    fn sample_reads_a_live_registry() {
+        let registry = Registry::new();
+        registry.counter("s_total").add(5);
+        let store = TimeSeriesStore::new(4);
+        store.sample(&registry);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.latest().unwrap().snapshot.counter_value("s_total"), Some(5));
+    }
+}

@@ -1,0 +1,402 @@
+//! The SLO watchdog: window predicates over the metrics time series that
+//! degrade the service's health state and emit self-alerts.
+//!
+//! The monitor watches disks; the watchdog watches the monitor. Each
+//! [`SloRule`] is a predicate over a [`TimeSeriesStore`] window — an
+//! ingest-latency p99 ceiling, an alert-rate spike against a trailing
+//! baseline, an error budget. [`Watchdog::evaluate`] runs every rule,
+//! fires a `Warn`-level [`event!`](crate::event!) per violation (so
+//! `--trace-level warn` surfaces them like any other event), counts them
+//! in `dds_watchdog_violations_total`, and flips the shared
+//! [`HealthState`] to degraded; a clean evaluation clears the degradation
+//! again. `/healthz` reads the same [`HealthState`].
+//!
+//! # Example
+//!
+//! ```
+//! use dds_obs::metrics::Registry;
+//! use dds_obs::timeseries::TimeSeriesStore;
+//! use dds_obs::watchdog::{SloRule, Watchdog};
+//! use std::time::Duration;
+//!
+//! let registry = Registry::new();
+//! let store = TimeSeriesStore::new(16);
+//! let watchdog = Watchdog::new(vec![SloRule::LatencyCeiling {
+//!     histogram: "svc_seconds".into(),
+//!     quantile: 0.99,
+//!     ceiling_seconds: 1e-3,
+//!     window: Duration::from_secs(60),
+//! }]);
+//!
+//! registry.histogram("svc_seconds").observe(5e-3); // over the ceiling
+//! store.push(Duration::from_secs(0), Registry::new().snapshot());
+//! store.push(Duration::from_secs(1), registry.snapshot());
+//! let violations = watchdog.evaluate(&store);
+//! assert_eq!(violations.len(), 1);
+//! assert!(watchdog.health().is_degraded());
+//! ```
+
+use crate::timeseries::TimeSeriesStore;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Shared liveness/readiness/degradation state, written by the serving
+/// loop and the watchdog, read by the `/healthz` and `/readyz` endpoints.
+///
+/// *Ready* means the model bundle is loaded and the service can ingest;
+/// *degraded* means an SLO rule is currently violated. The two are
+/// independent: a service is typically ready long before it has enough
+/// samples to be judged degraded.
+#[derive(Debug, Default)]
+pub struct HealthState {
+    ready: AtomicBool,
+    degraded: AtomicBool,
+    reason: Mutex<String>,
+}
+
+impl HealthState {
+    /// A fresh state: not ready, not degraded.
+    pub fn new() -> Arc<Self> {
+        Arc::new(HealthState::default())
+    }
+
+    /// Marks the model bundle as loaded (or unloaded).
+    pub fn set_ready(&self, ready: bool) {
+        self.ready.store(ready, Ordering::SeqCst);
+    }
+
+    /// Whether the service can ingest records.
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::SeqCst)
+    }
+
+    /// Whether an SLO rule is currently violated.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// The message of the most recent degradation, if degraded.
+    pub fn degraded_reason(&self) -> Option<String> {
+        if !self.is_degraded() {
+            return None;
+        }
+        self.reason.lock().ok().map(|r| r.clone())
+    }
+
+    /// Degrades the state with a reason.
+    pub fn degrade(&self, reason: &str) {
+        if let Ok(mut slot) = self.reason.lock() {
+            *slot = reason.to_string();
+        }
+        self.degraded.store(true, Ordering::SeqCst);
+    }
+
+    /// Clears a degradation.
+    pub fn clear_degraded(&self) {
+        self.degraded.store(false, Ordering::SeqCst);
+    }
+}
+
+/// One SLO predicate evaluated per watchdog tick.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloRule {
+    /// The `quantile` of `histogram` over the trailing `window` must stay
+    /// below `ceiling_seconds`.
+    LatencyCeiling {
+        /// Histogram metric name (e.g. `dds_monitor_ingest_seconds`).
+        histogram: String,
+        /// Quantile to bound, e.g. `0.99`.
+        quantile: f64,
+        /// Ceiling in the histogram's unit (seconds by convention).
+        ceiling_seconds: f64,
+        /// Trailing window to evaluate over.
+        window: Duration,
+    },
+    /// The rate of `counter` over the trailing `window` must not exceed
+    /// `factor` × its rate over the longer `baseline_window` (and
+    /// `min_per_sec`, which suppresses spikes off a near-zero baseline).
+    RateSpike {
+        /// Counter metric name (e.g. `dds_monitor_alerts_total`).
+        counter: String,
+        /// Short window whose rate is under suspicion.
+        window: Duration,
+        /// Longer trailing window supplying the baseline rate.
+        baseline_window: Duration,
+        /// Spike factor over baseline that trips the rule.
+        factor: f64,
+        /// Rates below this (events/sec) never trip, whatever the factor.
+        min_per_sec: f64,
+    },
+    /// Over the trailing `window`, `errors` must stay below `max_ratio`
+    /// of `total` (both counters). Windows with no `total` growth pass.
+    ErrorBudget {
+        /// Error counter name.
+        errors: String,
+        /// Total-attempts counter name.
+        total: String,
+        /// Maximum tolerated error fraction in `0..=1`.
+        max_ratio: f64,
+        /// Trailing window to evaluate over.
+        window: Duration,
+    },
+}
+
+impl SloRule {
+    /// A short stable name for events and violation reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SloRule::LatencyCeiling { .. } => "latency_ceiling",
+            SloRule::RateSpike { .. } => "rate_spike",
+            SloRule::ErrorBudget { .. } => "error_budget",
+        }
+    }
+
+    /// Evaluates the rule, returning a violation message if it trips.
+    /// Rules whose metrics have no samples yet pass vacuously.
+    fn check(&self, store: &TimeSeriesStore) -> Option<String> {
+        match self {
+            SloRule::LatencyCeiling { histogram, quantile, ceiling_seconds, window } => {
+                let observed = store.window_quantile(histogram, *window, *quantile)?;
+                (observed > *ceiling_seconds).then(|| {
+                    format!(
+                        "{histogram} p{:.0} = {observed:.6}s over {:.0}s window exceeds \
+                         ceiling {ceiling_seconds:.6}s",
+                        quantile * 100.0,
+                        window.as_secs_f64(),
+                    )
+                })
+            }
+            SloRule::RateSpike { counter, window, baseline_window, factor, min_per_sec } => {
+                let current = store.rate_per_sec(counter, *window)?;
+                let baseline = store.rate_per_sec(counter, *baseline_window)?;
+                (current > *min_per_sec && current > factor * baseline.max(f64::MIN_POSITIVE)).then(
+                    || {
+                        format!(
+                            "{counter} rate {current:.2}/s spikes {:.1}x over trailing \
+                             baseline {baseline:.2}/s (limit {factor:.1}x)",
+                            current / baseline.max(f64::MIN_POSITIVE),
+                        )
+                    },
+                )
+            }
+            SloRule::ErrorBudget { errors, total, max_ratio, window } => {
+                let error_rate = store.rate_per_sec(errors, *window)?;
+                let total_rate = store.rate_per_sec(total, *window)?;
+                if total_rate <= 0.0 {
+                    return None;
+                }
+                let ratio = error_rate / total_rate;
+                (ratio > *max_ratio).then(|| {
+                    format!("{errors}/{total} error ratio {ratio:.4} exceeds budget {max_ratio:.4}")
+                })
+            }
+        }
+    }
+}
+
+/// One tripped rule from an evaluation pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// [`SloRule::name`] of the tripped rule.
+    pub rule: &'static str,
+    /// Human-readable description with the observed and limit values.
+    pub message: String,
+}
+
+/// Evaluates a fixed rule set against the time series and maintains the
+/// shared [`HealthState`].
+#[derive(Debug)]
+pub struct Watchdog {
+    rules: Vec<SloRule>,
+    health: Arc<HealthState>,
+}
+
+impl Watchdog {
+    /// Creates a watchdog with its own (not-ready) [`HealthState`].
+    pub fn new(rules: Vec<SloRule>) -> Self {
+        Watchdog { rules, health: HealthState::new() }
+    }
+
+    /// The shared health state `/healthz` and `/readyz` should read.
+    pub fn health(&self) -> Arc<HealthState> {
+        Arc::clone(&self.health)
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[SloRule] {
+        &self.rules
+    }
+
+    /// The standard `dds serve` rule set: a 50 ms per-record ingest-latency
+    /// p99 ceiling, an 8× alert-rate spike over the trailing minute, and a
+    /// 1% ingest-error budget.
+    pub fn standard_rules() -> Vec<SloRule> {
+        vec![
+            SloRule::LatencyCeiling {
+                histogram: "dds_monitor_ingest_seconds".into(),
+                quantile: 0.99,
+                ceiling_seconds: 0.05,
+                window: Duration::from_secs(60),
+            },
+            SloRule::RateSpike {
+                counter: "dds_monitor_alerts_total".into(),
+                window: Duration::from_secs(10),
+                baseline_window: Duration::from_secs(60),
+                factor: 8.0,
+                min_per_sec: 5.0,
+            },
+            SloRule::ErrorBudget {
+                errors: "dds_serve_ingest_errors_total".into(),
+                total: "dds_monitor_records_ingested_total".into(),
+                max_ratio: 0.01,
+                window: Duration::from_secs(60),
+            },
+        ]
+    }
+
+    /// Runs every rule against `store`. Violations degrade the health
+    /// state, fire one `Warn` event each and increment
+    /// `dds_watchdog_violations_total`; a pass with no violations clears
+    /// the degradation (the service self-heals when the window drains).
+    pub fn evaluate(&self, store: &TimeSeriesStore) -> Vec<Violation> {
+        let violations: Vec<Violation> = self
+            .rules
+            .iter()
+            .filter_map(|rule| {
+                rule.check(store).map(|message| Violation { rule: rule.name(), message })
+            })
+            .collect();
+        if violations.is_empty() {
+            self.health.clear_degraded();
+        } else {
+            let registry = crate::metrics::global();
+            for violation in &violations {
+                registry.counter("dds_watchdog_violations_total").inc();
+                crate::event!(
+                    crate::Level::Warn,
+                    "watchdog.slo_violation",
+                    rule = violation.rule,
+                    detail = violation.message.clone(),
+                );
+            }
+            self.health.degrade(&violations[0].message);
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn seeded_store(fill: impl Fn(&Registry)) -> (Registry, TimeSeriesStore) {
+        let registry = Registry::new();
+        let store = TimeSeriesStore::new(16);
+        store.push(Duration::from_secs(0), registry.snapshot());
+        fill(&registry);
+        store.push(Duration::from_secs(10), registry.snapshot());
+        (registry, store)
+    }
+
+    #[test]
+    fn latency_ceiling_trips_and_recovers() {
+        let watchdog = Watchdog::new(vec![SloRule::LatencyCeiling {
+            histogram: "w_seconds".into(),
+            quantile: 0.99,
+            ceiling_seconds: 1e-4,
+            window: Duration::from_secs(60),
+        }]);
+        watchdog.health().set_ready(true);
+
+        let (registry, store) = seeded_store(|r| {
+            for _ in 0..50 {
+                r.histogram("w_seconds").observe(5e-3);
+            }
+        });
+        let violations = watchdog.evaluate(&store);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "latency_ceiling");
+        assert!(watchdog.health().is_degraded());
+        assert!(watchdog.health().degraded_reason().unwrap().contains("w_seconds"));
+
+        // A later window of fast observations clears the degradation.
+        for _ in 0..500 {
+            registry.histogram("w_seconds").observe(2e-6);
+        }
+        store.push(Duration::from_secs(70), registry.snapshot());
+        assert!(watchdog.evaluate(&store).is_empty());
+        assert!(!watchdog.health().is_degraded());
+        assert!(watchdog.health().degraded_reason().is_none());
+    }
+
+    #[test]
+    fn rate_spike_needs_both_factor_and_floor() {
+        let rule = SloRule::RateSpike {
+            counter: "w_total".into(),
+            window: Duration::from_secs(10),
+            baseline_window: Duration::from_secs(60),
+            factor: 4.0,
+            min_per_sec: 2.0,
+        };
+        // Steady growth: 10/s in both windows — no spike.
+        let registry = Registry::new();
+        let store = TimeSeriesStore::new(16);
+        let counter = registry.counter("w_total");
+        for t in 0..7u64 {
+            store.push(Duration::from_secs(t * 10), registry.snapshot());
+            counter.add(100);
+        }
+        assert_eq!(rule.check(&store), None);
+        // A 100× burst in the final window trips it.
+        counter.add(10_000);
+        store.push(Duration::from_secs(70), registry.snapshot());
+        let message = rule.check(&store).expect("spike detected");
+        assert!(message.contains("w_total"), "{message}");
+        // The same burst below the floor stays quiet.
+        let quiet = SloRule::RateSpike {
+            counter: "w_total".into(),
+            window: Duration::from_secs(10),
+            baseline_window: Duration::from_secs(60),
+            factor: 4.0,
+            min_per_sec: 1e9,
+        };
+        assert_eq!(quiet.check(&store), None);
+    }
+
+    #[test]
+    fn error_budget_uses_windowed_ratio() {
+        let watchdog = Watchdog::new(vec![SloRule::ErrorBudget {
+            errors: "w_errors_total".into(),
+            total: "w_requests_total".into(),
+            max_ratio: 0.01,
+            window: Duration::from_secs(60),
+        }]);
+        let (_registry, store) = seeded_store(|r| {
+            r.counter("w_requests_total").add(1_000);
+            r.counter("w_errors_total").add(100); // 10% — way over budget
+        });
+        let violations = watchdog.evaluate(&store);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].rule, "error_budget");
+    }
+
+    #[test]
+    fn missing_metrics_pass_vacuously() {
+        let watchdog = Watchdog::new(Watchdog::standard_rules());
+        let store = TimeSeriesStore::new(4);
+        assert!(watchdog.evaluate(&store).is_empty());
+        assert!(!watchdog.health().is_degraded());
+    }
+
+    #[test]
+    fn health_state_defaults_to_not_ready() {
+        let health = HealthState::new();
+        assert!(!health.is_ready());
+        health.set_ready(true);
+        assert!(health.is_ready());
+        health.set_ready(false);
+        assert!(!health.is_ready());
+    }
+}

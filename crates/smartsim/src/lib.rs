@@ -43,6 +43,7 @@ pub mod fleet;
 pub mod io;
 pub mod randutil;
 pub mod smart;
+pub mod stream;
 pub mod topology;
 
 pub use attr::{Attribute, AttributeKind, ValueKind, NUM_ATTRIBUTES};
@@ -50,4 +51,5 @@ pub use dataset::{Dataset, DriveId, DriveLabel, DriveProfile, HealthRecord};
 pub use environment::{Environment, LoadModel};
 pub use failure::FailureMode;
 pub use fleet::{FleetConfig, FleetSimulator};
+pub use stream::StreamingFleet;
 pub use topology::{Rack, RackId, Topology};

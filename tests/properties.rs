@@ -162,3 +162,98 @@ proptest! {
         }
     }
 }
+
+// Observability invariants: the sliding-window time series must agree with
+// a from-scratch recomputation — rates exactly, bucket-estimated quantiles
+// within the log-scale histograms' factor-of-2 bucket resolution.
+proptest! {
+    #[test]
+    fn window_rates_match_naive_recomputation(
+        increments in prop::collection::vec(0u64..1_000, 2..20),
+        window_s in 1u64..100,
+    ) {
+        use dds_obs::metrics::Registry;
+        use dds_obs::timeseries::TimeSeriesStore;
+        use std::time::Duration;
+
+        let registry = Registry::new();
+        let counter = registry.counter("prop_events_total");
+        let store = TimeSeriesStore::new(64);
+        // One sample every 3 s at t = 0, 3, 6, …
+        let mut samples: Vec<(u64, u64)> = Vec::new();
+        for (i, inc) in increments.iter().enumerate() {
+            counter.add(*inc);
+            let t = 3 * i as u64;
+            store.push(Duration::from_secs(t), registry.snapshot());
+            samples.push((t, counter.get()));
+        }
+
+        // Naive recomputation straight from the sample list: newest total
+        // minus the total at the first sample inside the window, over the
+        // actually-covered interval.
+        let &(newest_t, newest_v) = samples.last().unwrap();
+        let left_edge = newest_t.saturating_sub(window_s);
+        let &(oldest_t, oldest_v) =
+            samples.iter().find(|(t, _)| *t >= left_edge).unwrap();
+        let naive = (newest_t > oldest_t)
+            .then(|| (newest_v - oldest_v) as f64 / (newest_t - oldest_t) as f64);
+
+        let window = Duration::from_secs(window_s);
+        let rate = store.rate_per_sec("prop_events_total", window);
+        match (naive, rate) {
+            (Some(expected), Some(actual)) => {
+                prop_assert!((actual - expected).abs() <= 1e-9 * expected.max(1.0));
+                let per_min = store.rate_per_min("prop_events_total", window).unwrap();
+                prop_assert!((per_min - 60.0 * expected).abs() <= 1e-7 * expected.max(1.0));
+            }
+            (None, None) => {}
+            (expected, actual) => prop_assert!(false, "naive {expected:?} vs store {actual:?}"),
+        }
+    }
+
+    #[test]
+    fn windowed_quantiles_track_naive_order_statistics(
+        old_values in prop::collection::vec(1e-5..10.0f64, 0..50),
+        new_values in prop::collection::vec(1e-5..10.0f64, 1..50),
+        decile in 1usize..=9,
+    ) {
+        use dds_obs::metrics::Registry;
+        use dds_obs::timeseries::TimeSeriesStore;
+        use std::time::Duration;
+
+        let registry = Registry::new();
+        let h = registry.histogram("prop_latency_seconds");
+        for v in &old_values {
+            h.observe(*v);
+        }
+        let store = TimeSeriesStore::new(8);
+        store.push(Duration::from_secs(0), registry.snapshot());
+        for v in &new_values {
+            h.observe(*v);
+        }
+        store.push(Duration::from_secs(30), registry.snapshot());
+
+        // Naive order statistic over ONLY the in-window observations, with
+        // the same rank convention the bucket estimator uses
+        // (rank = clamp(ceil(q·n), 1, n)).
+        let q = decile as f64 / 10.0;
+        let mut sorted = new_values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let naive = sorted[rank - 1];
+
+        let est = store
+            .window_quantile("prop_latency_seconds", Duration::from_secs(30), q)
+            .unwrap();
+        // Both the estimate (interpolated inside the bucket) and the naive
+        // order statistic land in the same log-scale bucket (lo, 2·lo], so
+        // they agree within the bucket resolution: a factor of 2 each way.
+        prop_assert!(est > naive / 2.0 * (1.0 - 1e-12), "estimate {est} under half of naive {naive}");
+        prop_assert!(est <= naive * 2.0 * (1.0 + 1e-12), "estimate {est} over 2x naive {naive}");
+
+        let count = store
+            .window_count("prop_latency_seconds", Duration::from_secs(30))
+            .unwrap();
+        prop_assert_eq!(count as usize, new_values.len());
+    }
+}

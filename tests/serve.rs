@@ -1,0 +1,224 @@
+//! Integration tests of serving mode: a real `dds serve` loop (in
+//! process) answering scrapes over raw TCP while ingesting, the watchdog
+//! flipping `/healthz`, malformed-request resilience, and bit-for-bit
+//! Sequential-vs-Threads(4) determinism with the server enabled.
+//!
+//! The serve loop writes the process-global metrics registry and trace
+//! facade, so every test takes `SERVE_LOCK` first.
+
+use dds_cli::serve::{serve, ServeOptions};
+use dds_cli::{parse, run};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+static SERVE_LOCK: Mutex<()> = Mutex::new(());
+
+fn serve_lock() -> MutexGuard<'static, ()> {
+    SERVE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn test_options() -> ServeOptions {
+    ServeOptions {
+        scale: "test".to_string(),
+        seed: 77,
+        threads: 1,
+        listen: "127.0.0.1:0".to_string(),
+        epochs: 0, // run until the test flips the stop flag
+        tick_ms: 1,
+        ..ServeOptions::default()
+    }
+}
+
+/// A minimal HTTP GET over raw TCP: returns (status, body).
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+    raw_roundtrip(stream, &format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n"))
+}
+
+fn raw_roundtrip(mut stream: TcpStream, request: &str) -> (u16, String) {
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read reply");
+    let status: u16 = reply
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {reply:?}"));
+    let body = reply.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+/// Polls `path` until `pred` accepts the response or the deadline passes.
+fn poll_until(
+    addr: SocketAddr,
+    path: &str,
+    timeout: Duration,
+    pred: impl Fn(u16, &str) -> bool,
+) -> (u16, String) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, body) = http_get(addr, path);
+        if pred(status, &body) {
+            return (status, body);
+        }
+        assert!(Instant::now() < deadline, "timed out polling {path}; last: {status} {body}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Checks the Prometheus text exposition grammar the registry's
+/// `to_prometheus()` promises: comment lines start with `#`, every sample
+/// line is `name[{labels}] value` with a metric-identifier name and a
+/// float (or `+Inf`) value.
+fn assert_prometheus_format(body: &str) {
+    let mut samples = 0usize;
+    for line in body.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("bad line {line:?}"));
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf",
+            "unparsable sample value in {line:?}"
+        );
+        let name = &series[..series.find('{').unwrap_or(series.len())];
+        assert!(!name.is_empty(), "empty metric name in {line:?}");
+        assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in {line:?}"
+        );
+        samples += 1;
+    }
+    assert!(samples > 0, "no samples in exposition");
+}
+
+/// Runs the serve loop on a background thread, hands its bound address to
+/// `body`, then stops the loop and returns its summary output.
+fn with_serve_loop(options: ServeOptions, body: impl FnOnce(SocketAddr)) -> String {
+    let stop = AtomicBool::new(false);
+    let (addr_tx, addr_rx) = mpsc::channel();
+    let mut summary = None;
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            serve(&options, &stop, None, move |addr| addr_tx.send(addr).unwrap())
+                .expect("serve loop")
+        });
+        let addr = addr_rx.recv_timeout(Duration::from_secs(10)).expect("server bound");
+        body(addr);
+        stop.store(true, Ordering::SeqCst);
+        summary = Some(handle.join().expect("serve thread"));
+    });
+    summary.expect("serve summary")
+}
+
+#[test]
+fn concurrent_scrapes_succeed_mid_ingest_and_abuse_does_not_kill_the_server() {
+    let _guard = serve_lock();
+    dds_obs::metrics::global().reset();
+
+    let summary = with_serve_loop(test_options(), |addr| {
+        // Readiness flips once the bundle is trained.
+        poll_until(addr, "/readyz", Duration::from_secs(60), |s, _| s == 200);
+        // Ingest must eventually emit alerts (the simulated fleet contains
+        // failing drives).
+        let (_, metrics) = poll_until(addr, "/metrics", Duration::from_secs(60), |s, b| {
+            s == 200
+                && b.lines().any(|l| {
+                    l.strip_prefix("dds_monitor_alerts_total ")
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .is_some_and(|v| v > 0.0)
+                })
+        });
+        assert_prometheus_format(&metrics);
+        assert!(metrics.contains("dds_build_info{"), "build info labels exported");
+        assert!(metrics.contains("dds_monitor_ingest_seconds_p99"), "derived p99 gauge");
+        assert!(metrics.contains("dds_uptime_seconds"));
+
+        // Four clients hammer /metrics mid-ingest: zero non-200s allowed.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        let (status, body) = http_get(addr, "/metrics");
+                        assert_eq!(status, 200, "scrape failed mid-ingest");
+                        assert_prometheus_format(&body);
+                    }
+                });
+            }
+        });
+
+        // Abuse: malformed request line, unknown path, bogus query —
+        // then the server still answers normal scrapes.
+        let garbage = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).unwrap();
+        assert_eq!(raw_roundtrip(garbage, "BLARG\r\n\r\n").0, 400);
+        assert_eq!(http_get(addr, "/definitely-not-a-route").0, 404);
+        assert_eq!(http_get(addr, "/alerts?n=banana").0, 400);
+        let (status, json) = http_get(addr, "/alerts?n=3");
+        assert_eq!(status, 200);
+        dds_obs::json::validate(&json).expect("alerts JSON");
+        let (status, json) = http_get(addr, "/metrics.json");
+        assert_eq!(status, 200);
+        dds_obs::json::validate(&json).expect("metrics JSON");
+        let (status, json) = http_get(addr, "/profile");
+        assert_eq!(status, 200);
+        dds_obs::json::validate(&json).expect("profile JSON");
+        assert_eq!(http_get(addr, "/metrics").0, 200, "server survived the abuse");
+    });
+
+    assert!(summary.contains("records ingested"), "summary reports ingest volume: {summary}");
+    assert!(summary.contains("alerts emitted"), "summary reports alerts: {summary}");
+}
+
+#[test]
+fn healthz_degrades_when_the_watchdog_trips_the_error_budget() {
+    let _guard = serve_lock();
+    dds_obs::metrics::global().reset();
+
+    with_serve_loop(test_options(), |addr| {
+        poll_until(addr, "/readyz", Duration::from_secs(60), |s, _| s == 200);
+        let (status, body) = http_get(addr, "/healthz");
+        assert_eq!(status, 200, "healthy while ingest behaves: {body}");
+        assert!(body.contains("\"ok\""));
+
+        // Blow the 1% ingest-error budget: the next watchdog evaluation
+        // (one per ingested fleet-hour) must degrade /healthz.
+        dds_obs::metrics::global().counter("dds_serve_ingest_errors_total").add(1_000_000);
+        let (_, degraded) = poll_until(addr, "/healthz", Duration::from_secs(60), |s, _| s == 503);
+        assert!(degraded.contains("degraded"), "reason surfaced: {degraded}");
+        assert!(degraded.contains("error"), "error-budget rule named: {degraded}");
+    });
+}
+
+#[test]
+fn pipeline_is_bit_for_bit_deterministic_with_the_server_enabled() {
+    let _guard = serve_lock();
+    dds_obs::metrics::global().reset();
+
+    let output_of = |threads: usize, listen: Option<&str>| {
+        let mut args = vec![
+            "pipeline".to_string(),
+            "--scale".to_string(),
+            "test".to_string(),
+            "--seed".to_string(),
+            "1234".to_string(),
+            "--threads".to_string(),
+            threads.to_string(),
+        ];
+        if let Some(addr) = listen {
+            args.push("--listen".to_string());
+            args.push(addr.to_string());
+        }
+        run(parse(args).expect("parse")).expect("pipeline run")
+    };
+
+    let sequential = output_of(1, Some("127.0.0.1:0"));
+    let threaded = output_of(4, Some("127.0.0.1:0"));
+    let no_server = output_of(4, None);
+    assert_eq!(sequential, threaded, "Sequential vs Threads(4) with server enabled");
+    assert_eq!(threaded, no_server, "serving must not perturb results");
+}
