@@ -1,0 +1,239 @@
+//! The chaos specification: which operators fire, and how often.
+//!
+//! Specs are written in a tiny `key=rate` grammar — the same string the
+//! CLI accepts for `--chaos`:
+//!
+//! ```text
+//! drop=0.05,nullattr=0.02,skew=0.01
+//! ```
+//!
+//! Keys are the [`FaultKind`] spec keys; rates are probabilities in
+//! `[0, 1]`. Omitted operators default to rate `0.0` (never fire), so the
+//! empty spec is the identity.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The seven corruption operators, in canonical order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Delete a record from the stream (a lost collection hour).
+    Drop,
+    /// Delete the first 1–72 records of a drive's stream (missing
+    /// pre-failure history head). The rate is per *drive*.
+    Truncate,
+    /// Replace one attribute value with NaN. The rate is per *attribute
+    /// cell*.
+    NullAttr,
+    /// Replace one attribute value with the 65535-style vendor sentinel.
+    /// The rate is per *attribute cell*.
+    Sentinel,
+    /// Emit a record twice (collector retransmission).
+    Duplicate,
+    /// Swap a record with the drive's previously emitted record
+    /// (out-of-order arrival).
+    Reorder,
+    /// Shift the record timestamp by ±1–3 hours (clock skew).
+    Skew,
+}
+
+impl FaultKind {
+    /// Every operator, in canonical order (the [`FaultCounts`] index
+    /// order).
+    ///
+    /// [`FaultCounts`]: crate::FaultCounts
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::Drop,
+        FaultKind::Truncate,
+        FaultKind::NullAttr,
+        FaultKind::Sentinel,
+        FaultKind::Duplicate,
+        FaultKind::Reorder,
+        FaultKind::Skew,
+    ];
+
+    /// The key naming this operator in the spec grammar.
+    pub fn key(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Truncate => "truncate",
+            FaultKind::NullAttr => "nullattr",
+            FaultKind::Sentinel => "sentinel",
+            FaultKind::Duplicate => "dup",
+            FaultKind::Reorder => "reorder",
+            FaultKind::Skew => "skew",
+        }
+    }
+
+    /// Dense index of this operator within [`FaultKind::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            FaultKind::Drop => 0,
+            FaultKind::Truncate => 1,
+            FaultKind::NullAttr => 2,
+            FaultKind::Sentinel => 3,
+            FaultKind::Duplicate => 4,
+            FaultKind::Reorder => 5,
+            FaultKind::Skew => 6,
+        }
+    }
+
+    fn from_key(key: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|kind| kind.key() == key)
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Per-operator firing rates; the parsed form of a `--chaos` string.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosSpec {
+    rates: [f64; FaultKind::ALL.len()],
+}
+
+impl ChaosSpec {
+    /// The identity spec: every rate zero, nothing fires.
+    pub fn none() -> Self {
+        ChaosSpec::default()
+    }
+
+    /// The firing rate of one operator.
+    pub fn rate(&self, kind: FaultKind) -> f64 {
+        self.rates[kind.index()]
+    }
+
+    /// Sets one operator's rate (probability in `[0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects rates outside `[0, 1]` or non-finite.
+    pub fn with_rate(mut self, kind: FaultKind, rate: f64) -> Result<Self, SpecParseError> {
+        if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+            return Err(SpecParseError(format!("rate for `{kind}` must be in [0, 1], got {rate}")));
+        }
+        self.rates[kind.index()] = rate;
+        Ok(self)
+    }
+
+    /// Whether no operator can ever fire (all rates zero).
+    pub fn is_identity(&self) -> bool {
+        self.rates.iter().all(|&r| r == 0.0)
+    }
+}
+
+impl fmt::Display for ChaosSpec {
+    /// Renders back to spec-grammar form, listing only non-zero rates
+    /// (`none` for the identity spec).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_identity() {
+            return f.write_str("none");
+        }
+        let mut first = true;
+        for kind in FaultKind::ALL {
+            let rate = self.rate(kind);
+            if rate > 0.0 {
+                if !first {
+                    f.write_str(",")?;
+                }
+                write!(f, "{}={rate}", kind.key())?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for ChaosSpec {
+    type Err = SpecParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut spec = ChaosSpec::none();
+        let trimmed = s.trim();
+        if trimmed.is_empty() || trimmed == "none" {
+            return Ok(spec);
+        }
+        for part in trimmed.split(',') {
+            let part = part.trim();
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| SpecParseError(format!("expected `op=rate`, got `{part}`")))?;
+            let kind = FaultKind::from_key(key.trim()).ok_or_else(|| {
+                SpecParseError(format!(
+                    "unknown chaos operator `{}` (known: {})",
+                    key.trim(),
+                    FaultKind::ALL.map(FaultKind::key).join(", ")
+                ))
+            })?;
+            let rate: f64 = value.trim().parse().map_err(|_| {
+                SpecParseError(format!("unparsable rate `{}` for `{kind}`", value.trim()))
+            })?;
+            spec = spec.with_rate(kind, rate)?;
+        }
+        Ok(spec)
+    }
+}
+
+/// A malformed chaos spec string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecParseError(pub String);
+
+impl fmt::Display for SpecParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid chaos spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let spec: ChaosSpec = "drop=0.05, nullattr=0.02,sentinel=1".parse().unwrap();
+        assert_eq!(spec.rate(FaultKind::Drop), 0.05);
+        assert_eq!(spec.rate(FaultKind::NullAttr), 0.02);
+        assert_eq!(spec.rate(FaultKind::Sentinel), 1.0);
+        assert_eq!(spec.rate(FaultKind::Skew), 0.0);
+        assert!(!spec.is_identity());
+    }
+
+    #[test]
+    fn empty_and_none_parse_to_identity() {
+        assert!("".parse::<ChaosSpec>().unwrap().is_identity());
+        assert!("none".parse::<ChaosSpec>().unwrap().is_identity());
+        assert_eq!(ChaosSpec::none().to_string(), "none");
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        let spec: ChaosSpec = "dup=0.5,drop=0.1,skew=0.25".parse().unwrap();
+        let rendered = spec.to_string();
+        assert_eq!(rendered.parse::<ChaosSpec>().unwrap(), spec);
+        // Canonical operator order in the rendering.
+        assert_eq!(rendered, "drop=0.1,dup=0.5,skew=0.25");
+    }
+
+    #[test]
+    fn rejects_unknown_keys_bad_rates_and_malformed_pairs() {
+        assert!("explode=0.5".parse::<ChaosSpec>().is_err());
+        assert!("drop=1.5".parse::<ChaosSpec>().is_err());
+        assert!("drop=-0.1".parse::<ChaosSpec>().is_err());
+        assert!("drop=NaN".parse::<ChaosSpec>().is_err());
+        assert!("drop".parse::<ChaosSpec>().is_err());
+        assert!("drop=abc".parse::<ChaosSpec>().is_err());
+    }
+
+    #[test]
+    fn every_kind_has_a_unique_key_and_dense_index() {
+        for (i, kind) in FaultKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.index(), i);
+            assert_eq!(FaultKind::from_key(kind.key()), Some(kind));
+        }
+    }
+}

@@ -28,8 +28,9 @@
 pub mod serve;
 pub mod signal;
 
+use dds_chaos::{ChaosEngine, ChaosSpec};
 use dds_core::categorize::CategorizationConfig;
-use dds_core::{report, Analysis, AnalysisConfig};
+use dds_core::{report, sanitize_profiles, Analysis, AnalysisConfig, QualityPolicy};
 use dds_monitor::{
     AlertHistory, FleetMonitor, ModelBundle, MonitorConfig, MonitorService, Severity,
 };
@@ -90,6 +91,59 @@ impl ObsOptions {
             }
             "--metrics" => {
                 self.metrics = Some(PathBuf::from(take_value(iter, "--metrics")?));
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+}
+
+/// Fault-injection options shared by `monitor`, `pipeline` and `serve`.
+///
+/// The default is the identity spec: no operator fires and every code
+/// path is byte-identical to a chaos-free build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosOptions {
+    /// Operator rates (`--chaos drop=0.05,nullattr=0.02`).
+    pub spec: ChaosSpec,
+    /// Master seed for the fault-injection RNG streams (`--chaos-seed`).
+    pub seed: u64,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions { spec: ChaosSpec::none(), seed: 7 }
+    }
+}
+
+impl ChaosOptions {
+    /// Whether any operator has a non-zero rate.
+    pub fn active(&self) -> bool {
+        !self.spec.is_identity()
+    }
+
+    /// Builds the engine, or `None` for the identity spec.
+    fn engine(&self) -> Option<ChaosEngine> {
+        self.active().then(|| ChaosEngine::new(self.spec.clone(), self.seed))
+    }
+
+    /// Consumes one chaos flag if `arg` is one, reading its value from
+    /// `iter`. Returns whether the flag was recognized.
+    fn consume(
+        &mut self,
+        arg: &str,
+        iter: &mut std::vec::IntoIter<String>,
+    ) -> Result<bool, Box<dyn Error>> {
+        match arg {
+            "--chaos" => {
+                let raw = take_value(iter, "--chaos")?;
+                self.spec = raw.parse().map_err(|e| CliError(format!("{e}")))?;
+                Ok(true)
+            }
+            "--chaos-seed" => {
+                let raw = take_value(iter, "--chaos-seed")?;
+                self.seed =
+                    raw.parse().map_err(|_| CliError(format!("invalid chaos seed {raw:?}")))?;
                 Ok(true)
             }
             _ => Ok(false),
@@ -207,6 +261,8 @@ pub enum Command {
         threads: usize,
         /// Expose the scrape endpoints on this address during the run.
         listen: Option<String>,
+        /// Fault injection applied to the live stream.
+        chaos: ChaosOptions,
         /// Observability flags.
         obs: ObsOptions,
     },
@@ -222,6 +278,8 @@ pub enum Command {
         threads: usize,
         /// Expose the scrape endpoints on this address during the run.
         listen: Option<String>,
+        /// Fault injection applied to both fleets.
+        chaos: ChaosOptions,
         /// Observability flags.
         obs: ObsOptions,
     },
@@ -244,6 +302,19 @@ USAGE:
   dds serve [--scale S] [--seed N] [--threads N] [--listen ADDR] [--epochs N] [--tick-ms N]
   dds help
 
+monitor, pipeline and serve also accept fault injection
+(see docs/OPERATIONS.md \"Fault injection\"):
+  --chaos op=rate[,op=rate...]   corrupt the SMART stream before ingest;
+                                 operators: drop, truncate, nullattr,
+                                 sentinel, dup, reorder, skew (rates 0..=1)
+  --chaos-seed N                 seed for the fault RNG streams (default 7)
+  --chaos-epochs N               serve only: corrupt the first N epochs,
+                                 then stream clean (0 = all epochs)
+monitor corrupts the live CSV stream; pipeline corrupts both simulated
+fleets; serve corrupts the ingest epochs. Corrupted records flow through
+the data-quality gate (quarantine + imputation) instead of panicking, and
+the same --chaos/--chaos-seed pair replays bit-identically.
+
 Every subcommand accepts --threads N: 0 (the default) uses all cores,
 1 forces sequential execution; results are identical either way.
 
@@ -264,6 +335,12 @@ Observability (any subcommand; see docs/OPERATIONS.md):
 Any of these also appends a per-stage wall-time/allocation table to the
 output. All are off by default and never change computed results.
 ";
+
+/// Chaos RNG salt for a corrupted *training* dataset (`dds pipeline`).
+const TRAIN_SALT: u64 = 0;
+/// Chaos RNG salt for a corrupted *live* dataset (`dds monitor`,
+/// `dds pipeline`); `dds serve` salts each epoch by its index instead.
+const LIVE_SALT: u64 = 1;
 
 fn parse_threads(raw: &str) -> Result<usize, Box<dyn Error>> {
     raw.parse().map_err(|_| CliError::boxed(format!("invalid thread count {raw:?}")))
@@ -347,9 +424,10 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
             let mut limit = 20usize;
             let mut threads = 0usize;
             let mut listen = None;
+            let mut chaos = ChaosOptions::default();
             let mut obs = ObsOptions::default();
             while let Some(arg) = iter.next() {
-                if obs.consume(&arg, &mut iter)? {
+                if obs.consume(&arg, &mut iter)? || chaos.consume(&arg, &mut iter)? {
                     continue;
                 }
                 match arg.as_str() {
@@ -367,16 +445,17 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
             }
             let train = train.ok_or_else(|| CliError::boxed("monitor requires --train <path>"))?;
             let live = live.ok_or_else(|| CliError::boxed("monitor requires --live <path>"))?;
-            Ok(Command::Monitor { train, live, limit, threads, listen, obs })
+            Ok(Command::Monitor { train, live, limit, threads, listen, chaos, obs })
         }
         "pipeline" => {
             let mut scale = "test".to_string();
             let mut seed = 0x2015_115Cu64;
             let mut threads = 0usize;
             let mut listen = None;
+            let mut chaos = ChaosOptions::default();
             let mut obs = ObsOptions::default();
             while let Some(arg) = iter.next() {
-                if obs.consume(&arg, &mut iter)? {
+                if obs.consume(&arg, &mut iter)? || chaos.consume(&arg, &mut iter)? {
                     continue;
                 }
                 match arg.as_str() {
@@ -392,12 +471,14 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
                 }
             }
             validate_scale(&scale)?;
-            Ok(Command::Pipeline { scale, seed, threads, listen, obs })
+            Ok(Command::Pipeline { scale, seed, threads, listen, chaos, obs })
         }
         "serve" => {
             let mut options = ServeOptions::default();
             while let Some(arg) = iter.next() {
-                if options.obs.consume(&arg, &mut iter)? {
+                if options.obs.consume(&arg, &mut iter)?
+                    || options.chaos.consume(&arg, &mut iter)?
+                {
                     continue;
                 }
                 match arg.as_str() {
@@ -421,6 +502,12 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
                         let raw = take_value(&mut iter, "--tick-ms")?;
                         options.tick_ms =
                             raw.parse().map_err(|_| CliError(format!("invalid tick {raw:?}")))?;
+                    }
+                    "--chaos-epochs" => {
+                        let raw = take_value(&mut iter, "--chaos-epochs")?;
+                        options.chaos_epochs = raw
+                            .parse()
+                            .map_err(|_| CliError(format!("invalid chaos epoch count {raw:?}")))?;
                     }
                     other => return Err(CliError::boxed(format!("unknown flag {other:?}"))),
                 }
@@ -559,7 +646,7 @@ fn run_inner(
                 Ok(out)
             }
         }
-        Command::Monitor { train, live, limit, threads, listen, obs: _ } => {
+        Command::Monitor { train, live, limit, threads, listen, chaos, obs: _ } => {
             let training = load(&train)?;
             let analysis = Analysis::new(analysis_config(None, threads)).run(&training)?;
             let bundle = ModelBundle::from_analysis(&training, &analysis);
@@ -574,9 +661,22 @@ fn run_inner(
                 .with_history(Arc::clone(&history));
             health.set_ready(true);
             let mut alerts = Vec::new();
-            for drive in live_fleet.drives() {
-                alerts.extend(monitor.replay(drive.id(), drive.records()));
-            }
+            let live_faults = match chaos.engine() {
+                Some(engine) => {
+                    let (raw, faults) = engine.corrupt_dataset(LIVE_SALT, &live_fleet);
+                    engine.publish(&faults);
+                    for profile in &raw {
+                        alerts.extend(monitor.replay(profile.id, &profile.records));
+                    }
+                    Some(faults)
+                }
+                None => {
+                    for drive in live_fleet.drives() {
+                        alerts.extend(monitor.replay(drive.id(), drive.records()));
+                    }
+                    None
+                }
+            };
             alerts.sort_by_key(|a| a.hour);
             let mut out = String::new();
             out.push_str(&format!(
@@ -590,16 +690,42 @@ fn run_inner(
             }
             let critical = alerts.iter().filter(|a| a.severity == Severity::Critical).count();
             out.push_str(&format!("{critical} critical alerts in total\n"));
+            if let Some(faults) = live_faults {
+                out.push_str(&format!(
+                    "chaos {} (seed {}): {faults} faults injected into the live stream\n\
+                     live quality: {}\n",
+                    chaos.spec,
+                    chaos.seed,
+                    monitor.quality_stats(),
+                ));
+            }
             if let Some(server) = server {
                 server.shutdown();
             }
             Ok(out)
         }
-        Command::Pipeline { scale, seed, threads, listen, obs: _ } => {
+        Command::Pipeline { scale, seed, threads, listen, chaos, obs: _ } => {
             let par = Parallelism::from_thread_count(threads);
-            let training =
+            let engine = chaos.engine();
+            let simulated =
                 FleetSimulator::new(fleet_config(&scale).with_seed(seed).with_parallelism(par))
                     .run();
+            // Under chaos the training telemetry is corrupted, then passed
+            // through the quality gate before analysis — the whole point is
+            // exercising the degraded path end to end.
+            let mut train_faults = None;
+            let mut train_quality = None;
+            let training = match &engine {
+                Some(engine) => {
+                    let (raw, faults) = engine.corrupt_dataset(TRAIN_SALT, &simulated);
+                    engine.publish(&faults);
+                    train_faults = Some(faults);
+                    let (clean, stats) = sanitize_profiles(&raw, QualityPolicy::default())?;
+                    train_quality = Some(stats);
+                    clean
+                }
+                None => simulated,
+            };
             let analysis = Analysis::new(analysis_config(None, threads)).run(&training)?;
             let bundle = ModelBundle::from_analysis(&training, &analysis);
             let history = Arc::new(AlertHistory::default());
@@ -618,21 +744,45 @@ fn run_inner(
                 .with_history(Arc::clone(&history));
             health.set_ready(true);
             let mut alerts = Vec::new();
-            for drive in live_fleet.drives() {
-                alerts.extend(monitor.replay(drive.id(), drive.records()));
+            let mut live_faults = None;
+            match &engine {
+                Some(engine) => {
+                    let (raw, faults) = engine.corrupt_dataset(LIVE_SALT, &live_fleet);
+                    engine.publish(&faults);
+                    live_faults = Some(faults);
+                    for profile in &raw {
+                        alerts.extend(monitor.replay(profile.id, &profile.records));
+                    }
+                }
+                None => {
+                    for drive in live_fleet.drives() {
+                        alerts.extend(monitor.replay(drive.id(), drive.records()));
+                    }
+                }
             }
             let critical = alerts.iter().filter(|a| a.severity == Severity::Critical).count();
             if let Some(server) = server {
                 server.shutdown();
             }
-            Ok(format!(
+            let mut out = format!(
                 "trained on {} drives (seed {seed}): {} failure groups\n\
                  monitored {} drives (seed {live_seed}): {} alerts, {critical} critical\n",
                 training.drives().len(),
                 analysis.categorization.num_groups(),
                 live_fleet.drives().len(),
                 alerts.len(),
-            ))
+            );
+            if let (Some(train_faults), Some(live_faults)) = (train_faults, live_faults) {
+                out.push_str(&format!(
+                    "chaos {} (seed {}): {train_faults} train faults, {live_faults} live faults\n",
+                    chaos.spec, chaos.seed,
+                ));
+                if let Some(stats) = &train_quality {
+                    out.push_str(&format!("training quality: {stats}\n"));
+                }
+                out.push_str(&format!("live quality: {}\n", monitor.quality_stats()));
+            }
+            Ok(out)
         }
         Command::Serve(options) => {
             let stop = signal::install();
@@ -726,6 +876,7 @@ mod tests {
                 limit: 5,
                 threads: 0,
                 listen: None,
+                chaos: ChaosOptions::default(),
                 obs: ObsOptions::default(),
             }
         );
@@ -808,10 +959,58 @@ mod tests {
                 seed: 3,
                 threads: 0,
                 listen: None,
+                chaos: ChaosOptions::default(),
                 obs: ObsOptions::default(),
             }
         );
         assert!(parse(argv(&["pipeline", "--scale", "galactic"])).is_err());
+    }
+
+    #[test]
+    fn parses_chaos_flags() {
+        use dds_chaos::FaultKind;
+
+        let cmd =
+            parse(argv(&["pipeline", "--chaos", "drop=0.05,nullattr=0.02", "--chaos-seed", "7"]))
+                .unwrap();
+        let Command::Pipeline { chaos, .. } = cmd else { panic!("expected pipeline") };
+        assert!(chaos.active());
+        assert_eq!(chaos.seed, 7);
+        assert_eq!(chaos.spec.rate(FaultKind::Drop), 0.05);
+        assert_eq!(chaos.spec.rate(FaultKind::NullAttr), 0.02);
+
+        let cmd =
+            parse(argv(&["monitor", "--train", "a", "--live", "b", "--chaos", "dup=0.1"])).unwrap();
+        let Command::Monitor { chaos, .. } = cmd else { panic!("expected monitor") };
+        assert!(chaos.active());
+
+        let cmd = parse(argv(&[
+            "serve",
+            "--chaos",
+            "reorder=0.2",
+            "--chaos-seed",
+            "23",
+            "--chaos-epochs",
+            "3",
+        ]))
+        .unwrap();
+        let Command::Serve(options) = cmd else { panic!("expected serve") };
+        assert!(options.chaos.active());
+        assert_eq!(options.chaos.seed, 23);
+        assert_eq!(options.chaos_epochs, 3);
+
+        // An explicit identity spec parses and stays inactive.
+        let cmd = parse(argv(&["pipeline", "--chaos", "none"])).unwrap();
+        let Command::Pipeline { chaos, .. } = cmd else { panic!("expected pipeline") };
+        assert!(!chaos.active());
+
+        // Malformed specs and values are clean errors.
+        assert!(parse(argv(&["pipeline", "--chaos", "warp=0.1"])).is_err());
+        assert!(parse(argv(&["pipeline", "--chaos", "drop=2.0"])).is_err());
+        assert!(parse(argv(&["pipeline", "--chaos-seed", "soon"])).is_err());
+        assert!(parse(argv(&["serve", "--chaos-epochs", "few"])).is_err());
+        // --chaos-epochs is serve-only.
+        assert!(parse(argv(&["pipeline", "--chaos-epochs", "3"])).is_err());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! flag) ends the loop cleanly: the server drains, readiness drops, and a
 //! final summary (plus `--metrics` snapshot) is emitted.
 
-use crate::{analysis_config, fleet_config, CliError, ObsOptions};
+use crate::{analysis_config, fleet_config, ChaosOptions, CliError, ObsOptions};
 use dds_core::Analysis;
 use dds_monitor::{AlertHistory, FleetMonitor, ModelBundle, MonitorConfig, MonitorService};
 use dds_obs::http::HttpServer;
@@ -21,7 +21,6 @@ use dds_obs::metrics::Registry;
 use dds_obs::profile::StageProfiler;
 use dds_obs::timeseries::TimeSeriesStore;
 use dds_obs::watchdog::Watchdog;
-use dds_smartsim::stream::hour_ordered;
 use dds_smartsim::{FleetSimulator, StreamingFleet};
 use dds_stats::par::Parallelism;
 use std::error::Error;
@@ -45,6 +44,10 @@ pub struct ServeOptions {
     pub epochs: u64,
     /// Pause between ingested fleet-hours, pacing the stream.
     pub tick_ms: u64,
+    /// Fault injection applied to the ingest epochs.
+    pub chaos: ChaosOptions,
+    /// Corrupt only the first N epochs, then stream clean (0 = all).
+    pub chaos_epochs: u64,
     /// Observability flags.
     pub obs: ObsOptions,
 }
@@ -58,6 +61,8 @@ impl Default for ServeOptions {
             listen: "127.0.0.1:9150".to_string(),
             epochs: 0,
             tick_ms: 50,
+            chaos: ChaosOptions::default(),
+            chaos_epochs: 0,
             obs: ObsOptions::default(),
         }
     }
@@ -135,12 +140,16 @@ pub fn serve(
     let mut stream = StreamingFleet::new(
         fleet_config(&options.scale).with_seed(options.seed.wrapping_add(1)).with_parallelism(par),
     );
+    if let Some(engine) = options.chaos.engine() {
+        stream = stream.with_record_stage(engine.into_record_stage(options.chaos_epochs));
+    }
     let tick = Duration::from_millis(options.tick_ms);
-    let mut records_ingested = 0u64;
 
     'serve: while !stop.load(Ordering::SeqCst) {
-        let epoch = stream.next_epoch();
-        let records = hour_ordered(&epoch);
+        // Each epoch restarts the fleet's hour counters, so the quality
+        // gate's per-drive ordering history must restart with it.
+        monitor.new_ingest_session();
+        let records = stream.next_epoch_records();
         let mut current_hour = None;
         for (drive, record) in &records {
             if stop.load(Ordering::SeqCst) {
@@ -155,7 +164,6 @@ pub fn serve(
             }
             current_hour = Some(record.hour);
             monitor.ingest(*drive, record);
-            records_ingested += 1;
         }
         store.sample(registry);
         watchdog.evaluate(&store);
@@ -168,22 +176,39 @@ pub fn serve(
     server.shutdown();
 
     let status = monitor.health_status();
+    let quality = *monitor.quality_stats();
     let mut out = format!(
-        "served on {addr}: {} epochs, {records_ingested} records ingested\n\
+        "served on {addr}: {} epochs, {} records ingested\n\
          alerts emitted: {} ({} drives latched watch, {} warning, {} critical)\n\
+         records quarantined: {} of {} offered ({} attrs imputed)\n\
          ingest errors: {}\n\
          final health: {}\n",
         stream.epochs_generated(),
+        quality.accepted,
         status.alerts_emitted,
         status.latched[0],
         status.latched[1],
         status.latched[2],
+        quality.quarantined,
+        quality.ingested,
+        quality.imputed_attrs,
         ingest_errors.get(),
         match health.degraded_reason() {
             Some(reason) => format!("degraded ({reason})"),
             None => "ok".to_string(),
         },
     );
+    if options.chaos.active() {
+        out.push_str(&format!(
+            "chaos {} (seed {}) applied to {}\n",
+            options.chaos.spec,
+            options.chaos.seed,
+            match options.chaos_epochs {
+                0 => "every epoch".to_string(),
+                n => format!("the first {n} epochs"),
+            },
+        ));
+    }
     out.push_str(&format!("status: {}\n", status.to_json()));
     Ok(out)
 }

@@ -37,6 +37,13 @@ pub struct DegradationConfig {
     pub trim_fraction: f64,
     /// Highest free-polynomial order fitted for the Fig. 8 comparison.
     pub max_poly_order: usize,
+    /// Largest hour gap between consecutive window records tolerated
+    /// inside the degradation window. A sanitized profile may carry gaps
+    /// (quarantined hours); when a gap inside the extracted window
+    /// exceeds this, the window is refit to start after the gap — unless
+    /// that would leave fewer than 3 samples, in which case the gap is
+    /// kept and the hour-based times absorb it.
+    pub max_gap_hours: usize,
 }
 
 impl Default for DegradationConfig {
@@ -47,6 +54,7 @@ impl Default for DegradationConfig {
             tolerance_floor: 0.035,
             trim_fraction: 0.15,
             max_poly_order: 3,
+            max_gap_hours: 12,
         }
     }
 }
@@ -200,13 +208,28 @@ impl DegradationAnalyzer {
         }
         // Keep at least two pre-failure samples so fits are well-posed.
         j = j.min(n.saturating_sub(3));
-        let window_hours = (n - 1) - j;
+        // Gap refit: a sanitized profile may have lost hours inside the
+        // window. A stretch of missing telemetry longer than
+        // `max_gap_hours` severs the window — the pre-gap samples belong
+        // to a different regime — so the window restarts after the last
+        // such gap, provided ≥ 3 samples survive.
+        let hours: Vec<u32> = drive.records().iter().map(|r| r.hour).collect();
+        let max_gap = self.config.max_gap_hours.max(1) as u32;
+        for k in (j..n - 1).rev() {
+            if hours[k + 1] - hours[k] > max_gap && k < n - 3 {
+                j = k + 1;
+                break;
+            }
+        }
+        // The window spans real collection hours, not sample counts, so
+        // surviving (sub-threshold) gaps still stretch it. On gap-free
+        // profiles `hours` is contiguous and this equals `(n - 1) - j`.
+        let window_hours = (hours[n - 1] - hours[j]) as usize;
 
         // --- normalization to [-1, 0] -------------------------------------
         let window_slice = &distances[j..];
         let window_max = window_slice.iter().copied().fold(0.0, f64::max);
-        let times: Vec<f64> =
-            (0..window_slice.len()).map(|k| (window_slice.len() - 1 - k) as f64).collect();
+        let times: Vec<f64> = hours[j..].iter().map(|&h| (hours[n - 1] - h) as f64).collect();
         let degradation: Vec<f64> = if window_max > 0.0 {
             window_slice.iter().map(|&d| d / window_max - 1.0).collect()
         } else {
@@ -456,6 +479,54 @@ mod tests {
         let t_late = a.remaining_hours_at(-0.9).unwrap();
         assert!(t_late < t_mid);
         assert!((a.remaining_hours_at(-1.0).unwrap() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_refits_past_a_telemetry_gap() {
+        use dds_smartsim::{DriveLabel, DriveProfile, HealthRecord, NUM_ATTRIBUTES};
+        // Linear approach to failure with a 250-hour hole in the middle:
+        // hours 0..=150, then 400..=480 (failure at 480). The distance
+        // curve rises monotonically toward the past, so without gap
+        // awareness the window would span the hole.
+        let mut records = Vec::new();
+        for hour in (0..=150u32).chain(400..=480) {
+            records.push(HealthRecord { hour, values: [(480 - hour) as f64; NUM_ATTRIBUTES] });
+        }
+        let drive =
+            DriveProfile::new(DriveId(9), DriveLabel::Failed(FailureMode::BadSector), records);
+        let ds = Dataset::new(vec![drive]).unwrap();
+        let a = DegradationAnalyzer::default()
+            .analyze_drive(&ds, ds.drive(DriveId(9)).unwrap())
+            .unwrap();
+        // The window restarts after the gap: spans hours 400..480 only.
+        assert_eq!(a.window_hours, 80, "window must not bridge the gap");
+        assert_eq!(a.times[0], 80.0);
+        assert_eq!(*a.times.last().unwrap(), 0.0);
+        assert_eq!(a.times.len(), 81);
+        // Times are true hours-before-failure, descending one per record.
+        assert!(a.times.windows(2).all(|w| w[0] - w[1] == 1.0));
+    }
+
+    #[test]
+    fn sub_threshold_gaps_stretch_the_window_hours() {
+        use dds_smartsim::{DriveLabel, DriveProfile, HealthRecord, NUM_ATTRIBUTES};
+        // Every third hour lost (gap of 3 ≤ max_gap_hours): the window
+        // keeps all samples but spans real hours, so `window_hours`
+        // exceeds the sample count.
+        let mut records = Vec::new();
+        let mut hour = 0u32;
+        for _ in 0..60 {
+            records.push(HealthRecord { hour, values: [(300 - hour) as f64; NUM_ATTRIBUTES] });
+            hour += 3;
+        }
+        let drive =
+            DriveProfile::new(DriveId(4), DriveLabel::Failed(FailureMode::BadSector), records);
+        let ds = Dataset::new(vec![drive]).unwrap();
+        let a = DegradationAnalyzer::default()
+            .analyze_drive(&ds, ds.drive(DriveId(4)).unwrap())
+            .unwrap();
+        assert!(a.window_hours > a.times.len(), "hour-based window outspans samples");
+        assert!(a.times.windows(2).all(|w| w[0] - w[1] == 3.0));
     }
 
     #[test]

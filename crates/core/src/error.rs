@@ -18,6 +18,9 @@ pub enum AnalysisError {
     UnsuitableDataset(String),
     /// A configuration field is out of its valid domain.
     InvalidConfig(String),
+    /// A record failed the data-quality gate (quarantined instead of
+    /// panicking downstream).
+    DataQuality(crate::quality::DataQualityError),
 }
 
 impl fmt::Display for AnalysisError {
@@ -27,6 +30,7 @@ impl fmt::Display for AnalysisError {
             AnalysisError::Tree(e) => write!(f, "regression tree error: {e}"),
             AnalysisError::UnsuitableDataset(msg) => write!(f, "unsuitable dataset: {msg}"),
             AnalysisError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            AnalysisError::DataQuality(e) => write!(f, "data quality: {e}"),
         }
     }
 }
@@ -36,8 +40,15 @@ impl Error for AnalysisError {
         match self {
             AnalysisError::Stats(e) => Some(e),
             AnalysisError::Tree(e) => Some(e),
+            AnalysisError::DataQuality(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<crate::quality::DataQualityError> for AnalysisError {
+    fn from(e: crate::quality::DataQualityError) -> Self {
+        AnalysisError::DataQuality(e)
     }
 }
 
@@ -67,5 +78,11 @@ mod tests {
         assert!(e.source().is_none());
         let e = AnalysisError::from(TreeError::EmptyInput);
         assert!(e.to_string().contains("regression tree"));
+        let e = AnalysisError::from(crate::quality::DataQualityError::DuplicateHour {
+            drive: dds_smartsim::DriveId(3),
+            hour: 9,
+        });
+        assert!(e.to_string().contains("data quality"));
+        assert!(e.source().is_some());
     }
 }

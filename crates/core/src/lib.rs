@@ -48,6 +48,7 @@ pub mod knn;
 pub mod leadtime;
 pub mod pipeline;
 pub mod predict;
+pub mod quality;
 pub mod report;
 pub mod zscore;
 
@@ -59,4 +60,7 @@ pub use error::AnalysisError;
 pub use features::{FailureRecordSet, NUM_FEATURES};
 pub use pipeline::{Analysis, AnalysisConfig, AnalysisReport};
 pub use predict::{DegradationPredictor, PredictionConfig, PredictionReport};
+pub use quality::{
+    sanitize_profiles, DataQualityError, FleetSanitizer, QualityPolicy, QualityStats,
+};
 pub use zscore::{temporal_z_scores, TemporalZScores, ZScoreConfig};

@@ -17,6 +17,7 @@ use crate::error::AnalysisError;
 use crate::features::FailureRecordSet;
 use crate::influence::{self, AttributeInfluence, EnvInfluence};
 use crate::predict::{DegradationPredictor, PredictionConfig, PredictionReport};
+use crate::quality::{self, QualityPolicy, QualityStats};
 use crate::zscore::{all_attribute_z_scores_with, TemporalZScores, ZScoreConfig};
 use dds_obs::trace::Level;
 use dds_smartsim::{Attribute, Dataset};
@@ -56,6 +57,10 @@ pub struct AnalysisConfig {
     pub zscore: ZScoreConfig,
     /// Degradation-prediction settings.
     pub prediction: PredictionConfig,
+    /// Data-quality gate limits. The gate only engages when the dataset
+    /// actually carries missing values (NaN/sentinel), so clean datasets
+    /// run the identical ungated pipeline.
+    pub quality: QualityPolicy,
     /// Analysis-wide parallelism. [`Analysis::run`] applies this mode to
     /// every stage (clustering, split search, batch prediction, the
     /// per-attribute and per-group loops), overriding whatever the
@@ -108,6 +113,9 @@ pub struct AnalysisReport {
     pub z_scores: Vec<TemporalZScores>,
     /// Fig. 13 + Table III: per-group degradation predictors.
     pub prediction: PredictionReport,
+    /// Quality-gate bookkeeping when the dataset needed sanitizing;
+    /// `None` for clean datasets (the gate never engaged).
+    pub quality: Option<QualityStats>,
 }
 
 impl AnalysisReport {
@@ -144,6 +152,30 @@ impl Analysis {
             failed_drives = dataset.failed_drives().count(),
         );
         dds_obs::metrics::global().counter("dds_pipeline_runs_total").inc();
+
+        // --- Data-quality gate ---------------------------------------------
+        // Engages only on datasets that actually carry missing values;
+        // clean datasets skip it entirely so their results stay
+        // byte-identical to the ungated pipeline.
+        let mut quality_stats = None;
+        let sanitized;
+        let dataset: &Dataset = if quality::needs_sanitizing(dataset, &self.config.quality) {
+            let (clean, stats) = stage("pipeline.quality", "dds_pipeline_quality_seconds", || {
+                quality::sanitize_dataset(dataset, self.config.quality)
+            })?;
+            dds_obs::event!(
+                Level::Warn,
+                "pipeline.quality_gate",
+                quarantined = stats.quarantined,
+                imputed_attrs = stats.imputed_attrs,
+                drives_dropped = stats.drives_dropped,
+            );
+            quality_stats = Some(stats);
+            sanitized = clean;
+            &sanitized
+        } else {
+            dataset
+        };
 
         // --- Fig. 1 --------------------------------------------------------
         let profile_durations =
@@ -270,6 +302,7 @@ impl Analysis {
             env_influence,
             z_scores,
             prediction,
+            quality: quality_stats,
         })
     }
 }

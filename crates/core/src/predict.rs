@@ -156,6 +156,7 @@ impl DegradationPredictor {
             })
             .into_iter()
             .flatten()
+            .filter(|row| row.iter().all(|v| v.is_finite()))
             .collect();
 
         let mut groups = Vec::with_capacity(categorization.num_groups());
@@ -231,6 +232,7 @@ impl DegradationPredictor {
         let good_pool: Vec<[f64; NUM_ATTRIBUTES]> = dataset
             .good_drives()
             .flat_map(|d| d.records().iter().map(|r| dataset.normalize_record(r)))
+            .filter(|row| row.iter().all(|v| v.is_finite()))
             .collect();
         self.assemble_samples_with_pool(dataset, group, signature, &good_pool, rng)
     }
@@ -251,10 +253,18 @@ impl DegradationPredictor {
         let mut ys: Vec<f64> = Vec::new();
         for &id in &group.drive_ids {
             let drive = dataset.drive(id).expect("group drives exist");
-            let n = drive.records().len();
-            for (i, record) in drive.records().iter().enumerate() {
-                let t = (n - 1 - i) as f64;
-                xs.push(dataset.normalize_record(record).to_vec());
+            // Hours-before-failure by record *hour*, so profiles with
+            // quarantined (missing) hours label each surviving sample at
+            // its true distance to failure; identical to the index form
+            // `n - 1 - i` on gap-free profiles.
+            let last_hour = drive.records().last().expect("profiles are non-empty").hour;
+            for record in drive.records() {
+                let t = (last_hour - record.hour) as f64;
+                let row = dataset.normalize_record(record);
+                if row.iter().any(|v| !v.is_finite()) {
+                    continue;
+                }
+                xs.push(row.to_vec());
                 ys.push(signature.evaluate(t).clamp(-1.0, 1.0));
             }
         }

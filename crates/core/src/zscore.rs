@@ -80,10 +80,13 @@ pub fn temporal_z_scores(
     attribute: Attribute,
     config: &ZScoreConfig,
 ) -> Result<TemporalZScores, AnalysisError> {
-    // Reference statistics over every good record.
+    // Reference statistics over every good record. Non-finite values
+    // (possible when callers bypass the quality gate) are skipped rather
+    // than poisoning the reference mean.
     let good: Vec<f64> = dataset
         .good_drives()
         .flat_map(|d| d.records().iter().map(|r| r.value(attribute)))
+        .filter(|v| v.is_finite())
         .collect();
     if good.is_empty() {
         return Err(AnalysisError::UnsuitableDataset(
@@ -107,12 +110,22 @@ pub fn temporal_z_scores(
     for drives in &group_drives {
         let mut series = Vec::with_capacity(times.len());
         for &tau in &times {
+            // "τ hours before failure" resolves by record *hour*, not
+            // index, so profiles with quarantined (missing) hours line
+            // up correctly; a drive simply contributes nothing at a τ
+            // it has no record for. On gap-free profiles this matches
+            // the index `n - 1 - τ` exactly.
             let values: Vec<f64> = drives
                 .iter()
                 .filter_map(|d| {
-                    let n = d.records().len();
-                    n.checked_sub(tau + 1).map(|idx| d.records()[idx].value(attribute))
+                    let recs = d.records();
+                    let last_hour = recs.last()?.hour;
+                    let target = last_hour.checked_sub(tau as u32)?;
+                    recs.binary_search_by_key(&target, |r| r.hour)
+                        .ok()
+                        .map(|idx| recs[idx].value(attribute))
                 })
+                .filter(|v| v.is_finite())
                 .collect();
             if values.len() < config.min_samples {
                 series.push(None);

@@ -4,6 +4,7 @@ use crate::alert::{Alert, AlertKind, Severity};
 use crate::bundle::{ModelBundle, BASELINE_ATTRIBUTES};
 use crate::history::AlertHistory;
 use dds_core::predict::ThresholdPolicy;
+use dds_core::quality::{DataQualityError, FleetSanitizer, QualityPolicy, QualityStats};
 use dds_obs::metrics::{Counter, Gauge, Histogram};
 use dds_smartsim::{DriveId, HealthRecord};
 use dds_stats::streaming::RunningMoments;
@@ -107,6 +108,10 @@ pub struct MonitorConfig {
     /// Vendor threshold policy checked alongside the predictor (emits
     /// critical alerts directly).
     pub thresholds: ThresholdPolicy,
+    /// Data-quality gate limits applied to every record before scoring:
+    /// ordering faults quarantine, missing values (NaN/sentinel) are
+    /// LOCF-imputed up to the policy's caps.
+    pub quality: QualityPolicy,
 }
 
 impl Default for MonitorConfig {
@@ -119,6 +124,7 @@ impl Default for MonitorConfig {
             baseline_hours: 24,
             thermal_sigma: 3.0,
             thresholds: ThresholdPolicy::vendor_conservative(),
+            quality: QualityPolicy::default(),
         }
     }
 }
@@ -175,6 +181,7 @@ pub struct FleetMonitor {
     drives: HashMap<DriveId, DriveState>,
     metrics: MonitorMetrics,
     history: Option<Arc<AlertHistory>>,
+    sanitizer: FleetSanitizer,
 }
 
 /// A point-in-time summary of the monitor's serving state, derived from
@@ -209,12 +216,14 @@ impl HealthStatus {
 impl FleetMonitor {
     /// Creates a monitor from a deployable bundle.
     pub fn new(bundle: ModelBundle, config: MonitorConfig) -> Self {
+        let sanitizer = FleetSanitizer::new(config.quality);
         FleetMonitor {
             bundle,
             config,
             drives: HashMap::new(),
             metrics: MonitorMetrics::new(),
             history: None,
+            sanitizer,
         }
     }
 
@@ -284,7 +293,31 @@ impl FleetMonitor {
     /// assert!(!alerts.is_empty(), "failing drives raise alerts before their end");
     /// # Ok::<(), dds_core::AnalysisError>(())
     /// ```
+    ///
+    /// Records that fail the data-quality gate (out-of-order hours,
+    /// duplicates, unimputably missing attributes) are quarantined and
+    /// yield no alerts; use [`FleetMonitor::try_ingest`] to observe the
+    /// typed rejection.
     pub fn ingest(&mut self, drive: DriveId, record: &HealthRecord) -> Vec<Alert> {
+        self.try_ingest(drive, record).unwrap_or_default()
+    }
+
+    /// Like [`FleetMonitor::ingest`], but surfaces the quality-gate verdict:
+    /// `Err` means the record was quarantined (and counted in
+    /// [`FleetMonitor::quality_stats`]) without touching any drive state.
+    pub fn try_ingest(
+        &mut self,
+        drive: DriveId,
+        record: &HealthRecord,
+    ) -> Result<Vec<Alert>, DataQualityError> {
+        // Quarantined records must not reach `records_ingested_total`:
+        // the watchdog's quarantine budget treats that counter as the
+        // accepted-record denominator.
+        let cleaned = self.sanitizer.admit(drive, record)?;
+        Ok(self.ingest_accepted(drive, &cleaned))
+    }
+
+    fn ingest_accepted(&mut self, drive: DriveId, record: &HealthRecord) -> Vec<Alert> {
         let _span = dds_obs::span!(dds_obs::Level::Trace, "monitor.ingest", hour = record.hour);
         let started = Instant::now();
         let latched_before = self.latched_severity(drive);
@@ -481,6 +514,22 @@ impl FleetMonitor {
             );
         }
         alerts
+    }
+
+    /// Cumulative data-quality tallies for everything offered to
+    /// [`FleetMonitor::ingest`] / [`FleetMonitor::try_ingest`].
+    pub fn quality_stats(&self) -> &QualityStats {
+        self.sanitizer.stats()
+    }
+
+    /// Resets the quality gate's per-drive ordering history (imputation
+    /// state and last-seen hours) without clearing the cumulative stats.
+    ///
+    /// Call this between replay epochs whose hour counters restart at
+    /// zero — otherwise every record of the new epoch would look
+    /// out-of-order against the previous epoch's final hours.
+    pub fn new_ingest_session(&mut self) {
+        self.sanitizer.new_session();
     }
 }
 
@@ -684,5 +733,77 @@ mod tests {
         assert_eq!(config.severity_for(0.3), Some(Severity::Watch));
         assert_eq!(config.severity_for(-0.2), Some(Severity::Warning));
         assert_eq!(config.severity_for(-0.8), Some(Severity::Critical));
+    }
+
+    #[test]
+    fn quality_gate_quarantines_ordering_faults_without_alerting() {
+        let bundle = trained_bundle(9_011);
+        let live = live_fleet(9_012);
+        let mut monitor = FleetMonitor::new(bundle, MonitorConfig::default());
+        let drive = live.good_drives().next().unwrap();
+        let records = drive.records();
+
+        assert!(monitor.try_ingest(drive.id(), &records[5]).is_ok());
+        // An earlier hour after a later one is un-repairable.
+        let err = monitor.try_ingest(drive.id(), &records[2]).unwrap_err();
+        assert_eq!(err.reason(), "out_of_order");
+        // Re-sending the same hour is a duplicate.
+        let dup = records[5].clone();
+        let err = monitor.try_ingest(drive.id(), &dup).unwrap_err();
+        assert_eq!(err.reason(), "duplicate_hour");
+        // The lossy wrapper swallows the rejection and emits nothing.
+        assert!(monitor.ingest(drive.id(), &records[2]).is_empty());
+
+        let stats = monitor.quality_stats();
+        assert_eq!(stats.ingested, 4);
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.quarantined, 3);
+        assert_eq!(stats.accepted + stats.quarantined, stats.ingested);
+    }
+
+    #[test]
+    fn quality_gate_imputes_missing_attributes_in_stream() {
+        let bundle = trained_bundle(9_011);
+        let live = live_fleet(9_012);
+        let mut monitor = FleetMonitor::new(bundle, MonitorConfig::default());
+        let drive = live.good_drives().next().unwrap();
+
+        let mut poisoned = 0usize;
+        for (i, record) in drive.records().iter().take(48).enumerate() {
+            let mut record = record.clone();
+            if i % 7 == 3 {
+                record.values[2] = f64::NAN;
+                record.values[5] = 65_535.0;
+                poisoned += 1;
+            }
+            monitor.try_ingest(drive.id(), &record).expect("imputable record");
+        }
+        let stats = monitor.quality_stats();
+        assert_eq!(stats.quarantined, 0, "sparse missing values must be repaired, not dropped");
+        assert_eq!(stats.imputed_attrs, 2 * poisoned as u64);
+        assert_eq!(stats.accepted, 48);
+    }
+
+    #[test]
+    fn new_ingest_session_allows_hour_counters_to_restart() {
+        let bundle = trained_bundle(9_011);
+        let live = live_fleet(9_012);
+        let mut monitor = FleetMonitor::new(bundle, MonitorConfig::default());
+        let drive = live.good_drives().next().unwrap();
+        let records = &drive.records()[..10];
+
+        monitor.replay(drive.id(), records);
+        assert_eq!(monitor.quality_stats().quarantined, 0);
+
+        // Replaying the same epoch without a session reset looks like a
+        // wall of ordering faults...
+        monitor.replay(drive.id(), records);
+        assert_eq!(monitor.quality_stats().quarantined, records.len() as u64);
+
+        // ...but after a reset the restarted hours are accepted again.
+        monitor.new_ingest_session();
+        monitor.replay(drive.id(), records);
+        assert_eq!(monitor.quality_stats().quarantined, records.len() as u64);
+        assert_eq!(monitor.quality_stats().ingested, 3 * records.len() as u64);
     }
 }

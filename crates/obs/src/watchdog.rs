@@ -140,6 +140,21 @@ pub enum SloRule {
         /// Trailing window to evaluate over.
         window: Duration,
     },
+    /// Over the trailing `window`, quarantined records must stay below
+    /// `max_ratio` of everything offered (`quarantined + accepted` —
+    /// the two counters partition the ingest stream, so their sum is the
+    /// offered-record denominator). Windows where neither counter grows
+    /// pass vacuously.
+    QuarantineBudget {
+        /// Quarantined-records counter name.
+        quarantined: String,
+        /// Accepted-records counter name.
+        accepted: String,
+        /// Maximum tolerated quarantine fraction in `0..=1`.
+        max_ratio: f64,
+        /// Trailing window to evaluate over.
+        window: Duration,
+    },
 }
 
 impl SloRule {
@@ -149,6 +164,7 @@ impl SloRule {
             SloRule::LatencyCeiling { .. } => "latency_ceiling",
             SloRule::RateSpike { .. } => "rate_spike",
             SloRule::ErrorBudget { .. } => "error_budget",
+            SloRule::QuarantineBudget { .. } => "quarantine_budget",
         }
     }
 
@@ -191,6 +207,26 @@ impl SloRule {
                     format!("{errors}/{total} error ratio {ratio:.4} exceeds budget {max_ratio:.4}")
                 })
             }
+            SloRule::QuarantineBudget { quarantined, accepted, max_ratio, window } => {
+                // A stream with zero quarantines may never have registered
+                // the quarantine counter at all — treat a missing series as
+                // a zero rate rather than a vacuous pass, so a fully
+                // corrupt stream (accepted counter missing instead) still
+                // trips the rule.
+                let q_rate = store.rate_per_sec(quarantined, *window).unwrap_or(0.0);
+                let a_rate = store.rate_per_sec(accepted, *window).unwrap_or(0.0);
+                let offered = q_rate + a_rate;
+                if offered <= 0.0 {
+                    return None;
+                }
+                let ratio = q_rate / offered;
+                (ratio > *max_ratio).then(|| {
+                    format!(
+                        "{quarantined} ratio {ratio:.4} of offered records exceeds \
+                         quarantine budget {max_ratio:.4}"
+                    )
+                })
+            }
         }
     }
 }
@@ -229,8 +265,9 @@ impl Watchdog {
     }
 
     /// The standard `dds serve` rule set: a 50 ms per-record ingest-latency
-    /// p99 ceiling, an 8× alert-rate spike over the trailing minute, and a
-    /// 1% ingest-error budget.
+    /// p99 ceiling, an 8× alert-rate spike over the trailing minute, a
+    /// 1% ingest-error budget, and a 10% data-quality quarantine budget
+    /// over the trailing 30 seconds.
     pub fn standard_rules() -> Vec<SloRule> {
         vec![
             SloRule::LatencyCeiling {
@@ -251,6 +288,12 @@ impl Watchdog {
                 total: "dds_monitor_records_ingested_total".into(),
                 max_ratio: 0.01,
                 window: Duration::from_secs(60),
+            },
+            SloRule::QuarantineBudget {
+                quarantined: "dds_records_quarantined_total".into(),
+                accepted: "dds_monitor_records_ingested_total".into(),
+                max_ratio: 0.10,
+                window: Duration::from_secs(30),
             },
         ]
     }
@@ -380,6 +423,39 @@ mod tests {
         let violations = watchdog.evaluate(&store);
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].rule, "error_budget");
+    }
+
+    #[test]
+    fn quarantine_budget_uses_offered_denominator() {
+        let rule = SloRule::QuarantineBudget {
+            quarantined: "w_quarantined_total".into(),
+            accepted: "w_accepted_total".into(),
+            max_ratio: 0.10,
+            window: Duration::from_secs(60),
+        };
+        // 5% quarantine rate: within budget.
+        let (registry, store) = seeded_store(|r| {
+            r.counter("w_accepted_total").add(950);
+            r.counter("w_quarantined_total").add(50);
+        });
+        assert_eq!(rule.check(&store), None);
+        // A corrupt burst pushes the windowed ratio past 10%.
+        registry.counter("w_quarantined_total").add(400);
+        registry.counter("w_accepted_total").add(600);
+        store.push(Duration::from_secs(20), registry.snapshot());
+        let message = rule.check(&store).expect("budget breached");
+        assert!(message.contains("quarantine budget"), "{message}");
+
+        // Quarantines with a missing accepted counter still trip: the
+        // denominator falls back to the quarantine rate alone.
+        let (_r2, poisoned) = seeded_store(|r| {
+            r.counter("w_quarantined_total").add(100);
+        });
+        assert!(rule.check(&poisoned).is_some());
+
+        // No growth on either counter passes vacuously.
+        let idle = TimeSeriesStore::new(4);
+        assert_eq!(rule.check(&idle), None);
     }
 
     #[test]

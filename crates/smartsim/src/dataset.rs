@@ -141,6 +141,37 @@ impl DriveProfile {
     }
 }
 
+/// The *unvalidated* history of one drive, as a collector would hand it
+/// over: records may contain gaps, duplicated or out-of-order hours, and
+/// missing (NaN / sentinel) attribute values.
+///
+/// Unlike [`DriveProfile`] — which asserts strict chronology on
+/// construction — `RawProfile` carries whatever arrived on the wire.
+/// Fault-injection layers produce it and data-quality gates consume it;
+/// only sanitized records graduate into a [`DriveProfile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawProfile {
+    /// The drive identifier.
+    pub id: DriveId,
+    /// Ground-truth label.
+    pub label: DriveLabel,
+    /// The rack this drive sits in, when known.
+    pub rack: Option<RackId>,
+    /// Records in arrival order — no ordering or completeness guarantee.
+    pub records: Vec<HealthRecord>,
+}
+
+impl From<&DriveProfile> for RawProfile {
+    fn from(profile: &DriveProfile) -> Self {
+        RawProfile {
+            id: profile.id(),
+            label: profile.label(),
+            rack: profile.rack(),
+            records: profile.records().to_vec(),
+        }
+    }
+}
+
 /// A fleet-wide dataset: every drive profile plus the Eq. (1) min–max
 /// normalization fitted on all records of all drives.
 #[derive(Debug, Clone)]

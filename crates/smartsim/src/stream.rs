@@ -11,6 +11,14 @@
 
 use crate::dataset::{Dataset, DriveId, HealthRecord};
 use crate::fleet::{FleetConfig, FleetSimulator};
+use std::fmt;
+
+/// A transformation applied to each epoch's hour-ordered record stream
+/// before it is handed to consumers — the hook fault-injection layers use
+/// to corrupt a live stream. The first argument is the epoch index the
+/// records belong to (0-based).
+pub type RecordStage =
+    Box<dyn FnMut(u64, Vec<(DriveId, HealthRecord)>) -> Vec<(DriveId, HealthRecord)> + Send>;
 
 /// Flattens a dataset into `(drive, record)` pairs sorted by
 /// `(hour, drive_id)` — the deterministic time-interleaved order a live
@@ -43,17 +51,39 @@ pub fn hour_ordered(dataset: &Dataset) -> Vec<(DriveId, HealthRecord)> {
 /// // Hours never decrease within an epoch.
 /// assert!(records.windows(2).all(|w| w[0].1.hour <= w[1].1.hour));
 /// ```
-#[derive(Debug, Clone)]
 pub struct StreamingFleet {
     config: FleetConfig,
     epoch: u64,
+    stage: Option<RecordStage>,
+}
+
+impl fmt::Debug for StreamingFleet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamingFleet")
+            .field("config", &self.config)
+            .field("epoch", &self.epoch)
+            .field("stage", &self.stage.as_ref().map(|_| "<record stage>"))
+            .finish()
+    }
 }
 
 impl StreamingFleet {
     /// Creates a stream over the given fleet shape. The config's seed is
     /// the first epoch's seed.
     pub fn new(config: FleetConfig) -> Self {
-        StreamingFleet { config, epoch: 0 }
+        StreamingFleet { config, epoch: 0, stage: None }
+    }
+
+    /// Installs a [`RecordStage`] applied by [`next_epoch_records`] to each
+    /// epoch's hour-ordered stream. [`next_epoch`] is unaffected — the
+    /// stage only sees the serialized record form.
+    ///
+    /// [`next_epoch_records`]: StreamingFleet::next_epoch_records
+    /// [`next_epoch`]: StreamingFleet::next_epoch
+    #[must_use]
+    pub fn with_record_stage(mut self, stage: RecordStage) -> Self {
+        self.stage = Some(stage);
+        self
     }
 
     /// Number of epochs already generated.
@@ -66,6 +96,18 @@ impl StreamingFleet {
         let seed = self.config.seed.wrapping_add(self.epoch);
         self.epoch += 1;
         FleetSimulator::new(self.config.clone().with_seed(seed)).run()
+    }
+
+    /// Simulates the next epoch and returns its [`hour_ordered`] record
+    /// stream, passed through the installed record stage (if any).
+    pub fn next_epoch_records(&mut self) -> Vec<(DriveId, HealthRecord)> {
+        let index = self.epoch;
+        let dataset = self.next_epoch();
+        let records = hour_ordered(&dataset);
+        match self.stage.as_mut() {
+            Some(stage) => stage(index, records),
+            None => records,
+        }
     }
 }
 
@@ -89,6 +131,26 @@ mod tests {
             let key1 = (pair[1].1.hour, pair[1].0 .0);
             assert!(key0 <= key1, "records must sort by (hour, drive)");
         }
+    }
+
+    #[test]
+    fn record_stage_sees_each_epoch_and_can_rewrite_it() {
+        let config = FleetConfig::test_scale().with_seed(5);
+        let mut plain = StreamingFleet::new(config.clone());
+        let baseline = plain.next_epoch_records();
+        assert!(!baseline.is_empty());
+
+        // A stage that drops every other record, tagged with the epoch index.
+        let mut staged = StreamingFleet::new(config).with_record_stage(Box::new(
+            |epoch, records: Vec<(DriveId, HealthRecord)>| {
+                assert_eq!(epoch, 0, "first epoch is index 0");
+                records.into_iter().step_by(2).collect()
+            },
+        ));
+        let thinned = staged.next_epoch_records();
+        assert_eq!(thinned.len(), baseline.len().div_ceil(2));
+        assert_eq!(thinned[0].0, baseline[0].0);
+        assert_eq!(thinned[0].1, baseline[0].1);
     }
 
     #[test]

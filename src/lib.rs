@@ -17,6 +17,8 @@
 //! * [`cluster`] — K-means / SVC / PCA ([`dds_cluster`])
 //! * [`regtree`] — CART regression trees ([`dds_regtree`])
 //! * [`core`] — the paper's analysis pipeline ([`dds_core`])
+//! * [`chaos`] — deterministic SMART-telemetry fault injection
+//!   ([`dds_chaos`])
 //! * [`monitor`] — online monitoring middleware ([`dds_monitor`], the §VI
 //!   future-work system)
 //!
@@ -34,6 +36,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub use dds_chaos as chaos;
 pub use dds_cluster as cluster;
 pub use dds_core as core;
 pub use dds_monitor as monitor;

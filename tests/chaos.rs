@@ -1,0 +1,147 @@
+//! CLI acceptance tests for the chaos layer: `dds pipeline --chaos …`
+//! must complete without panics, report quarantine/imputation counts, and
+//! replay byte-identically for a fixed `(spec, seed)` pair.
+
+use dds_cli::{parse, run};
+
+fn run_cli(args: &[&str]) -> String {
+    let parsed = parse(args.iter().map(|s| s.to_string()).collect()).expect("args parse");
+    run(parsed).expect("command runs")
+}
+
+/// Chaos seed for the matrix-sensitive tests. CI's `chaos-matrix` job sets
+/// `DDS_CHAOS_SEED` to sweep fixed seeds; local runs default to 7.
+fn matrix_seed() -> String {
+    std::env::var("DDS_CHAOS_SEED").unwrap_or_else(|_| "7".to_string())
+}
+
+#[test]
+fn matrix_seed_pipeline_degrades_gracefully_and_replays_byte_identically() {
+    let seed = matrix_seed();
+    let args = [
+        "pipeline",
+        "--scale",
+        "test",
+        "--chaos",
+        "drop=0.05,nullattr=0.02,sentinel=0.02,dup=0.03,reorder=0.03",
+        "--chaos-seed",
+        &seed,
+        "--threads",
+        "1",
+    ];
+    let first = run_cli(&args);
+    let second = run_cli(&args);
+    assert_eq!(first, second, "seed {seed} must replay byte-identically");
+    assert!(first.contains("failure groups"), "{first}");
+    assert!(first.contains(&format!("(seed {seed})")), "{first}");
+    assert!(first.contains("training quality:"), "{first}");
+    assert!(first.contains("live quality:"), "{first}");
+}
+
+#[test]
+fn chaos_pipeline_reports_quality_and_replays_byte_identically() {
+    let args = [
+        "pipeline",
+        "--scale",
+        "test",
+        "--chaos",
+        "drop=0.05,nullattr=0.02",
+        "--chaos-seed",
+        "7",
+        "--threads",
+        "1",
+    ];
+    let first = run_cli(&args);
+    let second = run_cli(&args);
+    assert_eq!(first, second, "same chaos seed must replay byte-identically");
+
+    assert!(first.contains("failure groups"), "{first}");
+    assert!(first.contains("chaos drop=0.05,nullattr=0.02 (seed 7)"), "{first}");
+    assert!(first.contains("faults injected") || first.contains("train faults"), "{first}");
+    assert!(first.contains("training quality:"), "{first}");
+    assert!(first.contains("live quality:"), "{first}");
+    assert!(first.contains("quarantined"), "{first}");
+    assert!(first.contains("attrs imputed"), "{first}");
+}
+
+#[test]
+fn chaos_pipeline_is_thread_count_invariant() {
+    let sequential = run_cli(&[
+        "pipeline",
+        "--scale",
+        "test",
+        "--chaos",
+        "drop=0.03,dup=0.02",
+        "--chaos-seed",
+        "23",
+        "--threads",
+        "1",
+    ]);
+    let parallel = run_cli(&[
+        "pipeline",
+        "--scale",
+        "test",
+        "--chaos",
+        "drop=0.03,dup=0.02",
+        "--chaos-seed",
+        "23",
+        "--threads",
+        "4",
+    ]);
+    assert_eq!(sequential, parallel, "chaos corruption must not depend on worker threads");
+}
+
+#[test]
+fn different_chaos_seeds_produce_different_corruption() {
+    let seed7 = run_cli(&[
+        "pipeline",
+        "--scale",
+        "test",
+        "--chaos",
+        "drop=0.05",
+        "--chaos-seed",
+        "7",
+        "--threads",
+        "1",
+    ]);
+    let seed8 = run_cli(&[
+        "pipeline",
+        "--scale",
+        "test",
+        "--chaos",
+        "drop=0.05",
+        "--chaos-seed",
+        "8",
+        "--threads",
+        "1",
+    ]);
+    assert_ne!(seed7, seed8, "distinct chaos seeds must corrupt differently");
+}
+
+#[test]
+fn clean_pipeline_carries_no_chaos_reporting() {
+    let out = run_cli(&["pipeline", "--scale", "test", "--threads", "1"]);
+    assert!(!out.contains("chaos"), "{out}");
+    assert!(!out.contains("quality"), "{out}");
+}
+
+#[test]
+fn every_operator_at_once_degrades_gracefully() {
+    // The kitchen sink: all seven operators firing on both fleets. The
+    // pipeline must still train, monitor and report — graceful degradation,
+    // not a panic or an error.
+    let out = run_cli(&[
+        "pipeline",
+        "--scale",
+        "test",
+        "--chaos",
+        "drop=0.08,truncate=0.2,nullattr=0.03,sentinel=0.03,dup=0.05,reorder=0.05,skew=0.05",
+        "--chaos-seed",
+        "1051",
+        "--threads",
+        "1",
+    ]);
+    assert!(out.contains("failure groups"), "{out}");
+    assert!(out.contains("training quality:"), "{out}");
+    assert!(out.contains("live quality:"), "{out}");
+}

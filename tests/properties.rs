@@ -257,3 +257,159 @@ proptest! {
         prop_assert_eq!(count as usize, new_values.len());
     }
 }
+
+// Chaos-operator invariants: seeded fault injection must be bit-exact
+// under replay, conserve records according to its own tally, collapse to
+// the identity at rate zero, and never break the quality gate's
+// `accepted + quarantined == ingested` accounting downstream.
+mod chaos_support {
+    use dds_smartsim::{DriveId, HealthRecord};
+
+    /// An hour-major interleaved stream like `hour_ordered` produces, with
+    /// distinct deterministic values in every attribute cell.
+    pub fn synthetic_stream(drives: usize, hours: usize) -> Vec<(DriveId, HealthRecord)> {
+        let mut out = Vec::with_capacity(drives * hours);
+        for hour in 0..hours {
+            for d in 0..drives {
+                let mut values = [0.0f64; 12];
+                for (i, v) in values.iter_mut().enumerate() {
+                    *v = ((hour * 31 + d * 7 + i * 13) % 97) as f64 + 0.5;
+                }
+                out.push((DriveId(d as u32), HealthRecord { hour: hour as u32, values }));
+            }
+        }
+        out
+    }
+
+    /// Bit-exact fingerprint of a stream (NaN-safe, unlike `PartialEq`).
+    pub fn stream_bits(stream: &[(DriveId, HealthRecord)]) -> Vec<(u32, u32, [u64; 12])> {
+        stream.iter().map(|(d, r)| (d.0, r.hour, r.values.map(f64::to_bits))).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chaos_replay_is_bit_exact(
+        drop in 0.0..0.3f64,
+        truncate in 0.0..0.3f64,
+        nullattr in 0.0..0.1f64,
+        sentinel in 0.0..0.1f64,
+        dup in 0.0..0.3f64,
+        reorder in 0.0..0.3f64,
+        skew in 0.0..0.3f64,
+        seed in 0u64..u64::MAX,
+        salt in 0u64..4,
+    ) {
+        use chaos_support::{stream_bits, synthetic_stream};
+        use dds_chaos::{ChaosEngine, ChaosSpec, FaultKind};
+
+        let spec = ChaosSpec::none()
+            .with_rate(FaultKind::Drop, drop).unwrap()
+            .with_rate(FaultKind::Truncate, truncate).unwrap()
+            .with_rate(FaultKind::NullAttr, nullattr).unwrap()
+            .with_rate(FaultKind::Sentinel, sentinel).unwrap()
+            .with_rate(FaultKind::Duplicate, dup).unwrap()
+            .with_rate(FaultKind::Reorder, reorder).unwrap()
+            .with_rate(FaultKind::Skew, skew).unwrap();
+        let stream = synthetic_stream(5, 24);
+
+        let engine = ChaosEngine::new(spec, seed);
+        let (first, first_counts) = engine.corrupt_stream(salt, &stream);
+        let (second, second_counts) = engine.corrupt_stream(salt, &stream);
+        prop_assert_eq!(stream_bits(&first), stream_bits(&second));
+        prop_assert_eq!(first_counts, second_counts);
+    }
+
+    #[test]
+    fn chaos_tally_conserves_records(
+        drop in 0.0..0.3f64,
+        truncate in 0.0..0.3f64,
+        dup in 0.0..0.3f64,
+        reorder in 0.0..0.3f64,
+        seed in 0u64..u64::MAX,
+    ) {
+        use chaos_support::synthetic_stream;
+        use dds_chaos::{ChaosEngine, ChaosSpec, FaultKind};
+
+        let spec = ChaosSpec::none()
+            .with_rate(FaultKind::Drop, drop).unwrap()
+            .with_rate(FaultKind::Truncate, truncate).unwrap()
+            .with_rate(FaultKind::Duplicate, dup).unwrap()
+            .with_rate(FaultKind::Reorder, reorder).unwrap();
+        let stream = synthetic_stream(4, 30);
+
+        let (corrupted, counts) = ChaosEngine::new(spec, seed).corrupt_stream(0, &stream);
+        // Drop and truncate each remove exactly one record per fault,
+        // duplicate adds one; every other operator edits in place.
+        let expected = stream.len() as i64
+            - counts.get(FaultKind::Drop) as i64
+            - counts.get(FaultKind::Truncate) as i64
+            + counts.get(FaultKind::Duplicate) as i64;
+        prop_assert_eq!(corrupted.len() as i64, expected);
+    }
+
+    #[test]
+    fn zero_rate_chaos_is_the_identity(
+        seed in 0u64..u64::MAX,
+        salt in 0u64..4,
+        drives in 1usize..6,
+        hours in 1usize..40,
+    ) {
+        use chaos_support::{stream_bits, synthetic_stream};
+        use dds_chaos::{ChaosEngine, ChaosSpec};
+
+        let stream = synthetic_stream(drives, hours);
+        let engine = ChaosEngine::new(ChaosSpec::none(), seed);
+        let (out, counts) = engine.corrupt_stream(salt, &stream);
+        prop_assert_eq!(counts.total(), 0);
+        prop_assert_eq!(stream_bits(&out), stream_bits(&stream));
+    }
+
+    #[test]
+    fn quality_gate_accounting_survives_any_chaos(
+        drop in 0.0..0.4f64,
+        nullattr in 0.0..0.2f64,
+        sentinel in 0.0..0.2f64,
+        dup in 0.0..0.4f64,
+        reorder in 0.0..0.4f64,
+        skew in 0.0..0.4f64,
+        seed in 0u64..u64::MAX,
+    ) {
+        use chaos_support::synthetic_stream;
+        use dds_chaos::{ChaosEngine, ChaosSpec, FaultKind};
+        use dds_core::quality::{FleetSanitizer, QualityPolicy};
+        use std::collections::HashMap;
+
+        let spec = ChaosSpec::none()
+            .with_rate(FaultKind::Drop, drop).unwrap()
+            .with_rate(FaultKind::NullAttr, nullattr).unwrap()
+            .with_rate(FaultKind::Sentinel, sentinel).unwrap()
+            .with_rate(FaultKind::Duplicate, dup).unwrap()
+            .with_rate(FaultKind::Reorder, reorder).unwrap()
+            .with_rate(FaultKind::Skew, skew).unwrap();
+        let stream = synthetic_stream(5, 24);
+        let (corrupted, _) = ChaosEngine::new(spec, seed).corrupt_stream(0, &stream);
+
+        let mut sanitizer = FleetSanitizer::new(QualityPolicy::default());
+        let mut last_hour: HashMap<u32, u32> = HashMap::new();
+        let mut accepted = 0u64;
+        for (drive, record) in &corrupted {
+            if let Ok(clean) = sanitizer.admit(*drive, record) {
+                accepted += 1;
+                // Accepted records are finite and strictly chronological
+                // per drive — exactly what `DriveProfile::new` demands.
+                prop_assert!(clean.values.iter().all(|v| v.is_finite()));
+                if let Some(&prev) = last_hour.get(&drive.0) {
+                    prop_assert!(clean.hour > prev);
+                }
+                last_hour.insert(drive.0, clean.hour);
+            }
+        }
+        let stats = *sanitizer.stats();
+        prop_assert_eq!(stats.ingested, corrupted.len() as u64);
+        prop_assert_eq!(stats.accepted, accepted);
+        prop_assert_eq!(stats.accepted + stats.quarantined, stats.ingested);
+    }
+}

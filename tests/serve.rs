@@ -7,7 +7,7 @@
 //! facade, so every test takes `SERVE_LOCK` first.
 
 use dds_cli::serve::{serve, ServeOptions};
-use dds_cli::{parse, run};
+use dds_cli::{parse, run, ChaosOptions};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -108,10 +108,19 @@ fn with_serve_loop(options: ServeOptions, body: impl FnOnce(SocketAddr)) -> Stri
             serve(&options, &stop, None, move |addr| addr_tx.send(addr).unwrap())
                 .expect("serve loop")
         });
-        let addr = addr_rx.recv_timeout(Duration::from_secs(10)).expect("server bound");
-        body(addr);
+        // A panicking body must still flip the stop flag, or the scope
+        // would join the endless serve thread forever and turn an
+        // assertion failure into a hang.
+        let body_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let addr = addr_rx.recv_timeout(Duration::from_secs(10)).expect("server bound");
+            body(addr);
+        }));
         stop.store(true, Ordering::SeqCst);
-        summary = Some(handle.join().expect("serve thread"));
+        let serve_result = handle.join().expect("serve thread");
+        if let Err(panic) = body_result {
+            std::panic::resume_unwind(panic);
+        }
+        summary = Some(serve_result);
     });
     summary.expect("serve summary")
 }
@@ -192,6 +201,57 @@ fn healthz_degrades_when_the_watchdog_trips_the_error_budget() {
         assert!(degraded.contains("degraded"), "reason surfaced: {degraded}");
         assert!(degraded.contains("error"), "error-budget rule named: {degraded}");
     });
+}
+
+#[test]
+fn chaos_epochs_degrade_healthz_on_quarantine_budget_and_recovery_follows() {
+    let _guard = serve_lock();
+    dds_obs::metrics::global().reset();
+
+    // Corrupt only the first two epochs with duplicated hours, which the
+    // quality gate quarantines wholesale: ~1/3 of offered records, far
+    // past the watchdog's 10% quarantine budget. Duplicates sit at their
+    // original hour, so the serve loop's per-fleet-hour pacing tick is
+    // unchanged (out-of-order faults would multiply hour transitions and
+    // stretch the corrupt phase past any sane poll deadline). Later
+    // epochs stream clean, so the breach must age out of the 30s SLO
+    // window.
+    let options = ServeOptions {
+        chaos: ChaosOptions { spec: "dup=0.5".parse().unwrap(), seed: 1051 },
+        chaos_epochs: 2,
+        ..test_options()
+    };
+
+    let summary = with_serve_loop(options, |addr| {
+        poll_until(addr, "/readyz", Duration::from_secs(60), |s, _| s == 200);
+
+        // The quarantine budget trips while the corrupt epochs stream.
+        let (_, degraded) = poll_until(addr, "/healthz", Duration::from_secs(60), |s, _| s == 503);
+        assert!(degraded.contains("degraded"), "reason surfaced: {degraded}");
+        assert!(degraded.contains("quarantine budget"), "budget rule named: {degraded}");
+
+        // Degraded health is a signal, not an outage: every data endpoint
+        // keeps answering 200 mid-corruption.
+        for path in ["/metrics", "/metrics.json", "/alerts?n=5", "/readyz", "/profile"] {
+            let (status, _) = http_get(addr, path);
+            assert_eq!(status, 200, "{path} must not fail under chaos");
+        }
+        let (_, metrics) = http_get(addr, "/metrics");
+        assert_prometheus_format(&metrics);
+        assert!(metrics.contains("dds_records_quarantined_total"), "{metrics}");
+        assert!(metrics.contains("dds_chaos_faults_injected_total"), "{metrics}");
+
+        // Recovery: clean epochs push the corrupt samples out of the
+        // watchdog window and /healthz flips back on its own.
+        let (_, healthy) = poll_until(addr, "/healthz", Duration::from_secs(120), |s, _| s == 200);
+        assert!(healthy.contains("\"ok\""), "recovered health body: {healthy}");
+    });
+
+    assert!(summary.contains("records quarantined:"), "summary reports quarantine: {summary}");
+    assert!(
+        summary.contains("chaos dup=0.5 (seed 1051) applied to the first 2 epochs"),
+        "summary reports the chaos window: {summary}"
+    );
 }
 
 #[test]
