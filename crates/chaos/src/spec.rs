@@ -152,6 +152,7 @@ impl FromStr for ChaosSpec {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut spec = ChaosSpec::none();
+        let mut seen = [false; FaultKind::ALL.len()];
         let trimmed = s.trim();
         if trimmed.is_empty() || trimmed == "none" {
             return Ok(spec);
@@ -168,6 +169,12 @@ impl FromStr for ChaosSpec {
                     FaultKind::ALL.map(FaultKind::key).join(", ")
                 ))
             })?;
+            // A repeated operator is almost certainly a typo'd spec; the
+            // last-one-wins silent override hid which rate actually ran.
+            if seen[kind.index()] {
+                return Err(SpecParseError(format!("duplicate chaos operator `{kind}`")));
+            }
+            seen[kind.index()] = true;
             let rate: f64 = value.trim().parse().map_err(|_| {
                 SpecParseError(format!("unparsable rate `{}` for `{kind}`", value.trim()))
             })?;
@@ -227,6 +234,16 @@ mod tests {
         assert!("drop=NaN".parse::<ChaosSpec>().is_err());
         assert!("drop".parse::<ChaosSpec>().is_err());
         assert!("drop=abc".parse::<ChaosSpec>().is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_operators() {
+        let err = "drop=0.1,drop=0.9".parse::<ChaosSpec>().unwrap_err();
+        assert!(err.to_string().contains("duplicate chaos operator `drop`"), "{err}");
+        // Even restating the same rate is rejected — the spec is ambiguous.
+        assert!("skew=0.2,dup=0.1,skew=0.2".parse::<ChaosSpec>().is_err());
+        // Distinct operators are unaffected.
+        assert!("drop=0.1,dup=0.9".parse::<ChaosSpec>().is_ok());
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub mod signal;
 
 use dds_chaos::{ChaosEngine, ChaosSpec};
 use dds_core::categorize::CategorizationConfig;
-use dds_core::{report, sanitize_profiles, Analysis, AnalysisConfig, QualityPolicy};
+use dds_core::{
+    report, sanitize_profiles, Analysis, AnalysisConfig, QualityPolicy, TrainingContext,
+    MODEL_FORMAT_VERSION,
+};
 use dds_monitor::{
     AlertHistory, FleetMonitor, ModelBundle, MonitorConfig, MonitorService, Severity,
 };
@@ -42,7 +45,7 @@ use dds_obs::watchdog::HealthState;
 use dds_smartsim::io::{read_csv, write_csv};
 use dds_smartsim::{Dataset, FleetConfig, FleetSimulator};
 use dds_stats::par::Parallelism;
-use serve::{register_build_info, ServeOptions};
+use serve::{load_model, register_build_info, ServeOptions};
 use std::error::Error;
 use std::fmt;
 use std::fs::File;
@@ -189,7 +192,9 @@ impl ObsSession {
         trace::reset();
         if let Some(path) = &self.metrics_path {
             let snapshot = dds_obs::metrics::global().snapshot();
-            std::fs::write(path, snapshot.to_json())
+            // Atomic (temp + rename) so a scraper tailing the snapshot
+            // never reads a half-written file.
+            dds_obs::fsio::atomic_write(path, snapshot.to_json().as_bytes())
                 .map_err(|e| CliError(format!("cannot write {}: {e}", path.display())))?;
             out.push_str(&format!("metrics snapshot written to {}\n", path.display()));
         }
@@ -283,6 +288,35 @@ pub enum Command {
         /// Observability flags.
         obs: ObsOptions,
     },
+    /// `dds train`: train the pipeline once and save a versioned,
+    /// checksummed model artifact for later warm starts.
+    Train {
+        /// Simulation scale (`test`, `bench`, `consumer` or `paper`),
+        /// used when no `--input` CSV is given.
+        scale: String,
+        /// RNG seed for the simulated training fleet.
+        seed: u64,
+        /// Train on this CSV fleet instead of simulating one.
+        input: Option<PathBuf>,
+        /// Artifact output path.
+        save_model: PathBuf,
+        /// Worker threads (0 = all cores, 1 = sequential).
+        threads: usize,
+        /// Observability flags.
+        obs: ObsOptions,
+    },
+    /// `dds predict`: warm-start from a saved artifact and stream a live
+    /// CSV fleet through the monitor — `dds monitor` without retraining.
+    Predict {
+        /// Saved model artifact path.
+        model: PathBuf,
+        /// Live CSV path.
+        live: PathBuf,
+        /// Maximum alerts to print.
+        limit: usize,
+        /// Observability flags.
+        obs: ObsOptions,
+    },
     /// `dds serve`: long-lived serving mode — continuous simulated ingest
     /// with live scrape endpoints, SLO watchdog and clean Ctrl-C shutdown.
     Serve(ServeOptions),
@@ -299,7 +333,10 @@ USAGE:
   dds analyze <fleet.csv> [--full-report] [--k N] [--threads N]
   dds monitor --train <fleet.csv> --live <fleet.csv> [--limit N] [--threads N] [--listen ADDR]
   dds pipeline [--scale test|bench|consumer|paper] [--seed N] [--threads N] [--listen ADDR]
+  dds train --save-model <model.dds> [--input <fleet.csv>] [--scale S] [--seed N] [--threads N]
+  dds predict --model <model.dds> --live <fleet.csv> [--limit N]
   dds serve [--scale S] [--seed N] [--threads N] [--listen ADDR] [--epochs N] [--tick-ms N]
+            [--model <model.dds>]
   dds help
 
 monitor, pipeline and serve also accept fault injection
@@ -317,6 +354,16 @@ the same --chaos/--chaos-seed pair replays bit-identically.
 
 Every subcommand accepts --threads N: 0 (the default) uses all cores,
 1 forces sequential execution; results are identical either way.
+
+Model artifacts (see docs/OPERATIONS.md \"Model artifacts\"):
+  dds train runs the full analysis once and saves a versioned, checksummed
+  model artifact (train --save-model). dds predict and dds serve --model
+  warm-start from it — no retraining — and behave bit-for-bit like a
+  cold start trained on the same fleet. Corrupted or incompatible
+  artifacts are rejected with a typed error; /model on the serve scrape
+  server reports the serving model's provenance, and the gauges
+  dds_model_load_seconds / dds_model_age_seconds track warm-start cost
+  and artifact staleness.
 
 Serving (see docs/OPERATIONS.md \"Serving & scraping\"):
   dds serve trains a model bundle, then ingests simulated fleet epochs
@@ -473,6 +520,61 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
             validate_scale(&scale)?;
             Ok(Command::Pipeline { scale, seed, threads, listen, chaos, obs })
         }
+        "train" => {
+            let mut scale = "test".to_string();
+            let mut seed = 0x2015_115Cu64;
+            let mut input: Option<PathBuf> = None;
+            let mut save_model: Option<PathBuf> = None;
+            let mut threads = 0usize;
+            let mut obs = ObsOptions::default();
+            while let Some(arg) = iter.next() {
+                if obs.consume(&arg, &mut iter)? {
+                    continue;
+                }
+                match arg.as_str() {
+                    "--scale" => scale = take_value(&mut iter, "--scale")?,
+                    "--seed" => {
+                        let raw = take_value(&mut iter, "--seed")?;
+                        seed =
+                            raw.parse().map_err(|_| CliError(format!("invalid seed {raw:?}")))?;
+                    }
+                    "--input" => input = Some(PathBuf::from(take_value(&mut iter, "--input")?)),
+                    "--save-model" => {
+                        save_model = Some(PathBuf::from(take_value(&mut iter, "--save-model")?));
+                    }
+                    "--threads" => threads = parse_threads(&take_value(&mut iter, "--threads")?)?,
+                    other => return Err(CliError::boxed(format!("unknown flag {other:?}"))),
+                }
+            }
+            let save_model =
+                save_model.ok_or_else(|| CliError::boxed("train requires --save-model <path>"))?;
+            validate_scale(&scale)?;
+            Ok(Command::Train { scale, seed, input, save_model, threads, obs })
+        }
+        "predict" => {
+            let mut model: Option<PathBuf> = None;
+            let mut live: Option<PathBuf> = None;
+            let mut limit = 20usize;
+            let mut obs = ObsOptions::default();
+            while let Some(arg) = iter.next() {
+                if obs.consume(&arg, &mut iter)? {
+                    continue;
+                }
+                match arg.as_str() {
+                    "--model" => model = Some(PathBuf::from(take_value(&mut iter, "--model")?)),
+                    "--live" => live = Some(PathBuf::from(take_value(&mut iter, "--live")?)),
+                    "--limit" => {
+                        let raw = take_value(&mut iter, "--limit")?;
+                        limit =
+                            raw.parse().map_err(|_| CliError(format!("invalid limit {raw:?}")))?;
+                    }
+                    other => return Err(CliError::boxed(format!("unknown flag {other:?}"))),
+                }
+            }
+            let model = model.ok_or_else(|| CliError::boxed("predict requires --model <path>"))?;
+            let live = live.ok_or_else(|| CliError::boxed("predict requires --live <path>"))?;
+            Ok(Command::Predict { model, live, limit, obs })
+        }
         "serve" => {
             let mut options = ServeOptions::default();
             while let Some(arg) = iter.next() {
@@ -508,6 +610,9 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
                         options.chaos_epochs = raw
                             .parse()
                             .map_err(|_| CliError(format!("invalid chaos epoch count {raw:?}")))?;
+                    }
+                    "--model" => {
+                        options.model = Some(PathBuf::from(take_value(&mut iter, "--model")?));
                     }
                     other => return Err(CliError::boxed(format!("unknown flag {other:?}"))),
                 }
@@ -567,7 +672,9 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
         Command::Simulate { obs, .. }
         | Command::Analyze { obs, .. }
         | Command::Monitor { obs, .. }
-        | Command::Pipeline { obs, .. } => obs.clone(),
+        | Command::Pipeline { obs, .. }
+        | Command::Train { obs, .. }
+        | Command::Predict { obs, .. } => obs.clone(),
         Command::Serve(options) => options.obs.clone(),
         Command::Help => ObsOptions::default(),
     };
@@ -784,6 +891,83 @@ fn run_inner(
             }
             Ok(out)
         }
+        Command::Train { scale, seed, input, save_model, threads, obs: _ } => {
+            let (training, ctx) = match &input {
+                Some(path) => {
+                    let ctx = TrainingContext {
+                        seed,
+                        scale: format!("csv:{}", path.display()),
+                        git_sha: option_env!("DDS_GIT_SHA").unwrap_or("unknown").to_string(),
+                    };
+                    (load(path)?, ctx)
+                }
+                None => {
+                    let config = fleet_config(&scale)
+                        .with_seed(seed)
+                        .with_parallelism(Parallelism::from_thread_count(threads));
+                    let ctx = TrainingContext {
+                        seed,
+                        scale: scale.clone(),
+                        git_sha: option_env!("DDS_GIT_SHA").unwrap_or("unknown").to_string(),
+                    };
+                    (FleetSimulator::new(config).run(), ctx)
+                }
+            };
+            let (analysis, model) =
+                Analysis::new(analysis_config(None, threads)).train(&training, &ctx)?;
+            let bytes =
+                model.to_bytes().map_err(|e| CliError(format!("cannot serialize model: {e}")))?;
+            dds_obs::fsio::atomic_write(&save_model, &bytes)
+                .map_err(|e| CliError(format!("cannot write {}: {e}", save_model.display())))?;
+            let mut out = format!(
+                "trained on {} drives ({} failed, {} failure groups; seed {seed}, scale {})\n",
+                training.drives().len(),
+                training.failed_drives().count(),
+                analysis.categorization.num_groups(),
+                ctx.scale,
+            );
+            out.push_str(&report::render_prediction_table(&analysis.prediction));
+            out.push_str(&format!(
+                "model saved to {} ({} bytes, format v{MODEL_FORMAT_VERSION})\n",
+                save_model.display(),
+                bytes.len(),
+            ));
+            Ok(out)
+        }
+        Command::Predict { model, live, limit, obs: _ } => {
+            let trained = load_model(&model, dds_obs::metrics::global())?;
+            let bundle = ModelBundle::from_trained(&trained)
+                .map_err(|e| CliError(format!("model {}: {e}", model.display())))?;
+            let live_fleet = load(&live)?;
+            let mut monitor = FleetMonitor::new(bundle, MonitorConfig::default());
+            let mut alerts = Vec::new();
+            for drive in live_fleet.drives() {
+                alerts.extend(monitor.replay(drive.id(), drive.records()));
+            }
+            alerts.sort_by_key(|a| a.hour);
+            // One header line, then a body byte-identical to `dds monitor`
+            // trained on the same fleet (the warm-start guarantee).
+            let mut out = format!(
+                "loaded model {} ({} groups; seed {}, scale {}, format v{})\n",
+                model.display(),
+                trained.groups.len(),
+                trained.meta.seed,
+                trained.meta.scale,
+                MODEL_FORMAT_VERSION,
+            );
+            out.push_str(&format!(
+                "{} alerts over {} drives ({} failed); showing up to {limit}:\n",
+                alerts.len(),
+                live_fleet.drives().len(),
+                live_fleet.failed_drives().count()
+            ));
+            for alert in alerts.iter().take(limit) {
+                out.push_str(&format!("  {alert}\n"));
+            }
+            let critical = alerts.iter().filter(|a| a.severity == Severity::Critical).count();
+            out.push_str(&format!("{critical} critical alerts in total\n"));
+            Ok(out)
+        }
         Command::Serve(options) => {
             let stop = signal::install();
             stop.store(false, std::sync::atomic::Ordering::SeqCst);
@@ -928,6 +1112,71 @@ mod tests {
         assert!(
             matches!(cmd, Command::Pipeline { listen: Some(ref l), .. } if l == "127.0.0.1:9201")
         );
+    }
+
+    #[test]
+    fn parses_train_and_predict() {
+        let cmd = parse(argv(&[
+            "train",
+            "--scale",
+            "test",
+            "--seed",
+            "11",
+            "--save-model",
+            "model.dds",
+            "--threads",
+            "1",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Train {
+                scale: "test".to_string(),
+                seed: 11,
+                input: None,
+                save_model: PathBuf::from("model.dds"),
+                threads: 1,
+                obs: ObsOptions::default(),
+            }
+        );
+        let cmd = parse(argv(&["train", "--input", "fleet.csv", "--save-model", "m.dds"])).unwrap();
+        assert!(
+            matches!(cmd, Command::Train { input: Some(ref p), .. } if p == &PathBuf::from("fleet.csv"))
+        );
+        // --save-model is mandatory; bad scales are rejected.
+        assert!(parse(argv(&["train"])).is_err());
+        assert!(parse(argv(&["train", "--save-model", "m", "--scale", "huge"])).is_err());
+
+        let cmd = parse(argv(&["predict", "--model", "m.dds", "--live", "b.csv", "--limit", "3"]))
+            .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Predict {
+                model: PathBuf::from("m.dds"),
+                live: PathBuf::from("b.csv"),
+                limit: 3,
+                obs: ObsOptions::default(),
+            }
+        );
+        assert!(parse(argv(&["predict", "--model", "m.dds"])).is_err());
+        assert!(parse(argv(&["predict", "--live", "b.csv"])).is_err());
+
+        // serve accepts --model for warm starts.
+        let cmd = parse(argv(&["serve", "--model", "m.dds"])).unwrap();
+        let Command::Serve(options) = cmd else { panic!("expected serve") };
+        assert_eq!(options.model, Some(PathBuf::from("m.dds")));
+    }
+
+    #[test]
+    fn predict_missing_model_is_a_clean_error() {
+        let err = run(Command::Predict {
+            model: PathBuf::from("/nonexistent/model.dds"),
+            live: PathBuf::from("/nonexistent/live.csv"),
+            limit: 5,
+            obs: ObsOptions::default(),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot load model"));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! final summary (plus `--metrics` snapshot) is emitted.
 
 use crate::{analysis_config, fleet_config, ChaosOptions, CliError, ObsOptions};
-use dds_core::Analysis;
+use dds_core::{Analysis, TrainedModel, TrainingContext};
 use dds_monitor::{AlertHistory, FleetMonitor, ModelBundle, MonitorConfig, MonitorService};
 use dds_obs::http::HttpServer;
 use dds_obs::metrics::Registry;
@@ -25,9 +25,10 @@ use dds_smartsim::{FleetSimulator, StreamingFleet};
 use dds_stats::par::Parallelism;
 use std::error::Error;
 use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Options of the `dds serve` subcommand.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,6 +49,9 @@ pub struct ServeOptions {
     pub chaos: ChaosOptions,
     /// Corrupt only the first N epochs, then stream clean (0 = all).
     pub chaos_epochs: u64,
+    /// Warm-start from a saved model artifact instead of training
+    /// (`--model`); train→ready collapses to load→ready.
+    pub model: Option<PathBuf>,
     /// Observability flags.
     pub obs: ObsOptions,
 }
@@ -63,9 +67,35 @@ impl Default for ServeOptions {
             tick_ms: 50,
             chaos: ChaosOptions::default(),
             chaos_epochs: 0,
+            model: None,
             obs: ObsOptions::default(),
         }
     }
+}
+
+/// Loads a model artifact, recording `dds_model_load_seconds` and
+/// `dds_model_age_seconds` on `registry` — the warm-start path shared by
+/// `dds serve --model` and `dds predict --model`.
+///
+/// # Errors
+///
+/// Maps every [`dds_core::ModelError`] to a [`CliError`] naming the path.
+pub(crate) fn load_model(path: &Path, registry: &Registry) -> Result<TrainedModel, Box<dyn Error>> {
+    let started = Instant::now();
+    let model = TrainedModel::load(path)
+        .map_err(|e| CliError::boxed(format!("cannot load model {}: {e}", path.display())))?;
+    registry.gauge("dds_model_load_seconds").set(started.elapsed().as_secs_f64());
+    registry.gauge("dds_model_age_seconds").set(model_age_seconds(&model));
+    Ok(model)
+}
+
+/// Seconds since the model was assembled (0 when the clock is behind the
+/// artifact's stamp).
+pub(crate) fn model_age_seconds(model: &TrainedModel) -> f64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|now| now.as_secs().saturating_sub(model.meta.created_unix))
+        .unwrap_or(0) as f64
 }
 
 /// Registers the build-attribution metrics (`dds_build_info`,
@@ -114,7 +144,9 @@ pub fn serve(
     let history = Arc::new(AlertHistory::default());
     let watchdog = Watchdog::new(Watchdog::standard_rules());
     let health = watchdog.health();
-    let mut service = MonitorService::new(Arc::clone(&history), Arc::clone(&health));
+    let model_slot: Arc<OnceLock<String>> = Arc::new(OnceLock::new());
+    let mut service = MonitorService::new(Arc::clone(&history), Arc::clone(&health))
+        .with_model_slot(Arc::clone(&model_slot));
     if let Some(profiler) = profiler {
         service = service.with_profiler(profiler);
     }
@@ -123,14 +155,37 @@ pub fn serve(
     let addr = server.local_addr();
     on_bound(addr);
 
-    // Train; /readyz answers 503 until the bundle is loaded.
+    // Obtain the bundle — warm (load an artifact) or cold (train in
+    // process); /readyz answers 503 until it is ready. Both paths publish
+    // provenance for `/model` and produce bit-identical bundles for the
+    // same training run, so the ingest below behaves the same either way.
     let par = Parallelism::from_thread_count(options.threads);
-    let training = FleetSimulator::new(
-        fleet_config(&options.scale).with_seed(options.seed).with_parallelism(par),
-    )
-    .run();
-    let analysis = Analysis::new(analysis_config(None, options.threads)).run(&training)?;
-    let bundle = ModelBundle::from_analysis(&training, &analysis);
+    let bundle = match &options.model {
+        Some(path) => {
+            let model = load_model(path, registry)?;
+            let bundle = ModelBundle::from_trained(&model)
+                .map_err(|e| CliError::boxed(format!("model {}: {e}", path.display())))?;
+            let _ = model_slot.set(model.provenance_json(&path.display().to_string()));
+            bundle
+        }
+        None => {
+            let training = FleetSimulator::new(
+                fleet_config(&options.scale).with_seed(options.seed).with_parallelism(par),
+            )
+            .run();
+            let ctx = TrainingContext {
+                seed: options.seed,
+                scale: options.scale.clone(),
+                git_sha: option_env!("DDS_GIT_SHA").unwrap_or("unknown").to_string(),
+            };
+            let (analysis, model) =
+                Analysis::new(analysis_config(None, options.threads)).train(&training, &ctx)?;
+            registry.gauge("dds_model_load_seconds").set(0.0);
+            registry.gauge("dds_model_age_seconds").set(0.0);
+            let _ = model_slot.set(model.provenance_json("trained in-process"));
+            ModelBundle::from_analysis(&training, &analysis)
+        }
+    };
     let mut monitor =
         FleetMonitor::new(bundle, MonitorConfig::default()).with_history(Arc::clone(&history));
     health.set_ready(true);

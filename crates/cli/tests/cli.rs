@@ -84,6 +84,99 @@ fn simulate_analyze_monitor_pipeline() {
 }
 
 #[test]
+fn train_once_predict_matches_monitor_and_corruption_is_rejected() {
+    let train_csv = temp_path("warm_train.csv");
+    let live_csv = temp_path("warm_live.csv");
+    let artifact = temp_path("warm_model.dds");
+
+    for (path, seed) in [(&train_csv, "11"), (&live_csv, "22")] {
+        let output = dds()
+            .args(["simulate", "--scale", "test", "--seed", seed, "--out", path.to_str().unwrap()])
+            .output()
+            .expect("binary runs");
+        assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    }
+
+    // Train once, saving the artifact.
+    let output = dds()
+        .args([
+            "train",
+            "--input",
+            train_csv.to_str().unwrap(),
+            "--save-model",
+            artifact.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("model saved to"), "train output: {stdout}");
+    assert!(stdout.contains("Table III"), "train prints the prediction table: {stdout}");
+    assert!(artifact.exists());
+
+    // Warm-start prediction: one header line, then a body byte-identical
+    // to `dds monitor` retraining on the same fleet.
+    let predict = dds()
+        .args([
+            "predict",
+            "--model",
+            artifact.to_str().unwrap(),
+            "--live",
+            live_csv.to_str().unwrap(),
+            "--limit",
+            "5",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(predict.status.success(), "{}", String::from_utf8_lossy(&predict.stderr));
+    let predict_out = String::from_utf8_lossy(&predict.stdout).to_string();
+    let (header, body) = predict_out.split_once('\n').expect("predict header line");
+    assert!(header.contains("loaded model"), "predict header: {header}");
+
+    let monitor = dds()
+        .args([
+            "monitor",
+            "--train",
+            train_csv.to_str().unwrap(),
+            "--live",
+            live_csv.to_str().unwrap(),
+            "--limit",
+            "5",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(monitor.status.success(), "{}", String::from_utf8_lossy(&monitor.stderr));
+    assert_eq!(
+        body,
+        String::from_utf8_lossy(&monitor.stdout),
+        "warm-start predictions must match a fresh retrain byte for byte"
+    );
+
+    // A flipped payload byte must be rejected with a checksum error.
+    let mut bytes = std::fs::read(&artifact).unwrap();
+    let last = bytes.len() - 2;
+    bytes[last] ^= 0x40;
+    std::fs::write(&artifact, &bytes).unwrap();
+    let corrupted = dds()
+        .args([
+            "predict",
+            "--model",
+            artifact.to_str().unwrap(),
+            "--live",
+            live_csv.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!corrupted.status.success(), "corrupted artifact must not load");
+    let stderr = String::from_utf8_lossy(&corrupted.stderr);
+    assert!(stderr.contains("checksum"), "error names the cause: {stderr}");
+
+    let _ = std::fs::remove_file(&train_csv);
+    let _ = std::fs::remove_file(&live_csv);
+    let _ = std::fs::remove_file(&artifact);
+}
+
+#[test]
 fn pipeline_subcommand_emits_trace_and_metrics() {
     let trace = temp_path("trace.jsonl");
     let metrics = temp_path("metrics.json");

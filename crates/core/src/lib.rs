@@ -46,6 +46,7 @@ pub mod features;
 pub mod influence;
 pub mod knn;
 pub mod leadtime;
+pub mod model;
 pub mod pipeline;
 pub mod predict;
 pub mod quality;
@@ -58,6 +59,10 @@ pub use categorize::{
 pub use degradation::{DegradationAnalyzer, DegradationConfig, DriveDegradation, GroupDegradation};
 pub use error::AnalysisError;
 pub use features::{FailureRecordSet, NUM_FEATURES};
+pub use model::{
+    GroupArtifact, ModelError, ModelMeta, TrainedModel, TrainingContext, ZScoreBaseline,
+    MODEL_FORMAT_VERSION, MODEL_MAGIC,
+};
 pub use pipeline::{Analysis, AnalysisConfig, AnalysisReport};
 pub use predict::{DegradationPredictor, PredictionConfig, PredictionReport};
 pub use quality::{

@@ -16,6 +16,7 @@ use crate::degradation::{DegradationAnalyzer, DegradationConfig, GroupDegradatio
 use crate::error::AnalysisError;
 use crate::features::FailureRecordSet;
 use crate::influence::{self, AttributeInfluence, EnvInfluence};
+use crate::model::{TrainedModel, TrainingContext};
 use crate::predict::{DegradationPredictor, PredictionConfig, PredictionReport};
 use crate::quality::{self, QualityPolicy, QualityStats};
 use crate::zscore::{all_attribute_z_scores_with, TemporalZScores, ZScoreConfig};
@@ -304,6 +305,26 @@ impl Analysis {
             prediction,
             quality: quality_stats,
         })
+    }
+
+    /// Runs the full pipeline and assembles the deployable
+    /// [`TrainedModel`] artifact alongside the report — the train half of
+    /// the train/apply split (`ctx` carries the provenance only the
+    /// caller knows: seed, scale preset, git revision).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same stage errors as [`run`](Self::run).
+    pub fn train(
+        &self,
+        dataset: &Dataset,
+        ctx: &TrainingContext,
+    ) -> Result<(AnalysisReport, TrainedModel), AnalysisError> {
+        let report = self.run(dataset)?;
+        let model = stage("pipeline.model", "dds_pipeline_model_seconds", || {
+            TrainedModel::from_report(dataset, &report, ctx)
+        });
+        Ok((report, model))
     }
 }
 

@@ -1,7 +1,7 @@
 //! The deployable model artifact: everything the monitor needs from a
 //! training run, detached from the training dataset.
 
-use dds_core::{AnalysisReport, FailureType};
+use dds_core::{AnalysisReport, FailureType, ModelError, TrainedModel};
 use dds_regtree::RegressionTree;
 use dds_smartsim::{Attribute, Dataset, HealthRecord, NUM_ATTRIBUTES};
 use dds_stats::{MinMaxScaler, SignatureModel};
@@ -85,6 +85,35 @@ impl ModelBundle {
         }
         let tc_std = if count > 0 { (tc_var / count as f64).sqrt() } else { 0.0 };
         ModelBundle { scaler: dataset.scaler().clone(), groups, population_means, tc_std }
+    }
+
+    /// Rebuilds the bundle from a saved [`TrainedModel`] artifact — the
+    /// warm-start path. The artifact carries the identical scaler bounds,
+    /// trees, signatures, population means and `TC` deviation the training
+    /// run produced, so a warm-started monitor behaves bit-for-bit like a
+    /// cold-started one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Malformed`] when the artifact's scaler
+    /// bounds are inconsistent.
+    pub fn from_trained(model: &TrainedModel) -> Result<Self, ModelError> {
+        let scaler = model.scaler()?;
+        let groups = model
+            .groups
+            .iter()
+            .map(|g| GroupModel {
+                failure_type: g.failure_type,
+                tree: g.tree.clone(),
+                signature: g.signature,
+            })
+            .collect();
+        Ok(ModelBundle {
+            scaler,
+            groups,
+            population_means: model.population_means,
+            tc_std: model.tc_std,
+        })
     }
 
     /// Builds a bundle directly from parts (e.g. models trained elsewhere).
@@ -172,6 +201,43 @@ mod tests {
         let drive = dataset.failed_drives().next().unwrap();
         let record = drive.records().last().unwrap();
         assert_eq!(bundle.normalize(record), dataset.normalize_record(record));
+    }
+
+    #[test]
+    fn from_trained_matches_from_analysis_bitwise() {
+        use dds_core::TrainingContext;
+        let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(8_001)).run();
+        let config = AnalysisConfig {
+            categorization: CategorizationConfig { run_svc: false, ..Default::default() },
+            ..Default::default()
+        };
+        let ctx = TrainingContext { seed: 8_001, scale: "test".into(), git_sha: String::new() };
+        let (report, model) = Analysis::new(config).train(&dataset, &ctx).unwrap();
+        let cold = ModelBundle::from_analysis(&dataset, &report);
+        // Round-trip the artifact through its codec before rebuilding, so
+        // this also covers serialization drift.
+        let reloaded = TrainedModel::from_bytes(&model.to_bytes().unwrap()).unwrap();
+        let warm = ModelBundle::from_trained(&reloaded).unwrap();
+
+        assert_eq!(warm.scaler(), cold.scaler());
+        for (w, c) in warm.population_means().iter().zip(cold.population_means()) {
+            assert_eq!(w.to_bits(), c.to_bits());
+        }
+        assert_eq!(warm.tc_std().to_bits(), cold.tc_std().to_bits());
+        assert_eq!(warm.groups().len(), cold.groups().len());
+        for (w, c) in warm.groups().iter().zip(cold.groups()) {
+            assert_eq!(w.failure_type, c.failure_type);
+            assert_eq!(w.signature, c.signature);
+            assert_eq!(w.tree, c.tree);
+        }
+        // And the bundles score records identically.
+        let drive = dataset.failed_drives().next().unwrap();
+        let record = drive.records().last().unwrap();
+        let normalized = warm.normalize(record);
+        assert_eq!(normalized, cold.normalize(record));
+        let (wg, wv) = warm.worst_prediction(&normalized).unwrap();
+        let (cg, cv) = cold.worst_prediction(&normalized).unwrap();
+        assert_eq!((wg, wv.to_bits()), (cg, cv.to_bits()));
     }
 
     #[test]

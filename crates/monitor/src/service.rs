@@ -14,6 +14,7 @@
 //! | `/readyz`       | `200` once the model bundle is loaded, `503` before |
 //! | `/alerts?n=K`   | The most recent `K` alerts (default 20), newest first |
 //! | `/profile`      | Per-stage wall time, counts and p50/p95/p99 as JSON |
+//! | `/model`        | Provenance of the serving model (`503 {"status": "training"}` until one is published) |
 //!
 //! Both metrics endpoints refresh `dds_uptime_seconds` and the derived
 //! `_p50`/`_p95`/`_p99` gauges before snapshotting, so every scrape sees
@@ -24,7 +25,7 @@ use dds_obs::http::{Handler, Request, Response};
 use dds_obs::metrics;
 use dds_obs::profile::StageProfiler;
 use dds_obs::watchdog::HealthState;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Default number of alerts returned by `/alerts` without a `n=` query.
@@ -36,13 +37,22 @@ pub struct MonitorService {
     history: Arc<AlertHistory>,
     health: Arc<HealthState>,
     profiler: Option<Arc<StageProfiler>>,
+    /// Provenance JSON of the serving model, published once by the host
+    /// when the model is trained or loaded; `/model` answers 503 before.
+    model: Arc<OnceLock<String>>,
     started: Instant,
 }
 
 impl MonitorService {
     /// Creates a service over a shared alert history and health state.
     pub fn new(history: Arc<AlertHistory>, health: Arc<HealthState>) -> Self {
-        MonitorService { history, health, profiler: None, started: Instant::now() }
+        MonitorService {
+            history,
+            health,
+            profiler: None,
+            model: Arc::new(OnceLock::new()),
+            started: Instant::now(),
+        }
     }
 
     /// Attaches a stage profiler backing the `/profile` endpoint (without
@@ -50,6 +60,25 @@ impl MonitorService {
     pub fn with_profiler(mut self, profiler: Arc<StageProfiler>) -> Self {
         self.profiler = Some(profiler);
         self
+    }
+
+    /// Attaches a shared provenance slot backing the `/model` endpoint.
+    /// The host keeps the other `Arc` and publishes the provenance JSON
+    /// (via [`OnceLock::set`]) once a model is trained or loaded.
+    pub fn with_model_slot(mut self, model: Arc<OnceLock<String>>) -> Self {
+        self.model = model;
+        self
+    }
+
+    fn model_endpoint(&self) -> Response {
+        match self.model.get() {
+            Some(provenance) => Response::ok_json(provenance.clone()),
+            None => Response {
+                status: 503,
+                content_type: "application/json",
+                body: "{\"status\": \"training\"}".to_string(),
+            },
+        }
     }
 
     /// Refreshes scrape-time derived metrics, then snapshots the registry.
@@ -99,7 +128,7 @@ impl MonitorService {
     fn index(&self) -> Response {
         Response::ok_text(
             "dds monitor observability endpoints:\n\
-             /metrics /metrics.json /healthz /readyz /alerts?n=K /profile\n",
+             /metrics /metrics.json /healthz /readyz /alerts?n=K /profile /model\n",
         )
     }
 }
@@ -119,6 +148,7 @@ impl Handler for MonitorService {
             "/profile" => Response::ok_json(
                 self.profiler.as_ref().map_or_else(|| "{}".to_string(), |p| p.to_json()),
             ),
+            "/model" => self.model_endpoint(),
             _ => Response::not_found(),
         }
     }
@@ -190,6 +220,25 @@ mod tests {
         assert!(text.body.contains("dds_service_test_seconds_p99"));
         let json = service.handle(&request("/metrics.json", None));
         dds_obs::json::validate(&json.body).expect("metrics JSON");
+    }
+
+    #[test]
+    fn model_endpoint_serves_provenance_once_published() {
+        let slot: Arc<OnceLock<String>> = Arc::new(OnceLock::new());
+        let service = MonitorService::new(Arc::new(AlertHistory::new(16)), HealthState::new())
+            .with_model_slot(slot.clone());
+        // Before a model exists: 503 training.
+        let before = service.handle(&request("/model", None));
+        assert_eq!(before.status, 503);
+        assert!(before.body.contains("training"));
+        // After publishing: the provenance document verbatim.
+        slot.set("{\"magic\":\"dds-model\",\"seed\":\"7\"}".to_string()).unwrap();
+        let after = service.handle(&request("/model", None));
+        assert_eq!(after.status, 200);
+        assert!(after.body.contains("\"seed\":\"7\""));
+        dds_obs::json::validate(&after.body).expect("model JSON");
+        // Without a slot the default service also answers 503.
+        assert_eq!(self::service().handle(&request("/model", None)).status, 503);
     }
 
     #[test]

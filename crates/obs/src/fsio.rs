@@ -1,0 +1,85 @@
+//! Crash-safe file writes shared by snapshot and artifact writers.
+//!
+//! A plain `std::fs::write` that dies mid-call leaves a truncated file
+//! behind, which downstream consumers (CI artifact jobs, warm-start
+//! loaders) then read as corrupt. [`atomic_write`] avoids that window by
+//! writing to a temporary sibling in the same directory and renaming it
+//! over the destination — on POSIX the rename is atomic, so readers see
+//! either the old contents or the complete new contents, never a prefix.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Writes `bytes` to `path` atomically (temp file in the same directory,
+/// then rename). The temporary file is removed if any step fails.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error from create, write, sync or
+/// rename.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(Path::new("."));
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("out");
+    // Uniquify per process + call so concurrent writers never share a
+    // temp file.
+    let tmp = dir.join(format!(
+        ".{name}.tmp.{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+
+    let result = (|| {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dds-fsio-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let path = temp_path("replace.txt");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn leaves_no_temp_files_behind() {
+        let path = temp_path("clean.txt");
+        atomic_write(&path, b"data").unwrap();
+        let dir = path.parent().unwrap();
+        let leftovers: Vec<_> = fs::read_dir(dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".clean.txt.tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_directory_errors_cleanly() {
+        let path = temp_path("no-such-dir").join("deep/out.txt");
+        assert!(atomic_write(&path, b"x").is_err());
+    }
+}

@@ -1,17 +1,25 @@
-//! Minimal JSON helpers: string escaping for the writers and a
-//! recursive-descent validator used by the test suites to check that
-//! emitted trace/metric documents are well-formed.
+//! Minimal JSON helpers: string escaping for the writers, a
+//! recursive-descent parser producing a small [`Json`] DOM (used by the
+//! model-artifact codec), and a validator built on the same parser.
 //!
-//! This is *not* a JSON library — there is no DOM and no deserialization.
-//! The workspace only ever writes JSON, so all it needs is correct
-//! escaping plus a cheap way to assert validity in tests.
+//! This is deliberately *not* a general JSON library — it covers exactly
+//! what the workspace writes with its hand-rolled emitters: objects,
+//! arrays, strings, `f64` numbers, booleans and `null`. Numbers parse
+//! through [`str::parse::<f64>`] on the exact source token, so any value
+//! written with [`number`] (which uses the shortest round-trip `{:?}`
+//! formatting) re-loads bit-identically.
 //!
 //! # Example
 //!
 //! ```
-//! assert_eq!(dds_obs::json::escape("a\"b"), "a\\\"b");
-//! assert!(dds_obs::json::validate(r#"{"ok": [1, 2.5, null, "x"]}"#).is_ok());
-//! assert!(dds_obs::json::validate("{broken").is_err());
+//! use dds_obs::json::{self, Json};
+//!
+//! assert_eq!(json::escape("a\"b"), "a\\\"b");
+//! assert!(json::validate(r#"{"ok": [1, 2.5, null, "x"]}"#).is_ok());
+//! assert!(json::validate("{broken").is_err());
+//!
+//! let doc = json::parse(r#"{"k": [1.5, true]}"#).unwrap();
+//! assert_eq!(doc.get("k").and_then(|v| v.as_array()).map(<[Json]>::len), Some(2));
 //! ```
 
 /// Escapes `s` for inclusion inside a JSON string literal (no surrounding
@@ -51,6 +59,115 @@ pub fn number(v: f64) -> String {
     }
 }
 
+/// A parsed JSON value.
+///
+/// Object member order is preserved (members are a `Vec` of pairs, not a
+/// map) so documents can be re-emitted byte-identically if needed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Number(f64),
+    /// A string (escapes resolved).
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in source order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The value of object member `key`, if this is an object containing
+    /// it (first occurrence wins).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if this is a non-negative integer number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Number(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The number as a `usize`, if this is a non-negative integer number.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+}
+
+/// Parses `text` as exactly one JSON value.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax problem, with
+/// its byte offset.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
 /// Validates that `text` is exactly one well-formed JSON value.
 ///
 /// # Errors
@@ -58,15 +175,7 @@ pub fn number(v: f64) -> String {
 /// Returns a human-readable description of the first syntax problem, with
 /// its byte offset.
 pub fn validate(text: &str) -> Result<(), String> {
-    let bytes = text.as_bytes();
-    let mut pos = 0usize;
-    skip_ws(bytes, &mut pos);
-    parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
-    }
-    Ok(())
+    parse(text).map(|_| ())
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
@@ -75,99 +184,160 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     match bytes.get(*pos) {
         None => Err(format!("unexpected end of input at byte {pos}", pos = *pos)),
         Some(b'{') => parse_object(bytes, pos),
         Some(b'[') => parse_array(bytes, pos),
-        Some(b'"') => parse_string(bytes, pos),
-        Some(b't') => parse_literal(bytes, pos, "true"),
-        Some(b'f') => parse_literal(bytes, pos, "false"),
-        Some(b'n') => parse_literal(bytes, pos, "null"),
+        Some(b'"') => parse_string(bytes, pos).map(Json::String),
+        Some(b't') => parse_literal(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null").map(|()| Json::Null),
         Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
         Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     *pos += 1; // '{'
     skip_ws(bytes, pos);
+    let mut members = Vec::new();
     if bytes.get(*pos) == Some(&b'}') {
         *pos += 1;
-        return Ok(());
+        return Ok(Json::Object(members));
     }
     loop {
         skip_ws(bytes, pos);
-        parse_string(bytes, pos).map_err(|e| format!("object key: {e}"))?;
+        let key = parse_string(bytes, pos).map_err(|e| format!("object key: {e}"))?;
         skip_ws(bytes, pos);
         if bytes.get(*pos) != Some(&b':') {
             return Err(format!("expected ':' at byte {pos}", pos = *pos));
         }
         *pos += 1;
         skip_ws(bytes, pos);
-        parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b'}') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(Json::Object(members));
             }
             _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
         }
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     *pos += 1; // '['
     skip_ws(bytes, pos);
+    let mut items = Vec::new();
     if bytes.get(*pos) == Some(&b']') {
         *pos += 1;
-        return Ok(());
+        return Ok(Json::Array(items));
     }
     loop {
         skip_ws(bytes, pos);
-        parse_value(bytes, pos)?;
+        items.push(parse_value(bytes, pos)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b']') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(Json::Array(items));
             }
             _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
         }
     }
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     if bytes.get(*pos) != Some(&b'"') {
         return Err(format!("expected string at byte {pos}", pos = *pos));
     }
     *pos += 1;
-    while let Some(&c) = bytes.get(*pos) {
+    let mut out = String::new();
+    let start = *pos;
+    loop {
+        let Some(&c) = bytes.get(*pos) else {
+            return Err("unterminated string".to_string());
+        };
         match c {
             b'"' => {
+                // The fast path: no escapes seen, borrow the whole span.
+                if out.is_empty() {
+                    out.push_str(span_utf8(bytes, start, *pos)?);
+                }
                 *pos += 1;
-                return Ok(());
+                return Ok(out);
             }
             b'\\' => {
+                if out.is_empty() {
+                    out.push_str(span_utf8(bytes, start, *pos)?);
+                }
                 *pos += 1;
                 match bytes.get(*pos) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'"') => {
+                        out.push('"');
+                        *pos += 1;
+                    }
+                    Some(b'\\') => {
+                        out.push('\\');
+                        *pos += 1;
+                    }
+                    Some(b'/') => {
+                        out.push('/');
+                        *pos += 1;
+                    }
+                    Some(b'b') => {
+                        out.push('\u{8}');
+                        *pos += 1;
+                    }
+                    Some(b'f') => {
+                        out.push('\u{c}');
+                        *pos += 1;
+                    }
+                    Some(b'n') => {
+                        out.push('\n');
+                        *pos += 1;
+                    }
+                    Some(b'r') => {
+                        out.push('\r');
+                        *pos += 1;
+                    }
+                    Some(b't') => {
+                        out.push('\t');
+                        *pos += 1;
+                    }
                     Some(b'u') => {
+                        let mut code = 0u32;
                         for i in 1..=4 {
-                            if !bytes.get(*pos + i).is_some_and(u8::is_ascii_hexdigit) {
+                            let Some(d) =
+                                bytes.get(*pos + i).copied().filter(u8::is_ascii_hexdigit)
+                            else {
                                 return Err(format!(
                                     "bad \\u escape at byte {pos}",
                                     pos = *pos - 1
                                 ));
-                            }
+                            };
+                            code = code * 16 + (d as char).to_digit(16).expect("hex digit");
                         }
+                        let c = char::from_u32(code).ok_or_else(|| {
+                            format!("bad \\u escape at byte {pos}", pos = *pos - 1)
+                        })?;
+                        out.push(c);
                         *pos += 5;
                     }
                     _ => return Err(format!("bad escape at byte {pos}", pos = *pos - 1)),
                 }
+                // Re-anchor the borrow span after the escape; further raw
+                // runs append piecewise below.
+                let run_start = *pos;
+                while bytes.get(*pos).is_some_and(|&c| c != b'"' && c != b'\\' && c >= 0x20) {
+                    *pos += 1;
+                }
+                out.push_str(span_utf8(bytes, run_start, *pos)?);
             }
             c if c < 0x20 => {
                 return Err(format!("raw control byte in string at {pos}", pos = *pos));
@@ -175,7 +345,13 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
             _ => *pos += 1,
         }
     }
-    Err("unterminated string".to_string())
+}
+
+/// The bytes `[from, to)` as UTF-8 (the input is a `&str`, so this only
+/// fails if a span boundary lands inside a multi-byte character — which
+/// the byte-wise scan above never does, since it only stops on ASCII).
+fn span_utf8(bytes: &[u8], from: usize, to: usize) -> Result<&str, String> {
+    std::str::from_utf8(&bytes[from..to]).map_err(|_| format!("invalid UTF-8 at byte {from}"))
 }
 
 fn parse_literal(bytes: &[u8], pos: &mut usize, literal: &str) -> Result<(), String> {
@@ -187,7 +363,7 @@ fn parse_literal(bytes: &[u8], pos: &mut usize, literal: &str) -> Result<(), Str
     }
 }
 
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     let start = *pos;
     if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -222,7 +398,10 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
             return Err(format!("expected exponent digits at byte {start}"));
         }
     }
-    Ok(())
+    let token = span_utf8(bytes, start, *pos)?;
+    let value: f64 =
+        token.parse().map_err(|_| format!("unparsable number {token:?} at byte {start}"))?;
+    Ok(Json::Number(value))
 }
 
 #[cfg(test)]
@@ -272,5 +451,61 @@ mod tests {
         {
             assert!(validate(doc).is_err(), "{doc:?} should be invalid");
         }
+    }
+
+    #[test]
+    fn parser_builds_the_dom() {
+        let doc = parse(r#"{"a": [1, {"b": null}], "c": "d\n", "t": true}"#).unwrap();
+        assert_eq!(doc.get("c").and_then(Json::as_str), Some("d\n"));
+        assert_eq!(doc.get("t").and_then(Json::as_bool), Some(true));
+        let a = doc.get("a").and_then(Json::as_array).unwrap();
+        assert_eq!(a[0].as_f64(), Some(1.0));
+        assert!(a[1].get("b").unwrap().is_null());
+        assert!(doc.get("missing").is_none());
+        // Accessors are type-strict.
+        assert_eq!(doc.get("c").and_then(Json::as_f64), None);
+        assert_eq!(doc.get("a").and_then(Json::as_str), None);
+    }
+
+    #[test]
+    fn numbers_roundtrip_bit_identically_through_the_parser() {
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            std::f64::consts::PI,
+            2.2250738585072014e-308,
+            -9.869604401089358,
+        ] {
+            let parsed = parse(&number(v)).unwrap();
+            let back = parsed.as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v:?} drifted to {back:?}");
+        }
+    }
+
+    #[test]
+    fn integer_accessors_are_strict() {
+        assert_eq!(parse("7").unwrap().as_u64(), Some(7));
+        assert_eq!(parse("7").unwrap().as_usize(), Some(7));
+        assert_eq!(parse("7.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn string_escapes_resolve() {
+        let doc = parse(r#""aA\t\\\"z""#).unwrap();
+        assert_eq!(doc.as_str(), Some("aA\t\\\"z"));
+        assert!(parse(r#""\u00""#).is_err());
+        assert!(parse(r#""\uD800""#).is_err()); // lone surrogate
+        assert!(parse(r#""\q""#).is_err());
+    }
+
+    #[test]
+    fn object_member_order_is_preserved() {
+        let doc = parse(r#"{"z": 1, "a": 2}"#).unwrap();
+        let keys: Vec<&str> = doc.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["z", "a"]);
     }
 }

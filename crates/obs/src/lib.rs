@@ -22,7 +22,11 @@
 //!   quantiles and allocation counts.
 //! - [`alloc`] — the opt-in [`CountingAllocator`] feeding span
 //!   allocation deltas.
-//! - [`json`] — escaping/validation helpers shared by the writers.
+//! - [`json`] — escaping helpers shared by the writers, plus a small
+//!   recursive-descent parser/validator ([`json::Json`]) used by the
+//!   model-artifact codec.
+//! - [`fsio`] — crash-safe [`atomic_write`](fsio::atomic_write) (temp
+//!   file + rename) for snapshot and artifact files.
 //! - [`http`] — a zero-dependency HTTP/1.1 scrape server
 //!   ([`HttpServer`](http::HttpServer)) for `/metrics`-style endpoints.
 //! - [`timeseries`] — a ring buffer of registry snapshots
@@ -67,6 +71,7 @@
 #![deny(unsafe_code)]
 
 pub mod alloc;
+pub mod fsio;
 pub mod http;
 pub mod json;
 pub mod metrics;

@@ -166,6 +166,36 @@ enum Node {
     Split { feature: usize, threshold: f64, value: f64, samples: usize, left: usize, right: usize },
 }
 
+/// A serializable view of one tree node, used to export a fitted tree
+/// (e.g. into a model artifact) and rebuild it with
+/// [`RegressionTree::from_parts`]. Child links are indices into the same
+/// node list; node 0 is the root.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeSpec {
+    /// A terminal node carrying the mean target of its samples.
+    Leaf {
+        /// Predicted value (mean target of the node's samples).
+        value: f64,
+        /// Training samples that reached this node.
+        samples: usize,
+    },
+    /// An internal node splitting on `feature < threshold`.
+    Split {
+        /// Feature index the split tests.
+        feature: usize,
+        /// Split threshold (`row[feature] < threshold` goes left).
+        threshold: f64,
+        /// Mean target of the node's samples (shown by [`RegressionTree::render`]).
+        value: f64,
+        /// Training samples that reached this node.
+        samples: usize,
+        /// Node index of the left child.
+        left: usize,
+        /// Node index of the right child.
+        right: usize,
+    },
+}
+
 /// A fitted CART regression tree.
 #[derive(Debug, Clone)]
 pub struct RegressionTree {
@@ -401,6 +431,111 @@ impl RegressionTree {
         &self.importances
     }
 
+    /// Number of features the tree was fitted on.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Exports the node list (root at index 0) for serialization; feed the
+    /// result back through [`from_parts`](Self::from_parts) to rebuild an
+    /// equal tree.
+    pub fn nodes(&self) -> Vec<NodeSpec> {
+        self.nodes
+            .iter()
+            .map(|n| match *n {
+                Node::Leaf { value, samples } => NodeSpec::Leaf { value, samples },
+                Node::Split { feature, threshold, value, samples, left, right } => {
+                    NodeSpec::Split { feature, threshold, value, samples, left, right }
+                }
+            })
+            .collect()
+    }
+
+    /// Rebuilds a tree from exported parts (see [`nodes`](Self::nodes) and
+    /// [`feature_importances`](Self::feature_importances)). The result
+    /// predicts with [`Parallelism::Auto`]; parallelism is an execution
+    /// detail, not part of the model, so the rebuilt tree compares equal to
+    /// the original.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::EmptyInput`] for an empty node list and
+    /// [`TreeError::InvalidConfig`] for structural problems: an
+    /// importances length that differs from `num_features`, a split
+    /// feature or child index out of range, a non-finite threshold, or a
+    /// node graph that is not a tree rooted at node 0 (cycles, shared
+    /// children, or unreachable nodes).
+    pub fn from_parts(
+        nodes: Vec<NodeSpec>,
+        num_features: usize,
+        importances: Vec<f64>,
+    ) -> Result<Self, TreeError> {
+        if nodes.is_empty() {
+            return Err(TreeError::EmptyInput);
+        }
+        if num_features == 0 {
+            return Err(TreeError::InvalidConfig("num_features must be ≥ 1".to_string()));
+        }
+        if importances.len() != num_features {
+            return Err(TreeError::InvalidConfig(format!(
+                "importances length {} != num_features {num_features}",
+                importances.len()
+            )));
+        }
+        for (id, node) in nodes.iter().enumerate() {
+            if let NodeSpec::Split { feature, threshold, left, right, .. } = *node {
+                if feature >= num_features {
+                    return Err(TreeError::InvalidConfig(format!(
+                        "node {id}: split feature {feature} out of range (num_features {num_features})"
+                    )));
+                }
+                if !threshold.is_finite() {
+                    return Err(TreeError::InvalidConfig(format!(
+                        "node {id}: non-finite split threshold"
+                    )));
+                }
+                if left >= nodes.len() || right >= nodes.len() {
+                    return Err(TreeError::InvalidConfig(format!(
+                        "node {id}: child index out of range ({left}/{right} of {})",
+                        nodes.len()
+                    )));
+                }
+            }
+        }
+        // The node list must form a tree rooted at 0: walking from the
+        // root reaches every node exactly once (no cycles, no shared
+        // children, no orphans).
+        let mut visited = vec![false; nodes.len()];
+        let mut stack = vec![0usize];
+        while let Some(id) = stack.pop() {
+            if visited[id] {
+                return Err(TreeError::InvalidConfig(format!(
+                    "node {id} reached twice: node graph is not a tree"
+                )));
+            }
+            visited[id] = true;
+            if let NodeSpec::Split { left, right, .. } = nodes[id] {
+                stack.push(left);
+                stack.push(right);
+            }
+        }
+        if let Some(orphan) = visited.iter().position(|&v| !v) {
+            return Err(TreeError::InvalidConfig(format!(
+                "node {orphan} unreachable from the root"
+            )));
+        }
+        let nodes = nodes
+            .into_iter()
+            .map(|n| match n {
+                NodeSpec::Leaf { value, samples } => Node::Leaf { value, samples },
+                NodeSpec::Split { feature, threshold, value, samples, left, right } => {
+                    Node::Split { feature, threshold, value, samples, left, right }
+                }
+            })
+            .collect();
+        Ok(RegressionTree { nodes, num_features, importances, parallelism: Parallelism::Auto })
+    }
+
     /// Renders the tree in the style of the paper's Fig. 13: each node shows
     /// its mean target value and sample share, splits show
     /// `feature < threshold`.
@@ -542,6 +677,90 @@ mod tests {
         assert_eq!(tree.num_leaves(), 1);
         assert_eq!(tree.depth(), 0);
         assert_eq!(tree.predict(&[999.0]), 3.5);
+    }
+
+    #[test]
+    fn roundtrips_through_parts() {
+        let (xs, ys) = step_data();
+        let tree = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        let rebuilt = RegressionTree::from_parts(
+            tree.nodes(),
+            tree.num_features(),
+            tree.feature_importances().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, tree);
+        assert_eq!(rebuilt.num_features(), tree.num_features());
+        for row in &xs {
+            assert_eq!(rebuilt.predict(row).to_bits(), tree.predict(row).to_bits());
+        }
+        assert_eq!(rebuilt.render(&["a", "b"]), tree.render(&["a", "b"]));
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_structures() {
+        let leaf = NodeSpec::Leaf { value: 1.0, samples: 4 };
+        let split = |left, right| NodeSpec::Split {
+            feature: 0,
+            threshold: 0.5,
+            value: 0.0,
+            samples: 8,
+            left,
+            right,
+        };
+        // Empty node list.
+        assert_eq!(RegressionTree::from_parts(vec![], 1, vec![1.0]), Err(TreeError::EmptyInput));
+        // Importances length mismatch.
+        assert!(matches!(
+            RegressionTree::from_parts(vec![leaf], 2, vec![1.0]),
+            Err(TreeError::InvalidConfig(_))
+        ));
+        // Child index out of range.
+        assert!(matches!(
+            RegressionTree::from_parts(vec![split(1, 7), leaf], 1, vec![1.0]),
+            Err(TreeError::InvalidConfig(_))
+        ));
+        // Split feature out of range.
+        let bad_feature = NodeSpec::Split {
+            feature: 3,
+            threshold: 0.5,
+            value: 0.0,
+            samples: 8,
+            left: 1,
+            right: 2,
+        };
+        assert!(matches!(
+            RegressionTree::from_parts(vec![bad_feature, leaf, leaf], 1, vec![1.0]),
+            Err(TreeError::InvalidConfig(_))
+        ));
+        // Non-finite threshold.
+        let nan_split = NodeSpec::Split {
+            feature: 0,
+            threshold: f64::NAN,
+            value: 0.0,
+            samples: 8,
+            left: 1,
+            right: 2,
+        };
+        assert!(matches!(
+            RegressionTree::from_parts(vec![nan_split, leaf, leaf], 1, vec![1.0]),
+            Err(TreeError::InvalidConfig(_))
+        ));
+        // Cycle: root's child points back at the root.
+        assert!(matches!(
+            RegressionTree::from_parts(vec![split(0, 1), leaf], 1, vec![1.0]),
+            Err(TreeError::InvalidConfig(_))
+        ));
+        // Shared child: both children are the same node.
+        assert!(matches!(
+            RegressionTree::from_parts(vec![split(1, 1), leaf], 1, vec![1.0]),
+            Err(TreeError::InvalidConfig(_))
+        ));
+        // Orphan node never reached from the root.
+        assert!(matches!(
+            RegressionTree::from_parts(vec![leaf, leaf], 1, vec![1.0]),
+            Err(TreeError::InvalidConfig(_))
+        ));
     }
 
     #[test]

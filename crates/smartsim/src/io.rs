@@ -152,10 +152,21 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, CsvError> {
         })?;
         let mut values = [0.0; NUM_ATTRIBUTES];
         for (slot, field) in values.iter_mut().zip(&fields[3..]) {
-            *slot = field.parse().map_err(|_| CsvError::Parse {
+            let value: f64 = field.parse().map_err(|_| CsvError::Parse {
                 line: line_no,
                 message: format!("invalid value {field:?}"),
             })?;
+            // `f64::parse` happily accepts NaN/inf spellings, which would
+            // poison every downstream distance and normalization; missing
+            // data must instead be expressed with the vendor sentinel and
+            // handled by the quality gate.
+            if !value.is_finite() {
+                return Err(CsvError::Parse {
+                    line: line_no,
+                    message: format!("non-finite value {field:?}"),
+                });
+            }
+            *slot = value;
         }
         let entry = drives.entry(id).or_insert_with(|| (label, BTreeMap::new()));
         if entry.0 != label {
@@ -254,6 +265,24 @@ mod tests {
         let bad_label = format!("0,sideways,0{}\n", ",1.0".repeat(NUM_ATTRIBUTES));
         assert!(read_csv(bad_label.as_bytes()).is_err());
         assert!(matches!(read_csv("".as_bytes()), Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        for bad in ["NaN", "nan", "inf", "-inf", "Infinity"] {
+            let row = format!("0,good,0,{bad}{}\n", ",1.0".repeat(NUM_ATTRIBUTES - 1));
+            let err = read_csv(row.as_bytes()).unwrap_err();
+            match err {
+                CsvError::Parse { line, message } => {
+                    assert_eq!(line, 1, "{bad}");
+                    assert!(message.contains("non-finite"), "{bad}: {message}");
+                }
+                other => panic!("{bad}: expected Parse error, got {other}"),
+            }
+        }
+        // Finite values in any position still load.
+        let row = format!("0,good,0{}\n", ",1.5".repeat(NUM_ATTRIBUTES));
+        assert!(read_csv(row.as_bytes()).is_ok());
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub use dds_stats as stats;
 
 /// Convenient glob-import surface covering the common entry points.
 pub mod prelude {
-    pub use dds_core::{Analysis, AnalysisConfig};
+    pub use dds_core::{Analysis, AnalysisConfig, ModelError, TrainedModel, TrainingContext};
     pub use dds_monitor::{FleetMonitor, ModelBundle, MonitorConfig};
     pub use dds_smartsim::{
         Attribute, Dataset, DriveLabel, DriveProfile, FailureMode, FleetConfig, FleetSimulator,

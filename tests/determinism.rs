@@ -54,6 +54,33 @@ fn different_seed_different_data_same_conclusions() {
 }
 
 #[test]
+fn save_load_predict_equals_train_predict() {
+    let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(6)).run();
+    let ctx = TrainingContext { seed: 6, scale: "test".to_string(), git_sha: String::new() };
+    let (report, model) = Analysis::new(AnalysisConfig::default()).train(&dataset, &ctx).unwrap();
+    let reloaded = TrainedModel::from_bytes(&model.to_bytes().unwrap()).unwrap();
+    assert_eq!(reloaded, model, "codec round-trip must be lossless");
+
+    // The warm bundle scores a live fleet bit-identically to the cold one.
+    let live = FleetSimulator::new(FleetConfig::test_scale().with_seed(7)).run();
+    let cold = ModelBundle::from_analysis(&dataset, &report);
+    let warm = ModelBundle::from_trained(&reloaded).unwrap();
+    for drive in live.drives() {
+        for record in drive.records() {
+            let n_cold = cold.normalize(record);
+            let n_warm = warm.normalize(record);
+            assert_eq!(n_cold.map(f64::to_bits), n_warm.map(f64::to_bits));
+            let p_cold = cold.worst_prediction(&n_cold);
+            let p_warm = warm.worst_prediction(&n_warm);
+            assert_eq!(
+                p_cold.map(|(g, v)| (g, v.to_bits())),
+                p_warm.map(|(g, v)| (g, v.to_bits()))
+            );
+        }
+    }
+}
+
+#[test]
 fn mode_mix_is_exactly_reproducible() {
     // The largest-remainder allocation is deterministic, so the group
     // counts never drift between runs.

@@ -7,7 +7,7 @@
 //! a crisp diff rather than a silent drift — the reproduction's analogue
 //! of the paper's 59.6% / 7.6% / 32.8% Table II population split.
 
-use dds_core::{report, Analysis, AnalysisConfig, AnalysisReport};
+use dds_core::{report, Analysis, AnalysisConfig, AnalysisReport, TrainedModel, TrainingContext};
 use dds_smartsim::{Dataset, FleetConfig, FleetSimulator};
 use dds_stats::SignatureForm;
 
@@ -111,6 +111,32 @@ fn prediction_error_ordering_is_pinned() {
     for (i, &r) in rmse.iter().enumerate() {
         assert!(r < 0.06, "group {i} rmse {r} breaches the golden ceiling");
     }
+}
+
+#[test]
+fn golden_model_artifact_reproduces_the_pipeline_report() {
+    let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(GOLDEN_SEED)).run();
+    let ctx =
+        TrainingContext { seed: GOLDEN_SEED, scale: "test".to_string(), git_sha: String::new() };
+    let (analysis, model) =
+        Analysis::new(AnalysisConfig::default()).train(&dataset, &ctx).expect("golden training");
+
+    // `train` runs the identical pipeline `run` does.
+    assert_eq!(
+        report::render_full_report(&analysis),
+        report::render_full_report(&golden_run().1),
+        "train() must not perturb the analysis report"
+    );
+
+    // Save → load reproduces the pinned Table III byte for byte.
+    let reloaded = TrainedModel::from_bytes(&model.to_bytes().expect("encode")).expect("decode");
+    assert_eq!(reloaded, model);
+    assert_eq!(
+        report::render_prediction_table(&reloaded.prediction_report()),
+        report::render_prediction_table(&analysis.prediction),
+        "the golden prediction table must survive the artifact round-trip"
+    );
+    assert_eq!(reloaded.meta.seed, GOLDEN_SEED);
 }
 
 #[test]

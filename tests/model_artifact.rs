@@ -1,0 +1,117 @@
+//! Workspace-level tests of the model artifact subsystem: a saved,
+//! reloaded model drives the monitor bit-for-bit like the in-memory model
+//! it was saved from, and corrupted artifacts fail with typed errors —
+//! never panics, never silent acceptance.
+
+use dds::core::report;
+use dds::prelude::*;
+use std::path::PathBuf;
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("dds_model_artifact_{}_{name}", std::process::id()));
+    path
+}
+
+fn train(seed: u64) -> (Dataset, dds::core::AnalysisReport, TrainedModel) {
+    let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(seed)).run();
+    let ctx = TrainingContext { seed, scale: "test".to_string(), git_sha: String::new() };
+    let (report, model) =
+        Analysis::new(AnalysisConfig::default()).train(&dataset, &ctx).expect("training");
+    (dataset, report, model)
+}
+
+/// Replays every live drive through a monitor built on `bundle` and
+/// returns the rendered alert stream.
+fn alert_stream(bundle: ModelBundle, live: &Dataset) -> Vec<String> {
+    let mut monitor = FleetMonitor::new(bundle, MonitorConfig::default());
+    let mut alerts = Vec::new();
+    for drive in live.drives() {
+        alerts.extend(monitor.replay(drive.id(), drive.records()));
+    }
+    alerts.sort_by_key(|a| a.hour);
+    alerts.iter().map(|a| a.to_string()).collect()
+}
+
+#[test]
+fn saved_model_drives_the_monitor_bit_identically() {
+    let (dataset, analysis, model) = train(41);
+    let path = temp_path("roundtrip.dds");
+    model.save(&path).expect("save artifact");
+    let reloaded = TrainedModel::load(&path).expect("load artifact");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(reloaded, model, "artifact round-trip must be lossless");
+
+    let live = FleetSimulator::new(FleetConfig::test_scale().with_seed(42)).run();
+    let cold = alert_stream(ModelBundle::from_analysis(&dataset, &analysis), &live);
+    let warm = alert_stream(ModelBundle::from_trained(&reloaded).expect("warm bundle"), &live);
+    assert!(!cold.is_empty(), "the live fleet must raise alerts");
+    assert_eq!(cold, warm, "warm-start alert stream must match the cold one byte for byte");
+}
+
+#[test]
+fn reloaded_model_renders_the_same_prediction_table() {
+    let (_, analysis, model) = train(43);
+    let reloaded = TrainedModel::from_bytes(&model.to_bytes().expect("encode")).expect("decode");
+    assert_eq!(
+        report::render_prediction_table(&reloaded.prediction_report()),
+        report::render_prediction_table(&analysis.prediction),
+        "Table III from the artifact must match the fresh analysis byte for byte"
+    );
+}
+
+#[test]
+fn corrupted_artifacts_fail_with_typed_errors() {
+    let (_, _, model) = train(44);
+    let bytes = model.to_bytes().expect("encode");
+
+    // A flipped payload byte is a checksum mismatch.
+    let mut flipped = bytes.clone();
+    let last = flipped.len() - 2;
+    flipped[last] ^= 0x40;
+    assert!(matches!(TrainedModel::from_bytes(&flipped), Err(ModelError::ChecksumMismatch { .. })));
+
+    // A future format version is rejected as unsupported.
+    let text = String::from_utf8(bytes.clone()).expect("artifact is UTF-8");
+    let versioned = text.replacen("\"format_version\":1", "\"format_version\":99", 1);
+    assert!(matches!(
+        TrainedModel::from_bytes(versioned.as_bytes()),
+        Err(ModelError::UnsupportedVersion { found: 99, .. })
+    ));
+
+    // A truncated file is detected as truncated, at any cut point.
+    for keep in [bytes.len() - 1, bytes.len() / 2] {
+        assert!(matches!(
+            TrainedModel::from_bytes(&bytes[..keep]),
+            Err(ModelError::Truncated { .. })
+        ));
+    }
+
+    // Garbage of every stripe is malformed — never a panic.
+    for garbage in ["", "\n", "not json\n", "{\"magic\":\"wrong\"}\npayload"] {
+        assert!(matches!(
+            TrainedModel::from_bytes(garbage.as_bytes()),
+            Err(ModelError::Malformed(_))
+        ));
+    }
+}
+
+#[test]
+fn corruption_on_disk_is_caught_at_load_time() {
+    let (_, _, model) = train(45);
+    let path = temp_path("corrupt.dds");
+    model.save(&path).expect("save artifact");
+    let mut bytes = std::fs::read(&path).expect("read artifact");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).expect("rewrite corrupted");
+    let err = TrainedModel::load(&path).expect_err("corrupted artifact must not load");
+    assert!(
+        matches!(err, ModelError::ChecksumMismatch { .. } | ModelError::Malformed(_)),
+        "unexpected error class: {err}"
+    );
+    let _ = std::fs::remove_file(&path);
+
+    // A missing file is a clean I/O error.
+    assert!(matches!(TrainedModel::load(&temp_path("never-written.dds")), Err(ModelError::Io(_))));
+}

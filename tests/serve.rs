@@ -8,6 +8,9 @@
 
 use dds_cli::serve::{serve, ServeOptions};
 use dds_cli::{parse, run, ChaosOptions};
+use dds_core::{Analysis, AnalysisConfig, TrainingContext};
+use dds_smartsim::{FleetConfig, FleetSimulator};
+use dds_stats::par::Parallelism;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -252,6 +255,89 @@ fn chaos_epochs_degrade_healthz_on_quarantine_budget_and_recovery_follows() {
         summary.contains("chaos dup=0.5 (seed 1051) applied to the first 2 epochs"),
         "summary reports the chaos window: {summary}"
     );
+}
+
+/// Runs a bounded serve loop to completion and returns its summary with
+/// the ephemeral listen address masked (the only run-to-run variation).
+fn masked_summary(options: &ServeOptions) -> String {
+    let stop = AtomicBool::new(false);
+    let addr_cell = std::cell::Cell::new(None);
+    let summary =
+        serve(options, &stop, None, |addr| addr_cell.set(Some(addr))).expect("bounded serve run");
+    let addr = addr_cell.get().expect("server bound");
+    summary.replace(&addr.to_string(), "ADDR")
+}
+
+#[test]
+fn warm_start_serves_bit_identically_to_a_cold_start() {
+    let _guard = serve_lock();
+    dds_obs::metrics::global().reset();
+
+    // Train the artifact exactly the way the cold serve path trains:
+    // same scale, seed and parallelism.
+    let base = ServeOptions { epochs: 2, tick_ms: 0, ..test_options() };
+    let par = Parallelism::from_thread_count(base.threads);
+    let training =
+        FleetSimulator::new(FleetConfig::test_scale().with_seed(base.seed).with_parallelism(par))
+            .run();
+    let ctx =
+        TrainingContext { seed: base.seed, scale: base.scale.clone(), git_sha: String::new() };
+    let config = AnalysisConfig { parallelism: par, ..Default::default() };
+    let (_, model) = Analysis::new(config).train(&training, &ctx).expect("training");
+    let mut artifact = std::env::temp_dir();
+    artifact.push(format!("dds_serve_warm_{}.dds", std::process::id()));
+    model.save(&artifact).expect("save artifact");
+
+    // Cold (train in-process) and warm (load the artifact) runs must be
+    // byte-identical once the ephemeral port is masked.
+    let cold = masked_summary(&base);
+    let warm = masked_summary(&ServeOptions { model: Some(artifact.clone()), ..base.clone() });
+    assert!(cold.contains("2 epochs"), "bounded run completed: {cold}");
+    assert_eq!(cold, warm, "warm start must not perturb serving output");
+
+    // A warm server exposes the artifact's provenance on /model and the
+    // warm-start gauges on /metrics, and reaches readiness.
+    let options = ServeOptions { model: Some(artifact.clone()), ..test_options() };
+    with_serve_loop(options, |addr| {
+        poll_until(addr, "/readyz", Duration::from_secs(60), |s, _| s == 200);
+        let (status, provenance) = http_get(addr, "/model");
+        assert_eq!(status, 200);
+        dds_obs::json::validate(&provenance).expect("provenance JSON");
+        assert!(provenance.contains("dds-model"), "provenance: {provenance}");
+        assert!(
+            provenance.contains(&dds_obs::json::escape(&artifact.display().to_string())),
+            "provenance names the artifact: {provenance}"
+        );
+        let (_, metrics) = http_get(addr, "/metrics");
+        assert!(metrics.contains("dds_model_load_seconds"), "{metrics}");
+        assert!(metrics.contains("dds_model_age_seconds"), "{metrics}");
+    });
+    let _ = std::fs::remove_file(&artifact);
+
+    // A missing artifact is a clean startup error, not a fallback retrain.
+    let mut missing = std::env::temp_dir();
+    missing.push("dds_serve_warm_missing.dds");
+    let bad = ServeOptions { model: Some(missing), ..test_options() };
+    let err = serve(&bad, &AtomicBool::new(false), None, |_| {}).expect_err("must not start");
+    assert!(err.to_string().contains("cannot load model"), "{err}");
+}
+
+#[test]
+fn cold_start_publishes_in_process_provenance() {
+    let _guard = serve_lock();
+    dds_obs::metrics::global().reset();
+
+    with_serve_loop(test_options(), |addr| {
+        // Before training completes /model answers 503; once ready it
+        // reports the in-process training run.
+        poll_until(addr, "/readyz", Duration::from_secs(60), |s, _| s == 200);
+        let (status, provenance) =
+            poll_until(addr, "/model", Duration::from_secs(60), |s, _| s == 200);
+        assert_eq!(status, 200);
+        dds_obs::json::validate(&provenance).expect("provenance JSON");
+        assert!(provenance.contains("trained in-process"), "provenance: {provenance}");
+        assert!(provenance.contains("\"seed\":\"77\""), "provenance: {provenance}");
+    });
 }
 
 #[test]
