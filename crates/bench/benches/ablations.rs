@@ -48,7 +48,7 @@ fn bench_smoothing_choice(c: &mut Criterion) {
     for window in [1usize, 3, 7] {
         let config = DegradationConfig { smoothing_window: window, ..Default::default() };
         let analyzer = DegradationAnalyzer::new(config);
-        group.bench_function(format!("smoothing_{window}"), |b| {
+        group.bench_function(&format!("smoothing_{window}"), |b| {
             b.iter(|| black_box(analyzer.analyze_drive(&dataset, drive).unwrap()))
         });
     }

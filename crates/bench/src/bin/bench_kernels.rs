@@ -1,0 +1,212 @@
+//! Micro-benchmarks of the columnar hot kernels, old (AoS) path against
+//! new (SoA) path where both still exist:
+//!
+//! - `window_distance`: the per-drive distance-to-failure curve —
+//!   `DegradationAnalyzer::analyze_drive` (record structs) vs
+//!   `analyze_drive_columns` (contiguous attribute columns).
+//! - `split_scan`: regression-tree training on one assembled sample set —
+//!   `RegressionTree::fit` (per-node re-sorts) vs `fit_columns` (presorted
+//!   column indices + stable partition).
+//! - `zscore_sweep`: the full 12-attribute temporal z-score sweep —
+//!   per-record struct walks vs column slices with hoisted reference
+//!   moments.
+//! - `kmeans_assign`: `KMeans::fit` over the fleet's normalized records —
+//!   single row; the cache-blocked columnar assignment *is* the
+//!   implementation since the rewrite.
+//!
+//! Both variants of every kernel return bit-identical results (asserted
+//! here where cheap, proven by `tests/columnar.rs`), so the rows measure
+//! pure layout effects.
+//!
+//! Usage: `cargo run --release -p dds-bench --bin bench_kernels
+//! [--test-scale | --paper-scale] [--out PATH]`
+
+use dds_bench::{Scale, EXPERIMENT_SEED};
+use dds_cluster::{KMeans, KMeansConfig};
+use dds_core::categorize::CategorizationConfig;
+use dds_core::columnar::FleetColumns;
+use dds_core::degradation::DegradationAnalyzer;
+use dds_core::features::FailureRecordSet;
+use dds_core::zscore::{all_attribute_z_scores_columns, all_attribute_z_scores_with, ZScoreConfig};
+use dds_regtree::{RegressionTree, TreeConfig};
+use dds_smartsim::FleetSimulator;
+use dds_stats::par::Parallelism;
+use std::time::Instant;
+
+struct Row {
+    kernel: &'static str,
+    layout: &'static str,
+    wall_ms: f64,
+    items: usize,
+}
+
+fn time_ms(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1_000.0
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let out_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_kernels.json".to_string())
+    };
+    let par = Parallelism::Sequential;
+    eprintln!("[bench_kernels] generating {scale:?}-scale fleet");
+    let dataset = FleetSimulator::new(scale.fleet_config().with_seed(EXPERIMENT_SEED)).run();
+    let records = FailureRecordSet::extract(&dataset, 24).expect("failure records");
+    let categorization = dds_core::categorize::Categorizer::new(CategorizationConfig {
+        run_svc: false,
+        parallelism: par,
+        ..Default::default()
+    })
+    .categorize(&dataset, &records)
+    .expect("categorization");
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut columns = None;
+    rows.push(Row {
+        kernel: "columns_build",
+        layout: "soa",
+        wall_ms: time_ms(|| columns = Some(FleetColumns::build(&dataset, par))),
+        items: dataset.num_records(),
+    });
+    let columns = columns.expect("built");
+
+    // --- window_distance kernel -------------------------------------------
+    let analyzer = DegradationAnalyzer::default();
+    let failed: Vec<_> = dataset.failed_drives().collect();
+    let mut aos_windows = 0usize;
+    rows.push(Row {
+        kernel: "window_distance",
+        layout: "aos",
+        wall_ms: time_ms(|| {
+            for drive in &failed {
+                aos_windows +=
+                    analyzer.analyze_drive(&dataset, drive).expect("aos analysis").window_hours;
+            }
+        }),
+        items: failed.len(),
+    });
+    let mut soa_windows = 0usize;
+    rows.push(Row {
+        kernel: "window_distance",
+        layout: "soa",
+        wall_ms: time_ms(|| {
+            for drive in &failed {
+                let pos = columns.position(drive.id()).expect("failed drive in columns");
+                soa_windows += analyzer
+                    .analyze_drive_columns(&columns, pos)
+                    .expect("soa analysis")
+                    .window_hours;
+            }
+        }),
+        items: failed.len(),
+    });
+    assert_eq!(aos_windows, soa_windows, "layouts must extract identical windows");
+
+    // --- split_scan kernel -------------------------------------------------
+    // One realistic training matrix: every failed record, labeled by its
+    // distance from the failure hour (a smooth target the tree can split
+    // on), so both fits chew through the same feature distribution the
+    // pipeline's predictors see.
+    let mut xs: Vec<Vec<f64>> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for drive in &failed {
+        let last = drive.records().last().expect("non-empty").hour;
+        for record in drive.records() {
+            xs.push(dataset.normalize_record(record).to_vec());
+            ys.push(-((last - record.hour) as f64) / 480.0);
+        }
+    }
+    let tree_config = TreeConfig::default().with_parallelism(par);
+    let mut aos_tree = None;
+    rows.push(Row {
+        kernel: "split_scan",
+        layout: "aos",
+        wall_ms: time_ms(|| {
+            aos_tree = Some(RegressionTree::fit(&xs, &ys, &tree_config).expect("aos fit"));
+        }),
+        items: xs.len(),
+    });
+    let matrix = dds_stats::ColMatrix::from_rows(&xs).expect("matrix");
+    let mut soa_tree = None;
+    rows.push(Row {
+        kernel: "split_scan",
+        layout: "soa",
+        wall_ms: time_ms(|| {
+            soa_tree =
+                Some(RegressionTree::fit_columns(&matrix, &ys, &tree_config).expect("soa fit"));
+        }),
+        items: xs.len(),
+    });
+    assert_eq!(aos_tree, soa_tree, "layouts must grow identical trees");
+
+    // --- zscore_sweep kernel -----------------------------------------------
+    let zconfig = ZScoreConfig::default();
+    rows.push(Row {
+        kernel: "zscore_sweep",
+        layout: "aos",
+        wall_ms: time_ms(|| {
+            all_attribute_z_scores_with(&dataset, &records, &categorization, &zconfig, par)
+                .expect("aos sweep");
+        }),
+        items: 12,
+    });
+    rows.push(Row {
+        kernel: "zscore_sweep",
+        layout: "soa",
+        wall_ms: time_ms(|| {
+            all_attribute_z_scores_columns(&columns, &records, &categorization, &zconfig, par)
+                .expect("soa sweep");
+        }),
+        items: 12,
+    });
+
+    // --- kmeans_assign kernel ----------------------------------------------
+    let points: Vec<Vec<f64>> = records.scaled_features().to_vec();
+    let mut kmeans_config = KMeansConfig::new(3.min(points.len())).with_seed(EXPERIMENT_SEED);
+    kmeans_config.restarts = 4;
+    kmeans_config.parallelism = par;
+    rows.push(Row {
+        kernel: "kmeans_assign",
+        layout: "soa",
+        wall_ms: time_ms(|| {
+            KMeans::new(kmeans_config).fit(&points).expect("kmeans");
+        }),
+        items: points.len(),
+    });
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"scale\": \"{}\",\n  \"seed\": {},\n  \"cores\": {},\n  \"kernels\": [\n",
+        match scale {
+            Scale::Test => "test",
+            Scale::Bench => "bench",
+            Scale::Paper => "paper",
+        },
+        EXPERIMENT_SEED,
+        cores
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"layout\": \"{}\", \"wall_ms\": {:.1}, \"items\": {}}}{}\n",
+            row.kernel,
+            row.layout,
+            row.wall_ms,
+            row.items,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write kernel benchmark JSON");
+    eprintln!("[bench_kernels] wrote {out_path}");
+    print!("{json}");
+}

@@ -8,7 +8,9 @@
 //! Every stage produces identical results in every mode (see
 //! `dds_stats::par`), so the rows measure pure execution time. The JSON
 //! records the host's core count — wall-clock ratios are only meaningful
-//! relative to it.
+//! relative to it — and each row carries the storage `layout` the analysis
+//! core ran with (`soa` since the columnar rewrite; rows kept from older
+//! runs are tagged `aos`), so before/after comparisons stay unambiguous.
 //!
 //! Per-stage breakdowns come from the `dds_obs` stage profiler attached
 //! around the full analysis (the same spans `--trace-json` records), not
@@ -24,6 +26,13 @@ use dds_smartsim::FleetSimulator;
 use dds_stats::Parallelism;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Storage layout of the analysis core for rows this binary emits. Older
+/// checked-in rows predating the columnar rewrite are tagged `"aos"`.
+const LAYOUT: &str = "soa";
+
+/// Repetitions per thread count; the reported wall time is the minimum.
+const ANALYSIS_REPS: usize = 3;
 
 struct Row {
     stage: &'static str,
@@ -57,42 +66,100 @@ fn main() {
         thread_counts.push(cores);
     }
 
-    let mut rows: Vec<Row> = Vec::new();
-    for &threads in &thread_counts {
-        // 1 maps to Sequential — the no-thread-pool reference path.
-        let par = Parallelism::from_thread_count(threads);
-        eprintln!("[bench_parallel_scaling] threads = {threads} ({par:?})");
-
-        let config = scale.fleet_config().with_seed(EXPERIMENT_SEED).with_parallelism(par);
-        let mut dataset = None;
-        rows.push(Row {
-            stage: "fleet_generation",
-            threads,
-            wall_ms: time_ms(|| dataset = Some(FleetSimulator::new(config).run())),
-            calls: 1,
-            quantiles_ms: None,
-        });
-        let dataset = dataset.expect("simulated");
-
+    // One untimed warm-up run first: in a fresh process the first analysis
+    // pays allocator growth and page-fault costs none of the later runs
+    // see, which would otherwise bias whichever thread count happens to be
+    // measured first (the rows ran 1 → 2 → 4, so threads=1 ate all of it).
+    {
+        let config = scale.fleet_config().with_seed(EXPERIMENT_SEED);
+        let dataset = FleetSimulator::new(config).run();
         let analysis_config = AnalysisConfig {
             categorization: CategorizationConfig { run_svc: false, ..Default::default() },
             ..Default::default()
+        };
+        Analysis::new(analysis_config).run(&dataset).expect("warm-up analysis");
+        eprintln!("[bench_parallel_scaling] warm-up run complete");
+    }
+
+    // Generate each thread count's dataset up front (timed once each).
+    struct Candidate {
+        threads: usize,
+        gen_ms: f64,
+        dataset: dds_smartsim::Dataset,
+        best_wall: f64,
+        best_profiler: Option<Arc<StageProfiler>>,
+    }
+    let mut candidates: Vec<Candidate> = thread_counts
+        .iter()
+        .map(|&threads| {
+            // 1 maps to Sequential — the no-thread-pool reference path.
+            let par = Parallelism::from_thread_count(threads);
+            let config = scale.fleet_config().with_seed(EXPERIMENT_SEED).with_parallelism(par);
+            let mut dataset = None;
+            let gen_ms = time_ms(|| dataset = Some(FleetSimulator::new(config).run()));
+            Candidate {
+                threads,
+                gen_ms,
+                dataset: dataset.expect("simulated"),
+                best_wall: f64::INFINITY,
+                best_profiler: None,
+            }
+        })
+        .collect();
+
+    // Analysis timings are min-of-N with the repetitions *interleaved*
+    // across thread counts: process-lifetime effects (allocator arena
+    // growth, transparent-huge-page collapse, host noise) drift wall times
+    // over tens of seconds, so measuring one thread count to completion
+    // before the next would hand whichever runs last an unearned advantage.
+    // Interleaving spreads the drift evenly; the minimum is the standard
+    // noise-robust statistic. The per-stage breakdown is taken from the
+    // fastest repetition so it stays a consistent single-run snapshot.
+    // (The stage profiler listens to the pipeline's spans — the same spans
+    // `--trace-json` records.)
+    for rep in 0..ANALYSIS_REPS {
+        for candidate in &mut candidates {
+            let par = Parallelism::from_thread_count(candidate.threads);
+            let analysis_config = AnalysisConfig {
+                categorization: CategorizationConfig { run_svc: false, ..Default::default() },
+                ..Default::default()
+            }
+            .with_parallelism(par);
+            let profiler = Arc::new(StageProfiler::new(Level::Info));
+            trace::install(profiler.clone());
+            let wall = time_ms(|| {
+                Analysis::new(analysis_config).run(&candidate.dataset).expect("analysis");
+            });
+            trace::reset();
+            eprintln!(
+                "[bench_parallel_scaling] rep {rep} threads {}: full_analysis {wall:.1} ms",
+                candidate.threads
+            );
+            if wall < candidate.best_wall {
+                candidate.best_wall = wall;
+                candidate.best_profiler = Some(profiler);
+            }
         }
-        .with_parallelism(par);
-        // The stage profiler listens to the pipeline's spans and yields
-        // every per-stage breakdown from a single analysis run.
-        let profiler = Arc::new(StageProfiler::new(Level::Info));
-        trace::install(profiler.clone());
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    for candidate in &candidates {
+        let threads = candidate.threads;
         rows.push(Row {
-            stage: "full_analysis",
+            stage: "fleet_generation",
             threads,
-            wall_ms: time_ms(|| {
-                Analysis::new(analysis_config).run(&dataset).expect("analysis");
-            }),
+            wall_ms: candidate.gen_ms,
             calls: 1,
             quantiles_ms: None,
         });
-        trace::reset();
+        rows.push(Row {
+            stage: "full_analysis",
+            threads,
+            wall_ms: candidate.best_wall,
+            calls: 1,
+            quantiles_ms: None,
+        });
+        let profiler = candidate.best_profiler.as_ref().expect("at least one repetition");
         for (name, stats) in profiler.stats() {
             if name == "pipeline.run" {
                 continue; // already covered by the full_analysis row
@@ -134,7 +201,8 @@ fn main() {
             None => "\"p50_ms\": null, \"p95_ms\": null, \"p99_ms\": null".to_string(),
         };
         json.push_str(&format!(
-            "    {{\"stage\": \"{}\", \"threads\": {}, \"wall_ms\": {:.1}, \"calls\": {}, {}}}{}\n",
+            "    {{\"stage\": \"{}\", \"threads\": {}, \"layout\": \"{LAYOUT}\", \
+             \"wall_ms\": {:.1}, \"calls\": {}, {}}}{}\n",
             row.stage,
             row.threads,
             row.wall_ms,

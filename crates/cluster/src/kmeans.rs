@@ -6,8 +6,8 @@
 //! [`KMeansResult::mean_within_cluster_distance`] is that statistic, and
 //! [`elbow_curve`] reproduces the sweep.
 
-use dds_stats::par::{par_chunks_reduce, par_generate, par_map_indexed, stream_seed, Parallelism};
-use dds_stats::{euclidean, squared_euclidean, StatsError};
+use dds_stats::par::{par_chunks_reduce, par_generate, stream_seed, Parallelism};
+use dds_stats::{euclidean, squared_euclidean, ColMatrix, StatsError};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -15,6 +15,14 @@ use rand::{RngExt, SeedableRng};
 /// (never derived from the thread count) so floating-point sums associate
 /// identically in sequential and parallel runs.
 const UPDATE_CHUNK: usize = 512;
+
+/// Points per cache block of the assignment kernel: 256 points × 8 bytes =
+/// 2 KiB per attribute column slice, so a block's working set (all
+/// attributes + the distance accumulators) stays L1/L2-resident while every
+/// centroid streams over it. Purely a traversal parameter — each point's
+/// distance still accumulates dimensions in order, so the value is
+/// bit-identical for any block size.
+const ASSIGN_BLOCK: usize = 256;
 
 /// Configuration for a [`KMeans`] run.
 ///
@@ -141,12 +149,15 @@ impl KMeans {
         metrics.counter("dds_kmeans_restarts_total").add(self.config.restarts as u64);
         let restarts = self.config.restarts;
         let inner = if restarts > 1 { Parallelism::Sequential } else { self.config.parallelism };
+        // Column-major copy of the points, shared by all restarts: the
+        // assignment and update kernels stream one attribute at a time.
+        let columns = ColMatrix::from_rows(points)?;
         let runs = par_generate(self.config.parallelism, restarts, |r| {
             // On parallel worker threads this event has no parent span —
             // span nesting is per-thread by design.
             dds_obs::event!(dds_obs::Level::Trace, "kmeans.restart", restart = r);
             let mut rng = StdRng::seed_from_u64(stream_seed(self.config.seed, r as u64));
-            self.fit_once(points, &mut rng, inner)
+            self.fit_once(points, &columns, &mut rng, inner)
         });
         // Lowest inertia wins; ties break to the lowest restart index
         // (the order a sequential scan would keep).
@@ -165,6 +176,7 @@ impl KMeans {
     fn fit_once(
         &self,
         points: &[Vec<f64>],
+        columns: &ColMatrix,
         rng: &mut StdRng,
         par: Parallelism,
     ) -> Result<KMeansResult, StatsError> {
@@ -174,25 +186,34 @@ impl KMeans {
         let mut assignments = vec![0usize; points.len()];
         for _ in 0..self.config.max_iterations {
             // Assignment step: each point independently finds its nearest
-            // centroid.
-            let assigned = par_map_indexed(par, points, |_, p| nearest_centroid(p, &centroids));
-            for (slot, a) in assignments.iter_mut().zip(assigned) {
-                *slot = a?.0;
+            // centroid, computed block-by-block over attribute columns.
+            let assigned = assign_blocks(columns, &centroids, par);
+            for (slot, &(a, _)) in assignments.iter_mut().zip(&assigned) {
+                *slot = a;
             }
             // Update step: accumulate per-cluster sums over fixed-size
             // chunks, merged in chunk order so the floating-point result is
-            // identical for every thread count.
+            // identical for every thread count. Within a chunk the loop
+            // runs attribute-outer over contiguous columns; each
+            // (cluster, attribute) accumulator still receives its points in
+            // chunk order, so the sums match the row-major loop bit for
+            // bit.
             let (mut new_centroids, counts) = par_chunks_reduce(
                 par,
-                points,
+                &assignments,
                 UPDATE_CHUNK,
                 || (vec![vec![0.0; dim]; k], vec![0usize; k]),
                 |(mut sums, mut counts), base, chunk| {
-                    for (offset, p) in chunk.iter().enumerate() {
-                        let a = assignments[base + offset];
+                    for &a in chunk {
                         counts[a] += 1;
-                        for (c, v) in sums[a].iter_mut().zip(p) {
-                            *c += v;
+                    }
+                    // `d` addresses both the column and the second level
+                    // of `sums[a][d]`, so an iterator can't replace it.
+                    #[allow(clippy::needless_range_loop)]
+                    for d in 0..dim {
+                        let col = &columns.col(d)[base..base + chunk.len()];
+                        for (&a, &v) in chunk.iter().zip(col) {
+                            sums[a][d] += v;
                         }
                     }
                     (sums, counts)
@@ -236,9 +257,8 @@ impl KMeans {
         // point order regardless of how the distances were computed.
         let mut inertia = 0.0;
         let mut distance_sum = 0.0;
-        let finals = par_map_indexed(par, points, |_, p| nearest_centroid(p, &centroids));
-        for (slot, f) in assignments.iter_mut().zip(finals) {
-            let (a, d2) = f?;
+        let finals = assign_blocks(columns, &centroids, par);
+        for (slot, &(a, d2)) in assignments.iter_mut().zip(&finals) {
             *slot = a;
             inertia += d2;
             distance_sum += d2.sqrt();
@@ -250,6 +270,44 @@ impl KMeans {
             mean_within_cluster_distance: distance_sum / points.len() as f64,
         })
     }
+}
+
+/// Nearest centroid `(index, squared distance)` for every point, block by
+/// block over the column-major layout: within a block, each centroid's
+/// attribute columns stream over per-point accumulators, so the inner loop
+/// is a contiguous, auto-vectorizable sweep across points. Every point's
+/// distance still sums its dimensions in order (the accumulators are
+/// per-point), and the winner is folded over centroids in ascending index
+/// with a strictly-less comparison — both exactly as [`nearest_centroid`]
+/// does, so results are bit-identical.
+fn assign_blocks(
+    columns: &ColMatrix,
+    centroids: &[Vec<f64>],
+    par: Parallelism,
+) -> Vec<(usize, f64)> {
+    let n = columns.num_rows();
+    let blocks = par_generate(par, n.div_ceil(ASSIGN_BLOCK), |b| {
+        let start = b * ASSIGN_BLOCK;
+        let end = (start + ASSIGN_BLOCK).min(n);
+        let mut best = vec![(0usize, f64::INFINITY); end - start];
+        let mut d2 = vec![0.0f64; end - start];
+        for (ci, centroid) in centroids.iter().enumerate() {
+            d2.fill(0.0);
+            for (d, &cd) in centroid.iter().enumerate() {
+                for (acc, &x) in d2.iter_mut().zip(&columns.col(d)[start..end]) {
+                    let diff = x - cd;
+                    *acc += diff * diff;
+                }
+            }
+            for (slot, &v) in best.iter_mut().zip(&d2) {
+                if v < slot.1 {
+                    *slot = (ci, v);
+                }
+            }
+        }
+        best
+    });
+    blocks.into_iter().flatten().collect()
 }
 
 fn nearest_centroid(point: &[f64], centroids: &[Vec<f64>]) -> Result<(usize, f64), StatsError> {
@@ -528,6 +586,31 @@ mod tests {
         for (cluster, m) in medoids.iter().enumerate() {
             let m = m.expect("non-empty cluster has a medoid");
             assert_eq!(result.assignments()[m], cluster);
+        }
+    }
+
+    #[test]
+    fn blocked_assignment_matches_scalar_nearest_centroid_bitwise() {
+        // > ASSIGN_BLOCK points with deliberate near-ties so the winner
+        // fold is exercised, across sequential and threaded runs.
+        let points: Vec<Vec<f64>> = (0..700)
+            .map(|i| {
+                let x = ((i * 37) % 101) as f64 / 101.0;
+                let y = ((i * 61) % 89) as f64 / 89.0;
+                vec![x, y, (x - y).abs()]
+            })
+            .collect();
+        // The duplicated centroid forces exact distance ties; the blocked
+        // fold must keep the lower index, as the scalar scan does.
+        let centroids = vec![vec![0.2, 0.2, 0.1], vec![0.8, 0.5, 0.3], vec![0.2, 0.2, 0.1]];
+        let columns = ColMatrix::from_rows(&points).unwrap();
+        for par in [Parallelism::Sequential, Parallelism::Auto, Parallelism::Threads(4)] {
+            let blocked = assign_blocks(&columns, &centroids, par);
+            for (p, &(a, d2)) in points.iter().zip(&blocked) {
+                let (sa, sd2) = nearest_centroid(p, &centroids).unwrap();
+                assert_eq!(a, sa, "{par:?}");
+                assert_eq!(d2.to_bits(), sd2.to_bits(), "{par:?}");
+            }
         }
     }
 

@@ -1,0 +1,346 @@
+//! Column-major (SoA) fleet storage — the memory layout behind the hot
+//! analysis kernels.
+//!
+//! [`Dataset`] keeps each drive's telemetry as an array of
+//! `HealthRecord` structs (AoS). That is the right shape for simulation
+//! and per-record bookkeeping, but the analysis kernels — degradation
+//! distances, temporal z-score sweeps, regression-tree training — stream
+//! *one attribute across many records*, where the AoS layout wastes 11/12
+//! of every cache line. [`FleetColumns`] is the transposed view: one
+//! contiguous column per SMART attribute (raw and normalized) over the
+//! whole fleet, plus a drive offset table and an O(1) id → position map
+//! (the `Dataset::drive` lookup is a linear scan).
+//!
+//! ```text
+//! Dataset (AoS)                       FleetColumns (SoA)
+//! drive 0: [h,v0..v11][h,v0..v11]…    hours:      [d0r0 d0r1 … d1r0 …]
+//! drive 1: [h,v0..v11]…               raw[a]:     [d0r0 d0r1 … d1r0 …]  ×12
+//! …                                   normalized[a]: …                 ×12
+//!                                     offsets:    [0, n0, n0+n1, …]
+//! ```
+//!
+//! The build is a pure reshuffle: normalized values come from the very
+//! same `MinMaxScaler::transform_value` calls `Dataset::normalize_record`
+//! makes, in the same drive/record order, so any kernel that reads these
+//! columns in record order reproduces the AoS results bit for bit. The
+//! cost is one extra in-memory copy of the telemetry (~200 B per record
+//! for raw + normalized together); at paper scale (~11 M records) that is
+//! ~2 GB, comfortably below fleet-host memory and paid once per pipeline
+//! run.
+
+use dds_smartsim::{Dataset, DriveId, HealthRecord, NUM_ATTRIBUTES};
+use dds_stats::par::{par_map_indexed, Parallelism};
+use std::ops::Range;
+
+/// Sentinel in the id → position map for ids not present in the fleet.
+const ABSENT: usize = usize::MAX;
+
+/// Column-major storage of an entire fleet: per-attribute contiguous
+/// columns (raw and Eq. (1)-normalized) over all records of all drives,
+/// with a drive offset table. Built once from a [`Dataset`] and threaded
+/// through the pipeline's hot stages.
+#[derive(Debug, Clone)]
+pub struct FleetColumns {
+    ids: Vec<DriveId>,
+    failed: Vec<bool>,
+    /// Row range of drive `p` is `offsets[p]..offsets[p + 1]`.
+    offsets: Vec<usize>,
+    hours: Vec<u32>,
+    /// `raw[a]` holds attribute `a`'s vendor-scale values, fleet order.
+    raw: Vec<Vec<f64>>,
+    /// `normalized[a]` holds attribute `a` after min–max normalization.
+    normalized: Vec<Vec<f64>>,
+    /// `good_attr[a]`: attribute `a` over all good-drive records, finite
+    /// values only — the z-score sweep's reference population, pre-built.
+    good_attr: Vec<Vec<f64>>,
+    /// `position[id.0]` is the drive's index, or [`ABSENT`].
+    position: Vec<usize>,
+}
+
+impl FleetColumns {
+    /// Transposes `dataset` into columns. The twelve attribute columns are
+    /// independent, so they fan out under `par`; results are identical in
+    /// every parallelism mode (each column is built by one task, in
+    /// drive/record order).
+    pub fn build(dataset: &Dataset, par: Parallelism) -> FleetColumns {
+        let _span = dds_obs::span!(
+            dds_obs::Level::Debug,
+            "columnar.build",
+            drives = dataset.drives().len(),
+            records = dataset.num_records(),
+        );
+        let drives = dataset.drives();
+        let mut ids = Vec::with_capacity(drives.len());
+        let mut failed = Vec::with_capacity(drives.len());
+        let mut offsets = Vec::with_capacity(drives.len() + 1);
+        offsets.push(0usize);
+        let mut total = 0usize;
+        for drive in drives {
+            ids.push(drive.id());
+            failed.push(drive.label().is_failed());
+            total += drive.records().len();
+            offsets.push(total);
+        }
+        let mut hours = Vec::with_capacity(total);
+        for drive in drives {
+            hours.extend(drive.records().iter().map(|r| r.hour));
+        }
+        let mut position = vec![ABSENT; ids.iter().map(|id| id.0 as usize + 1).max().unwrap_or(0)];
+        for (p, id) in ids.iter().enumerate() {
+            position[id.0 as usize] = p;
+        }
+
+        // One task per attribute: its raw column, its normalized column
+        // (the same `transform_value` calls `normalize_record` makes, in
+        // the same order), and its finite-filtered good reference.
+        let scaler = dataset.scaler();
+        let attrs: Vec<usize> = (0..NUM_ATTRIBUTES).collect();
+        let per_attr = par_map_indexed(par, &attrs, |_, &a| {
+            let mut raw = Vec::with_capacity(total);
+            let mut normalized = Vec::with_capacity(total);
+            for drive in drives {
+                for record in drive.records() {
+                    let v = record.values[a];
+                    raw.push(v);
+                    normalized.push(scaler.transform_value(a, v));
+                }
+            }
+            let good: Vec<f64> = dataset
+                .good_drives()
+                .flat_map(|d| d.records().iter().map(|r| r.values[a]))
+                .filter(|v| v.is_finite())
+                .collect();
+            (raw, normalized, good)
+        });
+        let mut raw = Vec::with_capacity(NUM_ATTRIBUTES);
+        let mut normalized = Vec::with_capacity(NUM_ATTRIBUTES);
+        let mut good_attr = Vec::with_capacity(NUM_ATTRIBUTES);
+        for (r, n, g) in per_attr {
+            raw.push(r);
+            normalized.push(n);
+            good_attr.push(g);
+        }
+        FleetColumns { ids, failed, offsets, hours, raw, normalized, good_attr, position }
+    }
+
+    /// Number of drives.
+    pub fn num_drives(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Total records across the fleet.
+    pub fn num_rows(&self) -> usize {
+        self.hours.len()
+    }
+
+    /// Drive id at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn id(&self, pos: usize) -> DriveId {
+        self.ids[pos]
+    }
+
+    /// Whether the drive at `pos` is failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn is_failed(&self, pos: usize) -> bool {
+        self.failed[pos]
+    }
+
+    /// O(1) lookup of a drive's position by id.
+    pub fn position(&self, id: DriveId) -> Option<usize> {
+        match self.position.get(id.0 as usize) {
+            Some(&p) if p != ABSENT => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Global row range of the drive at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn drive_rows(&self, pos: usize) -> Range<usize> {
+        self.offsets[pos]..self.offsets[pos + 1]
+    }
+
+    /// Record hours of the drive at `pos` (strictly increasing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn hours(&self, pos: usize) -> &[u32] {
+        &self.hours[self.drive_rows(pos)]
+    }
+
+    /// Attribute `a`'s raw column over the whole fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn raw_col(&self, a: usize) -> &[f64] {
+        &self.raw[a]
+    }
+
+    /// Attribute `a`'s normalized column over the whole fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn normalized_col(&self, a: usize) -> &[f64] {
+        &self.normalized[a]
+    }
+
+    /// Attribute `a`'s raw values for one drive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `pos` is out of range.
+    pub fn raw_slice(&self, a: usize, pos: usize) -> &[f64] {
+        &self.raw[a][self.drive_rows(pos)]
+    }
+
+    /// Attribute `a`'s normalized values for one drive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `pos` is out of range.
+    pub fn normalized_slice(&self, a: usize, pos: usize) -> &[f64] {
+        &self.normalized[a][self.drive_rows(pos)]
+    }
+
+    /// Attribute `a` over every good-drive record, finite values only, in
+    /// dataset drive/record order — the z-score reference population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn good_attr_values(&self, a: usize) -> &[f64] {
+        &self.good_attr[a]
+    }
+
+    /// The §V-B good-sample pool: every good-drive record's normalized row,
+    /// drive/record order, rows with any non-finite value dropped —
+    /// value-identical to mapping `Dataset::normalize_record` over the
+    /// good population.
+    pub fn finite_good_pool(&self) -> Vec<[f64; NUM_ATTRIBUTES]> {
+        let mut pool = Vec::new();
+        let mut row = [0.0f64; NUM_ATTRIBUTES];
+        for pos in 0..self.num_drives() {
+            if self.failed[pos] {
+                continue;
+            }
+            for i in self.drive_rows(pos) {
+                let mut finite = true;
+                for (slot, col) in row.iter_mut().zip(&self.normalized) {
+                    *slot = col[i];
+                    finite &= slot.is_finite();
+                }
+                if finite {
+                    pool.push(row);
+                }
+            }
+        }
+        pool
+    }
+
+    /// Rebuilds the drive's records from the raw columns — the
+    /// column → record direction of the lossless round-trip property.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn rebuild_records(&self, pos: usize) -> Vec<HealthRecord> {
+        self.drive_rows(pos)
+            .map(|i| {
+                let mut values = [0.0f64; NUM_ATTRIBUTES];
+                for (slot, col) in values.iter_mut().zip(&self.raw) {
+                    *slot = col[i];
+                }
+                HealthRecord { hour: self.hours[i], values }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_smartsim::{FleetConfig, FleetSimulator};
+
+    fn columns() -> (Dataset, FleetColumns) {
+        let ds = FleetSimulator::new(FleetConfig::test_scale().with_seed(51)).run();
+        let cols = FleetColumns::build(&ds, Parallelism::Sequential);
+        (ds, cols)
+    }
+
+    #[test]
+    fn shapes_match_the_dataset() {
+        let (ds, cols) = columns();
+        assert_eq!(cols.num_drives(), ds.drives().len());
+        assert_eq!(cols.num_rows(), ds.num_records());
+        let mut total = 0;
+        for (pos, drive) in ds.drives().iter().enumerate() {
+            assert_eq!(cols.id(pos), drive.id());
+            assert_eq!(cols.is_failed(pos), drive.label().is_failed());
+            assert_eq!(cols.position(drive.id()), Some(pos));
+            assert_eq!(cols.drive_rows(pos).len(), drive.records().len());
+            total += drive.records().len();
+        }
+        assert_eq!(total, cols.num_rows());
+        assert_eq!(cols.position(DriveId(u32::MAX)), None);
+    }
+
+    #[test]
+    fn raw_and_normalized_columns_are_bit_exact() {
+        let (ds, cols) = columns();
+        for (pos, drive) in ds.drives().iter().enumerate() {
+            let hours = cols.hours(pos);
+            for (i, record) in drive.records().iter().enumerate() {
+                assert_eq!(hours[i], record.hour);
+                let normalized = ds.normalize_record(record);
+                for (a, expected) in normalized.iter().enumerate() {
+                    assert_eq!(cols.raw_slice(a, pos)[i].to_bits(), record.values[a].to_bits());
+                    assert_eq!(cols.normalized_slice(a, pos)[i].to_bits(), expected.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_identical() {
+        let (_, sequential) = columns();
+        let ds = FleetSimulator::new(FleetConfig::test_scale().with_seed(51)).run();
+        let threaded = FleetColumns::build(&ds, Parallelism::Threads(4));
+        for a in 0..NUM_ATTRIBUTES {
+            assert_eq!(sequential.raw_col(a), threaded.raw_col(a));
+            assert_eq!(sequential.normalized_col(a), threaded.normalized_col(a));
+            assert_eq!(sequential.good_attr_values(a), threaded.good_attr_values(a));
+        }
+    }
+
+    #[test]
+    fn good_reference_matches_the_aos_construction() {
+        let (ds, cols) = columns();
+        for (a, attr) in dds_smartsim::Attribute::ALL.iter().enumerate() {
+            let aos: Vec<f64> = ds
+                .good_drives()
+                .flat_map(|d| d.records().iter().map(|r| r.value(*attr)))
+                .filter(|v| v.is_finite())
+                .collect();
+            assert_eq!(cols.good_attr_values(a), aos.as_slice());
+        }
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let (ds, cols) = columns();
+        for (pos, drive) in ds.drives().iter().enumerate() {
+            assert_eq!(cols.rebuild_records(pos), drive.records());
+        }
+    }
+}

@@ -12,9 +12,10 @@
 //! degradation signature" described at the end of §IV-C.
 
 use crate::categorize::Categorization;
+use crate::columnar::FleetColumns;
 use crate::error::AnalysisError;
 use crate::features::FailureRecordSet;
-use dds_smartsim::{Dataset, DriveId, DriveProfile};
+use dds_smartsim::{Dataset, DriveId, DriveProfile, NUM_ATTRIBUTES};
 use dds_stats::timeseries::moving_average;
 use dds_stats::{euclidean, PolynomialFit, SignatureForm, SignatureModel};
 
@@ -166,7 +167,70 @@ impl DegradationAnalyzer {
         let failure = &normalized[n - 1];
         let distances: Vec<f64> =
             normalized.iter().map(|rec| euclidean(rec, failure)).collect::<Result<_, _>>()?;
+        let hours: Vec<u32> = drive.records().iter().map(|r| r.hour).collect();
+        self.analyze_from_distances(drive.id(), &hours, distances)
+    }
 
+    /// [`analyze_drive`](Self::analyze_drive) against column-major fleet
+    /// storage: the distance-to-failure curve is accumulated attribute by
+    /// attribute over contiguous column slices (a cache-friendly,
+    /// auto-vectorizable sweep), everything downstream is shared with the
+    /// row-based path. Per-record sums run in the same attribute order as
+    /// [`euclidean`], so the results are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::UnsuitableDataset`] for good drives or
+    /// profiles with fewer than 3 records, and propagates numerical errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn analyze_drive_columns(
+        &self,
+        columns: &FleetColumns,
+        pos: usize,
+    ) -> Result<DriveDegradation, AnalysisError> {
+        if !columns.is_failed(pos) {
+            return Err(AnalysisError::UnsuitableDataset(format!(
+                "{} is not a failed drive",
+                columns.id(pos)
+            )));
+        }
+        let n = columns.drive_rows(pos).len();
+        if n < 3 {
+            return Err(AnalysisError::UnsuitableDataset(format!(
+                "{} has only {n} records; need at least 3",
+                columns.id(pos)
+            )));
+        }
+        // Squared distance to the failure record, one attribute at a time:
+        // each record's accumulator receives its 12 terms in attribute
+        // order — the exact fold `euclidean` performs — while the inner
+        // loop streams one contiguous column slice.
+        let mut squared = vec![0.0f64; n];
+        for a in 0..NUM_ATTRIBUTES {
+            let col = columns.normalized_slice(a, pos);
+            let fail = col[n - 1];
+            for (acc, &x) in squared.iter_mut().zip(col) {
+                let diff = x - fail;
+                *acc += diff * diff;
+            }
+        }
+        let distances: Vec<f64> = squared.iter().map(|&v| v.sqrt()).collect();
+        self.analyze_from_distances(columns.id(pos), columns.hours(pos), distances)
+    }
+
+    /// Shared tail of both per-drive paths: window extraction, gap refit,
+    /// normalization and model selection over an already-computed distance
+    /// curve.
+    fn analyze_from_distances(
+        &self,
+        drive_id: DriveId,
+        hours: &[u32],
+        distances: Vec<f64>,
+    ) -> Result<DriveDegradation, AnalysisError> {
+        let n = distances.len();
         // --- monotone-suffix window extraction ----------------------------
         // Walking backward from the failure the distance should keep
         // rising; the window ends where it has dropped more than `tol`
@@ -213,7 +277,6 @@ impl DegradationAnalyzer {
         // `max_gap_hours` severs the window — the pre-gap samples belong
         // to a different regime — so the window restarts after the last
         // such gap, provided ≥ 3 samples survive.
-        let hours: Vec<u32> = drive.records().iter().map(|r| r.hour).collect();
         let max_gap = self.config.max_gap_hours.max(1) as u32;
         for k in (j..n - 1).rev() {
             if hours[k + 1] - hours[k] > max_gap && k < n - 3 {
@@ -265,7 +328,7 @@ impl DegradationAnalyzer {
         }
 
         Ok(DriveDegradation {
-            drive_id: drive.id(),
+            drive_id,
             distances,
             window_hours,
             times,
@@ -302,6 +365,78 @@ impl DegradationAnalyzer {
             for &id in &group.drive_ids {
                 let drive = dataset.drive(id).expect("group drives exist in dataset");
                 let analysis = self.analyze_drive(dataset, drive)?;
+                windows.push(analysis.window_hours);
+                analyzed += 1;
+                for (form, count) in &mut votes {
+                    if *form == analysis.best_model.form() {
+                        *count += 1;
+                    }
+                }
+                for ((_, sum), (_, rmse)) in rmse_sums.iter_mut().zip(&analysis.model_rmse) {
+                    *sum += rmse;
+                }
+                if id == group.centroid_drive {
+                    centroid = Some(analysis);
+                }
+            }
+            let centroid = centroid.ok_or_else(|| {
+                AnalysisError::UnsuitableDataset(format!(
+                    "group {} centroid drive missing from dataset",
+                    group.index + 1
+                ))
+            })?;
+            let mean_rmse_by_form: Vec<(SignatureForm, f64)> =
+                rmse_sums.into_iter().map(|(f, sum)| (f, sum / analyzed.max(1) as f64)).collect();
+            let dominant_form = votes
+                .iter()
+                .max_by_key(|(_, count)| *count)
+                .map(|&(f, _)| f)
+                .expect("votes non-empty");
+            let min = windows.iter().copied().min().unwrap_or(0);
+            let max = windows.iter().copied().max().unwrap_or(0);
+            let mean = windows.iter().sum::<usize>() as f64 / windows.len().max(1) as f64;
+            result.push(GroupDegradation {
+                group_index: group.index,
+                window_stats: (min, mean, max),
+                dominant_form,
+                form_votes: votes,
+                mean_rmse_by_form,
+                centroid,
+                windows,
+            });
+        }
+        let _ = records;
+        Ok(result)
+    }
+
+    /// [`analyze_groups`](Self::analyze_groups) against column-major fleet
+    /// storage: drives resolve through the O(1) position map instead of
+    /// `Dataset::drive`'s linear scan, and each drive's distance curve is
+    /// the cache-blocked columnar kernel. Bit-identical to the row-based
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-drive errors; groups whose centroid cannot be
+    /// analyzed fail the whole call (they indicate corrupt input).
+    pub fn analyze_groups_columns(
+        &self,
+        columns: &FleetColumns,
+        records: &FailureRecordSet,
+        categorization: &Categorization,
+    ) -> Result<Vec<GroupDegradation>, AnalysisError> {
+        let mut result = Vec::with_capacity(categorization.num_groups());
+        for group in categorization.groups() {
+            let mut windows = Vec::with_capacity(group.size());
+            let mut votes: Vec<(SignatureForm, usize)> =
+                SignatureForm::ALL.iter().map(|&f| (f, 0)).collect();
+            let mut rmse_sums: Vec<(SignatureForm, f64)> =
+                SignatureForm::ALL.iter().map(|&f| (f, 0.0)).collect();
+            let mut centroid: Option<DriveDegradation> = None;
+            let mut analyzed = 0usize;
+            for &id in &group.drive_ids {
+                let pos = columns.position(id).expect("group drives exist in dataset");
+                let analysis = self.analyze_drive_columns(columns, pos)?;
                 windows.push(analysis.window_hours);
                 analyzed += 1;
                 for (form, count) in &mut votes {

@@ -40,6 +40,7 @@
 #![deny(unsafe_code)]
 
 pub mod categorize;
+pub mod columnar;
 pub mod degradation;
 pub mod error;
 pub mod features;
@@ -56,6 +57,7 @@ pub mod zscore;
 pub use categorize::{
     Categorization, CategorizationConfig, Categorizer, FailureGroup, FailureType,
 };
+pub use columnar::FleetColumns;
 pub use degradation::{DegradationAnalyzer, DegradationConfig, DriveDegradation, GroupDegradation};
 pub use error::AnalysisError;
 pub use features::{FailureRecordSet, NUM_FEATURES};

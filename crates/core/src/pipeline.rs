@@ -12,6 +12,7 @@
 //! ```
 
 use crate::categorize::{Categorization, CategorizationConfig, Categorizer};
+use crate::columnar::FleetColumns;
 use crate::degradation::{DegradationAnalyzer, DegradationConfig, GroupDegradation};
 use crate::error::AnalysisError;
 use crate::features::FailureRecordSet;
@@ -19,7 +20,7 @@ use crate::influence::{self, AttributeInfluence, EnvInfluence};
 use crate::model::{TrainedModel, TrainingContext};
 use crate::predict::{DegradationPredictor, PredictionConfig, PredictionReport};
 use crate::quality::{self, QualityPolicy, QualityStats};
-use crate::zscore::{all_attribute_z_scores_with, TemporalZScores, ZScoreConfig};
+use crate::zscore::{all_attribute_z_scores_columns, TemporalZScores, ZScoreConfig};
 use dds_obs::trace::Level;
 use dds_smartsim::{Attribute, Dataset};
 use dds_stats::par::{par_join, par_map_indexed, Parallelism};
@@ -228,11 +229,20 @@ impl Analysis {
                 Categorizer::new(categorization_config).categorize(dataset, &failure_records)
             })?;
 
+        // --- Columnar hot-path storage --------------------------------------
+        // One SoA transpose of the (sanitized) fleet feeds the degradation,
+        // z-score and prediction stages below; each reads contiguous
+        // per-attribute columns instead of walking record structs, with
+        // bit-identical results.
+        let columns = stage("pipeline.columnar", "dds_pipeline_columnar_seconds", || {
+            FleetColumns::build(dataset, par)
+        });
+
         // --- Figs. 7–8 ------------------------------------------------------
         let degradation =
             stage("pipeline.degradation", "dds_pipeline_degradation_seconds", || {
                 let analyzer = DegradationAnalyzer::new(self.config.degradation.clone());
-                analyzer.analyze_groups(dataset, &failure_records, &categorization)
+                analyzer.analyze_groups_columns(&columns, &failure_records, &categorization)
             })?;
 
         // --- Figs. 9–12: the per-group influence analyses and the z-score
@@ -269,8 +279,8 @@ impl Analysis {
                         .collect()
                     },
                     || {
-                        all_attribute_z_scores_with(
-                            dataset,
+                        all_attribute_z_scores_columns(
+                            &columns,
                             &failure_records,
                             &categorization,
                             &self.config.zscore,
@@ -286,8 +296,8 @@ impl Analysis {
         let mut prediction_config = self.config.prediction.clone();
         prediction_config.tree.parallelism = par;
         let prediction = stage("pipeline.predict", "dds_pipeline_predict_seconds", || {
-            DegradationPredictor::new(prediction_config).train(
-                dataset,
+            DegradationPredictor::new(prediction_config).train_with_columns(
+                &columns,
                 &categorization,
                 &degradation,
             )

@@ -14,13 +14,14 @@
 //! paper's telling) and the Wilcoxon rank-sum detector of Hughes et al.
 
 use crate::categorize::Categorization;
+use crate::columnar::FleetColumns;
 use crate::degradation::GroupDegradation;
 use crate::error::AnalysisError;
-use dds_regtree::{RegressionTree, TreeConfig};
+use dds_regtree::{FitScratch, RegressionTree, TreeConfig};
 use dds_smartsim::{Attribute, Dataset, NUM_ATTRIBUTES};
 use dds_stats::hypothesis::rank_sum_test;
 use dds_stats::par::par_map_indexed;
-use dds_stats::{rmse, SignatureModel};
+use dds_stats::{rmse, ColMatrix, SignatureModel};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
@@ -123,20 +124,7 @@ impl DegradationPredictor {
         categorization: &Categorization,
         degradation: &[GroupDegradation],
     ) -> Result<PredictionReport, AnalysisError> {
-        if !(0.0..1.0).contains(&(self.config.train_fraction - f64::EPSILON))
-            || self.config.train_fraction <= 0.0
-            || self.config.train_fraction >= 1.0
-        {
-            return Err(AnalysisError::InvalidConfig(format!(
-                "train fraction {} must be in (0, 1)",
-                self.config.train_fraction
-            )));
-        }
-        if self.config.good_sample_ratio < 0.0 {
-            return Err(AnalysisError::InvalidConfig(
-                "good sample ratio must be non-negative".to_string(),
-            ));
-        }
+        self.validate_config()?;
         let _span = dds_obs::span!(
             dds_obs::Level::Debug,
             "predict.train",
@@ -161,23 +149,7 @@ impl DegradationPredictor {
 
         let mut groups = Vec::with_capacity(categorization.num_groups());
         for group in categorization.groups() {
-            let summary =
-                degradation.iter().find(|g| g.group_index == group.index).ok_or_else(|| {
-                    AnalysisError::UnsuitableDataset(format!(
-                        "missing degradation summary for group {}",
-                        group.index + 1
-                    ))
-                })?;
-            let window = match &self.config.fixed_windows {
-                Some(windows) => *windows.get(group.index).ok_or_else(|| {
-                    AnalysisError::InvalidConfig(format!(
-                        "fixed_windows has no entry for group {}",
-                        group.index + 1
-                    ))
-                })?,
-                None => median_window(&summary.windows),
-            };
-            let signature = SignatureModel::new(summary.dominant_form, window.max(1.0))?;
+            let signature = self.group_signature(group, degradation)?;
             let (xs, ys) =
                 self.assemble_samples_with_pool(dataset, group, &signature, &good_pool, &mut rng)?;
 
@@ -209,6 +181,172 @@ impl DegradationPredictor {
             });
         }
         Ok(PredictionReport { groups })
+    }
+
+    /// [`train`](Self::train) against column-major fleet storage: the good
+    /// pool, sample assembly and the regression trees all work on
+    /// per-attribute columns ([`RegressionTree::fit_columns`] with its
+    /// presorted split scans), drives resolve through the O(1) position
+    /// map, and only the test rows are materialized row-major for scoring.
+    /// The random sampling, shuffle and split consume the seeded RNG in
+    /// exactly the old order, so the report is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidConfig`] for out-of-range fractions
+    /// and [`AnalysisError::UnsuitableDataset`] when a group has no usable
+    /// samples; propagates tree-training errors.
+    pub fn train_with_columns(
+        &self,
+        columns: &FleetColumns,
+        categorization: &Categorization,
+        degradation: &[GroupDegradation],
+    ) -> Result<PredictionReport, AnalysisError> {
+        self.validate_config()?;
+        let _span = dds_obs::span!(
+            dds_obs::Level::Debug,
+            "predict.train",
+            groups = categorization.num_groups(),
+            train_fraction = self.config.train_fraction,
+        );
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let good_pool = {
+            let _span = dds_obs::span!(dds_obs::Level::Debug, "predict.good_pool",);
+            columns.finite_good_pool()
+        };
+
+        // Per-group working memory, allocated once and recycled across the
+        // loop. Freeing the multi-megabyte sample/train buffers after every
+        // group lets glibc's main arena trim the heap back to the OS, and
+        // the next group then refaults (and kernel-zeroes) every page;
+        // reuse keeps the pages hot. Worker-thread fits get the same effect
+        // for free from their per-thread arenas — this closes the gap for
+        // the sequential path.
+        let mut sample_cols: Vec<Vec<f64>> = vec![Vec::new(); NUM_ATTRIBUTES];
+        let mut sample_ys: Vec<f64> = Vec::new();
+        let mut finite: Vec<bool> = Vec::new();
+        let mut order: Vec<usize> = Vec::new();
+        let mut train_cols: Vec<Vec<f64>> = vec![Vec::new(); NUM_ATTRIBUTES];
+        let mut train_y: Vec<f64> = Vec::new();
+        let mut test_flat: Vec<f64> = Vec::new();
+        let mut test_y: Vec<f64> = Vec::new();
+        let mut fit_scratch = FitScratch::default();
+
+        let mut groups = Vec::with_capacity(categorization.num_groups());
+        for group in categorization.groups() {
+            let signature = self.group_signature(group, degradation)?;
+            {
+                let _span =
+                    dds_obs::span!(dds_obs::Level::Debug, "predict.assemble", group = group.index,);
+                self.assemble_sample_columns(
+                    columns,
+                    group,
+                    &signature,
+                    &good_pool,
+                    &mut rng,
+                    &mut sample_cols,
+                    &mut sample_ys,
+                    &mut finite,
+                )?;
+            }
+            let n = sample_ys.len();
+
+            // Shuffled 70/30 split — the same RNG draws as the row path.
+            let _span =
+                dds_obs::span!(dds_obs::Level::Debug, "predict.split_gather", group = group.index,);
+            order.clear();
+            order.extend(0..n);
+            order.shuffle(&mut rng);
+            let cut = ((n as f64) * self.config.train_fraction).round() as usize;
+            let cut = cut.clamp(1, n - 1);
+            let (train_idx, test_idx) = order.split_at(cut);
+            for (col, samples) in train_cols.iter_mut().zip(&sample_cols) {
+                col.clear();
+                col.extend(train_idx.iter().map(|&i| samples[i]));
+            }
+            let train_x = ColMatrix::from_columns(std::mem::take(&mut train_cols))?;
+            train_y.clear();
+            train_y.extend(train_idx.iter().map(|&i| sample_ys[i]));
+            // Test rows are only read once for scoring — gather them into
+            // one flat row-major buffer.
+            test_flat.clear();
+            test_flat.reserve(test_idx.len() * NUM_ATTRIBUTES);
+            for &i in test_idx {
+                for col in &sample_cols {
+                    test_flat.push(col[i]);
+                }
+            }
+            let test_x: Vec<&[f64]> = test_flat.chunks_exact(NUM_ATTRIBUTES).collect();
+            test_y.clear();
+            test_y.extend(test_idx.iter().map(|&i| sample_ys[i]));
+            drop(_span);
+
+            let tree = RegressionTree::fit_columns_with_scratch(
+                &train_x,
+                &train_y,
+                &self.config.tree,
+                &mut fit_scratch,
+            )?;
+            let predictions = tree.predict_batch_ref(&test_x);
+            let test_rmse = rmse(&predictions, &test_y)?;
+            groups.push(GroupPrediction {
+                group_index: group.index,
+                signature,
+                tree,
+                rmse: test_rmse,
+                // Target range is [-1, 1] (§V-B: error rate over the range).
+                error_rate: test_rmse / 2.0,
+                train_samples: train_idx.len(),
+                test_samples: test_idx.len(),
+            });
+            // Hand the train columns' capacity back for the next group.
+            train_cols = train_x.into_columns();
+        }
+        Ok(PredictionReport { groups })
+    }
+
+    fn validate_config(&self) -> Result<(), AnalysisError> {
+        if !(0.0..1.0).contains(&(self.config.train_fraction - f64::EPSILON))
+            || self.config.train_fraction <= 0.0
+            || self.config.train_fraction >= 1.0
+        {
+            return Err(AnalysisError::InvalidConfig(format!(
+                "train fraction {} must be in (0, 1)",
+                self.config.train_fraction
+            )));
+        }
+        if self.config.good_sample_ratio < 0.0 {
+            return Err(AnalysisError::InvalidConfig(
+                "good sample ratio must be non-negative".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Resolves one group's target signature: its dominant form with either
+    /// the configured fixed window or the median extracted window.
+    fn group_signature(
+        &self,
+        group: &crate::categorize::FailureGroup,
+        degradation: &[GroupDegradation],
+    ) -> Result<SignatureModel, AnalysisError> {
+        let summary =
+            degradation.iter().find(|g| g.group_index == group.index).ok_or_else(|| {
+                AnalysisError::UnsuitableDataset(format!(
+                    "missing degradation summary for group {}",
+                    group.index + 1
+                ))
+            })?;
+        let window = match &self.config.fixed_windows {
+            Some(windows) => *windows.get(group.index).ok_or_else(|| {
+                AnalysisError::InvalidConfig(format!(
+                    "fixed_windows has no entry for group {}",
+                    group.index + 1
+                ))
+            })?,
+            None => median_window(&summary.windows),
+        };
+        Ok(SignatureModel::new(summary.dominant_form, window.max(1.0))?)
     }
 }
 
@@ -283,6 +421,78 @@ impl DegradationPredictor {
             }
         }
         Ok((xs, ys))
+    }
+
+    /// [`assemble_samples_with_pool`](Self::assemble_samples_with_pool)
+    /// straight into column-major sample storage: per drive, a columnwise
+    /// finite mask selects the usable rows, then each attribute column is
+    /// appended in one contiguous pass — no per-record `Vec` rows. Sample
+    /// order, labels and RNG draws match the row path exactly.
+    ///
+    /// Writes into caller-owned buffers (`cols`, `ys`, `finite`) so the
+    /// per-group loop in [`train_with_columns`](Self::train_with_columns)
+    /// reuses their capacity instead of reallocating every group; each is
+    /// cleared before use.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_sample_columns<R: rand::Rng + ?Sized>(
+        &self,
+        columns: &FleetColumns,
+        group: &crate::categorize::FailureGroup,
+        signature: &SignatureModel,
+        good_pool: &[[f64; NUM_ATTRIBUTES]],
+        rng: &mut R,
+        cols: &mut [Vec<f64>],
+        ys: &mut Vec<f64>,
+        finite: &mut Vec<bool>,
+    ) -> Result<(), AnalysisError> {
+        for col in cols.iter_mut() {
+            col.clear();
+        }
+        ys.clear();
+        for &id in &group.drive_ids {
+            let pos = columns.position(id).expect("group drives exist");
+            let hours = columns.hours(pos);
+            let last_hour = *hours.last().expect("profiles are non-empty");
+            finite.clear();
+            finite.resize(hours.len(), true);
+            for a in 0..NUM_ATTRIBUTES {
+                for (f, v) in finite.iter_mut().zip(columns.normalized_slice(a, pos)) {
+                    *f &= v.is_finite();
+                }
+            }
+            for (a, col) in cols.iter_mut().enumerate() {
+                for (&f, &v) in finite.iter().zip(columns.normalized_slice(a, pos)) {
+                    if f {
+                        col.push(v);
+                    }
+                }
+            }
+            // Hours-before-failure by record *hour*, exactly as the row
+            // path labels its samples.
+            for (&f, &h) in finite.iter().zip(hours) {
+                if f {
+                    let t = (last_hour - h) as f64;
+                    ys.push(signature.evaluate(t).clamp(-1.0, 1.0));
+                }
+            }
+        }
+        if ys.is_empty() {
+            return Err(AnalysisError::UnsuitableDataset(format!(
+                "group {} has no failed samples",
+                group.index + 1
+            )));
+        }
+        let n_good = ((ys.len() as f64) * self.config.good_sample_ratio) as usize;
+        for _ in 0..n_good.min(good_pool.len().saturating_mul(4)) {
+            let pick = rng.random_range(0..good_pool.len().max(1));
+            if let Some(rec) = good_pool.get(pick) {
+                for (col, &v) in cols.iter_mut().zip(rec.iter()) {
+                    col.push(v);
+                }
+                ys.push(1.0);
+            }
+        }
+        Ok(())
     }
 }
 

@@ -9,10 +9,11 @@
 //! (`POH`) separates Group 3 — head failures strike old drives.
 
 use crate::categorize::Categorization;
+use crate::columnar::FleetColumns;
 use crate::error::AnalysisError;
 use crate::features::FailureRecordSet;
 use dds_smartsim::{Attribute, Dataset};
-use dds_stats::hypothesis::welch_z_score;
+use dds_stats::hypothesis::{welch_z_score_with_reference, ReferenceStats};
 use dds_stats::par::{par_map_indexed, Parallelism};
 
 /// Configuration for the temporal z-score sweep.
@@ -97,46 +98,112 @@ pub fn temporal_z_scores(
     let times: Vec<usize> = (0..=config.max_hours).step_by(config.stride_hours.max(1)).collect();
     let num_groups = categorization.num_groups();
 
-    // Pre-index failed drives by group.
-    let mut group_drives: Vec<Vec<&dds_smartsim::DriveProfile>> = vec![Vec::new(); num_groups];
+    // Pre-index failed drives by group, as per-drive (hours, values)
+    // series — the shape the shared sweep core consumes.
+    let mut group_data: Vec<Vec<(Vec<u32>, Vec<f64>)>> = vec![Vec::new(); num_groups];
     for (i, &id) in records.drive_ids().iter().enumerate() {
         let group = categorization.assignments()[i];
         if let Some(profile) = dataset.drive(id) {
-            group_drives[group].push(profile);
+            let recs = profile.records();
+            group_data[group].push((
+                recs.iter().map(|r| r.hour).collect(),
+                recs.iter().map(|r| r.value(attribute)).collect(),
+            ));
+        }
+    }
+    let groups: Vec<Vec<(&[u32], &[f64])>> = group_data
+        .iter()
+        .map(|g| g.iter().map(|(h, v)| (h.as_slice(), v.as_slice())).collect())
+        .collect();
+
+    let by_group = sweep_groups(&good, &groups, &times, config);
+    Ok(TemporalZScores { attribute, times, by_group })
+}
+
+/// [`temporal_z_scores`] against column-major fleet storage: the good
+/// reference is the pre-built finite-filtered attribute column, each failed
+/// drive contributes contiguous hour/value slices (no per-record struct
+/// walk), and lookups use the O(1) position map. Bit-identical to the
+/// row-based path.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::UnsuitableDataset`] if the dataset has no good
+/// records.
+pub fn temporal_z_scores_columns(
+    columns: &FleetColumns,
+    records: &FailureRecordSet,
+    categorization: &Categorization,
+    attribute: Attribute,
+    config: &ZScoreConfig,
+) -> Result<TemporalZScores, AnalysisError> {
+    let good = columns.good_attr_values(attribute.index());
+    if good.is_empty() {
+        return Err(AnalysisError::UnsuitableDataset(
+            "z-scores need good drives for reference".to_string(),
+        ));
+    }
+
+    let times: Vec<usize> = (0..=config.max_hours).step_by(config.stride_hours.max(1)).collect();
+    let num_groups = categorization.num_groups();
+
+    let mut groups: Vec<Vec<(&[u32], &[f64])>> = vec![Vec::new(); num_groups];
+    for (i, &id) in records.drive_ids().iter().enumerate() {
+        let group = categorization.assignments()[i];
+        if let Some(pos) = columns.position(id) {
+            groups[group].push((columns.hours(pos), columns.raw_slice(attribute.index(), pos)));
         }
     }
 
-    let mut by_group = Vec::with_capacity(num_groups);
-    for drives in &group_drives {
+    let by_group = sweep_groups(good, &groups, &times, config);
+    Ok(TemporalZScores { attribute, times, by_group })
+}
+
+/// The sweep core shared by both layouts: per group, per time point, gather
+/// each drive's value τ hours before its failure and score it against the
+/// good reference.
+///
+/// The reference moments are hoisted once via [`ReferenceStats`] — the
+/// dominant cost of the old per-call [`welch_z_score`]
+/// (`dds_stats::welch_z_score`) was recomputing the good mean/variance
+/// (hundreds of thousands of values) for every `(group, τ)` cell; scores
+/// are bit-identical.
+fn sweep_groups(
+    good: &[f64],
+    groups: &[Vec<(&[u32], &[f64])>],
+    times: &[usize],
+    config: &ZScoreConfig,
+) -> Vec<Vec<Option<f64>>> {
+    let reference = ReferenceStats::from_sample(good).expect("good reference is non-empty");
+    let mut by_group = Vec::with_capacity(groups.len());
+    for drives in groups {
         let mut series = Vec::with_capacity(times.len());
-        for &tau in &times {
+        let mut values: Vec<f64> = Vec::with_capacity(drives.len());
+        for &tau in times {
             // "τ hours before failure" resolves by record *hour*, not
             // index, so profiles with quarantined (missing) hours line
             // up correctly; a drive simply contributes nothing at a τ
             // it has no record for. On gap-free profiles this matches
             // the index `n - 1 - τ` exactly.
-            let values: Vec<f64> = drives
-                .iter()
-                .filter_map(|d| {
-                    let recs = d.records();
-                    let last_hour = recs.last()?.hour;
-                    let target = last_hour.checked_sub(tau as u32)?;
-                    recs.binary_search_by_key(&target, |r| r.hour)
-                        .ok()
-                        .map(|idx| recs[idx].value(attribute))
-                })
-                .filter(|v| v.is_finite())
-                .collect();
+            values.clear();
+            for &(hours, vals) in drives {
+                let Some(&last_hour) = hours.last() else { continue };
+                let Some(target) = last_hour.checked_sub(tau as u32) else { continue };
+                if let Ok(idx) = hours.binary_search(&target) {
+                    if vals[idx].is_finite() {
+                        values.push(vals[idx]);
+                    }
+                }
+            }
             if values.len() < config.min_samples {
                 series.push(None);
                 continue;
             }
-            series.push(welch_z_score(&values, &good).ok());
+            series.push(welch_z_score_with_reference(&values, &reference).ok());
         }
         by_group.push(series);
     }
-
-    Ok(TemporalZScores { attribute, times, by_group })
+    by_group
 }
 
 /// Runs the sweep for every attribute and ranks which attribute best
@@ -178,6 +245,33 @@ pub fn all_attribute_z_scores_with(
     );
     par_map_indexed(parallelism, &Attribute::ALL, |_, &attr| {
         temporal_z_scores(dataset, records, categorization, attr, config)
+    })
+    .into_iter()
+    .collect()
+}
+
+/// [`all_attribute_z_scores_with`] against column-major fleet storage —
+/// the 12 per-attribute sweeps fan out over [`temporal_z_scores_columns`].
+/// Bit-identical to the row-based sweep.
+///
+/// # Errors
+///
+/// Propagates [`temporal_z_scores_columns`] errors.
+pub fn all_attribute_z_scores_columns(
+    columns: &FleetColumns,
+    records: &FailureRecordSet,
+    categorization: &Categorization,
+    config: &ZScoreConfig,
+    parallelism: Parallelism,
+) -> Result<Vec<TemporalZScores>, AnalysisError> {
+    let _span = dds_obs::span!(
+        dds_obs::Level::Debug,
+        "zscore.sweep",
+        attributes = Attribute::ALL.len(),
+        max_hours = config.max_hours,
+    );
+    par_map_indexed(parallelism, &Attribute::ALL, |_, &attr| {
+        temporal_z_scores_columns(columns, records, categorization, attr, config)
     })
     .into_iter()
     .collect()

@@ -26,6 +26,7 @@
 #![deny(unsafe_code)]
 
 use dds_stats::par::{par_map_indexed, Parallelism};
+use dds_stats::ColMatrix;
 use std::error::Error;
 use std::fmt;
 
@@ -266,6 +267,265 @@ impl RegressionTree {
         }
         dds_obs::event!(dds_obs::Level::Trace, "regtree.built", nodes = tree.nodes.len());
         Ok(tree)
+    }
+
+    /// Fits a tree on column-major features — the cache-friendly fast path.
+    ///
+    /// Produces a tree **bit-identical** to [`fit`](Self::fit) on the
+    /// row-major view of the same data, but replaces the per-node,
+    /// per-feature `O(n log n)` sorts of the classic scan with one stable
+    /// sort per feature at the root plus an `O(n)` stable partition per
+    /// node. The identity argument:
+    ///
+    /// * In [`fit`](Self::fit), every node's index list is in ascending
+    ///   original-row order (the root starts at `0..n` and partitioning
+    ///   preserves order), so the stable per-node sort orders ties by
+    ///   ascending row.
+    /// * Here, the root's per-feature orderings are stable sorts of `0..n`
+    ///   (ties ascending), and each node partitions them stably, so every
+    ///   descendant's ordering also has ties ascending — the exact sequence
+    ///   the per-node sort would produce.
+    /// * With identical scan order, the prefix sums, thresholds,
+    ///   tie-breaking, recursion order, and importances all match to the
+    ///   last bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::DimensionMismatch`] when targets don't match
+    /// the row count and [`TreeError::InvalidConfig`] for out-of-domain
+    /// hyper-parameters or more than `u32::MAX` rows (row indices are kept
+    /// as `u32` to halve the bandwidth of partitioning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any feature value is NaN (as does [`fit`](Self::fit)).
+    pub fn fit_columns(
+        matrix: &ColMatrix,
+        ys: &[f64],
+        config: &TreeConfig,
+    ) -> Result<Self, TreeError> {
+        let mut scratch = FitScratch::default();
+        Self::fit_columns_with_scratch(matrix, ys, config, &mut scratch)
+    }
+
+    /// [`fit_columns`](Self::fit_columns) with caller-owned working memory.
+    ///
+    /// A fit allocates several arrays proportional to `rows × features`
+    /// (the presorted orderings plus partition scratch). Callers that fit
+    /// many trees back to back — the per-group loop in degradation
+    /// prediction, cross-validation sweeps — can pass the same
+    /// [`FitScratch`] to every call and reuse those allocations instead of
+    /// paying the allocator (and, under glibc's main arena, the
+    /// heap-trim/page-fault churn of repeatedly releasing and refaulting
+    /// large buffers) on every tree.
+    ///
+    /// The scratch carries no information between fits — every byte is
+    /// overwritten before use — so results are bit-identical to
+    /// [`fit_columns`](Self::fit_columns) regardless of what the scratch
+    /// held before.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`fit_columns`](Self::fit_columns).
+    pub fn fit_columns_with_scratch(
+        matrix: &ColMatrix,
+        ys: &[f64],
+        config: &TreeConfig,
+        scratch: &mut FitScratch,
+    ) -> Result<Self, TreeError> {
+        config.validate()?;
+        let n = matrix.num_rows();
+        let num_features = matrix.num_cols();
+        if n == 0 {
+            return Err(TreeError::EmptyInput);
+        }
+        if n != ys.len() {
+            return Err(TreeError::DimensionMismatch { expected: n, actual: ys.len() });
+        }
+        if n > u32::MAX as usize {
+            return Err(TreeError::InvalidConfig(format!(
+                "fit_columns supports at most {} rows, got {n}",
+                u32::MAX
+            )));
+        }
+        let _span = dds_obs::span!(
+            dds_obs::Level::Debug,
+            "regtree.fit_columns",
+            rows = n,
+            features = num_features,
+            max_depth = config.max_depth,
+        );
+        dds_obs::metrics::global().counter("dds_regtree_fits_total").inc();
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            num_features,
+            importances: vec![0.0; num_features],
+            parallelism: config.parallelism,
+        };
+        // One stable sort per feature at the root; every node below reuses
+        // these orderings through stable partitioning. Feature values and
+        // targets are gathered into sorted order alongside the indices so
+        // the split scans stream them sequentially. Sequentially the
+        // orderings are refilled in place (recycling the caller's scratch
+        // capacity); with worker threads each ordering is built fresh on a
+        // worker, whose thread-local arena already recycles across fits.
+        let scratch = &mut scratch.inner;
+        if matches!(config.parallelism, Parallelism::Sequential) {
+            scratch.orderings.truncate(num_features);
+            scratch.orderings.resize_with(num_features, FeatureOrdering::default);
+            for (feature, ordering) in scratch.orderings.iter_mut().enumerate() {
+                let col = matrix.col(feature);
+                ordering.rows.clear();
+                ordering.rows.extend(0..n as u32);
+                ordering.rows.sort_by(|&a, &b| {
+                    col[a as usize].partial_cmp(&col[b as usize]).expect("finite features")
+                });
+                ordering.vals.clear();
+                ordering.vals.extend(ordering.rows.iter().map(|&i| col[i as usize]));
+                ordering.ys.clear();
+                ordering.ys.extend(ordering.rows.iter().map(|&i| ys[i as usize]));
+            }
+        } else {
+            let features: Vec<usize> = (0..num_features).collect();
+            scratch.orderings = par_map_indexed(config.parallelism, &features, |_, &feature| {
+                let col = matrix.col(feature);
+                let mut order: Vec<u32> = (0..n as u32).collect();
+                order.sort_by(|&a, &b| {
+                    col[a as usize].partial_cmp(&col[b as usize]).expect("finite features")
+                });
+                let vals: Vec<f64> = order.iter().map(|&i| col[i as usize]).collect();
+                let sorted_ys: Vec<f64> = order.iter().map(|&i| ys[i as usize]).collect();
+                FeatureOrdering { rows: order, vals, ys: sorted_ys }
+            });
+        }
+        scratch.rows.clear();
+        scratch.rows.extend(0..n as u32);
+        scratch.goes_left.clear();
+        scratch.goes_left.resize(n, false);
+        scratch.buffer.clear();
+        scratch.buffer.reserve(n);
+        scratch.buffer_vals.clear();
+        scratch.buffer_vals.reserve(n);
+        scratch.buffer_ys.clear();
+        scratch.buffer_ys.reserve(n);
+        tree.build_columns(matrix, ys, scratch, 0, n, 0, config);
+        let total: f64 = tree.importances.iter().sum();
+        if total > 0.0 {
+            for imp in &mut tree.importances {
+                *imp /= total;
+            }
+        }
+        dds_obs::event!(dds_obs::Level::Trace, "regtree.built", nodes = tree.nodes.len());
+        Ok(tree)
+    }
+
+    /// Builds a subtree over the global range `[start, end)` of the
+    /// presorted scratch arrays and returns its node id.
+    #[allow(clippy::too_many_arguments)]
+    fn build_columns(
+        &mut self,
+        matrix: &ColMatrix,
+        ys: &[f64],
+        scratch: &mut ColumnsScratch,
+        start: usize,
+        end: usize,
+        depth: usize,
+        config: &TreeConfig,
+    ) -> usize {
+        let n = end - start;
+        let mean = scratch.rows[start..end].iter().map(|&i| ys[i as usize]).sum::<f64>() / n as f64;
+        let sse: f64 = scratch.rows[start..end]
+            .iter()
+            .map(|&i| (ys[i as usize] - mean) * (ys[i as usize] - mean))
+            .sum();
+        let make_leaf = |this: &mut Self| {
+            this.nodes.push(Node::Leaf { value: mean, samples: n });
+            this.nodes.len() - 1
+        };
+        if depth >= config.max_depth || n < config.min_samples_split || sse <= 1e-12 {
+            return make_leaf(self);
+        }
+        let Some(best) = self.best_split_columns(&scratch.orderings, start, end, sse, config)
+        else {
+            return make_leaf(self);
+        };
+        // Mark the left side once, then stably partition every ordering so
+        // relative order (ties ascending by row) survives into both
+        // children.
+        let feature_col = matrix.col(best.feature);
+        let mut left_count = 0usize;
+        for &i in &scratch.rows[start..end] {
+            let goes_left = feature_col[i as usize] < best.threshold;
+            scratch.goes_left[i as usize] = goes_left;
+            left_count += usize::from(goes_left);
+        }
+        let mid = start + left_count;
+        stable_partition(&mut scratch.rows[start..end], &scratch.goes_left, &mut scratch.buffer);
+        for ordering in &mut scratch.orderings {
+            stable_partition_ordering(
+                ordering,
+                start,
+                end,
+                &scratch.goes_left,
+                &mut scratch.buffer,
+                &mut scratch.buffer_vals,
+                &mut scratch.buffer_ys,
+            );
+        }
+        self.importances[best.feature] += best.improvement;
+        let node_id = self.nodes.len();
+        self.nodes.push(Node::Split {
+            feature: best.feature,
+            threshold: best.threshold,
+            value: mean,
+            samples: n,
+            left: 0,
+            right: 0,
+        });
+        let left = self.build_columns(matrix, ys, scratch, start, mid, depth + 1, config);
+        let right = self.build_columns(matrix, ys, scratch, mid, end, depth + 1, config);
+        if let Node::Split { left: l, right: r, .. } = &mut self.nodes[node_id] {
+            *l = left;
+            *r = right;
+        }
+        node_id
+    }
+
+    /// Column-major counterpart of [`best_split`](Self::best_split): same
+    /// parallelism gate, same feature fan-out, same strictly-greater fold,
+    /// but each feature scans its presorted value/target streams instead of
+    /// sorting.
+    fn best_split_columns(
+        &self,
+        orderings: &[FeatureOrdering],
+        start: usize,
+        end: usize,
+        parent_sse: f64,
+        config: &TreeConfig,
+    ) -> Option<BestSplit> {
+        let par = if (end - start) * self.num_features >= PAR_SPLIT_MIN_CELLS {
+            config.parallelism
+        } else {
+            Parallelism::Sequential
+        };
+        let features: Vec<usize> = (0..self.num_features).collect();
+        let per_feature = par_map_indexed(par, &features, |_, &feature| {
+            let ordering = &orderings[feature];
+            best_split_for_feature_columns(
+                &ordering.vals[start..end],
+                &ordering.ys[start..end],
+                parent_sse,
+                config,
+                feature,
+            )
+        });
+        let mut best: Option<BestSplit> = None;
+        for candidate in per_feature.into_iter().flatten() {
+            if best.as_ref().is_none_or(|b| candidate.improvement > b.improvement) {
+                best = Some(candidate);
+            }
+        }
+        best
     }
 
     /// Builds a subtree over `indices` and returns its node id.
@@ -598,6 +858,100 @@ struct BestSplit {
     improvement: f64,
 }
 
+/// Opaque reusable working memory for
+/// [`RegressionTree::fit_columns_with_scratch`].
+///
+/// Holds the presorted per-feature orderings and partition buffers a
+/// columnar fit needs (several `rows × features`-sized arrays). Passing the
+/// same instance to consecutive fits recycles those allocations; contents
+/// never leak between fits. `Default::default()` is an empty scratch that
+/// grows on first use.
+#[derive(Debug, Default)]
+pub struct FitScratch {
+    inner: ColumnsScratch,
+}
+
+/// Mutable working state of [`RegressionTree::fit_columns`]: one presorted
+/// feature ordering per feature — the row indices plus the feature values
+/// and targets *gathered into that same order*, so split scans read three
+/// sequential streams instead of chasing rows through `ys` — the
+/// node-major row list, and the partition scratch shared by every node
+/// (allocated once per fit).
+#[derive(Debug, Default)]
+struct ColumnsScratch {
+    orderings: Vec<FeatureOrdering>,
+    rows: Vec<u32>,
+    goes_left: Vec<bool>,
+    buffer: Vec<u32>,
+    buffer_vals: Vec<f64>,
+    buffer_ys: Vec<f64>,
+}
+
+/// One feature's presorted view of the node ranges: `rows[k]` is the
+/// original row at sorted position `k`, `vals[k]` its feature value and
+/// `ys[k]` its target. All three are permuted identically, at the root by
+/// the stable sort and below it by [`stable_partition_ordering`].
+#[derive(Debug, Default)]
+struct FeatureOrdering {
+    rows: Vec<u32>,
+    vals: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+/// Stably partitions `range` so rows flagged in `goes_left` come first,
+/// each side keeping its relative order. `buffer` is reused scratch for the
+/// right side.
+fn stable_partition(range: &mut [u32], goes_left: &[bool], buffer: &mut Vec<u32>) {
+    buffer.clear();
+    let mut write = 0usize;
+    for read in 0..range.len() {
+        let i = range[read];
+        if goes_left[i as usize] {
+            range[write] = i;
+            write += 1;
+        } else {
+            buffer.push(i);
+        }
+    }
+    range[write..].copy_from_slice(buffer);
+}
+
+/// [`stable_partition`] applied to one feature ordering: rows, values and
+/// targets move together (the flag is keyed by the row index), so the
+/// three streams stay permuted identically in both children.
+fn stable_partition_ordering(
+    ordering: &mut FeatureOrdering,
+    start: usize,
+    end: usize,
+    goes_left: &[bool],
+    buffer: &mut Vec<u32>,
+    buffer_vals: &mut Vec<f64>,
+    buffer_ys: &mut Vec<f64>,
+) {
+    buffer.clear();
+    buffer_vals.clear();
+    buffer_ys.clear();
+    let mut write = start;
+    for read in start..end {
+        let i = ordering.rows[read];
+        let v = ordering.vals[read];
+        let y = ordering.ys[read];
+        if goes_left[i as usize] {
+            ordering.rows[write] = i;
+            ordering.vals[write] = v;
+            ordering.ys[write] = y;
+            write += 1;
+        } else {
+            buffer.push(i);
+            buffer_vals.push(v);
+            buffer_ys.push(y);
+        }
+    }
+    ordering.rows[write..end].copy_from_slice(buffer);
+    ordering.vals[write..end].copy_from_slice(buffer_vals);
+    ordering.ys[write..end].copy_from_slice(buffer_ys);
+}
+
 /// The best admissible split on one feature: sort the node's samples by
 /// the feature, then scan candidate partitions with prefix sums for O(1)
 /// SSE of each side (SSE = Σy² − (Σy)²/n). Ties keep the earliest
@@ -625,6 +979,53 @@ fn best_split_for_feature(
         // Can't split between equal feature values.
         let lo = xs[order[split_at - 1]][feature];
         let hi = xs[order[split_at]][feature];
+        if hi <= lo {
+            continue;
+        }
+        if split_at < config.min_samples_leaf || n - split_at < config.min_samples_leaf {
+            continue;
+        }
+        let right_sum = total_sum - left_sum;
+        let right_sq = total_sq - left_sq;
+        let left_sse = left_sq - left_sum * left_sum / split_at as f64;
+        let right_sse = right_sq - right_sum * right_sum / (n - split_at) as f64;
+        let improvement = parent_sse - left_sse - right_sse;
+        if improvement < config.min_impurity_decrease {
+            continue;
+        }
+        if best.as_ref().is_none_or(|b| improvement > b.improvement) {
+            best = Some(BestSplit { feature, threshold: (lo + hi) / 2.0, improvement });
+        }
+    }
+    best
+}
+
+/// Best admissible split on one feature over its presorted range: the same
+/// prefix-sum scan as [`best_split_for_feature`], minus the sort (already
+/// paid once at the root), over the two sequential streams of feature
+/// values and targets in sorted order — no per-sample indirection at all.
+/// The value/target sequences are the ones the scalar scan visits, so
+/// every sum folds in the identical order.
+fn best_split_for_feature_columns(
+    vals: &[f64],
+    ys: &[f64],
+    parent_sse: f64,
+    config: &TreeConfig,
+    feature: usize,
+) -> Option<BestSplit> {
+    let n = vals.len();
+    let mut left_sum = 0.0;
+    let mut left_sq = 0.0;
+    let total_sum: f64 = ys.iter().sum();
+    let total_sq: f64 = ys.iter().map(|&y| y * y).sum();
+    let mut best: Option<BestSplit> = None;
+    for split_at in 1..n {
+        let y = ys[split_at - 1];
+        left_sum += y;
+        left_sq += y * y;
+        // Can't split between equal feature values.
+        let lo = vals[split_at - 1];
+        let hi = vals[split_at];
         if hi <= lo {
             continue;
         }
@@ -881,6 +1282,76 @@ mod tests {
             assert_eq!(parallel, sequential, "{mode:?}");
             assert_eq!(parallel.predict_batch(&xs), sequential.predict_batch(&xs), "{mode:?}");
         }
+    }
+
+    /// Deterministic pseudo-random stream for tie-heavy fixtures (no RNG
+    /// dependency in this crate).
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*state >> 33) % 1000) as f64 / 1000.0
+    }
+
+    #[test]
+    fn fit_columns_is_bit_identical_to_fit() {
+        // Heavy ties (quantized values) exercise the stable-order argument;
+        // several shapes exercise depth limits and leaf minima.
+        let mut state = 0x2015_115Cu64;
+        for (rows, quantum) in [(120usize, 8.0), (257, 3.0), (600, 50.0)] {
+            let xs: Vec<Vec<f64>> = (0..rows)
+                .map(|_| (0..4).map(|_| (lcg(&mut state) * quantum).floor() / quantum).collect())
+                .collect();
+            let ys: Vec<f64> = (0..rows).map(|_| lcg(&mut state) * 2.0 - 1.0).collect();
+            let matrix = ColMatrix::from_rows(&xs).unwrap();
+            for config in [
+                TreeConfig::default(),
+                TreeConfig::default().with_min_samples_split(2).with_min_samples_leaf(1),
+                TreeConfig::default().with_max_depth(3),
+            ] {
+                let classic = RegressionTree::fit(&xs, &ys, &config).unwrap();
+                let columnar = RegressionTree::fit_columns(&matrix, &ys, &config).unwrap();
+                assert_eq!(columnar, classic, "rows={rows} quantum={quantum} {config:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fit_columns_is_identical_for_every_parallelism_mode() {
+        let mut state = 7u64;
+        let xs: Vec<Vec<f64>> =
+            (0..500).map(|_| (0..3).map(|_| (lcg(&mut state) * 13.0).floor()).collect()).collect();
+        let ys: Vec<f64> = (0..500).map(|_| lcg(&mut state)).collect();
+        let matrix = ColMatrix::from_rows(&xs).unwrap();
+        let config = TreeConfig::default().with_min_samples_split(4).with_min_samples_leaf(2);
+        let sequential = RegressionTree::fit_columns(
+            &matrix,
+            &ys,
+            &config.clone().with_parallelism(Parallelism::Sequential),
+        )
+        .unwrap();
+        for mode in [Parallelism::Auto, Parallelism::Threads(4)] {
+            let parallel =
+                RegressionTree::fit_columns(&matrix, &ys, &config.clone().with_parallelism(mode))
+                    .unwrap();
+            assert_eq!(parallel, sequential, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn fit_columns_validation_errors() {
+        let matrix = ColMatrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(RegressionTree::fit_columns(&matrix, &[1.0], &TreeConfig::default()).is_err());
+        let bad = TreeConfig { min_impurity_decrease: -1.0, ..TreeConfig::default() };
+        assert!(RegressionTree::fit_columns(&matrix, &[1.0, 2.0], &bad).is_err());
+    }
+
+    #[test]
+    fn stable_partition_keeps_relative_order() {
+        let mut range = [3u32, 1, 4, 0, 2];
+        let goes_left = [false, true, true, false, true];
+        let mut buffer = Vec::new();
+        stable_partition(&mut range, &goes_left, &mut buffer);
+        // Left rows (1, 4, 2) keep their order, then right rows (3, 0).
+        assert_eq!(range, [1, 4, 2, 3, 0]);
     }
 
     #[test]

@@ -48,6 +48,68 @@ pub fn welch_z_score(failed: &[f64], good: &[f64]) -> Result<f64, StatsError> {
     Ok((mf - mg) / denom)
 }
 
+/// Pre-computed moments of a reference ("good") population, for repeated
+/// [`welch_z_score_with_reference`] queries against the same baseline.
+///
+/// The temporal z-score sweep compares thousands of small failed-drive
+/// samples against one large good-drive population per attribute;
+/// recomputing the good mean/variance for every comparison dominated that
+/// sweep. Capturing them once here uses the very same [`mean`] /
+/// [`variance`] calls [`welch_z_score`] would make, so the resulting scores
+/// are bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReferenceStats {
+    /// Mean of the reference sample.
+    pub mean: f64,
+    /// Population variance of the reference sample.
+    pub variance: f64,
+    /// Number of values in the reference sample.
+    pub len: usize,
+}
+
+impl ReferenceStats {
+    /// Captures mean, variance and size of the reference sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] if the sample is empty.
+    pub fn from_sample(sample: &[f64]) -> Result<Self, StatsError> {
+        if sample.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        Ok(ReferenceStats { mean: mean(sample)?, variance: variance(sample)?, len: sample.len() })
+    }
+}
+
+/// [`welch_z_score`] with the good-population moments hoisted out.
+///
+/// Bit-identical to `welch_z_score(failed, good)` when `reference` was built
+/// from `good` via [`ReferenceStats::from_sample`]: the failed moments and
+/// the `(σ²_f/n_f + σ²_g/n_g).sqrt()` denominator are evaluated in the same
+/// order with the same operations.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] if `failed` is empty and
+/// [`StatsError::InvalidParameter`] if both variances are zero.
+pub fn welch_z_score_with_reference(
+    failed: &[f64],
+    reference: &ReferenceStats,
+) -> Result<f64, StatsError> {
+    if failed.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let mf = mean(failed)?;
+    let vf = variance(failed)?;
+    let denom = (vf / failed.len() as f64 + reference.variance / reference.len as f64).sqrt();
+    if denom == 0.0 {
+        return Err(StatsError::InvalidParameter(
+            "both samples have zero variance; z-score undefined".to_string(),
+        ));
+    }
+    Ok((mf - reference.mean) / denom)
+}
+
 /// Standard normal cumulative distribution function Φ(x).
 ///
 /// Uses the Abramowitz–Stegun 7.1.26 rational approximation of `erf`
@@ -162,6 +224,25 @@ mod tests {
     fn z_score_errors() {
         assert!(welch_z_score(&[], &[1.0]).is_err());
         assert!(welch_z_score(&[1.0, 1.0], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn reference_variant_is_bit_identical() {
+        let good: Vec<f64> = (0..97).map(|i| ((i * 31 % 97) as f64).sin() * 40.0).collect();
+        let reference = ReferenceStats::from_sample(&good).unwrap();
+        for chunk in [&[50.0, 51.0, 52.0][..], &[-3.0, 0.25, 7.5, 9.0][..], &[0.0; 5][..]] {
+            let direct = welch_z_score(chunk, &good).unwrap();
+            let hoisted = welch_z_score_with_reference(chunk, &reference).unwrap();
+            assert_eq!(direct.to_bits(), hoisted.to_bits());
+        }
+    }
+
+    #[test]
+    fn reference_variant_errors_match() {
+        let reference = ReferenceStats::from_sample(&[1.0, 1.0]).unwrap();
+        assert!(welch_z_score_with_reference(&[], &reference).is_err());
+        assert!(welch_z_score_with_reference(&[2.0, 2.0], &reference).is_err());
+        assert!(ReferenceStats::from_sample(&[]).is_err());
     }
 
     #[test]

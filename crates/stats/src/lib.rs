@@ -28,6 +28,7 @@
 #![deny(unsafe_code)]
 
 pub mod boxplot;
+pub mod columnar;
 pub mod correlation;
 pub mod descriptive;
 pub mod distance;
@@ -42,12 +43,15 @@ pub mod streaming;
 pub mod timeseries;
 
 pub use boxplot::BoxplotSummary;
+pub use columnar::ColMatrix;
 pub use correlation::{pearson, spearman};
 pub use descriptive::{deciles, mean, median, quantile, std_dev, variance};
 pub use distance::{euclidean, mahalanobis, squared_euclidean, MahalanobisMetric};
 pub use error::StatsError;
 pub use histogram::Histogram;
-pub use hypothesis::{rank_sum_test, welch_z_score, RankSumResult};
+pub use hypothesis::{
+    rank_sum_test, welch_z_score, welch_z_score_with_reference, RankSumResult, ReferenceStats,
+};
 pub use matrix::Matrix;
 pub use normalize::MinMaxScaler;
 pub use par::{

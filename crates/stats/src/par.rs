@@ -301,8 +301,9 @@ mod tests {
     #[test]
     fn chunked_float_reduction_is_bitwise_identical_across_modes() {
         // Values chosen so naive reassociation visibly changes the sum.
-        let items: Vec<f64> =
-            (0..10_001).map(|i| if i % 3 == 0 { 1e16 } else { -3.14159 * i as f64 }).collect();
+        let items: Vec<f64> = (0..10_001)
+            .map(|i| if i % 3 == 0 { 1e16 } else { -std::f64::consts::PI * i as f64 })
+            .collect();
         let reduce = |mode| {
             par_chunks_reduce(
                 mode,

@@ -52,6 +52,7 @@ fn pipeline_spans_nest_under_pipeline_run() {
         "pipeline.features",
         "pipeline.boxplots",
         "pipeline.categorize",
+        "pipeline.columnar",
         "pipeline.degradation",
         "pipeline.influence_zscore",
         "pipeline.predict",
@@ -74,8 +75,9 @@ fn pipeline_spans_nest_under_pipeline_run() {
     // Inner algorithm spans fire too, below Info.
     let names = capture.span_names();
     assert!(names.contains(&"kmeans.fit"), "spans: {names:?}");
+    assert!(names.contains(&"columnar.build"), "spans: {names:?}");
     assert!(names.contains(&"zscore.sweep"), "spans: {names:?}");
-    assert!(names.contains(&"regtree.fit"), "spans: {names:?}");
+    assert!(names.contains(&"regtree.fit_columns"), "spans: {names:?}");
 }
 
 #[test]
@@ -147,6 +149,7 @@ fn json_lines_trace_covers_every_pipeline_stage() {
         "pipeline.features",
         "pipeline.boxplots",
         "pipeline.categorize",
+        "pipeline.columnar",
         "pipeline.degradation",
         "pipeline.influence_zscore",
         "pipeline.predict",
