@@ -36,6 +36,7 @@ use dds_core::{
 };
 use dds_monitor::{
     AlertHistory, FleetMonitor, ModelBundle, MonitorConfig, MonitorService, Severity,
+    ShardedFleetMonitor,
 };
 use dds_obs::http::HttpServer;
 use dds_obs::profile::StageProfiler;
@@ -266,6 +267,9 @@ pub enum Command {
         threads: usize,
         /// Expose the scrape endpoints on this address during the run.
         listen: Option<String>,
+        /// Hash drives across this many monitor shards (1 = the classic
+        /// sequential replay; alerts then sort by (hour, drive id)).
+        shards: usize,
         /// Fault injection applied to the live stream.
         chaos: ChaosOptions,
         /// Observability flags.
@@ -332,11 +336,12 @@ USAGE:
   dds simulate --out <fleet.csv> [--scale test|bench|consumer|paper] [--seed N] [--threads N]
   dds analyze <fleet.csv> [--full-report] [--k N] [--threads N]
   dds monitor --train <fleet.csv> --live <fleet.csv> [--limit N] [--threads N] [--listen ADDR]
+              [--shards N]
   dds pipeline [--scale test|bench|consumer|paper] [--seed N] [--threads N] [--listen ADDR]
   dds train --save-model <model.dds> [--input <fleet.csv>] [--scale S] [--seed N] [--threads N]
   dds predict --model <model.dds> --live <fleet.csv> [--limit N]
   dds serve [--scale S] [--seed N] [--threads N] [--listen ADDR] [--epochs N] [--tick-ms N]
-            [--model <model.dds>]
+            [--model <model.dds>] [--shards N] [--ingest-queue N]
   dds help
 
 monitor, pipeline and serve also accept fault injection
@@ -369,11 +374,22 @@ Serving (see docs/OPERATIONS.md \"Serving & scraping\"):
   dds serve trains a model bundle, then ingests simulated fleet epochs
   forever (or for --epochs N), pacing each fleet-hour by --tick-ms
   (default 50). The scrape server (default 127.0.0.1:9150) answers
-  /metrics, /metrics.json, /healthz, /readyz, /alerts?n=K and /profile
-  throughout; an SLO watchdog degrades /healthz on latency, alert-spike
-  or error-budget violations. Ctrl-C (SIGINT/SIGTERM) shuts down cleanly
-  and prints the final summary. --listen on monitor/pipeline exposes the
-  same endpoints during a batch run.
+  /metrics, /metrics.json, /healthz, /readyz, /alerts?n=K, /shards and
+  /profile throughout; an SLO watchdog degrades /healthz on latency,
+  alert-spike, error-budget or ingest shed-budget violations. Ctrl-C
+  (SIGINT/SIGTERM) shuts down cleanly and prints the final summary.
+  --listen on monitor/pipeline exposes the same endpoints during a
+  batch run.
+
+Sharded serving (see docs/SCALING.md):
+  --shards N hashes drives onto N independent monitor shards, each with
+  its own models, sanitizer and escalation state; aggregated alerts,
+  /metrics and /healthz are byte-identical at any shard count. External
+  collectors POST record batches (binary DDSB or CSV chunks) to /ingest;
+  --ingest-queue N bounds the queue (default 256 batches), and a full
+  queue sheds the batch with a 429 receipt instead of blocking. On
+  monitor, --shards N replays the live fleet through the same sharded
+  path (alerts sort by hour, then drive id).
 
 Observability (any subcommand; see docs/OPERATIONS.md):
   --trace-level trace|debug|info|warn|error   pretty-print spans to stderr
@@ -391,6 +407,15 @@ const LIVE_SALT: u64 = 1;
 
 fn parse_threads(raw: &str) -> Result<usize, Box<dyn Error>> {
     raw.parse().map_err(|_| CliError::boxed(format!("invalid thread count {raw:?}")))
+}
+
+fn parse_shards(raw: &str) -> Result<usize, Box<dyn Error>> {
+    match raw.parse() {
+        Ok(0) | Err(_) => {
+            Err(CliError::boxed(format!("invalid shard count {raw:?} (must be at least 1)")))
+        }
+        Ok(shards) => Ok(shards),
+    }
 }
 
 fn take_value(args: &mut std::vec::IntoIter<String>, flag: &str) -> Result<String, Box<dyn Error>> {
@@ -471,6 +496,7 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
             let mut limit = 20usize;
             let mut threads = 0usize;
             let mut listen = None;
+            let mut shards = 1usize;
             let mut chaos = ChaosOptions::default();
             let mut obs = ObsOptions::default();
             while let Some(arg) = iter.next() {
@@ -487,12 +513,13 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
                     }
                     "--threads" => threads = parse_threads(&take_value(&mut iter, "--threads")?)?,
                     "--listen" => listen = Some(take_value(&mut iter, "--listen")?),
+                    "--shards" => shards = parse_shards(&take_value(&mut iter, "--shards")?)?,
                     other => return Err(CliError::boxed(format!("unknown flag {other:?}"))),
                 }
             }
             let train = train.ok_or_else(|| CliError::boxed("monitor requires --train <path>"))?;
             let live = live.ok_or_else(|| CliError::boxed("monitor requires --live <path>"))?;
-            Ok(Command::Monitor { train, live, limit, threads, listen, chaos, obs })
+            Ok(Command::Monitor { train, live, limit, threads, listen, shards, chaos, obs })
         }
         "pipeline" => {
             let mut scale = "test".to_string();
@@ -613,6 +640,20 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
                     }
                     "--model" => {
                         options.model = Some(PathBuf::from(take_value(&mut iter, "--model")?));
+                    }
+                    "--shards" => {
+                        options.shards = parse_shards(&take_value(&mut iter, "--shards")?)?;
+                    }
+                    "--ingest-queue" => {
+                        let raw = take_value(&mut iter, "--ingest-queue")?;
+                        options.ingest_queue = match raw.parse() {
+                            Ok(0) | Err(_) => {
+                                return Err(CliError::boxed(format!(
+                                    "invalid ingest queue capacity {raw:?} (must be at least 1)"
+                                )))
+                            }
+                            Ok(capacity) => capacity,
+                        };
                     }
                     other => return Err(CliError::boxed(format!("unknown flag {other:?}"))),
                 }
@@ -753,7 +794,7 @@ fn run_inner(
                 Ok(out)
             }
         }
-        Command::Monitor { train, live, limit, threads, listen, chaos, obs: _ } => {
+        Command::Monitor { train, live, limit, threads, listen, shards, chaos, obs: _ } => {
             let training = load(&train)?;
             let analysis = Analysis::new(analysis_config(None, threads)).run(&training)?;
             let bundle = ModelBundle::from_analysis(&training, &analysis);
@@ -764,26 +805,56 @@ fn run_inner(
                 .as_deref()
                 .map(|addr| batch_server(addr, Arc::clone(&history), Arc::clone(&health), profiler))
                 .transpose()?;
-            let mut monitor = FleetMonitor::new(bundle, MonitorConfig::default())
-                .with_history(Arc::clone(&history));
             health.set_ready(true);
             let mut alerts = Vec::new();
-            let live_faults = match chaos.engine() {
-                Some(engine) => {
-                    let (raw, faults) = engine.corrupt_dataset(LIVE_SALT, &live_fleet);
-                    engine.publish(&faults);
-                    for profile in &raw {
-                        alerts.extend(monitor.replay(profile.id, &profile.records));
+            let mut live_faults = None;
+            let quality;
+            if shards > 1 {
+                // Sharded replay: concatenate per-drive histories into one
+                // batch (a drive's records stay in order), fan it across
+                // the shards, and take the coordinator's (hour, drive id)
+                // merged alert stream.
+                let mut monitor =
+                    ShardedFleetMonitor::new(bundle, MonitorConfig::default(), shards)
+                        .with_history(Arc::clone(&history));
+                let mut batch = Vec::new();
+                match chaos.engine() {
+                    Some(engine) => {
+                        let (raw, faults) = engine.corrupt_dataset(LIVE_SALT, &live_fleet);
+                        engine.publish(&faults);
+                        live_faults = Some(faults);
+                        for profile in &raw {
+                            batch.extend(profile.records.iter().map(|r| (profile.id, r.clone())));
+                        }
                     }
-                    Some(faults)
-                }
-                None => {
-                    for drive in live_fleet.drives() {
-                        alerts.extend(monitor.replay(drive.id(), drive.records()));
+                    None => {
+                        for drive in live_fleet.drives() {
+                            batch.extend(drive.records().iter().map(|r| (drive.id(), r.clone())));
+                        }
                     }
-                    None
                 }
-            };
+                alerts = monitor.ingest_batch(&batch);
+                quality = monitor.quality_stats();
+            } else {
+                let mut monitor = FleetMonitor::new(bundle, MonitorConfig::default())
+                    .with_history(Arc::clone(&history));
+                match chaos.engine() {
+                    Some(engine) => {
+                        let (raw, faults) = engine.corrupt_dataset(LIVE_SALT, &live_fleet);
+                        engine.publish(&faults);
+                        live_faults = Some(faults);
+                        for profile in &raw {
+                            alerts.extend(monitor.replay(profile.id, &profile.records));
+                        }
+                    }
+                    None => {
+                        for drive in live_fleet.drives() {
+                            alerts.extend(monitor.replay(drive.id(), drive.records()));
+                        }
+                    }
+                }
+                quality = *monitor.quality_stats();
+            }
             alerts.sort_by_key(|a| a.hour);
             let mut out = String::new();
             out.push_str(&format!(
@@ -800,10 +871,8 @@ fn run_inner(
             if let Some(faults) = live_faults {
                 out.push_str(&format!(
                     "chaos {} (seed {}): {faults} faults injected into the live stream\n\
-                     live quality: {}\n",
-                    chaos.spec,
-                    chaos.seed,
-                    monitor.quality_stats(),
+                     live quality: {quality}\n",
+                    chaos.spec, chaos.seed,
                 ));
             }
             if let Some(server) = server {
@@ -1060,11 +1129,40 @@ mod tests {
                 limit: 5,
                 threads: 0,
                 listen: None,
+                shards: 1,
                 chaos: ChaosOptions::default(),
                 obs: ObsOptions::default(),
             }
         );
         assert!(parse(argv(&["monitor", "--train", "a.csv"])).is_err());
+    }
+
+    #[test]
+    fn parses_sharding_flags() {
+        let cmd = parse(argv(&["serve", "--shards", "4", "--ingest-queue", "32"])).unwrap();
+        let Command::Serve(options) = cmd else { panic!("expected serve") };
+        assert_eq!(options.shards, 4);
+        assert_eq!(options.ingest_queue, 32);
+
+        let cmd =
+            parse(argv(&["monitor", "--train", "a", "--live", "b", "--shards", "8"])).unwrap();
+        assert!(matches!(cmd, Command::Monitor { shards: 8, .. }));
+
+        // Defaults: one shard, 256 queued batches.
+        let Command::Serve(defaults) = parse(argv(&["serve"])).unwrap() else {
+            panic!("expected serve")
+        };
+        assert_eq!(defaults.shards, 1);
+        assert_eq!(defaults.ingest_queue, 256);
+
+        // Zero or garbage values are clean errors.
+        assert!(parse(argv(&["serve", "--shards", "0"])).is_err());
+        assert!(parse(argv(&["serve", "--shards", "many"])).is_err());
+        assert!(parse(argv(&["serve", "--ingest-queue", "0"])).is_err());
+        assert!(parse(argv(&["monitor", "--train", "a", "--live", "b", "--shards", "0"])).is_err());
+        // --ingest-queue is serve-only.
+        assert!(parse(argv(&["monitor", "--train", "a", "--live", "b", "--ingest-queue", "4"]))
+            .is_err());
     }
 
     #[test]

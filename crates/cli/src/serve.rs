@@ -4,18 +4,26 @@
 //! Serving composes the pieces the other subcommands use once into a
 //! long-lived process: train a [`ModelBundle`] (readiness flips only
 //! after), then stream endless [`StreamingFleet`] epochs through a
-//! [`FleetMonitor`] in hour order. After every ingested hour the loop
-//! samples the metrics registry into a [`TimeSeriesStore`], evaluates the
-//! [`Watchdog`]'s standard SLO rules, and sleeps the configured tick.
-//! The [`MonitorService`] endpoints (`/metrics`, `/healthz`, `/alerts`, …)
-//! answer from shared state on the server's worker threads throughout, so
-//! scrapes never block ingest. SIGINT/SIGTERM (or a test-driven stop
-//! flag) ends the loop cleanly: the server drains, readiness drops, and a
-//! final summary (plus `--metrics` snapshot) is emitted.
+//! [`ShardedFleetMonitor`] in hour order — drives hash onto `--shards N`
+//! per-shard monitor workers, and `--shards 1` (the default) is
+//! byte-identical to the historical single-monitor loop. After every
+//! ingested fleet-hour the loop drains the bounded [`IngestQueue`] fed by
+//! the `/ingest` endpoint (external batches ride along with the simulated
+//! stream), samples the metrics registry into a [`TimeSeriesStore`],
+//! evaluates the [`Watchdog`]'s standard SLO rules — including the
+//! shed-rate budget that flips `/healthz` under sustained overload — and
+//! sleeps the configured tick. The [`MonitorService`] endpoints
+//! (`/metrics`, `/healthz`, `/alerts`, `/shards`, …) answer from shared
+//! state on the server's worker threads throughout, so scrapes never
+//! block ingest. SIGINT/SIGTERM (or a test-driven stop flag) ends the
+//! loop cleanly: the server drains, readiness drops, and a final summary
+//! (plus `--metrics` snapshot) is emitted.
 
 use crate::{analysis_config, fleet_config, ChaosOptions, CliError, ObsOptions};
 use dds_core::{Analysis, TrainedModel, TrainingContext};
-use dds_monitor::{AlertHistory, FleetMonitor, ModelBundle, MonitorConfig, MonitorService};
+use dds_monitor::{
+    AlertHistory, IngestQueue, ModelBundle, MonitorConfig, MonitorService, ShardedFleetMonitor,
+};
 use dds_obs::http::HttpServer;
 use dds_obs::metrics::Registry;
 use dds_obs::profile::StageProfiler;
@@ -27,7 +35,7 @@ use std::error::Error;
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Options of the `dds serve` subcommand.
@@ -52,6 +60,12 @@ pub struct ServeOptions {
     /// Warm-start from a saved model artifact instead of training
     /// (`--model`); train→ready collapses to load→ready.
     pub model: Option<PathBuf>,
+    /// Serving shards: drives hash onto this many independent monitor
+    /// workers (`--shards`, default 1).
+    pub shards: usize,
+    /// Capacity of the `/ingest` queue in batches (`--ingest-queue`);
+    /// a full queue sheds the whole batch with a 429 receipt.
+    pub ingest_queue: usize,
     /// Observability flags.
     pub obs: ObsOptions,
 }
@@ -68,6 +82,8 @@ impl Default for ServeOptions {
             chaos: ChaosOptions::default(),
             chaos_epochs: 0,
             model: None,
+            shards: 1,
+            ingest_queue: 256,
             obs: ObsOptions::default(),
         }
     }
@@ -145,8 +161,12 @@ pub fn serve(
     let watchdog = Watchdog::new(Watchdog::standard_rules());
     let health = watchdog.health();
     let model_slot: Arc<OnceLock<String>> = Arc::new(OnceLock::new());
+    let ingest_queue = Arc::new(IngestQueue::bounded(options.ingest_queue));
+    let shards_slot = Arc::new(Mutex::new(String::new()));
     let mut service = MonitorService::new(Arc::clone(&history), Arc::clone(&health))
-        .with_model_slot(Arc::clone(&model_slot));
+        .with_model_slot(Arc::clone(&model_slot))
+        .with_ingest(Arc::clone(&ingest_queue))
+        .with_shards_slot(Arc::clone(&shards_slot));
     if let Some(profiler) = profiler {
         service = service.with_profiler(profiler);
     }
@@ -186,8 +206,8 @@ pub fn serve(
             ModelBundle::from_analysis(&training, &analysis)
         }
     };
-    let mut monitor =
-        FleetMonitor::new(bundle, MonitorConfig::default()).with_history(Arc::clone(&history));
+    let mut monitor = ShardedFleetMonitor::new(bundle, MonitorConfig::default(), options.shards)
+        .with_history(Arc::clone(&history));
     health.set_ready(true);
 
     let store = TimeSeriesStore::new(512);
@@ -205,23 +225,34 @@ pub fn serve(
         // gate's per-drive ordering history must restart with it.
         monitor.new_ingest_session();
         let records = stream.next_epoch_records();
-        let mut current_hour = None;
-        for (drive, record) in &records {
+        let mut start = 0;
+        while start < records.len() {
             if stop.load(Ordering::SeqCst) {
                 break 'serve;
             }
-            if current_hour.is_some() && current_hour != Some(record.hour) {
-                // One fleet-hour fully ingested: sample the registry,
-                // judge the SLOs, pace the stream.
-                store.sample(registry);
-                watchdog.evaluate(&store);
+            // One fleet-hour at a time: the simulated stream is hour-major,
+            // so each run is a natural ingest batch fanned across shards.
+            let hour = records[start].1.hour;
+            let end = start + records[start..].iter().take_while(|(_, r)| r.hour == hour).count();
+            monitor.ingest_batch(&records[start..end]);
+            // External batches POSTed to /ingest ride along after the
+            // simulated hour; shedding already happened at offer time.
+            let external = ingest_queue.drain();
+            if !external.is_empty() {
+                monitor.ingest_batch(&external);
+            }
+            // Hour fully ingested: sample the registry, judge the SLOs,
+            // publish the per-shard view, pace the stream.
+            store.sample(registry);
+            watchdog.evaluate(&store);
+            if let Ok(mut slot) = shards_slot.lock() {
+                *slot = monitor.statuses_json();
+            }
+            start = end;
+            if start < records.len() {
                 interruptible_sleep(tick, stop);
             }
-            current_hour = Some(record.hour);
-            monitor.ingest(*drive, record);
         }
-        store.sample(registry);
-        watchdog.evaluate(&store);
         if options.epochs > 0 && stream.epochs_generated() >= options.epochs {
             break;
         }
@@ -231,15 +262,18 @@ pub fn serve(
     server.shutdown();
 
     let status = monitor.health_status();
-    let quality = *monitor.quality_stats();
+    let quality = monitor.quality_stats();
+    let queued = ingest_queue.counts();
     let mut out = format!(
-        "served on {addr}: {} epochs, {} records ingested\n\
+        "served on {addr}: {} epochs, {} records ingested over {} shards\n\
          alerts emitted: {} ({} drives latched watch, {} warning, {} critical)\n\
          records quarantined: {} of {} offered ({} attrs imputed)\n\
+         external ingest: {} records accepted, {} shed\n\
          ingest errors: {}\n\
          final health: {}\n",
         stream.epochs_generated(),
         quality.accepted,
+        monitor.shards(),
         status.alerts_emitted,
         status.latched[0],
         status.latched[1],
@@ -247,6 +281,8 @@ pub fn serve(
         quality.quarantined,
         quality.ingested,
         quality.imputed_attrs,
+        queued.accepted_records,
+        queued.shed_records,
         ingest_errors.get(),
         match health.degraded_reason() {
             Some(reason) => format!("degraded ({reason})"),

@@ -246,6 +246,32 @@ pub struct QualityStats {
     pub by_reason: [u64; 4],
 }
 
+impl QualityStats {
+    /// Folds another sanitizer's tallies into this one — the cross-shard
+    /// aggregation used by sharded serving, where every shard owns its
+    /// own [`FleetSanitizer`] but operators read one fleet-wide summary.
+    ///
+    /// ```
+    /// use dds_core::quality::QualityStats;
+    ///
+    /// let mut fleet = QualityStats { ingested: 10, accepted: 9, quarantined: 1, ..Default::default() };
+    /// let shard = QualityStats { ingested: 4, accepted: 4, ..Default::default() };
+    /// fleet.merge(&shard);
+    /// assert_eq!(fleet.ingested, 14);
+    /// assert_eq!(fleet.accepted + fleet.quarantined, fleet.ingested);
+    /// ```
+    pub fn merge(&mut self, other: &QualityStats) {
+        self.ingested += other.ingested;
+        self.accepted += other.accepted;
+        self.quarantined += other.quarantined;
+        self.imputed_attrs += other.imputed_attrs;
+        self.drives_dropped += other.drives_dropped;
+        for (mine, theirs) in self.by_reason.iter_mut().zip(&other.by_reason) {
+            *mine += theirs;
+        }
+    }
+}
+
 impl fmt::Display for QualityStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

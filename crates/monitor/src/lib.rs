@@ -17,7 +17,11 @@
 //! For long-lived serving, [`AlertHistory`] retains recent alerts,
 //! [`HealthStatus`] summarizes the escalation map, and [`MonitorService`]
 //! exposes both (plus the metrics registry and stage profiles) through
-//! the zero-dependency scrape server in `dds_obs::http`.
+//! the zero-dependency scrape server in `dds_obs::http`. At fleet scale,
+//! [`ShardedFleetMonitor`] hash-partitions drives across per-shard
+//! monitor workers behind a deterministic coordinator (see [`shard`]),
+//! fed through the batched `/ingest` endpoint ([`wire`] codecs) and the
+//! bounded, load-shedding [`IngestQueue`].
 //!
 //! # Example
 //!
@@ -51,9 +55,12 @@ mod bundle;
 mod history;
 mod monitor;
 mod service;
+pub mod shard;
+pub mod wire;
 
 pub use alert::{Alert, AlertKind, Severity};
 pub use bundle::{GroupModel, ModelBundle};
 pub use history::{AlertHistory, DEFAULT_HISTORY_CAPACITY};
 pub use monitor::{FleetMonitor, HealthStatus, MonitorConfig};
 pub use service::MonitorService;
+pub use shard::{shard_for, IngestQueue, ShardStatus, ShardedFleetMonitor};

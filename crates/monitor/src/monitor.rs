@@ -182,6 +182,11 @@ pub struct FleetMonitor {
     metrics: MonitorMetrics,
     history: Option<Arc<AlertHistory>>,
     sanitizer: FleetSanitizer,
+    /// Whether this monitor writes the shared `dds_monitor_*` gauges.
+    /// Shard workers run quiet — N monitors racing on one process-global
+    /// gauge would clobber each other — and the shard coordinator
+    /// publishes the fleet-wide aggregate instead.
+    gauges: bool,
 }
 
 /// A point-in-time summary of the monitor's serving state, derived from
@@ -224,7 +229,19 @@ impl FleetMonitor {
             metrics: MonitorMetrics::new(),
             history: None,
             sanitizer,
+            gauges: true,
         }
+    }
+
+    /// Stops this monitor from writing the process-global
+    /// `dds_monitor_drives_tracked` / `dds_monitor_drives_latched_*`
+    /// gauges. Counters and histograms (which are additive across
+    /// monitors) are unaffected. Used by sharded serving, where the
+    /// coordinator owns the aggregate gauge values.
+    #[must_use]
+    pub fn with_quiet_gauges(mut self) -> Self {
+        self.gauges = false;
+        self
     }
 
     /// Attaches a shared alert history; every subsequently emitted alert
@@ -332,13 +349,15 @@ impl FleetMonitor {
                 history.record(alert);
             }
         }
-        self.metrics.drives_tracked.set(self.drives.len() as f64);
-        if latched_before != latched_after {
-            if let Some(old) = latched_before {
-                self.metrics.latched[severity_index(old)].add(-1.0);
-            }
-            if let Some(new) = latched_after {
-                self.metrics.latched[severity_index(new)].add(1.0);
+        if self.gauges {
+            self.metrics.drives_tracked.set(self.drives.len() as f64);
+            if latched_before != latched_after {
+                if let Some(old) = latched_before {
+                    self.metrics.latched[severity_index(old)].add(-1.0);
+                }
+                if let Some(new) = latched_after {
+                    self.metrics.latched[severity_index(new)].add(1.0);
+                }
             }
         }
         alerts

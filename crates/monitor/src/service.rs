@@ -15,17 +15,27 @@
 //! | `/alerts?n=K`   | The most recent `K` alerts (default 20), newest first |
 //! | `/profile`      | Per-stage wall time, counts and p50/p95/p99 as JSON |
 //! | `/model`        | Provenance of the serving model (`503 {"status": "training"}` until one is published) |
+//! | `/shards`       | Per-shard serving state published by the sharded serve loop (404 without one) |
+//!
+//! Plus one `POST` endpoint, `/ingest`: a batched record payload (binary
+//! [`wire`] batch or CSV chunk, sniffed by leading bytes) decoded and
+//! offered to the attached [`IngestQueue`]. Replies are a JSON receipt —
+//! `200 {"status": "queued", …}` or, when the bounded queue is full and
+//! the batch is shed, `429 {"status": "shed", …}`; malformed payloads get
+//! a 400 and count into `dds_serve_ingest_errors_total`.
 //!
 //! Both metrics endpoints refresh `dds_uptime_seconds` and the derived
 //! `_p50`/`_p95`/`_p99` gauges before snapshotting, so every scrape sees
 //! current quantiles without a background publisher thread.
 
 use crate::history::AlertHistory;
+use crate::shard::IngestQueue;
+use crate::wire;
 use dds_obs::http::{Handler, Request, Response};
 use dds_obs::metrics;
 use dds_obs::profile::StageProfiler;
 use dds_obs::watchdog::HealthState;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Default number of alerts returned by `/alerts` without a `n=` query.
@@ -40,6 +50,12 @@ pub struct MonitorService {
     /// Provenance JSON of the serving model, published once by the host
     /// when the model is trained or loaded; `/model` answers 503 before.
     model: Arc<OnceLock<String>>,
+    /// The bounded intake behind `/ingest`; without one the endpoint
+    /// answers 503 (this deployment does not accept pushed records).
+    ingest: Option<Arc<IngestQueue>>,
+    /// Per-shard state document behind `/shards`, re-published by the
+    /// sharded serve loop after every ingested fleet-hour.
+    shards: Option<Arc<Mutex<String>>>,
     started: Instant,
 }
 
@@ -51,8 +67,25 @@ impl MonitorService {
             health,
             profiler: None,
             model: Arc::new(OnceLock::new()),
+            ingest: None,
+            shards: None,
             started: Instant::now(),
         }
+    }
+
+    /// Attaches the bounded ingest queue backing the `/ingest` endpoint.
+    /// The host keeps the other `Arc` and drains it from the serve loop.
+    pub fn with_ingest(mut self, queue: Arc<IngestQueue>) -> Self {
+        self.ingest = Some(queue);
+        self
+    }
+
+    /// Attaches the shared `/shards` document slot. The host re-publishes
+    /// [`crate::ShardedFleetMonitor::statuses_json`] into it as serving
+    /// progresses; an empty string answers 503 (still starting).
+    pub fn with_shards_slot(mut self, shards: Arc<Mutex<String>>) -> Self {
+        self.shards = Some(shards);
+        self
     }
 
     /// Attaches a stage profiler backing the `/profile` endpoint (without
@@ -128,13 +161,81 @@ impl MonitorService {
     fn index(&self) -> Response {
         Response::ok_text(
             "dds monitor observability endpoints:\n\
-             /metrics /metrics.json /healthz /readyz /alerts?n=K /profile /model\n",
+             /metrics /metrics.json /healthz /readyz /alerts?n=K /profile /model /shards\n\
+             POST /ingest (binary DDSB batch or CSV chunk)\n",
         )
+    }
+
+    fn shards_endpoint(&self) -> Response {
+        let Some(slot) = &self.shards else {
+            return Response::not_found();
+        };
+        let document = slot.lock().map(|doc| doc.clone()).unwrap_or_default();
+        if document.is_empty() {
+            Response {
+                status: 503,
+                content_type: "application/json",
+                body: "{\"status\": \"starting\"}".to_string(),
+            }
+        } else {
+            Response::ok_json(document)
+        }
+    }
+
+    fn ingest_endpoint(&self, request: &Request) -> Response {
+        let Some(queue) = &self.ingest else {
+            return Response {
+                status: 503,
+                content_type: "application/json",
+                body: "{\"status\": \"ingest disabled\"}".to_string(),
+            };
+        };
+        let decoded = if wire::looks_binary(&request.body) {
+            wire::decode_batch(&request.body)
+        } else {
+            match std::str::from_utf8(&request.body) {
+                Ok(text) => wire::parse_csv_chunk(text),
+                Err(_) => Err(wire::WireError::BadMagic),
+            }
+        };
+        let batch = match decoded {
+            Ok(batch) => batch,
+            Err(error) => {
+                metrics::global().counter("dds_serve_ingest_errors_total").inc();
+                let body = format!(
+                    "{{\"status\": \"rejected\", \"error\": \"{}\"}}",
+                    dds_obs::json::escape(&error.to_string())
+                );
+                return Response { status: 400, content_type: "application/json", body };
+            }
+        };
+        match queue.offer(batch) {
+            Ok(records) => {
+                Response::ok_json(format!("{{\"status\": \"queued\", \"records\": {records}}}"))
+            }
+            Err(records) => Response {
+                status: 429,
+                content_type: "application/json",
+                body: format!("{{\"status\": \"shed\", \"records\": {records}}}"),
+            },
+        }
     }
 }
 
 impl Handler for MonitorService {
     fn handle(&self, request: &Request) -> Response {
+        // `/ingest` is the only mutating endpoint and requires POST; every
+        // scrape endpoint is read-only and rejects POST bodies.
+        if request.path == "/ingest" {
+            return if request.method == "POST" {
+                self.ingest_endpoint(request)
+            } else {
+                Response::text(405, "POST a record batch to /ingest\n")
+            };
+        }
+        if request.method == "POST" {
+            return Response::text(405, "only /ingest accepts POST\n");
+        }
         match request.path.as_str() {
             "/" => self.index(),
             "/metrics" => {
@@ -149,6 +250,7 @@ impl Handler for MonitorService {
                 self.profiler.as_ref().map_or_else(|| "{}".to_string(), |p| p.to_json()),
             ),
             "/model" => self.model_endpoint(),
+            "/shards" => self.shards_endpoint(),
             _ => Response::not_found(),
         }
     }
@@ -164,6 +266,7 @@ mod tests {
             method: "GET".to_string(),
             path: path.to_string(),
             query: query.map(String::from),
+            body: Vec::new(),
         }
     }
 
@@ -239,6 +342,67 @@ mod tests {
         dds_obs::json::validate(&after.body).expect("model JSON");
         // Without a slot the default service also answers 503.
         assert_eq!(self::service().handle(&request("/model", None)).status, 503);
+    }
+
+    fn post(path: &str, body: Vec<u8>) -> Request {
+        Request { method: "POST".to_string(), path: path.to_string(), query: None, body }
+    }
+
+    #[test]
+    fn ingest_endpoint_queues_sheds_and_rejects() {
+        let queue = Arc::new(IngestQueue::bounded(1));
+        let service = MonitorService::new(Arc::new(AlertHistory::new(16)), HealthState::new())
+            .with_ingest(Arc::clone(&queue));
+
+        // Binary batch: queued with a receipt.
+        let batch = vec![(
+            dds_smartsim::DriveId(3),
+            dds_smartsim::HealthRecord { hour: 0, values: [1.0; dds_smartsim::NUM_ATTRIBUTES] },
+        )];
+        let reply = service.handle(&post("/ingest", crate::wire::encode_batch(&batch)));
+        assert_eq!(reply.status, 200);
+        assert!(reply.body.contains("\"queued\""), "{}", reply.body);
+        assert!(reply.body.contains("\"records\": 1"), "{}", reply.body);
+
+        // Queue full: the batch is shed with a 429.
+        let reply = service.handle(&post("/ingest", crate::wire::encode_batch(&batch)));
+        assert_eq!(reply.status, 429);
+        assert!(reply.body.contains("\"shed\""), "{}", reply.body);
+        assert_eq!(queue.counts().shed_batches, 1);
+
+        // CSV chunks decode through the same endpoint.
+        assert_eq!(queue.drain().len(), 1);
+        let reply = service.handle(&post("/ingest", b"7,0,1,2,3,4,5,6,7,8,9,10,11,12\n".to_vec()));
+        assert_eq!(reply.status, 200);
+
+        // Garbage is a 400 with the wire error surfaced.
+        let reply = service.handle(&post("/ingest", b"DDSB\x09garbage".to_vec()));
+        assert_eq!(reply.status, 400);
+        assert!(reply.body.contains("\"rejected\""), "{}", reply.body);
+
+        // GET on /ingest and POST anywhere else are 405s.
+        assert_eq!(service.handle(&request("/ingest", None)).status, 405);
+        assert_eq!(service.handle(&post("/metrics", Vec::new())).status, 405);
+
+        // Without a queue the endpoint is disabled.
+        assert_eq!(self::service().handle(&post("/ingest", Vec::new())).status, 503);
+    }
+
+    #[test]
+    fn shards_endpoint_serves_the_published_document() {
+        // No slot: the deployment is not sharded.
+        assert_eq!(service().handle(&request("/shards", None)).status, 404);
+
+        let slot = Arc::new(Mutex::new(String::new()));
+        let service = MonitorService::new(Arc::new(AlertHistory::new(16)), HealthState::new())
+            .with_shards_slot(Arc::clone(&slot));
+        // Empty slot: still starting.
+        assert_eq!(service.handle(&request("/shards", None)).status, 503);
+        *slot.lock().unwrap() = "{\"shards\": 2, \"per_shard\": []}".to_string();
+        let reply = service.handle(&request("/shards", None));
+        assert_eq!(reply.status, 200);
+        assert!(reply.body.contains("\"shards\": 2"));
+        dds_obs::json::validate(&reply.body).expect("shards JSON");
     }
 
     #[test]

@@ -1,0 +1,632 @@
+//! Sharded serving: hash-partition a fleet across N independent
+//! [`FleetMonitor`] workers behind one deterministic coordinator.
+//!
+//! A single monitor serializes every record through one escalation map —
+//! fine for the paper's 23 k drives, a bottleneck at the ROADMAP's
+//! millions. [`ShardedFleetMonitor`] splits the fleet by drive id
+//! ([`shard_for`], FNV-1a) onto per-shard worker threads, each owning a
+//! full `FleetMonitor` (models, sanitizer, escalation state). Because a
+//! drive's entire history lands on exactly one shard, per-drive semantics
+//! (debounce, hysteresis, quality watermarks) are untouched, and the
+//! coordinator's merge — a stable sort by `(hour, drive)` — reproduces
+//! the single-monitor alert stream byte for byte at any shard count.
+//!
+//! [`IngestQueue`] is the bounded intake in front of the coordinator:
+//! HTTP batches are queued if there is room and **shed** (counted, 429)
+//! if not, so overload degrades the ingest SLO instead of deadlocking the
+//! serve loop; the watchdog's shed budget flips `/healthz` when shedding
+//! exceeds its ratio.
+
+use crate::alert::Alert;
+use crate::bundle::ModelBundle;
+use crate::history::AlertHistory;
+use crate::monitor::{FleetMonitor, HealthStatus, MonitorConfig};
+use dds_core::quality::QualityStats;
+use dds_obs::metrics::{Counter, Gauge, Histogram};
+use dds_smartsim::{DriveId, HealthRecord};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// The shard a drive belongs to, by FNV-1a over the id's little-endian
+/// bytes. Stable across runs, platforms and shard-count-preserving
+/// restarts: the same `(drive, shards)` always maps to the same shard.
+///
+/// # Example
+///
+/// ```
+/// use dds_monitor::shard::shard_for;
+/// use dds_smartsim::DriveId;
+///
+/// // One shard degenerates to a single monitor.
+/// assert_eq!(shard_for(DriveId(12345), 1), 0);
+///
+/// // The assignment is a pure function of (drive, shards)...
+/// assert_eq!(shard_for(DriveId(7), 8), shard_for(DriveId(7), 8));
+///
+/// // ...and spreads a contiguous id range over every shard.
+/// let mut hit = [false; 4];
+/// for id in 0..64 {
+///     hit[shard_for(DriveId(id), 4)] = true;
+/// }
+/// assert_eq!(hit, [true; 4]);
+/// ```
+pub fn shard_for(drive: DriveId, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for byte in drive.0.to_le_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    (hash % shards as u64) as usize
+}
+
+/// One batch's result from a shard worker.
+struct ShardBatch {
+    alerts: Vec<Alert>,
+    drives_tracked: usize,
+    latched: [usize; 3],
+}
+
+/// Point-in-time state of one shard, for the `/shards` endpoint and the
+/// scaling handbook's sizing checks.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardStatus {
+    /// Shard index in `0..shards`.
+    pub shard: usize,
+    /// Drives with escalation state on this shard.
+    pub drives_tracked: usize,
+    /// Drives latched at (watch, warning, critical) on this shard.
+    pub latched: [usize; 3],
+    /// This shard's sanitizer tallies.
+    pub quality: QualityStats,
+}
+
+impl ShardStatus {
+    /// Serializes the status as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"shard\": {}, \"drives_tracked\": {}, \"latched_watch\": {}, \
+             \"latched_warning\": {}, \"latched_critical\": {}, \"accepted\": {}, \
+             \"quarantined\": {}, \"imputed_attrs\": {}}}",
+            self.shard,
+            self.drives_tracked,
+            self.latched[0],
+            self.latched[1],
+            self.latched[2],
+            self.quality.accepted,
+            self.quality.quarantined,
+            self.quality.imputed_attrs,
+        )
+    }
+}
+
+enum Job {
+    Batch { records: Vec<(DriveId, HealthRecord)>, reply: SyncSender<(usize, ShardBatch)> },
+    NewSession { reply: SyncSender<()> },
+    Status { reply: SyncSender<ShardStatus> },
+}
+
+struct Worker {
+    sender: Option<mpsc::Sender<Job>>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+fn worker_loop(shard: usize, bundle: ModelBundle, config: MonitorConfig, jobs: Receiver<Job>) {
+    let mut monitor = FleetMonitor::new(bundle, config).with_quiet_gauges();
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Batch { records, reply } => {
+                let mut alerts = Vec::new();
+                for (drive, record) in &records {
+                    if let Ok(mut raised) = monitor.try_ingest(*drive, record) {
+                        alerts.append(&mut raised);
+                    }
+                }
+                let status = monitor.health_status();
+                let _ = reply.send((
+                    shard,
+                    ShardBatch {
+                        alerts,
+                        drives_tracked: status.drives_tracked,
+                        latched: status.latched,
+                    },
+                ));
+            }
+            Job::NewSession { reply } => {
+                monitor.new_ingest_session();
+                let _ = reply.send(());
+            }
+            Job::Status { reply } => {
+                let status = monitor.health_status();
+                let _ = reply.send(ShardStatus {
+                    shard,
+                    drives_tracked: status.drives_tracked,
+                    latched: status.latched,
+                    quality: *monitor.quality_stats(),
+                });
+            }
+        }
+    }
+}
+
+/// Cached handles for the coordinator's aggregate metrics.
+#[derive(Debug)]
+struct CoordinatorMetrics {
+    shards: Arc<Gauge>,
+    batch_seconds: Arc<Histogram>,
+    drives_tracked: Arc<Gauge>,
+    latched: [Arc<Gauge>; 3],
+}
+
+impl CoordinatorMetrics {
+    fn new() -> Self {
+        let registry = dds_obs::metrics::global();
+        CoordinatorMetrics {
+            shards: registry.gauge("dds_ingest_shards"),
+            batch_seconds: registry.histogram("dds_ingest_batch_seconds"),
+            drives_tracked: registry.gauge("dds_monitor_drives_tracked"),
+            latched: [
+                registry.gauge("dds_monitor_drives_latched_watch"),
+                registry.gauge("dds_monitor_drives_latched_warning"),
+                registry.gauge("dds_monitor_drives_latched_critical"),
+            ],
+        }
+    }
+}
+
+/// N per-shard [`FleetMonitor`] workers behind one deterministic
+/// fan-out/fan-in coordinator.
+///
+/// Batches go in ([`ingest_batch`]); the merged alert stream comes out in
+/// `(hour, drive)` order — byte-identical to a single monitor fed the
+/// same records, at any shard count. Shard workers run with quiet gauges;
+/// the coordinator publishes the fleet-wide `dds_monitor_drives_tracked`
+/// / `dds_monitor_drives_latched_*` aggregates after every batch, and
+/// every emitted alert is recorded into the attached [`AlertHistory`] in
+/// merged order.
+///
+/// [`ingest_batch`]: ShardedFleetMonitor::ingest_batch
+#[derive(Debug)]
+pub struct ShardedFleetMonitor {
+    workers: Vec<Worker>,
+    history: Option<Arc<AlertHistory>>,
+    metrics: CoordinatorMetrics,
+    /// Last-known (drives_tracked, latched) per shard, refreshed by every
+    /// batch reply, so gauge aggregation never needs an extra round trip.
+    shard_state: Vec<(usize, [usize; 3])>,
+}
+
+impl std::fmt::Debug for Worker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker").field("alive", &self.handle.is_some()).finish()
+    }
+}
+
+impl ShardedFleetMonitor {
+    /// Spawns `shards` workers (clamped to at least 1), each with its own
+    /// clone of the bundle and config.
+    pub fn new(bundle: ModelBundle, config: MonitorConfig, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let workers = (0..shards)
+            .map(|shard| {
+                let (sender, receiver) = mpsc::channel();
+                let bundle = bundle.clone();
+                let config = config.clone();
+                let handle = thread::Builder::new()
+                    .name(format!("dds-shard-{shard}"))
+                    .spawn(move || worker_loop(shard, bundle, config, receiver))
+                    .expect("spawn shard worker");
+                Worker { sender: Some(sender), handle: Some(handle) }
+            })
+            .collect();
+        let metrics = CoordinatorMetrics::new();
+        metrics.shards.set(shards as f64);
+        ShardedFleetMonitor {
+            workers,
+            history: None,
+            metrics,
+            shard_state: vec![(0, [0; 3]); shards],
+        }
+    }
+
+    /// Attaches a shared alert history; the coordinator records every
+    /// merged alert into it (shard workers never touch it).
+    #[must_use]
+    pub fn with_history(mut self, history: Arc<AlertHistory>) -> Self {
+        self.history = Some(history);
+        self
+    }
+
+    /// Number of shards (worker threads).
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn send(&self, shard: usize, job: Job) {
+        self.workers[shard]
+            .sender
+            .as_ref()
+            .expect("worker channel open")
+            .send(job)
+            .expect("shard worker alive");
+    }
+
+    /// Routes a batch to its shards, waits for every shard to finish, and
+    /// returns the merged alert stream in `(hour, drive)` order.
+    ///
+    /// Records quarantined by a shard's quality gate yield no alerts
+    /// (exactly as [`FleetMonitor::ingest`]); the per-shard tallies remain
+    /// visible through [`shard_statuses`](ShardedFleetMonitor::shard_statuses).
+    pub fn ingest_batch(&mut self, records: &[(DriveId, HealthRecord)]) -> Vec<Alert> {
+        let started = Instant::now();
+        let shards = self.workers.len();
+        let mut buckets: Vec<Vec<(DriveId, HealthRecord)>> = vec![Vec::new(); shards];
+        if shards == 1 {
+            buckets[0] = records.to_vec();
+        } else {
+            for (drive, record) in records {
+                buckets[shard_for(*drive, shards)].push((*drive, record.clone()));
+            }
+        }
+
+        let (reply, replies) = mpsc::sync_channel(shards);
+        let mut outstanding = 0usize;
+        for (shard, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            self.send(shard, Job::Batch { records: bucket, reply: reply.clone() });
+            outstanding += 1;
+        }
+        drop(reply);
+
+        let mut alerts = Vec::new();
+        for _ in 0..outstanding {
+            let (shard, batch) = replies.recv().expect("shard worker alive");
+            self.shard_state[shard] = (batch.drives_tracked, batch.latched);
+            alerts.extend(batch.alerts);
+        }
+        // Alerts of one drive live entirely on one shard and arrive there
+        // in emission order, so a stable sort on (hour, drive) is a full
+        // deterministic merge — equal keys never span shards.
+        alerts.sort_by_key(|alert| (alert.hour, alert.drive.0));
+
+        if let Some(history) = &self.history {
+            for alert in &alerts {
+                history.record(alert);
+            }
+        }
+        self.publish_gauges();
+        self.metrics.batch_seconds.observe(started.elapsed().as_secs_f64());
+        alerts
+    }
+
+    fn publish_gauges(&self) {
+        let tracked: usize = self.shard_state.iter().map(|(t, _)| t).sum();
+        self.metrics.drives_tracked.set(tracked as f64);
+        for (i, gauge) in self.metrics.latched.iter().enumerate() {
+            let latched: usize = self.shard_state.iter().map(|(_, l)| l[i]).sum();
+            gauge.set(latched as f64);
+        }
+    }
+
+    /// Resets every shard's ingest session (ordering watermarks restart;
+    /// cumulative stats are kept), blocking until all shards have done so.
+    pub fn new_ingest_session(&mut self) {
+        let (reply, replies) = mpsc::sync_channel(self.workers.len());
+        for shard in 0..self.workers.len() {
+            self.send(shard, Job::NewSession { reply: reply.clone() });
+        }
+        drop(reply);
+        for _ in 0..self.workers.len() {
+            replies.recv().expect("shard worker alive");
+        }
+    }
+
+    /// Per-shard serving state, in shard order.
+    pub fn shard_statuses(&self) -> Vec<ShardStatus> {
+        let (reply, replies) = mpsc::sync_channel(self.workers.len());
+        for shard in 0..self.workers.len() {
+            self.send(shard, Job::Status { reply: reply.clone() });
+        }
+        drop(reply);
+        let mut statuses: Vec<ShardStatus> = replies.iter().collect();
+        statuses.sort_by_key(|s| s.shard);
+        statuses
+    }
+
+    /// The `/shards` endpoint document: shard count plus per-shard state.
+    pub fn statuses_json(&self) -> String {
+        let per_shard: Vec<String> =
+            self.shard_statuses().iter().map(ShardStatus::to_json).collect();
+        format!("{{\"shards\": {}, \"per_shard\": [{}]}}", self.workers.len(), per_shard.join(", "))
+    }
+
+    /// The fleet-wide serving summary, aggregated across shards (same
+    /// shape as [`FleetMonitor::health_status`]).
+    pub fn health_status(&self) -> HealthStatus {
+        let statuses = self.shard_statuses();
+        let mut latched = [0usize; 3];
+        for status in &statuses {
+            for (total, n) in latched.iter_mut().zip(status.latched) {
+                *total += n;
+            }
+        }
+        HealthStatus {
+            drives_tracked: statuses.iter().map(|s| s.drives_tracked).sum(),
+            latched,
+            alerts_emitted: self.history.as_ref().map_or(0, |h| h.total()),
+        }
+    }
+
+    /// Fleet-wide quality tallies: every shard's sanitizer stats merged.
+    pub fn quality_stats(&self) -> QualityStats {
+        let mut merged = QualityStats::default();
+        for status in self.shard_statuses() {
+            merged.merge(&status.quality);
+        }
+        merged
+    }
+}
+
+impl Drop for ShardedFleetMonitor {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            drop(worker.sender.take());
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Counts of everything offered to an [`IngestQueue`]. The conservation
+/// invariant `offered = accepted + shed` holds at all times (records and
+/// batches alike).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestCounts {
+    /// Records offered (accepted + shed).
+    pub offered_records: u64,
+    /// Records queued for the serve loop.
+    pub accepted_records: u64,
+    /// Records dropped because the queue was full.
+    pub shed_records: u64,
+    /// Batches queued.
+    pub accepted_batches: u64,
+    /// Batches dropped whole (a batch is never split).
+    pub shed_batches: u64,
+}
+
+/// The bounded intake between the HTTP `/ingest` endpoint and the serve
+/// loop: `offer` never blocks — a full queue sheds the batch (HTTP 429)
+/// and counts it (`dds_shed_records_total`), which is what the watchdog's
+/// shed budget and the overload runbook key off.
+#[derive(Debug)]
+pub struct IngestQueue {
+    sender: SyncSender<Vec<(DriveId, HealthRecord)>>,
+    receiver: Mutex<Receiver<Vec<(DriveId, HealthRecord)>>>,
+    counts: Mutex<IngestCounts>,
+    accepted_records: Arc<Counter>,
+    accepted_batches: Arc<Counter>,
+    shed_records: Arc<Counter>,
+    shed_batches: Arc<Counter>,
+}
+
+impl IngestQueue {
+    /// A queue holding at most `capacity` batches.
+    pub fn bounded(capacity: usize) -> Self {
+        let (sender, receiver) = mpsc::sync_channel(capacity.max(1));
+        let registry = dds_obs::metrics::global();
+        IngestQueue {
+            sender,
+            receiver: Mutex::new(receiver),
+            counts: Mutex::new(IngestCounts::default()),
+            accepted_records: registry.counter("dds_ingest_records_total"),
+            accepted_batches: registry.counter("dds_ingest_batches_total"),
+            shed_records: registry.counter("dds_shed_records_total"),
+            shed_batches: registry.counter("dds_shed_batches_total"),
+        }
+    }
+
+    /// Offers one decoded batch. `Ok(n)` queued `n` records; `Err(n)`
+    /// shed all `n` because the queue was full (backpressure) — the
+    /// caller should answer HTTP 429 and let the relay retry later.
+    pub fn offer(&self, batch: Vec<(DriveId, HealthRecord)>) -> Result<usize, usize> {
+        let records = batch.len() as u64;
+        let mut counts = self.counts.lock().expect("ingest counts lock");
+        counts.offered_records += records;
+        match self.sender.try_send(batch) {
+            Ok(()) => {
+                counts.accepted_records += records;
+                counts.accepted_batches += 1;
+                self.accepted_records.add(records);
+                self.accepted_batches.inc();
+                Ok(records as usize)
+            }
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                counts.shed_records += records;
+                counts.shed_batches += 1;
+                self.shed_records.add(records);
+                self.shed_batches.inc();
+                Err(records as usize)
+            }
+        }
+    }
+
+    /// Drains every queued batch into one record list, in arrival order.
+    /// Called by the serve loop between stream ticks; never blocks.
+    pub fn drain(&self) -> Vec<(DriveId, HealthRecord)> {
+        let receiver = self.receiver.lock().expect("ingest receiver lock");
+        let mut records = Vec::new();
+        while let Ok(batch) = receiver.try_recv() {
+            records.extend(batch);
+        }
+        records
+    }
+
+    /// A snapshot of the conservation counters.
+    pub fn counts(&self) -> IngestCounts {
+        *self.counts.lock().expect("ingest counts lock")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_core::{Analysis, AnalysisConfig, CategorizationConfig};
+    use dds_smartsim::stream::hour_ordered;
+    use dds_smartsim::{FleetConfig, FleetSimulator, NUM_ATTRIBUTES};
+
+    fn trained_bundle(seed: u64) -> ModelBundle {
+        let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(seed)).run();
+        let config = AnalysisConfig {
+            categorization: CategorizationConfig { run_svc: false, ..Default::default() },
+            ..Default::default()
+        };
+        let report = Analysis::new(config).run(&dataset).unwrap();
+        ModelBundle::from_analysis(&dataset, &report)
+    }
+
+    fn alert_lines(alerts: &[Alert]) -> Vec<String> {
+        alerts.iter().map(|a| format!("{a}")).collect()
+    }
+
+    #[test]
+    fn shard_for_is_stable_and_covers_all_shards() {
+        for shards in [1usize, 2, 3, 8] {
+            let mut population = vec![0usize; shards];
+            for id in 0..10_000u32 {
+                let shard = shard_for(DriveId(id), shards);
+                assert!(shard < shards);
+                assert_eq!(shard, shard_for(DriveId(id), shards), "must be pure");
+                population[shard] += 1;
+            }
+            let expected = 10_000 / shards;
+            for (shard, &n) in population.iter().enumerate() {
+                assert!(
+                    n > expected / 2 && n < expected * 2,
+                    "shard {shard}/{shards} holds {n} of 10000 (expected ~{expected})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_alerts_match_a_single_monitor_byte_for_byte() {
+        let bundle = trained_bundle(9_101);
+        let live = FleetSimulator::new(FleetConfig::test_scale().with_seed(9_102)).run();
+        let records = hour_ordered(&live);
+
+        let mut single = FleetMonitor::new(bundle.clone(), MonitorConfig::default());
+        let mut expected = Vec::new();
+        for (drive, record) in &records {
+            expected.extend(single.ingest(*drive, record));
+        }
+
+        for shards in [1usize, 3, 4] {
+            let mut sharded =
+                ShardedFleetMonitor::new(bundle.clone(), MonitorConfig::default(), shards);
+            let alerts = sharded.ingest_batch(&records);
+            assert_eq!(
+                alert_lines(&alerts),
+                alert_lines(&expected),
+                "{shards} shard(s) must reproduce the single-monitor stream"
+            );
+            let status = sharded.health_status();
+            assert_eq!(status.drives_tracked, single.health_status().drives_tracked);
+            assert_eq!(status.latched, single.health_status().latched);
+            assert_eq!(sharded.quality_stats().accepted, records.len() as u64);
+        }
+    }
+
+    #[test]
+    fn batches_can_be_split_arbitrarily_without_changing_alerts() {
+        let bundle = trained_bundle(9_103);
+        let live = FleetSimulator::new(FleetConfig::test_scale().with_seed(9_104)).run();
+        let records = hour_ordered(&live);
+
+        let mut whole = ShardedFleetMonitor::new(bundle.clone(), MonitorConfig::default(), 2);
+        let expected = whole.ingest_batch(&records);
+
+        let mut chunked = ShardedFleetMonitor::new(bundle, MonitorConfig::default(), 2);
+        let mut alerts = Vec::new();
+        for chunk in records.chunks(97) {
+            alerts.extend(chunked.ingest_batch(chunk));
+        }
+        assert_eq!(alert_lines(&alerts), alert_lines(&expected));
+    }
+
+    #[test]
+    fn shard_statuses_partition_the_fleet() {
+        let bundle = trained_bundle(9_105);
+        let live = FleetSimulator::new(FleetConfig::test_scale().with_seed(9_106)).run();
+        let records = hour_ordered(&live);
+        let mut sharded = ShardedFleetMonitor::new(bundle, MonitorConfig::default(), 4);
+        sharded.ingest_batch(&records);
+
+        let statuses = sharded.shard_statuses();
+        assert_eq!(statuses.len(), 4);
+        let tracked: usize = statuses.iter().map(|s| s.drives_tracked).sum();
+        assert_eq!(tracked, sharded.health_status().drives_tracked);
+        assert!(statuses.iter().all(|s| s.drives_tracked > 0), "test fleet spans all 4 shards");
+        let accepted: u64 = statuses.iter().map(|s| s.quality.accepted).sum();
+        assert_eq!(accepted, records.len() as u64);
+        let json = sharded.statuses_json();
+        dds_obs::json::validate(&json).expect("shards JSON");
+        assert!(json.contains("\"shards\": 4"));
+    }
+
+    #[test]
+    fn new_ingest_session_resets_every_shard() {
+        let bundle = trained_bundle(9_107);
+        let live = FleetSimulator::new(FleetConfig::test_scale().with_seed(9_108)).run();
+        let records = hour_ordered(&live);
+        let mut sharded = ShardedFleetMonitor::new(bundle, MonitorConfig::default(), 3);
+
+        sharded.ingest_batch(&records);
+        assert_eq!(sharded.quality_stats().quarantined, 0);
+        // Replaying the same epoch looks like ordering faults...
+        sharded.ingest_batch(&records);
+        assert_eq!(sharded.quality_stats().quarantined, records.len() as u64);
+        // ...until the session restarts on every shard.
+        sharded.new_ingest_session();
+        sharded.ingest_batch(&records);
+        assert_eq!(sharded.quality_stats().quarantined, records.len() as u64);
+    }
+
+    #[test]
+    fn ingest_queue_sheds_on_overflow_and_conserves_counts() {
+        let queue = IngestQueue::bounded(2);
+        let batch = |n: u32| -> Vec<(DriveId, HealthRecord)> {
+            (0..n)
+                .map(|i| (DriveId(i), HealthRecord { hour: 0, values: [1.0; NUM_ATTRIBUTES] }))
+                .collect()
+        };
+        assert_eq!(queue.offer(batch(10)), Ok(10));
+        assert_eq!(queue.offer(batch(5)), Ok(5));
+        // Queue full: the whole batch is shed, never split.
+        assert_eq!(queue.offer(batch(7)), Err(7));
+        let counts = queue.counts();
+        assert_eq!(counts.offered_records, 22);
+        assert_eq!(counts.accepted_records, 15);
+        assert_eq!(counts.shed_records, 7);
+        assert_eq!(counts.accepted_records + counts.shed_records, counts.offered_records);
+        assert_eq!(counts.accepted_batches, 2);
+        assert_eq!(counts.shed_batches, 1);
+
+        // Draining frees capacity and concatenates in arrival order.
+        let drained = queue.drain();
+        assert_eq!(drained.len(), 15);
+        assert_eq!(queue.offer(batch(3)), Ok(3));
+        assert_eq!(queue.drain().len(), 3);
+        assert!(queue.drain().is_empty());
+    }
+}

@@ -1,0 +1,284 @@
+//! Wire formats for batched ingest: a compact binary codec and a
+//! CSV-chunk fallback, both decoding to `(DriveId, HealthRecord)` pairs.
+//!
+//! Relays POST batches to the `/ingest` endpoint; the service sniffs the
+//! leading bytes to pick the decoder (binary batches always start with
+//! [`BATCH_MAGIC`]). The binary layout is little-endian throughout:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "DDSB"
+//! 4       1     version (currently 1)
+//! 5       4     record count (u32)
+//! 9       104×N records: drive_id u32, hour u32, 12 × f64 attributes
+//! ```
+//!
+//! Floats travel as raw IEEE-754 bits, so a decode of an encode is
+//! bit-identical — the same determinism discipline as the model artifact
+//! codec. The CSV chunk format is one record per line,
+//! `drive_id,hour,v0,…,v11`, with blank lines and `#` comments ignored.
+
+use dds_smartsim::{DriveId, HealthRecord, NUM_ATTRIBUTES};
+use std::error::Error;
+use std::fmt;
+
+/// Leading bytes of every binary batch.
+pub const BATCH_MAGIC: [u8; 4] = *b"DDSB";
+
+/// The binary batch version this build encodes and accepts.
+pub const BATCH_VERSION: u8 = 1;
+
+/// Bytes per record on the wire: drive id + hour + the attribute vector.
+pub const RECORD_WIRE_BYTES: usize = 8 + 8 * NUM_ATTRIBUTES;
+
+/// Bytes before the first record: magic + version + count.
+pub const BATCH_HEADER_BYTES: usize = 9;
+
+/// Why a batch failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The payload does not start with [`BATCH_MAGIC`].
+    BadMagic,
+    /// The payload's version byte is not [`BATCH_VERSION`].
+    UnsupportedVersion(u8),
+    /// The payload is shorter than its header-declared record count.
+    Truncated {
+        /// Bytes the declared count requires.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// A CSV line did not parse.
+    BadCsvLine {
+        /// 1-based line number within the chunk.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "batch does not start with the DDSB magic"),
+            WireError::UnsupportedVersion(v) => {
+                write!(f, "unsupported batch version {v} (this build speaks {BATCH_VERSION})")
+            }
+            WireError::Truncated { expected, actual } => {
+                write!(f, "truncated batch: declared size needs {expected} bytes, got {actual}")
+            }
+            WireError::BadCsvLine { line, reason } => {
+                write!(f, "CSV chunk line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// Encodes a record batch into the binary wire format.
+///
+/// # Example
+///
+/// A round trip is bit-identical, NaNs and sentinels included:
+///
+/// ```
+/// use dds_monitor::wire::{decode_batch, encode_batch};
+/// use dds_smartsim::{DriveId, HealthRecord, NUM_ATTRIBUTES};
+///
+/// let mut record = HealthRecord { hour: 17, values: [1.5; NUM_ATTRIBUTES] };
+/// record.values[3] = 65_535.0; // vendor sentinel survives the wire
+/// let batch = vec![(DriveId(42), record)];
+///
+/// let bytes = encode_batch(&batch);
+/// assert_eq!(&bytes[..4], b"DDSB");
+/// assert_eq!(decode_batch(&bytes)?, batch);
+/// # Ok::<(), dds_monitor::wire::WireError>(())
+/// ```
+pub fn encode_batch(records: &[(DriveId, HealthRecord)]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(BATCH_HEADER_BYTES + records.len() * RECORD_WIRE_BYTES);
+    bytes.extend_from_slice(&BATCH_MAGIC);
+    bytes.push(BATCH_VERSION);
+    bytes.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    for (drive, record) in records {
+        bytes.extend_from_slice(&drive.0.to_le_bytes());
+        bytes.extend_from_slice(&record.hour.to_le_bytes());
+        for value in &record.values {
+            bytes.extend_from_slice(&value.to_le_bytes());
+        }
+    }
+    bytes
+}
+
+/// Decodes a binary batch. Trailing bytes past the declared count are
+/// rejected as [`WireError::Truncated`] in reverse — a length mismatch
+/// either way means the relay and the service disagree about the format.
+pub fn decode_batch(bytes: &[u8]) -> Result<Vec<(DriveId, HealthRecord)>, WireError> {
+    if bytes.len() < BATCH_HEADER_BYTES || bytes[..4] != BATCH_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if bytes[4] != BATCH_VERSION {
+        return Err(WireError::UnsupportedVersion(bytes[4]));
+    }
+    let count = u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes")) as usize;
+    let expected = BATCH_HEADER_BYTES + count * RECORD_WIRE_BYTES;
+    if bytes.len() != expected {
+        return Err(WireError::Truncated { expected, actual: bytes.len() });
+    }
+    let mut records = Vec::with_capacity(count);
+    let mut offset = BATCH_HEADER_BYTES;
+    for _ in 0..count {
+        let drive = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"));
+        let hour = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        offset += 8;
+        let mut values = [0.0; NUM_ATTRIBUTES];
+        for value in &mut values {
+            *value = f64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"));
+            offset += 8;
+        }
+        records.push((DriveId(drive), HealthRecord { hour, values }));
+    }
+    Ok(records)
+}
+
+/// Whether a POST body looks like a binary batch (vs a CSV chunk).
+pub fn looks_binary(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == BATCH_MAGIC
+}
+
+/// Parses a CSV chunk: one `drive_id,hour,v0,…,v11` record per line.
+///
+/// Blank lines and lines starting with `#` are skipped. Attribute values
+/// may be anything `f64` parses — including `NaN`, which the quality gate
+/// downstream treats as missing — so a lossy collector can forward its
+/// holes instead of inventing numbers.
+///
+/// # Example
+///
+/// ```
+/// use dds_monitor::wire::parse_csv_chunk;
+/// use dds_smartsim::DriveId;
+///
+/// let chunk = "# relay 7, hour 12\n12,3,1,2,3,4,5,6,7,8,9,10,11,12\n";
+/// let records = parse_csv_chunk(chunk)?;
+/// assert_eq!(records.len(), 1);
+/// assert_eq!(records[0].0, DriveId(12));
+/// assert_eq!(records[0].1.hour, 3);
+/// assert_eq!(records[0].1.values[11], 12.0);
+/// # Ok::<(), dds_monitor::wire::WireError>(())
+/// ```
+pub fn parse_csv_chunk(text: &str) -> Result<Vec<(DriveId, HealthRecord)>, WireError> {
+    let mut records = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |reason: String| WireError::BadCsvLine { line: index + 1, reason };
+        let mut fields = line.split(',');
+        let drive = fields
+            .next()
+            .and_then(|f| f.trim().parse::<u32>().ok())
+            .ok_or_else(|| bad("drive id is not a u32".to_string()))?;
+        let hour = fields
+            .next()
+            .and_then(|f| f.trim().parse::<u32>().ok())
+            .ok_or_else(|| bad("hour is not a u32".to_string()))?;
+        let mut values = [0.0; NUM_ATTRIBUTES];
+        for (column, value) in values.iter_mut().enumerate() {
+            *value = fields
+                .next()
+                .and_then(|f| f.trim().parse::<f64>().ok())
+                .ok_or_else(|| bad(format!("attribute column {column} missing or non-numeric")))?;
+        }
+        if fields.next().is_some() {
+            return Err(bad(format!("more than {} fields", 2 + NUM_ATTRIBUTES)));
+        }
+        records.push((DriveId(drive), HealthRecord { hour, values }));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: u32) -> Vec<(DriveId, HealthRecord)> {
+        (0..n)
+            .map(|i| {
+                let mut values = [0.0; NUM_ATTRIBUTES];
+                for (c, v) in values.iter_mut().enumerate() {
+                    *v = i as f64 * 0.25 + c as f64;
+                }
+                (DriveId(i * 3), HealthRecord { hour: i, values })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn binary_round_trip_is_bit_identical() {
+        let mut batch = sample(100);
+        batch[7].1.values[2] = f64::NAN;
+        batch[9].1.values[5] = 65_535.0;
+        batch[11].1.values[0] = -0.0;
+        let bytes = encode_batch(&batch);
+        assert_eq!(bytes.len(), BATCH_HEADER_BYTES + 100 * RECORD_WIRE_BYTES);
+        let decoded = decode_batch(&bytes).unwrap();
+        assert_eq!(decoded.len(), batch.len());
+        for ((da, ra), (db, rb)) in batch.iter().zip(&decoded) {
+            assert_eq!(da, db);
+            assert_eq!(ra.hour, rb.hour);
+            for (x, y) in ra.values.iter().zip(&rb.values) {
+                assert_eq!(x.to_bits(), y.to_bits(), "floats must survive bitwise");
+            }
+        }
+        assert!(looks_binary(&bytes));
+        assert!(!looks_binary(b"12,0,1,2"));
+    }
+
+    #[test]
+    fn corrupt_batches_fail_with_typed_errors() {
+        let bytes = encode_batch(&sample(4));
+        assert_eq!(decode_batch(b"nope"), Err(WireError::BadMagic));
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 9;
+        assert_eq!(decode_batch(&wrong_version), Err(WireError::UnsupportedVersion(9)));
+        let truncated = &bytes[..bytes.len() - 10];
+        assert!(matches!(decode_batch(truncated), Err(WireError::Truncated { .. })));
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(matches!(decode_batch(&padded), Err(WireError::Truncated { .. })));
+        // An empty batch is legal.
+        assert_eq!(decode_batch(&encode_batch(&[])).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn csv_chunk_round_trips_and_rejects_malformed_lines() {
+        let batch = sample(5);
+        let mut chunk = String::from("# header comment\n\n");
+        for (drive, record) in &batch {
+            chunk.push_str(&format!("{},{}", drive.0, record.hour));
+            for v in &record.values {
+                chunk.push_str(&format!(",{v}"));
+            }
+            chunk.push('\n');
+        }
+        assert_eq!(parse_csv_chunk(&chunk).unwrap(), batch);
+
+        let short = "1,2,3\n";
+        assert!(matches!(parse_csv_chunk(short), Err(WireError::BadCsvLine { line: 1, .. })));
+        let wide = format!("1,2{}\n", ",9".repeat(NUM_ATTRIBUTES + 1));
+        assert!(matches!(parse_csv_chunk(&wide), Err(WireError::BadCsvLine { .. })));
+        let garbage = "banana,2,1,2,3,4,5,6,7,8,9,10,11,12\n";
+        let err = parse_csv_chunk(garbage).unwrap_err();
+        assert!(err.to_string().contains("drive id"), "{err}");
+    }
+
+    #[test]
+    fn csv_nan_values_pass_through_for_the_quality_gate() {
+        let chunk = "3,0,NaN,2,3,4,5,6,7,8,9,10,11,12\n";
+        let records = parse_csv_chunk(chunk).unwrap();
+        assert!(records[0].1.values[0].is_nan());
+    }
+}

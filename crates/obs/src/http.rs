@@ -2,13 +2,16 @@
 //! small worker pool, and a pluggable [`Handler`] — the same no-crates.io
 //! constraint that produced `shims/`, applied to serving `/metrics`.
 //!
-//! Scope is deliberately narrow: `GET`/`HEAD` only, no keep-alive
-//! (`Connection: close` on every response), no request bodies, an 8 KiB
-//! request-head cap and a per-connection read timeout. That is exactly
-//! what a Prometheus scraper, `curl`, or a load balancer's health check
-//! needs, and nothing a public-facing server would require. Malformed
-//! requests get `400`, unsupported methods `405`, and no request can take
-//! a worker down — handler panics are caught and answered with `500`.
+//! Scope is deliberately narrow: `GET`/`HEAD` for scrapes plus `POST`
+//! with a `Content-Length` body for the batched ingest endpoint, no
+//! keep-alive (`Connection: close` on every response), an 8 KiB
+//! request-head cap, a 16 MiB body cap and a per-connection read timeout.
+//! That is exactly what a Prometheus scraper, `curl`, a load balancer's
+//! health check, or a telemetry relay shipping record batches needs, and
+//! nothing a public-facing server would require. Malformed requests get
+//! `400`, unsupported methods `405`, oversized bodies `413`, and no
+//! request can take a worker down — handler panics are caught and
+//! answered with `500`.
 //!
 //! # Example
 //!
@@ -45,19 +48,26 @@ use std::time::Duration;
 /// Maximum accepted size of a request head (request line + headers).
 const MAX_REQUEST_HEAD: usize = 8 * 1024;
 
+/// Maximum accepted `POST` body size. Sized for ingest batches: a binary
+/// batch of ~150 k records fits; relays shipping more must chunk.
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
+
 /// Per-connection read/write timeout.
 const IO_TIMEOUT: Duration = Duration::from_secs(5);
 
-/// A parsed request line. Headers are consumed but not exposed — no
+/// A parsed request: the request line plus, for `POST`, the body.
+/// Headers other than `Content-Length` are consumed but not exposed — no
 /// endpoint needs them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
-    /// Uppercase method (`GET`, `HEAD`, …).
+    /// Uppercase method (`GET`, `HEAD`, `POST`).
     pub method: String,
     /// Decoded path without the query string (`/alerts`).
     pub path: String,
     /// The raw query string after `?`, if any (`n=10`).
     pub query: Option<String>,
+    /// The request body (`POST` only; empty for `GET`/`HEAD`).
+    pub body: Vec<u8>,
 }
 
 impl Request {
@@ -117,6 +127,8 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Unknown",
@@ -302,36 +314,53 @@ impl Drop for HttpServer {
     }
 }
 
-/// Reads one request head, dispatches it and writes the response.
+/// Reads one request (head, and for `POST` the body), dispatches it and
+/// writes the response.
 fn serve_connection(mut stream: TcpStream, handler: &dyn Handler, metrics: &ServerMetrics) {
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let Some(head) = read_request_head(&mut stream) else {
+    let Some((head, spill)) = read_request_head(&mut stream) else {
         metrics.count(400);
         let _ = Response::bad_request().write_to(&mut stream, true);
         return;
     };
     let (response, include_body) = match parse_request(&head) {
-        Ok(request) if request.method == "GET" || request.method == "HEAD" => {
+        Ok(mut request) if request.method == "GET" || request.method == "HEAD" => {
             let is_head = request.method == "HEAD";
-            let response =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(&request)))
-                    .unwrap_or_else(|_| Response::text(500, "internal error\n"));
-            (response, !is_head)
+            request.body = Vec::new();
+            (dispatch(handler, &request), !is_head)
         }
-        Ok(_) => (Response::text(405, "only GET and HEAD are supported\n"), true),
+        Ok(mut request) if request.method == "POST" => match read_body(&mut stream, &head, spill) {
+            Ok(body) => {
+                request.body = body;
+                (dispatch(handler, &request), true)
+            }
+            Err(status) => (Response::text(status, "bad request body\n"), true),
+        },
+        Ok(_) => (Response::text(405, "only GET, HEAD and POST are supported\n"), true),
         Err(()) => (Response::bad_request(), true),
     };
     metrics.count(response.status);
     let _ = response.write_to(&mut stream, include_body);
 }
 
+/// Runs the handler with panic isolation.
+fn dispatch(handler: &dyn Handler, request: &Request) -> Response {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(request)))
+        .unwrap_or_else(|_| Response::text(500, "internal error\n"))
+}
+
 /// Reads until the `\r\n\r\n` terminator, the size cap, EOF or timeout.
-/// Returns `None` when no complete head arrived.
-fn read_request_head(stream: &mut TcpStream) -> Option<String> {
+/// Returns the head text plus any body bytes that arrived in the same
+/// reads, or `None` when no complete head arrived.
+fn read_request_head(stream: &mut TcpStream) -> Option<(String, Vec<u8>)> {
     let mut buffer = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
-    while !buffer.windows(4).any(|w| w == b"\r\n\r\n") {
+    loop {
+        if let Some(end) = buffer.windows(4).position(|w| w == b"\r\n\r\n") {
+            let spill = buffer.split_off(end + 4);
+            return String::from_utf8(buffer).ok().map(|head| (head, spill));
+        }
         if buffer.len() > MAX_REQUEST_HEAD {
             return None;
         }
@@ -340,10 +369,37 @@ fn read_request_head(stream: &mut TcpStream) -> Option<String> {
             Ok(n) => buffer.extend_from_slice(&chunk[..n]),
         }
     }
-    String::from_utf8(buffer).ok()
 }
 
-/// Parses the request line of a head. Header lines are ignored.
+/// Reads a `POST` body of exactly `Content-Length` bytes, starting from
+/// the `spill` bytes that arrived with the head. Returns the HTTP status
+/// to answer on failure: `400` for a missing/garbled length or a short
+/// body, `413` past [`MAX_BODY`].
+fn read_body(stream: &mut TcpStream, head: &str, spill: Vec<u8>) -> Result<Vec<u8>, u16> {
+    let length = content_length(head).ok_or(400u16)?;
+    if length > MAX_BODY {
+        return Err(413);
+    }
+    let mut body = spill;
+    if body.len() < length {
+        let mut remaining = vec![0u8; length - body.len()];
+        stream.read_exact(&mut remaining).map_err(|_| 400u16)?;
+        body.extend_from_slice(&remaining);
+    }
+    body.truncate(length);
+    Ok(body)
+}
+
+/// The `Content-Length` header value, case-insensitively.
+fn content_length(head: &str) -> Option<usize> {
+    head.lines().skip(1).find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.trim().eq_ignore_ascii_case("content-length").then(|| value.trim().parse().ok())?
+    })
+}
+
+/// Parses the request line of a head. Header lines other than
+/// `Content-Length` are ignored.
 fn parse_request(head: &str) -> Result<Request, ()> {
     let line = head.lines().next().ok_or(())?;
     let mut parts = line.split(' ');
@@ -361,7 +417,7 @@ fn parse_request(head: &str) -> Result<Request, ()> {
         Some((path, query)) => (path.to_string(), Some(query.to_string())),
         None => (target.to_string(), None),
     };
-    Ok(Request { method: method.to_string(), path, query })
+    Ok(Request { method: method.to_string(), path, query, body: Vec::new() })
 }
 
 #[cfg(test)]
@@ -372,6 +428,11 @@ mod tests {
         match request.path.as_str() {
             "/ok" => Response::ok_text("fine"),
             "/json" => Response::ok_json("{\"a\": 1}"),
+            "/echo" => Response::ok_text(format!(
+                "{}:{}",
+                request.body.len(),
+                String::from_utf8_lossy(&request.body)
+            )),
             "/boom" => panic!("handler exploded"),
             _ => Response::not_found(),
         }
@@ -401,15 +462,51 @@ mod tests {
         assert!(get(addr, "/json").contains("application/json"));
         assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
 
-        // Abuse: garbage request line, unsupported method, panicking
-        // handler, premature close — then the server still answers.
+        // Abuse: garbage request line, unsupported method, length-less
+        // POST, panicking handler, premature close — then the server
+        // still answers.
         assert!(raw_request(addr, "BLARG\r\n\r\n").starts_with("HTTP/1.1 400"));
-        assert!(raw_request(addr, "POST /ok HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405"));
+        assert!(raw_request(addr, "PUT /ok HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405"));
+        assert!(raw_request(addr, "POST /ok HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 400"));
         assert!(raw_request(addr, "GET /boom HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 500"));
         drop(TcpStream::connect(addr).unwrap());
         assert!(get(addr, "/ok").starts_with("HTTP/1.1 200"), "server survived abuse");
 
         server.shutdown();
+    }
+
+    #[test]
+    fn post_bodies_reach_the_handler_and_oversized_ones_do_not() {
+        let server = HttpServer::bind("127.0.0.1:0", 2, Arc::new(router)).unwrap();
+        let addr = server.local_addr();
+
+        // The body arrives whether it shares a read with the head or not.
+        let reply =
+            raw_request(addr, "POST /echo HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\n\r\nhello");
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        assert!(reply.ends_with("5:hello"), "{reply}");
+
+        // Extra bytes past Content-Length are truncated, not leaked.
+        let reply = raw_request(addr, "POST /echo HTTP/1.1\r\nContent-Length: 2\r\n\r\nhello");
+        assert!(reply.ends_with("2:he"), "{reply}");
+
+        // A declared length past the cap is refused without reading it.
+        let huge = format!("POST /echo HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(raw_request(addr, &huge).starts_with("HTTP/1.1 413"));
+
+        // A short body (peer hangs up early) is a 400, not a hang.
+        let reply = raw_request(addr, "POST /echo HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn content_length_parses_case_insensitively() {
+        assert_eq!(content_length("POST / HTTP/1.1\r\ncontent-length: 42\r\n"), Some(42));
+        assert_eq!(content_length("POST / HTTP/1.1\r\nContent-Length:7\r\n"), Some(7));
+        assert_eq!(content_length("POST / HTTP/1.1\r\nContent-Length: x\r\n"), None);
+        assert_eq!(content_length("POST / HTTP/1.1\r\nHost: t\r\n"), None);
     }
 
     #[test]

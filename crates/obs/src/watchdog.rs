@@ -155,6 +155,21 @@ pub enum SloRule {
         /// Trailing window to evaluate over.
         window: Duration,
     },
+    /// Over the trailing `window`, records shed at the ingest gateway
+    /// (bounded-queue overflow under backpressure) must stay below
+    /// `max_ratio` of everything offered (`shed + accepted` partition the
+    /// offered stream). Windows where neither counter grows pass
+    /// vacuously: an idle gateway is not a degraded one.
+    ShedBudget {
+        /// Shed-records counter name.
+        shed: String,
+        /// Accepted-records counter name.
+        accepted: String,
+        /// Maximum tolerated shed fraction in `0..=1`.
+        max_ratio: f64,
+        /// Trailing window to evaluate over.
+        window: Duration,
+    },
 }
 
 impl SloRule {
@@ -165,6 +180,7 @@ impl SloRule {
             SloRule::RateSpike { .. } => "rate_spike",
             SloRule::ErrorBudget { .. } => "error_budget",
             SloRule::QuarantineBudget { .. } => "quarantine_budget",
+            SloRule::ShedBudget { .. } => "shed_budget",
         }
     }
 
@@ -227,6 +243,24 @@ impl SloRule {
                     )
                 })
             }
+            SloRule::ShedBudget { shed, accepted, max_ratio, window } => {
+                // Same missing-series discipline as the quarantine budget:
+                // a gateway that sheds everything may never grow the
+                // accepted counter, and must still trip.
+                let s_rate = store.rate_per_sec(shed, *window).unwrap_or(0.0);
+                let a_rate = store.rate_per_sec(accepted, *window).unwrap_or(0.0);
+                let offered = s_rate + a_rate;
+                if offered <= 0.0 {
+                    return None;
+                }
+                let ratio = s_rate / offered;
+                (ratio > *max_ratio).then(|| {
+                    format!(
+                        "{shed} ratio {ratio:.4} of offered records exceeds \
+                         shed budget {max_ratio:.4}"
+                    )
+                })
+            }
         }
     }
 }
@@ -266,8 +300,10 @@ impl Watchdog {
 
     /// The standard `dds serve` rule set: a 50 ms per-record ingest-latency
     /// p99 ceiling, an 8× alert-rate spike over the trailing minute, a
-    /// 1% ingest-error budget, and a 10% data-quality quarantine budget
-    /// over the trailing 30 seconds.
+    /// 1% ingest-error budget, a 10% data-quality quarantine budget over
+    /// the trailing 30 seconds, and a 10% ingest-gateway shed budget over
+    /// the same window (overload that sheds more than a tenth of offered
+    /// records flips `/healthz`).
     pub fn standard_rules() -> Vec<SloRule> {
         vec![
             SloRule::LatencyCeiling {
@@ -292,6 +328,12 @@ impl Watchdog {
             SloRule::QuarantineBudget {
                 quarantined: "dds_records_quarantined_total".into(),
                 accepted: "dds_monitor_records_ingested_total".into(),
+                max_ratio: 0.10,
+                window: Duration::from_secs(30),
+            },
+            SloRule::ShedBudget {
+                shed: "dds_shed_records_total".into(),
+                accepted: "dds_ingest_records_total".into(),
                 max_ratio: 0.10,
                 window: Duration::from_secs(30),
             },
@@ -454,6 +496,38 @@ mod tests {
         assert!(rule.check(&poisoned).is_some());
 
         // No growth on either counter passes vacuously.
+        let idle = TimeSeriesStore::new(4);
+        assert_eq!(rule.check(&idle), None);
+    }
+
+    #[test]
+    fn shed_budget_trips_on_overload_and_clears_when_idle() {
+        let rule = SloRule::ShedBudget {
+            shed: "w_shed_total".into(),
+            accepted: "w_ingest_total".into(),
+            max_ratio: 0.10,
+            window: Duration::from_secs(60),
+        };
+        // 2% shed: a healthy gateway under mild bursts.
+        let (registry, store) = seeded_store(|r| {
+            r.counter("w_ingest_total").add(980);
+            r.counter("w_shed_total").add(20);
+        });
+        assert_eq!(rule.check(&store), None);
+        // Sustained overload sheds a third of offered records.
+        registry.counter("w_shed_total").add(500);
+        registry.counter("w_ingest_total").add(1_000);
+        store.push(Duration::from_secs(20), registry.snapshot());
+        let message = rule.check(&store).expect("budget breached");
+        assert!(message.contains("shed budget"), "{message}");
+
+        // A gateway shedding everything (accepted never grows) still trips.
+        let (_r2, drowned) = seeded_store(|r| {
+            r.counter("w_shed_total").add(100);
+        });
+        assert!(rule.check(&drowned).is_some());
+
+        // No traffic at all passes vacuously.
         let idle = TimeSeriesStore::new(4);
         assert_eq!(rule.check(&idle), None);
     }

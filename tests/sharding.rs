@@ -1,0 +1,291 @@
+//! Integration tests of sharded serving: shard-count invariance of the
+//! aggregated output, backpressure shed accounting over real HTTP, and
+//! graceful degradation (shed-budget `/healthz` flip and recovery) with
+//! the chaos specs running against the sharded path under overload.
+//!
+//! Like `tests/serve.rs`, every test takes `SERVE_LOCK` first: the serve
+//! loop writes the process-global metrics registry.
+
+use dds_cli::serve::{serve, ServeOptions};
+use dds_cli::ChaosOptions;
+use dds_monitor::wire::encode_batch;
+use dds_smartsim::{DriveId, FleetConfig, FleetSimulator, HealthRecord};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+static SERVE_LOCK: Mutex<()> = Mutex::new(());
+
+fn serve_lock() -> MutexGuard<'static, ()> {
+    SERVE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn test_options() -> ServeOptions {
+    ServeOptions {
+        scale: "test".to_string(),
+        seed: 77,
+        threads: 1,
+        listen: "127.0.0.1:0".to_string(),
+        epochs: 0,
+        tick_ms: 1,
+        ..ServeOptions::default()
+    }
+}
+
+fn raw_roundtrip(mut stream: TcpStream, request: &[u8]) -> (u16, String) {
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream.write_all(request).expect("send request");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read reply");
+    let status: u16 = reply
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {reply:?}"));
+    let body = reply.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+    raw_roundtrip(stream, format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+}
+
+fn http_post(addr: SocketAddr, path: &str, body: &[u8]) -> (u16, String) {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+    let mut request =
+        format!("POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n", body.len())
+            .into_bytes();
+    request.extend_from_slice(body);
+    raw_roundtrip(stream, &request)
+}
+
+fn poll_until(
+    addr: SocketAddr,
+    path: &str,
+    timeout: Duration,
+    pred: impl Fn(u16, &str) -> bool,
+) -> (u16, String) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, body) = http_get(addr, path);
+        if pred(status, &body) {
+            return (status, body);
+        }
+        assert!(Instant::now() < deadline, "timed out polling {path}; last: {status} {body}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Runs the serve loop on a background thread, hands its bound address to
+/// `body`, then stops the loop and returns its summary output.
+fn with_serve_loop(options: ServeOptions, body: impl FnOnce(SocketAddr)) -> String {
+    let stop = AtomicBool::new(false);
+    let (addr_tx, addr_rx) = mpsc::channel();
+    let mut summary = None;
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            serve(&options, &stop, None, move |addr| addr_tx.send(addr).unwrap())
+                .expect("serve loop")
+        });
+        let body_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let addr = addr_rx.recv_timeout(Duration::from_secs(10)).expect("server bound");
+            body(addr);
+        }));
+        stop.store(true, Ordering::SeqCst);
+        let serve_result = handle.join().expect("serve thread");
+        if let Err(panic) = body_result {
+            std::panic::resume_unwind(panic);
+        }
+        summary = Some(serve_result);
+    });
+    summary.expect("serve summary")
+}
+
+/// Runs a bounded serve loop to completion and returns its summary with
+/// the ephemeral address and the shard count masked (the run-to-run and
+/// config-to-config variation the invariance test must ignore).
+fn masked_summary(options: &ServeOptions) -> String {
+    let stop = AtomicBool::new(false);
+    let addr_cell = std::cell::Cell::new(None);
+    let summary =
+        serve(options, &stop, None, |addr| addr_cell.set(Some(addr))).expect("bounded serve run");
+    let addr = addr_cell.get().expect("server bound");
+    summary
+        .replace(&addr.to_string(), "ADDR")
+        .replace(&format!("over {} shards", options.shards), "over S shards")
+}
+
+/// A benign external batch: one never-before-seen drive carrying a real
+/// healthy drive's record (ascending-hour, in-range values), so the
+/// quality gate accepts it and no alert fires — the tests below exercise
+/// queue accounting and shedding, not the sanitizer.
+fn external_batch(index: u32, records_per_batch: usize) -> Vec<(DriveId, HealthRecord)> {
+    static DONOR: Mutex<Option<Vec<HealthRecord>>> = Mutex::new(None);
+    let mut donor = DONOR.lock().unwrap_or_else(|e| e.into_inner());
+    let records = donor.get_or_insert_with(|| {
+        let fleet = FleetSimulator::new(FleetConfig::test_scale().with_seed(4242)).run();
+        let drive = fleet.drives().iter().find(|d| !d.label().is_failed()).expect("a good drive");
+        drive.records().to_vec()
+    });
+    (0..records_per_batch)
+        .map(|i| {
+            let record = records[i % records.len()].clone();
+            (DriveId(1_000_000 + index * records_per_batch as u32 + i as u32), record)
+        })
+        .collect()
+}
+
+#[test]
+fn serve_output_is_invariant_across_shard_counts() {
+    let _guard = serve_lock();
+    dds_obs::metrics::global().reset();
+
+    // Two epochs, no pacing: the whole run is deterministic, so the
+    // summary (alerts emitted, drives latched, quality tallies, final
+    // health) must be byte-identical at any shard count once the listen
+    // address and the shard count itself are masked.
+    let base = ServeOptions { epochs: 2, tick_ms: 0, ..test_options() };
+    let one = masked_summary(&base);
+    assert!(one.contains("2 epochs"), "bounded run completed: {one}");
+    for shards in [2usize, 4] {
+        dds_obs::metrics::global().reset();
+        let sharded = masked_summary(&ServeOptions { shards, ..base.clone() });
+        assert_eq!(one, sharded, "{shards} shards must reproduce the single-shard output");
+    }
+}
+
+#[test]
+fn shards_endpoint_partitions_the_fleet_and_ingest_receipts_conserve_counts() {
+    let _guard = serve_lock();
+    dds_obs::metrics::global().reset();
+
+    let options = ServeOptions { shards: 3, ingest_queue: 1, ..test_options() };
+    let summary = with_serve_loop(options, |addr| {
+        poll_until(addr, "/readyz", Duration::from_secs(60), |s, _| s == 200);
+
+        // /shards reports one document covering all three shards.
+        let (_, shards_doc) = poll_until(addr, "/shards", Duration::from_secs(60), |s, _| s == 200);
+        dds_obs::json::validate(&shards_doc).expect("shards JSON");
+        assert!(shards_doc.contains("\"shards\": 3"), "{shards_doc}");
+        assert!(shards_doc.matches("\"shard\":").count() == 3, "{shards_doc}");
+
+        // Offer batches much faster than the capacity-1 queue drains
+        // (one drain per fleet-hour): every receipt is either queued
+        // (200) or shed whole (429), and the receipts must reconcile
+        // exactly with the conservation counters on /metrics.
+        let mut accepted = 0u64;
+        let mut shed = 0u64;
+        for index in 0..30 {
+            let batch = external_batch(index, 40);
+            let (status, receipt) = http_post(addr, "/ingest", &encode_batch(&batch));
+            match status {
+                200 => {
+                    assert!(receipt.contains("\"queued\""), "{receipt}");
+                    accepted += 40;
+                }
+                429 => {
+                    assert!(receipt.contains("\"shed\""), "{receipt}");
+                    shed += 40;
+                }
+                other => panic!("unexpected /ingest status {other}: {receipt}"),
+            }
+        }
+        assert!(accepted > 0, "at least the first batch fits the queue");
+        assert!(shed > 0, "a capacity-1 queue under a 30-batch burst must shed");
+
+        let metric = |body: &str, name: &str| -> u64 {
+            body.lines()
+                .find_map(|l| l.strip_prefix(&format!("{name} ")))
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or_else(|| panic!("{name} missing from /metrics")) as u64
+        };
+        let (_, metrics) = http_get(addr, "/metrics");
+        assert_eq!(metric(&metrics, "dds_ingest_records_total"), accepted);
+        assert_eq!(metric(&metrics, "dds_shed_records_total"), shed);
+        assert_eq!(
+            metric(&metrics, "dds_ingest_records_total")
+                + metric(&metrics, "dds_shed_records_total"),
+            accepted + shed,
+            "offered = accepted + shed"
+        );
+        assert_eq!(metric(&metrics, "dds_ingest_shards"), 3);
+
+        // A malformed batch is rejected without touching the counters.
+        let (status, receipt) = http_post(addr, "/ingest", b"DDSB\x09garbage");
+        assert_eq!(status, 400, "{receipt}");
+        let (_, after) = http_get(addr, "/metrics");
+        assert_eq!(metric(&after, "dds_shed_records_total"), shed);
+    });
+
+    assert!(summary.contains("over 3 shards"), "summary reports the shard count: {summary}");
+    let external: Vec<&str> =
+        summary.lines().filter(|l| l.starts_with("external ingest:")).collect();
+    assert_eq!(external.len(), 1, "summary reports external ingest: {summary}");
+    assert!(
+        external[0].contains("shed") && !external[0].contains(" 0 shed"),
+        "summary reports the shed records: {summary}"
+    );
+}
+
+#[test]
+fn overload_flips_healthz_on_the_shed_budget_and_recovery_follows() {
+    let _guard = serve_lock();
+    dds_obs::metrics::global().reset();
+
+    // The PR 4 chaos spec from the serve suite (dup=0.5, seed 1051, first
+    // two epochs) now runs against a 2-shard serving path while an
+    // external relay floods the capacity-1 ingest queue. Graceful
+    // degradation means: /healthz flips (shed and/or quarantine budget),
+    // every data endpoint keeps answering 200 throughout, and once the
+    // flood stops and clean epochs stream, health recovers on its own.
+    let options = ServeOptions {
+        shards: 2,
+        ingest_queue: 1,
+        chaos: ChaosOptions { spec: "dup=0.5".parse().unwrap(), seed: 1051 },
+        chaos_epochs: 2,
+        ..test_options()
+    };
+
+    with_serve_loop(options, |addr| {
+        poll_until(addr, "/readyz", Duration::from_secs(60), |s, _| s == 200);
+
+        // Flood until the shed budget (>10% of offered records shed over
+        // the SLO window) is visibly breached and /healthz degrades.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut index = 0u32;
+        let degraded = loop {
+            for _ in 0..5 {
+                let batch = external_batch(10_000 + index, 40);
+                let (status, _) = http_post(addr, "/ingest", &encode_batch(&batch));
+                assert!(status == 200 || status == 429, "receipt status {status}");
+                index += 1;
+            }
+            let (status, body) = http_get(addr, "/healthz");
+            if status == 503 {
+                break body;
+            }
+            assert!(Instant::now() < deadline, "healthz never degraded under overload");
+            std::thread::sleep(Duration::from_millis(25));
+        };
+        assert!(degraded.contains("degraded"), "reason surfaced: {degraded}");
+        assert!(degraded.contains("budget"), "a budget rule is named: {degraded}");
+
+        // Degraded is a signal, not an outage: the data plane stays up.
+        for path in ["/metrics", "/metrics.json", "/alerts?n=5", "/readyz", "/shards"] {
+            let (status, _) = http_get(addr, path);
+            assert_eq!(status, 200, "{path} must not fail under overload");
+        }
+        let (_, metrics) = http_get(addr, "/metrics");
+        assert!(metrics.contains("dds_shed_records_total"), "{metrics}");
+
+        // Shedding is load-shedding, not collapse: with the flood gone,
+        // the breach ages out of the watchdog window and /healthz
+        // recovers while the serve loop keeps ingesting clean epochs.
+        let (_, healthy) = poll_until(addr, "/healthz", Duration::from_secs(120), |s, _| s == 200);
+        assert!(healthy.contains("\"ok\""), "recovered health body: {healthy}");
+    });
+}
