@@ -199,6 +199,39 @@ fn main() {
         reference.alerts, reference.alert_fingerprint
     );
 
+    // Zero-overhead gate for the flight recorder: one more pass at the
+    // first shard count with a recorder attached must reproduce the
+    // detached fingerprint bit-for-bit and journal exactly one span per
+    // batch. (Per-record stage clocks run only on this pass; the timed
+    // rows above stay representative of the detached fast path.)
+    {
+        let recorder =
+            std::sync::Arc::new(dds_obs::journal::FlightRecorder::new(tiled.len().max(1)));
+        registry.reset();
+        let mut monitor =
+            ShardedFleetMonitor::new(bundle.clone(), MonitorConfig::default(), shard_counts[0])
+                .with_flight_recorder(std::sync::Arc::clone(&recorder));
+        monitor.new_ingest_session();
+        let mut alerts = 0u64;
+        let mut lines: Vec<String> = Vec::new();
+        for batch in &tiled {
+            for alert in monitor.ingest_batch(batch) {
+                alerts += 1;
+                lines.push(format!("{alert}"));
+            }
+        }
+        assert_eq!(
+            (alerts, fingerprint(lines.into_iter())),
+            (reference.alerts, reference.alert_fingerprint),
+            "attaching a flight recorder changed the alert stream"
+        );
+        assert_eq!(recorder.total(), tiled.len() as u64, "one journal span per ingested batch");
+        eprintln!(
+            "[bench_ingest] flight recorder attached: identical alert stream, {} spans journaled",
+            recorder.total()
+        );
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!(

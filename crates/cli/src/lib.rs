@@ -27,6 +27,7 @@
 
 pub mod serve;
 pub mod signal;
+pub mod top;
 
 use dds_chaos::{ChaosEngine, ChaosSpec};
 use dds_core::categorize::CategorizationConfig;
@@ -53,6 +54,7 @@ use std::fs::File;
 use std::io::BufWriter;
 use std::path::PathBuf;
 use std::sync::Arc;
+use top::TopOptions;
 
 /// Observability options shared by every subcommand.
 ///
@@ -324,6 +326,9 @@ pub enum Command {
     /// `dds serve`: long-lived serving mode — continuous simulated ingest
     /// with live scrape endpoints, SLO watchdog and clean Ctrl-C shutdown.
     Serve(ServeOptions),
+    /// `dds top`: live terminal dashboard polling a running `dds serve`
+    /// (braille sparklines, per-shard grid, recent alerts, watchdog).
+    Top(TopOptions),
     /// `dds help` or `--help`.
     Help,
 }
@@ -342,6 +347,7 @@ USAGE:
   dds predict --model <model.dds> --live <fleet.csv> [--limit N]
   dds serve [--scale S] [--seed N] [--threads N] [--listen ADDR] [--epochs N] [--tick-ms N]
             [--model <model.dds>] [--shards N] [--ingest-queue N]
+  dds top [--url HOST:PORT] [--interval-ms N] [--frames N] [--once] [--ascii] [--width N]
   dds help
 
 monitor, pipeline and serve also accept fault injection
@@ -380,6 +386,16 @@ Serving (see docs/OPERATIONS.md \"Serving & scraping\"):
   (SIGINT/SIGTERM) shuts down cleanly and prints the final summary.
   --listen on monitor/pipeline exposes the same endpoints during a
   batch run.
+
+Live dashboard (see docs/OPERATIONS.md \"Live dashboard & trace\"):
+  dds top polls a running serve instance (--url, default 127.0.0.1:9150)
+  and redraws a terminal dashboard every --interval-ms (default 1000):
+  braille sparklines of ingest rate and batch p99, fleet quantiles, a
+  per-shard health grid, top alerting failure types, recent alerts and
+  the watchdog verdict. Quit with q + Enter or Ctrl-C. --once renders a
+  single frame and exits; --ascii uses a pure-ASCII repertoire (CI diffs
+  `dds top --once --ascii` against a pinned golden frame); --frames N
+  stops after N frames; --width N sets the frame width (default 80).
 
 Sharded serving (see docs/SCALING.md):
   --shards N hashes drives onto N independent monitor shards, each with
@@ -661,6 +677,41 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
             validate_scale(&options.scale)?;
             Ok(Command::Serve(options))
         }
+        "top" => {
+            let mut options = TopOptions::default();
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--url" => options.url = take_value(&mut iter, "--url")?,
+                    "--interval-ms" => {
+                        let raw = take_value(&mut iter, "--interval-ms")?;
+                        options.interval_ms = raw
+                            .parse()
+                            .map_err(|_| CliError(format!("invalid interval {raw:?}")))?;
+                    }
+                    "--frames" => {
+                        let raw = take_value(&mut iter, "--frames")?;
+                        options.frames = raw
+                            .parse()
+                            .map_err(|_| CliError(format!("invalid frame count {raw:?}")))?;
+                    }
+                    "--once" => options.once = true,
+                    "--ascii" => options.ascii = true,
+                    "--width" => {
+                        let raw = take_value(&mut iter, "--width")?;
+                        options.width = match raw.parse() {
+                            Ok(width) if width >= 40 => width,
+                            _ => {
+                                return Err(CliError::boxed(format!(
+                                    "invalid width {raw:?} (must be at least 40 columns)"
+                                )))
+                            }
+                        };
+                    }
+                    other => return Err(CliError::boxed(format!("unknown flag {other:?}"))),
+                }
+            }
+            Ok(Command::Top(options))
+        }
         other => Err(CliError::boxed(format!("unknown subcommand {other:?}; try `dds help`"))),
     }
 }
@@ -717,7 +768,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
         | Command::Train { obs, .. }
         | Command::Predict { obs, .. } => obs.clone(),
         Command::Serve(options) => options.obs.clone(),
-        Command::Help => ObsOptions::default(),
+        Command::Top(_) | Command::Help => ObsOptions::default(),
     };
     // Serving mode always aggregates stage profiles — `/profile` serves
     // them live.
@@ -1044,6 +1095,11 @@ fn run_inner(
                 eprintln!("dds serve listening on {addr}");
             })
         }
+        Command::Top(options) => {
+            let stop = signal::install();
+            stop.store(false, std::sync::atomic::Ordering::SeqCst);
+            top::run_top(&options, stop)
+        }
     }
 }
 
@@ -1263,6 +1319,47 @@ mod tests {
         let cmd = parse(argv(&["serve", "--model", "m.dds"])).unwrap();
         let Command::Serve(options) = cmd else { panic!("expected serve") };
         assert_eq!(options.model, Some(PathBuf::from("m.dds")));
+    }
+
+    #[test]
+    fn parses_top_flags() {
+        let cmd = parse(argv(&[
+            "top",
+            "--url",
+            "127.0.0.1:9999",
+            "--interval-ms",
+            "250",
+            "--frames",
+            "3",
+            "--once",
+            "--ascii",
+            "--width",
+            "100",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Top(TopOptions {
+                url: "127.0.0.1:9999".to_string(),
+                interval_ms: 250,
+                frames: 3,
+                once: true,
+                ascii: true,
+                width: 100,
+            })
+        );
+
+        // Defaults.
+        let Command::Top(defaults) = parse(argv(&["top"])).unwrap() else { panic!("expected top") };
+        assert_eq!(defaults, TopOptions::default());
+        assert_eq!(defaults.url, "127.0.0.1:9150");
+        assert!(!defaults.once && !defaults.ascii);
+
+        // Garbage values are clean errors.
+        assert!(parse(argv(&["top", "--interval-ms", "soon"])).is_err());
+        assert!(parse(argv(&["top", "--frames", "lots"])).is_err());
+        assert!(parse(argv(&["top", "--width", "10"])).is_err(), "width floor is 40");
+        assert!(parse(argv(&["top", "--bogus"])).is_err());
     }
 
     #[test]

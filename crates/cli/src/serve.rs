@@ -9,11 +9,14 @@
 //! byte-identical to the historical single-monitor loop. After every
 //! ingested fleet-hour the loop drains the bounded [`IngestQueue`] fed by
 //! the `/ingest` endpoint (external batches ride along with the simulated
-//! stream), samples the metrics registry into a [`TimeSeriesStore`],
-//! evaluates the [`Watchdog`]'s standard SLO rules — including the
-//! shed-rate budget that flips `/healthz` under sustained overload — and
-//! sleeps the configured tick. The [`MonitorService`] endpoints
-//! (`/metrics`, `/healthz`, `/alerts`, `/shards`, …) answer from shared
+//! stream), samples the metrics registry into a [`TimeSeriesStore`] and
+//! the per-shard [`ShardSeriesStore`] rings, evaluates the [`Watchdog`]'s
+//! standard SLO rules — including the shed-rate budget that flips
+//! `/healthz` under sustained overload — plus the per-shard thresholds
+//! that name the offending shard, and sleeps the configured tick. Every
+//! batch also deposits a span into the [`FlightRecorder`] behind
+//! `/trace`. The [`MonitorService`] endpoints (`/metrics`, `/healthz`,
+//! `/alerts`, `/shards`, `/trace`, `/timeseries`, …) answer from shared
 //! state on the server's worker threads throughout, so scrapes never
 //! block ingest. SIGINT/SIGTERM (or a test-driven stop flag) ends the
 //! loop cleanly: the server drains, readiness drops, and a final summary
@@ -22,13 +25,15 @@
 use crate::{analysis_config, fleet_config, ChaosOptions, CliError, ObsOptions};
 use dds_core::{Analysis, TrainedModel, TrainingContext};
 use dds_monitor::{
-    AlertHistory, IngestQueue, ModelBundle, MonitorConfig, MonitorService, ShardedFleetMonitor,
+    AlertHistory, IngestQueue, ModelBundle, MonitorConfig, MonitorService, ShardStatus,
+    ShardedFleetMonitor,
 };
 use dds_obs::http::HttpServer;
+use dds_obs::journal::{FlightRecorder, DEFAULT_JOURNAL_CAPACITY};
 use dds_obs::metrics::Registry;
 use dds_obs::profile::StageProfiler;
-use dds_obs::timeseries::TimeSeriesStore;
-use dds_obs::watchdog::Watchdog;
+use dds_obs::timeseries::{ShardSample, ShardSeriesStore, TimeSeriesStore};
+use dds_obs::watchdog::{ShardSlo, Watchdog};
 use dds_smartsim::{FleetSimulator, StreamingFleet};
 use dds_stats::par::Parallelism;
 use std::error::Error;
@@ -161,12 +166,20 @@ pub fn serve(
     let watchdog = Watchdog::new(Watchdog::standard_rules());
     let health = watchdog.health();
     let model_slot: Arc<OnceLock<String>> = Arc::new(OnceLock::new());
-    let ingest_queue = Arc::new(IngestQueue::bounded(options.ingest_queue));
+    let recorder = Arc::new(FlightRecorder::new(DEFAULT_JOURNAL_CAPACITY));
+    let ingest_queue = Arc::new(
+        IngestQueue::bounded(options.ingest_queue).with_flight_recorder(Arc::clone(&recorder)),
+    );
     let shards_slot = Arc::new(Mutex::new(String::new()));
+    let store = Arc::new(TimeSeriesStore::new(512));
+    let shard_series = Arc::new(ShardSeriesStore::new(options.shards.max(1), 512));
     let mut service = MonitorService::new(Arc::clone(&history), Arc::clone(&health))
         .with_model_slot(Arc::clone(&model_slot))
         .with_ingest(Arc::clone(&ingest_queue))
-        .with_shards_slot(Arc::clone(&shards_slot));
+        .with_shards_slot(Arc::clone(&shards_slot))
+        .with_flight_recorder(Arc::clone(&recorder))
+        .with_timeseries(Arc::clone(&store))
+        .with_shard_series(Arc::clone(&shard_series));
     if let Some(profiler) = profiler {
         service = service.with_profiler(profiler);
     }
@@ -207,11 +220,12 @@ pub fn serve(
         }
     };
     let mut monitor = ShardedFleetMonitor::new(bundle, MonitorConfig::default(), options.shards)
-        .with_history(Arc::clone(&history));
+        .with_history(Arc::clone(&history))
+        .with_flight_recorder(Arc::clone(&recorder));
     health.set_ready(true);
 
-    let store = TimeSeriesStore::new(512);
     store.sample(registry);
+    let shard_slo = ShardSlo::standard();
     let mut stream = StreamingFleet::new(
         fleet_config(&options.scale).with_seed(options.seed.wrapping_add(1)).with_parallelism(par),
     );
@@ -234,19 +248,40 @@ pub fn serve(
             // so each run is a natural ingest batch fanned across shards.
             let hour = records[start].1.hour;
             let end = start + records[start..].iter().take_while(|(_, r)| r.hour == hour).count();
-            monitor.ingest_batch(&records[start..end]);
+            monitor.ingest_batch_from(&records[start..end], "stream");
             // External batches POSTed to /ingest ride along after the
             // simulated hour; shedding already happened at offer time.
             let external = ingest_queue.drain();
             if !external.is_empty() {
-                monitor.ingest_batch(&external);
+                monitor.ingest_batch_from(&external, "external");
             }
-            // Hour fully ingested: sample the registry, judge the SLOs,
+            // Hour fully ingested: sample the registry and the per-shard
+            // rings, judge the SLOs (fleet first — it clears on a clean
+            // pass — then the shard thresholds, which only degrade),
             // publish the per-shard view, pace the stream.
             store.sample(registry);
+            let statuses = monitor.shard_statuses();
+            for status in &statuses {
+                shard_series.sample(
+                    status.shard,
+                    ShardSample {
+                        accepted: status.quality.accepted,
+                        quarantined: status.quality.quarantined,
+                        alerts: status.alerts_emitted,
+                        batches: status.batches,
+                        batch_buckets: status.batch_buckets,
+                    },
+                );
+            }
             watchdog.evaluate(&store);
+            watchdog.evaluate_shards(&shard_series, &shard_slo);
             if let Ok(mut slot) = shards_slot.lock() {
-                *slot = monitor.statuses_json();
+                let per_shard: Vec<String> = statuses.iter().map(ShardStatus::to_json).collect();
+                *slot = format!(
+                    "{{\"shards\": {}, \"per_shard\": [{}]}}",
+                    monitor.shards(),
+                    per_shard.join(", ")
+                );
             }
             start = end;
             if start < records.len() {

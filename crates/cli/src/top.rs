@@ -1,0 +1,570 @@
+//! `dds top`: a zero-dependency live operator dashboard for a running
+//! `dds serve` instance.
+//!
+//! The subcommand polls the scrape endpoints (`/metrics.json`,
+//! `/timeseries`, `/alerts`, `/healthz`) over a plain [`TcpStream`] HTTP
+//! client, then renders one terminal frame per poll: braille sparklines
+//! of the ingest rate and batch p99, the fleet quantile/rate summary, a
+//! per-shard health grid, the top alerting failure types, the most
+//! recent alerts and the watchdog verdict.
+//!
+//! The renderer is split in two layers so the dashboard is testable
+//! without a server or a terminal:
+//!
+//! * [`DashState`] is a plain snapshot of the four endpoint documents —
+//!   buildable from fixed JSON fixtures in tests;
+//! * [`render_frame`] is a pure `DashState -> String` function on top of
+//!   [`dds_obs::render`]; the same state always renders the same bytes.
+//!
+//! `dds top --once --ascii` fetches one snapshot, renders one pure-ASCII
+//! frame to stdout and exits — the mode CI uses to diff a frame against
+//! a pinned golden snapshot. Interactive mode clears the screen between
+//! frames and exits on Ctrl-C or `q` + Enter.
+
+use crate::CliError;
+use dds_obs::json::{self, Json};
+use dds_obs::render::{bar, pad, sparkline, CharSet};
+use std::error::Error;
+use std::io::{Read as IoRead, Write as IoWrite};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default scrape address (matches `dds serve`'s default `--listen`).
+pub const DEFAULT_URL: &str = "127.0.0.1:9150";
+/// Default poll interval between frames.
+pub const DEFAULT_INTERVAL_MS: u64 = 1000;
+/// Default frame width in columns.
+pub const DEFAULT_WIDTH: usize = 80;
+/// Alert rows every frame reserves (shorter lists pad with `-`).
+const ALERT_ROWS: usize = 5;
+
+/// Parsed `dds top` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopOptions {
+    /// Scrape server address (`--url HOST:PORT`).
+    pub url: String,
+    /// Poll interval in milliseconds (`--interval-ms`).
+    pub interval_ms: u64,
+    /// Stop after this many frames; 0 means run until interrupted
+    /// (`--frames`).
+    pub frames: u64,
+    /// Render a single frame to stdout and exit (`--once`).
+    pub once: bool,
+    /// Use the pure-ASCII repertoire instead of braille/blocks
+    /// (`--ascii`).
+    pub ascii: bool,
+    /// Frame width in columns (`--width`).
+    pub width: usize,
+}
+
+impl Default for TopOptions {
+    fn default() -> Self {
+        TopOptions {
+            url: DEFAULT_URL.to_string(),
+            interval_ms: DEFAULT_INTERVAL_MS,
+            frames: 0,
+            once: false,
+            ascii: false,
+            width: DEFAULT_WIDTH,
+        }
+    }
+}
+
+impl TopOptions {
+    fn charset(&self) -> CharSet {
+        if self.ascii {
+            CharSet::Ascii
+        } else {
+            CharSet::Unicode
+        }
+    }
+}
+
+/// One polled snapshot of the serving endpoints — everything a frame
+/// renders from, with no live connection attached.
+#[derive(Debug, Clone, Default)]
+pub struct DashState {
+    /// The scrape address the snapshot came from (header line only).
+    pub url: String,
+    /// `/healthz` verdict: `"ok"`, `"degraded: <reason>"` or an error.
+    pub health: String,
+    /// Parsed `/metrics.json` document, if the fetch succeeded.
+    pub metrics: Option<Json>,
+    /// Parsed `/timeseries` document, if served.
+    pub timeseries: Option<Json>,
+    /// Parsed `/alerts` document, if the fetch succeeded.
+    pub alerts: Option<Json>,
+}
+
+/// Issues one `GET path` over a fresh connection and returns
+/// `(status, body)`. The client speaks just enough HTTP/1.1 for the dds
+/// scrape server: `Connection: close`, read to EOF, split at the blank
+/// line.
+fn http_get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(5))))
+        .map_err(|e| format!("socket timeouts: {e}"))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes()).map_err(|e| format!("send {path}: {e}"))?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| format!("read {path}: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let status = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| format!("malformed reply to {path}"))?;
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Fetches and parses one endpoint, tolerating absence: a refused
+/// connection, a 404 (endpoint not wired) or unparseable JSON all come
+/// back as `None` so the dashboard degrades per-panel instead of dying.
+fn fetch_json(addr: &str, path: &str) -> Option<Json> {
+    let (status, body) = http_get(addr, path).ok()?;
+    if status != 200 {
+        return None;
+    }
+    json::parse(&body).ok()
+}
+
+/// Polls all four endpoints into a [`DashState`] snapshot.
+pub fn poll(url: &str) -> DashState {
+    let health = match http_get(url, "/healthz") {
+        Ok((200, _)) => "ok".to_string(),
+        Ok((_, body)) => {
+            let reason = json::parse(&body)
+                .ok()
+                .and_then(|doc| doc.get("reason").and_then(|r| r.as_str().map(String::from)))
+                .unwrap_or_default();
+            if reason.is_empty() {
+                "degraded".to_string()
+            } else {
+                format!("degraded: {reason}")
+            }
+        }
+        Err(e) => format!("unreachable ({e})"),
+    };
+    DashState {
+        url: url.to_string(),
+        health,
+        metrics: fetch_json(url, "/metrics.json"),
+        timeseries: fetch_json(url, "/timeseries"),
+        alerts: fetch_json(url, "/alerts?n=20"),
+    }
+}
+
+/// Reads a gauge from a parsed `/metrics.json` document.
+fn gauge(metrics: &Option<Json>, name: &str) -> Option<f64> {
+    metrics.as_ref()?.get("gauges")?.get(name)?.as_f64()
+}
+
+/// Reads a counter from a parsed `/metrics.json` document.
+fn counter(metrics: &Option<Json>, name: &str) -> Option<f64> {
+    metrics.as_ref()?.get("counters")?.get(name)?.as_f64()
+}
+
+/// Formats an optional rate/quantile with a fixed precision, rendering
+/// absent windows as `-` so column widths never jump.
+fn num(value: Option<f64>, precision: usize) -> String {
+    match value {
+        Some(v) => format!("{v:.precision$}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Extracts a numeric series (`[1.0, 2.0, …]`) from a JSON array.
+fn series_of(node: Option<&Json>) -> Vec<f64> {
+    node.and_then(|n| n.as_array())
+        .map(|items| items.iter().filter_map(|v| v.as_f64()).collect())
+        .unwrap_or_default()
+}
+
+fn opt_f64(node: Option<&Json>, key: &str) -> Option<f64> {
+    node?.get(key)?.as_f64()
+}
+
+/// Renders one dashboard frame from a snapshot. Pure: the same state,
+/// charset and width always produce the same bytes, which is what the
+/// golden-frame tests and the CI smoke diff rely on.
+pub fn render_frame(state: &DashState, charset: CharSet, width: usize) -> String {
+    let width = width.max(40);
+    let rule = "-".repeat(width);
+    let spark_width = width.saturating_sub(30).max(10);
+    let mut out = String::new();
+
+    // Header: where we are scraping, overall health, uptime.
+    let uptime = gauge(&state.metrics, "dds_uptime_seconds");
+    let header =
+        format!("dds top | {} | health: {} | up {}s", state.url, state.health, num(uptime, 0));
+    out.push_str(&pad(&header, width));
+    out.push('\n');
+    out.push_str(&rule);
+    out.push('\n');
+
+    // Fleet panel from /timeseries.
+    let fleet = state.timeseries.as_ref().and_then(|doc| doc.get("fleet"));
+    let ingest_series = series_of(fleet.and_then(|f| f.get("ingest_series")));
+    let p99_series = series_of(fleet.and_then(|f| f.get("batch_p99_series")));
+    out.push_str(&pad(
+        &format!(
+            "ingest   {:>10}/s  {}",
+            num(opt_f64(fleet, "ingest_per_sec"), 1),
+            sparkline(&trail(&ingest_series, spark_width * 2), charset)
+        ),
+        width,
+    ));
+    out.push('\n');
+    out.push_str(&pad(
+        &format!(
+            "batch    p50 {}s  p95 {}s  p99 {}s",
+            num(opt_f64(fleet, "batch_p50_seconds"), 6),
+            num(opt_f64(fleet, "batch_p95_seconds"), 6),
+            num(opt_f64(fleet, "batch_p99_seconds"), 6),
+        ),
+        width,
+    ));
+    out.push('\n');
+    out.push_str(&pad(
+        &format!(
+            "p99      {:>10}s   {}",
+            num(opt_f64(fleet, "batch_p99_seconds"), 6),
+            sparkline(&trail(&p99_series, spark_width * 2), charset)
+        ),
+        width,
+    ));
+    out.push('\n');
+    out.push_str(&pad(
+        &format!(
+            "rates    alerts {}/min  shed {}/s  quarantine {}/s",
+            num(opt_f64(fleet, "alert_per_min"), 1),
+            num(opt_f64(fleet, "shed_per_sec"), 1),
+            num(opt_f64(fleet, "quarantine_per_sec"), 1),
+        ),
+        width,
+    ));
+    out.push('\n');
+
+    // Per-shard grid.
+    out.push_str(&pad("shard    accepted/s   quar/s  alerts/min    p99(s)  activity", width));
+    out.push('\n');
+    let shards = state
+        .timeseries
+        .as_ref()
+        .and_then(|doc| doc.get("per_shard"))
+        .and_then(|s| s.as_array())
+        .unwrap_or(&[]);
+    if shards.is_empty() {
+        out.push_str(&pad("  (no per-shard series)", width));
+        out.push('\n');
+    }
+    // The busiest shard scales every activity bar so relative load is
+    // comparable across rows.
+    let peak = shards
+        .iter()
+        .filter_map(|row| opt_f64(Some(row), "accepted_per_sec"))
+        .fold(0.0_f64, f64::max);
+    for row in shards {
+        let accepted = opt_f64(Some(row), "accepted_per_sec");
+        let line = format!(
+            "  {:>5}  {:>10}  {:>7}  {:>10}  {:>8}  {}",
+            row.get("shard").and_then(|v| v.as_u64()).unwrap_or(0),
+            num(accepted, 1),
+            num(opt_f64(Some(row), "quarantine_per_sec"), 1),
+            num(opt_f64(Some(row), "alert_per_min"), 1),
+            num(opt_f64(Some(row), "batch_p99_seconds"), 6),
+            bar(accepted.unwrap_or(0.0), peak, 12, charset),
+        );
+        out.push_str(&pad(&line, width));
+        out.push('\n');
+    }
+
+    // Top alerting failure types, aggregated from the recent alerts.
+    let alert_rows: &[Json] = state
+        .alerts
+        .as_ref()
+        .and_then(|doc| doc.get("alerts"))
+        .and_then(|a| a.as_array())
+        .unwrap_or(&[]);
+    let mut by_type: Vec<(String, usize)> = Vec::new();
+    for alert in alert_rows {
+        let kind =
+            alert.get("suspected_type").and_then(|v| v.as_str()).unwrap_or("unknown").to_string();
+        match by_type.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, n)) => *n += 1,
+            None => by_type.push((kind, 1)),
+        }
+    }
+    by_type.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let top_types: Vec<String> =
+        by_type.iter().take(3).map(|(kind, n)| format!("{kind} x{n}")).collect();
+    let total_alerts = state
+        .alerts
+        .as_ref()
+        .and_then(|doc| doc.get("total"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    out.push_str(&pad(
+        &format!(
+            "top      {}  (total {total_alerts})",
+            if top_types.is_empty() { "-".to_string() } else { top_types.join("  ") }
+        ),
+        width,
+    ));
+    out.push('\n');
+
+    // Recent alerts, newest first, padded to a fixed row count so the
+    // frame height never changes between polls.
+    out.push_str(&pad("recent alerts:", width));
+    out.push('\n');
+    for i in 0..ALERT_ROWS {
+        let line = match alert_rows.get(i) {
+            Some(alert) => format!(
+                "  [{}] {} h{} {}",
+                alert.get("severity").and_then(|v| v.as_str()).unwrap_or("?"),
+                alert.get("drive").and_then(|v| v.as_str()).unwrap_or("?"),
+                alert.get("hour").and_then(|v| v.as_u64()).unwrap_or(0),
+                alert.get("message").and_then(|v| v.as_str()).unwrap_or(""),
+            ),
+            None => "  -".to_string(),
+        };
+        out.push_str(&pad(&line, width));
+        out.push('\n');
+    }
+
+    // Watchdog verdict: violation counter plus the health reason.
+    let violations = counter(&state.metrics, "dds_watchdog_violations_total").unwrap_or(0.0);
+    out.push_str(&pad(
+        &format!("watchdog {} violations | health {}", violations as u64, state.health),
+        width,
+    ));
+    out.push('\n');
+    out
+}
+
+/// The last `n` samples of a series (the renderer shows the freshest
+/// window that fits the sparkline).
+fn trail(series: &[f64], n: usize) -> Vec<f64> {
+    let start = series.len().saturating_sub(n);
+    series[start..].to_vec()
+}
+
+/// Runs the dashboard. In `--once` mode the single frame is returned as
+/// the command output; otherwise frames are written to the terminal with
+/// ANSI clear-screen between polls until Ctrl-C, `q` + Enter, or
+/// `--frames N` frames have been shown.
+pub fn run_top(options: &TopOptions, stop: &AtomicBool) -> Result<String, Box<dyn Error>> {
+    if options.once {
+        let state = poll(&options.url);
+        if state.metrics.is_none() && state.timeseries.is_none() && state.alerts.is_none() {
+            return Err(CliError::boxed(format!(
+                "no dds serve endpoints reachable at {} (health: {})",
+                options.url, state.health
+            )));
+        }
+        return Ok(render_frame(&state, options.charset(), options.width));
+    }
+
+    // `q` + Enter from the terminal requests the same clean stop as
+    // Ctrl-C. The reader thread parks on stdin and dies with the process.
+    let quit = Arc::new(AtomicBool::new(false));
+    {
+        let quit = Arc::clone(&quit);
+        std::thread::spawn(move || {
+            let mut line = String::new();
+            while std::io::stdin().read_line(&mut line).is_ok() {
+                if line.trim().eq_ignore_ascii_case("q") {
+                    quit.store(true, Ordering::SeqCst);
+                    break;
+                }
+                if line.is_empty() {
+                    break; // EOF: stdin closed, stop polling it.
+                }
+                line.clear();
+            }
+        });
+    }
+
+    let mut rendered = 0u64;
+    while !stop.load(Ordering::SeqCst) && !quit.load(Ordering::SeqCst) {
+        let state = poll(&options.url);
+        let frame = render_frame(&state, options.charset(), options.width);
+        // Clear + home rather than full reset: keeps scrollback intact.
+        print!("\x1b[2J\x1b[H{frame}");
+        println!("[q + Enter or Ctrl-C to quit]");
+        let _ = std::io::stdout().flush();
+        rendered += 1;
+        if options.frames > 0 && rendered >= options.frames {
+            break;
+        }
+        // Sleep in short slices so Ctrl-C stays responsive.
+        let mut remaining = options.interval_ms;
+        while remaining > 0 && !stop.load(Ordering::SeqCst) && !quit.load(Ordering::SeqCst) {
+            let slice = remaining.min(50);
+            std::thread::sleep(Duration::from_millis(slice));
+            remaining -= slice;
+        }
+    }
+    Ok(format!("dds top: {rendered} frames rendered\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fixed snapshot standing in for a live 2-shard `dds serve`.
+    fn fixture() -> DashState {
+        let metrics = json::parse(
+            r#"{"counters": {"dds_watchdog_violations_total": 3},
+                "gauges": {"dds_uptime_seconds": 42.0}}"#,
+        )
+        .unwrap();
+        let timeseries = json::parse(
+            r#"{"window_seconds": 60,
+                "fleet": {"ingest_per_sec": 50.0, "alert_per_min": 6.0,
+                          "shed_per_sec": 0.0, "quarantine_per_sec": 1.5,
+                          "batch_p50_seconds": 0.001, "batch_p95_seconds": 0.002,
+                          "batch_p99_seconds": 0.004,
+                          "ingest_series": [10.0, 20.0, 50.0, 40.0],
+                          "batch_p99_series": [0.001, 0.004, 0.002, 0.004]},
+                "per_shard": [
+                  {"shard": 0, "accepted_per_sec": 30.0, "quarantine_per_sec": 0.5,
+                   "alert_per_min": 4.0, "batch_p50_seconds": 0.001,
+                   "batch_p99_seconds": 0.003, "ingest_series": [15.0, 30.0]},
+                  {"shard": 1, "accepted_per_sec": 20.0, "quarantine_per_sec": 1.0,
+                   "alert_per_min": 2.0, "batch_p50_seconds": 0.001,
+                   "batch_p99_seconds": 0.004, "ingest_series": [5.0, 20.0]}]}"#,
+        )
+        .unwrap();
+        let alerts = json::parse(
+            r#"{"total": 7, "returned": 2, "alerts": [
+                 {"drive": "drive-9", "hour": 40, "severity": "Critical",
+                  "kind": "VendorThreshold", "suspected_type": "MEDIUM",
+                  "degradation": 0.9, "estimated_remaining_hours": 12,
+                  "message": "reallocated sectors over threshold"},
+                 {"drive": "drive-3", "hour": 38, "severity": "Warning",
+                  "kind": "DegradationSignature", "suspected_type": "MEDIUM",
+                  "degradation": 0.5, "estimated_remaining_hours": null,
+                  "message": "signature drift"}]}"#,
+        )
+        .unwrap();
+        DashState {
+            url: "127.0.0.1:9150".to_string(),
+            health: "ok".to_string(),
+            metrics: Some(metrics),
+            timeseries: Some(timeseries),
+            alerts: Some(alerts),
+        }
+    }
+
+    /// The pinned golden frame for the fixture above. If a deliberate
+    /// renderer change breaks this, re-pin it and the CI smoke golden
+    /// (`tests/golden/top_frame.txt`) together.
+    #[test]
+    fn golden_ascii_frame_is_byte_stable() {
+        let frame = render_frame(&fixture(), CharSet::Ascii, 72);
+        let expected = concat!(
+            "dds top | 127.0.0.1:9150 | health: ok | up 42s                          \n",
+            "------------------------------------------------------------------------\n",
+            "ingest         50.0/s  .:##                                             \n",
+            "batch    p50 0.001000s  p95 0.002000s  p99 0.004000s                    \n",
+            "p99        0.004000s   .#:#                                             \n",
+            "rates    alerts 6.0/min  shed 0.0/s  quarantine 1.5/s                   \n",
+            "shard    accepted/s   quar/s  alerts/min    p99(s)  activity            \n",
+            "      0        30.0      0.5         4.0  0.003000  ############        \n",
+            "      1        20.0      1.0         2.0  0.004000  ########....        \n",
+            "top      MEDIUM x2  (total 7)                                           \n",
+            "recent alerts:                                                          \n",
+            "  [Critical] drive-9 h40 reallocated sectors over threshold             \n",
+            "  [Warning] drive-3 h38 signature drift                                 \n",
+            "  -                                                                     \n",
+            "  -                                                                     \n",
+            "  -                                                                     \n",
+            "watchdog 3 violations | health ok                                       \n",
+        );
+        assert_eq!(frame, expected, "golden frame drifted:\n{frame}");
+    }
+
+    #[test]
+    fn ascii_frame_is_pure_ascii_and_fixed_shape() {
+        let frame = render_frame(&fixture(), CharSet::Ascii, 80);
+        assert!(frame.is_ascii(), "ASCII mode must emit only ASCII");
+        // Fixed shape: every line padded to the requested width.
+        for line in frame.lines() {
+            assert_eq!(line.chars().count(), 80, "line not padded: {line:?}");
+        }
+        // Frame height is content-independent: header + rule + 4 fleet
+        // rows + grid header + 2 shards + top + alerts header + 5 alert
+        // rows + watchdog.
+        assert_eq!(frame.lines().count(), 17);
+    }
+
+    #[test]
+    fn unicode_frame_uses_braille_and_blocks() {
+        let frame = render_frame(&fixture(), CharSet::Unicode, 80);
+        assert!(
+            frame.chars().any(|c| ('\u{2800}'..='\u{28FF}').contains(&c)),
+            "expected braille sparkline cells"
+        );
+        assert!(frame.contains('\u{2588}'), "expected block-element bars");
+    }
+
+    #[test]
+    fn empty_state_renders_placeholders_not_panics() {
+        let state = DashState {
+            url: "127.0.0.1:1".to_string(),
+            health: "unreachable (connect refused)".to_string(),
+            ..DashState::default()
+        };
+        let frame = render_frame(&state, CharSet::Ascii, 60);
+        assert!(frame.contains("(no per-shard series)"));
+        assert!(frame.contains("ingest            -/s"));
+        assert!(frame.contains("unreachable"));
+        // All five alert rows render as fillers.
+        assert_eq!(frame.matches("\n  -").count(), ALERT_ROWS);
+    }
+
+    #[test]
+    fn alert_aggregation_ranks_by_count_then_name() {
+        let mut state = fixture();
+        state.alerts = Some(
+            json::parse(
+                r#"{"total": 4, "returned": 4, "alerts": [
+                     {"drive": "a", "hour": 1, "severity": "Watch", "kind": "k",
+                      "suspected_type": "HEAD", "degradation": 0.1,
+                      "estimated_remaining_hours": null, "message": "m"},
+                     {"drive": "b", "hour": 2, "severity": "Watch", "kind": "k",
+                      "suspected_type": "MEDIUM", "degradation": 0.1,
+                      "estimated_remaining_hours": null, "message": "m"},
+                     {"drive": "c", "hour": 3, "severity": "Watch", "kind": "k",
+                      "suspected_type": "HEAD", "degradation": 0.1,
+                      "estimated_remaining_hours": null, "message": "m"},
+                     {"drive": "d", "hour": 4, "severity": "Watch", "kind": "k",
+                      "suspected_type": "CONTROLLER", "degradation": 0.1,
+                      "estimated_remaining_hours": null, "message": "m"}]}"#,
+            )
+            .unwrap(),
+        );
+        let frame = render_frame(&state, CharSet::Ascii, 100);
+        let top_line = frame.lines().find(|l| l.starts_with("top ")).unwrap();
+        // HEAD (2) leads; CONTROLLER and MEDIUM tie at 1 and sort by name.
+        assert!(top_line.contains("HEAD x2  CONTROLLER x1  MEDIUM x1"), "{top_line}");
+    }
+
+    #[test]
+    fn once_against_a_dead_port_is_a_clean_error() {
+        let options = TopOptions {
+            url: "127.0.0.1:1".to_string(), // nothing listens on port 1
+            once: true,
+            ascii: true,
+            ..TopOptions::default()
+        };
+        let err = run_top(&options, &AtomicBool::new(false)).unwrap_err();
+        assert!(err.to_string().contains("no dds serve endpoints reachable"), "{err}");
+    }
+}

@@ -330,11 +330,29 @@ impl FleetMonitor {
         // Quarantined records must not reach `records_ingested_total`:
         // the watchdog's quarantine budget treats that counter as the
         // accepted-record denominator.
-        let cleaned = self.sanitizer.admit(drive, record)?;
-        Ok(self.ingest_accepted(drive, &cleaned))
+        let cleaned = self.sanitize(drive, record)?;
+        Ok(self.ingest_sanitized(drive, &cleaned))
     }
 
-    fn ingest_accepted(&mut self, drive: DriveId, record: &HealthRecord) -> Vec<Alert> {
+    /// The quality-gate stage of [`FleetMonitor::try_ingest`] on its own:
+    /// admits (possibly repairing) one record or quarantines it with a
+    /// typed rejection, without touching any scoring state. Callers that
+    /// need per-stage timing (the sharded serving path's flight recorder)
+    /// run this and [`FleetMonitor::ingest_sanitized`] separately;
+    /// `try_ingest` is exactly their composition.
+    pub fn sanitize(
+        &mut self,
+        drive: DriveId,
+        record: &HealthRecord,
+    ) -> Result<HealthRecord, DataQualityError> {
+        self.sanitizer.admit(drive, record)
+    }
+
+    /// The scoring stage of [`FleetMonitor::try_ingest`]: ingests a
+    /// record that already passed [`FleetMonitor::sanitize`]. Feeding a
+    /// record that skipped the gate corrupts the quality accounting the
+    /// watchdog budgets are built on — always pair the two stages.
+    pub fn ingest_sanitized(&mut self, drive: DriveId, record: &HealthRecord) -> Vec<Alert> {
         let _span = dds_obs::span!(dds_obs::Level::Trace, "monitor.ingest", hour = record.hour);
         let started = Instant::now();
         let latched_before = self.latched_severity(drive);

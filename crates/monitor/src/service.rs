@@ -16,6 +16,8 @@
 //! | `/profile`      | Per-stage wall time, counts and p50/p95/p99 as JSON |
 //! | `/model`        | Provenance of the serving model (`503 {"status": "training"}` until one is published) |
 //! | `/shards`       | Per-shard serving state published by the sharded serve loop (404 without one) |
+//! | `/trace?n=K`    | The last `K` flight-recorder batch spans as JSON lines (404 without a recorder) |
+//! | `/timeseries`   | Fleet + per-shard sliding-window rates, quantiles and sparkline series |
 //!
 //! Plus one `POST` endpoint, `/ingest`: a batched record payload (binary
 //! [`wire`] batch or CSV chunk, sniffed by leading bytes) decoded and
@@ -32,14 +34,26 @@ use crate::history::AlertHistory;
 use crate::shard::IngestQueue;
 use crate::wire;
 use dds_obs::http::{Handler, Request, Response};
+use dds_obs::journal::FlightRecorder;
 use dds_obs::metrics;
 use dds_obs::profile::StageProfiler;
+use dds_obs::timeseries::{ShardSeriesStore, TimeSeriesStore};
 use dds_obs::watchdog::HealthState;
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Default number of alerts returned by `/alerts` without a `n=` query.
 const DEFAULT_ALERTS: usize = 20;
+
+/// Default number of spans returned by `/trace` without a `n=` query.
+const DEFAULT_TRACE: usize = 50;
+
+/// Sliding window over which `/timeseries` computes its rates and
+/// quantiles.
+const TIMESERIES_WINDOW: Duration = Duration::from_secs(60);
+
+/// Number of per-interval points in each `/timeseries` sparkline series.
+const SERIES_POINTS: usize = 60;
 
 /// The shared request handler behind every scrape endpoint.
 #[derive(Debug)]
@@ -56,6 +70,13 @@ pub struct MonitorService {
     /// Per-shard state document behind `/shards`, re-published by the
     /// sharded serve loop after every ingested fleet-hour.
     shards: Option<Arc<Mutex<String>>>,
+    /// The flight recorder behind `/trace`; without one the endpoint
+    /// answers 404 (this deployment records no spans).
+    recorder: Option<Arc<FlightRecorder>>,
+    /// The fleet-level snapshot ring behind `/timeseries`.
+    timeseries: Option<Arc<TimeSeriesStore>>,
+    /// The per-shard rings feeding `/timeseries`'s `per_shard` section.
+    shard_series: Option<Arc<ShardSeriesStore>>,
     started: Instant,
 }
 
@@ -69,8 +90,31 @@ impl MonitorService {
             model: Arc::new(OnceLock::new()),
             ingest: None,
             shards: None,
+            recorder: None,
+            timeseries: None,
+            shard_series: None,
             started: Instant::now(),
         }
+    }
+
+    /// Attaches the flight recorder backing the `/trace` endpoint.
+    pub fn with_flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Attaches the fleet-level snapshot ring backing `/timeseries`.
+    pub fn with_timeseries(mut self, store: Arc<TimeSeriesStore>) -> Self {
+        self.timeseries = Some(store);
+        self
+    }
+
+    /// Attaches the per-shard rings feeding `/timeseries`'s `per_shard`
+    /// section (optional — a non-sharded deployment serves only the
+    /// fleet section).
+    pub fn with_shard_series(mut self, series: Arc<ShardSeriesStore>) -> Self {
+        self.shard_series = Some(series);
+        self
     }
 
     /// Attaches the bounded ingest queue backing the `/ingest` endpoint.
@@ -162,6 +206,7 @@ impl MonitorService {
         Response::ok_text(
             "dds monitor observability endpoints:\n\
              /metrics /metrics.json /healthz /readyz /alerts?n=K /profile /model /shards\n\
+             /trace?n=K /timeseries\n\
              POST /ingest (binary DDSB batch or CSV chunk)\n",
         )
     }
@@ -180,6 +225,72 @@ impl MonitorService {
         } else {
             Response::ok_json(document)
         }
+    }
+
+    fn trace_endpoint(&self, request: &Request) -> Response {
+        let Some(recorder) = &self.recorder else {
+            return Response::not_found();
+        };
+        let n = match request.query_param("n") {
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => return Response::bad_request(),
+            },
+            None => DEFAULT_TRACE,
+        };
+        Response {
+            status: 200,
+            content_type: "application/x-ndjson",
+            body: recorder.to_json_lines(n),
+        }
+    }
+
+    fn timeseries_endpoint(&self) -> Response {
+        let Some(store) = &self.timeseries else {
+            return Response::not_found();
+        };
+        let w = TIMESERIES_WINDOW;
+        let batch = "dds_ingest_batch_seconds";
+        let fleet = format!(
+            "{{\"ingest_per_sec\": {}, \"alert_per_min\": {}, \"shed_per_sec\": {}, \
+             \"quarantine_per_sec\": {}, \"batch_p50_seconds\": {}, \"batch_p95_seconds\": {}, \
+             \"batch_p99_seconds\": {}, \"ingest_series\": {}, \"batch_p99_series\": {}}}",
+            json_opt(store.rate_per_sec("dds_monitor_records_ingested_total", w)),
+            json_opt(store.rate_per_min("dds_monitor_alerts_total", w)),
+            json_opt(store.rate_per_sec("dds_shed_records_total", w)),
+            json_opt(store.rate_per_sec("dds_records_quarantined_total", w)),
+            json_opt(store.window_quantile(batch, w, 0.5)),
+            json_opt(store.window_quantile(batch, w, 0.95)),
+            json_opt(store.window_quantile(batch, w, 0.99)),
+            json_series(&store.rate_series("dds_monitor_records_ingested_total", SERIES_POINTS)),
+            json_series(&store.quantile_series(batch, SERIES_POINTS, 0.99)),
+        );
+        let per_shard = match &self.shard_series {
+            Some(series) => {
+                let rows: Vec<String> = (0..series.shards())
+                    .map(|shard| {
+                        format!(
+                            "{{\"shard\": {shard}, \"accepted_per_sec\": {}, \
+                             \"quarantine_per_sec\": {}, \"alert_per_min\": {}, \
+                             \"batch_p50_seconds\": {}, \"batch_p99_seconds\": {}, \
+                             \"ingest_series\": {}}}",
+                            json_opt(series.accepted_per_sec(shard, w)),
+                            json_opt(series.quarantine_per_sec(shard, w)),
+                            json_opt(series.alert_per_min(shard, w)),
+                            json_opt(series.batch_quantile(shard, w, 0.5)),
+                            json_opt(series.batch_quantile(shard, w, 0.99)),
+                            json_series(&series.accepted_series(shard, SERIES_POINTS)),
+                        )
+                    })
+                    .collect();
+                format!("[{}]", rows.join(", "))
+            }
+            None => "[]".to_string(),
+        };
+        Response::ok_json(format!(
+            "{{\"window_seconds\": {}, \"fleet\": {fleet}, \"per_shard\": {per_shard}}}",
+            w.as_secs(),
+        ))
     }
 
     fn ingest_endpoint(&self, request: &Request) -> Response {
@@ -251,9 +362,23 @@ impl Handler for MonitorService {
             ),
             "/model" => self.model_endpoint(),
             "/shards" => self.shards_endpoint(),
+            "/trace" => self.trace_endpoint(request),
+            "/timeseries" => self.timeseries_endpoint(),
             _ => Response::not_found(),
         }
     }
+}
+
+/// Renders an optional metric value as a JSON number or `null` (a window
+/// that cannot be answered yet is "unknown", not zero).
+fn json_opt(value: Option<f64>) -> String {
+    value.map(dds_obs::json::number).unwrap_or_else(|| "null".to_string())
+}
+
+/// Renders a sparkline series as a JSON array of numbers.
+fn json_series(values: &[f64]) -> String {
+    let rendered: Vec<String> = values.iter().map(|&v| dds_obs::json::number(v)).collect();
+    format!("[{}]", rendered.join(", "))
 }
 
 #[cfg(test)]
@@ -411,5 +536,115 @@ mod tests {
         let reply = service.handle(&request("/profile", None));
         assert_eq!(reply.status, 200);
         assert_eq!(reply.body, "{}");
+    }
+
+    #[test]
+    fn trace_endpoint_serves_json_lines_with_n_and_rejects_garbage() {
+        use dds_obs::journal::{BatchSpan, FlightRecorder};
+
+        // Without a recorder, the deployment has no trace.
+        assert_eq!(service().handle(&request("/trace", None)).status, 404);
+
+        let recorder = Arc::new(FlightRecorder::new(16));
+        let service = MonitorService::new(Arc::new(AlertHistory::new(16)), HealthState::new())
+            .with_flight_recorder(Arc::clone(&recorder));
+        // Empty recorder: an empty (but well-typed) NDJSON payload.
+        let empty = service.handle(&request("/trace", None));
+        assert_eq!(empty.status, 200);
+        assert_eq!(empty.content_type, "application/x-ndjson");
+        assert!(empty.body.is_empty());
+
+        for i in 0..5u64 {
+            recorder.record(BatchSpan {
+                records: 10 + i,
+                accepted: 10 + i,
+                ..BatchSpan::default()
+            });
+        }
+        let two = service.handle(&request("/trace", Some("n=2")));
+        assert_eq!(two.status, 200);
+        let rows: Vec<&str> = two.body.lines().collect();
+        assert_eq!(rows.len(), 2);
+        // Oldest-first tail of the lifetime sequence: batches 4 and 5.
+        assert!(rows[0].contains("\"batch\": 4"), "{}", rows[0]);
+        assert!(rows[1].contains("\"batch\": 5"), "{}", rows[1]);
+        for row in rows {
+            dds_obs::json::validate(row).expect("trace line JSON");
+        }
+        assert_eq!(service.handle(&request("/trace", Some("n=banana"))).status, 400);
+    }
+
+    #[test]
+    fn timeseries_endpoint_serves_fleet_and_per_shard_windows() {
+        use dds_obs::timeseries::{ShardSample, ShardSeriesStore, TimeSeriesStore};
+
+        // Without a store, the deployment has no time series.
+        assert_eq!(service().handle(&request("/timeseries", None)).status, 404);
+
+        let registry = metrics::Registry::new();
+        let store = Arc::new(TimeSeriesStore::new(16));
+        store.push(Duration::from_secs(0), registry.snapshot());
+        registry.counter("dds_monitor_records_ingested_total").add(500);
+        registry.counter("dds_monitor_alerts_total").add(10);
+        registry.histogram("dds_ingest_batch_seconds").observe(2e-3);
+        store.push(Duration::from_secs(10), registry.snapshot());
+
+        let shard_series = Arc::new(ShardSeriesStore::new(2, 16));
+        for shard in 0..2 {
+            shard_series.push(shard, Duration::from_secs(0), ShardSample::default());
+            shard_series.push(
+                shard,
+                Duration::from_secs(10),
+                ShardSample { accepted: 250, ..ShardSample::default() },
+            );
+        }
+
+        let service = MonitorService::new(Arc::new(AlertHistory::new(16)), HealthState::new())
+            .with_timeseries(Arc::clone(&store))
+            .with_shard_series(Arc::clone(&shard_series));
+        let reply = service.handle(&request("/timeseries", None));
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.content_type, "application/json");
+        dds_obs::json::validate(&reply.body).expect("timeseries JSON");
+        let doc = dds_obs::json::parse(&reply.body).expect("timeseries JSON");
+        assert_eq!(doc.get("window_seconds").and_then(|v| v.as_u64()), Some(60));
+        let fleet = doc.get("fleet").expect("fleet section");
+        assert_eq!(fleet.get("ingest_per_sec").and_then(|v| v.as_f64()), Some(50.0));
+        assert_eq!(fleet.get("alert_per_min").and_then(|v| v.as_f64()), Some(60.0));
+        // Counters that never grew render as 0 rates; quantiles answer.
+        assert!(fleet.get("batch_p99_seconds").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        let shards = doc.get("per_shard").and_then(|v| v.as_array()).expect("per_shard");
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].get("accepted_per_sec").and_then(|v| v.as_f64()), Some(25.0));
+
+        // A fleet-only deployment serves an empty per_shard array.
+        let fleet_only = MonitorService::new(Arc::new(AlertHistory::new(16)), HealthState::new())
+            .with_timeseries(store);
+        let reply = fleet_only.handle(&request("/timeseries", None));
+        assert!(reply.body.contains("\"per_shard\": []"), "{}", reply.body);
+    }
+
+    #[test]
+    fn every_route_declares_its_content_type() {
+        // The satellite audit: every endpoint must carry an explicit,
+        // correct Content-Type — JSON payloads as application/json, the
+        // Prometheus exposition as versioned text/plain, traces as NDJSON.
+        let service = service();
+        for (path, expected) in [
+            ("/", "text/plain; charset=utf-8"),
+            ("/metrics", "text/plain; version=0.0.4"),
+            ("/metrics.json", "application/json"),
+            ("/healthz", "application/json"),
+            ("/readyz", "application/json"),
+            ("/alerts", "application/json"),
+            ("/profile", "application/json"),
+            ("/model", "application/json"),
+            ("/nope", "text/plain; charset=utf-8"),
+        ] {
+            let reply = service.handle(&request(path, None));
+            assert_eq!(reply.content_type, expected, "content type of {path}");
+        }
+        // POST receipts are JSON too (handled by the queue-less 503 here).
+        assert_eq!(service.handle(&post("/ingest", Vec::new())).content_type, "application/json");
     }
 }

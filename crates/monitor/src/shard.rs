@@ -22,7 +22,8 @@ use crate::bundle::ModelBundle;
 use crate::history::AlertHistory;
 use crate::monitor::{FleetMonitor, HealthStatus, MonitorConfig};
 use dds_core::quality::QualityStats;
-use dds_obs::metrics::{Counter, Gauge, Histogram};
+use dds_obs::journal::{BatchSpan, FlightRecorder, ShardSpan};
+use dds_obs::metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
 use dds_smartsim::{DriveId, HealthRecord};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -66,15 +67,24 @@ pub fn shard_for(drive: DriveId, shards: usize) -> usize {
     (hash % shards as u64) as usize
 }
 
-/// One batch's result from a shard worker.
+/// One batch's result from a shard worker, including the span fields the
+/// flight recorder assembles into a [`BatchSpan`]. The count fields are
+/// always filled (they fall out of the accept/quarantine branch anyway);
+/// the stage clocks are only non-zero for timed jobs.
 struct ShardBatch {
     alerts: Vec<Alert>,
+    records: u64,
+    accepted: u64,
+    quarantined: u64,
+    sanitize_seconds: f64,
+    ingest_seconds: f64,
     drives_tracked: usize,
     latched: [usize; 3],
 }
 
-/// Point-in-time state of one shard, for the `/shards` endpoint and the
-/// scaling handbook's sizing checks.
+/// Point-in-time state of one shard, for the `/shards` endpoint, the
+/// per-shard time-series rings behind `/timeseries`, and the scaling
+/// handbook's sizing checks.
 #[derive(Debug, Clone, Copy)]
 pub struct ShardStatus {
     /// Shard index in `0..shards`.
@@ -85,6 +95,14 @@ pub struct ShardStatus {
     pub latched: [usize; 3],
     /// This shard's sanitizer tallies.
     pub quality: QualityStats,
+    /// Lifetime alerts this shard emitted.
+    pub alerts_emitted: u64,
+    /// Lifetime batches this shard processed.
+    pub batches: u64,
+    /// Histogram-compatible bucket counts of this shard's per-batch wall
+    /// times (see [`Histogram::bucket_index`]); feeds the per-shard
+    /// latency quantiles in [`dds_obs::timeseries::ShardSeriesStore`].
+    pub batch_buckets: [u64; HISTOGRAM_BUCKETS],
 }
 
 impl ShardStatus {
@@ -93,7 +111,8 @@ impl ShardStatus {
         format!(
             "{{\"shard\": {}, \"drives_tracked\": {}, \"latched_watch\": {}, \
              \"latched_warning\": {}, \"latched_critical\": {}, \"accepted\": {}, \
-             \"quarantined\": {}, \"imputed_attrs\": {}}}",
+             \"quarantined\": {}, \"imputed_attrs\": {}, \"alerts_emitted\": {}, \
+             \"batches\": {}}}",
             self.shard,
             self.drives_tracked,
             self.latched[0],
@@ -102,14 +121,27 @@ impl ShardStatus {
             self.quality.accepted,
             self.quality.quarantined,
             self.quality.imputed_attrs,
+            self.alerts_emitted,
+            self.batches,
         )
     }
 }
 
 enum Job {
-    Batch { records: Vec<(DriveId, HealthRecord)>, reply: SyncSender<(usize, ShardBatch)> },
-    NewSession { reply: SyncSender<()> },
-    Status { reply: SyncSender<ShardStatus> },
+    Batch {
+        records: Vec<(DriveId, HealthRecord)>,
+        /// Whether to run the per-record stage clocks (sanitize/ingest
+        /// wall time). Only true when a flight recorder is attached, so
+        /// the unattached path pays zero per-record timing overhead.
+        timed: bool,
+        reply: SyncSender<(usize, ShardBatch)>,
+    },
+    NewSession {
+        reply: SyncSender<()>,
+    },
+    Status {
+        reply: SyncSender<ShardStatus>,
+    },
 }
 
 struct Worker {
@@ -119,20 +151,65 @@ struct Worker {
 
 fn worker_loop(shard: usize, bundle: ModelBundle, config: MonitorConfig, jobs: Receiver<Job>) {
     let mut monitor = FleetMonitor::new(bundle, config).with_quiet_gauges();
+    // Cheap per-shard lifetime tallies behind `/shards` and the
+    // per-shard time-series rings: two clock reads per *batch* (not per
+    // record) and a handful of integer adds, so they stay on even when
+    // no recorder is attached.
+    let mut batches = 0u64;
+    let mut batch_buckets = [0u64; HISTOGRAM_BUCKETS];
+    let mut alerts_emitted = 0u64;
     while let Ok(job) = jobs.recv() {
         match job {
-            Job::Batch { records, reply } => {
+            Job::Batch { records, timed, reply } => {
+                let started = Instant::now();
                 let mut alerts = Vec::new();
-                for (drive, record) in &records {
-                    if let Ok(mut raised) = monitor.try_ingest(*drive, record) {
-                        alerts.append(&mut raised);
+                let total = records.len() as u64;
+                let mut accepted = 0u64;
+                let mut quarantined = 0u64;
+                let mut sanitize_seconds = 0.0;
+                let mut ingest_seconds = 0.0;
+                if timed {
+                    // Per-record stage clocks for the flight recorder:
+                    // same sanitize→ingest composition as `try_ingest`,
+                    // with an `Instant` read between the stages.
+                    for (drive, record) in &records {
+                        let gate = Instant::now();
+                        let admitted = monitor.sanitize(*drive, record);
+                        sanitize_seconds += gate.elapsed().as_secs_f64();
+                        match admitted {
+                            Ok(cleaned) => {
+                                accepted += 1;
+                                let score = Instant::now();
+                                alerts.append(&mut monitor.ingest_sanitized(*drive, &cleaned));
+                                ingest_seconds += score.elapsed().as_secs_f64();
+                            }
+                            Err(_) => quarantined += 1,
+                        }
+                    }
+                } else {
+                    for (drive, record) in &records {
+                        match monitor.try_ingest(*drive, record) {
+                            Ok(mut raised) => {
+                                accepted += 1;
+                                alerts.append(&mut raised);
+                            }
+                            Err(_) => quarantined += 1,
+                        }
                     }
                 }
+                batches += 1;
+                batch_buckets[Histogram::bucket_index(started.elapsed().as_secs_f64())] += 1;
+                alerts_emitted += alerts.len() as u64;
                 let status = monitor.health_status();
                 let _ = reply.send((
                     shard,
                     ShardBatch {
                         alerts,
+                        records: total,
+                        accepted,
+                        quarantined,
+                        sanitize_seconds,
+                        ingest_seconds,
                         drives_tracked: status.drives_tracked,
                         latched: status.latched,
                     },
@@ -149,6 +226,9 @@ fn worker_loop(shard: usize, bundle: ModelBundle, config: MonitorConfig, jobs: R
                     drives_tracked: status.drives_tracked,
                     latched: status.latched,
                     quality: *monitor.quality_stats(),
+                    alerts_emitted,
+                    batches,
+                    batch_buckets,
                 });
             }
         }
@@ -196,6 +276,7 @@ impl CoordinatorMetrics {
 pub struct ShardedFleetMonitor {
     workers: Vec<Worker>,
     history: Option<Arc<AlertHistory>>,
+    recorder: Option<Arc<FlightRecorder>>,
     metrics: CoordinatorMetrics,
     /// Last-known (drives_tracked, latched) per shard, refreshed by every
     /// batch reply, so gauge aggregation never needs an extra round trip.
@@ -230,6 +311,7 @@ impl ShardedFleetMonitor {
         ShardedFleetMonitor {
             workers,
             history: None,
+            recorder: None,
             metrics,
             shard_state: vec![(0, [0; 3]); shards],
         }
@@ -240,6 +322,18 @@ impl ShardedFleetMonitor {
     #[must_use]
     pub fn with_history(mut self, history: Arc<AlertHistory>) -> Self {
         self.history = Some(history);
+        self
+    }
+
+    /// Attaches a flight recorder; every subsequent batch deposits one
+    /// [`BatchSpan`] (per-stage timings, shard breakdown) into it, and
+    /// workers switch on their per-record stage clocks. Without a
+    /// recorder the sharded path records nothing and times nothing
+    /// beyond the pre-existing per-batch histogram — the
+    /// instrumentation-is-inert discipline.
+    #[must_use]
+    pub fn with_flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -264,7 +358,21 @@ impl ShardedFleetMonitor {
     /// (exactly as [`FleetMonitor::ingest`]); the per-shard tallies remain
     /// visible through [`shard_statuses`](ShardedFleetMonitor::shard_statuses).
     pub fn ingest_batch(&mut self, records: &[(DriveId, HealthRecord)]) -> Vec<Alert> {
+        self.ingest_batch_from(records, "batch")
+    }
+
+    /// [`ingest_batch`](ShardedFleetMonitor::ingest_batch) with a source
+    /// tag for the flight recorder's span (`"stream"` for the serve
+    /// loop's simulated epochs, `"external"` for drained `/ingest`
+    /// batches, `"batch"` for direct API calls). The tag changes nothing
+    /// about routing or alerting.
+    pub fn ingest_batch_from(
+        &mut self,
+        records: &[(DriveId, HealthRecord)],
+        source: &'static str,
+    ) -> Vec<Alert> {
         let started = Instant::now();
+        let timed = self.recorder.is_some();
         let shards = self.workers.len();
         let mut buckets: Vec<Vec<(DriveId, HealthRecord)>> = vec![Vec::new(); shards];
         if shards == 1 {
@@ -281,17 +389,30 @@ impl ShardedFleetMonitor {
             if bucket.is_empty() {
                 continue;
             }
-            self.send(shard, Job::Batch { records: bucket, reply: reply.clone() });
+            self.send(shard, Job::Batch { records: bucket, timed, reply: reply.clone() });
             outstanding += 1;
         }
         drop(reply);
 
         let mut alerts = Vec::new();
+        let mut shard_spans: Vec<ShardSpan> = Vec::new();
         for _ in 0..outstanding {
             let (shard, batch) = replies.recv().expect("shard worker alive");
             self.shard_state[shard] = (batch.drives_tracked, batch.latched);
+            if timed {
+                shard_spans.push(ShardSpan {
+                    shard,
+                    records: batch.records,
+                    accepted: batch.accepted,
+                    quarantined: batch.quarantined,
+                    alerts: batch.alerts.len() as u64,
+                    sanitize_seconds: batch.sanitize_seconds,
+                    ingest_seconds: batch.ingest_seconds,
+                });
+            }
             alerts.extend(batch.alerts);
         }
+        let merge_started = Instant::now();
         // Alerts of one drive live entirely on one shard and arrive there
         // in emission order, so a stable sort on (hour, drive) is a full
         // deterministic merge — equal keys never span shards.
@@ -304,6 +425,25 @@ impl ShardedFleetMonitor {
         }
         self.publish_gauges();
         self.metrics.batch_seconds.observe(started.elapsed().as_secs_f64());
+        if let Some(recorder) = &self.recorder {
+            if !records.is_empty() {
+                shard_spans.sort_by_key(|span| span.shard);
+                let accepted: u64 = shard_spans.iter().map(|s| s.accepted).sum();
+                let quarantined: u64 = shard_spans.iter().map(|s| s.quarantined).sum();
+                recorder.record(BatchSpan {
+                    source,
+                    outcome: "ingested",
+                    records: records.len() as u64,
+                    accepted,
+                    quarantined,
+                    alerts: alerts.len() as u64,
+                    merge_seconds: merge_started.elapsed().as_secs_f64(),
+                    total_seconds: started.elapsed().as_secs_f64(),
+                    shards: shard_spans,
+                    ..BatchSpan::default()
+                });
+            }
+        }
         alerts
     }
 
@@ -414,6 +554,7 @@ pub struct IngestQueue {
     sender: SyncSender<Vec<(DriveId, HealthRecord)>>,
     receiver: Mutex<Receiver<Vec<(DriveId, HealthRecord)>>>,
     counts: Mutex<IngestCounts>,
+    recorder: Option<Arc<FlightRecorder>>,
     accepted_records: Arc<Counter>,
     accepted_batches: Arc<Counter>,
     shed_records: Arc<Counter>,
@@ -429,11 +570,22 @@ impl IngestQueue {
             sender,
             receiver: Mutex::new(receiver),
             counts: Mutex::new(IngestCounts::default()),
+            recorder: None,
             accepted_records: registry.counter("dds_ingest_records_total"),
             accepted_batches: registry.counter("dds_ingest_batches_total"),
             shed_records: registry.counter("dds_shed_records_total"),
             shed_batches: registry.counter("dds_shed_batches_total"),
         }
+    }
+
+    /// Attaches a flight recorder; every *shed* batch then deposits a
+    /// `"shed"`-outcome span (zero timings, no shard breakdown — the
+    /// batch never reached a shard). Accepted batches are recorded later
+    /// by the coordinator when the serve loop drains them.
+    #[must_use]
+    pub fn with_flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
     }
 
     /// Offers one decoded batch. `Ok(n)` queued `n` records; `Err(n)`
@@ -456,6 +608,14 @@ impl IngestQueue {
                 counts.shed_batches += 1;
                 self.shed_records.add(records);
                 self.shed_batches.inc();
+                if let Some(recorder) = &self.recorder {
+                    recorder.record(BatchSpan {
+                        source: "external",
+                        outcome: "shed",
+                        records,
+                        ..BatchSpan::default()
+                    });
+                }
                 Err(records as usize)
             }
         }
@@ -600,6 +760,98 @@ mod tests {
         sharded.new_ingest_session();
         sharded.ingest_batch(&records);
         assert_eq!(sharded.quality_stats().quarantined, records.len() as u64);
+    }
+
+    #[test]
+    fn flight_recorder_spans_conserve_records_across_shards() {
+        let bundle = trained_bundle(9_109);
+        let live = FleetSimulator::new(FleetConfig::test_scale().with_seed(9_110)).run();
+        let records = hour_ordered(&live);
+        // Capacity exceeds the batch count so the conservation sums below
+        // can see every span (the ring never evicts in this test).
+        let recorder = Arc::new(FlightRecorder::new(256));
+        let mut sharded = ShardedFleetMonitor::new(bundle, MonitorConfig::default(), 3)
+            .with_flight_recorder(Arc::clone(&recorder));
+
+        let mut batches = 0u64;
+        for chunk in records.chunks(500) {
+            sharded.ingest_batch_from(chunk, "stream");
+            batches += 1;
+        }
+        assert_eq!(recorder.total(), batches);
+
+        for span in recorder.last(batches as usize) {
+            assert_eq!(span.source, "stream");
+            assert_eq!(span.outcome, "ingested");
+            // The quality gate partitions every batch...
+            assert_eq!(span.accepted + span.quarantined, span.records);
+            // ...and the shard spans partition it again, in shard order.
+            let shard_records: u64 = span.shards.iter().map(|s| s.records).sum();
+            assert_eq!(shard_records, span.records);
+            for pair in span.shards.windows(2) {
+                assert!(pair[0].shard < pair[1].shard);
+            }
+            // Stage clocks ran (timed mode) and nest inside the total.
+            for shard in &span.shards {
+                assert!(shard.sanitize_seconds + shard.ingest_seconds <= span.total_seconds);
+            }
+            assert!(span.merge_seconds <= span.total_seconds);
+        }
+        // The recorded totals agree with the quality tallies.
+        let spans = recorder.last(batches as usize);
+        let accepted: u64 = spans.iter().map(|s| s.accepted).sum();
+        assert_eq!(accepted, sharded.quality_stats().accepted);
+        // Per-shard lifetime tallies behind `/shards` saw every batch.
+        let statuses = sharded.shard_statuses();
+        let shard_batches: u64 = statuses.iter().map(|s| s.batches).sum();
+        assert!(shard_batches >= batches, "every batch hit at least one shard");
+        let bucketed: u64 = statuses.iter().map(|s| s.batch_buckets.iter().sum::<u64>()).sum();
+        assert_eq!(bucketed, shard_batches, "every batch landed in exactly one bucket");
+    }
+
+    #[test]
+    fn detached_recorder_changes_nothing_and_records_nothing() {
+        let bundle = trained_bundle(9_111);
+        let live = FleetSimulator::new(FleetConfig::test_scale().with_seed(9_112)).run();
+        let records = hour_ordered(&live);
+
+        let mut plain = ShardedFleetMonitor::new(bundle.clone(), MonitorConfig::default(), 2);
+        let expected = plain.ingest_batch(&records);
+
+        let recorder = Arc::new(FlightRecorder::new(64));
+        let mut recorded = ShardedFleetMonitor::new(bundle, MonitorConfig::default(), 2)
+            .with_flight_recorder(Arc::clone(&recorder));
+        let observed = recorded.ingest_batch(&records);
+
+        assert_eq!(alert_lines(&observed), alert_lines(&expected));
+        assert_eq!(recorder.total(), 1);
+        assert_eq!(recorder.last(1)[0].source, "batch");
+        // An empty batch is not a span: idle ticks must not flood the ring.
+        recorded.ingest_batch(&[]);
+        assert_eq!(recorder.total(), 1);
+    }
+
+    #[test]
+    fn shed_batches_deposit_shed_spans() {
+        let queue = IngestQueue::bounded(1);
+        let recorder = Arc::new(FlightRecorder::new(8));
+        let queue = queue.with_flight_recorder(Arc::clone(&recorder));
+        let batch = |n: u32| -> Vec<(DriveId, HealthRecord)> {
+            (0..n)
+                .map(|i| (DriveId(i), HealthRecord { hour: 0, values: [1.0; NUM_ATTRIBUTES] }))
+                .collect()
+        };
+        assert_eq!(queue.offer(batch(4)), Ok(4));
+        assert_eq!(queue.offer(batch(9)), Err(9));
+        // Only the shed batch left a span; the accepted one is recorded
+        // later, when the serve loop drains and ingests it.
+        assert_eq!(recorder.total(), 1);
+        let span = &recorder.last(1)[0];
+        assert_eq!(span.outcome, "shed");
+        assert_eq!(span.source, "external");
+        assert_eq!(span.records, 9);
+        assert!(span.shards.is_empty());
+        assert_eq!(span.records as usize, queue.counts().shed_records as usize);
     }
 
     #[test]

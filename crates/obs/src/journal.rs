@@ -1,0 +1,321 @@
+//! The flight recorder: a bounded ring journal of per-batch span records.
+//!
+//! Aggregate metrics answer "how is the service doing?"; they cannot
+//! answer "what happened to *that* batch?". The [`FlightRecorder`] fills
+//! the gap: every ingest batch flowing through the sharded serving path
+//! deposits one structured [`BatchSpan`] — record/accept/quarantine
+//! counts, per-stage timings (sanitize → ingest → alert merge) and the
+//! per-shard breakdown — into a lock-light ring, so a slow or shedding
+//! batch can be reconstructed after the fact from `GET /trace?n=K`
+//! without replaying anything.
+//!
+//! The recorder follows the alert-history discipline: a `Mutex<VecDeque>`
+//! ring (batches arrive a few per tick, contention is nil) plus a relaxed
+//! lifetime counter that doubles as the batch-id sequence. Attachment is
+//! optional everywhere — an unattached producer skips both the span
+//! construction *and* the per-record stage clocks, so the bit-identity
+//! suites and benches see zero instrumentation cost.
+//!
+//! # Example
+//!
+//! ```
+//! use dds_obs::journal::{BatchSpan, FlightRecorder};
+//!
+//! let recorder = FlightRecorder::new(128);
+//! let id = recorder.record(BatchSpan {
+//!     records: 100,
+//!     accepted: 97,
+//!     quarantined: 3,
+//!     ..BatchSpan::default()
+//! });
+//! assert_eq!(id, 1);
+//! let last = recorder.last(10);
+//! assert_eq!(last[0].records, last[0].accepted + last[0].quarantined);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default retained-span capacity for serving setups.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 512;
+
+/// One shard's share of a batch: how many records it saw and how long
+/// each stage took on its worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ShardSpan {
+    /// Shard index the records hashed onto.
+    pub shard: usize,
+    /// Records routed to this shard.
+    pub records: u64,
+    /// Records past the quality gate.
+    pub accepted: u64,
+    /// Records quarantined by the quality gate.
+    pub quarantined: u64,
+    /// Alerts this shard emitted for the batch.
+    pub alerts: u64,
+    /// Wall time spent in the sanitize stage (quality gate).
+    pub sanitize_seconds: f64,
+    /// Wall time spent scoring accepted records.
+    pub ingest_seconds: f64,
+}
+
+impl ShardSpan {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"shard\": {}, \"records\": {}, \"accepted\": {}, \"quarantined\": {}, \
+             \"alerts\": {}, \"sanitize_seconds\": {}, \"ingest_seconds\": {}}}",
+            self.shard,
+            self.records,
+            self.accepted,
+            self.quarantined,
+            self.alerts,
+            crate::json::number(self.sanitize_seconds),
+            crate::json::number(self.ingest_seconds),
+        )
+    }
+}
+
+/// One batch's journey through the serving path.
+///
+/// Conservation invariants (for `outcome == "ingested"` spans):
+/// `accepted + quarantined == records`, and the shard spans partition the
+/// batch (`sum(shards[].records) == records`). Shed batches
+/// (`outcome == "shed"`) never reached a shard: their counts stay on the
+/// batch and `shards` is empty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSpan {
+    /// Monotonic batch id, assigned by the recorder (1-based lifetime
+    /// sequence; survives ring eviction).
+    pub batch: u64,
+    /// Where the batch came from (`"stream"` for the simulated epochs,
+    /// `"external"` for `/ingest` POSTs, `"batch"` for direct API calls).
+    pub source: &'static str,
+    /// `"ingested"` or `"shed"` (bounded-queue overflow; never routed).
+    pub outcome: &'static str,
+    /// Records offered in the batch.
+    pub records: u64,
+    /// Records past the quality gate, summed across shards.
+    pub accepted: u64,
+    /// Records quarantined, summed across shards.
+    pub quarantined: u64,
+    /// Alerts emitted by the batch after the coordinator merge.
+    pub alerts: u64,
+    /// Wall time of the coordinator's merge stage (stable sort + history
+    /// recording, after the last shard replied).
+    pub merge_seconds: f64,
+    /// End-to-end coordinator wall time for the batch.
+    pub total_seconds: f64,
+    /// Per-shard breakdown, in shard order.
+    pub shards: Vec<ShardSpan>,
+}
+
+impl Default for BatchSpan {
+    fn default() -> Self {
+        BatchSpan {
+            batch: 0,
+            source: "batch",
+            outcome: "ingested",
+            records: 0,
+            accepted: 0,
+            quarantined: 0,
+            alerts: 0,
+            merge_seconds: 0.0,
+            total_seconds: 0.0,
+            shards: Vec::new(),
+        }
+    }
+}
+
+impl BatchSpan {
+    /// Serializes the span as one JSON object (one `/trace` line).
+    pub fn to_json(&self) -> String {
+        let shards: Vec<String> = self.shards.iter().map(|s| s.to_json()).collect();
+        format!(
+            "{{\"batch\": {}, \"source\": \"{}\", \"outcome\": \"{}\", \"records\": {}, \
+             \"accepted\": {}, \"quarantined\": {}, \"alerts\": {}, \"merge_seconds\": {}, \
+             \"total_seconds\": {}, \"shards\": [{}]}}",
+            self.batch,
+            self.source,
+            self.outcome,
+            self.records,
+            self.accepted,
+            self.quarantined,
+            self.alerts,
+            crate::json::number(self.merge_seconds),
+            crate::json::number(self.total_seconds),
+            shards.join(", "),
+        )
+    }
+}
+
+/// A bounded ring journal of [`BatchSpan`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    /// Lifetime spans recorded; also the batch-id sequence.
+    total: AtomicU64,
+    spans: Mutex<VecDeque<BatchSpan>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_JOURNAL_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// Creates a recorder retaining the most recent `capacity` spans
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            total: AtomicU64::new(0),
+            spans: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Records one span, stamping its batch id from the lifetime
+    /// sequence and evicting the oldest span when full. Returns the
+    /// assigned id.
+    pub fn record(&self, mut span: BatchSpan) -> u64 {
+        let id = self.total.fetch_add(1, Ordering::Relaxed) + 1;
+        span.batch = id;
+        if let Ok(mut spans) = self.spans.lock() {
+            if spans.len() == self.capacity {
+                spans.pop_front();
+            }
+            spans.push_back(span);
+        }
+        id
+    }
+
+    /// The lifetime number of spans recorded (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Number of currently retained spans.
+    pub fn len(&self) -> usize {
+        self.spans.lock().map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Whether no span was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The most recent `n` spans, oldest first (replay order).
+    pub fn last(&self, n: usize) -> Vec<BatchSpan> {
+        self.spans
+            .lock()
+            .map(|spans| {
+                let skip = spans.len().saturating_sub(n);
+                spans.iter().skip(skip).cloned().collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The most recent `n` spans as JSON lines (one object per line,
+    /// oldest first, trailing newline) — the `/trace?n=K` payload.
+    pub fn to_json_lines(&self, n: usize) -> String {
+        let mut out = String::new();
+        for span in self.last(n) {
+            out.push_str(&span.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(records: u64, quarantined: u64) -> BatchSpan {
+        BatchSpan {
+            source: "stream",
+            records,
+            accepted: records - quarantined,
+            quarantined,
+            alerts: 2,
+            merge_seconds: 1e-5,
+            total_seconds: 3e-4,
+            shards: vec![
+                ShardSpan {
+                    shard: 0,
+                    records: records / 2,
+                    accepted: records / 2,
+                    quarantined: 0,
+                    alerts: 2,
+                    sanitize_seconds: 2e-5,
+                    ingest_seconds: 1e-4,
+                },
+                ShardSpan {
+                    shard: 1,
+                    records: records - records / 2,
+                    accepted: records - records / 2 - quarantined,
+                    quarantined,
+                    alerts: 0,
+                    sanitize_seconds: 2e-5,
+                    ingest_seconds: 9e-5,
+                },
+            ],
+            ..BatchSpan::default()
+        }
+    }
+
+    #[test]
+    fn assigns_monotonic_ids_and_evicts_oldest() {
+        let recorder = FlightRecorder::new(3);
+        assert!(recorder.is_empty());
+        for i in 0..5 {
+            assert_eq!(recorder.record(span(10 + i, 1)), i + 1);
+        }
+        assert_eq!(recorder.total(), 5);
+        assert_eq!(recorder.len(), 3);
+        let last = recorder.last(2);
+        assert_eq!(last.len(), 2);
+        assert_eq!(last[0].batch, 4, "oldest first within the requested tail");
+        assert_eq!(last[1].batch, 5);
+        // Asking for more than retained returns everything retained.
+        assert_eq!(recorder.last(100).len(), 3);
+    }
+
+    #[test]
+    fn spans_conserve_records_across_shards() {
+        let s = span(101, 3);
+        assert_eq!(s.accepted + s.quarantined, s.records);
+        let shard_records: u64 = s.shards.iter().map(|sh| sh.records).sum();
+        assert_eq!(shard_records, s.records);
+        let shard_accepted: u64 = s.shards.iter().map(|sh| sh.accepted).sum();
+        let shard_quarantined: u64 = s.shards.iter().map(|sh| sh.quarantined).sum();
+        assert_eq!(shard_accepted, s.accepted);
+        assert_eq!(shard_quarantined, s.quarantined);
+    }
+
+    #[test]
+    fn json_lines_are_one_valid_object_per_line() {
+        let recorder = FlightRecorder::new(8);
+        recorder.record(span(20, 0));
+        recorder.record(BatchSpan {
+            source: "external",
+            outcome: "shed",
+            records: 7,
+            ..BatchSpan::default()
+        });
+        let lines = recorder.to_json_lines(10);
+        assert!(lines.ends_with('\n'));
+        let rows: Vec<&str> = lines.lines().collect();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            crate::json::validate(row).expect("trace line JSON");
+        }
+        assert!(rows[0].contains("\"source\": \"stream\""));
+        assert!(rows[1].contains("\"outcome\": \"shed\""));
+        assert!(rows[1].contains("\"shards\": []"), "shed batches never reach a shard");
+        // Batch ids in the payload are the lifetime sequence.
+        assert!(rows[0].contains("\"batch\": 1"));
+        assert!(rows[1].contains("\"batch\": 2"));
+    }
+}

@@ -29,9 +29,16 @@
 //!   file + rename) for snapshot and artifact files.
 //! - [`http`] — a zero-dependency HTTP/1.1 scrape server
 //!   ([`HttpServer`](http::HttpServer)) for `/metrics`-style endpoints.
+//! - [`journal`] — the flight recorder
+//!   ([`FlightRecorder`](journal::FlightRecorder)): a bounded ring of
+//!   per-batch span records (stage timings, shard breakdown,
+//!   shed/quarantine outcomes) behind `GET /trace`.
+//! - [`render`] — pure terminal-rendering primitives (braille
+//!   sparklines, bars, ASCII fallback) for the `dds top` dashboard.
 //! - [`timeseries`] — a ring buffer of registry snapshots
 //!   ([`TimeSeriesStore`](timeseries::TimeSeriesStore)) answering
-//!   sliding-window rate and quantile queries.
+//!   sliding-window rate and quantile queries, plus per-shard rings
+//!   ([`ShardSeriesStore`](timeseries::ShardSeriesStore)).
 //! - [`watchdog`] — an SLO rule engine ([`Watchdog`](watchdog::Watchdog))
 //!   evaluating window predicates and flipping a shared
 //!   [`HealthState`](watchdog::HealthState) to degraded.
@@ -73,9 +80,11 @@
 pub mod alloc;
 pub mod fsio;
 pub mod http;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod render;
 pub mod subscribers;
 pub mod timeseries;
 pub mod trace;

@@ -169,7 +169,12 @@ impl Histogram {
         }
     }
 
-    pub(crate) fn bucket_index(value: f64) -> usize {
+    /// The bucket a value falls into — the inverse of
+    /// [`bucket_upper_bound`](Histogram::bucket_upper_bound). Public so
+    /// external accumulators (per-shard batch-duration rings) can build
+    /// histogram-compatible bucket arrays that
+    /// [`quantile_from_buckets`] understands.
+    pub fn bucket_index(value: f64) -> usize {
         if value.is_nan() || value <= HISTOGRAM_BASE {
             // Covers tiny, zero, negative and NaN observations.
             return 0;

@@ -1,0 +1,181 @@
+//! Terminal rendering primitives for the `dds top` dashboard: braille
+//! sparklines, horizontal bars, and an ASCII fallback repertoire.
+//!
+//! Everything here is pure `&[f64] -> String`: no terminal probing, no
+//! clocks, no global state. That is what lets `dds top --once --ascii`
+//! render a byte-deterministic frame from a fixed metrics snapshot and
+//! have CI diff it against a pinned golden file.
+//!
+//! The Unicode repertoire packs two samples per cell using the braille
+//! block (U+2800..U+28FF): each cell is a 2×4 dot grid, so a 30-cell
+//! sparkline shows a 60-sample window at 4 vertical levels. The ASCII
+//! repertoire degrades to one ramp character per sample for dumb
+//! terminals and CI logs.
+//!
+//! # Example
+//!
+//! ```
+//! use dds_obs::render::{sparkline, CharSet};
+//!
+//! let ramp: Vec<f64> = (0..8).map(|i| i as f64).collect();
+//! let uni = sparkline(&ramp, CharSet::Unicode);
+//! assert_eq!(uni.chars().count(), 4); // two samples per braille cell
+//! let ascii = sparkline(&ramp, CharSet::Ascii);
+//! assert!(ascii.is_ascii());
+//! assert_eq!(ascii.len(), 8); // one ramp char per sample
+//! ```
+
+/// Character repertoire for the dashboard renderer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CharSet {
+    /// Pure 7-bit ASCII: ramp characters and `#`/`.` bars. Safe for CI
+    /// logs, golden snapshots and terminals without Unicode fonts.
+    Ascii,
+    /// Braille sparklines (U+2800 block) and block-element bars.
+    Unicode,
+}
+
+/// Braille dot bits for the left column of a cell, bottom row first
+/// (dots 7, 3, 2, 1 of the 2×4 grid).
+const BRAILLE_LEFT: [u8; 4] = [0x40, 0x04, 0x02, 0x01];
+/// Braille dot bits for the right column, bottom row first (dots 8, 6,
+/// 5, 4).
+const BRAILLE_RIGHT: [u8; 4] = [0x80, 0x20, 0x10, 0x08];
+/// ASCII ramp indexed by fill level 0..=4.
+const ASCII_RAMP: [char; 5] = [' ', '.', ':', '=', '#'];
+
+/// Quantizes one sample onto `0..=4` fill levels against `max`.
+/// Anything positive shows at least one level, so a trickle of traffic
+/// is visibly distinct from silence.
+fn level(value: f64, max: f64) -> usize {
+    // NaN in either position renders as silence, same as non-positive.
+    if value.is_nan() || max.is_nan() || value <= 0.0 || max <= 0.0 {
+        return 0;
+    }
+    let scaled = (value / max * 4.0).ceil();
+    (scaled as usize).clamp(1, 4)
+}
+
+/// Renders `values` (oldest first) as a sparkline, auto-scaled to the
+/// window maximum. Unicode packs two samples per braille cell; ASCII
+/// emits one ramp character per sample. Empty input renders empty.
+pub fn sparkline(values: &[f64], charset: CharSet) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let max = values.iter().cloned().fold(0.0_f64, f64::max);
+    match charset {
+        CharSet::Ascii => values.iter().map(|&v| ASCII_RAMP[level(v, max)]).collect(),
+        CharSet::Unicode => values
+            .chunks(2)
+            .map(|pair| {
+                let mut dots = 0u8;
+                for &bit in BRAILLE_LEFT.iter().take(level(pair[0], max)) {
+                    dots |= bit;
+                }
+                if let Some(&right) = pair.get(1) {
+                    for &bit in BRAILLE_RIGHT.iter().take(level(right, max)) {
+                        dots |= bit;
+                    }
+                }
+                char::from_u32(0x2800 + dots as u32).unwrap_or(' ')
+            })
+            .collect(),
+    }
+}
+
+/// Renders a horizontal bar of `width` cells, filled proportionally to
+/// `value / max`. A positive value always fills at least one cell; a
+/// zero or unknown maximum renders an empty track.
+pub fn bar(value: f64, max: f64, width: usize, charset: CharSet) -> String {
+    let (fill, empty) = match charset {
+        CharSet::Ascii => ('#', '.'),
+        CharSet::Unicode => ('\u{2588}', '\u{2591}'), // █ ░
+    };
+    let filled = if value > 0.0 && max > 0.0 {
+        (((value / max) * width as f64).round() as usize).clamp(1, width)
+    } else {
+        0
+    };
+    let mut out = String::with_capacity(width * fill.len_utf8());
+    for i in 0..width {
+        out.push(if i < filled { fill } else { empty });
+    }
+    out
+}
+
+/// Right-pads (or truncates) `text` to exactly `width` display
+/// characters — the column discipline that keeps every dashboard frame
+/// the same shape regardless of content.
+pub fn pad(text: &str, width: usize) -> String {
+    let mut out: String = text.chars().take(width).collect();
+    let len = out.chars().count();
+    for _ in len..width {
+        out.push(' ');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_is_deterministic_and_packs_two_samples_per_cell() {
+        let values = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = sparkline(&values, CharSet::Unicode);
+        let b = sparkline(&values, CharSet::Unicode);
+        assert_eq!(a, b);
+        assert_eq!(a.chars().count(), 3, "5 samples -> 3 braille cells");
+        // All output stays inside the braille block.
+        assert!(a.chars().all(|c| ('\u{2800}'..='\u{28FF}').contains(&c)), "{a:?}");
+        // The final (odd) sample fills only the left column of its cell.
+        let last = a.chars().last().unwrap() as u32 - 0x2800;
+        assert_eq!(last as u8 & (0x08 | 0x10 | 0x20 | 0x80), 0, "right column empty");
+    }
+
+    #[test]
+    fn ascii_sparkline_is_pure_ascii_with_one_char_per_sample() {
+        let values = [0.0, 0.1, 5.0, 2.5, 0.0];
+        let line = sparkline(&values, CharSet::Ascii);
+        assert!(line.is_ascii());
+        assert_eq!(line.len(), values.len());
+        assert_eq!(line, " .#: ");
+    }
+
+    #[test]
+    fn empty_and_all_zero_inputs_render_flat() {
+        assert_eq!(sparkline(&[], CharSet::Unicode), "");
+        assert_eq!(sparkline(&[], CharSet::Ascii), "");
+        // All-zero input: blank braille cells, not a divide-by-zero.
+        let flat = sparkline(&[0.0, 0.0, 0.0, 0.0], CharSet::Unicode);
+        assert!(flat.chars().all(|c| c == '\u{2800}'), "{flat:?}");
+        assert_eq!(sparkline(&[0.0, 0.0], CharSet::Ascii), "  ");
+    }
+
+    #[test]
+    fn positive_trickle_is_visible_over_silence() {
+        // 1 event against a 1000-event peak still shows one dot/level.
+        let line = sparkline(&[1.0, 1000.0], CharSet::Ascii);
+        assert_eq!(line, ".#");
+        assert!(bar(1.0, 1000.0, 10, CharSet::Ascii).starts_with('#'));
+    }
+
+    #[test]
+    fn bars_fill_proportionally_and_clamp() {
+        assert_eq!(bar(5.0, 10.0, 10, CharSet::Ascii), "#####.....");
+        assert_eq!(bar(0.0, 10.0, 4, CharSet::Ascii), "....");
+        assert_eq!(bar(20.0, 10.0, 4, CharSet::Ascii), "####", "overflow clamps");
+        assert_eq!(bar(10.0, 0.0, 4, CharSet::Ascii), "....", "zero max is an empty track");
+        let uni = bar(5.0, 10.0, 4, CharSet::Unicode);
+        assert_eq!(uni.chars().count(), 4);
+        assert_eq!(uni, "██░░");
+    }
+
+    #[test]
+    fn pad_fixes_column_width() {
+        assert_eq!(pad("abc", 5), "abc  ");
+        assert_eq!(pad("abcdef", 4), "abcd");
+        assert_eq!(pad("", 3), "   ");
+    }
+}

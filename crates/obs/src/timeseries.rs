@@ -156,6 +156,225 @@ impl TimeSeriesStore {
             .collect();
         quantile_from_buckets(&buckets, q)
     }
+
+    /// Per-interval rates of counter `name` over the most recent `n`
+    /// consecutive sample pairs, oldest first — the fleet sparkline feed.
+    /// Intervals where the counter is absent (or time stands still)
+    /// contribute `0.0`; a store with fewer than two samples yields an
+    /// empty series.
+    pub fn rate_series(&self, name: &str, n: usize) -> Vec<f64> {
+        let Ok(points) = self.points.lock() else { return Vec::new() };
+        let points: Vec<&TimePoint> = points.iter().collect();
+        let skip = points.len().saturating_sub(n + 1);
+        points[skip..]
+            .windows(2)
+            .map(|pair| {
+                let dt = (pair[1].elapsed.saturating_sub(pair[0].elapsed)).as_secs_f64();
+                if dt <= 0.0 {
+                    return 0.0;
+                }
+                let new = pair[1].snapshot.counter_value(name).unwrap_or(0);
+                let old = pair[0].snapshot.counter_value(name).unwrap_or(0);
+                new.saturating_sub(old) as f64 / dt
+            })
+            .collect()
+    }
+
+    /// Per-interval `q`-quantiles of histogram `name` over the most
+    /// recent `n` consecutive sample pairs, oldest first. Intervals with
+    /// no observations contribute `0.0` (a flat-zero sparkline segment,
+    /// not a hole).
+    pub fn quantile_series(&self, name: &str, n: usize, q: f64) -> Vec<f64> {
+        let Ok(points) = self.points.lock() else { return Vec::new() };
+        let points: Vec<&TimePoint> = points.iter().collect();
+        let skip = points.len().saturating_sub(n + 1);
+        points[skip..]
+            .windows(2)
+            .map(|pair| {
+                let Some(new) = pair[1].snapshot.histogram(name) else { return 0.0 };
+                let old = pair[0].snapshot.histogram(name);
+                let buckets: Vec<u64> = new
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| b.saturating_sub(old.map(|h| h.buckets[i]).unwrap_or(0)))
+                    .collect();
+                quantile_from_buckets(&buckets, q).unwrap_or(0.0)
+            })
+            .collect()
+    }
+}
+
+/// One per-shard cumulative sample, published by the serve loop from
+/// [`ShardStatus`]-style worker state after every ingested batch tick.
+/// All fields are lifetime totals — window queries subtract edges, the
+/// same discipline as [`MetricsSnapshot`] counters.
+///
+/// [`ShardStatus`]: https://docs.rs/dds-monitor
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardSample {
+    /// Records past this shard's quality gate (lifetime).
+    pub accepted: u64,
+    /// Records quarantined by this shard's quality gate (lifetime).
+    pub quarantined: u64,
+    /// Alerts this shard has emitted (lifetime).
+    pub alerts: u64,
+    /// Batches this shard's worker has processed (lifetime).
+    pub batches: u64,
+    /// Cumulative per-batch worker-duration histogram buckets, in the
+    /// registry's log-scale layout ([`crate::metrics::HISTOGRAM_BUCKETS`]
+    /// buckets, indexed by [`crate::metrics::Histogram::bucket_index`]).
+    pub batch_buckets: [u64; crate::metrics::HISTOGRAM_BUCKETS],
+}
+
+impl Default for ShardSample {
+    fn default() -> Self {
+        ShardSample {
+            accepted: 0,
+            quarantined: 0,
+            alerts: 0,
+            batches: 0,
+            batch_buckets: [0; crate::metrics::HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+/// Per-shard sliding-window rings: one bounded sample ring per shard,
+/// answering the same window queries as [`TimeSeriesStore`] but scoped to
+/// a single shard — so the watchdog and `/timeseries` can name *which*
+/// shard is slow, shedding work to quarantine, or spiking alerts.
+///
+/// All methods take `&self`; the store is shared between the serve loop
+/// (writer) and HTTP scrape handlers (readers).
+#[derive(Debug)]
+pub struct ShardSeriesStore {
+    capacity: usize,
+    start: Instant,
+    shards: Vec<Mutex<VecDeque<(Duration, ShardSample)>>>,
+}
+
+impl ShardSeriesStore {
+    /// Creates a store for `shards` shards, each retaining the most
+    /// recent `capacity` samples (minimum 2 — a window needs two edges).
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        ShardSeriesStore {
+            capacity: capacity.max(2),
+            start: Instant::now(),
+            shards: (0..shards.max(1)).map(|_| Mutex::new(VecDeque::new())).collect(),
+        }
+    }
+
+    /// Number of shards the store tracks.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Samples one shard now (wall clock). Out-of-range shards are
+    /// ignored.
+    pub fn sample(&self, shard: usize, sample: ShardSample) {
+        self.push(shard, self.start.elapsed(), sample);
+    }
+
+    /// Appends a sample with an explicit timestamp (the deterministic
+    /// hook tests drive; [`sample`](ShardSeriesStore::sample) is the
+    /// wall-clock wrapper). Samples must arrive in non-decreasing
+    /// `elapsed` order per shard.
+    pub fn push(&self, shard: usize, elapsed: Duration, sample: ShardSample) {
+        let Some(ring) = self.shards.get(shard) else { return };
+        let mut points = ring.lock().expect("shard series poisoned");
+        if points.len() == self.capacity {
+            points.pop_front();
+        }
+        points.push_back((elapsed, sample));
+    }
+
+    /// Number of retained samples for `shard` (0 for out-of-range shards).
+    pub fn len(&self, shard: usize) -> usize {
+        self.shards.get(shard).and_then(|r| r.lock().ok()).map(|p| p.len()).unwrap_or(0)
+    }
+
+    /// Whether `shard` has no samples yet.
+    pub fn is_empty(&self, shard: usize) -> bool {
+        self.len(shard) == 0
+    }
+
+    /// The newest sample and the oldest retained sample no older than
+    /// `window` before it, for one shard.
+    fn window_edges(
+        &self,
+        shard: usize,
+        window: Duration,
+    ) -> Option<((Duration, ShardSample), (Duration, ShardSample))> {
+        let points = self.shards.get(shard)?.lock().ok()?;
+        let newest = *points.back()?;
+        let left_edge = newest.0.saturating_sub(window);
+        let oldest = *points.iter().find(|(t, _)| *t >= left_edge)?;
+        (newest.0 > oldest.0).then_some((oldest, newest))
+    }
+
+    /// Windowed rate (events/sec) of one cumulative field, chosen by
+    /// `field`. `None` until two samples span a nonzero interval.
+    fn field_rate(
+        &self,
+        shard: usize,
+        window: Duration,
+        field: fn(&ShardSample) -> u64,
+    ) -> Option<f64> {
+        let ((t0, s0), (t1, s1)) = self.window_edges(shard, window)?;
+        let dt = (t1 - t0).as_secs_f64();
+        (dt > 0.0).then(|| field(&s1).saturating_sub(field(&s0)) as f64 / dt)
+    }
+
+    /// Records/sec past this shard's quality gate over the trailing
+    /// `window`.
+    pub fn accepted_per_sec(&self, shard: usize, window: Duration) -> Option<f64> {
+        self.field_rate(shard, window, |s| s.accepted)
+    }
+
+    /// Records/sec quarantined by this shard over the trailing `window`.
+    pub fn quarantine_per_sec(&self, shard: usize, window: Duration) -> Option<f64> {
+        self.field_rate(shard, window, |s| s.quarantined)
+    }
+
+    /// Alerts/min emitted by this shard over the trailing `window`.
+    pub fn alert_per_min(&self, shard: usize, window: Duration) -> Option<f64> {
+        self.field_rate(shard, window, |s| s.alerts).map(|r| r * 60.0)
+    }
+
+    /// The estimated `q`-quantile of this shard's per-batch worker
+    /// duration over the trailing `window` (bucket subtraction, like
+    /// [`TimeSeriesStore::window_quantile`]). `None` when the window saw
+    /// no batches.
+    pub fn batch_quantile(&self, shard: usize, window: Duration, q: f64) -> Option<f64> {
+        let ((_, s0), (_, s1)) = self.window_edges(shard, window)?;
+        let buckets: Vec<u64> = s1
+            .batch_buckets
+            .iter()
+            .zip(s0.batch_buckets.iter())
+            .map(|(&new, &old)| new.saturating_sub(old))
+            .collect();
+        quantile_from_buckets(&buckets, q)
+    }
+
+    /// Per-interval accepted-record rates over the most recent `n`
+    /// consecutive sample pairs, oldest first — the per-shard sparkline
+    /// feed. Zero-length intervals contribute `0.0`.
+    pub fn accepted_series(&self, shard: usize, n: usize) -> Vec<f64> {
+        let Some(ring) = self.shards.get(shard) else { return Vec::new() };
+        let Ok(points) = ring.lock() else { return Vec::new() };
+        let points: Vec<(Duration, ShardSample)> = points.iter().copied().collect();
+        let skip = points.len().saturating_sub(n + 1);
+        points[skip..]
+            .windows(2)
+            .map(|pair| {
+                let dt = pair[1].0.saturating_sub(pair[0].0).as_secs_f64();
+                if dt <= 0.0 {
+                    return 0.0;
+                }
+                pair[1].1.accepted.saturating_sub(pair[0].1.accepted) as f64 / dt
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -235,5 +454,156 @@ mod tests {
         store.sample(&registry);
         assert_eq!(store.len(), 1);
         assert_eq!(store.latest().unwrap().snapshot.counter_value("s_total"), Some(5));
+    }
+
+    // --- edge cases: empty windows, single samples, saturation, time ---
+
+    #[test]
+    fn empty_store_answers_none_everywhere() {
+        let store = TimeSeriesStore::new(8);
+        let w = Duration::from_secs(60);
+        assert!(store.is_empty());
+        assert_eq!(store.rate_per_sec("c_total", w), None);
+        assert_eq!(store.rate_per_min("c_total", w), None);
+        assert_eq!(store.window_count("h_seconds", w), None);
+        assert_eq!(store.window_quantile("h_seconds", w, 0.99), None);
+        assert!(store.latest().is_none());
+        assert!(store.rate_series("c_total", 8).is_empty());
+        assert!(store.quantile_series("h_seconds", 8, 0.5).is_empty());
+    }
+
+    #[test]
+    fn single_sample_yields_no_window_but_quantiles_need_only_one_observation() {
+        // A single snapshot cannot span a window: every windowed query is
+        // None, even though the snapshot itself holds data.
+        let registry = Registry::new();
+        registry.counter("c_total").add(10);
+        registry.histogram("h_seconds").observe(1e-4);
+        let store = TimeSeriesStore::new(8);
+        store.push(Duration::from_secs(5), registry.snapshot());
+        let w = Duration::from_secs(60);
+        assert_eq!(store.rate_per_sec("c_total", w), None);
+        assert_eq!(store.window_quantile("h_seconds", w, 0.5), None);
+        // With a second (empty-at-birth) edge, one observation is enough
+        // for every quantile: p0 through p100 all land in its bucket.
+        let fresh = TimeSeriesStore::new(8);
+        fresh.push(Duration::from_secs(0), Registry::new().snapshot());
+        fresh.push(Duration::from_secs(5), registry.snapshot());
+        let p50 = fresh.window_quantile("h_seconds", w, 0.5).unwrap();
+        let p99 = fresh.window_quantile("h_seconds", w, 0.99).unwrap();
+        assert_eq!(p50, p99, "a single observation pins every quantile to its bucket");
+        assert_eq!(fresh.window_count("h_seconds", w), Some(1));
+    }
+
+    #[test]
+    fn window_clamps_to_retained_samples_after_ring_saturation() {
+        // 100 samples through a 4-slot ring: only t = 96..=99 survive.
+        let store = TimeSeriesStore::new(4);
+        for t in 0..100u64 {
+            store.push(Duration::from_secs(t), snapshot_with_counter("c_total", t * 7));
+        }
+        assert_eq!(store.len(), 4);
+        // A window wider than the retained span clamps to what is left —
+        // the rate reflects the survivors, not the evicted history.
+        let r = store.rate_per_sec("c_total", Duration::from_secs(1_000_000)).unwrap();
+        assert!((r - 7.0).abs() < 1e-12);
+        // A narrow window still selects inside the retained tail.
+        let r = store.rate_per_sec("c_total", Duration::from_secs(1)).unwrap();
+        assert!((r - 7.0).abs() < 1e-12);
+        // Series requests clamp the same way: at most len-1 intervals.
+        assert_eq!(store.rate_series("c_total", 50).len(), 3);
+    }
+
+    #[test]
+    fn stalled_clocks_and_counter_regressions_never_panic_or_go_negative() {
+        // Two samples at the same instant: no interval, no rate.
+        let store = TimeSeriesStore::new(8);
+        store.push(Duration::from_secs(3), snapshot_with_counter("c_total", 10));
+        store.push(Duration::from_secs(3), snapshot_with_counter("c_total", 20));
+        assert_eq!(store.rate_per_sec("c_total", Duration::from_secs(60)), None);
+        assert_eq!(store.rate_series("c_total", 8), vec![0.0]);
+
+        // A counter that goes backwards (process restart behind the same
+        // store) clamps to zero instead of reporting a negative rate.
+        let store = TimeSeriesStore::new(8);
+        store.push(Duration::from_secs(0), snapshot_with_counter("c_total", 1_000));
+        store.push(Duration::from_secs(10), snapshot_with_counter("c_total", 50));
+        let r = store.rate_per_sec("c_total", Duration::from_secs(60)).unwrap();
+        assert_eq!(r, 0.0);
+        assert!(store.rate_series("c_total", 8).iter().all(|&v| v >= 0.0));
+    }
+
+    // --- per-shard series ---
+
+    fn shard_sample(accepted: u64, quarantined: u64, alerts: u64, batch_ms: &[f64]) -> ShardSample {
+        let mut sample = ShardSample {
+            accepted,
+            quarantined,
+            alerts,
+            batches: batch_ms.len() as u64,
+            ..ShardSample::default()
+        };
+        for &ms in batch_ms {
+            sample.batch_buckets[crate::metrics::Histogram::bucket_index(ms * 1e-3)] += 1;
+        }
+        sample
+    }
+
+    #[test]
+    fn shard_series_windows_are_per_shard() {
+        let store = ShardSeriesStore::new(2, 8);
+        assert_eq!(store.shards(), 2);
+        // Shard 0: steady fast batches. Shard 1: slow, quarantining.
+        store.push(0, Duration::from_secs(0), shard_sample(0, 0, 0, &[]));
+        store.push(1, Duration::from_secs(0), shard_sample(0, 0, 0, &[]));
+        store.push(0, Duration::from_secs(10), shard_sample(1_000, 0, 5, &[1.0, 1.0]));
+        store.push(1, Duration::from_secs(10), shard_sample(100, 400, 60, &[500.0, 900.0]));
+
+        let w = Duration::from_secs(60);
+        assert!((store.accepted_per_sec(0, w).unwrap() - 100.0).abs() < 1e-9);
+        assert!((store.accepted_per_sec(1, w).unwrap() - 10.0).abs() < 1e-9);
+        assert_eq!(store.quarantine_per_sec(0, w), Some(0.0));
+        assert!((store.quarantine_per_sec(1, w).unwrap() - 40.0).abs() < 1e-9);
+        assert!((store.alert_per_min(1, w).unwrap() - 360.0).abs() < 1e-9);
+        // The slow shard's p99 is ~1000x the fast shard's.
+        let fast = store.batch_quantile(0, w, 0.99).unwrap();
+        let slow = store.batch_quantile(1, w, 0.99).unwrap();
+        assert!(slow > 100.0 * fast, "fast {fast}, slow {slow}");
+        // Sparkline series come from consecutive intervals.
+        assert_eq!(store.accepted_series(0, 8), vec![100.0]);
+    }
+
+    #[test]
+    fn shard_series_edge_cases_mirror_the_fleet_store() {
+        let store = ShardSeriesStore::new(1, 4);
+        let w = Duration::from_secs(60);
+        // Empty and single-sample shards answer None.
+        assert!(store.is_empty(0));
+        assert_eq!(store.accepted_per_sec(0, w), None);
+        store.push(0, Duration::from_secs(1), shard_sample(10, 0, 0, &[1.0]));
+        assert_eq!(store.accepted_per_sec(0, w), None);
+        assert_eq!(store.batch_quantile(0, w, 0.5), None);
+        // Out-of-range shards are inert, not panics.
+        store.push(9, Duration::from_secs(2), ShardSample::default());
+        assert_eq!(store.len(9), 0);
+        assert_eq!(store.accepted_per_sec(9, w), None);
+        assert!(store.accepted_series(9, 4).is_empty());
+        // Saturation: the ring keeps the newest `capacity` samples.
+        for t in 2..20u64 {
+            store.push(0, Duration::from_secs(t), shard_sample(t * 10, 0, 0, &[]));
+        }
+        assert_eq!(store.len(0), 4);
+        let r = store.accepted_per_sec(0, Duration::from_secs(1_000_000)).unwrap();
+        assert!((r - 10.0).abs() < 1e-9);
+        // A stalled clock yields no window...
+        let stalled = ShardSeriesStore::new(1, 4);
+        stalled.push(0, Duration::from_secs(5), shard_sample(10, 0, 0, &[]));
+        stalled.push(0, Duration::from_secs(5), shard_sample(20, 0, 0, &[]));
+        assert_eq!(stalled.accepted_per_sec(0, w), None);
+        // ...and a cumulative-count regression clamps to zero.
+        let reset = ShardSeriesStore::new(1, 4);
+        reset.push(0, Duration::from_secs(0), shard_sample(500, 0, 0, &[]));
+        reset.push(0, Duration::from_secs(10), shard_sample(50, 0, 0, &[]));
+        assert_eq!(reset.accepted_per_sec(0, w), Some(0.0));
     }
 }

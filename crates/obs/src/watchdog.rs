@@ -36,7 +36,7 @@
 //! assert!(watchdog.health().is_degraded());
 //! ```
 
-use crate::timeseries::TimeSeriesStore;
+use crate::timeseries::{ShardSeriesStore, TimeSeriesStore};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -274,6 +274,39 @@ pub struct Violation {
     pub message: String,
 }
 
+/// Per-shard SLO thresholds evaluated against a
+/// [`ShardSeriesStore`] so the watchdog can *name* the offending shard
+/// instead of reporting only an aggregate breach.
+///
+/// The fleet-level rules in [`Watchdog::standard_rules`] fire on
+/// aggregate metrics; when one shard is slow behind a healthy average,
+/// the aggregate hides it. These thresholds run per shard over the same
+/// sliding windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSlo {
+    /// Per-shard batch-latency p99 ceiling in seconds.
+    pub batch_p99_ceiling_seconds: f64,
+    /// Maximum tolerated per-shard quarantine fraction of offered
+    /// records, in `0..=1`.
+    pub quarantine_max_ratio: f64,
+    /// Trailing window to evaluate over.
+    pub window: Duration,
+}
+
+impl ShardSlo {
+    /// The standard per-shard thresholds: batch p99 under 5 s and a 10%
+    /// quarantine budget over the trailing minute. The batch ceiling is
+    /// deliberately generous — a serving-path batch is thousands of
+    /// records, not one — so only a genuinely wedged shard trips it.
+    pub fn standard() -> Self {
+        ShardSlo {
+            batch_p99_ceiling_seconds: 5.0,
+            quarantine_max_ratio: 0.10,
+            window: Duration::from_secs(60),
+        }
+    }
+}
+
 /// Evaluates a fixed rule set against the time series and maintains the
 /// shared [`HealthState`].
 #[derive(Debug)]
@@ -361,6 +394,61 @@ impl Watchdog {
                 crate::event!(
                     crate::Level::Warn,
                     "watchdog.slo_violation",
+                    rule = violation.rule,
+                    detail = violation.message.clone(),
+                );
+            }
+            self.health.degrade(&violations[0].message);
+        }
+        violations
+    }
+
+    /// Runs the per-shard thresholds against every shard's sliding
+    /// window, so violations carry shard attribution ("shard 3 batch
+    /// p99 …"). Degrade-only: a clean pass here never *clears* the
+    /// health state, so call [`Watchdog::evaluate`] first each tick (it
+    /// clears on a clean fleet pass) and this afterwards. Shards with
+    /// too few samples to span a window pass vacuously.
+    pub fn evaluate_shards(&self, series: &ShardSeriesStore, slo: &ShardSlo) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        for shard in 0..series.shards() {
+            if let Some(p99) = series.batch_quantile(shard, slo.window, 0.99) {
+                if p99 > slo.batch_p99_ceiling_seconds {
+                    violations.push(Violation {
+                        rule: "shard_latency_ceiling",
+                        message: format!(
+                            "shard {shard} batch p99 = {p99:.6}s over {:.0}s window exceeds \
+                             ceiling {:.6}s",
+                            slo.window.as_secs_f64(),
+                            slo.batch_p99_ceiling_seconds,
+                        ),
+                    });
+                }
+            }
+            let q_rate = series.quarantine_per_sec(shard, slo.window).unwrap_or(0.0);
+            let a_rate = series.accepted_per_sec(shard, slo.window).unwrap_or(0.0);
+            let offered = q_rate + a_rate;
+            if offered > 0.0 {
+                let ratio = q_rate / offered;
+                if ratio > slo.quarantine_max_ratio {
+                    violations.push(Violation {
+                        rule: "shard_quarantine_budget",
+                        message: format!(
+                            "shard {shard} quarantine ratio {ratio:.4} of offered records \
+                             exceeds quarantine budget {:.4}",
+                            slo.quarantine_max_ratio,
+                        ),
+                    });
+                }
+            }
+        }
+        if !violations.is_empty() {
+            let registry = crate::metrics::global();
+            for violation in &violations {
+                registry.counter("dds_watchdog_violations_total").inc();
+                crate::event!(
+                    crate::Level::Warn,
+                    "watchdog.shard_slo_violation",
                     rule = violation.rule,
                     detail = violation.message.clone(),
                 );
@@ -538,6 +626,51 @@ mod tests {
         let store = TimeSeriesStore::new(4);
         assert!(watchdog.evaluate(&store).is_empty());
         assert!(!watchdog.health().is_degraded());
+    }
+
+    #[test]
+    fn shard_evaluation_names_the_offending_shard() {
+        use crate::metrics::Histogram;
+        use crate::timeseries::{ShardSample, ShardSeriesStore};
+
+        let watchdog = Watchdog::new(Vec::new());
+        let slo = ShardSlo::standard();
+        let series = ShardSeriesStore::new(3, 8);
+        // Seed every shard at t=0 with an empty sample.
+        for shard in 0..3 {
+            series.push(shard, Duration::from_secs(0), ShardSample::default());
+        }
+        // Shard 0 and 2 are healthy; shard 1 is wedged (slow batches,
+        // heavy quarantine).
+        let mut healthy = ShardSample { accepted: 1_000, batches: 4, ..ShardSample::default() };
+        healthy.batch_buckets[Histogram::bucket_index(1e-3)] = 4;
+        let mut wedged =
+            ShardSample { accepted: 100, quarantined: 900, batches: 4, ..ShardSample::default() };
+        wedged.batch_buckets[Histogram::bucket_index(20.0)] = 4;
+        series.push(0, Duration::from_secs(10), healthy);
+        series.push(1, Duration::from_secs(10), wedged);
+        series.push(2, Duration::from_secs(10), healthy);
+
+        let violations = watchdog.evaluate_shards(&series, &slo);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations.iter().all(|v| v.message.contains("shard 1")), "{violations:?}");
+        assert_eq!(violations[0].rule, "shard_latency_ceiling");
+        assert_eq!(violations[1].rule, "shard_quarantine_budget");
+        assert!(watchdog.health().is_degraded());
+        assert!(watchdog.health().degraded_reason().unwrap().contains("shard 1"));
+    }
+
+    #[test]
+    fn shard_evaluation_is_degrade_only() {
+        use crate::timeseries::ShardSeriesStore;
+
+        let watchdog = Watchdog::new(Vec::new());
+        watchdog.health().degrade("pre-existing fleet violation");
+        // An empty shard store passes vacuously — but must NOT clear a
+        // degradation set by the fleet-level pass.
+        let series = ShardSeriesStore::new(2, 4);
+        assert!(watchdog.evaluate_shards(&series, &ShardSlo::standard()).is_empty());
+        assert!(watchdog.health().is_degraded());
     }
 
     #[test]

@@ -163,6 +163,51 @@ fn json_lines_trace_covers_every_pipeline_stage() {
 }
 
 #[test]
+fn sharded_instrumentation_is_inert() {
+    let _guard = obs_lock();
+    metrics::global().reset();
+
+    // The flight recorder's per-record stage clocks only run when a
+    // recorder is attached; either way the sharded path must emit the
+    // exact same alerts as an uninstrumented run of the same batch.
+    use dds_monitor::ShardedFleetMonitor;
+    use dds_obs::journal::{FlightRecorder, DEFAULT_JOURNAL_CAPACITY};
+
+    let (training, report) = run_analysis(91_006);
+    let bundle = ModelBundle::from_analysis(&training, &report);
+    let live = FleetSimulator::new(FleetConfig::test_scale().with_seed(91_007)).run();
+    let mut batch = Vec::new();
+    for drive in live.drives() {
+        batch.extend(drive.records().iter().map(|r| (drive.id(), r.clone())));
+    }
+
+    let mut plain = ShardedFleetMonitor::new(bundle.clone(), MonitorConfig::default(), 3);
+    let baseline = plain.ingest_batch(&batch);
+    assert!(!baseline.is_empty(), "a test-scale fleet must raise alerts");
+
+    let recorder = Arc::new(FlightRecorder::new(DEFAULT_JOURNAL_CAPACITY));
+    let mut wired = ShardedFleetMonitor::new(bundle, MonitorConfig::default(), 3)
+        .with_flight_recorder(Arc::clone(&recorder));
+    let traced = wired.ingest_batch(&batch);
+
+    assert_eq!(baseline.len(), traced.len(), "recorder must not change the alert count");
+    for (a, b) in baseline.iter().zip(&traced) {
+        assert_eq!(a.drive, b.drive);
+        assert_eq!(a.hour, b.hour);
+        assert_eq!(a.severity, b.severity);
+        assert_eq!(a.degradation.to_bits(), b.degradation.to_bits(), "bit-identical scores");
+    }
+    assert_eq!(plain.quality_stats(), wired.quality_stats(), "identical quality ledgers");
+
+    // And the recorder saw exactly this one batch, fully attributed.
+    assert_eq!(recorder.total(), 1);
+    let span = &recorder.last(1)[0];
+    assert_eq!(span.records, batch.len() as u64);
+    assert_eq!(span.accepted + span.quarantined, batch.len() as u64);
+    assert_eq!(span.alerts, traced.len() as u64);
+}
+
+#[test]
 fn instrumentation_does_not_change_results() {
     let _guard = obs_lock();
 

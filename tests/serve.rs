@@ -179,6 +179,36 @@ fn concurrent_scrapes_succeed_mid_ingest_and_abuse_does_not_kill_the_server() {
         let (status, json) = http_get(addr, "/profile");
         assert_eq!(status, 200);
         dds_obs::json::validate(&json).expect("profile JSON");
+
+        // The dashboard endpoints are live even on an unsharded serve:
+        // the flight recorder journals the streaming epochs and the
+        // time-series store answers with fleet windows plus the single
+        // shard's series.
+        let (status, trace) = http_get(addr, "/trace?n=5");
+        assert_eq!(status, 200);
+        assert!(!trace.is_empty(), "streaming epochs journal batch spans");
+        for line in trace.lines() {
+            dds_obs::json::validate(line).expect("trace JSON-line");
+        }
+        assert!(trace.contains("\"source\": \"stream\""), "{trace}");
+        let (status, timeseries) = http_get(addr, "/timeseries");
+        assert_eq!(status, 200);
+        dds_obs::json::validate(&timeseries).expect("timeseries JSON");
+        assert!(timeseries.contains("\"fleet\""), "{timeseries}");
+        assert!(timeseries.contains("\"shard\": 0"), "{timeseries}");
+
+        // The declared Content-Type actually crosses the wire.
+        let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        stream.write_all(b"GET /metrics.json HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).unwrap();
+        let headers = reply.split_once("\r\n\r\n").map(|(h, _)| h).unwrap_or(&reply);
+        assert!(
+            headers.contains("Content-Type: application/json"),
+            "/metrics.json wire headers: {headers}"
+        );
+
         assert_eq!(http_get(addr, "/metrics").0, 200, "server survived the abuse");
     });
 

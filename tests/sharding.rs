@@ -54,6 +54,25 @@ fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
     raw_roundtrip(stream, format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
 }
 
+/// Like [`http_get`] but keeps the response headers, for asserting what
+/// actually crosses the wire (Content-Type and friends).
+fn http_get_full(addr: SocketAddr, path: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("read reply");
+    let status: u16 = reply
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {reply:?}"));
+    let (headers, body) = reply.split_once("\r\n\r\n").unwrap_or((reply.as_str(), ""));
+    (status, headers.to_string(), body.to_string())
+}
+
 fn http_post(addr: SocketAddr, path: &str, body: &[u8]) -> (u16, String) {
     let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
     let mut request =
@@ -229,6 +248,123 @@ fn shards_endpoint_partitions_the_fleet_and_ingest_receipts_conserve_counts() {
         external[0].contains("shed") && !external[0].contains(" 0 shed"),
         "summary reports the shed records: {summary}"
     );
+}
+
+#[test]
+fn trace_spans_reconcile_with_ingest_receipts_over_http() {
+    let _guard = serve_lock();
+    dds_obs::metrics::global().reset();
+
+    let options = ServeOptions { shards: 2, ingest_queue: 1, ..test_options() };
+    with_serve_loop(options, |addr| {
+        poll_until(addr, "/readyz", Duration::from_secs(60), |s, _| s == 200);
+        poll_until(addr, "/trace?n=1", Duration::from_secs(60), |s, b| s == 200 && !b.is_empty());
+
+        // The satellite content-type audit, over the real socket: what
+        // the service claims must be what curl actually receives.
+        for (path, expected) in [
+            ("/metrics", "text/plain; version=0.0.4"),
+            ("/metrics.json", "application/json"),
+            ("/alerts?n=5", "application/json"),
+            ("/timeseries", "application/json"),
+            ("/trace?n=8", "application/x-ndjson"),
+            ("/healthz", "application/json"),
+        ] {
+            let (status, headers, _) = http_get_full(addr, path);
+            assert_eq!(status, 200, "{path}");
+            assert!(
+                headers.contains(&format!("Content-Type: {expected}")),
+                "{path} must declare {expected}; got headers: {headers}"
+            );
+        }
+
+        // /timeseries covers both shards once sampling has started.
+        let (_, body) = poll_until(addr, "/timeseries", Duration::from_secs(60), |s, b| {
+            s == 200 && b.matches("\"shard\":").count() == 2
+        });
+        dds_obs::json::validate(&body).expect("timeseries JSON");
+
+        // Burst a capacity-1 queue: every receipt is queued (200) or shed
+        // (429), and each must eventually be visible as exactly one
+        // flight-recorder span tagged source = "external".
+        let mut queued = 0usize;
+        let mut shed = 0usize;
+        for index in 0..30 {
+            let batch = external_batch(20_000 + index, 40);
+            let (status, receipt) = http_post(addr, "/ingest", &encode_batch(&batch));
+            match status {
+                200 => queued += 1,
+                429 => shed += 1,
+                other => panic!("unexpected /ingest status {other}: {receipt}"),
+            }
+        }
+        assert!(queued > 0, "at least the first batch fits the queue");
+        assert!(shed > 0, "a capacity-1 queue under a 30-batch burst must shed");
+
+        // Accumulate external spans (by their unique batch id) across
+        // polls: the ring also carries the streaming epochs' spans, so a
+        // single read could miss late drains. Every span must conserve
+        // its records and attribute them to real shards.
+        let mut seen: std::collections::HashMap<u64, String> = std::collections::HashMap::new();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let (status, body) = http_get(addr, "/trace?n=512");
+            assert_eq!(status, 200);
+            for line in body.lines() {
+                let span = dds_obs::json::parse(line).expect("span JSON-line");
+                if span.get("source").and_then(|v| v.as_str()) != Some("external") {
+                    continue;
+                }
+                let id = span.get("batch").and_then(|v| v.as_u64()).expect("batch id");
+                let records = span.get("records").and_then(|v| v.as_u64()).expect("records");
+                let accepted = span.get("accepted").and_then(|v| v.as_u64()).expect("accepted");
+                let quarantined =
+                    span.get("quarantined").and_then(|v| v.as_u64()).expect("quarantined");
+                let outcome =
+                    span.get("outcome").and_then(|v| v.as_str()).expect("outcome").to_string();
+                let shards = span.get("shards").and_then(|v| v.as_array()).expect("shards");
+                assert_eq!(records, 40, "external batches carry 40 records");
+                match outcome.as_str() {
+                    "ingested" => {
+                        assert_eq!(accepted + quarantined, records, "span conserves its batch");
+                        let attributed: u64 = shards
+                            .iter()
+                            .map(|s| s.get("records").and_then(|v| v.as_u64()).unwrap_or(0))
+                            .sum();
+                        assert_eq!(attributed, records, "shard spans partition the batch");
+                        for shard in shards {
+                            let index =
+                                shard.get("shard").and_then(|v| v.as_u64()).expect("shard index");
+                            assert!(index < 2, "shard attribution stays in range: {index}");
+                        }
+                    }
+                    "shed" => {
+                        assert!(shards.is_empty(), "shed batches never reach a shard");
+                        assert_eq!(accepted, 0, "nothing from a shed batch is accepted");
+                    }
+                    other => panic!("unexpected outcome {other:?}"),
+                }
+                seen.insert(id, outcome);
+            }
+            let ingested_seen = seen.values().filter(|o| *o == "ingested").count();
+            let shed_seen = seen.values().filter(|o| *o == "shed").count();
+            if ingested_seen == queued && shed_seen == shed {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "trace/receipt ledgers never reconciled: {queued} queued vs {ingested_seen} \
+                 ingested spans, {shed} shed receipts vs {shed_seen} shed spans"
+            );
+            std::thread::sleep(Duration::from_millis(25));
+        }
+
+        // ?n is honored and garbage is rejected over the wire too.
+        let (_, two_lines) = http_get(addr, "/trace?n=2");
+        assert_eq!(two_lines.lines().count(), 2, "/trace?n=2 returns exactly two spans");
+        let (bad, _) = http_get(addr, "/trace?n=banana");
+        assert_eq!(bad, 400);
+    });
 }
 
 #[test]
