@@ -346,7 +346,7 @@ USAGE:
   dds train --save-model <model.dds> [--input <fleet.csv>] [--scale S] [--seed N] [--threads N]
   dds predict --model <model.dds> --live <fleet.csv> [--limit N]
   dds serve [--scale S] [--seed N] [--threads N] [--listen ADDR] [--epochs N] [--tick-ms N]
-            [--model <model.dds>] [--shards N] [--ingest-queue N]
+            [--model <model.dds>] [--shards N] [--ingest-queue N] [--refit-every N]
   dds top [--url HOST:PORT] [--interval-ms N] [--frames N] [--once] [--ascii] [--width N]
   dds help
 
@@ -406,6 +406,19 @@ Sharded serving (see docs/SCALING.md):
   queue sheds the batch with a 429 receipt instead of blocking. On
   monitor, --shards N replays the live fleet through the same sharded
   path (alerts sort by hour, then drive id).
+
+Online learning (see docs/OPERATIONS.md \"Online refit & promotion\"):
+  serve always watches the live stream for drift against the serving
+  model's training metadata (dds_drift_* metrics, /drift endpoint, the
+  watchdog's drift-budget rule). --refit-every N additionally refits a
+  candidate model on the last full epoch window every N epochs; the
+  candidate shadow-scores subsequent traffic (dds_shadow_* metrics,
+  alerts never emitted) until POST /model/promote atomically hot-swaps
+  it into the serving path — /model's generation counter increments and
+  the drift baseline adopts the candidate's expected disorder. With no
+  candidate soaking, promote re-publishes the serving model (the alert
+  stream is untouched). Under --model, a promotion also persists the
+  candidate artifact to that path atomically.
 
 Observability (any subcommand; see docs/OPERATIONS.md):
   --trace-level trace|debug|info|warn|error   pretty-print spans to stderr
@@ -659,6 +672,12 @@ pub fn parse(args: Vec<String>) -> Result<Command, Box<dyn Error>> {
                     }
                     "--shards" => {
                         options.shards = parse_shards(&take_value(&mut iter, "--shards")?)?;
+                    }
+                    "--refit-every" => {
+                        let raw = take_value(&mut iter, "--refit-every")?;
+                        options.refit_every = raw
+                            .parse()
+                            .map_err(|_| CliError(format!("invalid refit cadence {raw:?}")))?;
                     }
                     "--ingest-queue" => {
                         let raw = take_value(&mut iter, "--ingest-queue")?;
@@ -1219,6 +1238,25 @@ mod tests {
         // --ingest-queue is serve-only.
         assert!(parse(argv(&["monitor", "--train", "a", "--live", "b", "--ingest-queue", "4"]))
             .is_err());
+    }
+
+    #[test]
+    fn parses_refit_flag() {
+        let cmd = parse(argv(&["serve", "--refit-every", "3"])).unwrap();
+        let Command::Serve(options) = cmd else { panic!("expected serve") };
+        assert_eq!(options.refit_every, 3);
+
+        // Default: online refit off.
+        let Command::Serve(defaults) = parse(argv(&["serve"])).unwrap() else {
+            panic!("expected serve")
+        };
+        assert_eq!(defaults.refit_every, 0);
+
+        // Garbage cadence is a clean error; the flag is serve-only.
+        assert!(parse(argv(&["serve", "--refit-every", "hourly"])).is_err());
+        assert!(
+            parse(argv(&["monitor", "--train", "a", "--live", "b", "--refit-every", "2"])).is_err()
+        );
     }
 
     #[test]

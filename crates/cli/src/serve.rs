@@ -23,9 +23,10 @@
 //! (plus `--metrics` snapshot) is emitted.
 
 use crate::{analysis_config, fleet_config, ChaosOptions, CliError, ObsOptions};
-use dds_core::{Analysis, TrainedModel, TrainingContext};
+use dds_core::{Analysis, OnlineTrainer, TrainedModel, TrainingContext};
 use dds_monitor::{
-    AlertHistory, IngestQueue, ModelBundle, MonitorConfig, MonitorService, ShardStatus,
+    AlertHistory, DriftBaseline, DriftDetector, IngestQueue, ModelBundle, ModelSlot, MonitorConfig,
+    MonitorService, PromotionGate, PromotionOutcome, ShadowScorer, ShardStatus,
     ShardedFleetMonitor,
 };
 use dds_obs::http::HttpServer;
@@ -40,7 +41,7 @@ use std::error::Error;
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Options of the `dds serve` subcommand.
@@ -68,6 +69,11 @@ pub struct ServeOptions {
     /// Serving shards: drives hash onto this many independent monitor
     /// workers (`--shards`, default 1).
     pub shards: usize,
+    /// Streaming refit cadence in epochs (`--refit-every`, 0 = off):
+    /// every N epochs the online trainer refits a candidate model on the
+    /// last full epoch window; the candidate shadow-scores subsequent
+    /// traffic until `POST /model/promote` hot-swaps it in.
+    pub refit_every: u64,
     /// Capacity of the `/ingest` queue in batches (`--ingest-queue`);
     /// a full queue sheds the whole batch with a 429 receipt.
     pub ingest_queue: usize,
@@ -88,6 +94,7 @@ impl Default for ServeOptions {
             chaos_epochs: 0,
             model: None,
             shards: 1,
+            refit_every: 0,
             ingest_queue: 256,
             obs: ObsOptions::default(),
         }
@@ -130,6 +137,18 @@ pub fn register_build_info(registry: &Registry) {
     registry.gauge("dds_uptime_seconds").set(0.0);
 }
 
+/// A refit artifact soaking behind the shadow scorer, waiting for
+/// `POST /model/promote`.
+#[derive(Debug)]
+struct RefitCandidate {
+    bundle: ModelBundle,
+    model: TrainedModel,
+    /// The refit window's quarantine rate — adopted as the drift
+    /// detector's expected-disorder baseline on promotion.
+    expected_disorder: f64,
+    provenance: String,
+}
+
 /// Sleeps `tick` in small slices so a stop request interrupts the pause
 /// promptly.
 fn interruptible_sleep(tick: Duration, stop: &AtomicBool) {
@@ -161,22 +180,30 @@ pub fn serve(
     // Pre-register the serve error counter so the watchdog's error-budget
     // rule sees it from the first sample.
     let ingest_errors = registry.counter("dds_serve_ingest_errors_total");
+    // Online-learning failures (refit errors, unpersistable promotions)
+    // degrade the loop's self-improvement, not its serving path, so they
+    // get their own counter instead of the ingest error budget.
+    let refit_errors = registry.counter("dds_online_refit_errors_total");
 
     let history = Arc::new(AlertHistory::default());
     let watchdog = Watchdog::new(Watchdog::standard_rules());
     let health = watchdog.health();
-    let model_slot: Arc<OnceLock<String>> = Arc::new(OnceLock::new());
+    let model_slot = Arc::new(ModelSlot::new());
+    let promotion_gate = Arc::new(PromotionGate::new());
     let recorder = Arc::new(FlightRecorder::new(DEFAULT_JOURNAL_CAPACITY));
     let ingest_queue = Arc::new(
         IngestQueue::bounded(options.ingest_queue).with_flight_recorder(Arc::clone(&recorder)),
     );
     let shards_slot = Arc::new(Mutex::new(String::new()));
+    let drift_slot = Arc::new(Mutex::new(String::new()));
     let store = Arc::new(TimeSeriesStore::new(512));
     let shard_series = Arc::new(ShardSeriesStore::new(options.shards.max(1), 512));
     let mut service = MonitorService::new(Arc::clone(&history), Arc::clone(&health))
         .with_model_slot(Arc::clone(&model_slot))
+        .with_promotion_gate(Arc::clone(&promotion_gate))
         .with_ingest(Arc::clone(&ingest_queue))
         .with_shards_slot(Arc::clone(&shards_slot))
+        .with_drift_slot(Arc::clone(&drift_slot))
         .with_flight_recorder(Arc::clone(&recorder))
         .with_timeseries(Arc::clone(&store))
         .with_shard_series(Arc::clone(&shard_series));
@@ -193,35 +220,46 @@ pub fn serve(
     // provenance for `/model` and produce bit-identical bundles for the
     // same training run, so the ingest below behaves the same either way.
     let par = Parallelism::from_thread_count(options.threads);
-    let bundle = match &options.model {
+    let ctx = TrainingContext {
+        seed: options.seed,
+        scale: options.scale.clone(),
+        git_sha: option_env!("DDS_GIT_SHA").unwrap_or("unknown").to_string(),
+    };
+    let (bundle, serving_provenance) = match &options.model {
         Some(path) => {
             let model = load_model(path, registry)?;
             let bundle = ModelBundle::from_trained(&model)
                 .map_err(|e| CliError::boxed(format!("model {}: {e}", path.display())))?;
-            let _ = model_slot.set(model.provenance_json(&path.display().to_string()));
-            bundle
+            (bundle, model.provenance_json(&path.display().to_string()))
         }
         None => {
             let training = FleetSimulator::new(
                 fleet_config(&options.scale).with_seed(options.seed).with_parallelism(par),
             )
             .run();
-            let ctx = TrainingContext {
-                seed: options.seed,
-                scale: options.scale.clone(),
-                git_sha: option_env!("DDS_GIT_SHA").unwrap_or("unknown").to_string(),
-            };
             let (analysis, model) =
                 Analysis::new(analysis_config(None, options.threads)).train(&training, &ctx)?;
             registry.gauge("dds_model_load_seconds").set(0.0);
             registry.gauge("dds_model_age_seconds").set(0.0);
-            let _ = model_slot.set(model.provenance_json("trained in-process"));
-            ModelBundle::from_analysis(&training, &analysis)
+            let bundle = ModelBundle::from_analysis(&training, &analysis);
+            (bundle, model.provenance_json("trained in-process"))
         }
     };
+    model_slot.publish(serving_provenance.clone());
+    let mut serving_bundle = bundle.clone();
+    let mut serving_provenance = serving_provenance;
     let mut monitor = ShardedFleetMonitor::new(bundle, MonitorConfig::default(), options.shards)
         .with_history(Arc::clone(&history))
         .with_flight_recorder(Arc::clone(&recorder));
+    // The online-learning loop: the drift detector watches every raw
+    // record against the serving model's training metadata (always on);
+    // the trainer and shadow scorer only run under `--refit-every N`.
+    let mut drift = DriftDetector::new(DriftBaseline::from_bundle(&serving_bundle, 0.0));
+    let mut trainer = (options.refit_every > 0)
+        .then(|| OnlineTrainer::new(analysis_config(None, options.threads)));
+    let mut candidate: Option<RefitCandidate> = None;
+    let mut shadow: Option<ShadowScorer> = None;
+    let mut promotions = 0u64;
     health.set_ready(true);
 
     store.sample(registry);
@@ -236,9 +274,28 @@ pub fn serve(
 
     'serve: while !stop.load(Ordering::SeqCst) {
         // Each epoch restarts the fleet's hour counters, so the quality
-        // gate's per-drive ordering history must restart with it.
+        // gate's per-drive ordering history (serving, shadow and drift
+        // sides alike) must restart with it.
         monitor.new_ingest_session();
-        let records = stream.next_epoch_records();
+        drift.new_session();
+        if let Some(shadow) = shadow.as_mut() {
+            shadow.new_ingest_session();
+        }
+        // The trainer needs the clean epoch manifest (labels, racks) for
+        // its refit window; without a trainer, skip materializing it.
+        let records = match trainer.as_mut() {
+            Some(trainer) => {
+                let (manifest, records) = stream.next_epoch_with_records();
+                trainer.begin_epoch(&manifest);
+                // The trainer observes only the simulated stream: external
+                // /ingest traffic may reuse manifest drive ids, and letting
+                // it into the window would make the refit depend on scrape
+                // timing instead of the seed.
+                trainer.observe_batch(&records);
+                records
+            }
+            None => stream.next_epoch_records(),
+        };
         let mut start = 0;
         while start < records.len() {
             if stop.load(Ordering::SeqCst) {
@@ -248,12 +305,88 @@ pub fn serve(
             // so each run is a natural ingest batch fanned across shards.
             let hour = records[start].1.hour;
             let end = start + records[start..].iter().take_while(|(_, r)| r.hour == hour).count();
-            monitor.ingest_batch_from(&records[start..end], "stream");
+            let batch = &records[start..end];
+            let alerts = monitor.ingest_batch_from(batch, "stream");
+            drift.observe_batch(batch);
+            if let Some(shadow) = shadow.as_mut() {
+                shadow.score_batch(batch, &alerts);
+            }
             // External batches POSTed to /ingest ride along after the
             // simulated hour; shedding already happened at offer time.
             let external = ingest_queue.drain();
             if !external.is_empty() {
-                monitor.ingest_batch_from(&external, "external");
+                let external_alerts = monitor.ingest_batch_from(&external, "external");
+                drift.observe_batch(&external);
+                if let Some(shadow) = shadow.as_mut() {
+                    shadow.score_batch(&external, &external_alerts);
+                }
+            }
+            drift.publish(registry);
+            if let Some(shadow) = shadow.as_mut() {
+                shadow.publish(registry);
+            }
+            if let Ok(mut slot) = drift_slot.lock() {
+                *slot = format!(
+                    "{{\"drift\": {}, \"shadow\": {}, \"candidate\": {}, \"promotions\": {}}}",
+                    drift.to_json(),
+                    shadow.as_ref().map_or("null".to_string(), ShadowScorer::to_json),
+                    candidate.as_ref().map_or("null", |c| c.provenance.as_str()),
+                    promotions,
+                );
+            }
+            // Promotion requests rendezvous here, between ingest batches,
+            // so a hot-swap can never land mid-batch.
+            let waiters = promotion_gate.take();
+            if !waiters.is_empty() {
+                let outcome = match candidate.take() {
+                    Some(cand) => {
+                        monitor.swap_bundle(cand.bundle.clone());
+                        serving_bundle = cand.bundle;
+                        serving_provenance = cand.provenance;
+                        drift.swap_baseline(DriftBaseline::from_bundle(
+                            &serving_bundle,
+                            cand.expected_disorder,
+                        ));
+                        shadow = None;
+                        if let Some(path) = &options.model {
+                            if let Err(e) = cand.model.save(path) {
+                                refit_errors.inc();
+                                eprintln!(
+                                    "warning: cannot persist promoted model {}: {e}",
+                                    path.display()
+                                );
+                            }
+                        }
+                        let generation = model_slot.publish(serving_provenance.clone());
+                        promotions += 1;
+                        PromotionOutcome {
+                            status: 200,
+                            body: format!(
+                                "{{\"status\": \"promoted\", \"promoted\": \"candidate\", \
+                                 \"generation\": {generation}}}"
+                            ),
+                        }
+                    }
+                    // No candidate soaking: re-promote the serving model.
+                    // The swap is real (new generation, same bytes), which
+                    // is exactly the hot-swap torture test's control case —
+                    // the alert stream must not notice.
+                    None => {
+                        monitor.swap_bundle(serving_bundle.clone());
+                        let generation = model_slot.publish(serving_provenance.clone());
+                        promotions += 1;
+                        PromotionOutcome {
+                            status: 200,
+                            body: format!(
+                                "{{\"status\": \"promoted\", \"promoted\": \"serving\", \
+                                 \"generation\": {generation}}}"
+                            ),
+                        }
+                    }
+                };
+                for waiter in waiters {
+                    let _ = waiter.send(outcome.clone());
+                }
             }
             // Hour fully ingested: sample the registry and the per-shard
             // rings, judge the SLOs (fleet first — it clears on a clean
@@ -286,6 +419,40 @@ pub fn serve(
             start = end;
             if start < records.len() {
                 interruptible_sleep(tick, stop);
+            }
+        }
+        // Epoch complete: on the refit cadence, rebuild a candidate model
+        // from the window just streamed. Refit failure (e.g. a chaos
+        // stream that quarantined the whole window) never kills serving —
+        // it is counted and the previous candidate (if any) keeps soaking.
+        if let Some(trainer) = trainer.as_mut() {
+            if stream.epochs_generated().is_multiple_of(options.refit_every) {
+                match trainer.refit(&ctx) {
+                    Ok(outcome) => match ModelBundle::from_trained(&outcome.model) {
+                        Ok(bundle) => {
+                            let provenance = outcome.model.provenance_json(&format!(
+                                "online refit (epoch {})",
+                                stream.epochs_generated()
+                            ));
+                            shadow =
+                                Some(ShadowScorer::new(bundle.clone(), MonitorConfig::default()));
+                            candidate = Some(RefitCandidate {
+                                bundle,
+                                expected_disorder: outcome.expected_disorder(),
+                                model: outcome.model,
+                                provenance,
+                            });
+                        }
+                        Err(e) => {
+                            refit_errors.inc();
+                            eprintln!("warning: refit bundle rejected: {e}");
+                        }
+                    },
+                    Err(e) => {
+                        refit_errors.inc();
+                        eprintln!("warning: online refit failed: {e}");
+                    }
+                }
             }
         }
         if options.epochs > 0 && stream.epochs_generated() >= options.epochs {
@@ -324,6 +491,18 @@ pub fn serve(
             None => "ok".to_string(),
         },
     );
+    if options.refit_every > 0 || promotions > 0 {
+        out.push_str(&format!(
+            "online learning: {} refits, {} promotions, {} refit errors\n\
+             drift: {} records examined, {} excess drifted, {} baseline swaps\n",
+            trainer.as_ref().map_or(0, OnlineTrainer::refits),
+            promotions,
+            refit_errors.get(),
+            drift.examined(),
+            drift.excess_drifted(),
+            drift.swaps(),
+        ));
+    }
     if options.chaos.active() {
         out.push_str(&format!(
             "chaos {} (seed {}) applied to {}\n",

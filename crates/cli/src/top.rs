@@ -2,11 +2,12 @@
 //! `dds serve` instance.
 //!
 //! The subcommand polls the scrape endpoints (`/metrics.json`,
-//! `/timeseries`, `/alerts`, `/healthz`) over a plain [`TcpStream`] HTTP
-//! client, then renders one terminal frame per poll: braille sparklines
-//! of the ingest rate and batch p99, the fleet quantile/rate summary, a
-//! per-shard health grid, the top alerting failure types, the most
-//! recent alerts and the watchdog verdict.
+//! `/timeseries`, `/alerts`, `/drift`, `/healthz`) over a plain
+//! [`TcpStream`] HTTP client, then renders one terminal frame per poll:
+//! braille sparklines of the ingest rate and batch p99, the fleet
+//! quantile/rate summary, a per-shard health grid, the top alerting
+//! failure types, the most recent alerts, the drift/shadow gauges and
+//! the watchdog verdict.
 //!
 //! The renderer is split in two layers so the dashboard is testable
 //! without a server or a terminal:
@@ -96,6 +97,8 @@ pub struct DashState {
     pub timeseries: Option<Json>,
     /// Parsed `/alerts` document, if the fetch succeeded.
     pub alerts: Option<Json>,
+    /// Parsed `/drift` document, if the serve loop publishes one.
+    pub drift: Option<Json>,
 }
 
 /// Issues one `GET path` over a fresh connection and returns
@@ -133,7 +136,7 @@ fn fetch_json(addr: &str, path: &str) -> Option<Json> {
     json::parse(&body).ok()
 }
 
-/// Polls all four endpoints into a [`DashState`] snapshot.
+/// Polls all five endpoints into a [`DashState`] snapshot.
 pub fn poll(url: &str) -> DashState {
     let health = match http_get(url, "/healthz") {
         Ok((200, _)) => "ok".to_string(),
@@ -156,6 +159,7 @@ pub fn poll(url: &str) -> DashState {
         metrics: fetch_json(url, "/metrics.json"),
         timeseries: fetch_json(url, "/timeseries"),
         alerts: fetch_json(url, "/alerts?n=20"),
+        drift: fetch_json(url, "/drift"),
     }
 }
 
@@ -337,6 +341,24 @@ pub fn render_frame(state: &DashState, charset: CharSet, width: usize) -> String
         out.push('\n');
     }
 
+    // Drift/shadow pane from /drift: the online-learning loop's live
+    // verdict (all placeholders when the loop isn't publishing).
+    let drift_doc = state.drift.as_ref();
+    let drift_inner = drift_doc.and_then(|doc| doc.get("drift"));
+    let shadow = drift_doc.and_then(|doc| doc.get("shadow"));
+    out.push_str(&pad(
+        &format!(
+            "drift    score {}  excess {}/{}  shadow div {}  promotions {}",
+            num(opt_f64(drift_inner, "drift_score"), 4),
+            num(opt_f64(drift_inner, "excess_drifted"), 0),
+            num(opt_f64(drift_inner, "examined"), 0),
+            num(opt_f64(shadow, "divergence"), 0),
+            num(drift_doc.and_then(|doc| doc.get("promotions")).and_then(Json::as_f64), 0),
+        ),
+        width,
+    ));
+    out.push('\n');
+
     // Watchdog verdict: violation counter plus the health reason.
     let violations = counter(&state.metrics, "dds_watchdog_violations_total").unwrap_or(0.0);
     out.push_str(&pad(
@@ -453,12 +475,23 @@ mod tests {
                   "message": "signature drift"}]}"#,
         )
         .unwrap();
+        let drift = json::parse(
+            r#"{"drift": {"examined": 2000, "drifted": 12, "excess_drifted": 4,
+                          "disordered": 10, "out_of_range": 2,
+                          "expected_disorder": 0.004, "drift_score": 0.006,
+                          "attr_shift_max": 0.01, "baseline_swaps": 1},
+                "shadow": {"batches": 40, "serving_alerts": 6,
+                           "candidate_alerts": 6, "divergence": 0},
+                "candidate": null, "promotions": 1}"#,
+        )
+        .unwrap();
         DashState {
             url: "127.0.0.1:9150".to_string(),
             health: "ok".to_string(),
             metrics: Some(metrics),
             timeseries: Some(timeseries),
             alerts: Some(alerts),
+            drift: Some(drift),
         }
     }
 
@@ -485,6 +518,7 @@ mod tests {
             "  -                                                                     \n",
             "  -                                                                     \n",
             "  -                                                                     \n",
+            "drift    score 0.0060  excess 4/2000  shadow div 0  promotions 1        \n",
             "watchdog 3 violations | health ok                                       \n",
         );
         assert_eq!(frame, expected, "golden frame drifted:\n{frame}");
@@ -500,8 +534,8 @@ mod tests {
         }
         // Frame height is content-independent: header + rule + 4 fleet
         // rows + grid header + 2 shards + top + alerts header + 5 alert
-        // rows + watchdog.
-        assert_eq!(frame.lines().count(), 17);
+        // rows + drift + watchdog.
+        assert_eq!(frame.lines().count(), 18);
     }
 
     #[test]
@@ -524,6 +558,7 @@ mod tests {
         let frame = render_frame(&state, CharSet::Ascii, 60);
         assert!(frame.contains("(no per-shard series)"));
         assert!(frame.contains("ingest            -/s"));
+        assert!(frame.contains("drift    score -  excess -/-  shadow div -  promotions -"));
         assert!(frame.contains("unreachable"));
         // All five alert rows render as fillers.
         assert_eq!(frame.matches("\n  -").count(), ALERT_ROWS);

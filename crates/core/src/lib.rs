@@ -48,6 +48,7 @@ pub mod influence;
 pub mod knn;
 pub mod leadtime;
 pub mod model;
+pub mod online;
 pub mod pipeline;
 pub mod predict;
 pub mod quality;
@@ -65,6 +66,7 @@ pub use model::{
     GroupArtifact, ModelError, ModelMeta, TrainedModel, TrainingContext, ZScoreBaseline,
     MODEL_FORMAT_VERSION, MODEL_MAGIC,
 };
+pub use online::{OnlineTrainer, RefitOutcome};
 pub use pipeline::{Analysis, AnalysisConfig, AnalysisReport};
 pub use predict::{DegradationPredictor, PredictionConfig, PredictionReport};
 pub use quality::{

@@ -1,0 +1,371 @@
+//! Online learning: sliding-window accumulation of a live record stream
+//! and a deterministic refit that is bit-identical to cold training.
+//!
+//! The paper fits its degradation signatures once over a static fleet,
+//! but §IV-D's environmental findings imply the signatures drift as the
+//! fleet ages. [`OnlineTrainer`] closes that gap for serving mode: it
+//! rides the ingest path (observing every record *before* the shard
+//! fan-out, so shard count can never change what it sees), accumulates
+//! the most recent complete epoch as its refit window, and rebuilds the
+//! full [`Analysis::train`] artifact from it on demand.
+//!
+//! Two disciplines make the refit safe to hot-swap into a serving
+//! monitor:
+//!
+//! 1. **Bit-identity.** Over a clean window the trainer reconstructs the
+//!    exact training [`Dataset`] (drive order, labels, racks and records
+//!    all match the epoch manifest), so [`OnlineTrainer::refit`] produces
+//!    an artifact byte-identical to a cold `Analysis::train` on the same
+//!    window — the online analogue of the warm-vs-cold model proof. The
+//!    property is pinned by `tests/online_learning.rs` across seeds and
+//!    shard interleavings.
+//! 2. **Streaming accumulators.** Scaler bounds (running per-attribute
+//!    min/max — order-independent, hence exact) and per-attribute value
+//!    sums are folded in record by record; K-means centroids, per-group
+//!    signatures and z-score baselines are recomputed over the window at
+//!    refit time, where the cache-blocked columnar kernels already run in
+//!    well under an epoch. The streamed bounds double as a cheap drift
+//!    probe between refits.
+//!
+//! Corrupted windows (out-of-order hours, duplicates, missing values —
+//! anything a chaos stream produces) are routed through
+//! [`sanitize_profiles`] first; the returned [`QualityStats`] tell the
+//! caller how disordered the window was, which the drift detector uses
+//! as the refit candidate's expected-disorder baseline.
+
+use crate::error::AnalysisError;
+use crate::model::{TrainedModel, TrainingContext};
+use crate::pipeline::{Analysis, AnalysisConfig, AnalysisReport};
+use crate::quality::{sanitize_profiles, QualityStats};
+use dds_smartsim::topology::RackId;
+use dds_smartsim::{
+    Dataset, DriveId, DriveLabel, DriveProfile, HealthRecord, RawProfile, NUM_ATTRIBUTES,
+};
+use std::collections::BTreeMap;
+
+/// What the trainer knows about one drive of the current window, captured
+/// from the epoch manifest at [`OnlineTrainer::begin_epoch`].
+#[derive(Debug, Clone, Copy)]
+struct DriveFacts {
+    label: DriveLabel,
+    rack: Option<RackId>,
+}
+
+/// The result of one [`OnlineTrainer::refit`]: the full analysis report,
+/// the deployable artifact, and the window's quality verdict.
+#[derive(Debug, Clone)]
+pub struct RefitOutcome {
+    /// Every figure/table of the paper, recomputed over the window.
+    pub report: AnalysisReport,
+    /// The deployable artifact (codec-identical to a cold
+    /// [`Analysis::train`] on the same window).
+    pub model: TrainedModel,
+    /// Quality-gate tallies when the window needed sanitizing; `None`
+    /// for clean windows (which skip the gate entirely, exactly like the
+    /// cold path).
+    pub quality: Option<QualityStats>,
+}
+
+impl RefitOutcome {
+    /// Fraction of offered window records the quality gate quarantined —
+    /// the candidate model's *expected* disorder rate, which the drift
+    /// detector adopts as its baseline after a promotion.
+    pub fn expected_disorder(&self) -> f64 {
+        match &self.quality {
+            Some(stats) if stats.ingested > 0 => stats.quarantined as f64 / stats.ingested as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Sliding-window online trainer over a live `(drive, record)` stream.
+///
+/// Feed it from the ingest path: [`begin_epoch`](OnlineTrainer::begin_epoch)
+/// when a new epoch's manifest is known, [`observe`](OnlineTrainer::observe)
+/// (or [`observe_batch`](OnlineTrainer::observe_batch)) for every record
+/// offered to the monitor, and [`refit`](OnlineTrainer::refit) whenever a
+/// fresh candidate model is wanted. Records are keyed per drive, so any
+/// interleaving of the same record set — one shard or sixteen — refits to
+/// the same artifact.
+#[derive(Debug)]
+pub struct OnlineTrainer {
+    config: AnalysisConfig,
+    /// Window drives in epoch-manifest order (the order cold training
+    /// sees them in).
+    order: Vec<DriveId>,
+    facts: BTreeMap<DriveId, DriveFacts>,
+    records: BTreeMap<DriveId, Vec<HealthRecord>>,
+    /// Streaming per-attribute minima over the window (order-independent,
+    /// exact).
+    mins: [f64; NUM_ATTRIBUTES],
+    /// Streaming per-attribute maxima over the window.
+    maxs: [f64; NUM_ATTRIBUTES],
+    /// Streaming per-attribute value sums over the window.
+    sums: [f64; NUM_ATTRIBUTES],
+    observed: u64,
+    epochs_begun: u64,
+    refits: u64,
+}
+
+impl OnlineTrainer {
+    /// Creates a trainer that refits with the given analysis
+    /// configuration (use the same configuration the serving model was
+    /// trained with, or the equivalence guarantee is about a different
+    /// pipeline than the one serving).
+    pub fn new(config: AnalysisConfig) -> Self {
+        OnlineTrainer {
+            config,
+            order: Vec::new(),
+            facts: BTreeMap::new(),
+            records: BTreeMap::new(),
+            mins: [f64::INFINITY; NUM_ATTRIBUTES],
+            maxs: [f64::NEG_INFINITY; NUM_ATTRIBUTES],
+            sums: [0.0; NUM_ATTRIBUTES],
+            observed: 0,
+            epochs_begun: 0,
+            refits: 0,
+        }
+    }
+
+    /// Starts a new refit window from an epoch manifest: captures the
+    /// epoch's drive order, labels and rack topology, and discards the
+    /// previous window's records and accumulators. The manifest comes
+    /// from the *clean* epoch dataset — labels and racks are fleet
+    /// metadata, not wire payload, so a corrupted stream cannot forge
+    /// them.
+    pub fn begin_epoch(&mut self, manifest: &Dataset) {
+        self.order.clear();
+        self.facts.clear();
+        self.records.clear();
+        for drive in manifest.drives() {
+            self.order.push(drive.id());
+            self.facts.insert(drive.id(), DriveFacts { label: drive.label(), rack: drive.rack() });
+        }
+        self.mins = [f64::INFINITY; NUM_ATTRIBUTES];
+        self.maxs = [f64::NEG_INFINITY; NUM_ATTRIBUTES];
+        self.sums = [0.0; NUM_ATTRIBUTES];
+        self.observed = 0;
+        self.epochs_begun += 1;
+    }
+
+    /// Observes one record offered to the monitor. Records for drives
+    /// outside the current epoch manifest are ignored (a collector
+    /// echoing stale traffic must not poison the window).
+    pub fn observe(&mut self, drive: DriveId, record: &HealthRecord) {
+        if !self.facts.contains_key(&drive) {
+            return;
+        }
+        self.records.entry(drive).or_default().push(record.clone());
+        self.observed += 1;
+        for (i, &v) in record.values.iter().enumerate() {
+            if v.is_finite() {
+                self.mins[i] = self.mins[i].min(v);
+                self.maxs[i] = self.maxs[i].max(v);
+                self.sums[i] += v;
+            }
+        }
+    }
+
+    /// Observes a whole `(drive, record)` batch — the shape the sharded
+    /// ingest path hands around.
+    pub fn observe_batch(&mut self, batch: &[(DriveId, HealthRecord)]) {
+        for (drive, record) in batch {
+            self.observe(*drive, record);
+        }
+    }
+
+    /// Number of records observed in the current window.
+    pub fn window_records(&self) -> u64 {
+        self.observed
+    }
+
+    /// Number of epochs started with [`begin_epoch`](Self::begin_epoch).
+    pub fn epochs_begun(&self) -> u64 {
+        self.epochs_begun
+    }
+
+    /// Number of completed refits.
+    pub fn refits(&self) -> u64 {
+        self.refits
+    }
+
+    /// The streaming per-attribute `(min, max)` bounds over the window —
+    /// exactly the Eq. (1) scaler bounds a cold fit on the window would
+    /// produce, maintained incrementally (min/max folds are
+    /// order-independent, so these are bitwise exact at any shard count).
+    pub fn streamed_bounds(&self) -> ([f64; NUM_ATTRIBUTES], [f64; NUM_ATTRIBUTES]) {
+        (self.mins, self.maxs)
+    }
+
+    /// The streaming per-attribute mean over the window (diagnostic:
+    /// summation order follows arrival order, so this is exact in value
+    /// but not guaranteed bit-identical to a column-ordered fold).
+    pub fn streamed_means(&self) -> [f64; NUM_ATTRIBUTES] {
+        let mut means = self.sums;
+        if self.observed > 0 {
+            for m in &mut means {
+                *m /= self.observed as f64;
+            }
+        }
+        means
+    }
+
+    /// Whether the accumulated window can be reassembled without the
+    /// quality gate: every manifest drive has records, strictly
+    /// chronological — the shape [`DriveProfile::new`] accepts directly.
+    fn window_is_clean(&self) -> bool {
+        self.order.iter().all(|id| {
+            self.records.get(id).is_some_and(|recs| recs.windows(2).all(|w| w[0].hour < w[1].hour))
+        })
+    }
+
+    /// Refits the full model over the current window.
+    ///
+    /// Clean windows reassemble the exact epoch dataset (manifest order,
+    /// labels, racks) and run the identical pipeline cold training runs,
+    /// so the returned artifact is byte-identical (up to the
+    /// `created_unix` wall-clock stamp) to `Analysis::train` on that
+    /// window. Disordered windows are routed through
+    /// [`sanitize_profiles`] first and report their [`QualityStats`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors; an empty window reports
+    /// [`AnalysisError::UnsuitableDataset`].
+    pub fn refit(&mut self, ctx: &TrainingContext) -> Result<RefitOutcome, AnalysisError> {
+        let _span =
+            dds_obs::span!(dds_obs::Level::Info, "online.refit", records = self.observed as usize);
+        if self.observed == 0 {
+            return Err(AnalysisError::UnsuitableDataset(
+                "online refit window is empty".to_string(),
+            ));
+        }
+        let (dataset, quality) = if self.window_is_clean() {
+            let drives: Vec<DriveProfile> = self
+                .order
+                .iter()
+                .map(|id| {
+                    let facts = self.facts[id];
+                    let profile = DriveProfile::new(*id, facts.label, self.records[id].clone());
+                    match facts.rack {
+                        Some(rack) => profile.with_rack(rack),
+                        None => profile,
+                    }
+                })
+                .collect();
+            (Dataset::new(drives)?, None)
+        } else {
+            let raw: Vec<RawProfile> = self
+                .order
+                .iter()
+                .map(|id| {
+                    let facts = self.facts[id];
+                    RawProfile {
+                        id: *id,
+                        label: facts.label,
+                        rack: facts.rack,
+                        records: self.records.get(id).cloned().unwrap_or_default(),
+                    }
+                })
+                .collect();
+            let (dataset, stats) = sanitize_profiles(&raw, self.config.quality)?;
+            (dataset, Some(stats))
+        };
+        let (report, model) = Analysis::new(self.config.clone()).train(&dataset, ctx)?;
+        self.refits += 1;
+        dds_obs::metrics::global().counter("dds_online_refits_total").inc();
+        Ok(RefitOutcome { report, model, quality })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::categorize::CategorizationConfig;
+    use dds_smartsim::stream::hour_ordered;
+    use dds_smartsim::{FleetConfig, FleetSimulator};
+
+    fn config() -> AnalysisConfig {
+        AnalysisConfig {
+            categorization: CategorizationConfig { run_svc: false, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    fn ctx(seed: u64) -> TrainingContext {
+        TrainingContext { seed, scale: "test".to_string(), git_sha: String::new() }
+    }
+
+    #[test]
+    fn streamed_bounds_match_a_cold_scaler_fit_exactly() {
+        let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(31)).run();
+        let mut trainer = OnlineTrainer::new(config());
+        trainer.begin_epoch(&dataset);
+        trainer.observe_batch(&hour_ordered(&dataset));
+        let (mins, maxs) = trainer.streamed_bounds();
+        for c in 0..NUM_ATTRIBUTES {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for drive in dataset.drives() {
+                for record in drive.records() {
+                    lo = lo.min(record.values[c]);
+                    hi = hi.max(record.values[c]);
+                }
+            }
+            assert_eq!(mins[c].to_bits(), lo.to_bits(), "min of column {c}");
+            assert_eq!(maxs[c].to_bits(), hi.to_bits(), "max of column {c}");
+        }
+        let means = trainer.streamed_means();
+        assert!(means.iter().all(|m| m.is_finite()));
+    }
+
+    #[test]
+    fn window_accounting_and_unknown_drives() {
+        let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(31)).run();
+        let mut trainer = OnlineTrainer::new(config());
+        trainer.begin_epoch(&dataset);
+        let records = hour_ordered(&dataset);
+        trainer.observe_batch(&records);
+        assert_eq!(trainer.window_records(), records.len() as u64);
+        // A drive outside the manifest is ignored, not accumulated.
+        trainer.observe(DriveId(u32::MAX), &records[0].1);
+        assert_eq!(trainer.window_records(), records.len() as u64);
+        assert_eq!(trainer.epochs_begun(), 1);
+        // A new epoch resets the window.
+        trainer.begin_epoch(&dataset);
+        assert_eq!(trainer.window_records(), 0);
+        assert_eq!(trainer.epochs_begun(), 2);
+    }
+
+    #[test]
+    fn empty_window_refit_is_a_clean_error() {
+        let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(31)).run();
+        let mut trainer = OnlineTrainer::new(config());
+        trainer.begin_epoch(&dataset);
+        let err = trainer.refit(&ctx(31)).unwrap_err();
+        assert!(matches!(err, AnalysisError::UnsuitableDataset(_)));
+    }
+
+    #[test]
+    fn disordered_window_refits_through_the_quality_gate() {
+        let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(33)).run();
+        let mut trainer = OnlineTrainer::new(config());
+        trainer.begin_epoch(&dataset);
+        let mut records = hour_ordered(&dataset);
+        // Skew a handful of hours backwards: per-drive order breaks, the
+        // clean reassembly path is off the table.
+        for (i, (_, record)) in records.iter_mut().enumerate() {
+            if i % 97 == 5 {
+                record.hour = record.hour.saturating_sub(3);
+            }
+        }
+        trainer.observe_batch(&records);
+        let outcome = trainer.refit(&ctx(33)).unwrap();
+        let stats = outcome.quality.expect("disordered window engages the gate");
+        assert!(stats.quarantined > 0, "skewed hours must quarantine");
+        assert!(outcome.expected_disorder() > 0.0);
+        assert!(outcome.expected_disorder() < 0.05, "only a handful of records were skewed");
+        assert_eq!(outcome.model.groups.len(), outcome.report.prediction.groups.len());
+        assert_eq!(trainer.refits(), 1);
+    }
+}

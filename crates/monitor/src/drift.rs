@@ -1,0 +1,454 @@
+//! Model-relative drift detection for the serving path.
+//!
+//! A deployed model is only as good as the match between the stream it
+//! scores and the window it was trained on. [`DriftDetector`] watches the
+//! raw ingest stream *before* shard fan-out and compares every record
+//! against the serving model's training metadata on two channels:
+//!
+//! * **ordering drift** — a record whose hour regresses or repeats for
+//!   its drive (the wire form of clock skew and replayed batches). The
+//!   training window's own disorder rate (the quality gate's quarantine
+//!   fraction, [`DriftBaseline::expected_disorder`]) is subtracted as a
+//!   baseline, so a model refit *on* a skewed stream stops flagging the
+//!   same skew — promotion causally clears the drift signal.
+//! * **range drift** — a value that normalizes outside the training
+//!   scaler's `[-1, 1]` band by more than [`RANGE_MARGIN`]: the live
+//!   distribution has left the bounds Eq. (1) was fitted on.
+//!
+//! Records are partitioned into `dds_drift_drifted_total` and
+//! `dds_drift_clean_total` counters (always summing to
+//! `dds_drift_records_total`), which the watchdog's
+//! `SloRule::DriftBudget` turns into a windowed degraded/recovered
+//! verdict. A running per-attribute mean-shift gauge
+//! (`dds_drift_attr_shift_max`, in units of the training range) covers
+//! slow distribution creep that never leaves the scaler band.
+//!
+//! All counters published through [`DriftDetector::publish`] are
+//! monotonic: the drifted series is a high-watermark of the baseline
+//! excess, and a baseline swap starts a fresh accounting window rather
+//! than rewinding anything already published.
+
+use crate::bundle::ModelBundle;
+use dds_obs::metrics::Registry;
+use dds_smartsim::{DriveId, HealthRecord, NUM_ATTRIBUTES};
+use dds_stats::MinMaxScaler;
+use std::collections::HashMap;
+
+/// How far outside the training normalization band `[-1, 1]` a value may
+/// extrapolate before it counts as range drift. Live fleets legitimately
+/// exceed the training min/max a little; a quarter of the range is far
+/// beyond healthy spread but well inside what a shifted distribution
+/// produces.
+pub const RANGE_MARGIN: f64 = 0.25;
+
+/// The training-time metadata drift is measured against: the serving
+/// model's normalization bounds, its population means, and the disorder
+/// rate its own training window carried.
+#[derive(Debug, Clone)]
+pub struct DriftBaseline {
+    scaler: MinMaxScaler,
+    population_means: [f64; NUM_ATTRIBUTES],
+    expected_disorder: f64,
+}
+
+impl DriftBaseline {
+    /// Builds the baseline from a deployable bundle plus the disorder
+    /// fraction of the window the bundle was trained on (`0.0` for a
+    /// clean-trained model; `RefitOutcome::expected_disorder()` for a
+    /// streaming refit).
+    pub fn from_bundle(bundle: &ModelBundle, expected_disorder: f64) -> Self {
+        DriftBaseline {
+            scaler: bundle.scaler().clone(),
+            population_means: *bundle.population_means(),
+            expected_disorder: expected_disorder.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The disorder fraction already present in the model's training
+    /// window — the part of live disorder that is *not* drift.
+    pub fn expected_disorder(&self) -> f64 {
+        self.expected_disorder
+    }
+}
+
+/// Streaming drift detector: feed it every raw record the serving path
+/// ingests (pre-sanitization — drift wants to see exactly what the
+/// collector delivered), call [`DriftDetector::publish`] once per tick,
+/// and [`DriftDetector::swap_baseline`] when a new model is promoted.
+#[derive(Debug)]
+pub struct DriftDetector {
+    baseline: DriftBaseline,
+    /// Last hour seen per drive, for the ordering channel.
+    last_hour: HashMap<DriveId, u32>,
+    /// Records observed since the last baseline swap.
+    examined: u64,
+    /// Records flagged on any channel since the last swap (union, each
+    /// record counts once).
+    drifted: u64,
+    /// Channel breakdown for `/drift` (a record can appear in both).
+    disordered: u64,
+    out_of_range: u64,
+    /// Running raw sums per attribute for the mean-shift gauge.
+    sums: [f64; NUM_ATTRIBUTES],
+    counts: [u64; NUM_ATTRIBUTES],
+    /// Publication watermarks within the current baseline window.
+    published_examined: u64,
+    published_drifted: u64,
+    published_clean: u64,
+    /// Baseline swaps performed (0 = still on the boot model).
+    swaps: u64,
+}
+
+impl DriftDetector {
+    /// Creates a detector measuring against the given baseline.
+    pub fn new(baseline: DriftBaseline) -> Self {
+        DriftDetector {
+            baseline,
+            last_hour: HashMap::new(),
+            examined: 0,
+            drifted: 0,
+            disordered: 0,
+            out_of_range: 0,
+            sums: [0.0; NUM_ATTRIBUTES],
+            counts: [0; NUM_ATTRIBUTES],
+            published_examined: 0,
+            published_drifted: 0,
+            published_clean: 0,
+            swaps: 0,
+        }
+    }
+
+    /// Observes one raw record; returns `true` when it drifted on any
+    /// channel.
+    pub fn observe(&mut self, drive: DriveId, record: &HealthRecord) -> bool {
+        self.examined += 1;
+
+        let disordered = match self.last_hour.get(&drive) {
+            Some(&last) => record.hour <= last,
+            None => false,
+        };
+        let watermark = self.last_hour.entry(drive).or_insert(record.hour);
+        *watermark = (*watermark).max(record.hour);
+
+        let mut out_of_range = false;
+        for (c, &value) in record.values.iter().enumerate() {
+            if !value.is_finite() {
+                // Missing sentinels are a quality problem, not necessarily
+                // drift; the quality gate owns them. Skip the channel.
+                continue;
+            }
+            self.sums[c] += value;
+            self.counts[c] += 1;
+            let normalized = self.baseline.scaler.transform_value(c, value);
+            if normalized.abs() > 1.0 + RANGE_MARGIN {
+                out_of_range = true;
+            }
+        }
+
+        if disordered {
+            self.disordered += 1;
+        }
+        if out_of_range {
+            self.out_of_range += 1;
+        }
+        let drifted = disordered || out_of_range;
+        if drifted {
+            self.drifted += 1;
+        }
+        drifted
+    }
+
+    /// Observes a whole batch; returns how many records drifted.
+    pub fn observe_batch(&mut self, batch: &[(DriveId, HealthRecord)]) -> u64 {
+        batch.iter().filter(|(drive, record)| self.observe(*drive, record)).count() as u64
+    }
+
+    /// Drifted records in excess of the baseline's expected disorder —
+    /// the quantity the drift budget meters. A stream exactly as
+    /// disordered as the training window scores zero.
+    pub fn excess_drifted(&self) -> u64 {
+        let expected = (self.baseline.expected_disorder * self.examined as f64).ceil() as u64;
+        self.drifted.saturating_sub(expected)
+    }
+
+    /// Fraction of the current window's records drifted beyond baseline
+    /// (`0.0` on an empty window).
+    pub fn drift_score(&self) -> f64 {
+        if self.examined == 0 {
+            0.0
+        } else {
+            self.excess_drifted() as f64 / self.examined as f64
+        }
+    }
+
+    /// Largest per-attribute shift of the live running mean from the
+    /// training population mean, in units of the training range.
+    pub fn attr_shift_max(&self) -> f64 {
+        let mut max_shift: f64 = 0.0;
+        for c in 0..NUM_ATTRIBUTES {
+            if self.counts[c] == 0 {
+                continue;
+            }
+            let span = self.baseline.scaler.maxs()[c] - self.baseline.scaler.mins()[c];
+            if span <= 0.0 {
+                continue;
+            }
+            let live_mean = self.sums[c] / self.counts[c] as f64;
+            let shift = (live_mean - self.baseline.population_means[c]).abs() / span;
+            max_shift = max_shift.max(shift);
+        }
+        max_shift
+    }
+
+    /// Records observed since the last baseline swap.
+    pub fn examined(&self) -> u64 {
+        self.examined
+    }
+
+    /// Baseline swaps performed so far.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Resets the per-drive hour watermarks between replay epochs whose
+    /// hour counters restart at zero — mirrors
+    /// [`FleetMonitor::new_ingest_session`](crate::FleetMonitor::new_ingest_session),
+    /// and must be called at the same epoch boundaries, or the first
+    /// record of every drive's new epoch would read as ordering drift.
+    pub fn new_session(&mut self) {
+        self.last_hour.clear();
+    }
+
+    /// Swaps in a newly promoted model's baseline and opens a fresh
+    /// accounting window: tallies, mean-shift state and publication
+    /// watermarks reset, while everything already published to the
+    /// registry counters stays (counters never rewind). The per-drive
+    /// hour watermarks survive — the stream's continuity does not change
+    /// because the model did.
+    pub fn swap_baseline(&mut self, baseline: DriftBaseline) {
+        self.baseline = baseline;
+        self.examined = 0;
+        self.drifted = 0;
+        self.disordered = 0;
+        self.out_of_range = 0;
+        self.sums = [0.0; NUM_ATTRIBUTES];
+        self.counts = [0; NUM_ATTRIBUTES];
+        self.published_examined = 0;
+        self.published_drifted = 0;
+        self.published_clean = 0;
+        self.swaps += 1;
+    }
+
+    /// Publishes the detector's state into a metrics registry:
+    /// `dds_drift_records_total`, `dds_drift_drifted_total` and
+    /// `dds_drift_clean_total` counters (drifted + clean = records, all
+    /// three monotonic) plus `dds_drift_score`,
+    /// `dds_drift_attr_shift_max` and `dds_drift_expected_disorder`
+    /// gauges. Call once per serve tick with the global registry, or
+    /// with a local one in tests.
+    pub fn publish(&mut self, registry: &Registry) {
+        // Monotonic drifted series: high-watermark of the baseline
+        // excess. Clean gets the rest, so the two always sum to records.
+        let drifted_target = self.published_drifted.max(self.excess_drifted());
+        let clean_target = self.examined - drifted_target;
+
+        registry.counter("dds_drift_records_total").add(self.examined - self.published_examined);
+        registry.counter("dds_drift_drifted_total").add(drifted_target - self.published_drifted);
+        registry.counter("dds_drift_clean_total").add(clean_target - self.published_clean);
+        self.published_examined = self.examined;
+        self.published_drifted = drifted_target;
+        self.published_clean = clean_target;
+
+        registry.gauge("dds_drift_score").set(self.drift_score());
+        registry.gauge("dds_drift_attr_shift_max").set(self.attr_shift_max());
+        registry.gauge("dds_drift_expected_disorder").set(self.baseline.expected_disorder);
+    }
+
+    /// Serializes the detector's state as one JSON object — the `/drift`
+    /// endpoint's body.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"examined\": {}, \"drifted\": {}, \"excess_drifted\": {}, \
+             \"disordered\": {}, \"out_of_range\": {}, \"expected_disorder\": {}, \
+             \"drift_score\": {}, \"attr_shift_max\": {}, \"baseline_swaps\": {}}}",
+            self.examined,
+            self.drifted,
+            self.excess_drifted(),
+            self.disordered,
+            self.out_of_range,
+            dds_obs::json::number(self.baseline.expected_disorder),
+            dds_obs::json::number(self.drift_score()),
+            dds_obs::json::number(self.attr_shift_max()),
+            self.swaps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dds_core::{Analysis, AnalysisConfig, CategorizationConfig};
+    use dds_smartsim::stream::hour_ordered;
+    use dds_smartsim::{FleetConfig, FleetSimulator};
+
+    fn bundle(seed: u64) -> ModelBundle {
+        let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(seed)).run();
+        let config = AnalysisConfig {
+            categorization: CategorizationConfig { run_svc: false, ..Default::default() },
+            ..Default::default()
+        };
+        let report = Analysis::new(config).run(&dataset).unwrap();
+        ModelBundle::from_analysis(&dataset, &report)
+    }
+
+    #[test]
+    fn clean_stream_from_the_training_fleet_reads_as_clean() {
+        let bundle = bundle(4_001);
+        let live = FleetSimulator::new(FleetConfig::test_scale().with_seed(4_001)).run();
+        let mut detector = DriftDetector::new(DriftBaseline::from_bundle(&bundle, 0.0));
+        let records = hour_ordered(&live);
+        let drifted = detector.observe_batch(&records);
+        assert_eq!(drifted, 0, "the training fleet itself cannot drift from its own model");
+        assert_eq!(detector.examined(), records.len() as u64);
+        assert_eq!(detector.drift_score(), 0.0);
+        assert!(detector.attr_shift_max() < 0.25, "live means sit near training means");
+    }
+
+    #[test]
+    fn hour_skew_reads_as_ordering_drift_and_the_baseline_absorbs_it() {
+        let bundle = bundle(4_002);
+        let live = FleetSimulator::new(FleetConfig::test_scale().with_seed(4_003)).run();
+        let mut records = hour_ordered(&live);
+        // Skew ~2% of records back in time, like the chaos `skew` spec.
+        let mut skewed = 0u64;
+        for (i, (_, record)) in records.iter_mut().enumerate() {
+            if i % 50 == 7 {
+                record.hour = record.hour.saturating_sub(3);
+                skewed += 1;
+            }
+        }
+
+        let mut naive = DriftDetector::new(DriftBaseline::from_bundle(&bundle, 0.0));
+        naive.observe_batch(&records);
+        assert!(naive.excess_drifted() > 0, "skew must register as drift");
+        assert!(
+            naive.excess_drifted() <= 2 * skewed,
+            "each skewed record disturbs at most itself and one successor"
+        );
+
+        // A baseline that already expects this much disorder (a model
+        // refit on the skewed stream) absorbs it entirely.
+        let expected = 2.0 * skewed as f64 / records.len() as f64;
+        let mut refit = DriftDetector::new(DriftBaseline::from_bundle(&bundle, expected));
+        refit.observe_batch(&records);
+        assert_eq!(refit.excess_drifted(), 0, "expected disorder is not drift");
+        assert_eq!(refit.drift_score(), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_values_read_as_range_drift() {
+        let bundle = bundle(4_004);
+        let live = FleetSimulator::new(FleetConfig::test_scale().with_seed(4_004)).run();
+        let mut detector = DriftDetector::new(DriftBaseline::from_bundle(&bundle, 0.0));
+        let mut records = hour_ordered(&live);
+        for (i, (_, record)) in records.iter_mut().enumerate() {
+            if i % 10 == 0 {
+                // Push one attribute far past the training maximum.
+                record.values[0] = bundle.scaler().maxs()[0] * 4.0 + 1_000.0;
+            }
+        }
+        detector.observe_batch(&records);
+        assert!(detector.excess_drifted() >= (records.len() / 10) as u64);
+        assert!(detector.drift_score() > 0.05);
+    }
+
+    #[test]
+    fn publish_is_monotonic_and_partitions_records() {
+        let bundle = bundle(4_005);
+        let live = FleetSimulator::new(FleetConfig::test_scale().with_seed(4_006)).run();
+        let mut detector = DriftDetector::new(DriftBaseline::from_bundle(&bundle, 0.0));
+        let registry = Registry::new();
+        let records = hour_ordered(&live);
+
+        let mut last = (0u64, 0u64, 0u64);
+        for chunk in records.chunks(records.len() / 4 + 1) {
+            detector.observe_batch(chunk);
+            detector.publish(&registry);
+            let snap = registry.snapshot();
+            let now = (
+                snap.counter_value("dds_drift_records_total").unwrap(),
+                snap.counter_value("dds_drift_drifted_total").unwrap(),
+                snap.counter_value("dds_drift_clean_total").unwrap(),
+            );
+            assert!(now.0 >= last.0 && now.1 >= last.1 && now.2 >= last.2, "monotonic");
+            assert_eq!(now.1 + now.2, now.0, "drifted + clean = records");
+            last = now;
+        }
+        assert_eq!(last.0, records.len() as u64);
+    }
+
+    #[test]
+    fn swap_baseline_opens_a_fresh_window_without_rewinding_counters() {
+        let bundle = bundle(4_007);
+        let live = FleetSimulator::new(FleetConfig::test_scale().with_seed(4_008)).run();
+        let mut detector = DriftDetector::new(DriftBaseline::from_bundle(&bundle, 0.0));
+        let registry = Registry::new();
+
+        let mut records = hour_ordered(&live);
+        for (i, (_, record)) in records.iter_mut().enumerate() {
+            if i % 20 == 3 {
+                record.hour = record.hour.saturating_sub(2);
+            }
+        }
+        detector.observe_batch(&records);
+        detector.publish(&registry);
+        let before = registry.snapshot();
+        let drifted_before = before.counter_value("dds_drift_drifted_total").unwrap();
+        assert!(drifted_before > 0);
+        assert!(detector.drift_score() > 0.0);
+
+        // Promote a model whose training window carried the same skew.
+        detector.swap_baseline(DriftBaseline::from_bundle(&bundle, 0.12));
+        assert_eq!(detector.swaps(), 1);
+        assert_eq!(detector.drift_score(), 0.0, "the new window starts clean");
+
+        detector.new_session();
+        detector.observe_batch(&records);
+        detector.publish(&registry);
+        let after = registry.snapshot();
+        assert_eq!(
+            after.counter_value("dds_drift_drifted_total").unwrap(),
+            drifted_before,
+            "the refit baseline absorbs the skew — no new drifted records"
+        );
+        assert!(
+            after.counter_value("dds_drift_clean_total").unwrap()
+                > before.counter_value("dds_drift_clean_total").unwrap(),
+            "the same stream now publishes as clean"
+        );
+        assert_eq!(
+            after.counter_value("dds_drift_records_total").unwrap(),
+            2 * records.len() as u64
+        );
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let bundle = bundle(4_009);
+        let detector = DriftDetector::new(DriftBaseline::from_bundle(&bundle, 0.25));
+        let json = detector.to_json();
+        for key in [
+            "\"examined\"",
+            "\"drifted\"",
+            "\"excess_drifted\"",
+            "\"disordered\"",
+            "\"out_of_range\"",
+            "\"expected_disorder\"",
+            "\"drift_score\"",
+            "\"attr_shift_max\"",
+            "\"baseline_swaps\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -52,15 +52,19 @@
 
 mod alert;
 mod bundle;
+mod drift;
 mod history;
 mod monitor;
 mod service;
+mod shadow;
 pub mod shard;
 pub mod wire;
 
 pub use alert::{Alert, AlertKind, Severity};
 pub use bundle::{GroupModel, ModelBundle};
+pub use drift::{DriftBaseline, DriftDetector, RANGE_MARGIN};
 pub use history::{AlertHistory, DEFAULT_HISTORY_CAPACITY};
 pub use monitor::{FleetMonitor, HealthStatus, MonitorConfig};
-pub use service::MonitorService;
+pub use service::{ModelSlot, MonitorService, PromotionGate, PromotionOutcome};
+pub use shadow::ShadowScorer;
 pub use shard::{shard_for, IngestQueue, ShardStatus, ShardedFleetMonitor};

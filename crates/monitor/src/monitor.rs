@@ -187,6 +187,11 @@ pub struct FleetMonitor {
     /// gauge would clobber each other — and the shard coordinator
     /// publishes the fleet-wide aggregate instead.
     gauges: bool,
+    /// Whether this monitor writes the shared `dds_monitor_*` counters
+    /// and histograms. Shadow scorers run fully silent: a candidate
+    /// model double-scoring the same stream must not inflate the ingest
+    /// and alert totals the watchdog budgets are computed from.
+    counters: bool,
 }
 
 /// A point-in-time summary of the monitor's serving state, derived from
@@ -230,6 +235,7 @@ impl FleetMonitor {
             history: None,
             sanitizer,
             gauges: true,
+            counters: true,
         }
     }
 
@@ -241,6 +247,18 @@ impl FleetMonitor {
     #[must_use]
     pub fn with_quiet_gauges(mut self) -> Self {
         self.gauges = false;
+        self
+    }
+
+    /// Stops this monitor from writing the process-global
+    /// `dds_monitor_*` counters and histograms as well (implies quiet
+    /// gauges). Used by shadow scoring, where a candidate model scores
+    /// the same stream the serving model already counted — double
+    /// publication would distort every rate the watchdog budgets.
+    #[must_use]
+    pub fn with_quiet_counters(mut self) -> Self {
+        self.gauges = false;
+        self.counters = false;
         self
     }
 
@@ -358,10 +376,11 @@ impl FleetMonitor {
         let latched_before = self.latched_severity(drive);
         let alerts = self.ingest_inner(drive, record);
         let latched_after = self.latched_severity(drive);
-        self.metrics.ingest_seconds.observe(started.elapsed().as_secs_f64());
-
-        self.metrics.records.inc();
-        self.metrics.count_alerts(&alerts);
+        if self.counters {
+            self.metrics.ingest_seconds.observe(started.elapsed().as_secs_f64());
+            self.metrics.records.inc();
+            self.metrics.count_alerts(&alerts);
+        }
         if let Some(history) = &self.history {
             for alert in &alerts {
                 history.record(alert);
@@ -567,6 +586,19 @@ impl FleetMonitor {
     /// out-of-order against the previous epoch's final hours.
     pub fn new_ingest_session(&mut self) {
         self.sanitizer.new_session();
+    }
+
+    /// Atomically replaces the deployed model bundle — the hot-swap half
+    /// of a promotion.
+    ///
+    /// All per-drive escalation state (latched severities, debounce
+    /// runs, learned baselines, announced types) survives the swap:
+    /// promotion changes *how records are scored from now on*, never
+    /// what has already been alerted. In particular, promoting a bundle
+    /// identical to the serving one leaves the alert stream byte for
+    /// byte unchanged.
+    pub fn swap_bundle(&mut self, bundle: ModelBundle) {
+        self.bundle = bundle;
     }
 }
 
@@ -819,6 +851,33 @@ mod tests {
         assert_eq!(stats.quarantined, 0, "sparse missing values must be repaired, not dropped");
         assert_eq!(stats.imputed_attrs, 2 * poisoned as u64);
         assert_eq!(stats.accepted, 48);
+    }
+
+    #[test]
+    fn identical_bundle_swap_leaves_the_alert_stream_unchanged() {
+        let bundle = trained_bundle(9_013);
+        let live = live_fleet(9_014);
+
+        // One uninterrupted replay...
+        let mut plain = FleetMonitor::new(bundle.clone(), MonitorConfig::default());
+        let mut plain_alerts = Vec::new();
+        for drive in live.failed_drives() {
+            plain_alerts.extend(plain.replay(drive.id(), drive.records()));
+        }
+
+        // ...versus the same replay with an identical-bundle swap before
+        // every drive: escalation state survives, so the streams match.
+        let mut swapped = FleetMonitor::new(bundle.clone(), MonitorConfig::default());
+        let mut swapped_alerts = Vec::new();
+        for drive in live.failed_drives() {
+            swapped.swap_bundle(bundle.clone());
+            swapped_alerts.extend(swapped.replay(drive.id(), drive.records()));
+        }
+
+        let render =
+            |alerts: &[Alert]| -> Vec<String> { alerts.iter().map(Alert::to_json).collect() };
+        assert_eq!(render(&plain_alerts), render(&swapped_alerts));
+        assert_eq!(plain.drives_tracked(), swapped.drives_tracked());
     }
 
     #[test]

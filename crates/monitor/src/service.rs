@@ -14,17 +14,22 @@
 //! | `/readyz`       | `200` once the model bundle is loaded, `503` before |
 //! | `/alerts?n=K`   | The most recent `K` alerts (default 20), newest first |
 //! | `/profile`      | Per-stage wall time, counts and p50/p95/p99 as JSON |
-//! | `/model`        | Provenance of the serving model (`503 {"status": "training"}` until one is published) |
+//! | `/model`        | Provenance + generation of the serving model (`503 {"status": "training"}` until one is published) |
 //! | `/shards`       | Per-shard serving state published by the sharded serve loop (404 without one) |
+//! | `/drift`        | Drift-detector state published by the serve loop (404 without online learning) |
 //! | `/trace?n=K`    | The last `K` flight-recorder batch spans as JSON lines (404 without a recorder) |
 //! | `/timeseries`   | Fleet + per-shard sliding-window rates, quantiles and sparkline series |
 //!
-//! Plus one `POST` endpoint, `/ingest`: a batched record payload (binary
+//! Plus two `POST` endpoints. `/ingest`: a batched record payload (binary
 //! [`wire`] batch or CSV chunk, sniffed by leading bytes) decoded and
 //! offered to the attached [`IngestQueue`]. Replies are a JSON receipt —
 //! `200 {"status": "queued", …}` or, when the bounded queue is full and
 //! the batch is shed, `429 {"status": "shed", …}`; malformed payloads get
-//! a 400 and count into `dds_serve_ingest_errors_total`.
+//! a 400 and count into `dds_serve_ingest_errors_total`. And
+//! `/model/promote`: requests an atomic hot-swap of the serving model
+//! through the attached [`PromotionGate`] — the serve loop performs the
+//! swap between ingest batches and the reply carries the new `/model`
+//! generation.
 //!
 //! Both metrics endpoints refresh `dds_uptime_seconds` and the derived
 //! `_p50`/`_p95`/`_p99` gauges before snapshotting, so every scrape sees
@@ -39,11 +44,104 @@ use dds_obs::metrics;
 use dds_obs::profile::StageProfiler;
 use dds_obs::timeseries::{ShardSeriesStore, TimeSeriesStore};
 use dds_obs::watchdog::HealthState;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Default number of alerts returned by `/alerts` without a `n=` query.
 const DEFAULT_ALERTS: usize = 20;
+
+/// How long `POST /model/promote` waits for the serve loop to pick the
+/// request up and perform the swap before answering 503. Generous against
+/// the default tick cadence; a stalled serve loop fails the request
+/// rather than hanging the HTTP worker forever.
+const PROMOTE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The serving model's provenance document plus a monotonic generation
+/// counter, shared between the serve loop (which publishes) and the
+/// `/model` endpoint (which reads).
+///
+/// Every [`ModelSlot::publish`] — initial load and each promotion —
+/// increments the generation, so scrape clients can detect hot-swaps:
+/// two `/model` reads with the same generation are guaranteed to
+/// describe the same model, and the generation strictly increases across
+/// promotions (never torn, never reused).
+#[derive(Debug, Default)]
+pub struct ModelSlot {
+    inner: Mutex<Option<(u64, String)>>,
+}
+
+impl ModelSlot {
+    /// An empty slot: `/model` answers `503 training` until the first
+    /// publish.
+    pub fn new() -> Self {
+        ModelSlot { inner: Mutex::new(None) }
+    }
+
+    /// Publishes a provenance document, returning the new generation
+    /// (1 for the initial model, +1 per promotion).
+    pub fn publish(&self, provenance: String) -> u64 {
+        let mut inner = self.inner.lock().expect("model slot lock");
+        let generation = inner.as_ref().map_or(0, |(g, _)| *g) + 1;
+        *inner = Some((generation, provenance));
+        generation
+    }
+
+    /// The current `(generation, provenance)`, if a model is published.
+    pub fn get(&self) -> Option<(u64, String)> {
+        self.inner.lock().expect("model slot lock").clone()
+    }
+
+    /// The current generation (0 before the first publish).
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().expect("model slot lock").as_ref().map_or(0, |(g, _)| *g)
+    }
+}
+
+/// The outcome of a promotion request, produced by the serve loop and
+/// relayed verbatim as the `POST /model/promote` reply.
+#[derive(Debug, Clone)]
+pub struct PromotionOutcome {
+    /// HTTP status for the reply (200 promoted, 409 nothing to promote…).
+    pub status: u16,
+    /// JSON reply body.
+    pub body: String,
+}
+
+/// The rendezvous between `POST /model/promote` handlers and the serve
+/// loop: handlers enqueue a reply channel and block (bounded by
+/// `PROMOTE_TIMEOUT`, 5 s); the serve loop drains the queue between ingest
+/// batches, performs at most one atomic swap, and answers every waiter.
+/// The swap therefore never lands mid-batch, which is what keeps the
+/// alert stream deterministic across promotion timing.
+#[derive(Debug, Default)]
+pub struct PromotionGate {
+    waiters: Mutex<Vec<SyncSender<PromotionOutcome>>>,
+}
+
+impl PromotionGate {
+    /// An empty gate.
+    pub fn new() -> Self {
+        PromotionGate { waiters: Mutex::new(Vec::new()) }
+    }
+
+    /// Handler side: enqueue a promotion request and wait for the serve
+    /// loop's verdict. `None` means the loop never picked it up in time.
+    pub fn request(&self, timeout: Duration) -> Option<PromotionOutcome> {
+        let (reply, outcome) = mpsc::sync_channel(1);
+        self.waiters.lock().expect("promotion gate lock").push(reply);
+        match outcome.recv_timeout(timeout) {
+            Ok(outcome) => Some(outcome),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Serve-loop side: takes every pending request (empty almost every
+    /// tick — one `Mutex` lock is the whole cost).
+    pub fn take(&self) -> Vec<SyncSender<PromotionOutcome>> {
+        std::mem::take(&mut *self.waiters.lock().expect("promotion gate lock"))
+    }
+}
 
 /// Default number of spans returned by `/trace` without a `n=` query.
 const DEFAULT_TRACE: usize = 50;
@@ -61,15 +159,22 @@ pub struct MonitorService {
     history: Arc<AlertHistory>,
     health: Arc<HealthState>,
     profiler: Option<Arc<StageProfiler>>,
-    /// Provenance JSON of the serving model, published once by the host
-    /// when the model is trained or loaded; `/model` answers 503 before.
-    model: Arc<OnceLock<String>>,
+    /// Provenance + generation of the serving model, published by the
+    /// host when the model is trained, loaded or promoted; `/model`
+    /// answers 503 before the first publish.
+    model: Arc<ModelSlot>,
     /// The bounded intake behind `/ingest`; without one the endpoint
     /// answers 503 (this deployment does not accept pushed records).
     ingest: Option<Arc<IngestQueue>>,
     /// Per-shard state document behind `/shards`, re-published by the
     /// sharded serve loop after every ingested fleet-hour.
     shards: Option<Arc<Mutex<String>>>,
+    /// Drift-detector state document behind `/drift`, re-published by
+    /// the serve loop each tick when online learning is on.
+    drift: Option<Arc<Mutex<String>>>,
+    /// The promotion rendezvous behind `POST /model/promote`; without
+    /// one the endpoint answers 503 (no online learning loop to swap).
+    promotions: Option<Arc<PromotionGate>>,
     /// The flight recorder behind `/trace`; without one the endpoint
     /// answers 404 (this deployment records no spans).
     recorder: Option<Arc<FlightRecorder>>,
@@ -87,9 +192,11 @@ impl MonitorService {
             history,
             health,
             profiler: None,
-            model: Arc::new(OnceLock::new()),
+            model: Arc::new(ModelSlot::new()),
             ingest: None,
             shards: None,
+            drift: None,
+            promotions: None,
             recorder: None,
             timeseries: None,
             shard_series: None,
@@ -141,19 +248,82 @@ impl MonitorService {
 
     /// Attaches a shared provenance slot backing the `/model` endpoint.
     /// The host keeps the other `Arc` and publishes the provenance JSON
-    /// (via [`OnceLock::set`]) once a model is trained or loaded.
-    pub fn with_model_slot(mut self, model: Arc<OnceLock<String>>) -> Self {
+    /// (via [`ModelSlot::publish`]) once a model is trained or loaded,
+    /// and again on every promotion.
+    pub fn with_model_slot(mut self, model: Arc<ModelSlot>) -> Self {
         self.model = model;
+        self
+    }
+
+    /// Attaches the shared `/drift` document slot. The serve loop
+    /// re-publishes [`crate::DriftDetector::to_json`] into it each tick;
+    /// an empty string answers 503 (still starting).
+    pub fn with_drift_slot(mut self, drift: Arc<Mutex<String>>) -> Self {
+        self.drift = Some(drift);
+        self
+    }
+
+    /// Attaches the promotion gate backing `POST /model/promote`. The
+    /// host keeps the other `Arc` and drains it from the serve loop.
+    pub fn with_promotion_gate(mut self, gate: Arc<PromotionGate>) -> Self {
+        self.promotions = Some(gate);
         self
     }
 
     fn model_endpoint(&self) -> Response {
         match self.model.get() {
-            Some(provenance) => Response::ok_json(provenance.clone()),
+            Some((generation, provenance)) => {
+                // Inject the generation as the leading top-level field of
+                // the provenance object, keeping every original field.
+                let body = match provenance.strip_prefix('{').map(str::trim_start) {
+                    Some("}") => format!("{{\"generation\": {generation}}}"),
+                    Some(rest) => format!("{{\"generation\": {generation}, {rest}"),
+                    None => provenance,
+                };
+                Response::ok_json(body)
+            }
             None => Response {
                 status: 503,
                 content_type: "application/json",
                 body: "{\"status\": \"training\"}".to_string(),
+            },
+        }
+    }
+
+    fn drift_endpoint(&self) -> Response {
+        let Some(slot) = &self.drift else {
+            return Response::not_found();
+        };
+        let document = slot.lock().map(|doc| doc.clone()).unwrap_or_default();
+        if document.is_empty() {
+            Response {
+                status: 503,
+                content_type: "application/json",
+                body: "{\"status\": \"starting\"}".to_string(),
+            }
+        } else {
+            Response::ok_json(document)
+        }
+    }
+
+    fn promote_endpoint(&self) -> Response {
+        let Some(gate) = &self.promotions else {
+            return Response {
+                status: 503,
+                content_type: "application/json",
+                body: "{\"status\": \"promotion disabled\"}".to_string(),
+            };
+        };
+        match gate.request(PROMOTE_TIMEOUT) {
+            Some(outcome) => Response {
+                status: outcome.status,
+                content_type: "application/json",
+                body: outcome.body,
+            },
+            None => Response {
+                status: 503,
+                content_type: "application/json",
+                body: "{\"status\": \"promotion timed out\"}".to_string(),
             },
         }
     }
@@ -206,8 +376,9 @@ impl MonitorService {
         Response::ok_text(
             "dds monitor observability endpoints:\n\
              /metrics /metrics.json /healthz /readyz /alerts?n=K /profile /model /shards\n\
-             /trace?n=K /timeseries\n\
-             POST /ingest (binary DDSB batch or CSV chunk)\n",
+             /drift /trace?n=K /timeseries\n\
+             POST /ingest (binary DDSB batch or CSV chunk)\n\
+             POST /model/promote (hot-swap the refit candidate)\n",
         )
     }
 
@@ -335,8 +506,9 @@ impl MonitorService {
 
 impl Handler for MonitorService {
     fn handle(&self, request: &Request) -> Response {
-        // `/ingest` is the only mutating endpoint and requires POST; every
-        // scrape endpoint is read-only and rejects POST bodies.
+        // `/ingest` and `/model/promote` are the only mutating endpoints
+        // and require POST; every scrape endpoint is read-only and
+        // rejects POST bodies.
         if request.path == "/ingest" {
             return if request.method == "POST" {
                 self.ingest_endpoint(request)
@@ -344,8 +516,15 @@ impl Handler for MonitorService {
                 Response::text(405, "POST a record batch to /ingest\n")
             };
         }
+        if request.path == "/model/promote" {
+            return if request.method == "POST" {
+                self.promote_endpoint()
+            } else {
+                Response::text(405, "POST to /model/promote\n")
+            };
+        }
         if request.method == "POST" {
-            return Response::text(405, "only /ingest accepts POST\n");
+            return Response::text(405, "only /ingest and /model/promote accept POST\n");
         }
         match request.path.as_str() {
             "/" => self.index(),
@@ -362,6 +541,7 @@ impl Handler for MonitorService {
             ),
             "/model" => self.model_endpoint(),
             "/shards" => self.shards_endpoint(),
+            "/drift" => self.drift_endpoint(),
             "/trace" => self.trace_endpoint(request),
             "/timeseries" => self.timeseries_endpoint(),
             _ => Response::not_found(),
@@ -451,22 +631,84 @@ mod tests {
     }
 
     #[test]
-    fn model_endpoint_serves_provenance_once_published() {
-        let slot: Arc<OnceLock<String>> = Arc::new(OnceLock::new());
+    fn model_endpoint_serves_provenance_and_generation() {
+        let slot = Arc::new(ModelSlot::new());
         let service = MonitorService::new(Arc::new(AlertHistory::new(16)), HealthState::new())
             .with_model_slot(slot.clone());
         // Before a model exists: 503 training.
         let before = service.handle(&request("/model", None));
         assert_eq!(before.status, 503);
         assert!(before.body.contains("training"));
-        // After publishing: the provenance document verbatim.
-        slot.set("{\"magic\":\"dds-model\",\"seed\":\"7\"}".to_string()).unwrap();
+        assert_eq!(slot.generation(), 0);
+        // After publishing: the provenance document plus the generation.
+        assert_eq!(slot.publish("{\"magic\":\"dds-model\",\"seed\":\"7\"}".to_string()), 1);
         let after = service.handle(&request("/model", None));
         assert_eq!(after.status, 200);
+        assert!(after.body.contains("\"generation\": 1"), "{}", after.body);
         assert!(after.body.contains("\"seed\":\"7\""));
         dds_obs::json::validate(&after.body).expect("model JSON");
+        // A promotion re-publishes under the next generation.
+        assert_eq!(slot.publish("{\"magic\":\"dds-model\",\"seed\":\"8\"}".to_string()), 2);
+        let promoted = service.handle(&request("/model", None));
+        assert!(promoted.body.contains("\"generation\": 2"), "{}", promoted.body);
+        assert!(promoted.body.contains("\"seed\":\"8\""));
+        dds_obs::json::validate(&promoted.body).expect("model JSON");
         // Without a slot the default service also answers 503.
         assert_eq!(self::service().handle(&request("/model", None)).status, 503);
+    }
+
+    #[test]
+    fn drift_endpoint_serves_the_published_document() {
+        // No slot: this deployment has no online-learning loop.
+        assert_eq!(service().handle(&request("/drift", None)).status, 404);
+
+        let slot = Arc::new(Mutex::new(String::new()));
+        let service = MonitorService::new(Arc::new(AlertHistory::new(16)), HealthState::new())
+            .with_drift_slot(Arc::clone(&slot));
+        // Empty slot: still starting.
+        assert_eq!(service.handle(&request("/drift", None)).status, 503);
+        *slot.lock().unwrap() = "{\"examined\": 10, \"drifted\": 0}".to_string();
+        let reply = service.handle(&request("/drift", None));
+        assert_eq!(reply.status, 200);
+        assert!(reply.body.contains("\"examined\": 10"));
+        dds_obs::json::validate(&reply.body).expect("drift JSON");
+    }
+
+    #[test]
+    fn promote_endpoint_rendezvous_with_the_serve_loop() {
+        // No gate: promotion is disabled.
+        let disabled = service().handle(&post("/model/promote", Vec::new()));
+        assert_eq!(disabled.status, 503);
+        assert!(disabled.body.contains("promotion disabled"));
+
+        let gate = Arc::new(PromotionGate::new());
+        let service = MonitorService::new(Arc::new(AlertHistory::new(16)), HealthState::new())
+            .with_promotion_gate(Arc::clone(&gate));
+
+        // A stand-in serve loop: answer the first request that shows up.
+        let loop_gate = Arc::clone(&gate);
+        let serve_loop = std::thread::spawn(move || loop {
+            let waiters = loop_gate.take();
+            if waiters.is_empty() {
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            for waiter in waiters {
+                let _ = waiter.send(PromotionOutcome {
+                    status: 200,
+                    body: "{\"status\": \"promoted\", \"generation\": 2}".to_string(),
+                });
+            }
+            break;
+        });
+        let reply = service.handle(&post("/model/promote", Vec::new()));
+        serve_loop.join().unwrap();
+        assert_eq!(reply.status, 200);
+        assert!(reply.body.contains("\"generation\": 2"), "{}", reply.body);
+        dds_obs::json::validate(&reply.body).expect("promote JSON");
+
+        // GET is a 405, like /ingest.
+        assert_eq!(service.handle(&request("/model/promote", None)).status, 405);
     }
 
     fn post(path: &str, body: Vec<u8>) -> Request {

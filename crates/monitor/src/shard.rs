@@ -139,6 +139,13 @@ enum Job {
     NewSession {
         reply: SyncSender<()>,
     },
+    /// Hot-swap the shard's model bundle (promotion). Boxed: the bundle
+    /// carries whole regression trees and would otherwise dominate the
+    /// job enum's size for every queued batch.
+    SwapBundle {
+        bundle: Box<ModelBundle>,
+        reply: SyncSender<()>,
+    },
     Status {
         reply: SyncSender<ShardStatus>,
     },
@@ -217,6 +224,10 @@ fn worker_loop(shard: usize, bundle: ModelBundle, config: MonitorConfig, jobs: R
             }
             Job::NewSession { reply } => {
                 monitor.new_ingest_session();
+                let _ = reply.send(());
+            }
+            Job::SwapBundle { bundle, reply } => {
+                monitor.swap_bundle(*bundle);
                 let _ = reply.send(());
             }
             Job::Status { reply } => {
@@ -462,6 +473,28 @@ impl ShardedFleetMonitor {
         let (reply, replies) = mpsc::sync_channel(self.workers.len());
         for shard in 0..self.workers.len() {
             self.send(shard, Job::NewSession { reply: reply.clone() });
+        }
+        drop(reply);
+        for _ in 0..self.workers.len() {
+            replies.recv().expect("shard worker alive");
+        }
+    }
+
+    /// Hot-swaps every shard's model bundle — the sharded half of a
+    /// promotion — blocking until all shards run the new model.
+    ///
+    /// The coordinator serializes this between batches (it owns `&mut
+    /// self` for both), so a swap never lands mid-batch: every batch is
+    /// scored wholly by one model, which keeps the merged alert stream
+    /// deterministic across promotion timing. Per-shard escalation state
+    /// survives, exactly as in [`FleetMonitor::swap_bundle`].
+    pub fn swap_bundle(&mut self, bundle: ModelBundle) {
+        let (reply, replies) = mpsc::sync_channel(self.workers.len());
+        for shard in 0..self.workers.len() {
+            self.send(
+                shard,
+                Job::SwapBundle { bundle: Box::new(bundle.clone()), reply: reply.clone() },
+            );
         }
         drop(reply);
         for _ in 0..self.workers.len() {
@@ -760,6 +793,49 @@ mod tests {
         sharded.new_ingest_session();
         sharded.ingest_batch(&records);
         assert_eq!(sharded.quality_stats().quarantined, records.len() as u64);
+    }
+
+    #[test]
+    fn bundle_swap_between_batches_keeps_identical_models_byte_identical() {
+        let bundle = trained_bundle(9_113);
+        let live = FleetSimulator::new(FleetConfig::test_scale().with_seed(9_114)).run();
+        let records = hour_ordered(&live);
+
+        let mut plain = ShardedFleetMonitor::new(bundle.clone(), MonitorConfig::default(), 3);
+        let mut expected = Vec::new();
+        for chunk in records.chunks(300) {
+            expected.extend(plain.ingest_batch(chunk));
+        }
+
+        // Promote the *same* bundle between every pair of batches: the
+        // escalation state survives each swap, so the stream is unchanged.
+        let mut swapped = ShardedFleetMonitor::new(bundle.clone(), MonitorConfig::default(), 3);
+        let mut alerts = Vec::new();
+        for chunk in records.chunks(300) {
+            alerts.extend(swapped.ingest_batch(chunk));
+            swapped.swap_bundle(bundle.clone());
+        }
+        assert_eq!(alert_lines(&alerts), alert_lines(&expected));
+        assert_eq!(swapped.health_status().latched, plain.health_status().latched);
+
+        // A *different* bundle actually changes scoring somewhere.
+        let other = trained_bundle(9_115);
+        let mut diverged = ShardedFleetMonitor::new(bundle, MonitorConfig::default(), 3);
+        diverged.swap_bundle(other);
+        let mut re_alerts = Vec::new();
+        let mut re_plain = Vec::new();
+        // Fresh streams (new session semantics): replay from scratch.
+        let mut baseline =
+            ShardedFleetMonitor::new(trained_bundle(9_113), MonitorConfig::default(), 3);
+        for chunk in records.chunks(300) {
+            re_alerts.extend(diverged.ingest_batch(chunk));
+            re_plain.extend(baseline.ingest_batch(chunk));
+        }
+        assert_ne!(
+            alert_lines(&re_alerts),
+            alert_lines(&re_plain),
+            "a cross-fleet bundle must score differently somewhere"
+        );
     }
 
     #[test]

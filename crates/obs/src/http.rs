@@ -372,11 +372,16 @@ fn read_request_head(stream: &mut TcpStream) -> Option<(String, Vec<u8>)> {
 }
 
 /// Reads a `POST` body of exactly `Content-Length` bytes, starting from
-/// the `spill` bytes that arrived with the head. Returns the HTTP status
-/// to answer on failure: `400` for a missing/garbled length or a short
-/// body, `413` past [`MAX_BODY`].
+/// the `spill` bytes that arrived with the head. A request without a
+/// `Content-Length` header has no body (`curl -X POST` for the bodyless
+/// control endpoints sends none). Returns the HTTP status to answer on
+/// failure: `400` for a garbled length or a short body, `413` past
+/// [`MAX_BODY`].
 fn read_body(stream: &mut TcpStream, head: &str, spill: Vec<u8>) -> Result<Vec<u8>, u16> {
-    let length = content_length(head).ok_or(400u16)?;
+    if has_header(head, "content-length") && content_length(head).is_none() {
+        return Err(400);
+    }
+    let length = content_length(head).unwrap_or(0);
     if length > MAX_BODY {
         return Err(413);
     }
@@ -388,6 +393,15 @@ fn read_body(stream: &mut TcpStream, head: &str, spill: Vec<u8>) -> Result<Vec<u
     }
     body.truncate(length);
     Ok(body)
+}
+
+/// Whether the head carries the named header at all (case-insensitive),
+/// so a present-but-garbled `Content-Length` stays a 400 while an absent
+/// one means "no body".
+fn has_header(head: &str, name: &str) -> bool {
+    head.lines()
+        .skip(1)
+        .any(|line| line.split_once(':').is_some_and(|(n, _)| n.trim().eq_ignore_ascii_case(name)))
 }
 
 /// The `Content-Length` header value, case-insensitively.
@@ -462,12 +476,17 @@ mod tests {
         assert!(get(addr, "/json").contains("application/json"));
         assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
 
-        // Abuse: garbage request line, unsupported method, length-less
-        // POST, panicking handler, premature close — then the server
-        // still answers.
+        // Abuse: garbage request line, unsupported method, garbled
+        // Content-Length, panicking handler, premature close — then the
+        // server still answers. A length-less POST is legal: it simply
+        // has no body (`curl -X POST` on the control endpoints).
         assert!(raw_request(addr, "BLARG\r\n\r\n").starts_with("HTTP/1.1 400"));
         assert!(raw_request(addr, "PUT /ok HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405"));
-        assert!(raw_request(addr, "POST /ok HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 400"));
+        assert!(raw_request(addr, "POST /ok HTTP/1.1\r\nContent-Length: x\r\n\r\n")
+            .starts_with("HTTP/1.1 400"));
+        let bodyless = raw_request(addr, "POST /echo HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(bodyless.starts_with("HTTP/1.1 200"), "{bodyless}");
+        assert!(bodyless.ends_with("0:"), "empty body reaches the handler: {bodyless}");
         assert!(raw_request(addr, "GET /boom HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 500"));
         drop(TcpStream::connect(addr).unwrap());
         assert!(get(addr, "/ok").starts_with("HTTP/1.1 200"), "server survived abuse");

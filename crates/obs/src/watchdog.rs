@@ -170,6 +170,22 @@ pub enum SloRule {
         /// Trailing window to evaluate over.
         window: Duration,
     },
+    /// Over the trailing `window`, records the drift detector flags
+    /// beyond the serving model's training baseline must stay below
+    /// `max_ratio` of everything examined (`drifted + clean` partition
+    /// the examined stream — both counters come from the same detector).
+    /// Windows where neither counter grows pass vacuously: no traffic is
+    /// no evidence of drift.
+    DriftBudget {
+        /// Drifted-records counter name.
+        drifted: String,
+        /// Clean-records counter name.
+        clean: String,
+        /// Maximum tolerated drift fraction in `0..=1`.
+        max_ratio: f64,
+        /// Trailing window to evaluate over.
+        window: Duration,
+    },
 }
 
 impl SloRule {
@@ -181,6 +197,7 @@ impl SloRule {
             SloRule::ErrorBudget { .. } => "error_budget",
             SloRule::QuarantineBudget { .. } => "quarantine_budget",
             SloRule::ShedBudget { .. } => "shed_budget",
+            SloRule::DriftBudget { .. } => "drift_budget",
         }
     }
 
@@ -261,6 +278,24 @@ impl SloRule {
                     )
                 })
             }
+            SloRule::DriftBudget { drifted, clean, max_ratio, window } => {
+                // Same missing-series discipline as the quarantine budget:
+                // a fully drifted stream may never grow the clean counter,
+                // and must still trip.
+                let d_rate = store.rate_per_sec(drifted, *window).unwrap_or(0.0);
+                let c_rate = store.rate_per_sec(clean, *window).unwrap_or(0.0);
+                let examined = d_rate + c_rate;
+                if examined <= 0.0 {
+                    return None;
+                }
+                let ratio = d_rate / examined;
+                (ratio > *max_ratio).then(|| {
+                    format!(
+                        "{drifted} ratio {ratio:.4} of examined records exceeds \
+                         drift budget {max_ratio:.4}"
+                    )
+                })
+            }
         }
     }
 }
@@ -334,9 +369,12 @@ impl Watchdog {
     /// The standard `dds serve` rule set: a 50 ms per-record ingest-latency
     /// p99 ceiling, an 8× alert-rate spike over the trailing minute, a
     /// 1% ingest-error budget, a 10% data-quality quarantine budget over
-    /// the trailing 30 seconds, and a 10% ingest-gateway shed budget over
-    /// the same window (overload that sheds more than a tenth of offered
-    /// records flips `/healthz`).
+    /// the trailing 30 seconds, a 10% ingest-gateway shed budget over the
+    /// same window (overload that sheds more than a tenth of offered
+    /// records flips `/healthz`), and a 5% model-drift budget over the
+    /// same window (a live stream drifting past the serving model's
+    /// training baseline flips `/healthz` until a refit candidate is
+    /// promoted).
     pub fn standard_rules() -> Vec<SloRule> {
         vec![
             SloRule::LatencyCeiling {
@@ -368,6 +406,12 @@ impl Watchdog {
                 shed: "dds_shed_records_total".into(),
                 accepted: "dds_ingest_records_total".into(),
                 max_ratio: 0.10,
+                window: Duration::from_secs(30),
+            },
+            SloRule::DriftBudget {
+                drifted: "dds_drift_drifted_total".into(),
+                clean: "dds_drift_clean_total".into(),
+                max_ratio: 0.05,
                 window: Duration::from_secs(30),
             },
         ]
@@ -618,6 +662,40 @@ mod tests {
         // No traffic at all passes vacuously.
         let idle = TimeSeriesStore::new(4);
         assert_eq!(rule.check(&idle), None);
+    }
+
+    #[test]
+    fn drift_budget_trips_beyond_baseline_and_recovers() {
+        let rule = SloRule::DriftBudget {
+            drifted: "w_drifted_total".into(),
+            clean: "w_clean_total".into(),
+            max_ratio: 0.05,
+            window: Duration::from_secs(60),
+        };
+        // 2% drifted records: within budget.
+        let (registry, store) = seeded_store(|r| {
+            r.counter("w_clean_total").add(980);
+            r.counter("w_drifted_total").add(20);
+        });
+        assert_eq!(rule.check(&store), None);
+        // A shifted stream drifts a quarter of examined records.
+        registry.counter("w_drifted_total").add(250);
+        registry.counter("w_clean_total").add(750);
+        store.push(Duration::from_secs(20), registry.snapshot());
+        let message = rule.check(&store).expect("budget breached");
+        assert!(message.contains("drift budget"), "{message}");
+
+        // A stream where everything drifts (clean never grows) still trips.
+        let (_r2, drowned) = seeded_store(|r| {
+            r.counter("w_drifted_total").add(100);
+        });
+        assert!(rule.check(&drowned).is_some());
+
+        // No traffic passes vacuously, and the standard rule set carries
+        // the drift budget.
+        let idle = TimeSeriesStore::new(4);
+        assert_eq!(rule.check(&idle), None);
+        assert!(Watchdog::standard_rules().iter().any(|r| r.name() == "drift_budget"));
     }
 
     #[test]

@@ -150,13 +150,23 @@ impl StreamingFleet {
     /// Simulates the next epoch and returns its [`hour_ordered`] record
     /// stream, passed through the installed record stage (if any).
     pub fn next_epoch_records(&mut self) -> Vec<(DriveId, HealthRecord)> {
+        self.next_epoch_with_records().1
+    }
+
+    /// Simulates the next epoch and returns both the epoch [`Dataset`]
+    /// (clean, pre-stage — the drive manifest an online refit window
+    /// needs for labels and rack topology) and its [`hour_ordered`]
+    /// record stream passed through the installed record stage (the
+    /// possibly-corrupted wire form a collector would deliver).
+    pub fn next_epoch_with_records(&mut self) -> (Dataset, Vec<(DriveId, HealthRecord)>) {
         let index = self.epoch;
         let dataset = self.next_epoch();
         let records = hour_ordered(&dataset);
-        match self.stage.as_mut() {
+        let records = match self.stage.as_mut() {
             Some(stage) => stage(index, records),
             None => records,
-        }
+        };
+        (dataset, records)
     }
 }
 
@@ -228,6 +238,23 @@ mod tests {
         assert_eq!(thinned.len(), baseline.len().div_ceil(2));
         assert_eq!(thinned[0].0, baseline[0].0);
         assert_eq!(thinned[0].1, baseline[0].1);
+    }
+
+    #[test]
+    fn epoch_with_records_exposes_the_manifest_and_the_staged_stream() {
+        let config = FleetConfig::test_scale().with_seed(5);
+        let mut plain = StreamingFleet::new(config.clone());
+        let (dataset, records) = plain.next_epoch_with_records();
+        assert_eq!(records, hour_ordered(&dataset));
+        assert_eq!(plain.epochs_generated(), 1);
+
+        // The stage rewrites the wire stream but never the manifest dataset.
+        let mut staged = StreamingFleet::new(config).with_record_stage(Box::new(
+            |_, records: Vec<(DriveId, HealthRecord)>| records.into_iter().take(3).collect(),
+        ));
+        let (dataset, staged_records) = staged.next_epoch_with_records();
+        assert_eq!(staged_records.len(), 3);
+        assert_eq!(staged_records[..], hour_ordered(&dataset)[..3]);
     }
 
     #[test]

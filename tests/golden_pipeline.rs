@@ -7,7 +7,9 @@
 //! a crisp diff rather than a silent drift — the reproduction's analogue
 //! of the paper's 59.6% / 7.6% / 32.8% Table II population split.
 
-use dds_core::{report, Analysis, AnalysisConfig, AnalysisReport, TrainedModel, TrainingContext};
+use dds_core::{
+    report, Analysis, AnalysisConfig, AnalysisReport, OnlineTrainer, TrainedModel, TrainingContext,
+};
 use dds_smartsim::{Dataset, FleetConfig, FleetSimulator};
 use dds_stats::SignatureForm;
 
@@ -137,6 +139,27 @@ fn golden_model_artifact_reproduces_the_pipeline_report() {
         "the golden prediction table must survive the artifact round-trip"
     );
     assert_eq!(reloaded.meta.seed, GOLDEN_SEED);
+}
+
+#[test]
+fn online_refit_of_the_golden_window_renders_the_pinned_report() {
+    // Stream the golden epoch through the online trainer record by
+    // record; a clean window must refit to the byte-identical report a
+    // cold run produces — so every golden pin above also pins the
+    // streaming refit path.
+    let dataset = FleetSimulator::new(FleetConfig::test_scale().with_seed(GOLDEN_SEED)).run();
+    let ctx =
+        TrainingContext { seed: GOLDEN_SEED, scale: "test".to_string(), git_sha: String::new() };
+    let mut trainer = OnlineTrainer::new(AnalysisConfig::default());
+    trainer.begin_epoch(&dataset);
+    trainer.observe_batch(&dds_smartsim::stream::hour_ordered(&dataset));
+    let outcome = trainer.refit(&ctx).expect("golden refit");
+    assert!(outcome.quality.is_none(), "the clean golden window skips the quality gate");
+    assert_eq!(
+        report::render_full_report(&outcome.report),
+        report::render_full_report(&golden_run().1),
+        "a streamed refit of the golden window must render the pinned report"
+    );
 }
 
 #[test]

@@ -1,0 +1,107 @@
+//! Online-learning equivalence suite: a full-window streaming refit must
+//! be bit-identical to cold training on the same window.
+//!
+//! This is the online analogue of the warm-vs-cold model-artifact proof:
+//! the serving path may only hot-swap a refit candidate because nothing
+//! about *how* the window's records arrived — hour-interleaved, shard by
+//! shard, one shard or four — can change the artifact the trainer
+//! produces. The only permitted difference is the `created_unix`
+//! wall-clock stamp, which both sides normalize before comparing bytes.
+
+use dds_core::{
+    Analysis, AnalysisConfig, CategorizationConfig, OnlineTrainer, TrainedModel, TrainingContext,
+};
+use dds_monitor::shard_for;
+use dds_smartsim::stream::hour_ordered;
+use dds_smartsim::{DriveId, FleetConfig, HealthRecord, StreamingFleet};
+
+fn config() -> AnalysisConfig {
+    AnalysisConfig {
+        categorization: CategorizationConfig { run_svc: false, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+fn ctx(seed: u64) -> TrainingContext {
+    TrainingContext { seed, scale: "test".to_string(), git_sha: String::new() }
+}
+
+/// Canonical byte form of a model with the wall-clock stamp normalized
+/// out (the one field two training runs of the same window legitimately
+/// disagree on).
+fn stamped_bytes(mut model: TrainedModel) -> Vec<u8> {
+    model.meta.created_unix = 0;
+    model.to_bytes().expect("model serializes")
+}
+
+/// Re-orders an hour-ordered stream the way an N-shard ingest tier would
+/// consume it: shard 0's records first (in arrival order), then shard
+/// 1's, and so on — the most adversarial legal reordering, since a
+/// drive's history never spans shards.
+fn sharded_order(
+    records: &[(DriveId, HealthRecord)],
+    shards: usize,
+) -> Vec<(DriveId, HealthRecord)> {
+    let mut out = Vec::with_capacity(records.len());
+    for shard in 0..shards {
+        out.extend(records.iter().filter(|(drive, _)| shard_for(*drive, shards) == shard).cloned());
+    }
+    out
+}
+
+#[test]
+fn streaming_refit_is_bit_identical_to_cold_training() {
+    for seed in [7u64, 23, 1051] {
+        let mut stream = StreamingFleet::new(FleetConfig::test_scale().with_seed(seed));
+        let window = stream.next_epoch();
+        let (_, cold_model) =
+            Analysis::new(config()).train(&window, &ctx(seed)).expect("cold training succeeds");
+        let cold_bytes = stamped_bytes(cold_model);
+
+        let records = hour_ordered(&window);
+        for shards in [1usize, 4] {
+            let mut trainer = OnlineTrainer::new(config());
+            trainer.begin_epoch(&window);
+            trainer.observe_batch(&sharded_order(&records, shards));
+            assert_eq!(trainer.window_records(), records.len() as u64);
+
+            let outcome = trainer.refit(&ctx(seed)).expect("streaming refit succeeds");
+            assert!(outcome.quality.is_none(), "a clean window must skip the quality gate");
+            assert_eq!(outcome.expected_disorder(), 0.0);
+            assert_eq!(
+                stamped_bytes(outcome.model),
+                cold_bytes,
+                "seed {seed}, {shards} shard(s): refit artifact must match cold training byte \
+                 for byte"
+            );
+        }
+    }
+}
+
+#[test]
+fn refit_window_slides_with_epochs() {
+    // Two consecutive epochs refit to two *different* models (the window
+    // really slides), and replaying epoch 2 alone matches a cold train on
+    // epoch 2 — the window holds exactly one epoch, no residue.
+    let seed = 7u64;
+    let mut stream = StreamingFleet::new(FleetConfig::test_scale().with_seed(seed));
+    let first = stream.next_epoch();
+    let second = stream.next_epoch();
+
+    let mut trainer = OnlineTrainer::new(config());
+    trainer.begin_epoch(&first);
+    trainer.observe_batch(&hour_ordered(&first));
+    let refit_first = trainer.refit(&ctx(seed)).expect("epoch 1 refit");
+
+    trainer.begin_epoch(&second);
+    trainer.observe_batch(&hour_ordered(&second));
+    let refit_second = trainer.refit(&ctx(seed)).expect("epoch 2 refit");
+
+    let (_, cold_second) =
+        Analysis::new(config()).train(&second, &ctx(seed)).expect("cold training succeeds");
+
+    let first_bytes = stamped_bytes(refit_first.model);
+    let second_bytes = stamped_bytes(refit_second.model);
+    assert_ne!(first_bytes, second_bytes, "consecutive epochs must refit differently");
+    assert_eq!(second_bytes, stamped_bytes(cold_second), "no residue from the previous window");
+}

@@ -1,7 +1,8 @@
 //! Integration tests of serving mode: a real `dds serve` loop (in
 //! process) answering scrapes over raw TCP while ingesting, the watchdog
-//! flipping `/healthz`, malformed-request resilience, and bit-for-bit
-//! Sequential-vs-Threads(4) determinism with the server enabled.
+//! flipping `/healthz`, malformed-request resilience, hot-swap promotion
+//! under concurrent load, and bit-for-bit Sequential-vs-Threads(4)
+//! determinism with the server enabled.
 //!
 //! The serve loop writes the process-global metrics registry and trace
 //! facade, so every test takes `SERVE_LOCK` first.
@@ -40,6 +41,27 @@ fn test_options() -> ServeOptions {
 fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
     let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
     raw_roundtrip(stream, &format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n"))
+}
+
+/// A body-less HTTP POST over raw TCP: returns (status, body). The
+/// promotion endpoint rendezvouses with the serve loop, so the read
+/// timeout is generous.
+fn http_post(addr: SocketAddr, path: &str) -> (u16, String) {
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10)).expect("connect");
+    raw_roundtrip(
+        stream,
+        &format!("POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: 0\r\n\r\n"),
+    )
+}
+
+/// Extracts the `"generation": N` counter from a `/model` or promotion
+/// reply.
+fn generation_of(body: &str) -> u64 {
+    body.split("\"generation\": ")
+        .nth(1)
+        .and_then(|rest| rest.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|digits| digits.parse().ok())
+        .unwrap_or_else(|| panic!("no generation counter in {body:?}"))
 }
 
 fn raw_roundtrip(mut stream: TcpStream, request: &str) -> (u16, String) {
@@ -367,6 +389,176 @@ fn cold_start_publishes_in_process_provenance() {
         dds_obs::json::validate(&provenance).expect("provenance JSON");
         assert!(provenance.contains("trained in-process"), "provenance: {provenance}");
         assert!(provenance.contains("\"seed\":\"77\""), "provenance: {provenance}");
+    });
+}
+
+/// Like [`masked_summary`], but runs the bounded serve loop on a
+/// background thread so `body` can act on the live server while the
+/// epoch budget plays out. The loop exits on its own epoch budget; the
+/// stop flag is only forced when `body` panics (so a failed assertion
+/// cannot hang the join).
+fn masked_summary_with(options: &ServeOptions, body: impl FnOnce(SocketAddr)) -> String {
+    let stop = AtomicBool::new(false);
+    let (addr_tx, addr_rx) = mpsc::channel();
+    let mut out = None;
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            serve(options, &stop, None, move |addr| addr_tx.send(addr).unwrap())
+                .expect("bounded serve run")
+        });
+        let body_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let addr = addr_rx.recv_timeout(Duration::from_secs(10)).expect("server bound");
+            body(addr);
+            addr
+        }));
+        if body_result.is_err() {
+            stop.store(true, Ordering::SeqCst);
+        }
+        let summary = handle.join().expect("serve thread");
+        match body_result {
+            Ok(addr) => out = Some(summary.replace(&addr.to_string(), "ADDR")),
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    });
+    out.expect("serve summary")
+}
+
+/// Drops the online-learning summary lines (present exactly when refits
+/// or promotions happened) so promotion runs compare against baselines.
+fn without_online_lines(summary: &str) -> String {
+    summary
+        .lines()
+        .filter(|l| !l.starts_with("online learning:") && !l.starts_with("drift:"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn hot_swap_torture_identical_promotion_never_perturbs_the_alert_stream() {
+    let _guard = serve_lock();
+    dds_obs::metrics::global().reset();
+
+    // Baseline: the same bounded run with no promotions at all.
+    let options = ServeOptions { epochs: 2, tick_ms: 1, ..test_options() };
+    let baseline = masked_summary(&options);
+    assert!(baseline.contains("2 epochs"), "bounded baseline completed: {baseline}");
+
+    dds_obs::metrics::global().reset();
+
+    // Torture run: scrape threads hammer /metrics, /model and /alerts
+    // while a promoter thread hot-swaps the serving model (no candidate
+    // is soaking, so each promote re-publishes the same bytes). Zero
+    // non-200s allowed anywhere, /model must never be torn, and its
+    // generation counter must never move backwards.
+    let torture = masked_summary_with(&options, |addr| {
+        poll_until(addr, "/readyz", Duration::from_secs(60), |s, _| s == 200);
+        std::thread::scope(|scope| {
+            for path in ["/metrics", "/alerts?n=5", "/model"] {
+                scope.spawn(move || {
+                    let mut last_generation = 0;
+                    for _ in 0..25 {
+                        let (status, body) = http_get(addr, path);
+                        assert_eq!(status, 200, "{path} failed mid-promotion: {body}");
+                        if path == "/model" {
+                            dds_obs::json::validate(&body).expect("/model JSON never torn");
+                            let generation = generation_of(&body);
+                            assert!(
+                                generation >= last_generation,
+                                "generation rewound {last_generation} -> {generation}"
+                            );
+                            last_generation = generation;
+                        }
+                    }
+                });
+            }
+            scope.spawn(move || {
+                let mut last_generation = 1;
+                for _ in 0..5 {
+                    let (status, body) = http_post(addr, "/model/promote");
+                    assert_eq!(status, 200, "promotion failed: {body}");
+                    assert!(body.contains("\"promoted\": \"serving\""), "{body}");
+                    let generation = generation_of(&body);
+                    assert!(
+                        generation > last_generation,
+                        "promotion generation must strictly increase \
+                         ({last_generation} -> {generation}): {body}"
+                    );
+                    last_generation = generation;
+                }
+            });
+        });
+        // GET on the promote route stays a method error, and promotion
+        // replies are well-formed JSON.
+        assert_eq!(http_get(addr, "/model/promote").0, 405);
+    });
+
+    // Five hot swaps of identical bytes: the ingest/alert/quarantine
+    // summary is byte-identical to the promotion-free baseline.
+    assert_eq!(
+        without_online_lines(&baseline),
+        without_online_lines(&torture),
+        "identical-model promotion must not perturb serving"
+    );
+    assert!(torture.contains("5 promotions"), "promotions counted: {torture}");
+}
+
+#[test]
+fn refit_candidate_soaks_in_shadow_and_promotes_atomically() {
+    let _guard = serve_lock();
+    dds_obs::metrics::global().reset();
+
+    // Refit a candidate after every epoch; run until the test stops it.
+    let options = ServeOptions { refit_every: 1, ..test_options() };
+    with_serve_loop(options, |addr| {
+        poll_until(addr, "/readyz", Duration::from_secs(60), |s, _| s == 200);
+
+        // /drift publishes from the first ingested hour: drift always on,
+        // no shadow or candidate before the first refit.
+        let (_, drift) = poll_until(addr, "/drift", Duration::from_secs(60), |s, _| s == 200);
+        dds_obs::json::validate(&drift).expect("drift JSON");
+        assert!(drift.contains("\"drift\": {"), "{drift}");
+
+        // After the first epoch the online trainer refits: the candidate's
+        // provenance appears on /drift and the shadow scorer starts.
+        let (_, drift) = poll_until(addr, "/drift", Duration::from_secs(120), |s, b| {
+            s == 200 && b.contains("online refit (epoch")
+        });
+        assert!(drift.contains("\"shadow\": {"), "shadow scorer soaking: {drift}");
+
+        let (status, model) = http_get(addr, "/model");
+        assert_eq!(status, 200);
+        assert_eq!(generation_of(&model), 1, "one generation before promotion: {model}");
+        assert!(model.contains("trained in-process"), "{model}");
+
+        // Promote the candidate: atomic hot-swap, generation bumps, and
+        // /model now reports the refit provenance.
+        let (status, reply) = http_post(addr, "/model/promote");
+        assert_eq!(status, 200, "{reply}");
+        assert!(reply.contains("\"promoted\": \"candidate\""), "{reply}");
+        let promoted_generation = generation_of(&reply);
+        assert!(promoted_generation >= 2, "{reply}");
+        let (_, model) = poll_until(addr, "/model", Duration::from_secs(60), |s, b| {
+            s == 200 && b.contains("online refit (epoch")
+        });
+        dds_obs::json::validate(&model).expect("promoted /model JSON");
+        assert!(generation_of(&model) >= promoted_generation, "{model}");
+
+        // The drift detector adopted the candidate's baseline.
+        let (_, drift) = poll_until(addr, "/drift", Duration::from_secs(60), |s, b| {
+            s == 200 && b.contains("\"baseline_swaps\": 1")
+        });
+        dds_obs::json::validate(&drift).expect("post-swap drift JSON");
+
+        // The online-learning metric families are exported.
+        let (_, metrics) = http_get(addr, "/metrics");
+        for family in [
+            "dds_drift_records_total",
+            "dds_drift_score",
+            "dds_shadow_batches_total",
+            "dds_online_refits_total",
+        ] {
+            assert!(metrics.contains(family), "missing {family} in /metrics");
+        }
     });
 }
 
