@@ -225,12 +225,13 @@ pub fn serve(
         scale: options.scale.clone(),
         git_sha: option_env!("DDS_GIT_SHA").unwrap_or("unknown").to_string(),
     };
-    let (bundle, serving_provenance) = match &options.model {
+    let (bundle, serving_provenance, serving_model) = match &options.model {
         Some(path) => {
             let model = load_model(path, registry)?;
             let bundle = ModelBundle::from_trained(&model)
                 .map_err(|e| CliError::boxed(format!("model {}: {e}", path.display())))?;
-            (bundle, model.provenance_json(&path.display().to_string()))
+            let provenance = model.provenance_json(&path.display().to_string());
+            (bundle, provenance, model)
         }
         None => {
             let training = FleetSimulator::new(
@@ -242,12 +243,17 @@ pub fn serve(
             registry.gauge("dds_model_load_seconds").set(0.0);
             registry.gauge("dds_model_age_seconds").set(0.0);
             let bundle = ModelBundle::from_analysis(&training, &analysis);
-            (bundle, model.provenance_json("trained in-process"))
+            let provenance = model.provenance_json("trained in-process");
+            (bundle, provenance, model)
         }
     };
     model_slot.publish(serving_provenance.clone());
     let mut serving_bundle = bundle.clone();
     let mut serving_provenance = serving_provenance;
+    // The serving artifact doubles as the warm-start prior for
+    // incremental refits and as the training-RMSE baseline of the RMSE
+    // drift channel; promotions replace it alongside the bundle.
+    let mut serving_model = serving_model;
     let mut monitor = ShardedFleetMonitor::new(bundle, MonitorConfig::default(), options.shards)
         .with_history(Arc::clone(&history))
         .with_flight_recorder(Arc::clone(&recorder));
@@ -357,6 +363,7 @@ pub fn serve(
                                 );
                             }
                         }
+                        serving_model = cand.model;
                         let generation = model_slot.publish(serving_provenance.clone());
                         promotions += 1;
                         PromotionOutcome {
@@ -427,9 +434,22 @@ pub fn serve(
         // it is counted and the previous candidate (if any) keeps soaking.
         if let Some(trainer) = trainer.as_mut() {
             if stream.epochs_generated().is_multiple_of(options.refit_every) {
-                match trainer.refit(&ctx) {
+                // Warm-start from the serving artifact: the incremental
+                // path refines its centroids instead of re-running the
+                // elbow sweep, falling back to epoch replay on any error
+                // (counted in dds_refit_fallback_total).
+                match trainer.refit_with(&ctx, Some(&serving_model)) {
                     Ok(outcome) => match ModelBundle::from_trained(&outcome.model) {
                         Ok(bundle) => {
+                            // The RMSE drift channel: how the serving
+                            // trees score on the window the fleet just
+                            // streamed, next to their training RMSE.
+                            if let (Some(live), Some(training)) =
+                                (outcome.live_rmse, outcome.prior_training_rmse)
+                            {
+                                drift.record_rmse(live, training);
+                                drift.publish(registry);
+                            }
                             let provenance = outcome.model.provenance_json(&format!(
                                 "online refit (epoch {})",
                                 stream.epochs_generated()
@@ -493,14 +513,20 @@ pub fn serve(
     );
     if options.refit_every > 0 || promotions > 0 {
         out.push_str(&format!(
-            "online learning: {} refits, {} promotions, {} refit errors\n\
-             drift: {} records examined, {} excess drifted, {} baseline swaps\n",
+            "online learning: {} refits ({} incremental, {} fallback), {} promotions, \
+             {} refit errors, {} records ignored\n\
+             drift: {} records examined, {} excess drifted, {} baseline swaps, \
+             {} rmse breaches\n",
             trainer.as_ref().map_or(0, OnlineTrainer::refits),
+            registry.counter("dds_refit_incremental_total").get(),
+            registry.counter("dds_refit_fallback_total").get(),
             promotions,
             refit_errors.get(),
+            registry.counter("dds_refit_ignored_total").get(),
             drift.examined(),
             drift.excess_drifted(),
             drift.swaps(),
+            drift.rmse_breaches(),
         ));
     }
     if options.chaos.active() {

@@ -348,10 +348,11 @@ pub fn render_frame(state: &DashState, charset: CharSet, width: usize) -> String
     let shadow = drift_doc.and_then(|doc| doc.get("shadow"));
     out.push_str(&pad(
         &format!(
-            "drift    score {}  excess {}/{}  shadow div {}  promotions {}",
+            "drift    score {}  excess {}/{}  rmse x{}  shadow {}  promo {}",
             num(opt_f64(drift_inner, "drift_score"), 4),
             num(opt_f64(drift_inner, "excess_drifted"), 0),
             num(opt_f64(drift_inner, "examined"), 0),
+            num(opt_f64(drift_inner, "rmse_ratio"), 2),
             num(opt_f64(shadow, "divergence"), 0),
             num(drift_doc.and_then(|doc| doc.get("promotions")).and_then(Json::as_f64), 0),
         ),
@@ -479,7 +480,9 @@ mod tests {
             r#"{"drift": {"examined": 2000, "drifted": 12, "excess_drifted": 4,
                           "disordered": 10, "out_of_range": 2,
                           "expected_disorder": 0.004, "drift_score": 0.006,
-                          "attr_shift_max": 0.01, "baseline_swaps": 1},
+                          "attr_shift_max": 0.01, "baseline_swaps": 1,
+                          "rmse_live": 0.182, "rmse_training": 0.170,
+                          "rmse_ratio": 1.07, "rmse_breaches": 0},
                 "shadow": {"batches": 40, "serving_alerts": 6,
                            "candidate_alerts": 6, "divergence": 0},
                 "candidate": null, "promotions": 1}"#,
@@ -518,7 +521,7 @@ mod tests {
             "  -                                                                     \n",
             "  -                                                                     \n",
             "  -                                                                     \n",
-            "drift    score 0.0060  excess 4/2000  shadow div 0  promotions 1        \n",
+            "drift    score 0.0060  excess 4/2000  rmse x1.07  shadow 0  promo 1     \n",
             "watchdog 3 violations | health ok                                       \n",
         );
         assert_eq!(frame, expected, "golden frame drifted:\n{frame}");
@@ -558,7 +561,7 @@ mod tests {
         let frame = render_frame(&state, CharSet::Ascii, 60);
         assert!(frame.contains("(no per-shard series)"));
         assert!(frame.contains("ingest            -/s"));
-        assert!(frame.contains("drift    score -  excess -/-  shadow div -  promotions -"));
+        assert!(frame.contains("drift    score -  excess -/-  rmse x-  shadow -  promo -"));
         assert!(frame.contains("unreachable"));
         // All five alert rows render as fillers.
         assert_eq!(frame.matches("\n  -").count(), ALERT_ROWS);

@@ -173,6 +173,64 @@ impl KMeans {
         Ok(best)
     }
 
+    /// Warm-starts a single Lloyd refinement from `initial` centroids: no
+    /// k-means++ seeding, no restarts, no RNG at all. One streaming
+    /// mini-batch pass ([`StreamingKMeans`]) first pulls the centroids
+    /// toward the new points, then the same deterministic Lloyd loop as
+    /// [`fit`](Self::fit) polishes to a local optimum. This is the
+    /// incremental-refit entry: the prior artifact's centroids come in,
+    /// a refined clustering of the new window comes out, at the cost of
+    /// one fit instead of an elbow sweep times restarts.
+    ///
+    /// `k` is taken from `initial` (the config's `k` is ignored);
+    /// `max_iterations`, `tolerance` and `parallelism` apply as in `fit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for no points or no initial
+    /// centroids, [`StatsError::DimensionMismatch`] for ragged rows or
+    /// centroids of the wrong dimension, and
+    /// [`StatsError::InsufficientData`] when there are fewer points than
+    /// centroids.
+    pub fn refine(
+        &self,
+        points: &[Vec<f64>],
+        initial: &[Vec<f64>],
+    ) -> Result<KMeansResult, StatsError> {
+        if points.is_empty() || points[0].is_empty() || initial.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        let dim = points[0].len();
+        for p in points {
+            if p.len() != dim {
+                return Err(StatsError::DimensionMismatch { expected: dim, actual: p.len() });
+            }
+        }
+        for c in initial {
+            if c.len() != dim {
+                return Err(StatsError::DimensionMismatch { expected: dim, actual: c.len() });
+            }
+        }
+        if points.len() < initial.len() {
+            return Err(StatsError::InsufficientData {
+                needed: initial.len(),
+                got: points.len(),
+            });
+        }
+        let _span = dds_obs::span!(
+            dds_obs::Level::Debug,
+            "kmeans.refine",
+            k = initial.len(),
+            points = points.len(),
+        );
+        dds_obs::metrics::global().counter("dds_kmeans_refines_total").inc();
+        let par = self.config.parallelism;
+        let columns = ColMatrix::from_rows(points)?;
+        let mut streaming = StreamingKMeans::new(initial.to_vec())?;
+        streaming.fold_columns(&columns, par)?;
+        self.lloyd(points, &columns, streaming.into_centroids(), par)
+    }
+
     fn fit_once(
         &self,
         points: &[Vec<f64>],
@@ -180,9 +238,24 @@ impl KMeans {
         rng: &mut StdRng,
         par: Parallelism,
     ) -> Result<KMeansResult, StatsError> {
-        let k = self.config.k;
+        let centroids = plus_plus_init(points, self.config.k, rng)?;
+        self.lloyd(points, columns, centroids, par)
+    }
+
+    /// The Lloyd loop shared by [`fit`](Self::fit) (after k-means++
+    /// seeding) and [`refine`](Self::refine) (after the streaming pass):
+    /// assignment and update steps draw no random numbers and accumulate
+    /// in fixed chunk order, so the result is a pure function of
+    /// `(points, centroids)` at any thread count.
+    fn lloyd(
+        &self,
+        points: &[Vec<f64>],
+        columns: &ColMatrix,
+        mut centroids: Vec<Vec<f64>>,
+        par: Parallelism,
+    ) -> Result<KMeansResult, StatsError> {
+        let k = centroids.len();
         let dim = points[0].len();
-        let mut centroids = plus_plus_init(points, k, rng)?;
         let mut assignments = vec![0usize; points.len()];
         for _ in 0..self.config.max_iterations {
             // Assignment step: each point independently finds its nearest
@@ -285,10 +358,23 @@ fn assign_blocks(
     centroids: &[Vec<f64>],
     par: Parallelism,
 ) -> Vec<(usize, f64)> {
-    let n = columns.num_rows();
+    assign_block_range(columns, 0, columns.num_rows(), centroids, par)
+}
+
+/// [`assign_blocks`] restricted to rows `[from, to)` — the chunk-sized
+/// assignment step of the streaming fold, bit-identical to the full pass
+/// over the same rows.
+fn assign_block_range(
+    columns: &ColMatrix,
+    from: usize,
+    to: usize,
+    centroids: &[Vec<f64>],
+    par: Parallelism,
+) -> Vec<(usize, f64)> {
+    let n = to - from;
     let blocks = par_generate(par, n.div_ceil(ASSIGN_BLOCK), |b| {
-        let start = b * ASSIGN_BLOCK;
-        let end = (start + ASSIGN_BLOCK).min(n);
+        let start = from + b * ASSIGN_BLOCK;
+        let end = (start + ASSIGN_BLOCK).min(to);
         let mut best = vec![(0usize, f64::INFINITY); end - start];
         let mut d2 = vec![0.0f64; end - start];
         for (ci, centroid) in centroids.iter().enumerate() {
@@ -432,6 +518,145 @@ impl KMeansResult {
             }
         }
         Ok(best.into_iter().map(|(i, _)| i).collect())
+    }
+}
+
+/// Streaming (mini-batch) K-means centroid accumulator: fold points in,
+/// read refined centroids out, without ever holding more than one chunk's
+/// assignments in memory.
+///
+/// Each `UPDATE_CHUNK`-sized (512-point) chunk is assigned against the centroids as
+/// they stood at the chunk's start (block-wise over columns, so the
+/// assignment kernel is the same auto-vectorizable sweep the batch fit
+/// uses), then the running-mean update
+/// `c += (x − c) / count` is applied *sequentially in point order* — the
+/// classic mini-batch rule, with a per-centroid observation count as the
+/// learning-rate schedule. Chunks are processed in order and the update
+/// loop never fans out, so the folded centroids are a pure function of
+/// `(initial, point order)` at any [`Parallelism`] mode.
+///
+/// # Example
+///
+/// ```
+/// use dds_cluster::StreamingKMeans;
+///
+/// let mut stream = StreamingKMeans::new(vec![vec![0.0], vec![10.0]]).unwrap();
+/// stream.fold(&[vec![1.0], vec![9.0], vec![1.0], vec![11.0]]).unwrap();
+/// let centroids = stream.centroids();
+/// assert!(centroids[0][0] < 5.0 && centroids[1][0] > 5.0);
+/// assert_eq!(stream.observations(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingKMeans {
+    centroids: Vec<Vec<f64>>,
+    counts: Vec<u64>,
+    parallelism: Parallelism,
+}
+
+impl StreamingKMeans {
+    /// Starts the stream from `initial` centroids (typically a prior
+    /// artifact's) with zeroed observation counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] for no centroids and
+    /// [`StatsError::DimensionMismatch`] for ragged ones.
+    pub fn new(initial: Vec<Vec<f64>>) -> Result<Self, StatsError> {
+        let dim = match initial.first() {
+            Some(first) if !first.is_empty() => first.len(),
+            _ => return Err(StatsError::EmptyInput),
+        };
+        for c in &initial {
+            if c.len() != dim {
+                return Err(StatsError::DimensionMismatch { expected: dim, actual: c.len() });
+            }
+        }
+        let counts = vec![0u64; initial.len()];
+        Ok(StreamingKMeans { centroids: initial, counts, parallelism: Parallelism::Auto })
+    }
+
+    /// Sets the parallelism of the per-chunk assignment step. Never
+    /// affects the folded centroids.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Folds a batch of row-major points into the stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] for rows of the wrong
+    /// dimension. An empty batch is a no-op.
+    pub fn fold(&mut self, points: &[Vec<f64>]) -> Result<(), StatsError> {
+        if points.is_empty() {
+            return Ok(());
+        }
+        let dim = self.centroids[0].len();
+        for p in points {
+            if p.len() != dim {
+                return Err(StatsError::DimensionMismatch { expected: dim, actual: p.len() });
+            }
+        }
+        let columns = ColMatrix::from_rows(points)?;
+        self.fold_columns(&columns, self.parallelism)
+    }
+
+    /// Folds a column-major batch into the stream, chunk by chunk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] when the matrix has the
+    /// wrong number of columns.
+    pub fn fold_columns(
+        &mut self,
+        columns: &ColMatrix,
+        par: Parallelism,
+    ) -> Result<(), StatsError> {
+        let dim = self.centroids[0].len();
+        if columns.num_cols() != dim {
+            return Err(StatsError::DimensionMismatch {
+                expected: dim,
+                actual: columns.num_cols(),
+            });
+        }
+        let n = columns.num_rows();
+        let mut start = 0;
+        while start < n {
+            let end = (start + UPDATE_CHUNK).min(n);
+            let assigned = assign_block_range(columns, start, end, &self.centroids, par);
+            for (offset, &(a, _)) in assigned.iter().enumerate() {
+                let row = start + offset;
+                self.counts[a] += 1;
+                let lr = 1.0 / self.counts[a] as f64;
+                for (d, c) in self.centroids[a].iter_mut().enumerate() {
+                    *c += lr * (columns.col(d)[row] - *c);
+                }
+            }
+            start = end;
+        }
+        Ok(())
+    }
+
+    /// The centroids as folded so far.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Consumes the stream, returning the folded centroids.
+    pub fn into_centroids(self) -> Vec<Vec<f64>> {
+        self.centroids
+    }
+
+    /// Points folded into each centroid.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total points folded in.
+    pub fn observations(&self) -> u64 {
+        self.counts.iter().sum()
     }
 }
 
@@ -612,6 +837,125 @@ mod tests {
                 assert_eq!(d2.to_bits(), sd2.to_bits(), "{par:?}");
             }
         }
+    }
+
+    #[test]
+    fn refine_recovers_blobs_from_perturbed_centroids() {
+        let (points, truth) = three_blobs();
+        // Perturbed versions of the true centers: the warm start must pull
+        // them back onto the blobs without any RNG.
+        let initial = vec![vec![1.0, 1.5], vec![8.5, 1.0], vec![1.5, 9.0]];
+        let result = KMeans::new(KMeansConfig::new(3)).refine(&points, &initial).unwrap();
+        let sizes = result.cluster_sizes();
+        assert!(sizes.iter().all(|&s| s == 20), "sizes {sizes:?}");
+        for i in 0..points.len() {
+            for j in 0..points.len() {
+                if truth[i] == truth[j] {
+                    assert_eq!(result.assignments()[i], result.assignments()[j]);
+                }
+            }
+        }
+        // Warm refinement reaches the same optimum as the cold fit.
+        let cold = KMeans::new(KMeansConfig::new(3).with_seed(1)).fit(&points).unwrap();
+        assert!((result.inertia() - cold.inertia()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refine_is_bit_identical_across_parallelism_modes() {
+        let (points, _) = three_blobs();
+        let initial = vec![vec![0.5, 0.5], vec![9.0, 1.0], vec![1.0, 9.0]];
+        let reference = KMeans::new(KMeansConfig::new(3).with_parallelism(Parallelism::Sequential))
+            .refine(&points, &initial)
+            .unwrap();
+        for par in [Parallelism::Auto, Parallelism::Threads(4)] {
+            let run = KMeans::new(KMeansConfig::new(3).with_parallelism(par))
+                .refine(&points, &initial)
+                .unwrap();
+            assert_eq!(run.assignments(), reference.assignments(), "{par:?}");
+            assert_eq!(run.inertia().to_bits(), reference.inertia().to_bits(), "{par:?}");
+            for (a, b) in run.centroids().iter().zip(reference.centroids()) {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{par:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refine_rejects_invalid_input() {
+        let (points, _) = three_blobs();
+        let kmeans = KMeans::new(KMeansConfig::new(3));
+        assert!(kmeans.refine(&[], &[vec![0.0, 0.0]]).is_err());
+        assert!(kmeans.refine(&points, &[]).is_err());
+        assert!(kmeans.refine(&points, &[vec![0.0]]).is_err());
+        assert!(kmeans
+            .refine(&points[..2], &[vec![0.0; 2], vec![1.0; 2], vec![2.0; 2]])
+            .is_err());
+    }
+
+    #[test]
+    fn streaming_fold_is_a_running_mean_for_one_centroid() {
+        let mut stream = StreamingKMeans::new(vec![vec![0.0, 0.0]]).unwrap();
+        let points: Vec<Vec<f64>> =
+            (0..1500).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        stream.fold(&points).unwrap();
+        assert_eq!(stream.observations(), 1500);
+        // With a single centroid the mini-batch rule degenerates to the
+        // exact running mean of the stream.
+        let mean_x = points.iter().map(|p| p[0]).sum::<f64>() / points.len() as f64;
+        assert!((stream.centroids()[0][0] - mean_x).abs() < 1e-6);
+    }
+
+    #[test]
+    fn streaming_fold_matches_across_parallelism_and_batch_splits() {
+        // > UPDATE_CHUNK points so the chunk loop runs more than once; the
+        // folded centroids must not depend on the thread count or on how
+        // the stream was cut into fold() calls.
+        let points: Vec<Vec<f64>> = (0..1300)
+            .map(|i| {
+                let x = ((i * 37) % 101) as f64 / 101.0;
+                let y = ((i * 61) % 89) as f64 / 89.0;
+                vec![x, y]
+            })
+            .collect();
+        let initial = vec![vec![0.2, 0.2], vec![0.8, 0.8]];
+        let mut whole = StreamingKMeans::new(initial.clone())
+            .unwrap()
+            .with_parallelism(Parallelism::Sequential);
+        whole.fold(&points).unwrap();
+        for par in [Parallelism::Auto, Parallelism::Threads(4)] {
+            let mut run = StreamingKMeans::new(initial.clone()).unwrap().with_parallelism(par);
+            run.fold(&points).unwrap();
+            assert_eq!(run.counts(), whole.counts(), "{par:?}");
+            for (a, b) in run.centroids().iter().zip(whole.centroids()) {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{par:?}");
+                }
+            }
+        }
+        // Chunk boundaries are fixed per fold() call, so splitting the
+        // stream at a chunk multiple reproduces the whole-stream fold.
+        let mut split = StreamingKMeans::new(initial).unwrap();
+        split.fold(&points[..512]).unwrap();
+        split.fold(&points[512..1024]).unwrap();
+        split.fold(&points[1024..]).unwrap();
+        assert_eq!(split.counts(), whole.counts());
+        for (a, b) in split.centroids().iter().zip(whole.centroids()) {
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_rejects_invalid_input() {
+        assert!(StreamingKMeans::new(vec![]).is_err());
+        assert!(StreamingKMeans::new(vec![vec![]]).is_err());
+        assert!(StreamingKMeans::new(vec![vec![0.0, 1.0], vec![0.0]]).is_err());
+        let mut stream = StreamingKMeans::new(vec![vec![0.0, 0.0]]).unwrap();
+        assert!(stream.fold(&[vec![1.0]]).is_err());
+        stream.fold(&[]).unwrap();
+        assert_eq!(stream.observations(), 0);
     }
 
     #[test]

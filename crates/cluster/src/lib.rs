@@ -34,7 +34,7 @@ pub mod svc;
 pub mod validation;
 
 pub use hierarchical::{Dendrogram, Linkage};
-pub use kmeans::{KMeans, KMeansConfig, KMeansResult};
+pub use kmeans::{KMeans, KMeansConfig, KMeansResult, StreamingKMeans};
 pub use pca::PcaModel;
 pub use svc::{Svc, SvcConfig, SvcResult};
 pub use validation::{adjusted_rand_index, silhouette_score};

@@ -190,11 +190,68 @@ impl Categorizer {
                 .with_parallelism(self.config.parallelism),
         )
         .fit(points)?;
+        self.assemble(dataset, records, points, &result, elbow, self.config.run_svc)
+    }
 
+    /// Warm-start categorization for incremental refits: keeps the prior
+    /// artifact's group count and refines its 30-feature centroids against
+    /// the new window's failure records with a single streaming +
+    /// warm-Lloyd pass ([`KMeans::refine`]) — no elbow sweep, no restarts,
+    /// no RNG. Group characterization (paper ordering, types, deciles,
+    /// PCA projection) runs exactly as in
+    /// [`categorize`](Self::categorize); the SVC cross-check is skipped
+    /// (`svc_agreement` is `None`) and the elbow curve degenerates to the
+    /// single fitted `(k, mean within-cluster distance)` point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidConfig`] for empty prior centroids
+    /// and propagates clustering errors (e.g. fewer failure records than
+    /// prior groups) — the caller is expected to fall back to the cold
+    /// path on any error.
+    pub fn categorize_warm(
+        &self,
+        dataset: &Dataset,
+        records: &FailureRecordSet,
+        prior_centroids: &[Vec<f64>],
+    ) -> Result<Categorization, AnalysisError> {
+        if prior_centroids.is_empty() {
+            return Err(AnalysisError::InvalidConfig(
+                "warm-start categorization needs at least one prior centroid".to_string(),
+            ));
+        }
+        let points = records.scaled_features();
+        let _span = dds_obs::span!(
+            dds_obs::Level::Debug,
+            "categorize.warm",
+            k = prior_centroids.len(),
+            points = points.len(),
+        );
+        let result = KMeans::new(
+            KMeansConfig::new(prior_centroids.len()).with_parallelism(self.config.parallelism),
+        )
+        .refine(points, prior_centroids)?;
+        let elbow = vec![(result.k(), result.mean_within_cluster_distance())];
+        self.assemble(dataset, records, points, &result, elbow, false)
+    }
+
+    /// Characterizes a fitted clustering: paper ordering, group types,
+    /// deciles, the optional SVC cross-check and the PCA projection —
+    /// everything downstream of the K-means fit, shared by the cold and
+    /// warm paths.
+    fn assemble(
+        &self,
+        dataset: &Dataset,
+        records: &FailureRecordSet,
+        points: &[Vec<f64>],
+        result: &dds_cluster::KMeansResult,
+        elbow: Vec<(usize, f64)>,
+        run_svc: bool,
+    ) -> Result<Categorization, AnalysisError> {
         // Collect member lists, dropping clusters that ended up empty
         // (possible on degenerate data where many records coincide), then
         // map the remainder to paper order.
-        let mut member_lists: Vec<Vec<usize>> = (0..chosen_k)
+        let mut member_lists: Vec<Vec<usize>> = (0..result.k())
             .map(|cluster| {
                 (0..points.len()).filter(|&i| result.assignments()[i] == cluster).collect()
             })
@@ -247,7 +304,7 @@ impl Categorizer {
         // octaves around the data-driven base width and keep the run that
         // agrees best with the K-means grouping — the honest measure of
         // §IV-B's "generate the same results" claim.
-        let svc_agreement = if self.config.run_svc && points.len() >= 2 {
+        let svc_agreement = if run_svc && points.len() >= 2 {
             let _span = dds_obs::span!(dds_obs::Level::Debug, "categorize.svc");
             let base = dds_cluster::svc::suggest_gamma(points)?;
             let mut best: Option<SvcAgreement> = None;

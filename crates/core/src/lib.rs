@@ -66,9 +66,9 @@ pub use model::{
     GroupArtifact, ModelError, ModelMeta, TrainedModel, TrainingContext, ZScoreBaseline,
     MODEL_FORMAT_VERSION, MODEL_MAGIC,
 };
-pub use online::{OnlineTrainer, RefitOutcome};
+pub use online::{OnlineTrainer, RefitOutcome, RefitPath};
 pub use pipeline::{Analysis, AnalysisConfig, AnalysisReport};
-pub use predict::{DegradationPredictor, PredictionConfig, PredictionReport};
+pub use predict::{DegradationPredictor, PredictionConfig, PredictionReport, WarmPredictStats};
 pub use quality::{
     sanitize_profiles, DataQualityError, FleetSanitizer, QualityPolicy, QualityStats,
 };

@@ -36,6 +36,7 @@
 use crate::error::AnalysisError;
 use crate::model::{TrainedModel, TrainingContext};
 use crate::pipeline::{Analysis, AnalysisConfig, AnalysisReport};
+use crate::predict::DegradationPredictor;
 use crate::quality::{sanitize_profiles, QualityStats};
 use dds_smartsim::topology::RackId;
 use dds_smartsim::{
@@ -51,6 +52,20 @@ struct DriveFacts {
     rack: Option<RackId>,
 }
 
+/// Which refit math produced a [`RefitOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefitPath {
+    /// Full epoch replay through the batch trainer (no prior model, or
+    /// the caller asked for it explicitly).
+    Replay,
+    /// Warm-started incremental fit from the prior model's centroids
+    /// ([`Analysis::train_incremental`]).
+    Incremental,
+    /// The incremental attempt errored and the refit fell back to epoch
+    /// replay (counted in `dds_refit_fallback_total`).
+    Fallback,
+}
+
 /// The result of one [`OnlineTrainer::refit`]: the full analysis report,
 /// the deployable artifact, and the window's quality verdict.
 #[derive(Debug, Clone)]
@@ -64,17 +79,41 @@ pub struct RefitOutcome {
     /// for clean windows (which skip the gate entirely, exactly like the
     /// cold path).
     pub quality: Option<QualityStats>,
+    /// Which refit math produced this outcome.
+    pub path: RefitPath,
+    /// Mean RMSE of the *prior* (serving) model's trees scored on this
+    /// window's labeled samples — the live half of the RMSE drift
+    /// comparison. `None` when no prior was supplied or scoring failed.
+    pub live_rmse: Option<f64>,
+    /// Mean training RMSE recorded in the prior model's artifact, the
+    /// baseline the live value is compared against. `None` without a
+    /// prior.
+    pub prior_training_rmse: Option<f64>,
+    /// Records accepted into the window.
+    pub observed: u64,
+    /// Records offered for drives outside the epoch manifest (mid-epoch
+    /// fleet joins, stale collector echo) — excluded from the window but
+    /// counted as expected disorder.
+    pub ignored: u64,
 }
 
 impl RefitOutcome {
-    /// Fraction of offered window records the quality gate quarantined —
-    /// the candidate model's *expected* disorder rate, which the drift
-    /// detector adopts as its baseline after a promotion.
+    /// Fraction of offered window records that did not make it into the
+    /// refit: quality-gate quarantines plus records for drives outside
+    /// the epoch manifest. This is the candidate model's *expected*
+    /// disorder rate, which the drift detector adopts as its baseline
+    /// after a promotion — counting the ignored records keeps the
+    /// baseline honest on mid-epoch fleet joins.
     pub fn expected_disorder(&self) -> f64 {
-        match &self.quality {
-            Some(stats) if stats.ingested > 0 => stats.quarantined as f64 / stats.ingested as f64,
-            _ => 0.0,
+        let (quarantined, ingested) = match &self.quality {
+            Some(stats) => (stats.quarantined, stats.ingested),
+            None => (0, self.observed),
+        };
+        let offered = ingested + self.ignored;
+        if offered == 0 {
+            return 0.0;
         }
+        (quarantined + self.ignored) as f64 / offered as f64
     }
 }
 
@@ -103,6 +142,13 @@ pub struct OnlineTrainer {
     /// Streaming per-attribute value sums over the window.
     sums: [f64; NUM_ATTRIBUTES],
     observed: u64,
+    /// Records offered for drives outside the epoch manifest this window.
+    ignored: u64,
+    /// Records evicted by the sliding-window cap this window.
+    evicted: u64,
+    /// Per-drive sample cap; `None` accumulates the whole epoch (the
+    /// bit-identity-preserving default).
+    max_records_per_drive: Option<usize>,
     epochs_begun: u64,
     refits: u64,
 }
@@ -122,9 +168,24 @@ impl OnlineTrainer {
             maxs: [f64::NEG_INFINITY; NUM_ATTRIBUTES],
             sums: [0.0; NUM_ATTRIBUTES],
             observed: 0,
+            ignored: 0,
+            evicted: 0,
+            max_records_per_drive: None,
             epochs_begun: 0,
             refits: 0,
         }
+    }
+
+    /// Caps the window at `cap` most-recent records per drive; older
+    /// samples are evicted as new ones arrive, bounding trainer memory at
+    /// `O(drives × cap)` regardless of epoch length. Uncapped trainers
+    /// accumulate whole epochs and stay bit-identical to cold training;
+    /// capped ones trade that for bounded memory (the refit then runs on
+    /// the trailing window, which the tolerance suite pins instead).
+    #[must_use]
+    pub fn with_window_cap(mut self, cap: usize) -> Self {
+        self.max_records_per_drive = Some(cap.max(1));
+        self
     }
 
     /// Starts a new refit window from an epoch manifest: captures the
@@ -145,17 +206,33 @@ impl OnlineTrainer {
         self.maxs = [f64::NEG_INFINITY; NUM_ATTRIBUTES];
         self.sums = [0.0; NUM_ATTRIBUTES];
         self.observed = 0;
+        self.ignored = 0;
+        self.evicted = 0;
         self.epochs_begun += 1;
     }
 
     /// Observes one record offered to the monitor. Records for drives
-    /// outside the current epoch manifest are ignored (a collector
-    /// echoing stale traffic must not poison the window).
+    /// outside the current epoch manifest are excluded from the window (a
+    /// collector echoing stale traffic must not poison the refit) but
+    /// *counted* — in `dds_refit_ignored_total` and in the window's
+    /// [`RefitOutcome::expected_disorder`] — so mid-epoch fleet joins
+    /// don't silently understate the drift baseline.
     pub fn observe(&mut self, drive: DriveId, record: &HealthRecord) {
         if !self.facts.contains_key(&drive) {
+            self.ignored += 1;
+            dds_obs::metrics::global().counter("dds_refit_ignored_total").inc();
             return;
         }
-        self.records.entry(drive).or_default().push(record.clone());
+        let recs = self.records.entry(drive).or_default();
+        recs.push(record.clone());
+        if let Some(cap) = self.max_records_per_drive {
+            if recs.len() > cap {
+                let excess = recs.len() - cap;
+                recs.drain(..excess);
+                self.evicted += excess as u64;
+                dds_obs::metrics::global().counter("dds_refit_evicted_total").add(excess as u64);
+            }
+        }
         self.observed += 1;
         for (i, &v) in record.values.iter().enumerate() {
             if v.is_finite() {
@@ -177,6 +254,23 @@ impl OnlineTrainer {
     /// Number of records observed in the current window.
     pub fn window_records(&self) -> u64 {
         self.observed
+    }
+
+    /// Records offered this window for drives outside the epoch manifest.
+    pub fn window_ignored(&self) -> u64 {
+        self.ignored
+    }
+
+    /// Records evicted this window by the sliding-window cap.
+    pub fn window_evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Records currently held in the window buffers — with a cap this is
+    /// bounded by `manifest drives × cap` no matter how long the epoch
+    /// runs.
+    pub fn retained_records(&self) -> usize {
+        self.records.values().map(Vec::len).sum()
     }
 
     /// Number of epochs started with [`begin_epoch`](Self::begin_epoch).
@@ -233,6 +327,29 @@ impl OnlineTrainer {
     /// Propagates pipeline errors; an empty window reports
     /// [`AnalysisError::UnsuitableDataset`].
     pub fn refit(&mut self, ctx: &TrainingContext) -> Result<RefitOutcome, AnalysisError> {
+        self.refit_with(ctx, None)
+    }
+
+    /// Refits with an optional prior (serving) model. With a prior, the
+    /// warm-started incremental pipeline
+    /// ([`Analysis::train_incremental`]) is attempted first — K-means
+    /// refined from the prior centroids instead of the full elbow sweep —
+    /// and any incremental error falls back to the epoch-replay path
+    /// (counted in `dds_refit_fallback_total`), so a caller that could
+    /// refit before can always still refit. The prior also unlocks the
+    /// RMSE drift channel: the outcome carries the prior trees' RMSE
+    /// scored live on this window next to their recorded training RMSE.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors from the (possibly fallback) replay
+    /// path; an empty window reports
+    /// [`AnalysisError::UnsuitableDataset`].
+    pub fn refit_with(
+        &mut self,
+        ctx: &TrainingContext,
+        prior: Option<&TrainedModel>,
+    ) -> Result<RefitOutcome, AnalysisError> {
         let _span =
             dds_obs::span!(dds_obs::Level::Info, "online.refit", records = self.observed as usize);
         if self.observed == 0 {
@@ -240,7 +357,64 @@ impl OnlineTrainer {
                 "online refit window is empty".to_string(),
             ));
         }
-        let (dataset, quality) = if self.window_is_clean() {
+        let (dataset, quality) = self.assemble_window()?;
+        let analysis = Analysis::new(self.config.clone());
+        // The incremental path's warm predict stage scores the prior
+        // trees on its own test splits, so the live RMSE sample is free;
+        // the replay/fallback paths pay one extra scoring pass instead.
+        let mut warm_live_rmse = None;
+        let (report, model, path) = match prior {
+            Some(prior_model) => match analysis.train_incremental(&dataset, prior_model, ctx) {
+                Ok((report, model, stats)) => {
+                    dds_obs::metrics::global().counter("dds_refit_incremental_total").inc();
+                    warm_live_rmse = stats.live_rmse;
+                    (report, model, RefitPath::Incremental)
+                }
+                Err(_) => {
+                    dds_obs::metrics::global().counter("dds_refit_fallback_total").inc();
+                    let (report, model) = analysis.train(&dataset, ctx)?;
+                    (report, model, RefitPath::Fallback)
+                }
+            },
+            None => {
+                let (report, model) = analysis.train(&dataset, ctx)?;
+                (report, model, RefitPath::Replay)
+            }
+        };
+        let (live_rmse, prior_training_rmse) = match prior {
+            Some(p) if !p.groups.is_empty() => {
+                let live = warm_live_rmse.or_else(|| {
+                    let mut prediction = self.config.prediction.clone();
+                    prediction.tree.parallelism = self.config.parallelism;
+                    DegradationPredictor::new(prediction)
+                        .score_prior_rmse(p, &dataset, &report)
+                        .ok()
+                });
+                let training =
+                    p.groups.iter().map(|g| g.rmse).sum::<f64>() / p.groups.len() as f64;
+                (live, Some(training))
+            }
+            _ => (None, None),
+        };
+        self.refits += 1;
+        dds_obs::metrics::global().counter("dds_online_refits_total").inc();
+        Ok(RefitOutcome {
+            report,
+            model,
+            quality,
+            path,
+            live_rmse,
+            prior_training_rmse,
+            observed: self.observed,
+            ignored: self.ignored,
+        })
+    }
+
+    /// Reassembles the window into a training [`Dataset`]: the clean
+    /// fast path rebuilds exact epoch profiles, disordered windows go
+    /// through the quality gate.
+    fn assemble_window(&self) -> Result<(Dataset, Option<QualityStats>), AnalysisError> {
+        if self.window_is_clean() {
             let drives: Vec<DriveProfile> = self
                 .order
                 .iter()
@@ -253,7 +427,7 @@ impl OnlineTrainer {
                     }
                 })
                 .collect();
-            (Dataset::new(drives)?, None)
+            Ok((Dataset::new(drives)?, None))
         } else {
             let raw: Vec<RawProfile> = self
                 .order
@@ -269,12 +443,8 @@ impl OnlineTrainer {
                 })
                 .collect();
             let (dataset, stats) = sanitize_profiles(&raw, self.config.quality)?;
-            (dataset, Some(stats))
-        };
-        let (report, model) = Analysis::new(self.config.clone()).train(&dataset, ctx)?;
-        self.refits += 1;
-        dds_obs::metrics::global().counter("dds_online_refits_total").inc();
-        Ok(RefitOutcome { report, model, quality })
+            Ok((dataset, Some(stats)))
+        }
     }
 }
 

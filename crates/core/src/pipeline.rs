@@ -18,7 +18,7 @@ use crate::error::AnalysisError;
 use crate::features::FailureRecordSet;
 use crate::influence::{self, AttributeInfluence, EnvInfluence};
 use crate::model::{TrainedModel, TrainingContext};
-use crate::predict::{DegradationPredictor, PredictionConfig, PredictionReport};
+use crate::predict::{DegradationPredictor, PredictionConfig, PredictionReport, WarmPredictStats};
 use crate::quality::{self, QualityPolicy, QualityStats};
 use crate::zscore::{all_attribute_z_scores_columns, TemporalZScores, ZScoreConfig};
 use dds_obs::trace::Level;
@@ -147,6 +147,43 @@ impl Analysis {
     /// [`AnalysisError::UnsuitableDataset`] for datasets without failed or
     /// good drives.
     pub fn run(&self, dataset: &Dataset) -> Result<AnalysisReport, AnalysisError> {
+        self.run_impl(dataset, None).map(|(report, _)| report)
+    }
+
+    /// Runs every stage like [`run`](Self::run), but warm-started from a
+    /// prior model — the incremental-refit fast path. Two stages differ
+    /// from the cold run, both asymmetrically cheaper:
+    ///
+    /// * **categorize** — K-means starts from the prior centroids instead
+    ///   of the full elbow sweep (one streaming pass + Lloyd refinement
+    ///   via [`Categorizer::categorize_warm`]);
+    /// * **predict** — trees fit on a good-thinned train split and the
+    ///   prior trees are scored on the warm test split, producing the
+    ///   live RMSE sample in the returned [`WarmPredictStats`]
+    ///   ([`DegradationPredictor::train_with_columns_warm`]).
+    ///
+    /// Every other kernel is identical to the cold run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same stage errors as [`run`](Self::run), plus
+    /// [`AnalysisError::InvalidConfig`] when `prior` carries no groups.
+    /// Callers that need a guaranteed result should fall back to the
+    /// cold path on error (see `OnlineTrainer::refit_with`).
+    pub fn run_incremental(
+        &self,
+        dataset: &Dataset,
+        prior: &TrainedModel,
+    ) -> Result<(AnalysisReport, WarmPredictStats), AnalysisError> {
+        self.run_impl(dataset, Some(prior))
+            .map(|(report, stats)| (report, stats.unwrap_or_default()))
+    }
+
+    fn run_impl(
+        &self,
+        dataset: &Dataset,
+        prior: Option<&TrainedModel>,
+    ) -> Result<(AnalysisReport, Option<WarmPredictStats>), AnalysisError> {
         let _run_span = dds_obs::span!(
             Level::Info,
             "pipeline.run",
@@ -154,6 +191,9 @@ impl Analysis {
             failed_drives = dataset.failed_drives().count(),
         );
         dds_obs::metrics::global().counter("dds_pipeline_runs_total").inc();
+        if prior.is_some() {
+            dds_obs::metrics::global().counter("dds_pipeline_incremental_runs_total").inc();
+        }
 
         // --- Data-quality gate ---------------------------------------------
         // Engages only on datasets that actually carry missing values;
@@ -226,7 +266,15 @@ impl Analysis {
         categorization_config.parallelism = par;
         let categorization =
             stage("pipeline.categorize", "dds_pipeline_categorize_seconds", || {
-                Categorizer::new(categorization_config).categorize(dataset, &failure_records)
+                let categorizer = Categorizer::new(categorization_config);
+                match prior {
+                    Some(prior_model) => {
+                        let centroids: Vec<Vec<f64>> =
+                            prior_model.groups.iter().map(|g| g.centroid.clone()).collect();
+                        categorizer.categorize_warm(dataset, &failure_records, &centroids)
+                    }
+                    None => categorizer.categorize(dataset, &failure_records),
+                }
             })?;
 
         // --- Columnar hot-path storage --------------------------------------
@@ -295,26 +343,36 @@ impl Analysis {
         // --- Fig. 13, Table III ---------------------------------------------
         let mut prediction_config = self.config.prediction.clone();
         prediction_config.tree.parallelism = par;
-        let prediction = stage("pipeline.predict", "dds_pipeline_predict_seconds", || {
-            DegradationPredictor::new(prediction_config).train_with_columns(
-                &columns,
-                &categorization,
-                &degradation,
-            )
-        })?;
+        let (prediction, warm_stats) =
+            stage("pipeline.predict", "dds_pipeline_predict_seconds", || match prior {
+                Some(prior_model) => DegradationPredictor::new(prediction_config)
+                    .train_with_columns_warm(
+                        &columns,
+                        &categorization,
+                        &degradation,
+                        prior_model,
+                    )
+                    .map(|(report, stats)| (report, Some(stats))),
+                None => DegradationPredictor::new(prediction_config)
+                    .train_with_columns(&columns, &categorization, &degradation)
+                    .map(|report| (report, None)),
+            })?;
 
-        Ok(AnalysisReport {
-            profile_durations,
-            attribute_boxplots,
-            failure_records,
-            categorization,
-            degradation,
-            attribute_influence,
-            env_influence,
-            z_scores,
-            prediction,
-            quality: quality_stats,
-        })
+        Ok((
+            AnalysisReport {
+                profile_durations,
+                attribute_boxplots,
+                failure_records,
+                categorization,
+                degradation,
+                attribute_influence,
+                env_influence,
+                z_scores,
+                prediction,
+                quality: quality_stats,
+            },
+            warm_stats,
+        ))
     }
 
     /// Runs the full pipeline and assembles the deployable
@@ -335,6 +393,27 @@ impl Analysis {
             TrainedModel::from_report(dataset, &report, ctx)
         });
         Ok((report, model))
+    }
+
+    /// The incremental counterpart of [`train`](Self::train): runs
+    /// [`run_incremental`](Self::run_incremental) warm-started from
+    /// `prior` and assembles the candidate artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same stage errors as
+    /// [`run_incremental`](Self::run_incremental).
+    pub fn train_incremental(
+        &self,
+        dataset: &Dataset,
+        prior: &TrainedModel,
+        ctx: &TrainingContext,
+    ) -> Result<(AnalysisReport, TrainedModel, WarmPredictStats), AnalysisError> {
+        let (report, stats) = self.run_incremental(dataset, prior)?;
+        let model = stage("pipeline.model", "dds_pipeline_model_seconds", || {
+            TrainedModel::from_report(dataset, &report, ctx)
+        });
+        Ok((report, model, stats))
     }
 }
 

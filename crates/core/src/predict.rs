@@ -55,6 +55,32 @@ impl Default for PredictionConfig {
     }
 }
 
+/// Good-row budget of the warm (incremental) train split, as a multiple
+/// of the split's failed rows. The paper's 10× good mix is kept for
+/// sample assembly and for the test split — so reported RMSE stays
+/// comparable to cold training — but the warm tree fits on a 1.5× mix,
+/// which is where the incremental refit's predict-stage speedup comes
+/// from (tree-fit cost is roughly linear in train rows, so the thinning
+/// buys ~(1+10)/(1+1.5) ≈ 4.4× on the fit). The mix is set to keep the
+/// chaos-seed RMSE inflation comfortably inside the tolerance suite's
+/// absolute budget (`tests/online_learning.rs`); thinning further starts
+/// to eat that headroom without a matching latency win.
+pub const WARM_GOOD_TRAIN_RATIO: f64 = 1.5;
+
+/// Byproducts of [`DegradationPredictor::train_with_columns_warm`]: the
+/// live RMSE sample for the drift channel and the train-thinning tallies.
+#[derive(Debug, Clone, Default)]
+pub struct WarmPredictStats {
+    /// Mean RMSE of the *prior* model's trees over the warm test splits
+    /// (the live half of the RMSE drift comparison); `None` when no prior
+    /// group index matched the window's groups.
+    pub live_rmse: Option<f64>,
+    /// Train rows kept across groups after good-row thinning.
+    pub train_rows_kept: usize,
+    /// Good train rows dropped across groups by the thinning.
+    pub train_rows_thinned: usize,
+}
+
 /// Trained predictor and its Table III accuracy for one group.
 #[derive(Debug, Clone)]
 pub struct GroupPrediction {
@@ -305,6 +331,178 @@ impl DegradationPredictor {
         Ok(PredictionReport { groups })
     }
 
+    /// [`train_with_columns`](Self::train_with_columns) warm-started from
+    /// a prior model — the predict half of the incremental refit path.
+    ///
+    /// Sample assembly, the shuffled 70/30 split and the *test* side are
+    /// identical to the cold path (same RNG draws, same held-out rows, so
+    /// the reported RMSE is directly comparable to a cold train on the
+    /// same window). The asymmetry is on the *train* side: good rows in
+    /// the train split are thinned to [`WARM_GOOD_TRAIN_RATIO`] × the
+    /// split's failed rows (the shuffle already randomized which survive),
+    /// cutting tree-fit cost by roughly the good-sample ratio while the
+    /// failed rows — the ones carrying the degradation signature — are
+    /// all kept. The quality cost of the thinning is pinned by the
+    /// tolerance suite in `tests/online_learning.rs`.
+    ///
+    /// As a free by-product, every matched prior tree is scored on the
+    /// same test split, yielding the live half of the RMSE drift channel
+    /// without a second assembly pass.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`train_with_columns`](Self::train_with_columns).
+    pub fn train_with_columns_warm(
+        &self,
+        columns: &FleetColumns,
+        categorization: &Categorization,
+        degradation: &[GroupDegradation],
+        prior: &crate::model::TrainedModel,
+    ) -> Result<(PredictionReport, WarmPredictStats), AnalysisError> {
+        self.validate_config()?;
+        let _span = dds_obs::span!(
+            dds_obs::Level::Debug,
+            "predict.train_warm",
+            groups = categorization.num_groups(),
+            train_fraction = self.config.train_fraction,
+        );
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let good_pool = {
+            let _span = dds_obs::span!(dds_obs::Level::Debug, "predict.good_pool",);
+            columns.finite_good_pool()
+        };
+
+        let mut sample_cols: Vec<Vec<f64>> = vec![Vec::new(); NUM_ATTRIBUTES];
+        let mut sample_ys: Vec<f64> = Vec::new();
+        let mut finite: Vec<bool> = Vec::new();
+        let mut good_picks: Vec<usize> = Vec::new();
+        let mut order: Vec<usize> = Vec::new();
+        let mut kept: Vec<usize> = Vec::new();
+        let mut train_cols: Vec<Vec<f64>> = vec![Vec::new(); NUM_ATTRIBUTES];
+        let mut train_y: Vec<f64> = Vec::new();
+        let mut test_flat: Vec<f64> = Vec::new();
+        let mut test_y: Vec<f64> = Vec::new();
+        let mut fit_scratch = FitScratch::default();
+
+        let mut stats = WarmPredictStats::default();
+        let mut live_total = 0.0;
+        let mut live_matched = 0usize;
+        let mut groups = Vec::with_capacity(categorization.num_groups());
+        for group in categorization.groups() {
+            let signature = self.group_signature(group, degradation)?;
+            // Good rows are *lazy* on the warm path: only the failed rows
+            // are materialized into columns; the good side is the pick
+            // indices into `good_pool` (the identical `random_range`
+            // draws the cold path consumes), and values are read from the
+            // pool on demand below. Sample index `i` addresses failed row
+            // `i` for `i < n_failed`, else `good_pool[good_picks[i -
+            // n_failed]]` with label `1.0` — the exact sample the cold
+            // path would have appended at that index.
+            self.assemble_failed_sample_columns(
+                columns,
+                group,
+                &signature,
+                &mut sample_cols,
+                &mut sample_ys,
+                &mut finite,
+            )?;
+            let n_failed = sample_ys.len();
+            self.draw_good_picks(n_failed, good_pool.len(), &mut rng, &mut good_picks);
+            let n = n_failed + good_picks.len();
+
+            // Shuffled 70/30 split — the same RNG draws as the cold path,
+            // so warm and cold score the same held-out rows.
+            order.clear();
+            order.extend(0..n);
+            order.shuffle(&mut rng);
+            let cut = ((n as f64) * self.config.train_fraction).round() as usize;
+            let cut = cut.clamp(1, n - 1);
+            let (train_idx, test_idx) = order.split_at(cut);
+
+            // Thin the good rows of the train split (sample indices
+            // `>= n_failed` are the appended good rows). Keeping the
+            // first survivors in split order is already a uniform random
+            // subsample — the shuffle above did the randomizing — so no
+            // extra RNG draws are consumed.
+            let failed_train = train_idx.iter().filter(|&&i| i < n_failed).count();
+            let good_cap = ((failed_train as f64) * WARM_GOOD_TRAIN_RATIO).ceil() as usize;
+            kept.clear();
+            let mut good_kept = 0usize;
+            for &i in train_idx {
+                if i < n_failed {
+                    kept.push(i);
+                } else if good_kept < good_cap {
+                    good_kept += 1;
+                    kept.push(i);
+                }
+            }
+            stats.train_rows_kept += kept.len();
+            stats.train_rows_thinned += train_idx.len() - kept.len();
+
+            for (a, col) in train_cols.iter_mut().enumerate() {
+                col.clear();
+                col.extend(kept.iter().map(|&i| {
+                    if i < n_failed {
+                        sample_cols[a][i]
+                    } else {
+                        good_pool[good_picks[i - n_failed]][a]
+                    }
+                }));
+            }
+            let train_x = ColMatrix::from_columns(std::mem::take(&mut train_cols))?;
+            train_y.clear();
+            train_y
+                .extend(kept.iter().map(|&i| if i < n_failed { sample_ys[i] } else { 1.0 }));
+            test_flat.clear();
+            test_flat.reserve(test_idx.len() * NUM_ATTRIBUTES);
+            for &i in test_idx {
+                if i < n_failed {
+                    for col in &sample_cols {
+                        test_flat.push(col[i]);
+                    }
+                } else {
+                    test_flat.extend_from_slice(&good_pool[good_picks[i - n_failed]]);
+                }
+            }
+            let test_x: Vec<&[f64]> = test_flat.chunks_exact(NUM_ATTRIBUTES).collect();
+            test_y.clear();
+            test_y
+                .extend(test_idx.iter().map(|&i| if i < n_failed { sample_ys[i] } else { 1.0 }));
+
+            // Live half of the RMSE drift channel: the prior (serving)
+            // tree scored on exactly the rows the fresh tree is tested on.
+            if let Some(prior_group) =
+                prior.groups.iter().find(|g| g.group_index == group.index)
+            {
+                let live_predictions = prior_group.tree.predict_batch_ref(&test_x);
+                live_total += rmse(&live_predictions, &test_y)?;
+                live_matched += 1;
+            }
+
+            let tree = RegressionTree::fit_columns_with_scratch(
+                &train_x,
+                &train_y,
+                &self.config.tree,
+                &mut fit_scratch,
+            )?;
+            let predictions = tree.predict_batch_ref(&test_x);
+            let test_rmse = rmse(&predictions, &test_y)?;
+            groups.push(GroupPrediction {
+                group_index: group.index,
+                signature,
+                tree,
+                rmse: test_rmse,
+                // Target range is [-1, 1] (§V-B: error rate over the range).
+                error_rate: test_rmse / 2.0,
+                train_samples: kept.len(),
+                test_samples: test_idx.len(),
+            });
+            train_cols = train_x.into_columns();
+        }
+        stats.live_rmse = (live_matched > 0).then(|| live_total / live_matched as f64);
+        Ok((PredictionReport { groups }, stats))
+    }
+
     fn validate_config(&self) -> Result<(), AnalysisError> {
         if !(0.0..1.0).contains(&(self.config.train_fraction - f64::EPSILON))
             || self.config.train_fraction <= 0.0
@@ -423,6 +621,70 @@ impl DegradationPredictor {
         Ok((xs, ys))
     }
 
+    /// Scores a *prior* (serving) model's per-group trees against the
+    /// labeled sample sets of a freshly analyzed window — the "live
+    /// RMSE" half of the RMSE drift channel. For every group of the new
+    /// window's report whose paper-order index also exists in `prior`,
+    /// the window's §V-B sample set (failed samples labeled by the new
+    /// signature, 10× good samples labeled 1) is assembled with a
+    /// deterministic RNG and pushed through the prior tree; the result
+    /// is the mean RMSE over matched groups. Rows are normalized by the
+    /// window's own scaler, so the number answers "how well would the
+    /// serving trees label what the fleet looks like *now*" — the
+    /// quantity drift compares against the artifact's training RMSE.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::UnsuitableDataset`] when no group index
+    /// matches between the window and the prior model; propagates sample
+    /// assembly errors.
+    pub fn score_prior_rmse(
+        &self,
+        prior: &crate::model::TrainedModel,
+        dataset: &Dataset,
+        report: &crate::pipeline::AnalysisReport,
+    ) -> Result<f64, AnalysisError> {
+        let _span = dds_obs::span!(dds_obs::Level::Debug, "predict.score_prior",);
+        // Independent deterministic stream — must not perturb (or depend
+        // on) the training draws.
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5C0E);
+        let good_pool: Vec<[f64; NUM_ATTRIBUTES]> = dataset
+            .good_drives()
+            .flat_map(|d| d.records().iter().map(|r| dataset.normalize_record(r)))
+            .filter(|row| row.iter().all(|v| v.is_finite()))
+            .collect();
+        let mut total = 0.0;
+        let mut matched = 0usize;
+        for group in report.categorization.groups() {
+            let Some(artifact) = prior.groups.iter().find(|g| g.group_index == group.index)
+            else {
+                continue;
+            };
+            let Some(window_group) =
+                report.prediction.groups.iter().find(|g| g.group_index == group.index)
+            else {
+                continue;
+            };
+            let (xs, ys) = self.assemble_samples_with_pool(
+                dataset,
+                group,
+                &window_group.signature,
+                &good_pool,
+                &mut rng,
+            )?;
+            let rows: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+            let predictions = artifact.tree.predict_batch_ref(&rows);
+            total += rmse(&predictions, &ys)?;
+            matched += 1;
+        }
+        if matched == 0 {
+            return Err(AnalysisError::UnsuitableDataset(
+                "no prior group matches the refit window".to_string(),
+            ));
+        }
+        Ok(total / matched as f64)
+    }
+
     /// [`assemble_samples_with_pool`](Self::assemble_samples_with_pool)
     /// straight into column-major sample storage: per drive, a columnwise
     /// finite mask selects the usable rows, then each attribute column is
@@ -432,7 +694,8 @@ impl DegradationPredictor {
     /// Writes into caller-owned buffers (`cols`, `ys`, `finite`) so the
     /// per-group loop in [`train_with_columns`](Self::train_with_columns)
     /// reuses their capacity instead of reallocating every group; each is
-    /// cleared before use.
+    /// cleared before use. Returns the number of failed-drive rows, which
+    /// always occupy the sample prefix (good rows are appended after).
     #[allow(clippy::too_many_arguments)]
     fn assemble_sample_columns<R: rand::Rng + ?Sized>(
         &self,
@@ -441,6 +704,31 @@ impl DegradationPredictor {
         signature: &SignatureModel,
         good_pool: &[[f64; NUM_ATTRIBUTES]],
         rng: &mut R,
+        cols: &mut [Vec<f64>],
+        ys: &mut Vec<f64>,
+        finite: &mut Vec<bool>,
+    ) -> Result<usize, AnalysisError> {
+        self.assemble_failed_sample_columns(columns, group, signature, cols, ys, finite)?;
+        let n_failed = ys.len();
+        let mut picks = Vec::new();
+        self.draw_good_picks(n_failed, good_pool.len(), rng, &mut picks);
+        for &pick in &picks {
+            for (col, &v) in cols.iter_mut().zip(good_pool[pick].iter()) {
+                col.push(v);
+            }
+            ys.push(1.0);
+        }
+        Ok(n_failed)
+    }
+
+    /// The failed-drive half of sample assembly: every finite record of
+    /// the group's drives, labeled by the group signature. These rows
+    /// always occupy the sample prefix.
+    fn assemble_failed_sample_columns(
+        &self,
+        columns: &FleetColumns,
+        group: &crate::categorize::FailureGroup,
+        signature: &SignatureModel,
         cols: &mut [Vec<f64>],
         ys: &mut Vec<f64>,
         finite: &mut Vec<bool>,
@@ -482,17 +770,29 @@ impl DegradationPredictor {
                 group.index + 1
             )));
         }
-        let n_good = ((ys.len() as f64) * self.config.good_sample_ratio) as usize;
-        for _ in 0..n_good.min(good_pool.len().saturating_mul(4)) {
-            let pick = rng.random_range(0..good_pool.len().max(1));
-            if let Some(rec) = good_pool.get(pick) {
-                for (col, &v) in cols.iter_mut().zip(rec.iter()) {
-                    col.push(v);
-                }
-                ys.push(1.0);
+        Ok(())
+    }
+
+    /// Draws the good-row pool picks for a group of `n_failed` failed
+    /// samples — `good_sample_ratio ×` as many, with replacement. Exactly
+    /// this RNG-draw sequence is consumed whether the rows are
+    /// materialized (cold path) or read lazily from the pool (warm path),
+    /// which is what keeps the two paths' shuffled splits identical.
+    fn draw_good_picks<R: rand::Rng + ?Sized>(
+        &self,
+        n_failed: usize,
+        pool_len: usize,
+        rng: &mut R,
+        picks: &mut Vec<usize>,
+    ) {
+        picks.clear();
+        let n_good = ((n_failed as f64) * self.config.good_sample_ratio) as usize;
+        for _ in 0..n_good.min(pool_len.saturating_mul(4)) {
+            let pick = rng.random_range(0..pool_len.max(1));
+            if pick < pool_len {
+                picks.push(pick);
             }
         }
-        Ok(())
     }
 }
 

@@ -27,6 +27,9 @@ pub struct GroupModel {
     pub tree: RegressionTree,
     /// The group's degradation signature (for remaining-time inversion).
     pub signature: SignatureModel,
+    /// Test-set RMSE recorded at training time (Table III) — the
+    /// baseline the RMSE drift channel compares live scores against.
+    pub rmse: f64,
 }
 
 /// The deployable bundle: normalization bounds plus one [`GroupModel`] per
@@ -58,6 +61,7 @@ impl ModelBundle {
                 failure_type: report.categorization.groups()[g.group_index].failure_type,
                 tree: g.tree.clone(),
                 signature: g.signature,
+                rmse: g.rmse,
             })
             .collect();
         let mut population_means = [0.0; NUM_ATTRIBUTES];
@@ -106,6 +110,7 @@ impl ModelBundle {
                 failure_type: g.failure_type,
                 tree: g.tree.clone(),
                 signature: g.signature,
+                rmse: g.rmse,
             })
             .collect();
         Ok(ModelBundle {
@@ -158,13 +163,16 @@ impl ModelBundle {
     }
 
     /// Scores a normalized record with every group model and returns the
-    /// most pessimistic `(group index, predicted degradation)`.
+    /// most pessimistic `(group index, predicted degradation)`. A NaN
+    /// prediction (impossible from a tree fit on finite data, but this
+    /// sits downstream of the untrusted ingest path) sorts as equal
+    /// rather than panicking the worker.
     pub fn worst_prediction(&self, normalized: &[f64]) -> Option<(usize, f64)> {
         self.groups
             .iter()
             .enumerate()
             .map(|(i, g)| (i, g.tree.predict(normalized)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite predictions"))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
     }
 }
 

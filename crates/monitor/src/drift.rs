@@ -41,6 +41,19 @@ use std::collections::HashMap;
 /// produces.
 pub const RANGE_MARGIN: f64 = 0.25;
 
+/// An hour-counter regression of at least this much is read as counter
+/// rollover (a long-soak collector wrapping its u32 hour counter), not as
+/// ordering drift: replayed batches and clock skew regress by hours,
+/// never by half the counter range. On rollover the drive's watermark
+/// follows the stream instead of pinning every subsequent record as
+/// disordered forever.
+pub const HOUR_ROLLOVER_GAP: u32 = u32::MAX / 2;
+
+/// Live RMSE may exceed the artifact's training RMSE by this factor
+/// before the refit registers an RMSE-drift breach
+/// (`dds_drift_rmse_breaches_total`).
+pub const RMSE_BUDGET_RATIO: f64 = 1.5;
+
 /// The training-time metadata drift is measured against: the serving
 /// model's normalization bounds, its population means, and the disorder
 /// rate its own training window carried.
@@ -49,6 +62,10 @@ pub struct DriftBaseline {
     scaler: MinMaxScaler,
     population_means: [f64; NUM_ATTRIBUTES],
     expected_disorder: f64,
+    /// Mean per-group test RMSE the serving model recorded at training
+    /// time — the yardstick of the RMSE drift channel. `None` when the
+    /// bundle carries no groups (or all-zero placeholder RMSE).
+    training_rmse: Option<f64>,
 }
 
 impl DriftBaseline {
@@ -57,10 +74,17 @@ impl DriftBaseline {
     /// clean-trained model; `RefitOutcome::expected_disorder()` for a
     /// streaming refit).
     pub fn from_bundle(bundle: &ModelBundle, expected_disorder: f64) -> Self {
+        let groups = bundle.groups();
+        let mean_rmse = if groups.is_empty() {
+            0.0
+        } else {
+            groups.iter().map(|g| g.rmse).sum::<f64>() / groups.len() as f64
+        };
         DriftBaseline {
             scaler: bundle.scaler().clone(),
             population_means: *bundle.population_means(),
             expected_disorder: expected_disorder.clamp(0.0, 1.0),
+            training_rmse: (mean_rmse.is_finite() && mean_rmse > 0.0).then_some(mean_rmse),
         }
     }
 
@@ -68,6 +92,11 @@ impl DriftBaseline {
     /// window — the part of live disorder that is *not* drift.
     pub fn expected_disorder(&self) -> f64 {
         self.expected_disorder
+    }
+
+    /// The serving model's mean training RMSE, when it recorded one.
+    pub fn training_rmse(&self) -> Option<f64> {
+        self.training_rmse
     }
 }
 
@@ -97,6 +126,14 @@ pub struct DriftDetector {
     published_clean: u64,
     /// Baseline swaps performed (0 = still on the boot model).
     swaps: u64,
+    /// Latest `(live, training)` RMSE pair recorded by a refit against
+    /// the *current* baseline; `None` until the first refit with a
+    /// serving prior (and again right after a promotion).
+    rmse: Option<(f64, f64)>,
+    /// Refit RMSE samples that breached [`RMSE_BUDGET_RATIO`] — lifetime
+    /// monotonic, like `swaps`.
+    rmse_breaches: u64,
+    published_rmse_breaches: u64,
 }
 
 impl DriftDetector {
@@ -115,6 +152,9 @@ impl DriftDetector {
             published_drifted: 0,
             published_clean: 0,
             swaps: 0,
+            rmse: None,
+            rmse_breaches: 0,
+            published_rmse_breaches: 0,
         }
     }
 
@@ -123,12 +163,27 @@ impl DriftDetector {
     pub fn observe(&mut self, drive: DriveId, record: &HealthRecord) -> bool {
         self.examined += 1;
 
-        let disordered = match self.last_hour.get(&drive) {
-            Some(&last) => record.hour <= last,
-            None => false,
+        let disordered = match self.last_hour.entry(drive) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => {
+                let last = *entry.get();
+                if record.hour > last {
+                    entry.insert(record.hour);
+                    false
+                } else if last - record.hour >= HOUR_ROLLOVER_GAP {
+                    // Counter rollover, not replay: follow the stream so
+                    // the wrapped drive doesn't read as disordered for
+                    // the rest of the session.
+                    entry.insert(record.hour);
+                    false
+                } else {
+                    true
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(record.hour);
+                false
+            }
         };
-        let watermark = self.last_hour.entry(drive).or_insert(record.hour);
-        *watermark = (*watermark).max(record.hour);
 
         let mut out_of_range = false;
         for (c, &value) in record.values.iter().enumerate() {
@@ -200,6 +255,38 @@ impl DriftDetector {
         max_shift
     }
 
+    /// Records the RMSE drift sample a refit produced: the serving
+    /// trees' RMSE scored live on the refit window (`live`) next to the
+    /// RMSE they recorded at training time (`training`). Samples where
+    /// `live > training ×` [`RMSE_BUDGET_RATIO`] count as breaches in
+    /// `dds_drift_rmse_breaches_total`. Non-finite samples are dropped.
+    pub fn record_rmse(&mut self, live: f64, training: f64) {
+        if !live.is_finite() || !training.is_finite() || training <= 0.0 {
+            return;
+        }
+        self.rmse = Some((live, training));
+        if live > training * RMSE_BUDGET_RATIO {
+            self.rmse_breaches += 1;
+        }
+    }
+
+    /// The latest `(live, training)` RMSE pair, if a refit recorded one
+    /// against the current baseline.
+    pub fn rmse_sample(&self) -> Option<(f64, f64)> {
+        self.rmse
+    }
+
+    /// Live-over-training RMSE ratio (`1.0` = serving exactly as well as
+    /// at training time; above [`RMSE_BUDGET_RATIO`] = breach).
+    pub fn rmse_ratio(&self) -> Option<f64> {
+        self.rmse.map(|(live, training)| live / training)
+    }
+
+    /// RMSE budget breaches recorded so far (lifetime monotonic).
+    pub fn rmse_breaches(&self) -> u64 {
+        self.rmse_breaches
+    }
+
     /// Records observed since the last baseline swap.
     pub fn examined(&self) -> u64 {
         self.examined
@@ -236,6 +323,9 @@ impl DriftDetector {
         self.published_examined = 0;
         self.published_drifted = 0;
         self.published_clean = 0;
+        // The RMSE pair described the *previous* serving model; the
+        // breach tally is lifetime-monotonic and survives, like `swaps`.
+        self.rmse = None;
         self.swaps += 1;
     }
 
@@ -249,28 +339,53 @@ impl DriftDetector {
     pub fn publish(&mut self, registry: &Registry) {
         // Monotonic drifted series: high-watermark of the baseline
         // excess. Clean gets the rest, so the two always sum to records.
+        // Every delta below is provably non-negative (watermarks only
+        // move forward within a window, and a swap resets them all
+        // together); the subtractions saturate anyway so an accounting
+        // bug can never wrap a u64 and explode the published counters.
         let drifted_target = self.published_drifted.max(self.excess_drifted());
-        let clean_target = self.examined - drifted_target;
+        let clean_target = self.examined.saturating_sub(drifted_target);
 
-        registry.counter("dds_drift_records_total").add(self.examined - self.published_examined);
-        registry.counter("dds_drift_drifted_total").add(drifted_target - self.published_drifted);
-        registry.counter("dds_drift_clean_total").add(clean_target - self.published_clean);
+        registry
+            .counter("dds_drift_records_total")
+            .add(self.examined.saturating_sub(self.published_examined));
+        registry
+            .counter("dds_drift_drifted_total")
+            .add(drifted_target.saturating_sub(self.published_drifted));
+        registry
+            .counter("dds_drift_clean_total")
+            .add(clean_target.saturating_sub(self.published_clean));
         self.published_examined = self.examined;
         self.published_drifted = drifted_target;
-        self.published_clean = clean_target;
+        self.published_clean = clean_target.max(self.published_clean);
 
         registry.gauge("dds_drift_score").set(self.drift_score());
         registry.gauge("dds_drift_attr_shift_max").set(self.attr_shift_max());
         registry.gauge("dds_drift_expected_disorder").set(self.baseline.expected_disorder);
+
+        // RMSE channel: gauges reflect the latest refit sample (0 until
+        // one exists), the breach counter is published by watermark like
+        // every other monotonic series here.
+        let (live, training) = self.rmse.unwrap_or((0.0, 0.0));
+        registry.gauge("dds_drift_rmse_live").set(live);
+        registry.gauge("dds_drift_rmse_training").set(training);
+        registry.gauge("dds_drift_rmse_ratio").set(self.rmse_ratio().unwrap_or(0.0));
+        registry
+            .counter("dds_drift_rmse_breaches_total")
+            .add(self.rmse_breaches.saturating_sub(self.published_rmse_breaches));
+        self.published_rmse_breaches = self.rmse_breaches;
     }
 
     /// Serializes the detector's state as one JSON object — the `/drift`
     /// endpoint's body.
     pub fn to_json(&self) -> String {
+        let (rmse_live, rmse_training) = self.rmse.unwrap_or((0.0, 0.0));
         format!(
             "{{\"examined\": {}, \"drifted\": {}, \"excess_drifted\": {}, \
              \"disordered\": {}, \"out_of_range\": {}, \"expected_disorder\": {}, \
-             \"drift_score\": {}, \"attr_shift_max\": {}, \"baseline_swaps\": {}}}",
+             \"drift_score\": {}, \"attr_shift_max\": {}, \"baseline_swaps\": {}, \
+             \"rmse_live\": {}, \"rmse_training\": {}, \"rmse_ratio\": {}, \
+             \"rmse_breaches\": {}}}",
             self.examined,
             self.drifted,
             self.excess_drifted(),
@@ -280,6 +395,10 @@ impl DriftDetector {
             dds_obs::json::number(self.drift_score()),
             dds_obs::json::number(self.attr_shift_max()),
             self.swaps,
+            dds_obs::json::number(rmse_live),
+            dds_obs::json::number(rmse_training),
+            dds_obs::json::number(self.rmse_ratio().unwrap_or(0.0)),
+            self.rmse_breaches,
         )
     }
 }
@@ -433,6 +552,79 @@ mod tests {
     }
 
     #[test]
+    fn hour_rollover_is_not_ordering_drift_but_replay_still_is() {
+        let bundle = bundle(4_010);
+        let live = FleetSimulator::new(FleetConfig::test_scale().with_seed(4_010)).run();
+        let mut detector = DriftDetector::new(DriftBaseline::from_bundle(&bundle, 0.0));
+        let (drive, record) = hour_ordered(&live).remove(0);
+
+        // Run the drive's hour counter up to the top of the u32 range,
+        // then wrap: the post-wrap record must read clean, and the
+        // watermark must follow the wrapped stream.
+        let mut late = record.clone();
+        late.hour = u32::MAX - 2;
+        assert!(!detector.observe(drive, &late));
+        let mut wrapped = record.clone();
+        wrapped.hour = 1;
+        assert!(!detector.observe(drive, &wrapped), "rollover is not drift");
+        let mut next = record.clone();
+        next.hour = 2;
+        assert!(!detector.observe(drive, &next), "post-rollover stream continues cleanly");
+
+        // An ordinary regression (replayed batch) still drifts.
+        let mut replayed = record.clone();
+        replayed.hour = 1;
+        assert!(detector.observe(drive, &replayed), "small regressions stay ordering drift");
+        assert_eq!(detector.excess_drifted(), 1);
+    }
+
+    #[test]
+    fn rmse_channel_tracks_breaches_and_publishes_monotonically() {
+        let bundle = bundle(4_011);
+        let mut detector = DriftDetector::new(DriftBaseline::from_bundle(&bundle, 0.0));
+        let registry = Registry::new();
+        assert!(detector.rmse_sample().is_none());
+
+        // Within budget: recorded, no breach.
+        detector.record_rmse(0.10, 0.09);
+        assert_eq!(detector.rmse_breaches(), 0);
+        assert!(detector.rmse_ratio().unwrap() > 1.0);
+        detector.publish(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("dds_drift_rmse_breaches_total").unwrap(), 0);
+
+        // Past budget: one breach, published exactly once.
+        detector.record_rmse(0.09 * RMSE_BUDGET_RATIO * 1.1, 0.09);
+        assert_eq!(detector.rmse_breaches(), 1);
+        detector.publish(&registry);
+        detector.publish(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("dds_drift_rmse_breaches_total").unwrap(), 1);
+
+        // Non-finite and zero-training samples are dropped.
+        detector.record_rmse(f64::NAN, 0.09);
+        detector.record_rmse(0.5, 0.0);
+        assert_eq!(detector.rmse_breaches(), 1);
+
+        // Promotion clears the sample but not the lifetime breach tally.
+        detector.swap_baseline(DriftBaseline::from_bundle(&bundle, 0.0));
+        assert!(detector.rmse_sample().is_none());
+        assert_eq!(detector.rmse_breaches(), 1);
+        detector.publish(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("dds_drift_rmse_breaches_total").unwrap(), 1);
+    }
+
+    #[test]
+    fn baseline_carries_training_rmse_from_the_bundle() {
+        let bundle = bundle(4_012);
+        let baseline = DriftBaseline::from_bundle(&bundle, 0.0);
+        let expected = bundle.groups().iter().map(|g| g.rmse).sum::<f64>()
+            / bundle.groups().len() as f64;
+        assert_eq!(baseline.training_rmse().unwrap().to_bits(), expected.to_bits());
+    }
+
+    #[test]
     fn json_shape_is_stable() {
         let bundle = bundle(4_009);
         let detector = DriftDetector::new(DriftBaseline::from_bundle(&bundle, 0.25));
@@ -447,6 +639,10 @@ mod tests {
             "\"drift_score\"",
             "\"attr_shift_max\"",
             "\"baseline_swaps\"",
+            "\"rmse_live\"",
+            "\"rmse_training\"",
+            "\"rmse_ratio\"",
+            "\"rmse_breaches\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -78,10 +78,19 @@ impl ModelSlot {
         ModelSlot { inner: Mutex::new(None) }
     }
 
+    /// Locks the slot, recovering from poisoning: the guarded value is a
+    /// plain `(generation, string)` that every writer replaces whole, so
+    /// it is consistent even if a panic-isolated handler died mid-read —
+    /// one crashed request must not turn every later `/model` scrape
+    /// into a panic.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Option<(u64, String)>> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Publishes a provenance document, returning the new generation
     /// (1 for the initial model, +1 per promotion).
     pub fn publish(&self, provenance: String) -> u64 {
-        let mut inner = self.inner.lock().expect("model slot lock");
+        let mut inner = self.lock();
         let generation = inner.as_ref().map_or(0, |(g, _)| *g) + 1;
         *inner = Some((generation, provenance));
         generation
@@ -89,12 +98,12 @@ impl ModelSlot {
 
     /// The current `(generation, provenance)`, if a model is published.
     pub fn get(&self) -> Option<(u64, String)> {
-        self.inner.lock().expect("model slot lock").clone()
+        self.lock().clone()
     }
 
     /// The current generation (0 before the first publish).
     pub fn generation(&self) -> u64 {
-        self.inner.lock().expect("model slot lock").as_ref().map_or(0, |(g, _)| *g)
+        self.lock().as_ref().map_or(0, |(g, _)| *g)
     }
 }
 
@@ -129,7 +138,10 @@ impl PromotionGate {
     /// loop's verdict. `None` means the loop never picked it up in time.
     pub fn request(&self, timeout: Duration) -> Option<PromotionOutcome> {
         let (reply, outcome) = mpsc::sync_channel(1);
-        self.waiters.lock().expect("promotion gate lock").push(reply);
+        // Poison recovery: the queue is a plain Vec of senders, valid at
+        // every instruction boundary, and a poisoned gate would otherwise
+        // panic every later promotion request.
+        self.waiters.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(reply);
         match outcome.recv_timeout(timeout) {
             Ok(outcome) => Some(outcome),
             Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
@@ -139,7 +151,9 @@ impl PromotionGate {
     /// Serve-loop side: takes every pending request (empty almost every
     /// tick — one `Mutex` lock is the whole cost).
     pub fn take(&self) -> Vec<SyncSender<PromotionOutcome>> {
-        std::mem::take(&mut *self.waiters.lock().expect("promotion gate lock"))
+        std::mem::take(
+            &mut *self.waiters.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
     }
 }
 

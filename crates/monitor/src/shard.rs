@@ -626,7 +626,10 @@ impl IngestQueue {
     /// caller should answer HTTP 429 and let the relay retry later.
     pub fn offer(&self, batch: Vec<(DriveId, HealthRecord)>) -> Result<usize, usize> {
         let records = batch.len() as u64;
-        let mut counts = self.counts.lock().expect("ingest counts lock");
+        // Poison recovery: the tallies are plain integers updated in
+        // place; a panic-isolated handler dying mid-offer must not turn
+        // every later /ingest into a 500.
+        let mut counts = self.counts.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         counts.offered_records += records;
         match self.sender.try_send(batch) {
             Ok(()) => {
@@ -657,7 +660,7 @@ impl IngestQueue {
     /// Drains every queued batch into one record list, in arrival order.
     /// Called by the serve loop between stream ticks; never blocks.
     pub fn drain(&self) -> Vec<(DriveId, HealthRecord)> {
-        let receiver = self.receiver.lock().expect("ingest receiver lock");
+        let receiver = self.receiver.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut records = Vec::new();
         while let Ok(batch) = receiver.try_recv() {
             records.extend(batch);
@@ -667,7 +670,7 @@ impl IngestQueue {
 
     /// A snapshot of the conservation counters.
     pub fn counts(&self) -> IngestCounts {
-        *self.counts.lock().expect("ingest counts lock")
+        *self.counts.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 

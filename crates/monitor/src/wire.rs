@@ -111,9 +111,23 @@ pub fn encode_batch(records: &[(DriveId, HealthRecord)]) -> Vec<u8> {
     bytes
 }
 
+/// Reads a little-endian `u32` from the first 4 bytes of `bytes`.
+/// Callers guarantee the length (header check / `chunks_exact`), so the
+/// indexing below never fires — but unlike `try_into().expect(..)` the
+/// guarantee is local and obvious, not a panic waiting on a refactor.
+fn le_u32(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
+}
+
 /// Decodes a binary batch. Trailing bytes past the declared count are
 /// rejected as [`WireError::Truncated`] in reverse — a length mismatch
 /// either way means the relay and the service disagree about the format.
+///
+/// This is the untrusted surface of `POST /ingest`: every byte here is
+/// attacker-controlled, so the decode is panic-free by construction —
+/// the declared-count size math is checked (a count engineered to wrap
+/// `usize` reports [`WireError::Truncated`]) and the record walk uses
+/// exact-size chunks instead of index arithmetic.
 pub fn decode_batch(bytes: &[u8]) -> Result<Vec<(DriveId, HealthRecord)>, WireError> {
     if bytes.len() < BATCH_HEADER_BYTES || bytes[..4] != BATCH_MAGIC {
         return Err(WireError::BadMagic);
@@ -121,21 +135,25 @@ pub fn decode_batch(bytes: &[u8]) -> Result<Vec<(DriveId, HealthRecord)>, WireEr
     if bytes[4] != BATCH_VERSION {
         return Err(WireError::UnsupportedVersion(bytes[4]));
     }
-    let count = u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes")) as usize;
-    let expected = BATCH_HEADER_BYTES + count * RECORD_WIRE_BYTES;
+    let count = le_u32(&bytes[5..9]) as usize;
+    let expected = count
+        .checked_mul(RECORD_WIRE_BYTES)
+        .and_then(|n| n.checked_add(BATCH_HEADER_BYTES))
+        .ok_or(WireError::Truncated { expected: usize::MAX, actual: bytes.len() })?;
     if bytes.len() != expected {
         return Err(WireError::Truncated { expected, actual: bytes.len() });
     }
+    // The exact-length check above means `count` records really are
+    // present, so this capacity is bounded by the payload we received.
     let mut records = Vec::with_capacity(count);
-    let mut offset = BATCH_HEADER_BYTES;
-    for _ in 0..count {
-        let drive = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"));
-        let hour = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
-        offset += 8;
+    for chunk in bytes[BATCH_HEADER_BYTES..].chunks_exact(RECORD_WIRE_BYTES) {
+        let drive = le_u32(&chunk[..4]);
+        let hour = le_u32(&chunk[4..8]);
         let mut values = [0.0; NUM_ATTRIBUTES];
-        for value in &mut values {
-            *value = f64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"));
-            offset += 8;
+        for (value, raw) in values.iter_mut().zip(chunk[8..].chunks_exact(8)) {
+            *value = f64::from_le_bytes([
+                raw[0], raw[1], raw[2], raw[3], raw[4], raw[5], raw[6], raw[7],
+            ]);
         }
         records.push((DriveId(drive), HealthRecord { hour, values }));
     }
@@ -251,6 +269,25 @@ mod tests {
         assert!(matches!(decode_batch(&padded), Err(WireError::Truncated { .. })));
         // An empty batch is legal.
         assert_eq!(decode_batch(&encode_batch(&[])).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn adversarial_declared_counts_are_rejected_without_panicking() {
+        // A maximal declared count over a tiny body: the size math must
+        // report truncation, never wrap or allocate for 4 billion
+        // records.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&BATCH_MAGIC);
+        bytes.push(BATCH_VERSION);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(decode_batch(&bytes), Err(WireError::Truncated { .. })));
+        // A header alone (count 1, zero record bytes) is truncated too.
+        let mut header_only = Vec::new();
+        header_only.extend_from_slice(&BATCH_MAGIC);
+        header_only.push(BATCH_VERSION);
+        header_only.extend_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(decode_batch(&header_only), Err(WireError::Truncated { .. })));
     }
 
     #[test]

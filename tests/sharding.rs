@@ -368,6 +368,108 @@ fn trace_spans_reconcile_with_ingest_receipts_over_http() {
 }
 
 #[test]
+fn malformed_ingest_bodies_never_produce_a_5xx() {
+    let _guard = serve_lock();
+    dds_obs::metrics::global().reset();
+
+    let options = ServeOptions { shards: 2, ..test_options() };
+    with_serve_loop(options, |addr| {
+        poll_until(addr, "/readyz", Duration::from_secs(60), |s, _| s == 200);
+
+        // Start from one known-good batch, then derive adversarial bodies
+        // from it: truncations at every interesting boundary, flipped
+        // magic/version bytes, a poisoned declared count (the classic
+        // capacity-bomb), trailing garbage, and plain fuzz noise from a
+        // seeded LCG. Every one of them is untrusted network input and
+        // must come back as a 4xx receipt — never a 5xx, never a panic.
+        let good = encode_batch(&external_batch(90_000, 8));
+
+        // Readiness polling legitimately answers 503 before the first
+        // model publishes, so the zero-5xx gate is on the *delta* across
+        // the fuzzing window, not the process-lifetime counter.
+        let five_xx = |metrics: &str| -> f64 {
+            metrics
+                .lines()
+                .find_map(|l| l.strip_prefix("dds_http_responses_5xx_total "))
+                .and_then(|v| v.parse::<f64>().ok())
+                .expect("5xx counter exported")
+        };
+        let (_, before) = http_get(addr, "/metrics");
+        let five_xx_before = five_xx(&before);
+
+        // An empty body is a valid (if useless) CSV chunk — blank lines
+        // are skipped by contract — so it is a benign zero-record queue,
+        // not an error.
+        let (status, receipt) = http_post(addr, "/ingest", b"");
+        assert_eq!(status, 200, "empty chunk is a no-op: {receipt}");
+        assert!(receipt.contains("\"records\": 0"), "{receipt}");
+
+        let mut bodies: Vec<Vec<u8>> = vec![
+            b"DDS".to_vec(),
+            b"DDSB".to_vec(),
+            b"DDSB\x01".to_vec(),
+            b"DDSB\x09garbage".to_vec(),
+            b"drive,hour,temp\n1,2,3\n".to_vec(),
+            vec![0xFF; 64],
+        ];
+        // Truncate the valid batch at the header edge, mid-count, at the
+        // first record boundary, and one byte short of completeness.
+        for cut in [5, 7, 9, 10, good.len() / 2, good.len() - 1] {
+            bodies.push(good[..cut].to_vec());
+        }
+        // Oversized trailing garbage after a valid batch.
+        let mut padded = good.clone();
+        padded.extend_from_slice(&[0xAB; 13]);
+        bodies.push(padded);
+        // Corrupt the magic, the version, and the declared count.
+        for (offset, value) in [(0usize, b'X'), (4, 0x7F)] {
+            let mut bad = good.clone();
+            bad[offset] = value;
+            bodies.push(bad);
+        }
+        let mut bomb = good.clone();
+        bomb[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        bodies.push(bomb);
+        let mut undercount = good.clone();
+        undercount[5..9].copy_from_slice(&2u32.to_le_bytes());
+        bodies.push(undercount);
+        // Seeded LCG noise in assorted lengths, some with a real prefix.
+        let mut state = 0x2545F491_4F6CDD1Du64;
+        for round in 0..24 {
+            let len = 1 + (round * 37) % 300;
+            let mut body = Vec::with_capacity(len + 9);
+            if round % 3 == 0 {
+                body.extend_from_slice(&good[..9.min(good.len())]);
+            }
+            for _ in 0..len {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                body.push((state >> 56) as u8);
+            }
+            bodies.push(body);
+        }
+
+        for (i, body) in bodies.iter().enumerate() {
+            let (status, receipt) = http_post(addr, "/ingest", body);
+            assert!(
+                (400..500).contains(&status),
+                "malformed body #{i} ({} bytes) must be a 4xx receipt, got {status}: {receipt}",
+                body.len()
+            );
+        }
+        // The intact batch still works after the abuse.
+        let (status, receipt) = http_post(addr, "/ingest", &good);
+        assert!(status == 200 || status == 429, "valid batch after fuzzing: {status} {receipt}");
+
+        let (_, metrics) = http_get(addr, "/metrics");
+        assert_eq!(
+            five_xx(&metrics),
+            five_xx_before,
+            "malformed ingest must never 5xx:\n{metrics}"
+        );
+    });
+}
+
+#[test]
 fn overload_flips_healthz_on_the_shed_budget_and_recovery_follows() {
     let _guard = serve_lock();
     dds_obs::metrics::global().reset();
